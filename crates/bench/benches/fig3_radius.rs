@@ -1,0 +1,26 @@
+//! Fig. 3 — impact of the query radius `r` (1–3 km) on MRE, running time,
+//! communication cost and index memory, all other parameters at the
+//! Tab. 2 defaults. The dataset and federation are shared across points
+//! (only the queries change).
+
+use fedra_bench::{build_testbed, report, run_algorithms, SweepConfig};
+
+fn main() {
+    let config = SweepConfig::from_env();
+    let testbed = fedra_bench::timed("build testbed", || {
+        build_testbed(&config.defaults, 42)
+    });
+    let mut points = Vec::new();
+    for (i, p) in config.sweep_radius().iter().enumerate() {
+        eprintln!("[fig3] r = {} km ...", p.radius_km);
+        let mut r = run_algorithms(&testbed, p, 1_000 + i as u64);
+        r.x = format!("{}", p.radius_km);
+        points.push(r);
+    }
+    report(
+        "fig3",
+        "Impact of radius r (COUNT)",
+        "r (km)",
+        &points,
+    );
+}

@@ -1,0 +1,22 @@
+//! Fig. 4 — impact of the number of data silos `m` (3–15). Each point
+//! re-partitions the same total data volume across a different silo
+//! count, so the federation is rebuilt per point.
+
+use fedra_bench::{report, run_point, SweepConfig};
+
+fn main() {
+    let config = SweepConfig::from_env();
+    let mut points = Vec::new();
+    for (i, p) in config.sweep_silos().iter().enumerate() {
+        eprintln!("[fig4] m = {} ...", p.num_silos);
+        let mut r = fedra_bench::timed("point", || run_point(p, 2_000 + i as u64));
+        r.x = format!("{}", p.num_silos);
+        points.push(r);
+    }
+    report(
+        "fig4",
+        "Impact of the number of data silos m (COUNT)",
+        "m",
+        &points,
+    );
+}

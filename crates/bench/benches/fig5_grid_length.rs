@@ -1,0 +1,21 @@
+//! Fig. 5 — impact of the grid length `L` (0.5–2.5 km). The grid indexes
+//! are rebuilt per point (Alg. 1 depends on L); the data does not change.
+
+use fedra_bench::{report, run_point, SweepConfig};
+
+fn main() {
+    let config = SweepConfig::from_env();
+    let mut points = Vec::new();
+    for (i, p) in config.sweep_grid_length().iter().enumerate() {
+        eprintln!("[fig5] L = {} km ...", p.grid_len_km);
+        let mut r = fedra_bench::timed("point", || run_point(p, 3_000 + i as u64));
+        r.x = format!("{}", p.grid_len_km);
+        points.push(r);
+    }
+    report(
+        "fig5",
+        "Impact of grid length L (COUNT)",
+        "L (km)",
+        &points,
+    );
+}

@@ -1,0 +1,25 @@
+//! Fig. 6 — impact of the LSR approximation ratio ε (0.05–0.25). Only the
+//! +LSR variants are sensitive: larger ε picks coarser forest levels,
+//! trading MRE for local query speed. One shared testbed.
+
+use fedra_bench::{build_testbed, report, run_algorithms, SweepConfig};
+
+fn main() {
+    let config = SweepConfig::from_env();
+    let testbed = fedra_bench::timed("build testbed", || {
+        build_testbed(&config.defaults, 44)
+    });
+    let mut points = Vec::new();
+    for (i, p) in config.sweep_epsilon().iter().enumerate() {
+        eprintln!("[fig6] epsilon = {} ...", p.epsilon);
+        let mut r = run_algorithms(&testbed, p, 4_000 + i as u64);
+        r.x = format!("{}", p.epsilon);
+        points.push(r);
+    }
+    report(
+        "fig6",
+        "Impact of approximate ratio epsilon (COUNT)",
+        "epsilon",
+        &points,
+    );
+}

@@ -1,0 +1,25 @@
+//! Fig. 7 — impact of the LSR failure bound δ (0.01–0.05). Like Fig. 6,
+//! only the +LSR variants react, and mildly: δ enters the level rule
+//! logarithmically. One shared testbed.
+
+use fedra_bench::{build_testbed, report, run_algorithms, SweepConfig};
+
+fn main() {
+    let config = SweepConfig::from_env();
+    let testbed = fedra_bench::timed("build testbed", || {
+        build_testbed(&config.defaults, 45)
+    });
+    let mut points = Vec::new();
+    for (i, p) in config.sweep_delta().iter().enumerate() {
+        eprintln!("[fig7] delta = {} ...", p.delta);
+        let mut r = run_algorithms(&testbed, p, 5_000 + i as u64);
+        r.x = format!("{}", p.delta);
+        points.push(r);
+    }
+    report(
+        "fig7",
+        "Impact of least upper bound delta (COUNT)",
+        "delta",
+        &points,
+    );
+}

@@ -1,0 +1,40 @@
+//! Fig. 8 — impact of the batch size `nQ` (50–250 queries arriving at
+//! once). The headline throughput claim (>250 q/s) is checked here: the
+//! single-silo algorithms spread a batch across silos (≈ nQ/m each),
+//! while EXACT/OPTA hit every silo with every query. One shared testbed.
+
+use fedra_bench::{build_testbed, report, run_algorithms, SweepConfig};
+
+fn main() {
+    let config = SweepConfig::from_env();
+    let testbed = fedra_bench::timed("build testbed", || {
+        build_testbed(&config.defaults, 46)
+    });
+    let mut points = Vec::new();
+    for (i, p) in config.sweep_queries().iter().enumerate() {
+        eprintln!("[fig8] nQ = {} ...", p.num_queries);
+        let mut r = run_algorithms(&testbed, p, 6_000 + i as u64);
+        r.x = format!("{}", p.num_queries);
+        points.push(r);
+    }
+    report(
+        "fig8",
+        "Impact of the number of queries nQ (COUNT)",
+        "nQ",
+        &points,
+    );
+    // Throughput panel (the paper quotes queries/second here).
+    println!("--- fig8e: throughput (queries/s) ---");
+    print!("{:>10}", "nQ");
+    for name in fedra_bench::ALGORITHM_NAMES {
+        print!("  {name:>14}");
+    }
+    println!();
+    for p in &points {
+        print!("{:>10}", p.x);
+        for m in &p.algos {
+            print!("  {:>14.1}", m.throughput_qps);
+        }
+        println!();
+    }
+}

@@ -1,0 +1,23 @@
+//! Fig. 9 — impact of the data federation size |P|. The heaviest sweep:
+//! a fresh dataset and federation per point. Scaled by FEDRA_SCALE
+//! (default 0.2 → 0.2–1.0 × 10⁶ objects; 1.0 reproduces the paper's
+//! 1–5 × 10⁶).
+
+use fedra_bench::{report, run_point, SweepConfig};
+
+fn main() {
+    let config = SweepConfig::from_env();
+    let mut points = Vec::new();
+    for (i, p) in config.sweep_data_size().iter().enumerate() {
+        eprintln!("[fig9] |P| = {} ...", p.data_size);
+        let mut r = fedra_bench::timed("point", || run_point(p, 7_000 + i as u64));
+        r.x = format!("{}", p.data_size);
+        points.push(r);
+    }
+    report(
+        "fig9",
+        "Impact of the size of data federation |P| (COUNT)",
+        "|P|",
+        &points,
+    );
+}

@@ -1,0 +1,93 @@
+//! The paper's headline claims, measured at the Tab. 2 default point:
+//!
+//! 1. approximate algorithms cut per-query time vs EXACT (paper: up to
+//!    85.1× for IID-est+LSR);
+//! 2. they cut communication cost (paper: up to 5.5×);
+//! 3. the accurate variants keep average error below ~2.8 % (NonIID) /
+//!    ~5.3 % (IID);
+//! 4. the single-silo algorithms sustain > 250 queries/second.
+//!
+//! Absolute ratios differ from the paper (Rust vs Python, one machine vs
+//! a cluster); the *direction and ordering* are the reproduction target.
+
+use fedra_bench::{build_testbed, run_algorithms, SweepConfig, ALGORITHM_NAMES};
+
+fn main() {
+    let config = SweepConfig::from_env();
+    let testbed = fedra_bench::timed("build testbed", || build_testbed(&config.defaults, 47));
+    let point = config.defaults;
+    let result = run_algorithms(&testbed, &point, 8_000);
+
+    let get = |name: &str| {
+        result
+            .algos
+            .iter()
+            .find(|m| m.name == name)
+            .unwrap_or_else(|| panic!("missing {name}"))
+    };
+    let exact = get("EXACT");
+
+    println!();
+    println!("=== Headline claims at the default point (|P|={}, m={}, r={} km, nQ={}) ===",
+        point.data_size, point.num_silos, point.radius_km, point.num_queries);
+    println!();
+    println!(
+        "{:>16} {:>10} {:>12} {:>12} {:>10} {:>12} {:>12}",
+        "algorithm", "MRE (%)", "time (ms)", "speedup", "qps", "comm (KB)", "comm ratio"
+    );
+    for name in ALGORITHM_NAMES {
+        let m = get(name);
+        println!(
+            "{:>16} {:>10.3} {:>12.2} {:>11.1}x {:>10.1} {:>12.1} {:>11.1}x",
+            m.name,
+            m.mre_percent,
+            m.time_ms,
+            exact.time_ms / m.time_ms,
+            m.throughput_qps,
+            m.comm_kb,
+            exact.comm_kb / m.comm_kb,
+        );
+    }
+    println!();
+    let iid_lsr = get("IID-est+LSR");
+    let noniid = get("NonIID-est");
+    let noniid_lsr = get("NonIID-est+LSR");
+    let opta = get("OPTA");
+    println!("claim checks (paper direction):");
+    println!(
+        "  [{}] IID-est+LSR is the fastest approximate algorithm (speedup {:.1}x vs EXACT)",
+        ok(iid_lsr.time_ms < exact.time_ms),
+        exact.time_ms / iid_lsr.time_ms
+    );
+    println!(
+        "  [{}] NonIID-est MRE ({:.2} %) below OPTA MRE ({:.2} %)",
+        ok(noniid.mre_percent < opta.mre_percent),
+        noniid.mre_percent,
+        opta.mre_percent
+    );
+    println!(
+        "  [{}] LSR adds < 1.5 percentage points of MRE over NonIID-est ({:.2} vs {:.2})",
+        ok(noniid_lsr.mre_percent - noniid.mre_percent < 1.5),
+        noniid_lsr.mre_percent,
+        noniid.mre_percent
+    );
+    println!(
+        "  [{}] single-silo comm below EXACT comm ({:.1} KB vs {:.1} KB)",
+        ok(noniid_lsr.comm_kb < exact.comm_kb),
+        noniid_lsr.comm_kb,
+        exact.comm_kb
+    );
+    println!(
+        "  [{}] IID-est+LSR throughput above 250 q/s ({:.0} q/s)",
+        ok(iid_lsr.throughput_qps > 250.0),
+        iid_lsr.throughput_qps
+    );
+}
+
+fn ok(b: bool) -> &'static str {
+    if b {
+        "ok"
+    } else {
+        "MISS"
+    }
+}

@@ -1,0 +1,100 @@
+//! The paper reports COUNT results and notes "the results for SUM query
+//! have the same trend" (Sec. 8.2). This target verifies that claim: the
+//! default-point comparison is run twice — once per aggregation function —
+//! and the per-algorithm orderings are checked to agree.
+
+use fedra_bench::{build_testbed, SweepConfig, ALGORITHM_NAMES};
+use fedra_core::{
+    AccuracyParams, Exact, FraAlgorithm, FraQuery, IidEst, IidEstLsr, NonIidEst, NonIidEstLsr,
+    Opta, QueryEngine,
+};
+use fedra_index::AggFunc;
+use fedra_workload::QueryGenerator;
+
+fn main() {
+    let config = SweepConfig::from_env();
+    let point = config.defaults;
+    let testbed = fedra_bench::timed("build testbed", || build_testbed(&point, 51));
+    let fed = &testbed.federation;
+
+    let mut rows: Vec<(AggFunc, Vec<(f64, f64)>)> = Vec::new();
+    for func in [AggFunc::Count, AggFunc::Sum, AggFunc::SumSqr, AggFunc::Avg, AggFunc::Stdev] {
+        let mut generator = QueryGenerator::new(&testbed.all_objects, 52);
+        let queries: Vec<FraQuery> = generator
+            .circles(point.radius_km, point.num_queries)
+            .into_iter()
+            .map(|r| FraQuery::new(r, func))
+            .collect();
+        let exact_alg = Exact::new();
+        let truth: Vec<f64> = QueryEngine::per_silo(&exact_alg, fed)
+            .execute_batch(fed, &queries)
+            .values();
+        let params = AccuracyParams::new(point.epsilon, point.delta);
+        let algorithms: Vec<Box<dyn FraAlgorithm>> = vec![
+            Box::new(Exact::new()),
+            Box::new(Opta::new()),
+            Box::new(IidEst::new(53)),
+            Box::new(IidEstLsr::new(54, params)),
+            Box::new(NonIidEst::new(55)),
+            Box::new(NonIidEstLsr::new(56, params)),
+        ];
+        let mut metrics = Vec::new();
+        for alg in &algorithms {
+            let engine = QueryEngine::per_silo(alg.as_ref(), fed);
+            let batch = engine.execute_batch(fed, &queries);
+            metrics.push((
+                batch.mean_relative_error(&truth) * 100.0,
+                batch.wall_time.as_secs_f64() * 1e3,
+            ));
+        }
+        rows.push((func, metrics));
+    }
+
+    println!();
+    println!("=== SUM/AVG/STDEV trends vs COUNT at the Tab. 2 default point ===");
+    println!();
+    print!("{:>10}", "func");
+    for name in ALGORITHM_NAMES {
+        print!("  {name:>14}");
+    }
+    println!("   (MRE %)");
+    for (func, metrics) in &rows {
+        print!("{func:>10}");
+        for (mre, _) in metrics {
+            print!("  {mre:>14.3}");
+        }
+        println!();
+    }
+
+    // Trend check (primitive functions, which is what the paper claims):
+    // NonIID-est must beat OPTA on COUNT/SUM/SUM_SQR. Derived ratio
+    // functions (AVG, STDEV) are reported but not gated — a ratio
+    // estimator's numerator and denominator errors partially cancel for
+    // *every* algorithm, which can flatten the ordering.
+    let mut all_ok = true;
+    println!();
+    for (func, metrics) in &rows {
+        let opta = metrics[1].0;
+        let noniid = metrics[4].0;
+        if func.is_primitive() {
+            let ok = noniid <= opta;
+            all_ok &= ok;
+            println!(
+                "  [{}] {func}: NonIID-est ({noniid:.2} %) <= OPTA ({opta:.2} %)",
+                if ok { "ok" } else { "MISS" }
+            );
+        } else {
+            println!(
+                "  [--] {func}: NonIID-est {noniid:.2} % vs OPTA {opta:.2} % (ratio function, not gated)"
+            );
+        }
+    }
+    println!(
+        "\nconclusion: {}",
+        if all_ok {
+            "SUM and SUM_SQR follow the COUNT trend (paper Sec. 8.2)"
+        } else {
+            "trend mismatch - investigate"
+        }
+    );
+}

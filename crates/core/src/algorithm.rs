@@ -1,0 +1,85 @@
+//! The [`FraAlgorithm`] trait every query algorithm implements.
+
+use fedra_federation::Federation;
+
+use crate::query::{FraError, FraQuery, QueryResult};
+
+/// Accuracy parameters `(ε, δ)` for the LSR-accelerated variants
+/// (Tab. 2 defaults: ε = 0.10, δ = 0.01).
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct AccuracyParams {
+    /// Target approximation ratio ε (Definition 3).
+    pub epsilon: f64,
+    /// Failure-probability upper bound δ (Lemma 1).
+    pub delta: f64,
+}
+
+impl Default for AccuracyParams {
+    fn default() -> Self {
+        Self {
+            epsilon: 0.10,
+            delta: 0.01,
+        }
+    }
+}
+
+impl AccuracyParams {
+    /// Creates accuracy parameters.
+    ///
+    /// # Panics
+    /// Panics on out-of-domain values.
+    pub fn new(epsilon: f64, delta: f64) -> Self {
+        assert!(epsilon > 0.0 && epsilon.is_finite(), "epsilon must be positive");
+        assert!(delta > 0.0 && delta < 1.0, "delta must lie in (0, 1)");
+        Self { epsilon, delta }
+    }
+}
+
+/// A federated range aggregation algorithm.
+///
+/// Implementations are `Send + Sync` so the multi-query framework
+/// (Alg. 4) can drive one instance from many worker threads; internal
+/// randomness therefore lives behind locks.
+pub trait FraAlgorithm: Send + Sync {
+    /// The algorithm's display name (matches the paper's legends:
+    /// `EXACT`, `OPTA`, `IID-est`, `IID-est+LSR`, `NonIID-est`,
+    /// `NonIID-est+LSR`).
+    fn name(&self) -> &'static str;
+
+    /// Executes one query, returning the result or a federation error.
+    fn try_execute(&self, federation: &Federation, query: &FraQuery)
+        -> Result<QueryResult, FraError>;
+
+    /// Executes one query, panicking on federation errors (convenience
+    /// for examples and healthy-path code).
+    fn execute(&self, federation: &Federation, query: &FraQuery) -> QueryResult {
+        match self.try_execute(federation, query) {
+            Ok(result) => result,
+            Err(e) => panic!("{} failed: {e}", self.name()),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn defaults_match_table2() {
+        let p = AccuracyParams::default();
+        assert_eq!(p.epsilon, 0.10);
+        assert_eq!(p.delta, 0.01);
+    }
+
+    #[test]
+    #[should_panic(expected = "epsilon")]
+    fn rejects_zero_epsilon() {
+        AccuracyParams::new(0.0, 0.01);
+    }
+
+    #[test]
+    #[should_panic(expected = "delta")]
+    fn rejects_delta_of_one() {
+        AccuracyParams::new(0.1, 1.0);
+    }
+}

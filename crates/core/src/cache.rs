@@ -1,0 +1,397 @@
+//! Result caching for hot queries (extension beyond the paper).
+//!
+//! The paper's motivating workloads repeat themselves: the same "bikes
+//! within 2 km of Zhongguancun station" question arrives many times a
+//! minute during rush hour. [`CachedAlgorithm`] wraps any
+//! [`FraAlgorithm`] with a bounded, time-aware memo:
+//!
+//! * keys are the *exact* query (range bits + function), so two queries
+//!   only share an entry when they are byte-identical;
+//! * entries expire after a TTL — federated data is fleet telemetry, and
+//!   a stale count is worse than a slow one past some age;
+//! * capacity is bounded with least-recently-used eviction;
+//! * the cache is thread-safe and works under the Alg. 4 batch engine.
+//!
+//! Caching changes the *freshness* semantics, never the accuracy ones:
+//! a hit returns a result the wrapped algorithm produced within the TTL.
+
+use std::collections::HashMap;
+use std::time::{Duration, Instant};
+
+use parking_lot::Mutex;
+
+use fedra_federation::Federation;
+use fedra_geo::Range;
+use fedra_index::AggFunc;
+
+use crate::algorithm::FraAlgorithm;
+use crate::query::{FraError, FraQuery, QueryResult};
+
+/// Cache configuration.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct CacheConfig {
+    /// Maximum number of cached results.
+    pub capacity: usize,
+    /// Maximum age before an entry stops being served.
+    pub ttl: Duration,
+}
+
+impl Default for CacheConfig {
+    fn default() -> Self {
+        Self {
+            capacity: 4096,
+            ttl: Duration::from_secs(30),
+        }
+    }
+}
+
+/// Hit/miss counters (cumulative).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct CacheStats {
+    /// Queries answered from the cache.
+    pub hits: u64,
+    /// Queries that went through to the wrapped algorithm.
+    pub misses: u64,
+    /// Entries evicted for capacity.
+    pub evictions: u64,
+    /// Entries refreshed after TTL expiry.
+    pub expirations: u64,
+}
+
+impl CacheStats {
+    /// Hit rate in [0, 1]; 0 when nothing was asked.
+    pub fn hit_rate(&self) -> f64 {
+        let total = self.hits + self.misses;
+        if total == 0 {
+            0.0
+        } else {
+            self.hits as f64 / total as f64
+        }
+    }
+}
+
+/// Bit-exact cache key for a query.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+struct QueryKey {
+    kind: u8,
+    a: u64,
+    b: u64,
+    c: u64,
+    d: u64,
+    func: AggFunc,
+}
+
+impl QueryKey {
+    fn of(query: &FraQuery) -> Self {
+        match query.range {
+            Range::Circle(circle) => Self {
+                kind: 0,
+                a: circle.center.x.to_bits(),
+                b: circle.center.y.to_bits(),
+                c: circle.radius.to_bits(),
+                d: 0,
+                func: query.func,
+            },
+            Range::Rect(rect) => Self {
+                kind: 1,
+                a: rect.min.x.to_bits(),
+                b: rect.min.y.to_bits(),
+                c: rect.max.x.to_bits(),
+                d: rect.max.y.to_bits(),
+                func: query.func,
+            },
+        }
+    }
+}
+
+struct Entry {
+    result: QueryResult,
+    inserted: Instant,
+    /// Monotone counter standing in for "recency" (LRU without a linked
+    /// list: eviction scans for the minimum — capacity is modest and
+    /// eviction rare, so O(n) eviction beats the bookkeeping).
+    last_used: u64,
+}
+
+struct CacheState {
+    map: HashMap<QueryKey, Entry>,
+    tick: u64,
+    stats: CacheStats,
+}
+
+/// A caching wrapper around any FRA algorithm.
+pub struct CachedAlgorithm<A> {
+    inner: A,
+    config: CacheConfig,
+    state: Mutex<CacheState>,
+}
+
+impl<A: FraAlgorithm> CachedAlgorithm<A> {
+    /// Wraps `inner` with the given cache configuration.
+    pub fn new(inner: A, config: CacheConfig) -> Self {
+        assert!(config.capacity > 0, "cache capacity must be positive");
+        Self {
+            inner,
+            config,
+            state: Mutex::new(CacheState {
+                map: HashMap::new(),
+                tick: 0,
+                stats: CacheStats::default(),
+            }),
+        }
+    }
+
+    /// Wraps with defaults (4096 entries, 30 s TTL).
+    pub fn with_defaults(inner: A) -> Self {
+        Self::new(inner, CacheConfig::default())
+    }
+
+    /// The wrapped algorithm.
+    pub fn inner(&self) -> &A {
+        &self.inner
+    }
+
+    /// Cumulative statistics.
+    pub fn stats(&self) -> CacheStats {
+        self.state.lock().stats
+    }
+
+    /// Current number of live entries.
+    pub fn len(&self) -> usize {
+        self.state.lock().map.len()
+    }
+
+    /// Whether the cache holds no entries.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// Drops every entry (e.g. after a known fleet update).
+    pub fn invalidate_all(&self) {
+        self.state.lock().map.clear();
+    }
+}
+
+impl<A: FraAlgorithm> FraAlgorithm for CachedAlgorithm<A> {
+    fn name(&self) -> &'static str {
+        // The cache is transparent: report the wrapped algorithm.
+        self.inner.name()
+    }
+
+    fn try_execute(
+        &self,
+        federation: &Federation,
+        query: &FraQuery,
+    ) -> Result<QueryResult, FraError> {
+        let key = QueryKey::of(query);
+        let now = Instant::now();
+        {
+            let mut state = self.state.lock();
+            state.tick += 1;
+            let tick = state.tick;
+            let mut hit = None;
+            let mut expired = false;
+            if let Some(entry) = state.map.get_mut(&key) {
+                if now.duration_since(entry.inserted) <= self.config.ttl {
+                    entry.last_used = tick;
+                    hit = Some(entry.result);
+                } else {
+                    expired = true;
+                }
+            }
+            if let Some(result) = hit {
+                state.stats.hits += 1;
+                return Ok(result);
+            }
+            if expired {
+                state.map.remove(&key);
+                state.stats.expirations += 1;
+            }
+            state.stats.misses += 1;
+        } // drop the lock across the (slow) federated query
+
+        let result = self.inner.try_execute(federation, query)?;
+
+        let mut state = self.state.lock();
+        if state.map.len() >= self.config.capacity && !state.map.contains_key(&key) {
+            // Evict the least recently used entry.
+            if let Some(victim) = state
+                .map
+                .iter()
+                .min_by_key(|(_, e)| e.last_used)
+                .map(|(k, _)| *k)
+            {
+                state.map.remove(&victim);
+                state.stats.evictions += 1;
+            }
+        }
+        let tick = state.tick;
+        state.map.insert(
+            key,
+            Entry {
+                result,
+                inserted: now,
+                last_used: tick,
+            },
+        );
+        Ok(result)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::exact::Exact;
+    use crate::sampling::NonIidEst;
+    use fedra_federation::FederationBuilder;
+    use fedra_geo::{Point, Rect, SpatialObject};
+    use fedra_index::histogram::MinSkewConfig;
+
+    fn federation() -> Federation {
+        let bounds = Rect::new(Point::new(0.0, 0.0), Point::new(100.0, 100.0));
+        let partitions: Vec<Vec<SpatialObject>> = (0..3)
+            .map(|k| {
+                (0..500)
+                    .map(|i| {
+                        SpatialObject::at((i % 25) as f64 * 4.0, (i / 25) as f64 * 5.0, k as f64 + 1.0)
+                    })
+                    .collect()
+            })
+            .collect();
+        FederationBuilder::new(bounds)
+            .grid_cell_len(10.0)
+            .histogram_config(MinSkewConfig {
+                resolution: 8,
+                budget: 8,
+            })
+            .build(partitions)
+    }
+
+    fn q(x: f64) -> FraQuery {
+        FraQuery::circle(Point::new(x, 50.0), 10.0, AggFunc::Count)
+    }
+
+    #[test]
+    fn repeated_queries_hit_and_skip_communication() {
+        let fed = federation();
+        let cached = CachedAlgorithm::with_defaults(Exact::new());
+        let first = cached.execute(&fed, &q(50.0));
+        fed.reset_query_comm();
+        for _ in 0..10 {
+            let again = cached.execute(&fed, &q(50.0));
+            assert_eq!(again.value, first.value);
+        }
+        assert_eq!(fed.query_comm().rounds, 0, "hits must not touch silos");
+        let stats = cached.stats();
+        assert_eq!(stats.hits, 10);
+        assert_eq!(stats.misses, 1);
+        assert!(stats.hit_rate() > 0.9);
+    }
+
+    #[test]
+    fn different_queries_do_not_collide() {
+        let fed = federation();
+        let cached = CachedAlgorithm::with_defaults(Exact::new());
+        let a = cached.execute(&fed, &q(30.0));
+        let b = cached.execute(&fed, &q(70.0));
+        // Same radius/function, different centers — separate entries.
+        assert_eq!(cached.len(), 2);
+        let a2 = cached.execute(&fed, &q(30.0));
+        assert_eq!(a.value, a2.value);
+        let _ = b;
+        // Same center, different function — also separate.
+        let c = FraQuery::circle(Point::new(30.0, 50.0), 10.0, AggFunc::Sum);
+        cached.execute(&fed, &c);
+        assert_eq!(cached.len(), 3);
+    }
+
+    #[test]
+    fn ttl_expiry_refreshes_entries() {
+        let fed = federation();
+        let cached = CachedAlgorithm::new(
+            Exact::new(),
+            CacheConfig {
+                capacity: 16,
+                ttl: Duration::from_millis(0), // everything expires at once
+            },
+        );
+        cached.execute(&fed, &q(50.0));
+        cached.execute(&fed, &q(50.0));
+        let stats = cached.stats();
+        assert_eq!(stats.hits, 0);
+        assert_eq!(stats.misses, 2);
+        assert_eq!(stats.expirations, 1);
+    }
+
+    #[test]
+    fn lru_eviction_respects_capacity() {
+        let fed = federation();
+        let cached = CachedAlgorithm::new(
+            Exact::new(),
+            CacheConfig {
+                capacity: 2,
+                ttl: Duration::from_secs(60),
+            },
+        );
+        cached.execute(&fed, &q(10.0)); // A
+        cached.execute(&fed, &q(20.0)); // B
+        cached.execute(&fed, &q(10.0)); // touch A → B is LRU
+        cached.execute(&fed, &q(30.0)); // C evicts B
+        assert_eq!(cached.len(), 2);
+        assert_eq!(cached.stats().evictions, 1);
+        fed.reset_query_comm();
+        cached.execute(&fed, &q(10.0)); // still cached
+        assert_eq!(fed.query_comm().rounds, 0);
+        cached.execute(&fed, &q(20.0)); // evicted → miss → silo contact
+        assert!(fed.query_comm().rounds > 0);
+    }
+
+    #[test]
+    fn invalidate_all_clears_entries() {
+        let fed = federation();
+        let cached = CachedAlgorithm::with_defaults(NonIidEst::new(7));
+        cached.execute(&fed, &q(40.0));
+        assert!(!cached.is_empty());
+        cached.invalidate_all();
+        assert!(cached.is_empty());
+        fed.reset_query_comm();
+        cached.execute(&fed, &q(40.0));
+        assert!(fed.query_comm().rounds > 0, "post-invalidation is a miss");
+    }
+
+    #[test]
+    fn cache_works_under_the_batch_engine() {
+        let fed = federation();
+        let cached = CachedAlgorithm::with_defaults(Exact::new());
+        // A burst with heavy repetition: 5 hot stations × 20 asks.
+        let queries: Vec<FraQuery> = (0..100).map(|i| q((i % 5) as f64 * 10.0 + 10.0)).collect();
+        let engine = crate::framework::QueryEngine::with_workers(&cached, 4);
+        let batch = engine.execute_batch(&fed, &queries);
+        assert_eq!(batch.failures(), 0);
+        let stats = cached.stats();
+        assert_eq!(stats.hits + stats.misses, 100);
+        // At least the non-first ask of each station hits (racing workers
+        // may duplicate a few first asks).
+        assert!(stats.hits >= 90, "hits {}", stats.hits);
+        // All answers for one station agree.
+        let station0: Vec<f64> = queries
+            .iter()
+            .zip(batch.results.iter())
+            .filter(|(qq, _)| qq.range == q(10.0).range)
+            .map(|(_, r)| r.as_ref().unwrap().value)
+            .collect();
+        assert!(station0.windows(2).all(|w| w[0] == w[1]));
+    }
+
+    #[test]
+    #[should_panic(expected = "capacity")]
+    fn zero_capacity_rejected() {
+        CachedAlgorithm::new(
+            Exact::new(),
+            CacheConfig {
+                capacity: 0,
+                ttl: Duration::from_secs(1),
+            },
+        );
+    }
+}

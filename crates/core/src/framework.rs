@@ -1,0 +1,277 @@
+//! The multi-query framework of Alg. 4: parallel batch execution.
+//!
+//! Single-silo sampling is what makes parallelism pay: each query lands on
+//! an independently sampled silo, so a batch of |Q| queries spreads
+//! ≈ |Q|/m per silo instead of |Q| everywhere (the EXACT/OPTA fan-out
+//! pattern). [`QueryEngine`] drives a batch through a worker pool and
+//! reports the paper's experiment metrics for it: wall time, throughput,
+//! communication, and (given exact references) mean relative error.
+
+use std::sync::atomic::{AtomicUsize, Ordering};
+use std::time::{Duration, Instant};
+
+use fedra_federation::{CommSnapshot, Federation};
+
+use crate::algorithm::FraAlgorithm;
+use crate::query::{FraError, FraQuery, QueryResult};
+
+/// Batch execution statistics (one experiment data point).
+#[derive(Debug, Clone)]
+pub struct BatchResult {
+    /// Per-query results, in input order.
+    pub results: Vec<Result<QueryResult, FraError>>,
+    /// Wall-clock time for the whole batch.
+    pub wall_time: Duration,
+    /// Queries per second (`|Q| / wall_time` — the paper's throughput).
+    pub throughput_qps: f64,
+    /// Query-time communication consumed by the batch.
+    pub comm: CommSnapshot,
+}
+
+impl BatchResult {
+    /// Mean relative error against a slice of exact reference values
+    /// (the paper's MRE, Eq. 3). Failed queries count as error 1.
+    ///
+    /// # Panics
+    /// Panics when the lengths differ.
+    pub fn mean_relative_error(&self, exact: &[f64]) -> f64 {
+        assert_eq!(exact.len(), self.results.len(), "reference length mismatch");
+        if exact.is_empty() {
+            return 0.0;
+        }
+        let total: f64 = self
+            .results
+            .iter()
+            .zip(exact)
+            .map(|(r, &e)| match r {
+                Ok(result) => result.relative_error(e),
+                Err(_) => 1.0,
+            })
+            .sum();
+        total / exact.len() as f64
+    }
+
+    /// Number of failed queries in the batch.
+    pub fn failures(&self) -> usize {
+        self.results.iter().filter(|r| r.is_err()).count()
+    }
+
+    /// Unwraps all results (for healthy-path tests and examples).
+    pub fn values(&self) -> Vec<f64> {
+        self.results
+            .iter()
+            .map(|r| r.as_ref().expect("batch query failed").value)
+            .collect()
+    }
+}
+
+/// The Alg. 4 execution engine: a worker pool over one algorithm.
+pub struct QueryEngine<'a> {
+    algorithm: &'a dyn FraAlgorithm,
+    workers: usize,
+}
+
+impl<'a> QueryEngine<'a> {
+    /// Creates an engine with one worker per silo — the paper's setup
+    /// ("the number of threads equals to the number of silos").
+    pub fn per_silo(algorithm: &'a dyn FraAlgorithm, federation: &Federation) -> Self {
+        Self {
+            algorithm,
+            workers: federation.num_silos().max(1),
+        }
+    }
+
+    /// Creates an engine with an explicit worker count.
+    ///
+    /// # Panics
+    /// Panics when `workers == 0`.
+    pub fn with_workers(algorithm: &'a dyn FraAlgorithm, workers: usize) -> Self {
+        assert!(workers > 0, "the engine needs at least one worker");
+        Self { algorithm, workers }
+    }
+
+    /// The algorithm driven by this engine.
+    pub fn algorithm(&self) -> &dyn FraAlgorithm {
+        self.algorithm
+    }
+
+    /// Executes a batch of queries, measuring wall time / throughput /
+    /// communication around the whole batch (Alg. 4 semantics: the batch
+    /// arrives at once, answers stream out as silos respond).
+    pub fn execute_batch(&self, federation: &Federation, queries: &[FraQuery]) -> BatchResult {
+        let comm_before = federation.query_comm();
+        let next = AtomicUsize::new(0);
+        let mut results: Vec<Option<Result<QueryResult, FraError>>> = Vec::new();
+        results.resize_with(queries.len(), || None);
+        let slots = parking_lot::Mutex::new(&mut results);
+
+        let started = Instant::now();
+        std::thread::scope(|scope| {
+            for _ in 0..self.workers.min(queries.len().max(1)) {
+                scope.spawn(|| loop {
+                    let i = next.fetch_add(1, Ordering::Relaxed);
+                    if i >= queries.len() {
+                        break;
+                    }
+                    let outcome = self.algorithm.try_execute(federation, &queries[i]);
+                    slots.lock()[i] = Some(outcome);
+                });
+            }
+        });
+        let wall_time = started.elapsed();
+
+        let results: Vec<Result<QueryResult, FraError>> = results
+            .into_iter()
+            .map(|slot| slot.expect("every query slot is filled"))
+            .collect();
+        let throughput_qps = if wall_time.as_secs_f64() > 0.0 {
+            queries.len() as f64 / wall_time.as_secs_f64()
+        } else {
+            f64::INFINITY
+        };
+        BatchResult {
+            results,
+            wall_time,
+            throughput_qps,
+            comm: federation.query_comm().since(&comm_before),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::exact::Exact;
+    use crate::sampling::{IidEst, NonIidEst};
+    use fedra_federation::FederationBuilder;
+    use fedra_geo::{Point, Rect, SpatialObject};
+    use fedra_index::histogram::MinSkewConfig;
+    use fedra_index::AggFunc;
+    use rand::rngs::StdRng;
+    use rand::{Rng, SeedableRng};
+
+    fn setup(m: usize, per_silo: usize) -> Federation {
+        let bounds = Rect::new(Point::new(0.0, 0.0), Point::new(100.0, 100.0));
+        let mut rng = StdRng::seed_from_u64(55);
+        let partitions: Vec<Vec<SpatialObject>> = (0..m)
+            .map(|_| {
+                (0..per_silo)
+                    .map(|_| {
+                        SpatialObject::at(
+                            rng.random_range(0.0..100.0),
+                            rng.random_range(0.0..100.0),
+                            rng.random_range(1.0..4.0),
+                        )
+                    })
+                    .collect()
+            })
+            .collect();
+        FederationBuilder::new(bounds)
+            .grid_cell_len(5.0)
+            .histogram_config(MinSkewConfig {
+                resolution: 16,
+                budget: 16,
+            })
+            .build(partitions)
+    }
+
+    fn queries(n: usize, seed: u64) -> Vec<FraQuery> {
+        let mut rng = StdRng::seed_from_u64(seed);
+        (0..n)
+            .map(|_| {
+                FraQuery::circle(
+                    Point::new(rng.random_range(10.0..90.0), rng.random_range(10.0..90.0)),
+                    10.0,
+                    AggFunc::Count,
+                )
+            })
+            .collect()
+    }
+
+    #[test]
+    fn batch_results_are_in_input_order() {
+        let fed = setup(3, 1000);
+        let qs = queries(20, 1);
+        let exact = Exact::new();
+        let engine = QueryEngine::per_silo(&exact, &fed);
+        let batch = engine.execute_batch(&fed, &qs);
+        assert_eq!(batch.results.len(), 20);
+        assert_eq!(batch.failures(), 0);
+        // Sequential re-execution must match slot for slot (EXACT is
+        // deterministic).
+        for (i, q) in qs.iter().enumerate() {
+            let sequential = exact.execute(&fed, q).value;
+            assert_eq!(batch.results[i].as_ref().unwrap().value, sequential);
+        }
+    }
+
+    #[test]
+    fn throughput_and_comm_are_recorded() {
+        let fed = setup(3, 500);
+        fed.reset_query_comm();
+        let qs = queries(30, 2);
+        let alg = IidEst::new(3);
+        let engine = QueryEngine::per_silo(&alg, &fed);
+        let batch = engine.execute_batch(&fed, &qs);
+        assert!(batch.throughput_qps > 0.0);
+        assert_eq!(batch.comm.rounds, 30); // one silo per query
+        assert!(batch.wall_time > Duration::ZERO);
+    }
+
+    #[test]
+    fn sampling_spreads_load_across_silos() {
+        let fed = setup(4, 800);
+        let served_before = fed.served_per_silo();
+        let alg = NonIidEst::new(5);
+        let engine = QueryEngine::per_silo(&alg, &fed);
+        engine.execute_batch(&fed, &queries(200, 6));
+        let served_after = fed.served_per_silo();
+        let deltas: Vec<u64> = served_before
+            .iter()
+            .zip(&served_after)
+            .map(|(b, a)| a - b)
+            .collect();
+        let total: u64 = deltas.iter().sum();
+        assert_eq!(total, 200);
+        // Expect ≈ 50 per silo; allow wide randomness margins.
+        for (k, d) in deltas.iter().enumerate() {
+            assert!(
+                (20..=90).contains(d),
+                "silo {k} served {d} of 200 queries — load not balanced: {deltas:?}"
+            );
+        }
+    }
+
+    #[test]
+    fn mre_against_exact_references() {
+        let fed = setup(3, 2000);
+        let qs = queries(15, 7);
+        let exact_alg = Exact::new();
+        let exact_vals: Vec<f64> = qs.iter().map(|q| exact_alg.execute(&fed, q).value).collect();
+        let alg = IidEst::new(8);
+        let engine = QueryEngine::per_silo(&alg, &fed);
+        let batch = engine.execute_batch(&fed, &qs);
+        let mre = batch.mean_relative_error(&exact_vals);
+        assert!(mre < 0.3, "MRE {mre}");
+        // EXACT against itself is 0.
+        let batch = QueryEngine::per_silo(&exact_alg, &fed).execute_batch(&fed, &qs);
+        assert_eq!(batch.mean_relative_error(&exact_vals), 0.0);
+    }
+
+    #[test]
+    fn empty_batch_is_fine() {
+        let fed = setup(2, 100);
+        let exact = Exact::new();
+        let engine = QueryEngine::per_silo(&exact, &fed);
+        let batch = engine.execute_batch(&fed, &[]);
+        assert!(batch.results.is_empty());
+        assert_eq!(batch.mean_relative_error(&[]), 0.0);
+    }
+
+    #[test]
+    #[should_panic(expected = "at least one worker")]
+    fn zero_workers_rejected() {
+        let exact = Exact::new();
+        QueryEngine::with_workers(&exact, 0);
+    }
+}

@@ -1,0 +1,173 @@
+//! Provider-side estimation helpers shared by the FRA algorithms.
+
+use fedra_federation::{Federation, SiloId};
+use fedra_geo::{intersection_area, Range};
+use fedra_index::Aggregate;
+
+/// The grid-based rough estimate `sum₀` used for LSR level selection
+/// (Alg. 6): the COUNT over all `g₀` cells intersecting the range,
+/// answered from the cumulative array in O(√|g₀|).
+pub fn rough_count(federation: &Federation, range: &Range) -> f64 {
+    federation.merged_prefix().aggregate_intersecting(range).count
+}
+
+/// The `sum₀` aggregate triple of Alg. 2 — `g₀` over intersecting cells.
+pub fn sum0(federation: &Federation, range: &Range) -> Aggregate {
+    federation.merged_prefix().aggregate_intersecting(range)
+}
+
+/// The `sum_k` aggregate triple of Alg. 2 — `g_k` over intersecting cells.
+pub fn sum_k(federation: &Federation, silo: SiloId, range: &Range) -> Aggregate {
+    federation.silo_prefix(silo).aggregate_intersecting(range)
+}
+
+/// A silo-free estimate from `g₀` alone: covered cells contribute exactly,
+/// boundary cells contribute proportionally to the covered area
+/// (uniform-within-cell).
+///
+/// Used as the graceful degradation path when no silo can be sampled
+/// (all candidates failed) and as the per-component fallback when the
+/// sampled silo has no data to re-weight by.
+pub fn grid_only_estimate(federation: &Federation, range: &Range) -> Aggregate {
+    let grid = federation.merged_grid();
+    let spec = grid.spec();
+    let cls = spec.classify(range);
+    let mut acc = grid.aggregate_cells(cls.covered.iter().copied());
+    for id in &cls.boundary {
+        let rect = spec.cell_rect_of(*id);
+        let frac = intersection_area(range, &rect) / rect.area();
+        acc.merge_in(&grid.cell(*id).scale(frac));
+    }
+    acc
+}
+
+/// Per-component re-scaling `sum₀ × res_k / sum_k` (Alg. 2, line 8) with a
+/// per-component fallback for zero denominators.
+///
+/// Each of count / sum / sum_sqr is its own SUM-type query with its own
+/// ratio, which is what makes the AVG/STDEV extension a single round
+/// (Sec. 7). A component with `sum_k = 0` carries no information from the
+/// sampled silo, so the corresponding component of `fallback` (the
+/// grid-only estimate) is used instead.
+pub fn ratio_scale(sum0: &Aggregate, res: &Aggregate, sum_k: &Aggregate, fallback: &Aggregate) -> Aggregate {
+    let component = |s0: f64, r: f64, sk: f64, fb: f64| -> f64 {
+        if sk.abs() < f64::EPSILON {
+            fb
+        } else {
+            s0 * (r / sk)
+        }
+    };
+    Aggregate {
+        count: component(sum0.count, res.count, sum_k.count, fallback.count),
+        sum: component(sum0.sum, res.sum, sum_k.sum, fallback.sum),
+        sum_sqr: component(sum0.sum_sqr, res.sum_sqr, sum_k.sum_sqr, fallback.sum_sqr),
+    }
+}
+
+/// Silos eligible to be sampled for this query: not failure-flagged and
+/// with at least one object in a cell intersecting the range (the
+/// non-overlapping-coverage extension of Sec. 4.2.2: "we sample s_k from
+/// silos who have data in the query range").
+pub fn candidate_silos(federation: &Federation, range: &Range) -> Vec<SiloId> {
+    let failed = federation.failed_silos();
+    (0..federation.num_silos())
+        .filter(|k| !failed.contains(k))
+        .filter(|&k| sum_k(federation, k, range).count > 0.0)
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use fedra_federation::FederationBuilder;
+    use fedra_geo::{Point, Rect, SpatialObject};
+    use fedra_index::histogram::MinSkewConfig;
+
+    fn federation() -> Federation {
+        let bounds = Rect::new(Point::new(0.0, 0.0), Point::new(100.0, 100.0));
+        // Silo 0: a dense block in [0,50]²; silo 1: a dense block in
+        // [50,100]². Deliberately non-overlapping coverage.
+        let left: Vec<SpatialObject> = (0..500)
+            .map(|i| SpatialObject::at((i % 25) as f64 * 2.0, (i / 25) as f64 * 2.5, 1.0))
+            .collect();
+        let right: Vec<SpatialObject> = (0..500)
+            .map(|i| SpatialObject::at(50.0 + (i % 25) as f64 * 2.0, (i / 25) as f64 * 2.5 + 50.0, 2.0))
+            .collect();
+        FederationBuilder::new(bounds)
+            .grid_cell_len(10.0)
+            .histogram_config(MinSkewConfig {
+                resolution: 16,
+                budget: 16,
+            })
+            .build(vec![left, right])
+    }
+
+    #[test]
+    fn rough_count_covers_intersecting_cells() {
+        let fed = federation();
+        let q = Range::circle(Point::new(25.0, 25.0), 10.0);
+        let rc = rough_count(&fed, &q);
+        // All data near (25,25) belongs to silo 0's 500-object block.
+        assert!(rc > 0.0);
+        assert!(rc <= 500.0);
+        // sum0's count agrees by definition.
+        assert_eq!(rc, sum0(&fed, &q).count);
+    }
+
+    #[test]
+    fn sum_k_is_per_silo() {
+        let fed = federation();
+        let q = Range::circle(Point::new(25.0, 25.0), 10.0);
+        assert!(sum_k(&fed, 0, &q).count > 0.0);
+        assert_eq!(sum_k(&fed, 1, &q).count, 0.0);
+    }
+
+    #[test]
+    fn candidates_respect_coverage_and_failures() {
+        let fed = federation();
+        let left_q = Range::circle(Point::new(25.0, 25.0), 10.0);
+        let right_q = Range::circle(Point::new(75.0, 75.0), 10.0);
+        assert_eq!(candidate_silos(&fed, &left_q), vec![0]);
+        assert_eq!(candidate_silos(&fed, &right_q), vec![1]);
+        fed.set_silo_failed(0, true);
+        assert!(candidate_silos(&fed, &left_q).is_empty());
+        fed.set_silo_failed(0, false);
+    }
+
+    #[test]
+    fn grid_only_estimate_is_close_on_uniform_blocks() {
+        let fed = federation();
+        let q = Range::rect(Point::new(0.0, 0.0), Point::new(50.0, 50.0));
+        let est = grid_only_estimate(&fed, &q);
+        // The whole left block: ~500 objects (modulo the block's own edge).
+        assert!((est.count - 500.0).abs() < 50.0, "got {}", est.count);
+    }
+
+    #[test]
+    fn ratio_scale_components_and_fallback() {
+        let s0 = Aggregate {
+            count: 20.0,
+            sum: 40.0,
+            sum_sqr: 100.0,
+        };
+        let res = Aggregate {
+            count: 5.0,
+            sum: 10.0,
+            sum_sqr: 0.0,
+        };
+        let sk = Aggregate {
+            count: 10.0,
+            sum: 20.0,
+            sum_sqr: 0.0, // degenerate component
+        };
+        let fb = Aggregate {
+            count: 999.0,
+            sum: 999.0,
+            sum_sqr: 77.0,
+        };
+        let out = ratio_scale(&s0, &res, &sk, &fb);
+        assert_eq!(out.count, 10.0); // 20 * 5/10
+        assert_eq!(out.sum, 20.0); // 40 * 10/20
+        assert_eq!(out.sum_sqr, 77.0); // fallback
+    }
+}

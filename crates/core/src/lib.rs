@@ -1,0 +1,43 @@
+//! FRA query algorithms: the paper's contribution, end to end.
+//!
+//! Six algorithms over a [`fedra_federation::Federation`], all behind the
+//! [`FraAlgorithm`] trait:
+//!
+//! | Algorithm | Paper | Comm / query | Accuracy |
+//! |---|---|---|---|
+//! | [`Exact`] | Sec. 8.1 baseline | m rounds | exact |
+//! | [`Opta`] | Sec. 8.1 baseline | m rounds | worst of the six |
+//! | [`IidEst`] | Alg. 2 | 1 round, O(1) bytes | Theorem 1 |
+//! | [`IidEstLsr`] | Alg. 2 + Alg. 6 | 1 round, O(1) bytes | Theorem 2 |
+//! | [`NonIidEst`] | Alg. 3 | 1 round, O(√|g₀|) bytes | Theorem 3 |
+//! | [`NonIidEstLsr`] | Alg. 3 + Alg. 6 | 1 round, O(√|g₀|) bytes | Theorem 4 |
+//!
+//! [`framework::QueryEngine`] is the Alg. 4 batch executor (parallel
+//! multi-query processing), and [`theory`] exposes the Sec. 6 guarantees
+//! as computable bounds.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+mod algorithm;
+mod cache;
+mod exact;
+pub mod framework;
+pub mod helpers;
+mod multi;
+mod opta;
+mod planner;
+mod query;
+mod sampling;
+pub mod sql;
+pub mod theory;
+
+pub use algorithm::{AccuracyParams, FraAlgorithm};
+pub use cache::{CacheConfig, CacheStats, CachedAlgorithm};
+pub use exact::{Exact, ExactSequential};
+pub use framework::{BatchResult, QueryEngine};
+pub use multi::MultiSiloEst;
+pub use opta::Opta;
+pub use planner::{AdaptivePlanner, PlanDecision, PlannerPolicy};
+pub use query::{FraError, FraQuery, QueryResult};
+pub use sampling::{IidEst, IidEstLsr, NonIidEst, NonIidEstLsr};

@@ -1,0 +1,214 @@
+//! FRA queries and their results.
+
+use serde::{Deserialize, Serialize};
+
+use fedra_federation::SiloId;
+use fedra_geo::{Point, Range};
+use fedra_index::{AggFunc, Aggregate};
+
+/// A Federated Range Aggregation query (Definition 2): a range `R` plus an
+/// aggregation function `F`.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct FraQuery {
+    /// The spatial range (circular or rectangular).
+    pub range: Range,
+    /// The aggregation function.
+    pub func: AggFunc,
+}
+
+impl FraQuery {
+    /// Creates a query over an arbitrary range.
+    pub fn new(range: Range, func: AggFunc) -> Self {
+        Self { range, func }
+    }
+
+    /// A circular query: "aggregate within `radius` of `center`".
+    pub fn circle(center: Point, radius: f64, func: AggFunc) -> Self {
+        Self::new(Range::circle(center, radius), func)
+    }
+
+    /// A rectangular query.
+    pub fn rect(a: Point, b: Point, func: AggFunc) -> Self {
+        Self::new(Range::rect(a, b), func)
+    }
+}
+
+impl std::fmt::Display for FraQuery {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "{}({})", self.func, self.range)
+    }
+}
+
+/// The answer to an FRA query, with execution metadata.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct QueryResult {
+    /// The (possibly approximate) value of `F` over the range.
+    pub value: f64,
+    /// The full `(count, sum, sum_sqr)` triple the value was derived from.
+    /// AVG/STDEV queries get all three in one round, per the Sec. 7
+    /// extension.
+    pub aggregate: Aggregate,
+    /// The silo that served the partial answer (`None` for algorithms
+    /// that fan out to every silo or answer purely from provider state).
+    pub sampled_silo: Option<SiloId>,
+    /// The LSR level used for the local query (`None` without LSR).
+    pub lsr_level: Option<usize>,
+    /// Request/response rounds this query consumed.
+    pub rounds: u64,
+}
+
+impl QueryResult {
+    /// Builds a result from an aggregate triple for the requested function.
+    pub fn from_aggregate(aggregate: Aggregate, func: AggFunc) -> Self {
+        Self {
+            value: aggregate.value(func),
+            aggregate,
+            sampled_silo: None,
+            lsr_level: None,
+            rounds: 0,
+        }
+    }
+
+    /// Attaches the sampled silo.
+    pub fn with_silo(mut self, silo: SiloId) -> Self {
+        self.sampled_silo = Some(silo);
+        self
+    }
+
+    /// Attaches the LSR level.
+    pub fn with_level(mut self, level: usize) -> Self {
+        self.lsr_level = Some(level);
+        self
+    }
+
+    /// Attaches the round count.
+    pub fn with_rounds(mut self, rounds: u64) -> Self {
+        self.rounds = rounds;
+        self
+    }
+
+    /// Relative error against an exact reference value (the paper's RE,
+    /// Eq. 2). Defined as 0 when both are zero and 1 when only the
+    /// reference is zero.
+    pub fn relative_error(&self, exact: f64) -> f64 {
+        if exact == 0.0 {
+            if self.value == 0.0 {
+                0.0
+            } else {
+                1.0
+            }
+        } else {
+            (self.value - exact).abs() / exact.abs()
+        }
+    }
+}
+
+/// Errors from FRA query execution.
+#[derive(Debug, Clone, PartialEq)]
+pub enum FraError {
+    /// Every candidate silo refused or was unreachable.
+    AllSilosUnavailable {
+        /// The last underlying transport error, if any.
+        last: Option<fedra_federation::TransportError>,
+    },
+    /// A fan-out algorithm (EXACT/OPTA) lost a required silo.
+    SiloFailed(fedra_federation::TransportError),
+    /// A silo answered with the wrong response shape.
+    ProtocolViolation {
+        /// Which silo.
+        silo: SiloId,
+        /// What was expected.
+        expected: &'static str,
+    },
+}
+
+impl std::fmt::Display for FraError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            FraError::AllSilosUnavailable { last } => match last {
+                Some(e) => write!(f, "no silo could serve the query (last error: {e})"),
+                None => write!(f, "no silo could serve the query"),
+            },
+            FraError::SiloFailed(e) => write!(f, "required silo failed: {e}"),
+            FraError::ProtocolViolation { silo, expected } => {
+                write!(f, "silo {silo} violated the protocol (expected {expected})")
+            }
+        }
+    }
+}
+
+impl std::error::Error for FraError {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn constructors() {
+        let q = FraQuery::circle(Point::new(4.0, 6.0), 3.0, AggFunc::Sum);
+        assert!(matches!(q.range, Range::Circle(_)));
+        assert_eq!(q.func, AggFunc::Sum);
+        let q = FraQuery::rect(Point::new(0.0, 0.0), Point::new(1.0, 1.0), AggFunc::Count);
+        assert!(matches!(q.range, Range::Rect(_)));
+        assert_eq!(q.to_string(), "COUNT([(0, 0) .. (1, 1)])");
+    }
+
+    #[test]
+    fn result_from_aggregate_derives_value() {
+        let agg = Aggregate {
+            count: 4.0,
+            sum: 10.0,
+            sum_sqr: 30.0,
+        };
+        assert_eq!(QueryResult::from_aggregate(agg, AggFunc::Count).value, 4.0);
+        assert_eq!(QueryResult::from_aggregate(agg, AggFunc::Sum).value, 10.0);
+        assert_eq!(QueryResult::from_aggregate(agg, AggFunc::Avg).value, 2.5);
+    }
+
+    #[test]
+    fn relative_error_edge_cases() {
+        let r = QueryResult::from_aggregate(Aggregate::ZERO, AggFunc::Count);
+        assert_eq!(r.relative_error(0.0), 0.0);
+        assert_eq!(r.relative_error(10.0), 1.0);
+        let r = QueryResult::from_aggregate(
+            Aggregate {
+                count: 11.0,
+                sum: 0.0,
+                sum_sqr: 0.0,
+            },
+            AggFunc::Count,
+        );
+        assert!((r.relative_error(10.0) - 0.1).abs() < 1e-12);
+        let r2 = QueryResult::from_aggregate(
+            Aggregate {
+                count: 5.0,
+                sum: 0.0,
+                sum_sqr: 0.0,
+            },
+            AggFunc::Count,
+        );
+        assert_eq!(r2.relative_error(0.0), 1.0);
+    }
+
+    #[test]
+    fn builder_metadata() {
+        let r = QueryResult::from_aggregate(Aggregate::ZERO, AggFunc::Count)
+            .with_silo(3)
+            .with_level(2)
+            .with_rounds(1);
+        assert_eq!(r.sampled_silo, Some(3));
+        assert_eq!(r.lsr_level, Some(2));
+        assert_eq!(r.rounds, 1);
+    }
+
+    #[test]
+    fn errors_display() {
+        let e = FraError::AllSilosUnavailable { last: None };
+        assert!(e.to_string().contains("no silo"));
+        let e = FraError::ProtocolViolation {
+            silo: 2,
+            expected: "Agg",
+        };
+        assert!(e.to_string().contains("silo 2"));
+    }
+}

@@ -1,0 +1,382 @@
+//! A minimal SQL-style frontend for FRA queries.
+//!
+//! The paper's line of work culminated in Hu-Fu, a federated system that
+//! exposes spatial aggregation through SQL. `fedra` keeps a deliberately
+//! tiny dialect — one statement shape, no joins, no projections — so that
+//! dashboards and CLIs can accept human-writable strings:
+//!
+//! ```sql
+//! SELECT COUNT(*)      FROM fleet WHERE WITHIN(4.0, 6.0, 3.0)
+//! SELECT SUM(measure)  FROM fleet WHERE WITHIN(4.0, 6.0, 3.0)
+//! SELECT AVG(measure)  FROM fleet WHERE INSIDE(0.0, 0.0, 10.0, 10.0)
+//! SELECT STDEV(measure) FROM fleet WHERE WITHIN(4.0, 6.0, 3.0)
+//! ```
+//!
+//! * `WITHIN(x, y, r)` — circular range centred at `(x, y)` with radius
+//!   `r` (kilometres, planar coordinates);
+//! * `INSIDE(x0, y0, x1, y1)` — rectangular range;
+//! * functions: `COUNT(*)`, `SUM(measure)`, `SUM_SQR(measure)`,
+//!   `AVG(measure)`, `STDEV(measure)` (the argument inside SUM/AVG/…
+//!   must be `measure` — there is exactly one measure attribute,
+//!   Definition 1);
+//! * the table name is free-form and ignored (every query targets the
+//!   federation).
+//!
+//! Keywords are case-insensitive; whitespace is free. Errors carry the
+//! offending token, never a silent default.
+
+use fedra_geo::{Point, Range};
+use fedra_index::AggFunc;
+
+use crate::query::FraQuery;
+
+/// Errors from [`parse`].
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum SqlError {
+    /// The statement does not start with `SELECT`.
+    ExpectedSelect,
+    /// Unknown aggregation function.
+    UnknownFunction(String),
+    /// The function argument is not `*` / `measure` as required.
+    BadArgument {
+        /// The function involved.
+        function: String,
+        /// What was found.
+        argument: String,
+    },
+    /// Missing `FROM <table>`.
+    ExpectedFrom,
+    /// Missing `WHERE`.
+    ExpectedWhere,
+    /// Unknown range predicate.
+    UnknownPredicate(String),
+    /// A predicate had the wrong number of numeric arguments.
+    BadArity {
+        /// The predicate involved.
+        predicate: String,
+        /// Expected argument count.
+        expected: usize,
+        /// Found argument count.
+        found: usize,
+    },
+    /// A numeric argument failed to parse.
+    BadNumber(String),
+    /// Trailing tokens after the statement.
+    TrailingInput(String),
+}
+
+impl std::fmt::Display for SqlError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            SqlError::ExpectedSelect => write!(f, "expected SELECT"),
+            SqlError::UnknownFunction(t) => write!(
+                f,
+                "unknown aggregation function `{t}` (COUNT|SUM|SUM_SQR|AVG|STDEV)"
+            ),
+            SqlError::BadArgument { function, argument } => write!(
+                f,
+                "bad argument `{argument}` for {function} (use `*` for COUNT, `measure` otherwise)"
+            ),
+            SqlError::ExpectedFrom => write!(f, "expected FROM <table>"),
+            SqlError::ExpectedWhere => write!(f, "expected WHERE <predicate>"),
+            SqlError::UnknownPredicate(t) => {
+                write!(f, "unknown predicate `{t}` (WITHIN|INSIDE)")
+            }
+            SqlError::BadArity {
+                predicate,
+                expected,
+                found,
+            } => write!(f, "{predicate} takes {expected} numbers, found {found}"),
+            SqlError::BadNumber(t) => write!(f, "`{t}` is not a number"),
+            SqlError::TrailingInput(t) => write!(f, "unexpected trailing input `{t}`"),
+        }
+    }
+}
+
+impl std::error::Error for SqlError {}
+
+/// Tokenizer: splits on whitespace, commas and parentheses, keeping the
+/// latter as their own tokens.
+fn tokenize(input: &str) -> Vec<String> {
+    let mut tokens = Vec::new();
+    let mut current = String::new();
+    for ch in input.chars() {
+        match ch {
+            '(' | ')' | ',' => {
+                if !current.is_empty() {
+                    tokens.push(std::mem::take(&mut current));
+                }
+                tokens.push(ch.to_string());
+            }
+            c if c.is_whitespace() => {
+                if !current.is_empty() {
+                    tokens.push(std::mem::take(&mut current));
+                }
+            }
+            c => current.push(c),
+        }
+    }
+    if !current.is_empty() {
+        tokens.push(current);
+    }
+    tokens
+}
+
+struct Cursor {
+    tokens: Vec<String>,
+    pos: usize,
+}
+
+impl Cursor {
+    fn next(&mut self) -> Option<&str> {
+        let t = self.tokens.get(self.pos)?;
+        self.pos += 1;
+        Some(t)
+    }
+
+    fn expect(&mut self, what: &str) -> bool {
+        match self.tokens.get(self.pos) {
+            Some(t) if t.eq_ignore_ascii_case(what) => {
+                self.pos += 1;
+                true
+            }
+            _ => false,
+        }
+    }
+
+    fn numbers_in_parens(&mut self, predicate: &str, arity: usize) -> Result<Vec<f64>, SqlError> {
+        if !self.expect("(") {
+            return Err(SqlError::BadArity {
+                predicate: predicate.to_string(),
+                expected: arity,
+                found: 0,
+            });
+        }
+        let mut numbers = Vec::new();
+        loop {
+            match self.next() {
+                Some(")") => break,
+                Some(",") => continue,
+                Some(token) => {
+                    let value: f64 = token
+                        .parse()
+                        .map_err(|_| SqlError::BadNumber(token.to_string()))?;
+                    numbers.push(value);
+                }
+                None => break,
+            }
+        }
+        if numbers.len() != arity {
+            return Err(SqlError::BadArity {
+                predicate: predicate.to_string(),
+                expected: arity,
+                found: numbers.len(),
+            });
+        }
+        Ok(numbers)
+    }
+}
+
+/// Parses one statement into an [`FraQuery`].
+pub fn parse(input: &str) -> Result<FraQuery, SqlError> {
+    let mut cursor = Cursor {
+        tokens: tokenize(input),
+        pos: 0,
+    };
+    if !cursor.expect("SELECT") {
+        return Err(SqlError::ExpectedSelect);
+    }
+
+    // Aggregation function.
+    let func_token = cursor.next().ok_or(SqlError::ExpectedSelect)?.to_string();
+    let func = match func_token.to_ascii_uppercase().as_str() {
+        "COUNT" => AggFunc::Count,
+        "SUM" => AggFunc::Sum,
+        "SUM_SQR" => AggFunc::SumSqr,
+        "AVG" => AggFunc::Avg,
+        "STDEV" => AggFunc::Stdev,
+        _ => return Err(SqlError::UnknownFunction(func_token)),
+    };
+    // Argument: (*) for COUNT, (measure) otherwise; tolerate both.
+    if !cursor.expect("(") {
+        return Err(SqlError::BadArgument {
+            function: func_token,
+            argument: String::new(),
+        });
+    }
+    let argument = cursor
+        .next()
+        .ok_or_else(|| SqlError::BadArgument {
+            function: func_token.clone(),
+            argument: String::new(),
+        })?
+        .to_string();
+    let argument_ok = match func {
+        AggFunc::Count => argument == "*" || argument.eq_ignore_ascii_case("measure"),
+        _ => argument.eq_ignore_ascii_case("measure"),
+    };
+    if !argument_ok {
+        return Err(SqlError::BadArgument {
+            function: func_token,
+            argument,
+        });
+    }
+    if !cursor.expect(")") {
+        return Err(SqlError::BadArgument {
+            function: func_token,
+            argument: "unclosed (".to_string(),
+        });
+    }
+
+    // FROM <table> — table name ignored.
+    if !cursor.expect("FROM") {
+        return Err(SqlError::ExpectedFrom);
+    }
+    cursor.next().ok_or(SqlError::ExpectedFrom)?;
+
+    // WHERE <predicate>
+    if !cursor.expect("WHERE") {
+        return Err(SqlError::ExpectedWhere);
+    }
+    let predicate = cursor.next().ok_or(SqlError::ExpectedWhere)?.to_string();
+    let range = match predicate.to_ascii_uppercase().as_str() {
+        "WITHIN" => {
+            let n = cursor.numbers_in_parens("WITHIN", 3)?;
+            Range::circle(Point::new(n[0], n[1]), n[2])
+        }
+        "INSIDE" => {
+            let n = cursor.numbers_in_parens("INSIDE", 4)?;
+            Range::rect(Point::new(n[0], n[1]), Point::new(n[2], n[3]))
+        }
+        _ => return Err(SqlError::UnknownPredicate(predicate)),
+    };
+
+    if let Some(extra) = cursor.next() {
+        if extra != ";" {
+            return Err(SqlError::TrailingInput(extra.to_string()));
+        }
+    }
+
+    Ok(FraQuery::new(range, func))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use fedra_geo::Circle;
+
+    #[test]
+    fn count_within_parses() {
+        let q = parse("SELECT COUNT(*) FROM fleet WHERE WITHIN(4.0, 6.0, 3.0)").unwrap();
+        assert_eq!(q.func, AggFunc::Count);
+        assert_eq!(
+            q.range,
+            Range::Circle(Circle::new(Point::new(4.0, 6.0), 3.0))
+        );
+    }
+
+    #[test]
+    fn keywords_are_case_insensitive() {
+        let q = parse("select avg(measure) from bikes where within(0, -95, 2)").unwrap();
+        assert_eq!(q.func, AggFunc::Avg);
+    }
+
+    #[test]
+    fn inside_rect_parses() {
+        let q = parse("SELECT SUM(measure) FROM t WHERE INSIDE(0, 0, 10, 20)").unwrap();
+        assert_eq!(q.func, AggFunc::Sum);
+        assert_eq!(q.range, Range::rect(Point::new(0.0, 0.0), Point::new(10.0, 20.0)));
+    }
+
+    #[test]
+    fn every_function_parses() {
+        for (text, func) in [
+            ("COUNT(*)", AggFunc::Count),
+            ("SUM(measure)", AggFunc::Sum),
+            ("SUM_SQR(measure)", AggFunc::SumSqr),
+            ("AVG(measure)", AggFunc::Avg),
+            ("STDEV(measure)", AggFunc::Stdev),
+        ] {
+            let q = parse(&format!("SELECT {text} FROM f WHERE WITHIN(1, 2, 3)")).unwrap();
+            assert_eq!(q.func, func, "for {text}");
+        }
+    }
+
+    #[test]
+    fn negative_and_scientific_numbers() {
+        let q = parse("SELECT COUNT(*) FROM f WHERE WITHIN(-3.5, 1e2, 2.5)").unwrap();
+        match q.range {
+            Range::Circle(c) => {
+                assert_eq!(c.center, Point::new(-3.5, 100.0));
+                assert_eq!(c.radius, 2.5);
+            }
+            _ => panic!("expected circle"),
+        }
+    }
+
+    #[test]
+    fn trailing_semicolon_is_fine() {
+        assert!(parse("SELECT COUNT(*) FROM f WHERE WITHIN(1,2,3);").is_ok());
+    }
+
+    #[test]
+    fn errors_name_the_problem() {
+        assert_eq!(parse("INSERT INTO x"), Err(SqlError::ExpectedSelect));
+        assert!(matches!(
+            parse("SELECT MEDIAN(measure) FROM f WHERE WITHIN(1,2,3)"),
+            Err(SqlError::UnknownFunction(t)) if t == "MEDIAN"
+        ));
+        assert!(matches!(
+            parse("SELECT SUM(*) FROM f WHERE WITHIN(1,2,3)"),
+            Err(SqlError::BadArgument { .. })
+        ));
+        assert_eq!(
+            parse("SELECT COUNT(*) WHERE WITHIN(1,2,3)"),
+            Err(SqlError::ExpectedFrom)
+        );
+        assert_eq!(
+            parse("SELECT COUNT(*) FROM f"),
+            Err(SqlError::ExpectedWhere)
+        );
+        assert!(matches!(
+            parse("SELECT COUNT(*) FROM f WHERE NEAR(1,2,3)"),
+            Err(SqlError::UnknownPredicate(t)) if t == "NEAR"
+        ));
+        assert!(matches!(
+            parse("SELECT COUNT(*) FROM f WHERE WITHIN(1,2)"),
+            Err(SqlError::BadArity { expected: 3, found: 2, .. })
+        ));
+        assert!(matches!(
+            parse("SELECT COUNT(*) FROM f WHERE WITHIN(1,2,zebra)"),
+            Err(SqlError::BadNumber(t)) if t == "zebra"
+        ));
+        assert!(matches!(
+            parse("SELECT COUNT(*) FROM f WHERE WITHIN(1,2,3) GARBAGE"),
+            Err(SqlError::TrailingInput(t)) if t == "GARBAGE"
+        ));
+    }
+
+    #[test]
+    fn error_messages_render() {
+        for e in [
+            SqlError::ExpectedSelect,
+            SqlError::UnknownFunction("X".into()),
+            SqlError::BadArgument {
+                function: "SUM".into(),
+                argument: "*".into(),
+            },
+            SqlError::ExpectedFrom,
+            SqlError::ExpectedWhere,
+            SqlError::UnknownPredicate("NEAR".into()),
+            SqlError::BadArity {
+                predicate: "WITHIN".into(),
+                expected: 3,
+                found: 1,
+            },
+            SqlError::BadNumber("zebra".into()),
+            SqlError::TrailingInput("x".into()),
+        ] {
+            assert!(!e.to_string().is_empty());
+        }
+    }
+}

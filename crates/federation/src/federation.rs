@@ -1,0 +1,565 @@
+//! The federation: silo workers plus the provider's own state.
+//!
+//! [`FederationBuilder::build`] stands the whole system up the way the
+//! paper describes:
+//!
+//! 1. spawn one worker thread per partition ([`crate::transport`]);
+//! 2. run Alg. 1 — send `BuildGrid` to every silo over the byte-counted
+//!    channel, collect the per-silo grid indices `g_1 … g_m`, merge them
+//!    into `g₀`, and precompute [`PrefixGrid`]s for O(1)/O(√|g₀|)
+//!    provider-side sums;
+//! 3. cache each silo's index-memory report for the Figs. 3d–9d metric.
+//!
+//! Setup traffic and query traffic are tracked by separate counters, so
+//! experiments can report per-query communication cost net of the one-off
+//! index construction, exactly like the paper ("the time to construct the
+//! static indices excluded").
+
+use std::sync::Arc;
+use std::thread::JoinHandle;
+use std::time::Duration;
+
+use fedra_geo::{Rect, SpatialObject};
+use fedra_index::grid::{GridIndex, PrefixGrid};
+use fedra_index::histogram::MinSkewConfig;
+use fedra_index::rtree::RTreeConfig;
+
+use crate::protocol::{Request, Response, SiloMemoryReport};
+use crate::silo::{Silo, SiloConfig, SiloId};
+use crate::snapshot::ProviderSnapshot;
+use crate::transport::{spawn_silo, CommSnapshot, CommStats, SiloChannel, TransportError};
+
+/// Builder for a [`Federation`].
+#[derive(Debug, Clone)]
+pub struct FederationBuilder {
+    bounds: Rect,
+    grid_cell_len: f64,
+    rtree: RTreeConfig,
+    histogram: MinSkewConfig,
+    lsr_seed: u64,
+    latency: Option<Duration>,
+    message_overhead: u64,
+    warm_start: Option<ProviderSnapshot>,
+}
+
+impl FederationBuilder {
+    /// Starts a builder for a federation covering `bounds`.
+    pub fn new(bounds: Rect) -> Self {
+        Self {
+            bounds,
+            grid_cell_len: 1.0,
+            rtree: RTreeConfig::default(),
+            histogram: MinSkewConfig::default(),
+            lsr_seed: 0x000F_ED0A,
+            latency: None,
+            message_overhead: crate::transport::DEFAULT_MESSAGE_OVERHEAD,
+            warm_start: None,
+        }
+    }
+
+    /// Sets the grid cell length `L` (paper default 1 km, swept in Fig. 5).
+    pub fn grid_cell_len(mut self, cell_len: f64) -> Self {
+        self.grid_cell_len = cell_len;
+        self
+    }
+
+    /// Sets the R-tree fanout used by all silo indexes.
+    pub fn rtree_config(mut self, config: RTreeConfig) -> Self {
+        self.rtree = config;
+        self
+    }
+
+    /// Sets the OPTA histogram parameters.
+    pub fn histogram_config(mut self, config: MinSkewConfig) -> Self {
+        self.histogram = config;
+        self
+    }
+
+    /// Seeds the LSR-Forest level sampling (reproducible experiments).
+    pub fn lsr_seed(mut self, seed: u64) -> Self {
+        self.lsr_seed = seed;
+        self
+    }
+
+    /// Adds a fixed simulated network latency to every silo response.
+    pub fn simulated_latency(mut self, latency: Duration) -> Self {
+        self.latency = Some(latency);
+        self
+    }
+
+    /// Sets the per-message envelope overhead charged by the
+    /// communication-cost metric (default
+    /// [`crate::transport::DEFAULT_MESSAGE_OVERHEAD`]; 0 = pure payload).
+    pub fn message_overhead(mut self, bytes: u64) -> Self {
+        self.message_overhead = bytes;
+        self
+    }
+
+    /// Supplies a previous run's [`ProviderSnapshot`]: silos whose grid
+    /// checksum still matches skip the cell-vector transfer of Alg. 1
+    /// (the provider reuses the cached cells); mismatching silos fall
+    /// back to a full transfer transparently.
+    pub fn warm_start(mut self, snapshot: ProviderSnapshot) -> Self {
+        self.warm_start = Some(snapshot);
+        self
+    }
+
+    /// Builds silos from the partitions and runs Alg. 1.
+    ///
+    /// # Panics
+    /// Panics if `partitions` is empty — a federation needs at least one
+    /// silo.
+    pub fn build(self, partitions: Vec<Vec<SpatialObject>>) -> Federation {
+        assert!(!partitions.is_empty(), "a federation needs at least one silo");
+        let setup_stats = Arc::new(CommStats::with_overhead(self.message_overhead));
+        let query_stats = Arc::new(CommStats::with_overhead(self.message_overhead));
+
+        // Silo construction (index builds) happens in parallel: for the
+        // multi-million-object sweeps this dominates setup wall-clock.
+        let silo_config = |_: SiloId| SiloConfig {
+            rtree: self.rtree,
+            histogram: self.histogram,
+            bounds: self.bounds,
+            lsr_seed: self.lsr_seed,
+        };
+        let silos: Vec<Silo> = std::thread::scope(|scope| {
+            let handles: Vec<_> = partitions
+                .into_iter()
+                .enumerate()
+                .map(|(id, objects)| {
+                    let config = silo_config(id);
+                    scope.spawn(move || Silo::new(id, objects, config))
+                })
+                .collect();
+            handles.into_iter().map(|h| h.join().expect("silo build")).collect()
+        });
+
+        let mut channels = Vec::with_capacity(silos.len());
+        let mut workers = Vec::with_capacity(silos.len());
+        for silo in silos {
+            let (channel, handle) = spawn_silo(silo, Arc::clone(&setup_stats), self.latency);
+            channels.push(channel);
+            workers.push(handle);
+        }
+
+        // A warm-start snapshot is usable only when its geometry and silo
+        // count match this build.
+        let snapshot = self.warm_start.filter(|s| {
+            s.bounds == self.bounds
+                && s.cell_len == self.grid_cell_len
+                && s.num_silos() == channels.len()
+        });
+
+        // Alg. 1: collect g_1 … g_m, merge into g_0.
+        let mut silo_grids = Vec::with_capacity(channels.len());
+        let mut memory_reports = Vec::with_capacity(channels.len());
+        let mut warm_hits = 0usize;
+        for (k, channel) in channels.iter().enumerate() {
+            let mut grid = None;
+            if let Some(snap) = &snapshot {
+                // Ask for a checksum-only build; reuse the cached cells
+                // when the silo's data still matches.
+                let ack = channel
+                    .call(&Request::BuildGrid {
+                        bounds: self.bounds,
+                        cell_len: self.grid_cell_len,
+                        return_cells: false,
+                    })
+                    .expect("grid construction must succeed at setup");
+                if let Response::GridAck { total, outside } = ack {
+                    let cached = snap.grid(k);
+                    if cached.total() == total && cached.outside_count() == outside {
+                        grid = Some(cached);
+                        warm_hits += 1;
+                    }
+                }
+            }
+            let grid = match grid {
+                Some(g) => g,
+                None => channel
+                    .call(&Request::BuildGrid {
+                        bounds: self.bounds,
+                        cell_len: self.grid_cell_len,
+                        return_cells: true,
+                    })
+                    .expect("grid construction must succeed at setup")
+                    .into_grid_index()
+                    .expect("BuildGrid returns a grid payload"),
+            };
+            silo_grids.push(grid);
+            match channel.call(&Request::MemoryReport) {
+                Ok(Response::Memory(m)) => memory_reports.push(m),
+                other => panic!("unexpected memory report response: {other:?}"),
+            }
+        }
+        let merged = GridIndex::merge(silo_grids.iter()).expect("at least one silo");
+        let merged_prefix = PrefixGrid::build(&merged);
+        let silo_prefixes = silo_grids.iter().map(PrefixGrid::build).collect();
+
+        // From here on, traffic counts as query traffic.
+        let setup_snapshot = setup_stats.snapshot();
+        for channel in &mut channels {
+            *channel = channel.with_stats(Arc::clone(&query_stats));
+        }
+
+        Federation {
+            bounds: self.bounds,
+            channels,
+            workers,
+            silo_grids,
+            silo_prefixes,
+            merged,
+            merged_prefix,
+            memory_reports,
+            setup_snapshot,
+            query_stats,
+            warm_hits,
+        }
+    }
+}
+
+/// A running federation: worker threads + the provider's indices.
+///
+/// ```
+/// use fedra_federation::{FederationBuilder, LocalMode, Request, Response};
+/// use fedra_geo::{Point, Range, Rect, SpatialObject};
+///
+/// // Two silos, five objects each.
+/// let partitions: Vec<Vec<SpatialObject>> = (0..2)
+///     .map(|s| (0..5).map(|i| SpatialObject::at(i as f64, s as f64, 1.0)).collect())
+///     .collect();
+/// let federation = FederationBuilder::new(
+///     Rect::new(Point::new(0.0, 0.0), Point::new(10.0, 10.0)),
+/// )
+/// .grid_cell_len(2.0)
+/// .build(partitions);
+///
+/// // Alg. 1 ran at build time: the provider holds g₀.
+/// assert_eq!(federation.total_objects(), 10.0);
+///
+/// // Every interaction goes over the byte-counted channel.
+/// let answer = federation.call(0, &Request::Aggregate {
+///     range: Range::circle(Point::new(2.0, 0.0), 1.5),
+///     mode: LocalMode::Exact,
+/// }).unwrap();
+/// assert!(matches!(answer, Response::Agg(a) if a.count == 3.0));
+/// assert_eq!(federation.query_comm().rounds, 1);
+/// ```
+pub struct Federation {
+    bounds: Rect,
+    channels: Vec<SiloChannel>,
+    workers: Vec<JoinHandle<()>>,
+    silo_grids: Vec<GridIndex>,
+    silo_prefixes: Vec<PrefixGrid>,
+    merged: GridIndex,
+    merged_prefix: PrefixGrid,
+    memory_reports: Vec<SiloMemoryReport>,
+    setup_snapshot: CommSnapshot,
+    query_stats: Arc<CommStats>,
+    warm_hits: usize,
+}
+
+impl Federation {
+    /// Number of silos `m`.
+    pub fn num_silos(&self) -> usize {
+        self.channels.len()
+    }
+
+    /// Region the federation covers.
+    pub fn bounds(&self) -> Rect {
+        self.bounds
+    }
+
+    /// The provider's channel to silo `k`.
+    ///
+    /// # Panics
+    /// Panics on an out-of-range id.
+    pub fn channel(&self, silo: SiloId) -> &SiloChannel {
+        &self.channels[silo]
+    }
+
+    /// Calls silo `k` (convenience for `channel(k).call(..)`).
+    pub fn call(
+        &self,
+        silo: SiloId,
+        request: &Request,
+    ) -> Result<crate::protocol::Response, TransportError> {
+        self.channels[silo].call(request)
+    }
+
+    /// Per-silo grid index `g_k` held by the provider.
+    pub fn silo_grid(&self, silo: SiloId) -> &GridIndex {
+        &self.silo_grids[silo]
+    }
+
+    /// Per-silo cumulative array over `g_k`.
+    pub fn silo_prefix(&self, silo: SiloId) -> &PrefixGrid {
+        &self.silo_prefixes[silo]
+    }
+
+    /// The merged federation grid `g₀`.
+    pub fn merged_grid(&self) -> &GridIndex {
+        &self.merged
+    }
+
+    /// The cumulative array over `g₀`.
+    pub fn merged_prefix(&self) -> &PrefixGrid {
+        &self.merged_prefix
+    }
+
+    /// Total objects across the federation (from `g₀`; objects outside the
+    /// grid bounds are excluded).
+    pub fn total_objects(&self) -> f64 {
+        self.merged.total().count
+    }
+
+    /// Cached per-silo index memory reports.
+    pub fn silo_memory_reports(&self) -> &[SiloMemoryReport] {
+        &self.memory_reports
+    }
+
+    /// Provider-side index memory (per-silo grids + merged + prefixes).
+    pub fn provider_memory_bytes(&self) -> u64 {
+        use fedra_index::IndexMemory;
+        let grids: usize = self.silo_grids.iter().map(|g| g.memory_bytes()).sum();
+        let prefixes: usize = self.silo_prefixes.iter().map(|p| p.memory_bytes()).sum();
+        (grids + prefixes + self.merged.memory_bytes() + self.merged_prefix.memory_bytes()) as u64
+    }
+
+    /// Traffic consumed by Alg. 1 (one-off setup).
+    pub fn setup_comm(&self) -> CommSnapshot {
+        self.setup_snapshot
+    }
+
+    /// Number of silos whose grids were reused from a warm-start snapshot.
+    pub fn warm_start_hits(&self) -> usize {
+        self.warm_hits
+    }
+
+    /// Captures the provider's grid state for a future warm start
+    /// ([`FederationBuilder::warm_start`]).
+    pub fn snapshot(&self) -> ProviderSnapshot {
+        ProviderSnapshot {
+            bounds: self.bounds,
+            cell_len: self.merged.spec().cell_len(),
+            grids: self
+                .silo_grids
+                .iter()
+                .map(|g| (g.cells().to_vec(), g.outside_count()))
+                .collect(),
+        }
+    }
+
+    /// Cumulative query-time traffic.
+    pub fn query_comm(&self) -> CommSnapshot {
+        self.query_stats.snapshot()
+    }
+
+    /// Zeroes the query-time traffic counters (per-experiment accounting).
+    pub fn reset_query_comm(&self) {
+        self.query_stats.reset();
+    }
+
+    /// Injects or clears a silo failure.
+    pub fn set_silo_failed(&self, silo: SiloId, failed: bool) {
+        self.channels[silo].set_failed(failed);
+    }
+
+    /// Ids of silos currently marked failed.
+    pub fn failed_silos(&self) -> Vec<SiloId> {
+        self.channels
+            .iter()
+            .filter(|c| c.is_failed())
+            .map(|c| c.id())
+            .collect()
+    }
+
+    /// Requests served per silo (load-balance diagnostics; Alg. 4 predicts
+    /// ≈ |Q|/m each).
+    pub fn served_per_silo(&self) -> Vec<u64> {
+        self.channels.iter().map(|c| c.served()).collect()
+    }
+}
+
+impl Drop for Federation {
+    fn drop(&mut self) {
+        // Dropping the channels closes the workers' request streams.
+        self.channels.clear();
+        for worker in self.workers.drain(..) {
+            let _ = worker.join();
+        }
+    }
+}
+
+impl std::fmt::Debug for Federation {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("Federation")
+            .field("silos", &self.channels.len())
+            .field("bounds", &self.bounds)
+            .field("grid_cells", &self.merged.spec().num_cells())
+            .finish()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::protocol::{LocalMode, Response};
+    use fedra_geo::{Point, Range};
+
+    fn bounds() -> Rect {
+        Rect::new(Point::new(0.0, 0.0), Point::new(100.0, 100.0))
+    }
+
+    fn partitions(m: usize, per_silo: usize) -> Vec<Vec<SpatialObject>> {
+        let mut state = 99u64;
+        (0..m)
+            .map(|_| {
+                (0..per_silo)
+                    .map(|i| {
+                        state = state
+                            .wrapping_mul(6364136223846793005)
+                            .wrapping_add(1442695040888963407);
+                        let x = (state >> 11) as f64 / (1u64 << 53) as f64 * 100.0;
+                        state = state
+                            .wrapping_mul(6364136223846793005)
+                            .wrapping_add(1442695040888963407);
+                        let y = (state >> 11) as f64 / (1u64 << 53) as f64 * 100.0;
+                        SpatialObject::at(x, y, (i % 3) as f64 + 1.0)
+                    })
+                    .collect()
+            })
+            .collect()
+    }
+
+    fn small_federation(m: usize, per_silo: usize) -> Federation {
+        FederationBuilder::new(bounds())
+            .grid_cell_len(10.0)
+            .histogram_config(MinSkewConfig {
+                resolution: 16,
+                budget: 16,
+            })
+            .build(partitions(m, per_silo))
+    }
+
+    #[test]
+    fn build_merges_grids() {
+        let fed = small_federation(3, 500);
+        assert_eq!(fed.num_silos(), 3);
+        assert_eq!(fed.total_objects(), 1500.0);
+        // g0 == sum of g_k cell-wise.
+        let spec = *fed.merged_grid().spec();
+        for id in 0..spec.num_cells() as u32 {
+            let merged = fed.merged_grid().cell(id).count;
+            let parts: f64 = (0..3).map(|k| fed.silo_grid(k).cell(id).count).sum();
+            assert_eq!(merged, parts);
+        }
+    }
+
+    #[test]
+    fn setup_comm_counts_grid_transfer() {
+        let fed = small_federation(3, 100);
+        let setup = fed.setup_comm();
+        // 3 BuildGrid rounds + 3 MemoryReport rounds.
+        assert_eq!(setup.rounds, 6);
+        // Each grid response carries 100 cells × 24 bytes.
+        assert!(setup.bytes_down > 3 * 100 * 24);
+        // Query counters start clean.
+        assert_eq!(fed.query_comm().rounds, 0);
+    }
+
+    #[test]
+    fn query_comm_accumulates_and_resets() {
+        let fed = small_federation(2, 100);
+        let q = Range::circle(Point::new(50.0, 50.0), 10.0);
+        fed.call(
+            0,
+            &Request::Aggregate {
+                range: q,
+                mode: LocalMode::Exact,
+            },
+        )
+        .unwrap();
+        let snap = fed.query_comm();
+        assert_eq!(snap.rounds, 1);
+        assert!(snap.total_bytes() > 0);
+        fed.reset_query_comm();
+        assert_eq!(fed.query_comm().rounds, 0);
+    }
+
+    #[test]
+    fn exact_fanout_matches_bruteforce() {
+        let parts = partitions(4, 400);
+        let all: Vec<SpatialObject> = parts.iter().flatten().copied().collect();
+        let fed = FederationBuilder::new(bounds())
+            .grid_cell_len(5.0)
+            .histogram_config(MinSkewConfig {
+                resolution: 16,
+                budget: 16,
+            })
+            .build(parts);
+        let q = Range::circle(Point::new(50.0, 50.0), 20.0);
+        let mut total = 0.0;
+        for k in 0..fed.num_silos() {
+            match fed
+                .call(
+                    k,
+                    &Request::Aggregate {
+                        range: q,
+                        mode: LocalMode::Exact,
+                    },
+                )
+                .unwrap()
+            {
+                Response::Agg(a) => total += a.count,
+                other => panic!("unexpected {other:?}"),
+            }
+        }
+        let brute = all.iter().filter(|o| q.contains_point(&o.location)).count() as f64;
+        assert_eq!(total, brute);
+    }
+
+    #[test]
+    fn failure_injection_round_trips() {
+        let fed = small_federation(2, 50);
+        assert!(fed.failed_silos().is_empty());
+        fed.set_silo_failed(1, true);
+        assert_eq!(fed.failed_silos(), vec![1]);
+        let err = fed.call(1, &Request::Ping).expect_err("failed silo");
+        assert!(matches!(err, TransportError::Remote { silo: 1, .. }));
+        assert!(fed.call(0, &Request::Ping).is_ok());
+        fed.set_silo_failed(1, false);
+        assert!(fed.call(1, &Request::Ping).is_ok());
+    }
+
+    #[test]
+    fn memory_reports_are_cached() {
+        let fed = small_federation(3, 200);
+        let reports = fed.silo_memory_reports();
+        assert_eq!(reports.len(), 3);
+        for r in reports {
+            assert!(r.rtree > 0);
+            assert!(r.grid > 0);
+        }
+        assert!(fed.provider_memory_bytes() > 0);
+    }
+
+    #[test]
+    fn served_counters_start_at_setup_level() {
+        let fed = small_federation(2, 50);
+        // BuildGrid + MemoryReport each.
+        assert_eq!(fed.served_per_silo(), vec![2, 2]);
+    }
+
+    #[test]
+    #[should_panic(expected = "at least one silo")]
+    fn empty_federation_is_rejected() {
+        FederationBuilder::new(bounds()).build(vec![]);
+    }
+
+    #[test]
+    fn drop_joins_workers() {
+        let fed = small_federation(2, 10);
+        drop(fed); // must not hang or panic
+    }
+}

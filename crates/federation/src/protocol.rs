@@ -1,0 +1,468 @@
+//! The provider ↔ silo request/response protocol.
+//!
+//! One request kind per interaction the paper's algorithms need:
+//!
+//! | Request | Used by | Paper reference |
+//! |---|---|---|
+//! | [`Request::BuildGrid`] | setup | Alg. 1 lines 1–3 |
+//! | [`Request::Aggregate`] | EXACT, IID-est (±LSR) | Alg. 2 lines 2–3, Alg. 6 |
+//! | [`Request::CellContributions`] | NonIID-est (±LSR) | Alg. 3 line 3 + remark |
+//! | [`Request::HistogramEstimate`] | OPTA baseline | Sec. 8.1 |
+//! | [`Request::MemoryReport`] | metrics | Figs. 3d–9d |
+//! | [`Request::Ping`] | liveness / failure tests | — |
+//!
+//! Everything here is [`Wire`]-codable; the transport layer only ever sees
+//! byte buffers, which is what the communication-cost metric measures.
+
+use bytes::{Buf, BufMut, Bytes, BytesMut};
+
+use fedra_geo::{Range, Rect};
+use fedra_index::grid::{CellId, GridIndex, GridSpec};
+use fedra_index::Aggregate;
+
+use crate::wire::{Wire, WireError, WireResult};
+
+/// How a silo should answer a local range aggregation.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub enum LocalMode {
+    /// Exact answer from the silo's aggregate R-tree (O(log n)).
+    Exact,
+    /// Approximate answer from the LSR-Forest (Alg. 6, O(log 1/ε)).
+    Lsr {
+        /// Target approximation ratio ε.
+        epsilon: f64,
+        /// Failure probability bound δ.
+        delta: f64,
+        /// Grid-based rough estimate of the query result (COUNT), used by
+        /// the Lemma-1 level-selection rule.
+        sum0: f64,
+    },
+}
+
+/// A provider → silo request.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Request {
+    /// Build the silo's grid index over the shared spec. With
+    /// `return_cells = true` the full cell vector is returned
+    /// ([`Response::Grid`]); with `false` only a checksum comes back
+    /// ([`Response::GridAck`]) — the warm-start path of
+    /// [`crate::snapshot`].
+    BuildGrid {
+        /// Grid bounds (shared across the federation).
+        bounds: Rect,
+        /// Cell side length `L`.
+        cell_len: f64,
+        /// Whether to ship the cell vector back.
+        return_cells: bool,
+    },
+    /// Local range aggregation `Q(s_k, R, F)`; returns one [`Aggregate`].
+    Aggregate {
+        /// The query range.
+        range: Range,
+        /// Exact or LSR-approximate execution.
+        mode: LocalMode,
+    },
+    /// Per-grid-cell contributions `res_i^k` for the listed cells;
+    /// returns one [`Aggregate`] per requested cell, in order.
+    CellContributions {
+        /// The query range.
+        range: Range,
+        /// The (boundary) cells whose contributions are needed.
+        cells: Vec<CellId>,
+        /// Exact or LSR-approximate execution.
+        mode: LocalMode,
+    },
+    /// OPTA: estimate the range aggregate from the silo's local histogram.
+    HistogramEstimate {
+        /// The query range.
+        range: Range,
+    },
+    /// Report the memory footprint of the silo's indices.
+    MemoryReport,
+    /// Liveness probe.
+    Ping,
+}
+
+/// Per-index memory usage of one silo, in bytes.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct SiloMemoryReport {
+    /// Aggregate R-tree (T₀).
+    pub rtree: u64,
+    /// LSR-Forest levels T₁… (excludes the shared T₀).
+    pub lsr_extra: u64,
+    /// Silo-side grid index.
+    pub grid: u64,
+    /// OPTA histogram.
+    pub histogram: u64,
+}
+
+impl SiloMemoryReport {
+    /// Total bytes across all silo indices.
+    pub fn total(&self) -> u64 {
+        self.rtree + self.lsr_extra + self.grid + self.histogram
+    }
+}
+
+/// A silo → provider response.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Response {
+    /// The silo's grid index (spec echoed as bounds + cell length).
+    Grid {
+        /// Grid bounds the index was built over.
+        bounds: Rect,
+        /// Cell side length.
+        cell_len: f64,
+        /// Row-major per-cell aggregates.
+        cells: Vec<Aggregate>,
+        /// Objects that fell outside the grid.
+        outside: u64,
+    },
+    /// Checksum acknowledgement of a local grid build (warm start): the
+    /// grid's grand total plus the out-of-bounds count.
+    GridAck {
+        /// Grand total over all cells.
+        total: Aggregate,
+        /// Objects outside the grid bounds.
+        outside: u64,
+    },
+    /// A single aggregate answer.
+    Agg(Aggregate),
+    /// Per-cell aggregate answers (same order as the request's cells).
+    AggVec(Vec<Aggregate>),
+    /// Memory report.
+    Memory(SiloMemoryReport),
+    /// Liveness answer.
+    Pong,
+    /// The silo could not serve the request.
+    Error(String),
+}
+
+impl Response {
+    /// Reconstructs a [`GridIndex`] from a [`Response::Grid`] payload.
+    pub fn into_grid_index(self) -> Option<GridIndex> {
+        match self {
+            Response::Grid {
+                bounds,
+                cell_len,
+                cells,
+                outside,
+            } => Some(GridIndex::from_parts(
+                GridSpec::new(bounds, cell_len),
+                cells,
+                outside,
+            )),
+            _ => None,
+        }
+    }
+}
+
+impl Wire for LocalMode {
+    fn encode(&self, buf: &mut BytesMut) {
+        match self {
+            LocalMode::Exact => buf.put_u8(0),
+            LocalMode::Lsr {
+                epsilon,
+                delta,
+                sum0,
+            } => {
+                buf.put_u8(1);
+                epsilon.encode(buf);
+                delta.encode(buf);
+                sum0.encode(buf);
+            }
+        }
+    }
+    fn decode(buf: &mut Bytes) -> WireResult<Self> {
+        if buf.remaining() < 1 {
+            return Err(WireError::Truncated { context: "local mode" });
+        }
+        match buf.get_u8() {
+            0 => Ok(LocalMode::Exact),
+            1 => Ok(LocalMode::Lsr {
+                epsilon: f64::decode(buf)?,
+                delta: f64::decode(buf)?,
+                sum0: f64::decode(buf)?,
+            }),
+            tag => Err(WireError::BadTag { context: "local mode", tag }),
+        }
+    }
+}
+
+impl Wire for Request {
+    fn encode(&self, buf: &mut BytesMut) {
+        match self {
+            Request::BuildGrid {
+                bounds,
+                cell_len,
+                return_cells,
+            } => {
+                buf.put_u8(0);
+                bounds.encode(buf);
+                cell_len.encode(buf);
+                return_cells.encode(buf);
+            }
+            Request::Aggregate { range, mode } => {
+                buf.put_u8(1);
+                range.encode(buf);
+                mode.encode(buf);
+            }
+            Request::CellContributions { range, cells, mode } => {
+                buf.put_u8(2);
+                range.encode(buf);
+                cells.encode(buf);
+                mode.encode(buf);
+            }
+            Request::HistogramEstimate { range } => {
+                buf.put_u8(3);
+                range.encode(buf);
+            }
+            Request::MemoryReport => buf.put_u8(4),
+            Request::Ping => buf.put_u8(5),
+        }
+    }
+    fn decode(buf: &mut Bytes) -> WireResult<Self> {
+        if buf.remaining() < 1 {
+            return Err(WireError::Truncated { context: "request tag" });
+        }
+        match buf.get_u8() {
+            0 => Ok(Request::BuildGrid {
+                bounds: Rect::decode(buf)?,
+                cell_len: f64::decode(buf)?,
+                return_cells: bool::decode(buf)?,
+            }),
+            1 => Ok(Request::Aggregate {
+                range: Range::decode(buf)?,
+                mode: LocalMode::decode(buf)?,
+            }),
+            2 => Ok(Request::CellContributions {
+                range: Range::decode(buf)?,
+                cells: Vec::<CellId>::decode(buf)?,
+                mode: LocalMode::decode(buf)?,
+            }),
+            3 => Ok(Request::HistogramEstimate {
+                range: Range::decode(buf)?,
+            }),
+            4 => Ok(Request::MemoryReport),
+            5 => Ok(Request::Ping),
+            tag => Err(WireError::BadTag { context: "request", tag }),
+        }
+    }
+}
+
+impl Wire for SiloMemoryReport {
+    fn encode(&self, buf: &mut BytesMut) {
+        self.rtree.encode(buf);
+        self.lsr_extra.encode(buf);
+        self.grid.encode(buf);
+        self.histogram.encode(buf);
+    }
+    fn decode(buf: &mut Bytes) -> WireResult<Self> {
+        Ok(SiloMemoryReport {
+            rtree: u64::decode(buf)?,
+            lsr_extra: u64::decode(buf)?,
+            grid: u64::decode(buf)?,
+            histogram: u64::decode(buf)?,
+        })
+    }
+}
+
+impl Wire for Response {
+    fn encode(&self, buf: &mut BytesMut) {
+        match self {
+            Response::Grid {
+                bounds,
+                cell_len,
+                cells,
+                outside,
+            } => {
+                buf.put_u8(0);
+                bounds.encode(buf);
+                cell_len.encode(buf);
+                cells.encode(buf);
+                outside.encode(buf);
+            }
+            Response::GridAck { total, outside } => {
+                buf.put_u8(6);
+                total.encode(buf);
+                outside.encode(buf);
+            }
+            Response::Agg(a) => {
+                buf.put_u8(1);
+                a.encode(buf);
+            }
+            Response::AggVec(v) => {
+                buf.put_u8(2);
+                v.encode(buf);
+            }
+            Response::Memory(m) => {
+                buf.put_u8(3);
+                m.encode(buf);
+            }
+            Response::Pong => buf.put_u8(4),
+            Response::Error(msg) => {
+                buf.put_u8(5);
+                msg.encode(buf);
+            }
+        }
+    }
+    fn decode(buf: &mut Bytes) -> WireResult<Self> {
+        if buf.remaining() < 1 {
+            return Err(WireError::Truncated { context: "response tag" });
+        }
+        match buf.get_u8() {
+            0 => Ok(Response::Grid {
+                bounds: Rect::decode(buf)?,
+                cell_len: f64::decode(buf)?,
+                cells: Vec::<Aggregate>::decode(buf)?,
+                outside: u64::decode(buf)?,
+            }),
+            1 => Ok(Response::Agg(Aggregate::decode(buf)?)),
+            2 => Ok(Response::AggVec(Vec::<Aggregate>::decode(buf)?)),
+            3 => Ok(Response::Memory(SiloMemoryReport::decode(buf)?)),
+            4 => Ok(Response::Pong),
+            5 => Ok(Response::Error(String::decode(buf)?)),
+            6 => Ok(Response::GridAck {
+                total: Aggregate::decode(buf)?,
+                outside: u64::decode(buf)?,
+            }),
+            tag => Err(WireError::BadTag { context: "response", tag }),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use fedra_geo::Point;
+
+    fn round_trip<T: Wire + PartialEq + std::fmt::Debug>(value: T) {
+        let bytes = value.to_bytes();
+        assert_eq!(T::from_bytes(bytes).expect("decode"), value);
+    }
+
+    #[test]
+    fn requests_round_trip() {
+        round_trip(Request::BuildGrid {
+            bounds: Rect::new(Point::new(0.0, 0.0), Point::new(10.0, 10.0)),
+            cell_len: 2.5,
+            return_cells: true,
+        });
+        round_trip(Request::BuildGrid {
+            bounds: Rect::new(Point::new(0.0, 0.0), Point::new(10.0, 10.0)),
+            cell_len: 2.5,
+            return_cells: false,
+        });
+        round_trip(Request::Aggregate {
+            range: Range::circle(Point::new(4.0, 6.0), 3.0),
+            mode: LocalMode::Exact,
+        });
+        round_trip(Request::Aggregate {
+            range: Range::rect(Point::new(0.0, 0.0), Point::new(1.0, 1.0)),
+            mode: LocalMode::Lsr {
+                epsilon: 0.1,
+                delta: 0.01,
+                sum0: 1234.0,
+            },
+        });
+        round_trip(Request::CellContributions {
+            range: Range::circle(Point::new(4.0, 6.0), 3.0),
+            cells: vec![1, 5, 9],
+            mode: LocalMode::Exact,
+        });
+        round_trip(Request::HistogramEstimate {
+            range: Range::circle(Point::new(4.0, 6.0), 3.0),
+        });
+        round_trip(Request::MemoryReport);
+        round_trip(Request::Ping);
+    }
+
+    #[test]
+    fn responses_round_trip() {
+        round_trip(Response::Grid {
+            bounds: Rect::new(Point::new(0.0, 0.0), Point::new(10.0, 10.0)),
+            cell_len: 2.5,
+            cells: vec![Aggregate::ZERO; 16],
+            outside: 3,
+        });
+        round_trip(Response::Agg(Aggregate {
+            count: 4.0,
+            sum: 4.0,
+            sum_sqr: 4.0,
+        }));
+        round_trip(Response::AggVec(vec![Aggregate::ZERO, Aggregate {
+            count: 1.0,
+            sum: 7.0,
+            sum_sqr: 49.0,
+        }]));
+        round_trip(Response::Memory(SiloMemoryReport {
+            rtree: 100,
+            lsr_extra: 90,
+            grid: 10,
+            histogram: 5,
+        }));
+        round_trip(Response::Pong);
+        round_trip(Response::Error("silo unavailable".to_string()));
+        round_trip(Response::GridAck {
+            total: Aggregate {
+                count: 5.0,
+                sum: 9.0,
+                sum_sqr: 21.0,
+            },
+            outside: 1,
+        });
+    }
+
+    #[test]
+    fn grid_response_reconstructs_index() {
+        let bounds = Rect::new(Point::new(0.0, 0.0), Point::new(10.0, 10.0));
+        let spec = GridSpec::new(bounds, 2.5);
+        let mut cells = vec![Aggregate::ZERO; spec.num_cells()];
+        cells[0] = Aggregate {
+            count: 1.0,
+            sum: 7.0,
+            sum_sqr: 49.0,
+        };
+        let resp = Response::Grid {
+            bounds,
+            cell_len: 2.5,
+            cells: cells.clone(),
+            outside: 0,
+        };
+        let g = resp.into_grid_index().expect("grid payload");
+        assert_eq!(g.cell(0).sum, 7.0);
+        assert_eq!(g.total().count, 1.0);
+        assert!(Response::Pong.into_grid_index().is_none());
+    }
+
+    #[test]
+    fn memory_report_totals() {
+        let m = SiloMemoryReport {
+            rtree: 1,
+            lsr_extra: 2,
+            grid: 3,
+            histogram: 4,
+        };
+        assert_eq!(m.total(), 10);
+    }
+
+    #[test]
+    fn request_sizes_reflect_payload() {
+        // A NonIID cell-contribution request grows with the boundary cell
+        // count — the O(√|g₀|) communication term comes from here.
+        let small = Request::CellContributions {
+            range: Range::circle(Point::new(0.0, 0.0), 1.0),
+            cells: vec![1],
+            mode: LocalMode::Exact,
+        }
+        .to_bytes()
+        .len();
+        let large = Request::CellContributions {
+            range: Range::circle(Point::new(0.0, 0.0), 1.0),
+            cells: (0..100).collect(),
+            mode: LocalMode::Exact,
+        }
+        .to_bytes()
+        .len();
+        assert_eq!(large - small, 99 * 4);
+    }
+}

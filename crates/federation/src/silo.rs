@@ -1,0 +1,438 @@
+//! A data silo: one autonomous member of the federation.
+//!
+//! Each silo owns its horizontal partition `P_{s_i}` and serves the
+//! protocol of [`crate::protocol`] from behind a channel — the provider
+//! can only interact through the query interface, never touch the rows
+//! (the federation constraint of Sec. 2). A silo builds, at construction:
+//!
+//! * an aggregate R-tree over its objects (exact local queries, EXACT
+//!   baseline, and level `T_0` of the forest);
+//! * an LSR-Forest (Alg. 5) for O(log 1/ε) approximate local queries;
+//! * a MinSkew histogram for the OPTA baseline;
+//!
+//! and, on the provider's `BuildGrid` request (Alg. 1), a grid index over
+//! the shared spec which it returns and retains (it needs the spec to map
+//! cell ids to rectangles for `CellContributions`).
+
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+use std::sync::Arc;
+
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+use fedra_geo::{Range, Rect, SpatialObject};
+use fedra_index::grid::{CellId, GridIndex, GridSpec};
+use fedra_index::histogram::{MinSkewConfig, MinSkewHistogram};
+use fedra_index::lsr::LsrForest;
+use fedra_index::rtree::{RTree, RTreeConfig};
+use fedra_index::{Aggregate, IndexMemory};
+
+use crate::protocol::{LocalMode, Request, Response, SiloMemoryReport};
+
+/// Identifier of a silo within its federation: `0 .. m`.
+pub type SiloId = usize;
+
+/// Construction parameters for a silo.
+#[derive(Debug, Clone, Copy)]
+pub struct SiloConfig {
+    /// R-tree fanout for the exact index and every LSR level.
+    pub rtree: RTreeConfig,
+    /// MinSkew histogram parameters (OPTA substrate).
+    pub histogram: MinSkewConfig,
+    /// Region the histogram covers (normally the federation bounds).
+    pub bounds: Rect,
+    /// Seed for the LSR level sampling (kept per-silo for reproducibility).
+    pub lsr_seed: u64,
+}
+
+/// The silo's in-memory state and request handler.
+///
+/// `Silo` itself is transport-agnostic; [`crate::transport`] wraps it in a
+/// worker thread. Handling is `&self` — all indexes are read-only after
+/// construction except the grid, which is set once by `BuildGrid` (guarded
+/// by a `parking_lot::RwLock`).
+pub struct Silo {
+    id: SiloId,
+    num_objects: usize,
+    rtree: RTree,
+    lsr: LsrForest,
+    histogram: MinSkewHistogram,
+    grid: parking_lot::RwLock<Option<GridIndex>>,
+    /// Failure injection: when set, every request is answered with
+    /// `Response::Error`.
+    failed: Arc<AtomicBool>,
+    /// Number of requests served (diagnostics, load-balance tests).
+    served: Arc<AtomicU64>,
+}
+
+impl Silo {
+    /// Builds a silo over its partition. O(n log n).
+    pub fn new(id: SiloId, objects: Vec<SpatialObject>, config: SiloConfig) -> Self {
+        let mut rng = StdRng::seed_from_u64(config.lsr_seed ^ (id as u64).wrapping_mul(0x9E37_79B9_7F4A_7C15));
+        let lsr = LsrForest::build(&objects, config.rtree, &mut rng);
+        let histogram = MinSkewHistogram::build(config.bounds, config.histogram, &objects);
+        let num_objects = objects.len();
+        let rtree = RTree::bulk_load(objects, config.rtree);
+        Self {
+            id,
+            num_objects,
+            rtree,
+            lsr,
+            histogram,
+            grid: parking_lot::RwLock::new(None),
+            failed: Arc::new(AtomicBool::new(false)),
+            served: Arc::new(AtomicU64::new(0)),
+        }
+    }
+
+    /// This silo's id.
+    pub fn id(&self) -> SiloId {
+        self.id
+    }
+
+    /// Number of objects in the partition (`n_{s_i}`).
+    pub fn len(&self) -> usize {
+        self.num_objects
+    }
+
+    /// Whether the partition is empty.
+    pub fn is_empty(&self) -> bool {
+        self.num_objects == 0
+    }
+
+    /// Shared failure flag (used by the transport for failure injection).
+    pub fn failure_flag(&self) -> Arc<AtomicBool> {
+        Arc::clone(&self.failed)
+    }
+
+    /// Shared served-request counter.
+    pub fn served_counter(&self) -> Arc<AtomicU64> {
+        Arc::clone(&self.served)
+    }
+
+    /// Serves one request (Alg. 1 line 2, Alg. 2 line 3, Alg. 3 line 3,
+    /// OPTA, metrics).
+    pub fn handle(&self, request: Request) -> Response {
+        self.served.fetch_add(1, Ordering::Relaxed);
+        if self.failed.load(Ordering::Acquire) {
+            return Response::Error(format!("silo {} unavailable", self.id));
+        }
+        match request {
+            Request::BuildGrid {
+                bounds,
+                cell_len,
+                return_cells,
+            } => self.handle_build_grid(bounds, cell_len, return_cells),
+            Request::Aggregate { range, mode } => Response::Agg(self.local_aggregate(&range, mode)),
+            Request::CellContributions { range, cells, mode } => {
+                self.handle_cell_contributions(&range, &cells, mode)
+            }
+            Request::HistogramEstimate { range } => Response::Agg(self.histogram.estimate(&range)),
+            Request::MemoryReport => Response::Memory(self.memory_report()),
+            Request::Ping => Response::Pong,
+        }
+    }
+
+    fn handle_build_grid(&self, bounds: Rect, cell_len: f64, return_cells: bool) -> Response {
+        let spec = GridSpec::new(bounds, cell_len);
+        // Rebuild from the R-tree's objects: the silo owns no second copy.
+        let everything = Range::Rect(self.rtree.mbr().inflate(1.0));
+        let objects = self.rtree.query_objects(&everything);
+        let grid = GridIndex::build(spec, &objects);
+        let outside = grid.outside_count() + (self.num_objects - objects.len()) as u64;
+        let response = if return_cells {
+            Response::Grid {
+                bounds,
+                cell_len,
+                cells: grid.cells().to_vec(),
+                outside,
+            }
+        } else {
+            // Warm start: the provider already holds the cells; it only
+            // needs proof that this silo's data still matches.
+            Response::GridAck {
+                total: grid.total(),
+                outside,
+            }
+        };
+        *self.grid.write() = Some(grid);
+        response
+    }
+
+    /// The silo-local range aggregation `Q(s_k, R, F)` — exact on the
+    /// aR-tree or approximate via the LSR-Forest (Alg. 6).
+    fn local_aggregate(&self, range: &Range, mode: LocalMode) -> Aggregate {
+        match mode {
+            LocalMode::Exact => self.rtree.aggregate(range),
+            LocalMode::Lsr {
+                epsilon,
+                delta,
+                sum0,
+            } => self.lsr.query(range, epsilon, delta, sum0).0,
+        }
+    }
+
+    fn handle_cell_contributions(
+        &self,
+        range: &Range,
+        cells: &[CellId],
+        mode: LocalMode,
+    ) -> Response {
+        let guard = self.grid.read();
+        let Some(grid) = guard.as_ref() else {
+            return Response::Error(format!(
+                "silo {}: grid index not built yet (BuildGrid must precede CellContributions)",
+                self.id
+            ));
+        };
+        let spec = *grid.spec();
+        drop(guard);
+        // For the LSR mode, select the level once from the whole-query
+        // sum₀ so all per-cell estimates share one sample tree.
+        let level = match mode {
+            LocalMode::Exact => None,
+            LocalMode::Lsr {
+                epsilon,
+                delta,
+                sum0,
+            } => Some(self.lsr.select_level(epsilon, delta, sum0)),
+        };
+        let out: Vec<Aggregate> = cells
+            .iter()
+            .map(|&id| {
+                let rect = spec.cell_rect_of(id);
+                match level {
+                    None => self.rtree.aggregate_clipped(range, &rect),
+                    Some(l) => self.lsr.query_clipped_at_level(range, &rect, l),
+                }
+            })
+            .collect();
+        Response::AggVec(out)
+    }
+
+    /// Memory footprint of the silo's indices.
+    pub fn memory_report(&self) -> SiloMemoryReport {
+        let rtree = self.rtree.memory_bytes() as u64;
+        // The forest includes its own copy of T₀; report only the extra
+        // levels so "R-tree + LSR extra" adds up without double counting.
+        let lsr_total = self.lsr.memory_bytes() as u64;
+        let lsr_extra = lsr_total.saturating_sub(self.lsr.base().memory_bytes() as u64);
+        let grid = self
+            .grid
+            .read()
+            .as_ref()
+            .map(|g| g.memory_bytes() as u64)
+            .unwrap_or(0);
+        SiloMemoryReport {
+            rtree,
+            lsr_extra,
+            grid,
+            histogram: self.histogram.memory_bytes() as u64,
+        }
+    }
+
+    /// Exact local aggregate — a test/diagnostic shortcut that bypasses
+    /// the protocol (the provider must never call this).
+    pub fn oracle_aggregate(&self, range: &Range) -> Aggregate {
+        self.rtree.aggregate(range)
+    }
+}
+
+impl std::fmt::Debug for Silo {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("Silo")
+            .field("id", &self.id)
+            .field("objects", &self.num_objects)
+            .field("lsr_levels", &self.lsr.num_levels())
+            .field("failed", &self.failed.load(Ordering::Relaxed))
+            .finish()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use fedra_geo::Point;
+
+    fn bounds() -> Rect {
+        Rect::new(Point::new(0.0, 0.0), Point::new(100.0, 100.0))
+    }
+
+    fn config() -> SiloConfig {
+        SiloConfig {
+            rtree: RTreeConfig::default(),
+            histogram: MinSkewConfig {
+                resolution: 32,
+                budget: 32,
+            },
+            bounds: bounds(),
+            lsr_seed: 7,
+        }
+    }
+
+    fn objects(n: usize) -> Vec<SpatialObject> {
+        let mut state = 11u64;
+        (0..n)
+            .map(|i| {
+                state = state.wrapping_mul(6364136223846793005).wrapping_add(1442695040888963407);
+                let x = (state >> 11) as f64 / (1u64 << 53) as f64 * 100.0;
+                state = state.wrapping_mul(6364136223846793005).wrapping_add(1442695040888963407);
+                let y = (state >> 11) as f64 / (1u64 << 53) as f64 * 100.0;
+                SpatialObject::at(x, y, (i % 4) as f64 + 1.0)
+            })
+            .collect()
+    }
+
+    #[test]
+    fn ping_pongs() {
+        let s = Silo::new(0, objects(10), config());
+        assert_eq!(s.handle(Request::Ping), Response::Pong);
+        assert_eq!(s.served_counter().load(Ordering::Relaxed), 1);
+    }
+
+    #[test]
+    fn exact_aggregate_matches_oracle() {
+        let objs = objects(2000);
+        let s = Silo::new(1, objs.clone(), config());
+        let q = Range::circle(Point::new(50.0, 50.0), 20.0);
+        let resp = s.handle(Request::Aggregate {
+            range: q,
+            mode: LocalMode::Exact,
+        });
+        let brute: f64 = objs.iter().filter(|o| q.contains_point(&o.location)).count() as f64;
+        match resp {
+            Response::Agg(a) => assert_eq!(a.count, brute),
+            other => panic!("unexpected response {other:?}"),
+        }
+    }
+
+    #[test]
+    fn lsr_aggregate_is_close() {
+        let objs = objects(20_000);
+        let s = Silo::new(2, objs.clone(), config());
+        let q = Range::circle(Point::new(50.0, 50.0), 30.0);
+        let exact = s.oracle_aggregate(&q).count;
+        let resp = s.handle(Request::Aggregate {
+            range: q,
+            mode: LocalMode::Lsr {
+                epsilon: 0.1,
+                delta: 0.01,
+                sum0: exact,
+            },
+        });
+        match resp {
+            Response::Agg(a) => {
+                let rel = (a.count - exact).abs() / exact;
+                assert!(rel < 0.25, "LSR rel error {rel}");
+            }
+            other => panic!("unexpected response {other:?}"),
+        }
+    }
+
+    #[test]
+    fn build_grid_then_contributions() {
+        let objs = objects(1000);
+        let s = Silo::new(3, objs.clone(), config());
+        // Contributions before BuildGrid must fail loudly.
+        let q = Range::circle(Point::new(50.0, 50.0), 10.0);
+        let premature = s.handle(Request::CellContributions {
+            range: q,
+            cells: vec![0],
+            mode: LocalMode::Exact,
+        });
+        assert!(matches!(premature, Response::Error(_)));
+
+        let resp = s.handle(Request::BuildGrid {
+            bounds: bounds(),
+            cell_len: 10.0,
+            return_cells: true,
+        });
+        let grid = resp.into_grid_index().expect("grid");
+        assert_eq!(grid.total().count, 1000.0);
+
+        let cls = grid.spec().classify(&q);
+        let resp = s.handle(Request::CellContributions {
+            range: q,
+            cells: cls.boundary.clone(),
+            mode: LocalMode::Exact,
+        });
+        match resp {
+            Response::AggVec(v) => {
+                assert_eq!(v.len(), cls.boundary.len());
+                // Boundary + covered contributions must reassemble the
+                // exact local answer.
+                let boundary_total: f64 = v.iter().map(|a| a.count).sum();
+                let covered_total: f64 = cls
+                    .covered
+                    .iter()
+                    .map(|&id| {
+                        s.oracle_aggregate(&Range::Rect(grid.spec().cell_rect_of(id)))
+                            .count
+                    })
+                    .sum();
+                let exact = s.oracle_aggregate(&q).count;
+                assert!(
+                    (boundary_total + covered_total - exact).abs() <= 1e-9 + exact * 1e-12,
+                    "{boundary_total} + {covered_total} != {exact}"
+                );
+            }
+            other => panic!("unexpected response {other:?}"),
+        }
+    }
+
+    #[test]
+    fn histogram_estimate_is_reasonable() {
+        let objs = objects(20_000);
+        let s = Silo::new(4, objs.clone(), config());
+        let q = Range::circle(Point::new(50.0, 50.0), 25.0);
+        let exact: f64 = objs.iter().filter(|o| q.contains_point(&o.location)).count() as f64;
+        match s.handle(Request::HistogramEstimate { range: q }) {
+            Response::Agg(a) => {
+                let rel = (a.count - exact).abs() / exact;
+                assert!(rel < 0.2, "histogram rel error {rel}");
+            }
+            other => panic!("unexpected response {other:?}"),
+        }
+    }
+
+    #[test]
+    fn failure_flag_rejects_requests() {
+        let s = Silo::new(5, objects(10), config());
+        s.failure_flag().store(true, Ordering::Release);
+        assert!(matches!(s.handle(Request::Ping), Response::Error(_)));
+        s.failure_flag().store(false, Ordering::Release);
+        assert_eq!(s.handle(Request::Ping), Response::Pong);
+    }
+
+    #[test]
+    fn memory_report_is_consistent() {
+        let s = Silo::new(6, objects(5000), config());
+        let before = s.memory_report();
+        assert!(before.rtree > 0);
+        assert!(before.lsr_extra > 0);
+        assert!(before.histogram > 0);
+        assert_eq!(before.grid, 0); // not built yet
+        s.handle(Request::BuildGrid {
+            bounds: bounds(),
+            cell_len: 5.0,
+            return_cells: true,
+        });
+        let after = s.memory_report();
+        assert!(after.grid > 0);
+        assert!(after.total() > before.total());
+    }
+
+    #[test]
+    fn empty_silo_answers_zero() {
+        let s = Silo::new(7, vec![], config());
+        assert!(s.is_empty());
+        let q = Range::circle(Point::new(0.0, 0.0), 10.0);
+        match s.handle(Request::Aggregate {
+            range: q,
+            mode: LocalMode::Exact,
+        }) {
+            Response::Agg(a) => assert!(a.is_zero()),
+            other => panic!("unexpected response {other:?}"),
+        }
+    }
+}

@@ -1,0 +1,401 @@
+//! Binary wire format for provider ↔ silo messages.
+//!
+//! The paper's communication-cost metric counts what actually crosses the
+//! network between the service provider and the data silos. To measure it
+//! honestly, every message in `fedra` — even though silos run as threads in
+//! the same process — is serialized to a byte buffer with this codec and
+//! the buffer's length is what the metrics record. The format is a simple
+//! tagged little-endian layout: fixed-width scalars, `u32` length-prefixed
+//! sequences, one tag byte per enum variant.
+
+use bytes::{Buf, BufMut, Bytes, BytesMut};
+
+use fedra_geo::{Circle, Point, Range, Rect};
+use fedra_index::Aggregate;
+
+/// Errors raised while decoding a wire buffer.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum WireError {
+    /// The buffer ended before the value was complete.
+    Truncated {
+        /// What was being decoded.
+        context: &'static str,
+    },
+    /// An enum tag byte had no corresponding variant.
+    BadTag {
+        /// What was being decoded.
+        context: &'static str,
+        /// The offending tag.
+        tag: u8,
+    },
+    /// A length prefix was implausibly large for the remaining buffer.
+    BadLength {
+        /// What was being decoded.
+        context: &'static str,
+        /// The claimed element count.
+        len: usize,
+    },
+}
+
+impl std::fmt::Display for WireError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            WireError::Truncated { context } => write!(f, "truncated buffer while decoding {context}"),
+            WireError::BadTag { context, tag } => write!(f, "unknown tag {tag} while decoding {context}"),
+            WireError::BadLength { context, len } => {
+                write!(f, "implausible length {len} while decoding {context}")
+            }
+        }
+    }
+}
+
+impl std::error::Error for WireError {}
+
+/// Result alias for decode operations.
+pub type WireResult<T> = Result<T, WireError>;
+
+/// Types that can be written to / read from the wire.
+pub trait Wire: Sized {
+    /// Appends the encoding of `self` to `buf`.
+    fn encode(&self, buf: &mut BytesMut);
+    /// Decodes a value, advancing `buf` past it.
+    fn decode(buf: &mut Bytes) -> WireResult<Self>;
+
+    /// Convenience: encodes into a fresh buffer.
+    fn to_bytes(&self) -> Bytes {
+        let mut buf = BytesMut::new();
+        self.encode(&mut buf);
+        buf.freeze()
+    }
+
+    /// Convenience: decodes from a whole buffer, requiring full consumption.
+    fn from_bytes(mut bytes: Bytes) -> WireResult<Self> {
+        let v = Self::decode(&mut bytes)?;
+        if !bytes.is_empty() {
+            return Err(WireError::BadLength {
+                context: "trailing bytes",
+                len: bytes.len(),
+            });
+        }
+        Ok(v)
+    }
+}
+
+#[inline]
+fn need(buf: &Bytes, n: usize, context: &'static str) -> WireResult<()> {
+    if buf.remaining() < n {
+        Err(WireError::Truncated { context })
+    } else {
+        Ok(())
+    }
+}
+
+impl Wire for u8 {
+    fn encode(&self, buf: &mut BytesMut) {
+        buf.put_u8(*self);
+    }
+    fn decode(buf: &mut Bytes) -> WireResult<Self> {
+        need(buf, 1, "u8")?;
+        Ok(buf.get_u8())
+    }
+}
+
+impl Wire for u32 {
+    fn encode(&self, buf: &mut BytesMut) {
+        buf.put_u32_le(*self);
+    }
+    fn decode(buf: &mut Bytes) -> WireResult<Self> {
+        need(buf, 4, "u32")?;
+        Ok(buf.get_u32_le())
+    }
+}
+
+impl Wire for u64 {
+    fn encode(&self, buf: &mut BytesMut) {
+        buf.put_u64_le(*self);
+    }
+    fn decode(buf: &mut Bytes) -> WireResult<Self> {
+        need(buf, 8, "u64")?;
+        Ok(buf.get_u64_le())
+    }
+}
+
+impl Wire for usize {
+    fn encode(&self, buf: &mut BytesMut) {
+        buf.put_u64_le(*self as u64);
+    }
+    fn decode(buf: &mut Bytes) -> WireResult<Self> {
+        need(buf, 8, "usize")?;
+        Ok(buf.get_u64_le() as usize)
+    }
+}
+
+impl Wire for f64 {
+    fn encode(&self, buf: &mut BytesMut) {
+        buf.put_f64_le(*self);
+    }
+    fn decode(buf: &mut Bytes) -> WireResult<Self> {
+        need(buf, 8, "f64")?;
+        Ok(buf.get_f64_le())
+    }
+}
+
+impl Wire for bool {
+    fn encode(&self, buf: &mut BytesMut) {
+        buf.put_u8(*self as u8);
+    }
+    fn decode(buf: &mut Bytes) -> WireResult<Self> {
+        need(buf, 1, "bool")?;
+        match buf.get_u8() {
+            0 => Ok(false),
+            1 => Ok(true),
+            tag => Err(WireError::BadTag { context: "bool", tag }),
+        }
+    }
+}
+
+impl Wire for String {
+    fn encode(&self, buf: &mut BytesMut) {
+        (self.len() as u32).encode(buf);
+        buf.put_slice(self.as_bytes());
+    }
+    fn decode(buf: &mut Bytes) -> WireResult<Self> {
+        let len = u32::decode(buf)? as usize;
+        need(buf, len, "string body")?;
+        let raw = buf.split_to(len);
+        String::from_utf8(raw.to_vec()).map_err(|_| WireError::BadTag {
+            context: "string utf-8",
+            tag: 0,
+        })
+    }
+}
+
+impl<T: Wire> Wire for Vec<T> {
+    fn encode(&self, buf: &mut BytesMut) {
+        (self.len() as u32).encode(buf);
+        for item in self {
+            item.encode(buf);
+        }
+    }
+    fn decode(buf: &mut Bytes) -> WireResult<Self> {
+        let len = u32::decode(buf)? as usize;
+        // Each element takes at least one byte; reject absurd prefixes
+        // before allocating.
+        if len > buf.remaining() {
+            return Err(WireError::BadLength { context: "vec", len });
+        }
+        let mut out = Vec::with_capacity(len);
+        for _ in 0..len {
+            out.push(T::decode(buf)?);
+        }
+        Ok(out)
+    }
+}
+
+impl<T: Wire> Wire for Option<T> {
+    fn encode(&self, buf: &mut BytesMut) {
+        match self {
+            None => buf.put_u8(0),
+            Some(v) => {
+                buf.put_u8(1);
+                v.encode(buf);
+            }
+        }
+    }
+    fn decode(buf: &mut Bytes) -> WireResult<Self> {
+        need(buf, 1, "option tag")?;
+        match buf.get_u8() {
+            0 => Ok(None),
+            1 => Ok(Some(T::decode(buf)?)),
+            tag => Err(WireError::BadTag { context: "option", tag }),
+        }
+    }
+}
+
+impl Wire for Point {
+    fn encode(&self, buf: &mut BytesMut) {
+        self.x.encode(buf);
+        self.y.encode(buf);
+    }
+    fn decode(buf: &mut Bytes) -> WireResult<Self> {
+        Ok(Point::new(f64::decode(buf)?, f64::decode(buf)?))
+    }
+}
+
+impl Wire for Rect {
+    fn encode(&self, buf: &mut BytesMut) {
+        self.min.encode(buf);
+        self.max.encode(buf);
+    }
+    fn decode(buf: &mut Bytes) -> WireResult<Self> {
+        Ok(Rect::from_corners(Point::decode(buf)?, Point::decode(buf)?))
+    }
+}
+
+impl Wire for Circle {
+    fn encode(&self, buf: &mut BytesMut) {
+        self.center.encode(buf);
+        self.radius.encode(buf);
+    }
+    fn decode(buf: &mut Bytes) -> WireResult<Self> {
+        Ok(Circle::new(Point::decode(buf)?, f64::decode(buf)?))
+    }
+}
+
+impl Wire for Range {
+    fn encode(&self, buf: &mut BytesMut) {
+        match self {
+            Range::Circle(c) => {
+                buf.put_u8(0);
+                c.encode(buf);
+            }
+            Range::Rect(r) => {
+                buf.put_u8(1);
+                r.encode(buf);
+            }
+        }
+    }
+    fn decode(buf: &mut Bytes) -> WireResult<Self> {
+        need(buf, 1, "range tag")?;
+        match buf.get_u8() {
+            0 => Ok(Range::Circle(Circle::decode(buf)?)),
+            1 => Ok(Range::Rect(Rect::decode(buf)?)),
+            tag => Err(WireError::BadTag { context: "range", tag }),
+        }
+    }
+}
+
+impl Wire for Aggregate {
+    fn encode(&self, buf: &mut BytesMut) {
+        self.count.encode(buf);
+        self.sum.encode(buf);
+        self.sum_sqr.encode(buf);
+    }
+    fn decode(buf: &mut Bytes) -> WireResult<Self> {
+        Ok(Aggregate {
+            count: f64::decode(buf)?,
+            sum: f64::decode(buf)?,
+            sum_sqr: f64::decode(buf)?,
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn round_trip<T: Wire + PartialEq + std::fmt::Debug>(value: T) {
+        let bytes = value.to_bytes();
+        let back = T::from_bytes(bytes).expect("decode");
+        assert_eq!(back, value);
+    }
+
+    #[test]
+    fn scalars_round_trip() {
+        round_trip(0u8);
+        round_trip(255u8);
+        round_trip(123456u32);
+        round_trip(u64::MAX);
+        round_trip(1234.5678f64);
+        round_trip(f64::NEG_INFINITY);
+        round_trip(true);
+        round_trip(false);
+        round_trip(usize::MAX);
+    }
+
+    #[test]
+    fn strings_round_trip() {
+        round_trip(String::new());
+        round_trip("silo unavailable: retry".to_string());
+        round_trip("日本語 ünïcode".to_string());
+    }
+
+    #[test]
+    fn collections_round_trip() {
+        round_trip(Vec::<u32>::new());
+        round_trip(vec![1u32, 2, 3]);
+        round_trip(vec![Aggregate::ZERO; 4]);
+        round_trip(Option::<f64>::None);
+        round_trip(Some(2.5f64));
+    }
+
+    #[test]
+    fn geometry_round_trips() {
+        round_trip(Point::new(1.5, -2.5));
+        round_trip(Rect::new(Point::new(0.0, 0.0), Point::new(3.0, 4.0)));
+        round_trip(Circle::new(Point::new(4.0, 6.0), 3.0));
+        round_trip(Range::circle(Point::new(4.0, 6.0), 3.0));
+        round_trip(Range::rect(Point::new(0.0, 0.0), Point::new(1.0, 1.0)));
+    }
+
+    #[test]
+    fn aggregate_round_trips() {
+        round_trip(Aggregate {
+            count: 10.0,
+            sum: -3.5,
+            sum_sqr: 99.25,
+        });
+    }
+
+    #[test]
+    fn truncated_buffers_error() {
+        let bytes = Point::new(1.0, 2.0).to_bytes();
+        let short = bytes.slice(0..bytes.len() - 1);
+        assert!(matches!(
+            Point::from_bytes(short),
+            Err(WireError::Truncated { .. })
+        ));
+    }
+
+    #[test]
+    fn trailing_bytes_error() {
+        let mut buf = BytesMut::new();
+        1.0f64.encode(&mut buf);
+        2.0f64.encode(&mut buf);
+        buf.put_u8(0xFF);
+        assert!(matches!(
+            Point::from_bytes(buf.freeze()),
+            Err(WireError::BadLength { .. })
+        ));
+    }
+
+    #[test]
+    fn bad_enum_tags_error() {
+        let mut buf = BytesMut::new();
+        buf.put_u8(9);
+        assert!(matches!(
+            Range::from_bytes(buf.freeze()),
+            Err(WireError::BadTag { context: "range", tag: 9 })
+        ));
+    }
+
+    #[test]
+    fn absurd_vec_length_is_rejected_before_allocation() {
+        let mut buf = BytesMut::new();
+        buf.put_u32_le(u32::MAX);
+        assert!(matches!(
+            Vec::<f64>::from_bytes(buf.freeze()),
+            Err(WireError::BadLength { .. })
+        ));
+    }
+
+    #[test]
+    fn encoded_sizes_are_stable() {
+        // Sizes feed the communication-cost metric; pin them down.
+        assert_eq!(Point::new(0.0, 0.0).to_bytes().len(), 16);
+        assert_eq!(Rect::EMPTY.to_bytes().len(), 32);
+        assert_eq!(Range::circle(Point::new(0.0, 0.0), 1.0).to_bytes().len(), 25);
+        assert_eq!(Aggregate::ZERO.to_bytes().len(), 24);
+        assert_eq!(vec![1u32, 2, 3].to_bytes().len(), 4 + 12);
+    }
+
+    #[test]
+    fn error_messages_render() {
+        let e = WireError::Truncated { context: "u8" };
+        assert!(e.to_string().contains("truncated"));
+        let e = WireError::BadTag { context: "range", tag: 7 };
+        assert!(e.to_string().contains("unknown tag 7"));
+        let e = WireError::BadLength { context: "vec", len: 9 };
+        assert!(e.to_string().contains("length 9"));
+    }
+}

@@ -1,0 +1,224 @@
+//! Intersection areas between query ranges and rectangles.
+//!
+//! The OPTA histogram baseline and the Non-IID estimator's zero-data
+//! fallback both need the *fraction of a grid cell covered by the query
+//! range* under a uniform-within-cell assumption. For rectangular ranges
+//! the intersection area is exact and trivial; for circular ranges we
+//! evaluate the exact closed form by splitting the x-interval at the
+//! abscissae where the top/bottom boundary switches between the rectangle
+//! edge and the circle arc, then integrating each piece analytically.
+
+use crate::{Circle, Range, Rect};
+
+/// Area of the intersection of `range` and `rect`.
+pub fn intersection_area(range: &Range, rect: &Rect) -> f64 {
+    match range {
+        Range::Rect(r) => r.intersection(rect).area(),
+        Range::Circle(c) => circle_rect_intersection_area(c, rect),
+    }
+}
+
+/// Exact area of the intersection of a circle and an axis-aligned rectangle.
+///
+/// Runs in O(1): the integration domain is split at no more than seven
+/// breakpoints and each piece has a closed-form antiderivative
+/// (`∫√(r²−x²) dx = (x√(r²−x²) + r²·asin(x/r)) / 2`).
+pub fn circle_rect_intersection_area(circle: &Circle, rect: &Rect) -> f64 {
+    let r = circle.radius;
+    if rect.is_empty() || r == 0.0 || !circle.intersects_rect(rect) {
+        return 0.0;
+    }
+    if circle.contains_rect(rect) {
+        return rect.area();
+    }
+
+    // Translate so the circle sits at the origin; clip x to the disk.
+    let x0 = (rect.min.x - circle.center.x).max(-r);
+    let x1 = (rect.max.x - circle.center.x).min(r);
+    if x0 >= x1 {
+        return 0.0;
+    }
+    let y_lo = rect.min.y - circle.center.y;
+    let y_hi = rect.max.y - circle.center.y;
+
+    // Antiderivative of the half-chord h(x) = √(r² − x²).
+    let antideriv = |x: f64| -> f64 {
+        let c = (x / r).clamp(-1.0, 1.0);
+        0.5 * (x * (r * r - x * x).max(0.0).sqrt() + r * r * c.asin())
+    };
+    let half_chord = |x: f64| (r * r - x * x).max(0.0).sqrt();
+
+    // Breakpoints: interval ends, the apex (h is monotonic on each side of
+    // 0), and the abscissae where the arc crosses the horizontal edges.
+    let mut cuts = [x0, x1, 0.0, f64::NAN, f64::NAN, f64::NAN, f64::NAN];
+    let mut n_cuts = 3;
+    for &edge in &[y_hi, y_lo] {
+        if edge.abs() < r {
+            let x = (r * r - edge * edge).sqrt();
+            cuts[n_cuts] = x;
+            cuts[n_cuts + 1] = -x;
+            n_cuts += 2;
+        }
+    }
+    let cuts = &mut cuts[..n_cuts];
+    cuts.sort_by(|a, b| a.partial_cmp(b).expect("breakpoints are finite"));
+
+    let mut area = 0.0;
+    for w in cuts.windows(2) {
+        let (a, b) = (w[0].max(x0), w[1].min(x1));
+        if b <= a {
+            continue;
+        }
+        let mid = 0.5 * (a + b);
+        let h_mid = half_chord(mid);
+        // On (a, b) the active top/bottom boundary branch is fixed.
+        let top_flat = y_hi < h_mid;
+        let bot_flat = y_lo > -h_mid;
+        let width_mid = if top_flat { y_hi } else { h_mid } - if bot_flat { y_lo } else { -h_mid };
+        if width_mid <= 0.0 {
+            continue;
+        }
+        let arc = antideriv(b) - antideriv(a);
+        let top = if top_flat { y_hi * (b - a) } else { arc };
+        let bot = if bot_flat { y_lo * (b - a) } else { -arc };
+        area += top - bot;
+    }
+    area.clamp(0.0, rect.area().min(circle.area()))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::Point;
+
+    const PI: f64 = std::f64::consts::PI;
+
+    fn close(a: f64, b: f64, tol: f64) -> bool {
+        (a - b).abs() <= tol * b.abs().max(1.0)
+    }
+
+    #[test]
+    fn disjoint_shapes_have_zero_area() {
+        let c = Circle::new(Point::new(0.0, 0.0), 1.0);
+        let r = Rect::new(Point::new(5.0, 5.0), Point::new(6.0, 6.0));
+        assert_eq!(circle_rect_intersection_area(&c, &r), 0.0);
+    }
+
+    #[test]
+    fn contained_rect_returns_rect_area() {
+        let c = Circle::new(Point::new(0.0, 0.0), 10.0);
+        let r = Rect::new(Point::new(-1.0, -1.0), Point::new(1.0, 1.0));
+        assert_eq!(circle_rect_intersection_area(&c, &r), 4.0);
+    }
+
+    #[test]
+    fn rect_containing_circle_returns_disk_area() {
+        let c = Circle::new(Point::new(0.0, 0.0), 1.0);
+        let r = Rect::new(Point::new(-5.0, -5.0), Point::new(5.0, 5.0));
+        let a = circle_rect_intersection_area(&c, &r);
+        assert!(close(a, PI, 1e-12), "got {a}, want {PI}");
+    }
+
+    #[test]
+    fn half_disk() {
+        let c = Circle::new(Point::new(0.0, 0.0), 2.0);
+        let r = Rect::new(Point::new(0.0, -5.0), Point::new(5.0, 5.0));
+        let a = circle_rect_intersection_area(&c, &r);
+        assert!(close(a, 2.0 * PI, 1e-12), "got {a}");
+    }
+
+    #[test]
+    fn quarter_disk() {
+        let c = Circle::new(Point::new(0.0, 0.0), 1.0);
+        let r = Rect::new(Point::new(0.0, 0.0), Point::new(3.0, 3.0));
+        let a = circle_rect_intersection_area(&c, &r);
+        assert!(close(a, PI / 4.0, 1e-12), "got {a}");
+    }
+
+    #[test]
+    fn circular_segment_matches_closed_form() {
+        // Disk of radius 1 cut by the vertical line x = 0.5: the area right
+        // of the line is acos(d) − d·√(1−d²) for unit radius.
+        let c = Circle::new(Point::new(0.0, 0.0), 1.0);
+        let r = Rect::new(Point::new(0.5, -2.0), Point::new(2.0, 2.0));
+        let expected = (0.5f64).acos() - 0.5 * (1.0f64 - 0.25).sqrt();
+        let a = circle_rect_intersection_area(&c, &r);
+        assert!(close(a, expected, 1e-12), "got {a}, want {expected}");
+    }
+
+    #[test]
+    fn horizontal_segment_matches_closed_form() {
+        // Same segment, cut by the horizontal line y = 0.5.
+        let c = Circle::new(Point::new(0.0, 0.0), 1.0);
+        let r = Rect::new(Point::new(-2.0, 0.5), Point::new(2.0, 2.0));
+        let expected = (0.5f64).acos() - 0.5 * (1.0f64 - 0.25).sqrt();
+        let a = circle_rect_intersection_area(&c, &r);
+        assert!(close(a, expected, 1e-12), "got {a}, want {expected}");
+    }
+
+    #[test]
+    fn off_center_translation_invariance() {
+        let c0 = Circle::new(Point::new(0.0, 0.0), 1.3);
+        let r0 = Rect::new(Point::new(-0.5, -1.0), Point::new(1.5, 0.8));
+        let c1 = Circle::new(Point::new(100.0, -7.0), 1.3);
+        let r1 = Rect::new(Point::new(99.5, -8.0), Point::new(101.5, -6.2));
+        let a0 = circle_rect_intersection_area(&c0, &r0);
+        let a1 = circle_rect_intersection_area(&c1, &r1);
+        assert!(close(a0, a1, 1e-12));
+    }
+
+    #[test]
+    fn rect_range_intersection_is_exact() {
+        let q = Range::rect(Point::new(0.0, 0.0), Point::new(4.0, 4.0));
+        let r = Rect::new(Point::new(2.0, 2.0), Point::new(6.0, 6.0));
+        assert_eq!(intersection_area(&q, &r), 4.0);
+    }
+
+    #[test]
+    fn circle_range_dispatches() {
+        let q = Range::circle(Point::new(0.0, 0.0), 1.0);
+        let r = Rect::new(Point::new(-5.0, -5.0), Point::new(5.0, 5.0));
+        assert!(close(intersection_area(&q, &r), PI, 1e-12));
+    }
+
+    #[test]
+    fn zero_radius_circle_has_zero_intersection() {
+        let c = Circle::new(Point::new(0.0, 0.0), 0.0);
+        let r = Rect::new(Point::new(-1.0, -1.0), Point::new(1.0, 1.0));
+        assert_eq!(circle_rect_intersection_area(&c, &r), 0.0);
+    }
+
+    #[test]
+    fn lattice_agreement() {
+        // Deterministic midpoint-lattice check on a generic configuration.
+        let c = Circle::new(Point::new(0.3, -0.2), 1.3);
+        let r = Rect::new(Point::new(-0.5, -1.0), Point::new(1.5, 0.8));
+        let analytic = circle_rect_intersection_area(&c, &r);
+        let n = 1000;
+        let mut hits = 0u64;
+        for i in 0..n {
+            for j in 0..n {
+                let x = r.min.x + (i as f64 + 0.5) / n as f64 * r.width();
+                let y = r.min.y + (j as f64 + 0.5) / n as f64 * r.height();
+                if c.contains_point(&Point::new(x, y)) {
+                    hits += 1;
+                }
+            }
+        }
+        let lattice = hits as f64 / (n * n) as f64 * r.area();
+        assert!(close(analytic, lattice, 1e-2), "analytic {analytic} vs lattice {lattice}");
+    }
+
+    #[test]
+    fn additivity_across_a_vertical_split() {
+        // Areas of the two halves of a split rectangle sum to the whole.
+        let c = Circle::new(Point::new(0.1, 0.2), 1.1);
+        let whole = Rect::new(Point::new(-1.0, -1.0), Point::new(1.0, 1.0));
+        let left = Rect::new(Point::new(-1.0, -1.0), Point::new(0.0, 1.0));
+        let right = Rect::new(Point::new(0.0, -1.0), Point::new(1.0, 1.0));
+        let aw = circle_rect_intersection_area(&c, &whole);
+        let al = circle_rect_intersection_area(&c, &left);
+        let ar = circle_rect_intersection_area(&c, &right);
+        assert!(close(al + ar, aw, 1e-10), "{al} + {ar} != {aw}");
+    }
+}

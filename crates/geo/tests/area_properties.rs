@@ -1,0 +1,134 @@
+//! Property tests for the exact circle ∩ rectangle area computation —
+//! the quantity the OPTA baseline and every area-fraction fallback rely
+//! on. Wrong areas would silently bias estimates, so the laws here are
+//! load-bearing.
+
+use fedra_geo::{circle_rect_intersection_area, intersection_area, Circle, Point, Range, Rect};
+use proptest::prelude::*;
+
+fn circle() -> impl Strategy<Value = Circle> {
+    (-20.0f64..20.0, -20.0f64..20.0, 0.01f64..15.0)
+        .prop_map(|(x, y, r)| Circle::new(Point::new(x, y), r))
+}
+
+fn rect() -> impl Strategy<Value = Rect> {
+    (-20.0f64..20.0, -20.0f64..20.0, 0.01f64..25.0, 0.01f64..25.0)
+        .prop_map(|(x, y, w, h)| Rect::new(Point::new(x, y), Point::new(x + w, y + h)))
+}
+
+proptest! {
+    #[test]
+    fn area_is_bounded_by_both_shapes(c in circle(), r in rect()) {
+        let a = circle_rect_intersection_area(&c, &r);
+        prop_assert!(a >= 0.0);
+        prop_assert!(a <= r.area() + 1e-9);
+        prop_assert!(a <= c.area() + 1e-9);
+    }
+
+    #[test]
+    fn area_positive_iff_proper_intersection(c in circle(), r in rect()) {
+        let a = circle_rect_intersection_area(&c, &r);
+        if !c.intersects_rect(&r) {
+            prop_assert_eq!(a, 0.0);
+        }
+        // Strict interior overlap ⇒ positive area (grazing contact can
+        // legitimately give 0, so test via the rect center).
+        if c.contains_point(&r.center()) {
+            prop_assert!(a > 0.0, "center inside the disk but area 0");
+        }
+    }
+
+    #[test]
+    fn containment_gives_full_area(c in circle(), r in rect()) {
+        if c.contains_rect(&r) {
+            let a = circle_rect_intersection_area(&c, &r);
+            prop_assert!((a - r.area()).abs() < 1e-9 * (1.0 + r.area()));
+        }
+    }
+
+    #[test]
+    fn additive_across_vertical_split(c in circle(), r in rect(), t in 0.05f64..0.95) {
+        let split_x = r.min.x + t * r.width();
+        let left = Rect::from_corners(r.min, Point::new(split_x, r.max.y));
+        let right = Rect::from_corners(Point::new(split_x, r.min.y), r.max);
+        let whole = circle_rect_intersection_area(&c, &r);
+        let parts = circle_rect_intersection_area(&c, &left)
+            + circle_rect_intersection_area(&c, &right);
+        prop_assert!(
+            (whole - parts).abs() < 1e-7 * (1.0 + whole),
+            "{whole} != {parts}"
+        );
+    }
+
+    #[test]
+    fn additive_across_horizontal_split(c in circle(), r in rect(), t in 0.05f64..0.95) {
+        let split_y = r.min.y + t * r.height();
+        let bottom = Rect::from_corners(r.min, Point::new(r.max.x, split_y));
+        let top = Rect::from_corners(Point::new(r.min.x, split_y), r.max);
+        let whole = circle_rect_intersection_area(&c, &r);
+        let parts = circle_rect_intersection_area(&c, &bottom)
+            + circle_rect_intersection_area(&c, &top);
+        prop_assert!((whole - parts).abs() < 1e-7 * (1.0 + whole));
+    }
+
+    #[test]
+    fn translation_invariance(c in circle(), r in rect(), dx in -50.0f64..50.0, dy in -50.0f64..50.0) {
+        let a0 = circle_rect_intersection_area(&c, &r);
+        let c2 = Circle::new(Point::new(c.center.x + dx, c.center.y + dy), c.radius);
+        let r2 = Rect::from_corners(
+            Point::new(r.min.x + dx, r.min.y + dy),
+            Point::new(r.max.x + dx, r.max.y + dy),
+        );
+        let a1 = circle_rect_intersection_area(&c2, &r2);
+        prop_assert!((a0 - a1).abs() < 1e-7 * (1.0 + a0));
+    }
+
+    #[test]
+    fn monotone_in_radius(cx in -10.0f64..10.0, cy in -10.0f64..10.0,
+                          r1 in 0.1f64..5.0, dr in 0.0f64..5.0, rect in rect()) {
+        let small = Circle::new(Point::new(cx, cy), r1);
+        let big = Circle::new(Point::new(cx, cy), r1 + dr);
+        let a_small = circle_rect_intersection_area(&small, &rect);
+        let a_big = circle_rect_intersection_area(&big, &rect);
+        prop_assert!(a_big >= a_small - 1e-9);
+    }
+
+    #[test]
+    fn monotone_in_rect_growth(c in circle(), r in rect(), pad in 0.0f64..5.0) {
+        let grown = r.inflate(pad);
+        let a = circle_rect_intersection_area(&c, &r);
+        let a_grown = circle_rect_intersection_area(&c, &grown);
+        prop_assert!(a_grown >= a - 1e-9);
+    }
+
+    #[test]
+    fn range_dispatch_agrees(c in circle(), r in rect()) {
+        let direct = circle_rect_intersection_area(&c, &r);
+        let via_range = intersection_area(&Range::Circle(c), &r);
+        prop_assert_eq!(direct, via_range);
+    }
+
+    #[test]
+    fn lattice_cross_check(c in circle(), r in rect()) {
+        // 64×64 midpoint lattice: crude but unbiased; agreement within
+        // a few percent of the larger magnitude.
+        let analytic = circle_rect_intersection_area(&c, &r);
+        let n = 64;
+        let mut hits = 0u32;
+        for i in 0..n {
+            for j in 0..n {
+                let x = r.min.x + (i as f64 + 0.5) / n as f64 * r.width();
+                let y = r.min.y + (j as f64 + 0.5) / n as f64 * r.height();
+                if c.contains_point(&Point::new(x, y)) {
+                    hits += 1;
+                }
+            }
+        }
+        let lattice = hits as f64 / (n * n) as f64 * r.area();
+        let tolerance = 0.05 * r.area().max(1.0);
+        prop_assert!(
+            (analytic - lattice).abs() < tolerance,
+            "analytic {analytic} vs lattice {lattice}"
+        );
+    }
+}

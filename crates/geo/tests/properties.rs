@@ -1,0 +1,176 @@
+//! Property-based tests for the geometry substrate.
+//!
+//! These pin down the algebraic laws that every index in `fedra-index`
+//! silently relies on: if `relation` ever disagreed with `contains_point`,
+//! the aggregate R-tree and the grid estimators would return wrong answers
+//! while looking perfectly healthy.
+
+use fedra_geo::{Circle, GeoPoint, Point, Projection, Range, Rect, RectRelation};
+use proptest::prelude::*;
+
+fn pt() -> impl Strategy<Value = Point> {
+    (-100.0f64..100.0, -100.0f64..100.0).prop_map(|(x, y)| Point::new(x, y))
+}
+
+fn rect() -> impl Strategy<Value = Rect> {
+    (pt(), pt()).prop_map(|(a, b)| Rect::new(a, b))
+}
+
+fn circle() -> impl Strategy<Value = Circle> {
+    (pt(), 0.0f64..50.0).prop_map(|(c, r)| Circle::new(c, r))
+}
+
+fn range() -> impl Strategy<Value = Range> {
+    prop_oneof![
+        circle().prop_map(Range::Circle),
+        rect().prop_map(Range::Rect),
+    ]
+}
+
+proptest! {
+    #[test]
+    fn distance_triangle_inequality(a in pt(), b in pt(), c in pt()) {
+        prop_assert!(a.distance(&c) <= a.distance(&b) + b.distance(&c) + 1e-9);
+    }
+
+    #[test]
+    fn distance_symmetry(a in pt(), b in pt()) {
+        prop_assert!((a.distance(&b) - b.distance(&a)).abs() < 1e-12);
+    }
+
+    #[test]
+    fn rect_union_contains_operands(a in rect(), b in rect()) {
+        let u = a.union(&b);
+        prop_assert!(u.contains_rect(&a));
+        prop_assert!(u.contains_rect(&b));
+    }
+
+    #[test]
+    fn rect_union_is_commutative(a in rect(), b in rect()) {
+        prop_assert_eq!(a.union(&b), b.union(&a));
+    }
+
+    #[test]
+    fn rect_intersection_within_operands(a in rect(), b in rect()) {
+        let i = a.intersection(&b);
+        if !i.is_empty() {
+            prop_assert!(a.contains_rect(&i));
+            prop_assert!(b.contains_rect(&i));
+        }
+    }
+
+    #[test]
+    fn rect_intersects_iff_nonempty_intersection(a in rect(), b in rect()) {
+        prop_assert_eq!(a.intersects(&b), !a.intersection(&b).is_empty());
+    }
+
+    #[test]
+    fn rect_contains_point_implies_intersects_point_rect(r in rect(), p in pt()) {
+        if r.contains_point(&p) {
+            prop_assert!(r.intersects(&Rect::from_point(p)));
+        }
+    }
+
+    #[test]
+    fn min_distance_zero_iff_inside_or_on_boundary(r in rect(), p in pt()) {
+        prop_assert_eq!(r.min_distance_sq(&p) == 0.0, r.contains_point(&p));
+    }
+
+    #[test]
+    fn max_distance_at_least_min_distance(r in rect(), p in pt()) {
+        prop_assert!(r.max_distance_sq(&p) >= r.min_distance_sq(&p));
+    }
+
+    #[test]
+    fn circle_bounding_rect_covers_contained_points(c in circle(), p in pt()) {
+        if c.contains_point(&p) {
+            prop_assert!(c.bounding_rect().contains_point(&p));
+        }
+    }
+
+    #[test]
+    fn circle_contains_rect_implies_contains_corners(c in circle(), r in rect()) {
+        if c.contains_rect(&r) && !r.is_empty() {
+            prop_assert!(c.contains_point(&r.min));
+            prop_assert!(c.contains_point(&r.max));
+            prop_assert!(c.contains_point(&Point::new(r.min.x, r.max.y)));
+            prop_assert!(c.contains_point(&Point::new(r.max.x, r.min.y)));
+        }
+    }
+
+    #[test]
+    fn circle_point_in_rect_implies_intersection(c in circle(), r in rect(), p in pt()) {
+        if c.contains_point(&p) && r.contains_point(&p) {
+            prop_assert!(c.intersects_rect(&r));
+        }
+    }
+
+    // The pruning trichotomy every index traversal relies on.
+    #[test]
+    fn relation_is_consistent(q in range(), r in rect()) {
+        match q.relation(&r) {
+            RectRelation::Disjoint => prop_assert!(!q.intersects_rect(&r)),
+            RectRelation::Contained => {
+                prop_assert!(q.contains_rect(&r));
+                prop_assert!(q.intersects_rect(&r) || r.is_empty());
+            }
+            RectRelation::Intersecting => {
+                prop_assert!(q.intersects_rect(&r));
+                prop_assert!(!q.contains_rect(&r));
+            }
+        }
+    }
+
+    // Disjoint ranges contain none of the rectangle's points; contained
+    // ranges contain all of them (sampled at the corners and the center).
+    #[test]
+    fn relation_agrees_with_point_membership(q in range(), r in rect()) {
+        if r.is_empty() {
+            return Ok(());
+        }
+        let samples = [
+            r.min,
+            r.max,
+            Point::new(r.min.x, r.max.y),
+            Point::new(r.max.x, r.min.y),
+            r.center(),
+        ];
+        match q.relation(&r) {
+            RectRelation::Disjoint => {
+                for s in &samples {
+                    prop_assert!(!q.contains_point(s));
+                }
+            }
+            RectRelation::Contained => {
+                for s in &samples {
+                    prop_assert!(q.contains_point(s));
+                }
+            }
+            RectRelation::Intersecting => {}
+        }
+    }
+
+    #[test]
+    fn projection_round_trip(lat in 39.0f64..43.0, lon in 115.0f64..118.0) {
+        let proj = Projection::beijing();
+        let g = GeoPoint::new(lat, lon);
+        let back = proj.unproject(&proj.project(&g));
+        prop_assert!((back.lat - lat).abs() < 1e-9);
+        prop_assert!((back.lon - lon).abs() < 1e-9);
+    }
+
+    #[test]
+    fn projection_preserves_city_scale_distance(
+        lat1 in 40.5f64..41.0, lon1 in 116.0f64..116.7,
+        lat2 in 40.5f64..41.0, lon2 in 116.0f64..116.7,
+    ) {
+        let proj = Projection::beijing();
+        let a = GeoPoint::new(lat1, lon1);
+        let b = GeoPoint::new(lat2, lon2);
+        let sphere = a.haversine_distance(&b);
+        if sphere > 0.1 {
+            let planar = proj.project(&a).distance(&proj.project(&b));
+            prop_assert!(((planar - sphere) / sphere).abs() < 0.01);
+        }
+    }
+}

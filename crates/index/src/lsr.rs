@@ -1,0 +1,363 @@
+//! The LSR-Forest: level-sampling R-trees for O(log 1/ε) local queries.
+//!
+//! Alg. 5 of the paper builds, at each silo, a forest of aggregate R-trees
+//! `T_0, T_1, …, T_{log n}` where `T_0` indexes all objects and each
+//! subsequent level keeps every object of the previous level independently
+//! with probability 1/2. A local range aggregation query (Alg. 6) picks a
+//! level `l` from the accuracy target `(ε, δ)` and the grid-based rough
+//! estimate `sum₀` (Lemma 1), answers on the ~`n/2^l`-object tree `T_l`,
+//! and re-scales by `2^l`. The level rule is
+//!
+//! ```text
+//! l = ⌊log₂( ε² · sum₀ / (3 · ln(2/δ)) )⌋   clamped to [0, max_level]
+//! ```
+//!
+//! so larger expected results tolerate coarser samples, and the expected
+//! number of samples *inside the range* stays ≈ 3·ln(2/δ)/ε² regardless of
+//! silo size — that is why the local cost becomes independent of `n`.
+
+use rand::Rng;
+use serde::{Deserialize, Serialize};
+
+use fedra_geo::{Range, Rect, SpatialObject};
+
+use crate::rtree::{RTree, RTreeConfig};
+use crate::{Aggregate, IndexMemory};
+
+/// A level-sampled R-tree forest (Sec. 5 of the paper).
+///
+/// ```
+/// use fedra_geo::{Point, Range, SpatialObject};
+/// use fedra_index::lsr::LsrForest;
+/// use rand::rngs::StdRng;
+/// use rand::SeedableRng;
+///
+/// let objects: Vec<SpatialObject> = (0..10_000)
+///     .map(|i| SpatialObject::at((i % 100) as f64, (i / 100) as f64, 1.0))
+///     .collect();
+/// let mut rng = StdRng::seed_from_u64(7);
+/// let forest = LsrForest::from_objects(&objects, &mut rng);
+///
+/// // Level 0 is exact; deeper levels trade accuracy for speed.
+/// let query = Range::circle(Point::new(50.0, 50.0), 20.0);
+/// let exact = forest.query_at_level(&query, 0).count;
+/// let (approx, level) = forest.query(&query, 0.2, 0.05, exact);
+/// assert!(level > 0);
+/// assert!((approx.count - exact).abs() / exact < 0.5);
+/// ```
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct LsrForest {
+    levels: Vec<RTree>,
+}
+
+impl LsrForest {
+    /// Builds the forest (Alg. 5). O(n log n) time and space overall: the
+    /// level sizes form a geometric series, so the forest costs about as
+    /// much as two plain R-trees.
+    ///
+    /// Sampling uses the caller's RNG so builds are reproducible.
+    pub fn build<R: Rng + ?Sized>(
+        objects: &[SpatialObject],
+        config: RTreeConfig,
+        rng: &mut R,
+    ) -> Self {
+        let mut levels = Vec::new();
+        // T_0 indexes everything.
+        levels.push(RTree::bulk_load(objects.to_vec(), config));
+        if objects.is_empty() {
+            return Self { levels };
+        }
+        let max_level = (objects.len() as f64).log2().floor() as usize;
+        let mut current: Vec<SpatialObject> = objects.to_vec();
+        for _ in 1..=max_level {
+            let sampled: Vec<SpatialObject> = current
+                .iter()
+                .filter(|_| rng.random::<bool>())
+                .copied()
+                .collect();
+            if sampled.is_empty() {
+                break;
+            }
+            levels.push(RTree::bulk_load(sampled.clone(), config));
+            current = sampled;
+        }
+        Self { levels }
+    }
+
+    /// Builds with the default R-tree configuration.
+    pub fn from_objects<R: Rng + ?Sized>(objects: &[SpatialObject], rng: &mut R) -> Self {
+        Self::build(objects, RTreeConfig::default(), rng)
+    }
+
+    /// Number of levels actually built (`T_0 … T_{levels−1}`).
+    pub fn num_levels(&self) -> usize {
+        self.levels.len()
+    }
+
+    /// The full-resolution tree `T_0` (also the EXACT local index).
+    pub fn base(&self) -> &RTree {
+        &self.levels[0]
+    }
+
+    /// Access one level's tree (tests, diagnostics).
+    pub fn level(&self, l: usize) -> Option<&RTree> {
+        self.levels.get(l)
+    }
+
+    /// The Lemma-1 level selection rule, clamped to the available levels.
+    ///
+    /// * `epsilon` — target approximation ratio (ε in Definition 3);
+    /// * `delta` — failure probability upper bound;
+    /// * `sum0` — rough COUNT estimate of the query result from the grid
+    ///   index (the paper: "the aggregation result of grids that intersect
+    ///   with the query range").
+    pub fn select_level(&self, epsilon: f64, delta: f64, sum0: f64) -> usize {
+        assert!(epsilon > 0.0 && epsilon.is_finite(), "epsilon must be positive");
+        assert!(
+            delta > 0.0 && delta < 1.0,
+            "delta must be a probability in (0, 1)"
+        );
+        if sum0 <= 0.0 {
+            return 0;
+        }
+        let raw = (epsilon * epsilon * sum0 / (3.0 * (2.0 / delta).ln())).log2();
+        if !raw.is_finite() || raw <= 0.0 {
+            return 0;
+        }
+        (raw.floor() as usize).min(self.levels.len() - 1)
+    }
+
+    /// Alg. 6: answers the local range aggregation query on level `l` and
+    /// re-scales by `2^l`. The returned aggregate is an unbiased estimate
+    /// of the exact local answer.
+    pub fn query_at_level(&self, range: &Range, level: usize) -> Aggregate {
+        let l = level.min(self.levels.len() - 1);
+        self.levels[l].aggregate(range).scale((1u64 << l) as f64)
+    }
+
+    /// Alg. 6 end-to-end: select the level from `(ε, δ, sum₀)` and query.
+    /// Returns the estimate together with the level used (for diagnostics
+    /// and the Fig. 6/7 sweeps).
+    pub fn query(&self, range: &Range, epsilon: f64, delta: f64, sum0: f64) -> (Aggregate, usize) {
+        let l = self.select_level(epsilon, delta, sum0);
+        (self.query_at_level(range, l), l)
+    }
+
+    /// Clipped variant used for the per-grid-cell contributions of
+    /// NonIID-est+LSR: estimates the aggregate of objects in
+    /// `range ∩ clip`, re-scaled from level `l`.
+    pub fn query_clipped_at_level(&self, range: &Range, clip: &Rect, level: usize) -> Aggregate {
+        let l = level.min(self.levels.len() - 1);
+        self.levels[l]
+            .aggregate_clipped(range, clip)
+            .scale((1u64 << l) as f64)
+    }
+
+    /// Number of objects in the base level.
+    pub fn len(&self) -> usize {
+        self.levels[0].len()
+    }
+
+    /// Whether the base level is empty.
+    pub fn is_empty(&self) -> bool {
+        self.levels[0].is_empty()
+    }
+}
+
+impl IndexMemory for LsrForest {
+    fn memory_bytes(&self) -> usize {
+        std::mem::size_of::<Self>() + self.levels.iter().map(|t| t.memory_bytes()).sum::<usize>()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use fedra_geo::Point;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    fn objects(n: usize, seed: u64) -> Vec<SpatialObject> {
+        let mut rng = StdRng::seed_from_u64(seed);
+        (0..n)
+            .map(|i| {
+                SpatialObject::at(
+                    rng.random_range(0.0..100.0),
+                    rng.random_range(0.0..100.0),
+                    (i % 5) as f64 + 1.0,
+                )
+            })
+            .collect()
+    }
+
+    #[test]
+    fn empty_forest_has_single_empty_level() {
+        let mut rng = StdRng::seed_from_u64(1);
+        let f = LsrForest::from_objects(&[], &mut rng);
+        assert_eq!(f.num_levels(), 1);
+        assert!(f.is_empty());
+        let q = Range::circle(Point::new(0.0, 0.0), 5.0);
+        assert_eq!(f.query_at_level(&q, 0), Aggregate::ZERO);
+        assert_eq!(f.query_at_level(&q, 7), Aggregate::ZERO);
+    }
+
+    #[test]
+    fn level_zero_is_exact() {
+        let objs = objects(500, 2);
+        let mut rng = StdRng::seed_from_u64(3);
+        let f = LsrForest::from_objects(&objs, &mut rng);
+        let q = Range::circle(Point::new(50.0, 50.0), 20.0);
+        let exact = RTree::from_objects(&objs).aggregate(&q);
+        assert_eq!(f.query_at_level(&q, 0), exact);
+    }
+
+    #[test]
+    fn levels_shrink_geometrically() {
+        let objs = objects(4096, 4);
+        let mut rng = StdRng::seed_from_u64(5);
+        let f = LsrForest::from_objects(&objs, &mut rng);
+        assert!(f.num_levels() >= 8, "got {} levels", f.num_levels());
+        for l in 1..f.num_levels() {
+            let prev = f.level(l - 1).unwrap().len();
+            let cur = f.level(l).unwrap().len();
+            assert!(cur <= prev, "level {l} grew: {cur} > {prev}");
+            // With n ≥ a few hundred the binomial is concentrated; allow
+            // generous slack for the small deep levels.
+            if prev >= 256 {
+                let ratio = cur as f64 / prev as f64;
+                assert!((0.35..=0.65).contains(&ratio), "level {l} ratio {ratio}");
+            }
+        }
+    }
+
+    #[test]
+    fn level_sampling_is_nested() {
+        // Every object at level l must exist at level l−1 (Alg. 5 samples
+        // from the previous level, not from scratch).
+        let objs = objects(1024, 6);
+        let mut rng = StdRng::seed_from_u64(7);
+        let f = LsrForest::from_objects(&objs, &mut rng);
+        let everything = Range::rect(Point::new(-1.0, -1.0), Point::new(101.0, 101.0));
+        for l in 1..f.num_levels() {
+            let upper: std::collections::HashSet<(u64, u64)> = f
+                .level(l - 1)
+                .unwrap()
+                .query_objects(&everything)
+                .iter()
+                .map(|o| (o.location.x.to_bits(), o.location.y.to_bits()))
+                .collect();
+            for o in f.level(l).unwrap().query_objects(&everything) {
+                assert!(
+                    upper.contains(&(o.location.x.to_bits(), o.location.y.to_bits())),
+                    "level {l} object missing from level {}",
+                    l - 1
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn select_level_monotone_in_sum0_and_epsilon() {
+        let objs = objects(65536, 8);
+        let mut rng = StdRng::seed_from_u64(9);
+        let f = LsrForest::from_objects(&objs, &mut rng);
+        let l_small = f.select_level(0.1, 0.01, 100.0);
+        let l_large = f.select_level(0.1, 0.01, 100_000.0);
+        assert!(l_large >= l_small);
+        let l_tight = f.select_level(0.01, 0.01, 100_000.0);
+        let l_loose = f.select_level(0.5, 0.01, 100_000.0);
+        assert!(l_loose >= l_tight);
+        // Tighter delta → lower level.
+        let l_strict = f.select_level(0.1, 1e-9, 100_000.0);
+        let l_lax = f.select_level(0.1, 0.1, 100_000.0);
+        assert!(l_lax >= l_strict);
+    }
+
+    #[test]
+    fn select_level_formula_matches_lemma1() {
+        let objs = objects(1 << 16, 10);
+        let mut rng = StdRng::seed_from_u64(11);
+        let f = LsrForest::from_objects(&objs, &mut rng);
+        let (eps, delta, sum0) = (0.1, 0.01, 50_000.0);
+        let expected = ((eps * eps * sum0) / (3.0 * (2.0f64 / delta).ln()))
+            .log2()
+            .floor() as usize;
+        assert_eq!(f.select_level(eps, delta, sum0), expected.min(f.num_levels() - 1));
+    }
+
+    #[test]
+    fn select_level_handles_degenerate_inputs() {
+        let objs = objects(256, 12);
+        let mut rng = StdRng::seed_from_u64(13);
+        let f = LsrForest::from_objects(&objs, &mut rng);
+        assert_eq!(f.select_level(0.1, 0.01, 0.0), 0);
+        assert_eq!(f.select_level(0.1, 0.01, -5.0), 0);
+        assert_eq!(f.select_level(1e-6, 0.01, 10.0), 0); // tiny ε → level 0
+    }
+
+    #[test]
+    #[should_panic(expected = "delta must be a probability")]
+    fn select_level_rejects_bad_delta() {
+        let mut rng = StdRng::seed_from_u64(14);
+        let f = LsrForest::from_objects(&objects(16, 14), &mut rng);
+        f.select_level(0.1, 1.5, 10.0);
+    }
+
+    #[test]
+    fn estimate_is_unbiased_across_builds() {
+        // E[res_l · 2^l] = res (Lemma 1). Average many independently
+        // sampled forests and check the mean converges to the exact count.
+        let objs = objects(2048, 15);
+        let q = Range::circle(Point::new(50.0, 50.0), 25.0);
+        let exact = RTree::from_objects(&objs).aggregate(&q).count;
+        assert!(exact > 100.0, "test range too small: {exact}");
+        let trials = 300;
+        let level = 3;
+        let mut sum = 0.0;
+        for t in 0..trials {
+            let mut rng = StdRng::seed_from_u64(1000 + t);
+            let f = LsrForest::from_objects(&objs, &mut rng);
+            sum += f.query_at_level(&q, level).count;
+        }
+        let mean = sum / trials as f64;
+        let rel = (mean - exact).abs() / exact;
+        assert!(rel < 0.05, "mean {mean} vs exact {exact} (rel {rel})");
+    }
+
+    #[test]
+    fn query_uses_selected_level() {
+        let objs = objects(1 << 14, 16);
+        let mut rng = StdRng::seed_from_u64(17);
+        let f = LsrForest::from_objects(&objs, &mut rng);
+        let q = Range::circle(Point::new(50.0, 50.0), 30.0);
+        let (est, level) = f.query(&q, 0.2, 0.05, 4000.0);
+        assert_eq!(level, f.select_level(0.2, 0.05, 4000.0));
+        assert!(est.count >= 0.0);
+    }
+
+    #[test]
+    fn clipped_query_scales_like_unclipped() {
+        let objs = objects(4096, 18);
+        let mut rng = StdRng::seed_from_u64(19);
+        let f = LsrForest::from_objects(&objs, &mut rng);
+        let q = Range::circle(Point::new(50.0, 50.0), 30.0);
+        let clip = Rect::new(Point::new(40.0, 40.0), Point::new(60.0, 60.0));
+        let whole_plane = Rect::new(Point::new(-1e9, -1e9), Point::new(1e9, 1e9));
+        let a = f.query_clipped_at_level(&q, &whole_plane, 2);
+        let b = f.query_at_level(&q, 2);
+        assert_eq!(a, b);
+        let clipped = f.query_clipped_at_level(&q, &clip, 2);
+        assert!(clipped.count <= a.count);
+    }
+
+    #[test]
+    fn memory_is_about_twice_a_single_tree() {
+        let objs = objects(1 << 14, 20);
+        let mut rng = StdRng::seed_from_u64(21);
+        let f = LsrForest::from_objects(&objs, &mut rng);
+        let single = RTree::from_objects(&objs);
+        let ratio = f.memory_bytes() as f64 / single.memory_bytes() as f64;
+        // Geometric series: Σ 2^{-i} = 2, modest slack for fixed overheads.
+        assert!((1.5..=2.6).contains(&ratio), "ratio {ratio}");
+    }
+}

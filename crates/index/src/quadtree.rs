@@ -1,0 +1,407 @@
+//! An aggregate point-region quadtree: the classic alternative to the
+//! R-tree for local range aggregation.
+//!
+//! The paper builds on R-trees; a production system would want to know
+//! whether that choice matters. This module provides a drop-in aggregate
+//! index with the same query API ([`QuadTree::aggregate`] /
+//! [`QuadTree::aggregate_clipped`]) so the `micro_index` bench can compare
+//! the two substrates on identical workloads. Space is subdivided into
+//! four equal quadrants whenever a node exceeds its capacity; every node
+//! carries the [`Aggregate`] of its whole subtree, so fully-covered
+//! quadrants are answered without descending — the same pruning contract
+//! as the aR-tree.
+//!
+//! Compared to the STR R-tree: build is insertion-based (no global sort),
+//! node regions never overlap (no MBR dead space), but unbalanced data
+//! yields deep spines where the R-tree stays height-balanced.
+
+use serde::{Deserialize, Serialize};
+
+use fedra_geo::{Point, Range, Rect, RectRelation, SpatialObject};
+
+use crate::{Aggregate, IndexMemory};
+
+/// Build parameters for [`QuadTree`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub struct QuadTreeConfig {
+    /// Maximum objects per leaf before it splits.
+    pub leaf_capacity: usize,
+    /// Maximum tree depth: duplicate-heavy data stops splitting here
+    /// (a leaf at max depth simply grows past capacity).
+    pub max_depth: usize,
+}
+
+impl Default for QuadTreeConfig {
+    fn default() -> Self {
+        Self {
+            leaf_capacity: 32,
+            max_depth: 24,
+        }
+    }
+}
+
+#[derive(Debug, Clone, Serialize, Deserialize)]
+struct QuadNode {
+    region: Rect,
+    agg: Aggregate,
+    /// Indices of the four children (NW, NE, SW, SE) or `u32::MAX` for a
+    /// leaf.
+    children: [u32; 4],
+    /// Object indices (leaves only).
+    objects: Vec<u32>,
+    depth: usize,
+}
+
+const NO_CHILD: u32 = u32::MAX;
+
+impl QuadNode {
+    fn is_leaf(&self) -> bool {
+        self.children[0] == NO_CHILD
+    }
+}
+
+/// An aggregate point-region quadtree over a fixed region.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct QuadTree {
+    config: QuadTreeConfig,
+    objects: Vec<SpatialObject>,
+    nodes: Vec<QuadNode>,
+}
+
+impl QuadTree {
+    /// Builds the tree over `region` by inserting every object.
+    ///
+    /// The root region is expanded to cover every object, so pruning by
+    /// node region is always sound even when callers pass a nominal
+    /// region smaller than the data extent.
+    ///
+    /// # Panics
+    /// Panics when `region` is empty.
+    pub fn build(region: Rect, objects: Vec<SpatialObject>, config: QuadTreeConfig) -> Self {
+        assert!(!region.is_empty(), "quadtree region must be non-empty");
+        let region = objects
+            .iter()
+            .fold(region, |acc, o| acc.union(&Rect::from_point(o.location)));
+        let mut tree = Self {
+            config,
+            objects,
+            nodes: vec![QuadNode {
+                region,
+                agg: Aggregate::ZERO,
+                children: [NO_CHILD; 4],
+                objects: Vec::new(),
+                depth: 0,
+            }],
+        };
+        for i in 0..tree.objects.len() {
+            tree.insert(i as u32);
+        }
+        tree
+    }
+
+    /// Builds with the default config over the objects' bounding box.
+    pub fn from_objects(objects: &[SpatialObject]) -> Self {
+        let region = objects
+            .iter()
+            .fold(Rect::EMPTY, |acc, o| acc.union(&Rect::from_point(o.location)))
+            .inflate(1e-9);
+        let region = if region.is_empty() {
+            Rect::new(Point::new(0.0, 0.0), Point::new(1.0, 1.0))
+        } else {
+            region
+        };
+        Self::build(region, objects.to_vec(), QuadTreeConfig::default())
+    }
+
+    fn clamp_into(&self, node: usize, p: &Point) -> Point {
+        let r = self.nodes[node].region;
+        Point::new(p.x.clamp(r.min.x, r.max.x), p.y.clamp(r.min.y, r.max.y))
+    }
+
+    fn quadrant_of(region: &Rect, p: &Point) -> usize {
+        let c = region.center();
+        match (p.x >= c.x, p.y >= c.y) {
+            (false, true) => 0,  // NW
+            (true, true) => 1,   // NE
+            (false, false) => 2, // SW
+            (true, false) => 3,  // SE
+        }
+    }
+
+    fn quadrant_rect(region: &Rect, q: usize) -> Rect {
+        let c = region.center();
+        match q {
+            0 => Rect::from_corners(Point::new(region.min.x, c.y), Point::new(c.x, region.max.y)),
+            1 => Rect::from_corners(c, region.max),
+            2 => Rect::from_corners(region.min, c),
+            _ => Rect::from_corners(Point::new(c.x, region.min.y), Point::new(region.max.x, c.y)),
+        }
+    }
+
+    fn insert(&mut self, object: u32) {
+        let placement = self.clamp_into(0, &self.objects[object as usize].location);
+        let contribution = Aggregate::of(&self.objects[object as usize]);
+        let mut node = 0usize;
+        loop {
+            self.nodes[node].agg.merge_in(&contribution);
+            if self.nodes[node].is_leaf() {
+                self.nodes[node].objects.push(object);
+                let over_capacity = self.nodes[node].objects.len() > self.config.leaf_capacity;
+                let can_split = self.nodes[node].depth < self.config.max_depth;
+                if over_capacity && can_split {
+                    self.split(node);
+                }
+                return;
+            }
+            let q = Self::quadrant_of(&self.nodes[node].region, &placement);
+            node = self.nodes[node].children[q] as usize;
+        }
+    }
+
+    fn split(&mut self, node: usize) {
+        let region = self.nodes[node].region;
+        let depth = self.nodes[node].depth;
+        let residents = std::mem::take(&mut self.nodes[node].objects);
+        let mut children = [NO_CHILD; 4];
+        for (q, child) in children.iter_mut().enumerate() {
+            *child = self.nodes.len() as u32;
+            self.nodes.push(QuadNode {
+                region: Self::quadrant_rect(&region, q),
+                agg: Aggregate::ZERO,
+                children: [NO_CHILD; 4],
+                objects: Vec::new(),
+                depth: depth + 1,
+            });
+        }
+        self.nodes[node].children = children;
+        for object in residents {
+            let placement = self.clamp_into(node, &self.objects[object as usize].location);
+            let contribution = Aggregate::of(&self.objects[object as usize]);
+            let mut cursor = self.nodes[node].children
+                [Self::quadrant_of(&self.nodes[node].region, &placement)]
+                as usize;
+            loop {
+                self.nodes[cursor].agg.merge_in(&contribution);
+                if self.nodes[cursor].is_leaf() {
+                    self.nodes[cursor].objects.push(object);
+                    // No recursive split here: the child will split on the
+                    // next insert that overflows it (keeps this loop flat).
+                    break;
+                }
+                let q = Self::quadrant_of(&self.nodes[cursor].region, &placement);
+                cursor = self.nodes[cursor].children[q] as usize;
+            }
+        }
+    }
+
+    /// Number of indexed objects.
+    pub fn len(&self) -> usize {
+        self.objects.len()
+    }
+
+    /// Whether the tree indexes nothing.
+    pub fn is_empty(&self) -> bool {
+        self.objects.is_empty()
+    }
+
+    /// Total node count (diagnostics).
+    pub fn node_count(&self) -> usize {
+        self.nodes.len()
+    }
+
+    /// Aggregate of every indexed object.
+    pub fn total(&self) -> Aggregate {
+        self.nodes[0].agg
+    }
+
+    /// Exact range aggregation with covered-subtree pruning.
+    pub fn aggregate(&self, range: &Range) -> Aggregate {
+        let mut acc = Aggregate::ZERO;
+        self.aggregate_rec(0, range, None, &mut acc);
+        acc
+    }
+
+    /// Exact range aggregation restricted to `clip` (see
+    /// [`crate::rtree::RTree::aggregate_clipped`]).
+    pub fn aggregate_clipped(&self, range: &Range, clip: &Rect) -> Aggregate {
+        let mut acc = Aggregate::ZERO;
+        self.aggregate_rec(0, range, Some(clip), &mut acc);
+        acc
+    }
+
+    fn aggregate_rec(&self, node: usize, range: &Range, clip: Option<&Rect>, acc: &mut Aggregate) {
+        let n = &self.nodes[node];
+        if n.agg.is_zero() {
+            return;
+        }
+        let rel = range.relation(&n.region);
+        if rel == RectRelation::Disjoint {
+            return;
+        }
+        if let Some(c) = clip {
+            if !c.intersects(&n.region) {
+                return;
+            }
+            if rel == RectRelation::Contained && c.contains_rect(&n.region) {
+                acc.merge_in(&n.agg);
+                return;
+            }
+        } else if rel == RectRelation::Contained {
+            acc.merge_in(&n.agg);
+            return;
+        }
+        if n.is_leaf() {
+            for &oi in &n.objects {
+                let o = &self.objects[oi as usize];
+                if range.contains_point(&o.location)
+                    && clip.is_none_or(|c| c.contains_point(&o.location))
+                {
+                    acc.merge_in(&Aggregate::of(o));
+                }
+            }
+        } else {
+            for &child in &n.children {
+                self.aggregate_rec(child as usize, range, clip, acc);
+            }
+        }
+    }
+}
+
+impl IndexMemory for QuadTree {
+    fn memory_bytes(&self) -> usize {
+        let nodes: usize = self
+            .nodes
+            .iter()
+            .map(|n| std::mem::size_of::<QuadNode>() + n.objects.capacity() * std::mem::size_of::<u32>())
+            .sum();
+        std::mem::size_of::<Self>()
+            + self.objects.capacity() * std::mem::size_of::<SpatialObject>()
+            + nodes
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn scatter(n: usize, seed: u64) -> Vec<SpatialObject> {
+        let mut state = seed;
+        (0..n)
+            .map(|i| {
+                state = state.wrapping_mul(6364136223846793005).wrapping_add(1442695040888963407);
+                let x = (state >> 11) as f64 / (1u64 << 53) as f64 * 100.0;
+                state = state.wrapping_mul(6364136223846793005).wrapping_add(1442695040888963407);
+                let y = (state >> 11) as f64 / (1u64 << 53) as f64 * 100.0;
+                SpatialObject::at(x, y, (i % 7) as f64)
+            })
+            .collect()
+    }
+
+    fn brute(objs: &[SpatialObject], range: &Range) -> Aggregate {
+        objs.iter()
+            .filter(|o| range.contains_point(&o.location))
+            .fold(Aggregate::ZERO, |a, o| a.merge(&Aggregate::of(o)))
+    }
+
+    #[test]
+    fn empty_tree() {
+        let t = QuadTree::from_objects(&[]);
+        assert!(t.is_empty());
+        assert_eq!(t.total(), Aggregate::ZERO);
+        let q = Range::circle(Point::new(0.0, 0.0), 5.0);
+        assert_eq!(t.aggregate(&q), Aggregate::ZERO);
+    }
+
+    #[test]
+    fn matches_bruteforce_on_circles_and_rects() {
+        let objs = scatter(3000, 9);
+        let t = QuadTree::from_objects(&objs);
+        assert_eq!(t.total().count, 3000.0);
+        for (cx, cy, r) in [(50.0, 50.0, 12.0), (0.0, 0.0, 30.0), (95.0, 5.0, 8.0), (50.0, 50.0, 300.0)] {
+            let q = Range::circle(Point::new(cx, cy), r);
+            let got = t.aggregate(&q);
+            let want = brute(&objs, &q);
+            assert_eq!(got.count, want.count, "at {q}");
+            assert!((got.sum - want.sum).abs() < 1e-9);
+        }
+        let q = Range::rect(Point::new(10.0, 20.0), Point::new(60.0, 70.0));
+        assert_eq!(t.aggregate(&q).count, brute(&objs, &q).count);
+    }
+
+    #[test]
+    fn matches_rtree_on_identical_data() {
+        let objs = scatter(5000, 10);
+        let quad = QuadTree::from_objects(&objs);
+        let rtree = crate::rtree::RTree::from_objects(&objs);
+        for i in 0..20 {
+            let q = Range::circle(
+                Point::new((i as f64 * 13.7) % 100.0, (i as f64 * 7.3) % 100.0),
+                6.0,
+            );
+            assert_eq!(quad.aggregate(&q).count, rtree.aggregate(&q).count, "at {q}");
+        }
+    }
+
+    #[test]
+    fn clipped_queries_match_filter() {
+        let objs = scatter(2000, 11);
+        let t = QuadTree::from_objects(&objs);
+        let range = Range::circle(Point::new(50.0, 50.0), 25.0);
+        let clip = Rect::new(Point::new(35.0, 35.0), Point::new(65.0, 55.0));
+        let got = t.aggregate_clipped(&range, &clip);
+        let want = objs
+            .iter()
+            .filter(|o| range.contains_point(&o.location) && clip.contains_point(&o.location))
+            .count() as f64;
+        assert_eq!(got.count, want);
+    }
+
+    #[test]
+    fn duplicate_points_respect_max_depth() {
+        // 1000 identical points can never be separated by splitting; the
+        // max-depth valve must stop the recursion.
+        let objs = vec![SpatialObject::at(5.0, 5.0, 1.0); 1000];
+        let t = QuadTree::build(
+            Rect::new(Point::new(0.0, 0.0), Point::new(10.0, 10.0)),
+            objs,
+            QuadTreeConfig {
+                leaf_capacity: 4,
+                max_depth: 6,
+            },
+        );
+        assert_eq!(t.total().count, 1000.0);
+        let q = Range::circle(Point::new(5.0, 5.0), 0.1);
+        assert_eq!(t.aggregate(&q).count, 1000.0);
+        // Bounded node count despite pathological input.
+        assert!(t.node_count() < 200, "nodes: {}", t.node_count());
+    }
+
+    #[test]
+    fn out_of_region_objects_are_still_counted() {
+        // The root region grows to cover stragglers, keeping pruning sound.
+        let region = Rect::new(Point::new(0.0, 0.0), Point::new(10.0, 10.0));
+        let objs = vec![
+            SpatialObject::at(5.0, 5.0, 1.0),
+            SpatialObject::at(50.0, 50.0, 1.0), // far outside the nominal region
+        ];
+        let t = QuadTree::build(region, objs, QuadTreeConfig::default());
+        assert_eq!(t.total().count, 2.0);
+        let near = Range::circle(Point::new(5.0, 5.0), 1.0);
+        assert_eq!(t.aggregate(&near).count, 1.0);
+        let far = Range::circle(Point::new(50.0, 50.0), 1.0);
+        assert_eq!(t.aggregate(&far).count, 1.0);
+    }
+
+    #[test]
+    fn memory_scales_with_data() {
+        let small = QuadTree::from_objects(&scatter(100, 12));
+        let large = QuadTree::from_objects(&scatter(10_000, 12));
+        assert!(large.memory_bytes() > small.memory_bytes());
+    }
+
+    #[test]
+    #[should_panic(expected = "non-empty")]
+    fn empty_region_rejected() {
+        QuadTree::build(Rect::EMPTY, vec![], QuadTreeConfig::default());
+    }
+}

@@ -1,0 +1,556 @@
+//! An aggregate R-tree: exact range aggregation in O(log n).
+//!
+//! Every node carries the [`Aggregate`] of its whole subtree, so a range
+//! aggregation query never has to visit the leaves of a subtree whose MBR
+//! is fully covered by the query range — the classic *aR-tree* idea the
+//! paper assumes when it says "spatial indices such as R-trees enable
+//! O(log n)-time range aggregation queries" (Sec. 3).
+//!
+//! The tree is bulk-loaded with Sort-Tile-Recursive (STR) packing, which
+//! is both the fastest way to build from a static partition (the federated
+//! setting fixes partitions during query processing) and gives near-ideal
+//! node utilization. The same structure serves as:
+//!
+//! * the silo-local index of the EXACT baseline,
+//! * every level `T_i` of the LSR-Forest (Sec. 5),
+//! * the ground-truth oracle in tests.
+
+use serde::{Deserialize, Serialize};
+
+use fedra_geo::{Range, Rect, RectRelation, SpatialObject};
+
+use crate::{Aggregate, IndexMemory};
+
+/// R-tree build parameters.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub struct RTreeConfig {
+    /// Maximum entries per node (fanout). STR packs nodes to capacity.
+    pub max_entries: usize,
+}
+
+impl Default for RTreeConfig {
+    fn default() -> Self {
+        // 16 balances depth against per-node scan cost for point data;
+        // the `ablations` bench sweeps this.
+        Self { max_entries: 16 }
+    }
+}
+
+impl RTreeConfig {
+    /// Creates a config with the given fanout.
+    ///
+    /// # Panics
+    /// Panics when `max_entries < 2` — a tree with fanout 1 never
+    /// terminates its build recursion.
+    pub fn with_fanout(max_entries: usize) -> Self {
+        assert!(max_entries >= 2, "R-tree fanout must be at least 2");
+        Self { max_entries }
+    }
+}
+
+#[derive(Debug, Clone, Serialize, Deserialize)]
+struct Node {
+    mbr: Rect,
+    agg: Aggregate,
+    /// Children: node indices for internal nodes, object indices for leaves.
+    children: Vec<u32>,
+    is_leaf: bool,
+}
+
+/// A static, STR-bulk-loaded aggregate R-tree.
+///
+/// ```
+/// use fedra_geo::{Point, Range, SpatialObject};
+/// use fedra_index::rtree::RTree;
+///
+/// let objects: Vec<SpatialObject> = (0..100)
+///     .map(|i| SpatialObject::at((i % 10) as f64, (i / 10) as f64, 2.0))
+///     .collect();
+/// let tree = RTree::from_objects(&objects);
+///
+/// // Exact COUNT/SUM/SUM_SQR in one traversal.
+/// let query = Range::circle(Point::new(4.5, 4.5), 2.0);
+/// let agg = tree.aggregate(&query);
+/// assert_eq!(agg.sum, agg.count * 2.0);
+/// assert_eq!(agg.count, objects
+///     .iter()
+///     .filter(|o| query.contains_point(&o.location))
+///     .count() as f64);
+/// ```
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct RTree {
+    config: RTreeConfig,
+    objects: Vec<SpatialObject>,
+    nodes: Vec<Node>,
+    root: Option<u32>,
+    height: usize,
+}
+
+impl RTree {
+    /// Bulk-loads the tree from a set of objects (copied and reordered
+    /// internally). O(n log n) time, O(n) space.
+    pub fn bulk_load(objects: Vec<SpatialObject>, config: RTreeConfig) -> Self {
+        assert!(config.max_entries >= 2, "R-tree fanout must be at least 2");
+        let mut tree = Self {
+            config,
+            objects,
+            nodes: Vec::new(),
+            root: None,
+            height: 0,
+        };
+        if tree.objects.is_empty() {
+            return tree;
+        }
+        let leaves = tree.pack_leaves();
+        tree.root = Some(tree.pack_upward(leaves));
+        tree
+    }
+
+    /// Bulk-loads with the default configuration.
+    pub fn from_objects(objects: &[SpatialObject]) -> Self {
+        Self::bulk_load(objects.to_vec(), RTreeConfig::default())
+    }
+
+    /// Sort-Tile-Recursive leaf packing: sort by x, slice into vertical
+    /// slabs of √P leaf-groups, sort each slab by y, emit full leaves.
+    fn pack_leaves(&mut self) -> Vec<u32> {
+        let m = self.config.max_entries;
+        let n = self.objects.len();
+        let num_leaves = n.div_ceil(m);
+        let slabs = (num_leaves as f64).sqrt().ceil() as usize;
+        let slab_size = n.div_ceil(slabs);
+
+        self.objects
+            .sort_by(|a, b| a.location.x.total_cmp(&b.location.x));
+
+        let mut leaves = Vec::with_capacity(num_leaves);
+        let mut idx: Vec<u32> = (0..n as u32).collect();
+        for slab in idx.chunks_mut(slab_size) {
+            slab.sort_by(|&a, &b| {
+                self.objects[a as usize]
+                    .location
+                    .y
+                    .total_cmp(&self.objects[b as usize].location.y)
+            });
+            for group in slab.chunks(m) {
+                let mut mbr = Rect::EMPTY;
+                let mut agg = Aggregate::ZERO;
+                for &oi in group {
+                    let o = &self.objects[oi as usize];
+                    mbr = mbr.union(&Rect::from_point(o.location));
+                    agg.merge_in(&Aggregate::of(o));
+                }
+                let id = self.nodes.len() as u32;
+                self.nodes.push(Node {
+                    mbr,
+                    agg,
+                    children: group.to_vec(),
+                    is_leaf: true,
+                });
+                leaves.push(id);
+            }
+        }
+        leaves
+    }
+
+    /// Packs one level of internal nodes at a time until a single root
+    /// remains, re-tiling node centers with the same STR recipe.
+    fn pack_upward(&mut self, mut level: Vec<u32>) -> u32 {
+        let m = self.config.max_entries;
+        self.height = 1;
+        while level.len() > 1 {
+            let num_parents = level.len().div_ceil(m);
+            let slabs = (num_parents as f64).sqrt().ceil() as usize;
+            let slab_size = level.len().div_ceil(slabs);
+
+            level.sort_by(|&a, &b| {
+                self.nodes[a as usize]
+                    .mbr
+                    .center()
+                    .x
+                    .total_cmp(&self.nodes[b as usize].mbr.center().x)
+            });
+            let mut next = Vec::with_capacity(num_parents);
+            let mut level_slice = level;
+            for slab in level_slice.chunks_mut(slab_size) {
+                slab.sort_by(|&a, &b| {
+                    self.nodes[a as usize]
+                        .mbr
+                        .center()
+                        .y
+                        .total_cmp(&self.nodes[b as usize].mbr.center().y)
+                });
+                for group in slab.chunks(m) {
+                    let mut mbr = Rect::EMPTY;
+                    let mut agg = Aggregate::ZERO;
+                    for &ci in group {
+                        let child = &self.nodes[ci as usize];
+                        mbr = mbr.union(&child.mbr);
+                        agg.merge_in(&child.agg);
+                    }
+                    let id = self.nodes.len() as u32;
+                    self.nodes.push(Node {
+                        mbr,
+                        agg,
+                        children: group.to_vec(),
+                        is_leaf: false,
+                    });
+                    next.push(id);
+                }
+            }
+            level = next;
+            self.height += 1;
+        }
+        level[0]
+    }
+
+    /// Number of indexed objects.
+    pub fn len(&self) -> usize {
+        self.objects.len()
+    }
+
+    /// Whether the tree is empty.
+    pub fn is_empty(&self) -> bool {
+        self.objects.is_empty()
+    }
+
+    /// Tree height in levels (0 for an empty tree, 1 for a single leaf).
+    pub fn height(&self) -> usize {
+        if self.root.is_some() {
+            self.height
+        } else {
+            0
+        }
+    }
+
+    /// MBR of the whole tree ([`Rect::EMPTY`] when empty).
+    pub fn mbr(&self) -> Rect {
+        self.root
+            .map(|r| self.nodes[r as usize].mbr)
+            .unwrap_or(Rect::EMPTY)
+    }
+
+    /// Aggregate of every indexed object.
+    pub fn total(&self) -> Aggregate {
+        self.root
+            .map(|r| self.nodes[r as usize].agg)
+            .unwrap_or(Aggregate::ZERO)
+    }
+
+    /// Exact range aggregation: the local query `Q(s_i, R, F)` of
+    /// Definition 2, answered in O(log n) expected time.
+    pub fn aggregate(&self, range: &Range) -> Aggregate {
+        let Some(root) = self.root else {
+            return Aggregate::ZERO;
+        };
+        let mut acc = Aggregate::ZERO;
+        self.aggregate_rec(root, range, None, &mut acc);
+        acc
+    }
+
+    /// Exact range aggregation restricted to `clip`: aggregates objects in
+    /// `range ∩ clip`. This is how a silo computes the per-grid-cell
+    /// contributions `res_i^k` of Alg. 3 — one clipped query per boundary
+    /// cell.
+    pub fn aggregate_clipped(&self, range: &Range, clip: &Rect) -> Aggregate {
+        let Some(root) = self.root else {
+            return Aggregate::ZERO;
+        };
+        let mut acc = Aggregate::ZERO;
+        self.aggregate_rec(root, range, Some(clip), &mut acc);
+        acc
+    }
+
+    fn aggregate_rec(&self, node_id: u32, range: &Range, clip: Option<&Rect>, acc: &mut Aggregate) {
+        let node = &self.nodes[node_id as usize];
+        // Combined relation of (range ∩ clip) to the node MBR.
+        let rel_range = range.relation(&node.mbr);
+        if rel_range == RectRelation::Disjoint {
+            return;
+        }
+        let rel = match clip {
+            None => rel_range,
+            Some(c) => {
+                if !c.intersects(&node.mbr) {
+                    return;
+                }
+                if rel_range == RectRelation::Contained && c.contains_rect(&node.mbr) {
+                    RectRelation::Contained
+                } else {
+                    RectRelation::Intersecting
+                }
+            }
+        };
+        if rel == RectRelation::Contained {
+            acc.merge_in(&node.agg);
+            return;
+        }
+        if node.is_leaf {
+            for &oi in &node.children {
+                let o = &self.objects[oi as usize];
+                if range.contains_point(&o.location)
+                    && clip.is_none_or(|c| c.contains_point(&o.location))
+                {
+                    acc.merge_in(&Aggregate::of(o));
+                }
+            }
+        } else {
+            for &ci in &node.children {
+                self.aggregate_rec(ci, range, clip, acc);
+            }
+        }
+    }
+
+    /// Collects the objects inside the range (for tests / exports).
+    pub fn query_objects(&self, range: &Range) -> Vec<SpatialObject> {
+        let mut out = Vec::new();
+        let Some(root) = self.root else {
+            return out;
+        };
+        let mut stack = vec![root];
+        while let Some(id) = stack.pop() {
+            let node = &self.nodes[id as usize];
+            if !range.intersects_rect(&node.mbr) {
+                continue;
+            }
+            if node.is_leaf {
+                for &oi in &node.children {
+                    let o = &self.objects[oi as usize];
+                    if range.contains_point(&o.location) {
+                        out.push(*o);
+                    }
+                }
+            } else {
+                stack.extend_from_slice(&node.children);
+            }
+        }
+        out
+    }
+
+    /// Number of nodes (diagnostics / memory model validation).
+    pub fn node_count(&self) -> usize {
+        self.nodes.len()
+    }
+}
+
+impl IndexMemory for RTree {
+    fn memory_bytes(&self) -> usize {
+        let nodes: usize = self
+            .nodes
+            .iter()
+            .map(|n| std::mem::size_of::<Node>() + n.children.capacity() * std::mem::size_of::<u32>())
+            .sum();
+        std::mem::size_of::<Self>()
+            + self.objects.capacity() * std::mem::size_of::<SpatialObject>()
+            + nodes
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use fedra_geo::Point;
+
+    /// Brute-force oracle.
+    fn brute(objects: &[SpatialObject], range: &Range) -> Aggregate {
+        objects
+            .iter()
+            .filter(|o| range.contains_point(&o.location))
+            .fold(Aggregate::ZERO, |a, o| a.merge(&Aggregate::of(o)))
+    }
+
+    fn grid_objects(n: usize) -> Vec<SpatialObject> {
+        // Deterministic pseudo-random scatter in [0, 100]².
+        let mut objs = Vec::with_capacity(n);
+        let mut state = 0x9e3779b97f4a7c15u64;
+        for i in 0..n {
+            state = state.wrapping_mul(6364136223846793005).wrapping_add(1442695040888963407);
+            let x = (state >> 11) as f64 / (1u64 << 53) as f64 * 100.0;
+            state = state.wrapping_mul(6364136223846793005).wrapping_add(1442695040888963407);
+            let y = (state >> 11) as f64 / (1u64 << 53) as f64 * 100.0;
+            objs.push(SpatialObject::at(x, y, (i % 7) as f64));
+        }
+        objs
+    }
+
+    #[test]
+    fn empty_tree() {
+        let t = RTree::from_objects(&[]);
+        assert!(t.is_empty());
+        assert_eq!(t.height(), 0);
+        assert_eq!(t.total(), Aggregate::ZERO);
+        assert!(t.mbr().is_empty());
+        let q = Range::circle(Point::new(0.0, 0.0), 1.0);
+        assert_eq!(t.aggregate(&q), Aggregate::ZERO);
+        assert!(t.query_objects(&q).is_empty());
+    }
+
+    #[test]
+    fn single_object() {
+        let t = RTree::from_objects(&[SpatialObject::at(1.0, 2.0, 5.0)]);
+        assert_eq!(t.len(), 1);
+        assert_eq!(t.height(), 1);
+        assert_eq!(t.total().sum, 5.0);
+        let hit = Range::circle(Point::new(1.0, 2.0), 0.5);
+        let miss = Range::circle(Point::new(9.0, 9.0), 0.5);
+        assert_eq!(t.aggregate(&hit).count, 1.0);
+        assert_eq!(t.aggregate(&miss).count, 0.0);
+    }
+
+    #[test]
+    fn total_matches_bruteforce_everything_range() {
+        let objs = grid_objects(1000);
+        let t = RTree::from_objects(&objs);
+        let everything = Range::rect(Point::new(-1.0, -1.0), Point::new(101.0, 101.0));
+        let b = brute(&objs, &everything);
+        let a = t.aggregate(&everything);
+        assert_eq!(a.count, b.count);
+        assert_eq!(a.count, 1000.0);
+        assert!((a.sum - b.sum).abs() < 1e-9);
+    }
+
+    #[test]
+    fn circle_queries_match_bruteforce() {
+        let objs = grid_objects(2000);
+        let t = RTree::from_objects(&objs);
+        for (cx, cy, r) in [
+            (50.0, 50.0, 10.0),
+            (0.0, 0.0, 30.0),
+            (100.0, 0.0, 5.0),
+            (25.0, 75.0, 0.1),
+            (50.0, 50.0, 200.0),
+        ] {
+            let q = Range::circle(Point::new(cx, cy), r);
+            let a = t.aggregate(&q);
+            let b = brute(&objs, &q);
+            assert_eq!(a.count, b.count, "count mismatch at {q}");
+            assert!((a.sum - b.sum).abs() < 1e-9, "sum mismatch at {q}");
+            assert!((a.sum_sqr - b.sum_sqr).abs() < 1e-9);
+        }
+    }
+
+    #[test]
+    fn rect_queries_match_bruteforce() {
+        let objs = grid_objects(2000);
+        let t = RTree::from_objects(&objs);
+        for (x0, y0, x1, y1) in [
+            (10.0, 10.0, 20.0, 20.0),
+            (0.0, 0.0, 100.0, 1.0),
+            (49.9, 0.0, 50.1, 100.0),
+            (90.0, 90.0, 91.0, 91.0),
+        ] {
+            let q = Range::rect(Point::new(x0, y0), Point::new(x1, y1));
+            let a = t.aggregate(&q);
+            let b = brute(&objs, &q);
+            assert_eq!(a.count, b.count, "count mismatch at {q}");
+            assert!((a.sum - b.sum).abs() < 1e-9);
+        }
+    }
+
+    #[test]
+    fn clipped_queries_match_bruteforce() {
+        let objs = grid_objects(1500);
+        let t = RTree::from_objects(&objs);
+        let range = Range::circle(Point::new(50.0, 50.0), 20.0);
+        for (x0, y0, x1, y1) in [
+            (40.0, 40.0, 60.0, 60.0),
+            (30.0, 50.0, 50.0, 70.0),
+            (0.0, 0.0, 10.0, 10.0), // disjoint from the circle
+            (45.0, 45.0, 46.0, 46.0),
+        ] {
+            let clip = Rect::new(Point::new(x0, y0), Point::new(x1, y1));
+            let a = t.aggregate_clipped(&range, &clip);
+            let b = objs
+                .iter()
+                .filter(|o| range.contains_point(&o.location) && clip.contains_point(&o.location))
+                .fold(Aggregate::ZERO, |acc, o| acc.merge(&Aggregate::of(o)));
+            assert_eq!(a.count, b.count, "clip {clip}");
+            assert!((a.sum - b.sum).abs() < 1e-9);
+        }
+    }
+
+    #[test]
+    fn clipped_sum_over_partition_equals_unclipped() {
+        // Clipping by a partition of the plane must reassemble the answer.
+        let objs = grid_objects(1200);
+        let t = RTree::from_objects(&objs);
+        let range = Range::circle(Point::new(50.0, 50.0), 25.0);
+        let mut acc = Aggregate::ZERO;
+        let step = 20.0;
+        for i in 0..6 {
+            for j in 0..6 {
+                let clip = Rect::new(
+                    Point::new(i as f64 * step, j as f64 * step),
+                    // Half-open tiling emulated by nudging the upper edge.
+                    Point::new((i + 1) as f64 * step - 1e-9, (j + 1) as f64 * step - 1e-9),
+                );
+                acc.merge_in(&t.aggregate_clipped(&range, &clip));
+            }
+        }
+        let whole = t.aggregate(&range);
+        assert_eq!(acc.count, whole.count);
+        assert!((acc.sum - whole.sum).abs() < 1e-9);
+    }
+
+    #[test]
+    fn query_objects_matches_filter() {
+        let objs = grid_objects(500);
+        let t = RTree::from_objects(&objs);
+        let q = Range::circle(Point::new(50.0, 50.0), 15.0);
+        let mut got: Vec<_> = t
+            .query_objects(&q)
+            .iter()
+            .map(|o| (o.location.x.to_bits(), o.location.y.to_bits()))
+            .collect();
+        let mut want: Vec<_> = objs
+            .iter()
+            .filter(|o| q.contains_point(&o.location))
+            .map(|o| (o.location.x.to_bits(), o.location.y.to_bits()))
+            .collect();
+        got.sort_unstable();
+        want.sort_unstable();
+        assert_eq!(got, want);
+    }
+
+    #[test]
+    fn height_grows_logarithmically() {
+        let cfg = RTreeConfig::with_fanout(4);
+        let t16 = RTree::bulk_load(grid_objects(16), cfg);
+        let t64 = RTree::bulk_load(grid_objects(64), cfg);
+        let t4096 = RTree::bulk_load(grid_objects(4096), cfg);
+        assert!(t16.height() <= 3);
+        assert!(t64.height() <= 4);
+        assert!(t4096.height() <= 7);
+        assert!(t4096.height() > t16.height());
+    }
+
+    #[test]
+    fn fanout_one_is_rejected() {
+        assert!(std::panic::catch_unwind(|| RTreeConfig::with_fanout(1)).is_err());
+    }
+
+    #[test]
+    fn duplicate_locations_are_kept() {
+        let objs = vec![SpatialObject::at(1.0, 1.0, 2.0); 50];
+        let t = RTree::from_objects(&objs);
+        let q = Range::circle(Point::new(1.0, 1.0), 0.1);
+        assert_eq!(t.aggregate(&q).count, 50.0);
+        assert_eq!(t.aggregate(&q).sum, 100.0);
+    }
+
+    #[test]
+    fn memory_grows_with_size() {
+        let small = RTree::from_objects(&grid_objects(100));
+        let large = RTree::from_objects(&grid_objects(10_000));
+        assert!(large.memory_bytes() > small.memory_bytes());
+        assert!(small.memory_bytes() > 0);
+    }
+
+    #[test]
+    fn node_count_is_linear_in_objects() {
+        let t = RTree::bulk_load(grid_objects(1000), RTreeConfig::with_fanout(10));
+        // ~100 leaves + ~10 internals + root.
+        assert!(t.node_count() >= 100);
+        assert!(t.node_count() <= 130);
+    }
+}

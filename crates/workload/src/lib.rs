@@ -1,0 +1,30 @@
+//! Synthetic workloads for the `fedra` experiments.
+//!
+//! The paper evaluates on a proprietary 1 TB Beijing shared-mobility
+//! dataset; this crate generates its closest synthetic stand-in (see
+//! DESIGN.md §2 for the substitution argument):
+//!
+//! * [`city`] — a Gaussian-mixture Beijing over the paper's bounding box,
+//!   with per-company hotspot skew for the Non-IID case;
+//! * [`WorkloadSpec`] — Tab. 2's data parameters (`|P|`, `m`, IID vs
+//!   Non-IID) plus the dataset facts (three companies, ratio 1:1:2) and
+//!   the Sec. 8.1 silo-splitting rule;
+//! * [`QueryGenerator`] — query ranges anchored at data locations, radius
+//!   1–3 km, circles and equal-area squares;
+//! * [`SweepConfig`] — the full Tab. 2 grid with per-figure sweeps and
+//!   the `FEDRA_SCALE` environment override.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod city;
+pub mod io;
+mod queries;
+mod spec;
+mod sweep;
+
+pub use city::{beijing_bounds, CityModel, Hotspot, MeasureModel};
+pub use io::{read_csv, write_csv, CsvError};
+pub use queries::QueryGenerator;
+pub use spec::{Dataset, Distribution, WorkloadSpec};
+pub use sweep::{ParamPoint, SweepConfig};

@@ -1,0 +1,138 @@
+//! FRA query generation, following the paper's recipe (Sec. 8.1):
+//! "we randomly select a location from the dataset as the center of the
+//! circle and vary the radius r from 1 km to 3 km … for each radius, we
+//! generate a set of nQ independent range aggregation queries".
+
+use rand::rngs::StdRng;
+use rand::seq::IndexedRandom;
+use rand::{Rng, SeedableRng};
+
+use fedra_geo::{Point, Range, SpatialObject};
+
+/// A reproducible generator of query ranges anchored at data locations.
+#[derive(Debug)]
+pub struct QueryGenerator {
+    centers: Vec<Point>,
+    rng: StdRng,
+}
+
+impl QueryGenerator {
+    /// Creates a generator that picks centers from `objects`.
+    ///
+    /// # Panics
+    /// Panics when `objects` is empty — queries need data to anchor to.
+    pub fn new(objects: &[SpatialObject], seed: u64) -> Self {
+        assert!(!objects.is_empty(), "query centers come from the data");
+        Self {
+            centers: objects.iter().map(|o| o.location).collect(),
+            rng: StdRng::seed_from_u64(seed),
+        }
+    }
+
+    /// One circular range of the given radius at a random data location.
+    pub fn circle(&mut self, radius_km: f64) -> Range {
+        let center = *self
+            .centers
+            .choose(&mut self.rng)
+            .expect("constructor guarantees centers");
+        Range::circle(center, radius_km)
+    }
+
+    /// A batch of `n` independent circular ranges (the paper's query set
+    /// for one radius).
+    pub fn circles(&mut self, radius_km: f64, n: usize) -> Vec<Range> {
+        (0..n).map(|_| self.circle(radius_km)).collect()
+    }
+
+    /// One square range with the same area as a circle of `radius_km`
+    /// (for the rectangular-range variant of Definition 2).
+    pub fn square(&mut self, radius_km: f64) -> Range {
+        let center = *self
+            .centers
+            .choose(&mut self.rng)
+            .expect("constructor guarantees centers");
+        let half = radius_km * std::f64::consts::PI.sqrt() / 2.0;
+        Range::rect(
+            Point::new(center.x - half, center.y - half),
+            Point::new(center.x + half, center.y + half),
+        )
+    }
+
+    /// A batch of `n` square ranges.
+    pub fn squares(&mut self, radius_km: f64, n: usize) -> Vec<Range> {
+        (0..n).map(|_| self.square(radius_km)).collect()
+    }
+
+    /// A random mix of circles and equal-area squares.
+    pub fn mixed(&mut self, radius_km: f64, n: usize) -> Vec<Range> {
+        (0..n)
+            .map(|_| {
+                if self.rng.random::<bool>() {
+                    self.circle(radius_km)
+                } else {
+                    self.square(radius_km)
+                }
+            })
+            .collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use fedra_geo::SpatialObject;
+
+    fn objects() -> Vec<SpatialObject> {
+        (0..100)
+            .map(|i| SpatialObject::at((i % 10) as f64, (i / 10) as f64, 1.0))
+            .collect()
+    }
+
+    #[test]
+    fn circles_are_anchored_at_data() {
+        let objs = objects();
+        let mut generator = QueryGenerator::new(&objs, 1);
+        for q in generator.circles(2.0, 50) {
+            match q {
+                Range::Circle(c) => {
+                    assert_eq!(c.radius, 2.0);
+                    assert!(objs.iter().any(|o| o.location == c.center));
+                }
+                _ => panic!("expected a circle"),
+            }
+        }
+    }
+
+    #[test]
+    fn squares_match_circle_area() {
+        let objs = objects();
+        let mut generator = QueryGenerator::new(&objs, 2);
+        let q = generator.square(2.0);
+        let circle_area = std::f64::consts::PI * 4.0;
+        assert!((q.area() - circle_area).abs() < 1e-9);
+    }
+
+    #[test]
+    fn generation_is_deterministic() {
+        let objs = objects();
+        let a: Vec<Range> = QueryGenerator::new(&objs, 3).circles(1.5, 10);
+        let b: Vec<Range> = QueryGenerator::new(&objs, 3).circles(1.5, 10);
+        assert_eq!(a, b);
+        let c: Vec<Range> = QueryGenerator::new(&objs, 4).circles(1.5, 10);
+        assert_ne!(a, c);
+    }
+
+    #[test]
+    fn mixed_batches_contain_both_shapes() {
+        let objs = objects();
+        let qs = QueryGenerator::new(&objs, 5).mixed(1.0, 40);
+        assert!(qs.iter().any(|q| matches!(q, Range::Circle(_))));
+        assert!(qs.iter().any(|q| matches!(q, Range::Rect(_))));
+    }
+
+    #[test]
+    #[should_panic(expected = "centers come from the data")]
+    fn empty_data_is_rejected() {
+        QueryGenerator::new(&[], 0);
+    }
+}

@@ -1,0 +1,338 @@
+//! Workload specification and dataset generation.
+//!
+//! [`WorkloadSpec`] captures everything Tab. 2 parameterizes about the
+//! *data* (size `|P|`, silo count `m`, IID vs Non-IID) plus the paper's
+//! fixed dataset facts (three companies with record ratio 1:1:2). The
+//! silo-splitting rule follows Sec. 8.1: "we equally split the records of
+//! each company to form more data silos".
+
+use rand::rngs::StdRng;
+use rand::seq::SliceRandom;
+use rand::SeedableRng;
+
+use fedra_geo::{Rect, SpatialObject};
+
+use crate::city::{CityModel, MeasureModel};
+
+/// How spatial objects distribute across silos.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum Distribution {
+    /// Every silo draws from the same city-wide mixture (the IID case).
+    Iid,
+    /// Each company over-weights its own focus hotspots (the Non-IID
+    /// case); silos inherit their company's distribution.
+    #[default]
+    CompanySkewed,
+}
+
+/// A reproducible workload description.
+#[derive(Debug, Clone)]
+pub struct WorkloadSpec {
+    /// Total number of spatial objects `|P|` (Tab. 2: 1–5 × 10⁶,
+    /// default 3 × 10⁶; scaled down by default in this repo).
+    pub total_objects: usize,
+    /// Number of silos `m` (Tab. 2: 3–15, default 6).
+    pub num_silos: usize,
+    /// Company record ratio (the paper's dataset: 1 : 1 : 2).
+    pub company_ratio: Vec<u32>,
+    /// IID or company-skewed generation.
+    pub distribution: Distribution,
+    /// Hotspot over-weighting factor for the skewed case.
+    pub skew: f64,
+    /// Measure attribute model.
+    pub measure: MeasureModel,
+    /// RNG seed — same spec, same dataset.
+    pub seed: u64,
+}
+
+impl Default for WorkloadSpec {
+    fn default() -> Self {
+        Self {
+            total_objects: 600_000,
+            num_silos: 6,
+            company_ratio: vec![1, 1, 2],
+            distribution: Distribution::CompanySkewed,
+            skew: 3.0,
+            measure: MeasureModel::Passengers,
+            seed: 0xBE111,
+        }
+    }
+}
+
+impl WorkloadSpec {
+    /// A laptop-friendly spec for tests, examples and doctests
+    /// (30 k objects, 3 silos).
+    pub fn small() -> Self {
+        Self {
+            total_objects: 30_000,
+            num_silos: 3,
+            ..Self::default()
+        }
+    }
+
+    /// Builder-style override of the object count.
+    pub fn with_total_objects(mut self, n: usize) -> Self {
+        self.total_objects = n;
+        self
+    }
+
+    /// Builder-style override of the silo count.
+    pub fn with_silos(mut self, m: usize) -> Self {
+        self.num_silos = m;
+        self
+    }
+
+    /// Builder-style override of the distribution mode.
+    pub fn with_distribution(mut self, d: Distribution) -> Self {
+        self.distribution = d;
+        self
+    }
+
+    /// Builder-style override of the seed.
+    pub fn with_seed(mut self, seed: u64) -> Self {
+        self.seed = seed;
+        self
+    }
+
+    /// Generates the dataset.
+    ///
+    /// # Panics
+    /// Panics when `num_silos == 0` or the company ratio is empty/zero.
+    pub fn generate(&self) -> Dataset {
+        assert!(self.num_silos > 0, "need at least one silo");
+        assert!(
+            !self.company_ratio.is_empty() && self.company_ratio.iter().any(|&r| r > 0),
+            "company ratio must have positive mass"
+        );
+        let model = CityModel::beijing().with_measure(self.measure);
+        let mut rng = StdRng::seed_from_u64(self.seed);
+        let num_companies = self.company_ratio.len();
+        let ratio_total: u32 = self.company_ratio.iter().sum();
+
+        // Per-company record counts in the 1:1:2 proportion.
+        let mut company_sizes: Vec<usize> = self
+            .company_ratio
+            .iter()
+            .map(|&r| self.total_objects * r as usize / ratio_total as usize)
+            .collect();
+        let assigned: usize = company_sizes.iter().sum();
+        company_sizes[num_companies - 1] += self.total_objects - assigned;
+
+        let companies: Vec<Vec<SpatialObject>> = company_sizes
+            .iter()
+            .enumerate()
+            .map(|(c, &size)| {
+                let weights = match self.distribution {
+                    Distribution::Iid => model.company_weights(c, num_companies, 1.0),
+                    Distribution::CompanySkewed => {
+                        model.company_weights(c, num_companies, self.skew)
+                    }
+                };
+                (0..size).map(|_| model.sample(&weights, &mut rng)).collect()
+            })
+            .collect();
+
+        // Sec. 8.1 silo formation: silos round-robin across companies;
+        // each company's records are split equally among its silos.
+        let mut partitions: Vec<Vec<SpatialObject>> = vec![Vec::new(); self.num_silos];
+        for (c, mut records) in companies.iter().cloned().enumerate() {
+            records.shuffle(&mut rng);
+            let my_silos: Vec<usize> = (0..self.num_silos)
+                .filter(|s| s % num_companies == c % num_companies)
+                .collect();
+            if my_silos.is_empty() {
+                // Fewer silos than companies: fold the company into silo
+                // c % m instead of dropping its records.
+                partitions[c % self.num_silos].extend(records);
+                continue;
+            }
+            for (i, record) in records.into_iter().enumerate() {
+                partitions[my_silos[i % my_silos.len()]].push(record);
+            }
+        }
+
+        Dataset {
+            bounds: model.bounds(),
+            partitions,
+        }
+    }
+}
+
+/// A generated dataset: the federation bounds plus one partition per silo.
+#[derive(Debug, Clone)]
+pub struct Dataset {
+    bounds: Rect,
+    partitions: Vec<Vec<SpatialObject>>,
+}
+
+impl Dataset {
+    /// Creates a dataset from explicit partitions (tests, custom data).
+    pub fn from_partitions(bounds: Rect, partitions: Vec<Vec<SpatialObject>>) -> Self {
+        Self { bounds, partitions }
+    }
+
+    /// The federation's spatial bounds.
+    pub fn bounds(&self) -> Rect {
+        self.bounds
+    }
+
+    /// The per-silo partitions.
+    pub fn partitions(&self) -> &[Vec<SpatialObject>] {
+        &self.partitions
+    }
+
+    /// Consumes the dataset, yielding the partitions.
+    pub fn into_partitions(self) -> Vec<Vec<SpatialObject>> {
+        self.partitions
+    }
+
+    /// Total number of objects across all partitions.
+    pub fn len(&self) -> usize {
+        self.partitions.iter().map(Vec::len).sum()
+    }
+
+    /// Whether the dataset holds no objects.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// A flattened copy of every object (ground-truth oracles in tests).
+    pub fn all_objects(&self) -> Vec<SpatialObject> {
+        self.partitions.iter().flatten().copied().collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn generate_respects_total_and_silos() {
+        let ds = WorkloadSpec::small().generate();
+        assert_eq!(ds.len(), 30_000);
+        assert_eq!(ds.partitions().len(), 3);
+        assert!(!ds.is_empty());
+    }
+
+    #[test]
+    fn generation_is_deterministic_per_seed() {
+        let a = WorkloadSpec::small().generate();
+        let b = WorkloadSpec::small().generate();
+        assert_eq!(a.all_objects().len(), b.all_objects().len());
+        let (ao, bo) = (a.all_objects(), b.all_objects());
+        for (x, y) in ao.iter().zip(&bo) {
+            assert_eq!(x, y);
+        }
+        let c = WorkloadSpec::small().with_seed(99).generate();
+        assert_ne!(ao[0], c.all_objects()[0]);
+    }
+
+    #[test]
+    fn company_ratio_shapes_silo_sizes() {
+        // 3 companies (1:1:2) on 6 silos: silos 0,3 ← company 0 (25 %),
+        // silos 1,4 ← company 1 (25 %), silos 2,5 ← company 2 (50 %).
+        let ds = WorkloadSpec::default()
+            .with_total_objects(60_000)
+            .with_silos(6)
+            .generate();
+        let sizes: Vec<usize> = ds.partitions().iter().map(Vec::len).collect();
+        assert_eq!(sizes.iter().sum::<usize>(), 60_000);
+        assert_eq!(sizes[0] + sizes[3], 15_000);
+        assert_eq!(sizes[1] + sizes[4], 15_000);
+        assert_eq!(sizes[2] + sizes[5], 30_000);
+        // Equal split within a company.
+        assert!((sizes[0] as i64 - sizes[3] as i64).abs() <= 1);
+        assert!((sizes[2] as i64 - sizes[5] as i64).abs() <= 1);
+    }
+
+    #[test]
+    fn three_silos_map_one_to_one_with_companies() {
+        let ds = WorkloadSpec::default()
+            .with_total_objects(40_000)
+            .with_silos(3)
+            .generate();
+        let sizes: Vec<usize> = ds.partitions().iter().map(Vec::len).collect();
+        assert_eq!(sizes, vec![10_000, 10_000, 20_000]);
+    }
+
+    #[test]
+    fn all_objects_inside_bounds() {
+        let ds = WorkloadSpec::small().generate();
+        for o in ds.all_objects() {
+            assert!(ds.bounds().contains_point(&o.location));
+        }
+    }
+
+    #[test]
+    fn iid_silos_have_similar_spatial_means() {
+        let ds = WorkloadSpec::small()
+            .with_distribution(Distribution::Iid)
+            .with_total_objects(60_000)
+            .generate();
+        let centroids: Vec<(f64, f64)> = ds
+            .partitions()
+            .iter()
+            .map(|p| {
+                let n = p.len() as f64;
+                (
+                    p.iter().map(|o| o.location.x).sum::<f64>() / n,
+                    p.iter().map(|o| o.location.y).sum::<f64>() / n,
+                )
+            })
+            .collect();
+        for w in centroids.windows(2) {
+            assert!((w[0].0 - w[1].0).abs() < 2.0, "IID centroids drift: {centroids:?}");
+            assert!((w[0].1 - w[1].1).abs() < 2.0);
+        }
+    }
+
+    #[test]
+    fn skewed_silos_have_divergent_spatial_means() {
+        let ds = WorkloadSpec::small()
+            .with_total_objects(60_000)
+            .generate(); // CompanySkewed by default
+        let centroids: Vec<(f64, f64)> = ds
+            .partitions()
+            .iter()
+            .map(|p| {
+                let n = p.len() as f64;
+                (
+                    p.iter().map(|o| o.location.x).sum::<f64>() / n,
+                    p.iter().map(|o| o.location.y).sum::<f64>() / n,
+                )
+            })
+            .collect();
+        let max_dx = centroids
+            .iter()
+            .flat_map(|a| centroids.iter().map(move |b| (a.0 - b.0).abs()))
+            .fold(0.0f64, f64::max);
+        assert!(max_dx > 1.0, "skewed centroids too close: {centroids:?}");
+    }
+
+    #[test]
+    fn more_silos_than_multiples_still_assigns_everything() {
+        // m = 7 with 3 companies: 7 % 3 ≠ 0, every record must still land.
+        let ds = WorkloadSpec::default()
+            .with_total_objects(21_000)
+            .with_silos(7)
+            .generate();
+        assert_eq!(ds.len(), 21_000);
+        assert!(ds.partitions().iter().all(|p| !p.is_empty()));
+    }
+
+    #[test]
+    fn fewer_silos_than_companies_folds_companies() {
+        let ds = WorkloadSpec::default()
+            .with_total_objects(12_000)
+            .with_silos(2)
+            .generate();
+        assert_eq!(ds.len(), 12_000);
+        assert_eq!(ds.partitions().len(), 2);
+    }
+
+    #[test]
+    #[should_panic(expected = "at least one silo")]
+    fn zero_silos_rejected() {
+        WorkloadSpec::default().with_silos(0).generate();
+    }
+}

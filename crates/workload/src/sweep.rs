@@ -1,0 +1,242 @@
+//! The Tab. 2 parameter grid, with the repo's default down-scaling.
+//!
+//! The paper sweeps six parameters, one at a time, holding the others at
+//! their bold defaults:
+//!
+//! | Parameter | Settings (defaults bold) |
+//! |---|---|
+//! | size of data federation `|P|` | 1, 2, **3**, 4, 5 × 10⁶ |
+//! | number of data silos `m` | 3, **6**, 9, 12, 15 |
+//! | radius of query range `r` (km) | 1, 1.5, **2**, 2.5, 3 |
+//! | number of queries `nQ` | 50, 100, **150**, 200, 250 |
+//! | approximate ratio ε | 0.05, **0.10**, 0.15, 0.20, 0.25 |
+//! | least upper bound δ | **0.01**, 0.02, 0.03, 0.04, 0.05 |
+//!
+//! plus the grid length `L` ∈ {0.5, **1**, 1.5, 2, 2.5} km (Fig. 5).
+//!
+//! [`SweepConfig::from_env`] scales the data sizes by `FEDRA_SCALE`
+//! (default 0.2, i.e. 0.2–1.0 × 10⁶ objects) so the full suite finishes
+//! on one machine; all other axes match the paper exactly. Set
+//! `FEDRA_SCALE=1.0` to reproduce at paper scale.
+
+/// One experiment's full parameter assignment.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct ParamPoint {
+    /// Data federation size `|P|`.
+    pub data_size: usize,
+    /// Number of silos `m`.
+    pub num_silos: usize,
+    /// Query radius in km.
+    pub radius_km: f64,
+    /// Queries per batch `nQ`.
+    pub num_queries: usize,
+    /// LSR approximation ratio ε.
+    pub epsilon: f64,
+    /// LSR failure bound δ.
+    pub delta: f64,
+    /// Grid cell length `L` in km.
+    pub grid_len_km: f64,
+}
+
+/// The Tab. 2 grid: per-axis settings plus the bold defaults.
+#[derive(Debug, Clone, PartialEq)]
+pub struct SweepConfig {
+    /// `|P|` axis.
+    pub data_sizes: Vec<usize>,
+    /// `m` axis.
+    pub silo_counts: Vec<usize>,
+    /// `r` axis (km).
+    pub radii_km: Vec<f64>,
+    /// `nQ` axis.
+    pub query_counts: Vec<usize>,
+    /// ε axis.
+    pub epsilons: Vec<f64>,
+    /// δ axis.
+    pub deltas: Vec<f64>,
+    /// `L` axis (km).
+    pub grid_lengths_km: Vec<f64>,
+    /// The bold defaults every sweep holds fixed on its other axes.
+    pub defaults: ParamPoint,
+}
+
+impl SweepConfig {
+    /// The paper's exact Tab. 2 settings (3 × 10⁶ objects by default —
+    /// heavy; prefer [`SweepConfig::from_env`] for routine runs).
+    pub fn paper() -> Self {
+        Self::scaled(1.0)
+    }
+
+    /// Tab. 2 with the `|P|` axis multiplied by `factor`.
+    ///
+    /// # Panics
+    /// Panics on a non-positive factor.
+    pub fn scaled(factor: f64) -> Self {
+        assert!(factor > 0.0 && factor.is_finite(), "scale must be positive");
+        let size = |millions: f64| (millions * 1e6 * factor).round() as usize;
+        let data_sizes = vec![size(1.0), size(2.0), size(3.0), size(4.0), size(5.0)];
+        Self {
+            defaults: ParamPoint {
+                data_size: data_sizes[2],
+                num_silos: 6,
+                radius_km: 2.0,
+                num_queries: 150,
+                epsilon: 0.10,
+                delta: 0.01,
+                grid_len_km: 1.0,
+            },
+            data_sizes,
+            silo_counts: vec![3, 6, 9, 12, 15],
+            radii_km: vec![1.0, 1.5, 2.0, 2.5, 3.0],
+            query_counts: vec![50, 100, 150, 200, 250],
+            epsilons: vec![0.05, 0.10, 0.15, 0.20, 0.25],
+            deltas: vec![0.01, 0.02, 0.03, 0.04, 0.05],
+            grid_lengths_km: vec![0.5, 1.0, 1.5, 2.0, 2.5],
+        }
+    }
+
+    /// Reads `FEDRA_SCALE` (default 0.2) and returns the scaled grid.
+    pub fn from_env() -> Self {
+        let factor = std::env::var("FEDRA_SCALE")
+            .ok()
+            .and_then(|s| s.parse::<f64>().ok())
+            .unwrap_or(0.2);
+        Self::scaled(factor)
+    }
+
+    /// Points of the Fig. 3 sweep (radius axis).
+    pub fn sweep_radius(&self) -> Vec<ParamPoint> {
+        self.radii_km
+            .iter()
+            .map(|&radius_km| ParamPoint {
+                radius_km,
+                ..self.defaults
+            })
+            .collect()
+    }
+
+    /// Points of the Fig. 4 sweep (silo-count axis).
+    pub fn sweep_silos(&self) -> Vec<ParamPoint> {
+        self.silo_counts
+            .iter()
+            .map(|&num_silos| ParamPoint {
+                num_silos,
+                ..self.defaults
+            })
+            .collect()
+    }
+
+    /// Points of the Fig. 5 sweep (grid-length axis).
+    pub fn sweep_grid_length(&self) -> Vec<ParamPoint> {
+        self.grid_lengths_km
+            .iter()
+            .map(|&grid_len_km| ParamPoint {
+                grid_len_km,
+                ..self.defaults
+            })
+            .collect()
+    }
+
+    /// Points of the Fig. 6 sweep (ε axis).
+    pub fn sweep_epsilon(&self) -> Vec<ParamPoint> {
+        self.epsilons
+            .iter()
+            .map(|&epsilon| ParamPoint {
+                epsilon,
+                ..self.defaults
+            })
+            .collect()
+    }
+
+    /// Points of the Fig. 7 sweep (δ axis).
+    pub fn sweep_delta(&self) -> Vec<ParamPoint> {
+        self.deltas
+            .iter()
+            .map(|&delta| ParamPoint {
+                delta,
+                ..self.defaults
+            })
+            .collect()
+    }
+
+    /// Points of the Fig. 8 sweep (query-count axis).
+    pub fn sweep_queries(&self) -> Vec<ParamPoint> {
+        self.query_counts
+            .iter()
+            .map(|&num_queries| ParamPoint {
+                num_queries,
+                ..self.defaults
+            })
+            .collect()
+    }
+
+    /// Points of the Fig. 9 sweep (data-size axis).
+    pub fn sweep_data_size(&self) -> Vec<ParamPoint> {
+        self.data_sizes
+            .iter()
+            .map(|&data_size| ParamPoint {
+                data_size,
+                ..self.defaults
+            })
+            .collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn paper_grid_matches_table2() {
+        let c = SweepConfig::paper();
+        assert_eq!(c.data_sizes, vec![1_000_000, 2_000_000, 3_000_000, 4_000_000, 5_000_000]);
+        assert_eq!(c.silo_counts, vec![3, 6, 9, 12, 15]);
+        assert_eq!(c.radii_km, vec![1.0, 1.5, 2.0, 2.5, 3.0]);
+        assert_eq!(c.query_counts, vec![50, 100, 150, 200, 250]);
+        assert_eq!(c.epsilons, vec![0.05, 0.10, 0.15, 0.20, 0.25]);
+        assert_eq!(c.deltas, vec![0.01, 0.02, 0.03, 0.04, 0.05]);
+        assert_eq!(c.defaults.data_size, 3_000_000);
+        assert_eq!(c.defaults.num_silos, 6);
+        assert_eq!(c.defaults.radius_km, 2.0);
+        assert_eq!(c.defaults.num_queries, 150);
+        assert_eq!(c.defaults.epsilon, 0.10);
+        assert_eq!(c.defaults.delta, 0.01);
+        assert_eq!(c.defaults.grid_len_km, 1.0);
+    }
+
+    #[test]
+    fn scaling_shrinks_only_data_sizes() {
+        let c = SweepConfig::scaled(0.1);
+        assert_eq!(c.data_sizes[0], 100_000);
+        assert_eq!(c.defaults.data_size, 300_000);
+        assert_eq!(c.silo_counts, SweepConfig::paper().silo_counts);
+        assert_eq!(c.radii_km, SweepConfig::paper().radii_km);
+    }
+
+    #[test]
+    fn sweeps_vary_exactly_one_axis() {
+        let c = SweepConfig::scaled(0.2);
+        let radius_points = c.sweep_radius();
+        assert_eq!(radius_points.len(), 5);
+        for (p, &r) in radius_points.iter().zip(&c.radii_km) {
+            assert_eq!(p.radius_km, r);
+            assert_eq!(p.num_silos, c.defaults.num_silos);
+            assert_eq!(p.data_size, c.defaults.data_size);
+        }
+        let silo_points = c.sweep_silos();
+        for (p, &m) in silo_points.iter().zip(&c.silo_counts) {
+            assert_eq!(p.num_silos, m);
+            assert_eq!(p.radius_km, c.defaults.radius_km);
+        }
+        assert_eq!(c.sweep_epsilon().len(), 5);
+        assert_eq!(c.sweep_delta().len(), 5);
+        assert_eq!(c.sweep_queries().len(), 5);
+        assert_eq!(c.sweep_data_size().len(), 5);
+        assert_eq!(c.sweep_grid_length().len(), 5);
+    }
+
+    #[test]
+    #[should_panic(expected = "positive")]
+    fn zero_scale_rejected() {
+        SweepConfig::scaled(0.0);
+    }
+}

@@ -1,0 +1,154 @@
+//! Statistical validation of the synthetic workload generator: the
+//! properties the estimators' accuracy depends on must actually hold in
+//! generated data, not just by construction on paper.
+
+use fedra_workload::{Distribution, QueryGenerator, WorkloadSpec};
+
+/// Coarse spatial histogram for divergence measurements.
+fn cell_histogram(objects: &[fedra_geo::SpatialObject], bounds: fedra_geo::Rect, n: usize) -> Vec<f64> {
+    let mut h = vec![0.0; n * n];
+    for o in objects {
+        let ix = (((o.location.x - bounds.min.x) / bounds.width() * n as f64) as usize).min(n - 1);
+        let iy = (((o.location.y - bounds.min.y) / bounds.height() * n as f64) as usize).min(n - 1);
+        h[iy * n + ix] += 1.0;
+    }
+    let total: f64 = h.iter().sum();
+    if total > 0.0 {
+        for v in &mut h {
+            *v /= total;
+        }
+    }
+    h
+}
+
+/// Total-variation distance between two cell histograms.
+fn tv_distance(a: &[f64], b: &[f64]) -> f64 {
+    a.iter().zip(b).map(|(x, y)| (x - y).abs()).sum::<f64>() / 2.0
+}
+
+#[test]
+fn iid_partitions_have_low_pairwise_divergence() {
+    let ds = WorkloadSpec::default()
+        .with_total_objects(90_000)
+        .with_silos(3)
+        .with_distribution(Distribution::Iid)
+        .generate();
+    let hists: Vec<Vec<f64>> = ds
+        .partitions()
+        .iter()
+        .map(|p| cell_histogram(p, ds.bounds(), 12))
+        .collect();
+    for i in 0..hists.len() {
+        for j in i + 1..hists.len() {
+            let d = tv_distance(&hists[i], &hists[j]);
+            assert!(d < 0.1, "IID silos {i},{j} diverge: TV = {d}");
+        }
+    }
+}
+
+#[test]
+fn skewed_partitions_have_high_cross_company_divergence() {
+    let ds = WorkloadSpec::default()
+        .with_total_objects(90_000)
+        .with_silos(3) // one silo per company
+        .generate();
+    let hists: Vec<Vec<f64>> = ds
+        .partitions()
+        .iter()
+        .map(|p| cell_histogram(p, ds.bounds(), 12))
+        .collect();
+    let mut max_tv = 0.0f64;
+    for i in 0..hists.len() {
+        for j in i + 1..hists.len() {
+            max_tv = max_tv.max(tv_distance(&hists[i], &hists[j]));
+        }
+    }
+    assert!(
+        max_tv > 0.15,
+        "company-skewed silos too similar: max TV = {max_tv}"
+    );
+}
+
+#[test]
+fn same_company_silos_remain_iid_within_company() {
+    // m = 6 with 3 companies: silos 0 and 3 hold halves of company 0's
+    // records — identically distributed by construction.
+    let ds = WorkloadSpec::default()
+        .with_total_objects(120_000)
+        .with_silos(6)
+        .generate();
+    let h0 = cell_histogram(&ds.partitions()[0], ds.bounds(), 12);
+    let h3 = cell_histogram(&ds.partitions()[3], ds.bounds(), 12);
+    let within = tv_distance(&h0, &h3);
+    let h1 = cell_histogram(&ds.partitions()[1], ds.bounds(), 12);
+    let across = tv_distance(&h0, &h1);
+    assert!(
+        within < across,
+        "within-company divergence ({within}) should undercut cross-company ({across})"
+    );
+    assert!(within < 0.1, "within-company TV too high: {within}");
+}
+
+#[test]
+fn measure_distribution_is_uniform_passengers() {
+    let ds = WorkloadSpec::small().generate();
+    let mut counts = [0usize; 5];
+    for o in ds.all_objects() {
+        counts[o.measure as usize] += 1;
+    }
+    let expected = ds.len() as f64 / 5.0;
+    for (v, &c) in counts.iter().enumerate() {
+        let rel = (c as f64 - expected).abs() / expected;
+        assert!(rel < 0.1, "passenger value {v} count {c} vs expected {expected}");
+    }
+}
+
+#[test]
+fn query_radii_land_in_dense_areas() {
+    // Data-anchored query centers must mostly produce non-empty results —
+    // a generator that queried empty desert would make every MRE trivial.
+    let ds = WorkloadSpec::default()
+        .with_total_objects(40_000)
+        .with_silos(3)
+        .generate();
+    let all = ds.all_objects();
+    let mut generator = QueryGenerator::new(&all, 5);
+    let mut nonempty = 0;
+    let n = 100;
+    for q in generator.circles(2.0, n) {
+        if all.iter().any(|o| q.contains_point(&o.location)) {
+            nonempty += 1;
+        }
+    }
+    assert!(nonempty == n, "every data-anchored query hits its own anchor");
+    // And the hit counts should be substantial for most queries.
+    let mut generator = QueryGenerator::new(&all, 6);
+    let mut substantial = 0;
+    for q in generator.circles(2.0, n) {
+        let hits = all.iter().filter(|o| q.contains_point(&o.location)).count();
+        if hits >= 10 {
+            substantial += 1;
+        }
+    }
+    assert!(
+        substantial > n * 3 / 4,
+        "only {substantial}/{n} queries found ≥10 objects"
+    );
+}
+
+#[test]
+fn dataset_scales_preserve_shape() {
+    // Doubling |P| should double cell occupancy roughly uniformly, not
+    // shift the distribution.
+    let small = WorkloadSpec::default()
+        .with_total_objects(30_000)
+        .with_silos(3)
+        .generate();
+    let large = WorkloadSpec::default()
+        .with_total_objects(60_000)
+        .with_silos(3)
+        .generate();
+    let hs = cell_histogram(&small.all_objects(), small.bounds(), 10);
+    let hl = cell_histogram(&large.all_objects(), large.bounds(), 10);
+    assert!(tv_distance(&hs, &hl) < 0.05);
+}

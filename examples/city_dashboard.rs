@@ -1,0 +1,89 @@
+//! A smart-mobility monitoring dashboard: AVG / STDEV of vehicle speed
+//! per district over a taxi-data federation (the Sec. 7 extensions on
+//! rectangular ranges).
+//!
+//! ```text
+//! cargo run --release --example city_dashboard
+//! ```
+//!
+//! The measure attribute here is vehicle speed (km/h). The dashboard
+//! tiles the urban core into districts and asks, district by district:
+//! how many vehicles, average speed, and speed variability — COUNT, AVG
+//! and STDEV over rectangular ranges, answered with one silo contact per
+//! district via NonIID-est.
+
+use fedra::prelude::*;
+use fedra::workload::MeasureModel;
+
+fn main() {
+    // A taxi federation: speed as the measure attribute.
+    let mut spec = WorkloadSpec::default()
+        .with_total_objects(150_000)
+        .with_silos(6)
+        .with_seed(314);
+    spec.measure = MeasureModel::Speed;
+    let dataset = spec.generate();
+    let federation = FederationBuilder::new(dataset.bounds())
+        .grid_cell_len(1.0)
+        .build(dataset.into_partitions());
+
+    // Districts: a 4×4 tiling of the urban core (the dense part of the
+    // Beijing box — see fedra_workload::city).
+    let core = Rect::new(Point::new(-45.0, -125.0), Point::new(55.0, -45.0));
+    let (tiles_x, tiles_y) = (4, 4);
+    let (w, h) = (core.width() / tiles_x as f64, core.height() / tiles_y as f64);
+
+    let noniid = NonIidEst::new(99);
+    let exact = Exact::new();
+
+    println!("district dashboard (COUNT / AVG speed / STDEV), approximate vs exact\n");
+    println!(
+        "{:>10} {:>18} {:>24} {:>24}",
+        "district", "vehicles (≈ / =)", "avg speed km/h (≈ / =)", "stdev km/h (≈ / =)"
+    );
+    let mut total_err = 0.0;
+    let mut cells = 0;
+    for ty in 0..tiles_y {
+        for tx in 0..tiles_x {
+            let a = Point::new(core.min.x + tx as f64 * w, core.min.y + ty as f64 * h);
+            let b = Point::new(a.x + w, a.y + h);
+            let district = format!("D{}{}", tx + 1, ty + 1);
+
+            let count_q = FraQuery::rect(a, b, AggFunc::Count);
+            let avg_q = FraQuery::rect(a, b, AggFunc::Avg);
+            let std_q = FraQuery::rect(a, b, AggFunc::Stdev);
+
+            // One silo round answers the whole (count, sum, sum_sqr)
+            // triple, so AVG and STDEV are free once COUNT is estimated.
+            let est = noniid.execute(&federation, &count_q);
+            let est_avg = est.aggregate.value(AggFunc::Avg);
+            let est_std = est.aggregate.value(AggFunc::Stdev);
+
+            let true_count = exact.execute(&federation, &count_q).value;
+            let true_avg = exact.execute(&federation, &avg_q).value;
+            let true_std = exact.execute(&federation, &std_q).value;
+
+            println!(
+                "{:>10} {:>8.0} / {:>7.0} {:>12.1} / {:>9.1} {:>12.1} / {:>9.1}",
+                district, est.value, true_count, est_avg, true_avg, est_std, true_std
+            );
+            if true_count > 0.0 {
+                total_err += (est.value - true_count).abs() / true_count;
+                cells += 1;
+            }
+        }
+    }
+    println!(
+        "\nmean relative COUNT error over {} non-empty districts: {:.2} %",
+        cells,
+        total_err / cells as f64 * 100.0
+    );
+
+    // Communication accounting for the whole dashboard refresh.
+    let comm = federation.query_comm();
+    println!(
+        "dashboard refresh traffic: {} rounds, {:.1} KB total",
+        comm.rounds,
+        comm.total_bytes() as f64 / 1024.0
+    );
+}

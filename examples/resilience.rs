@@ -1,0 +1,82 @@
+//! Failure injection: what happens to FRA answers when silos go dark.
+//!
+//! ```text
+//! cargo run --release --example resilience
+//! ```
+//!
+//! The paper's estimators assume healthy silos; `fedra` extends them with
+//! a resampling + degradation ladder:
+//!
+//! 1. healthy — sample one silo uniformly;
+//! 2. some silos down — resample among the survivors (answers stay
+//!    single-round, error grows slightly);
+//! 3. all silos down — degrade to the provider-only grid estimate
+//!    (no rounds, still bounded error from g₀);
+//! 4. EXACT, by contrast, hard-fails the moment any silo is down.
+
+use fedra::prelude::*;
+
+fn main() {
+    let spec = WorkloadSpec::default()
+        .with_total_objects(80_000)
+        .with_silos(6)
+        .with_seed(4242);
+    let dataset = spec.generate();
+    let federation = FederationBuilder::new(dataset.bounds())
+        .grid_cell_len(1.0)
+        .build(dataset.into_partitions());
+
+    let query = FraQuery::circle(Point::new(0.0, -95.0), 2.5, AggFunc::Count);
+    let truth = Exact::new().execute(&federation, &query).value;
+    println!("query: {query}\nground truth: {truth}\n");
+
+    let noniid = NonIidEst::new(1);
+    let stages: [(&str, &[SiloId]); 4] = [
+        ("all 6 silos healthy", &[]),
+        ("2 silos down", &[1, 4]),
+        ("5 silos down", &[0, 1, 2, 3, 4]),
+        ("ALL silos down", &[0, 1, 2, 3, 4, 5]),
+    ];
+
+    println!(
+        "{:>22} {:>14} {:>10} {:>8} {:>24}",
+        "scenario", "NonIID-est", "rel.err", "rounds", "EXACT"
+    );
+    for (label, down) in stages {
+        for &s in down {
+            federation.set_silo_failed(s, true);
+        }
+        federation.reset_query_comm();
+        let r = noniid.execute(&federation, &query);
+        let rounds = federation.query_comm().rounds;
+        let exact_outcome = match Exact::new().try_execute(&federation, &query) {
+            Ok(x) => format!("{:.0}", x.value),
+            Err(e) => truncate(&e.to_string(), 22),
+        };
+        println!(
+            "{:>22} {:>14.1} {:>9.2}% {:>8} {:>24}",
+            label,
+            r.value,
+            (r.value - truth).abs() / truth * 100.0,
+            rounds,
+            exact_outcome,
+        );
+        for &s in down {
+            federation.set_silo_failed(s, false);
+        }
+    }
+
+    println!(
+        "\nnote: with every silo down the estimator answers from the grid\n\
+         index alone (covered cells exact, boundary cells area-weighted) —\n\
+         the dashboard stays up while the fleet reconnects."
+    );
+}
+
+fn truncate(s: &str, n: usize) -> String {
+    if s.len() <= n {
+        s.to_string()
+    } else {
+        format!("{}…", &s[..n])
+    }
+}

@@ -1,0 +1,343 @@
+//! `fedra-cli` — poke a synthetic spatial data federation from the shell.
+//!
+//! ```text
+//! fedra-cli demo                      # build a federation, show a comparison table
+//! fedra-cli query --x 0 --y -95 --radius 2 --func count --algo noniid
+//! fedra-cli stats                     # federation + index statistics
+//! fedra-cli help
+//! ```
+//!
+//! Global options: `--objects N` (default 60000), `--silos M` (default 6),
+//! `--seed S`, `--grid-len KM`, `--iid` (IID partitions instead of
+//! company-skewed).
+
+use std::collections::HashMap;
+use std::process::ExitCode;
+
+use fedra::prelude::*;
+
+fn main() -> ExitCode {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let Some((command, options)) = parse(&args) else {
+        eprintln!("error: malformed arguments (expected --key value pairs)");
+        print_help();
+        return ExitCode::FAILURE;
+    };
+    match command.as_str() {
+        "demo" => demo(&options),
+        "query" => query(&options),
+        "sql" => sql(&options, &args),
+        "stats" => stats(&options),
+        "help" | "" => {
+            print_help();
+            ExitCode::SUCCESS
+        }
+        other => {
+            eprintln!("error: unknown command `{other}`");
+            print_help();
+            ExitCode::FAILURE
+        }
+    }
+}
+
+type Options = HashMap<String, String>;
+
+fn parse(args: &[String]) -> Option<(String, Options)> {
+    let mut command = String::new();
+    let mut options = Options::new();
+    let mut i = 0;
+    while i < args.len() {
+        let arg = &args[i];
+        if let Some(key) = arg.strip_prefix("--") {
+            if key == "iid" {
+                options.insert(key.to_string(), "true".to_string());
+                i += 1;
+            } else {
+                let value = args.get(i + 1)?;
+                options.insert(key.to_string(), value.clone());
+                i += 2;
+            }
+        } else if command.is_empty() {
+            command = arg.clone();
+            i += 1;
+        } else {
+            // Positional payload (e.g. the SQL statement); commands that
+            // use it re-read it from the raw args.
+            i += 1;
+        }
+    }
+    Some((command, options))
+}
+
+fn opt<T: std::str::FromStr>(options: &Options, key: &str, default: T) -> T {
+    options
+        .get(key)
+        .and_then(|v| v.parse().ok())
+        .unwrap_or(default)
+}
+
+fn build_federation(options: &Options) -> (Federation, Vec<SpatialObject>) {
+    if let Some(path) = options.get("data") {
+        eprintln!("loading dataset from {path} ...");
+        let dataset = fedra::workload::read_csv(path, 1.0).unwrap_or_else(|e| {
+            eprintln!("error: {e}");
+            std::process::exit(1);
+        });
+        let all = dataset.all_objects();
+        let federation = FederationBuilder::new(dataset.bounds())
+            .grid_cell_len(opt(options, "grid-len", 1.0))
+            .build(dataset.into_partitions());
+        return (federation, all);
+    }
+    let spec = WorkloadSpec::default()
+        .with_total_objects(opt(options, "objects", 60_000))
+        .with_silos(opt(options, "silos", 6))
+        .with_seed(opt(options, "seed", 0xC11u64))
+        .with_distribution(if options.contains_key("iid") {
+            Distribution::Iid
+        } else {
+            Distribution::CompanySkewed
+        });
+    eprintln!(
+        "building federation: {} objects, {} silos ...",
+        spec.total_objects, spec.num_silos
+    );
+    let dataset = spec.generate();
+    let all = dataset.all_objects();
+    let federation = FederationBuilder::new(dataset.bounds())
+        .grid_cell_len(opt(options, "grid-len", 1.0))
+        .build(dataset.into_partitions());
+    (federation, all)
+}
+
+fn algorithms(seed: u64) -> Vec<Box<dyn FraAlgorithm>> {
+    let params = AccuracyParams::default();
+    vec![
+        Box::new(Exact::new()),
+        Box::new(Opta::new()),
+        Box::new(IidEst::new(seed)),
+        Box::new(IidEstLsr::new(seed ^ 1, params)),
+        Box::new(NonIidEst::new(seed ^ 2)),
+        Box::new(NonIidEstLsr::new(seed ^ 3, params)),
+    ]
+}
+
+fn demo(options: &Options) -> ExitCode {
+    let (federation, all) = build_federation(options);
+    let mut generator = QueryGenerator::new(&all, opt(options, "seed", 0xC11u64) ^ 7);
+    let n = opt(options, "queries", 50usize);
+    let radius = opt(options, "radius", 2.0);
+    let queries: Vec<FraQuery> = generator
+        .circles(radius, n)
+        .into_iter()
+        .map(|r| FraQuery::new(r, AggFunc::Count))
+        .collect();
+
+    let exact = Exact::new();
+    let engine = QueryEngine::per_silo(&exact, &federation);
+    let truth: Vec<f64> = engine.execute_batch(&federation, &queries).values();
+
+    println!(
+        "\n{} COUNT queries, radius {radius} km:\n",
+        queries.len()
+    );
+    println!(
+        "{:>16} {:>10} {:>12} {:>12} {:>12}",
+        "algorithm", "MRE", "time (ms)", "q/s", "comm (KB)"
+    );
+    for alg in algorithms(opt(options, "seed", 0xC11u64)) {
+        federation.reset_query_comm();
+        let engine = QueryEngine::per_silo(alg.as_ref(), &federation);
+        let batch = engine.execute_batch(&federation, &queries);
+        println!(
+            "{:>16} {:>9.2}% {:>12.2} {:>12.0} {:>12.1}",
+            alg.name(),
+            batch.mean_relative_error(&truth) * 100.0,
+            batch.wall_time.as_secs_f64() * 1e3,
+            batch.throughput_qps,
+            batch.comm.total_bytes() as f64 / 1024.0,
+        );
+    }
+    ExitCode::SUCCESS
+}
+
+fn query(options: &Options) -> ExitCode {
+    let (federation, _) = build_federation(options);
+    let x = opt(options, "x", 0.0);
+    let y = opt(options, "y", -95.0);
+    let radius = opt(options, "radius", 2.0);
+    let func = match options.get("func").map(String::as_str).unwrap_or("count") {
+        "count" => AggFunc::Count,
+        "sum" => AggFunc::Sum,
+        "sum_sqr" => AggFunc::SumSqr,
+        "avg" => AggFunc::Avg,
+        "stdev" => AggFunc::Stdev,
+        other => {
+            eprintln!("error: unknown --func `{other}` (count|sum|sum_sqr|avg|stdev)");
+            return ExitCode::FAILURE;
+        }
+    };
+    let q = FraQuery::circle(Point::new(x, y), radius, func);
+    let seed = opt(options, "seed", 0xC11u64);
+    let result = match options.get("algo").map(String::as_str).unwrap_or("noniid") {
+        "exact" => Exact::new().try_execute(&federation, &q),
+        "opta" => Opta::new().try_execute(&federation, &q),
+        "iid" => IidEst::new(seed).try_execute(&federation, &q),
+        "iid-lsr" => IidEstLsr::new(seed, AccuracyParams::default()).try_execute(&federation, &q),
+        "noniid" => NonIidEst::new(seed).try_execute(&federation, &q),
+        "noniid-lsr" => {
+            NonIidEstLsr::new(seed, AccuracyParams::default()).try_execute(&federation, &q)
+        }
+        "adaptive" => {
+            let planner = AdaptivePlanner::new(seed, PlannerPolicy::default());
+            match planner.execute_planned(&federation, &q) {
+                Ok((decision, r)) => {
+                    println!("plan  : {decision:?}");
+                    Ok(r)
+                }
+                Err(e) => Err(e),
+            }
+        }
+        other => {
+            eprintln!(
+                "error: unknown --algo `{other}` (exact|opta|iid|iid-lsr|noniid|noniid-lsr|adaptive)"
+            );
+            return ExitCode::FAILURE;
+        }
+    };
+    match result {
+        Ok(r) => {
+            println!("query : {q}");
+            println!("answer: {}", r.value);
+            if let Some(silo) = r.sampled_silo {
+                println!("silo  : {silo}");
+            }
+            if let Some(level) = r.lsr_level {
+                println!("level : {level}");
+            }
+            let comm = federation.query_comm();
+            println!("comm  : {} rounds, {} bytes", comm.rounds, comm.total_bytes());
+            ExitCode::SUCCESS
+        }
+        Err(e) => {
+            eprintln!("error: {e}");
+            ExitCode::FAILURE
+        }
+    }
+}
+
+fn sql(options: &Options, args: &[String]) -> ExitCode {
+    // The statement is the first free token after `sql` that is not an
+    // option; easiest robust form: everything after the literal "sql".
+    let statement = args
+        .iter()
+        .skip_while(|a| *a != "sql")
+        .skip(1)
+        .take_while(|a| !a.starts_with("--"))
+        .cloned()
+        .collect::<Vec<_>>()
+        .join(" ");
+    if statement.is_empty() {
+        eprintln!("error: usage: fedra-cli sql \"SELECT COUNT(*) FROM fleet WHERE WITHIN(x, y, r)\" [options]");
+        return ExitCode::FAILURE;
+    }
+    let q = match fedra::core::sql::parse(&statement) {
+        Ok(q) => q,
+        Err(e) => {
+            eprintln!("error: {e}");
+            return ExitCode::FAILURE;
+        }
+    };
+    let (federation, _) = build_federation(options);
+    let seed = opt(options, "seed", 0xC11u64);
+    match NonIidEst::new(seed).try_execute(&federation, &q) {
+        Ok(r) => {
+            println!("query : {q}");
+            println!("answer: {}", r.value);
+            let comm = federation.query_comm();
+            println!("comm  : {} rounds, {} bytes", comm.rounds, comm.total_bytes());
+            ExitCode::SUCCESS
+        }
+        Err(e) => {
+            eprintln!("error: {e}");
+            ExitCode::FAILURE
+        }
+    }
+}
+
+fn stats(options: &Options) -> ExitCode {
+    let (federation, _) = build_federation(options);
+    println!("\nfederation statistics");
+    println!("  silos            : {}", federation.num_silos());
+    println!("  objects          : {}", federation.total_objects());
+    println!("  bounds           : {}", federation.bounds());
+    let spec = federation.merged_grid().spec();
+    println!(
+        "  grid             : {}x{} cells of {} km",
+        spec.nx(),
+        spec.ny(),
+        spec.cell_len()
+    );
+    println!(
+        "  setup traffic    : {:.1} KB over {} rounds",
+        federation.setup_comm().total_bytes() as f64 / 1024.0,
+        federation.setup_comm().rounds
+    );
+    println!(
+        "  provider indexes : {:.2} MB",
+        federation.provider_memory_bytes() as f64 / (1024.0 * 1024.0)
+    );
+    println!("\nper-silo index memory (MB):");
+    println!(
+        "{:>6} {:>10} {:>10} {:>10} {:>10}",
+        "silo", "r-tree", "lsr extra", "grid", "histogram"
+    );
+    for (k, r) in federation.silo_memory_reports().iter().enumerate() {
+        let mb = |b: u64| b as f64 / (1024.0 * 1024.0);
+        println!(
+            "{:>6} {:>10.2} {:>10.2} {:>10.2} {:>10.2}",
+            k,
+            mb(r.rtree),
+            mb(r.lsr_extra),
+            mb(r.grid),
+            mb(r.histogram)
+        );
+    }
+    ExitCode::SUCCESS
+}
+
+fn print_help() {
+    println!(
+        "fedra-cli — approximate range aggregation over a spatial data federation
+
+USAGE:
+  fedra-cli <command> [options]
+
+COMMANDS:
+  demo     run a query batch through all six algorithms, print the comparison
+  query    answer one circular query (--x --y --radius --func --algo)
+  sql      answer one SQL-style statement, e.g.
+             fedra-cli sql \"SELECT COUNT(*) FROM fleet WHERE WITHIN(0, -95, 2)\"
+  stats    print federation and index statistics
+  help     this text
+
+GLOBAL OPTIONS:
+  --data FILE     load a CSV dataset (silo,x_km,y_km,measure) instead of
+                  generating one (ignores --objects/--silos/--iid)
+  --objects N     total objects (default 60000)
+  --silos M       number of silos (default 6)
+  --seed S        RNG seed (default 0xC11)
+  --grid-len KM   grid cell length in km (default 1.0)
+  --iid           IID partitions instead of company-skewed
+
+QUERY OPTIONS:
+  --x KM --y KM   circle center in projected km (default CBD: 0, -95)
+  --radius KM     circle radius (default 2.0)
+  --func F        count|sum|sum_sqr|avg|stdev (default count)
+  --algo A        exact|opta|iid|iid-lsr|noniid|noniid-lsr (default noniid)
+
+DEMO OPTIONS:
+  --queries N     batch size (default 50)
+  --radius KM     query radius (default 2.0)"
+    );
+}

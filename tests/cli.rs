@@ -1,0 +1,174 @@
+//! Black-box tests of the `fedra-cli` binary: exit codes, output shape,
+//! and argument validation.
+
+use std::process::Command;
+
+fn cli() -> Command {
+    Command::new(env!("CARGO_BIN_EXE_fedra-cli"))
+}
+
+#[test]
+fn help_prints_usage_and_succeeds() {
+    let out = cli().arg("help").output().expect("run fedra-cli");
+    assert!(out.status.success());
+    let text = String::from_utf8_lossy(&out.stdout);
+    assert!(text.contains("USAGE"));
+    assert!(text.contains("demo"));
+    assert!(text.contains("--algo"));
+}
+
+#[test]
+fn no_arguments_shows_help() {
+    let out = cli().output().expect("run fedra-cli");
+    assert!(out.status.success());
+    assert!(String::from_utf8_lossy(&out.stdout).contains("USAGE"));
+}
+
+#[test]
+fn unknown_command_fails() {
+    let out = cli().arg("frobnicate").output().expect("run fedra-cli");
+    assert!(!out.status.success());
+    assert!(String::from_utf8_lossy(&out.stderr).contains("unknown command"));
+}
+
+#[test]
+fn unknown_algo_fails_cleanly() {
+    let out = cli()
+        .args(["query", "--objects", "2000", "--silos", "2", "--algo", "magic"])
+        .output()
+        .expect("run fedra-cli");
+    assert!(!out.status.success());
+    assert!(String::from_utf8_lossy(&out.stderr).contains("unknown --algo"));
+}
+
+#[test]
+fn query_count_prints_answer_and_comm() {
+    let out = cli()
+        .args([
+            "query", "--objects", "5000", "--silos", "2", "--x", "0", "--y", "-95", "--radius",
+            "3", "--func", "count", "--algo", "exact",
+        ])
+        .output()
+        .expect("run fedra-cli");
+    assert!(out.status.success(), "stderr: {}", String::from_utf8_lossy(&out.stderr));
+    let text = String::from_utf8_lossy(&out.stdout);
+    assert!(text.contains("answer:"));
+    assert!(text.contains("comm"));
+}
+
+#[test]
+fn demo_prints_all_six_algorithms() {
+    let out = cli()
+        .args(["demo", "--objects", "6000", "--silos", "3", "--queries", "5"])
+        .output()
+        .expect("run fedra-cli");
+    assert!(out.status.success(), "stderr: {}", String::from_utf8_lossy(&out.stderr));
+    let text = String::from_utf8_lossy(&out.stdout);
+    for name in [
+        "EXACT",
+        "OPTA",
+        "IID-est",
+        "IID-est+LSR",
+        "NonIID-est",
+        "NonIID-est+LSR",
+    ] {
+        assert!(text.contains(name), "missing {name} in demo output");
+    }
+}
+
+#[test]
+fn stats_reports_grid_and_memory() {
+    let out = cli()
+        .args(["stats", "--objects", "4000", "--silos", "2", "--grid-len", "2.0"])
+        .output()
+        .expect("run fedra-cli");
+    assert!(out.status.success());
+    let text = String::from_utf8_lossy(&out.stdout);
+    assert!(text.contains("silos            : 2"));
+    assert!(text.contains("grid"));
+    assert!(text.contains("per-silo index memory"));
+}
+
+#[test]
+fn malformed_flags_fail() {
+    let out = cli()
+        .args(["demo", "--objects"]) // missing value
+        .output()
+        .expect("run fedra-cli");
+    assert!(!out.status.success());
+}
+
+#[test]
+fn csv_data_drives_the_cli() {
+    let dir = std::env::temp_dir().join("fedra-cli-csv-test");
+    std::fs::create_dir_all(&dir).unwrap();
+    let path = dir.join("fleet.csv");
+    // A tiny 2-silo fleet around the origin.
+    let mut csv = String::from("silo,x_km,y_km,measure\n");
+    for i in 0..200 {
+        csv.push_str(&format!("{},{},{},1\n", i % 2, (i % 20) as f64 * 0.1, (i / 20) as f64 * 0.1));
+    }
+    std::fs::write(&path, csv).unwrap();
+    let out = cli()
+        .args([
+            "query", "--data", path.to_str().unwrap(), "--x", "1", "--y", "0.5", "--radius",
+            "5", "--algo", "exact",
+        ])
+        .output()
+        .expect("run fedra-cli");
+    assert!(out.status.success(), "stderr: {}", String::from_utf8_lossy(&out.stderr));
+    let text = String::from_utf8_lossy(&out.stdout);
+    // All 200 objects are within 5 km of (1, 0.5).
+    assert!(text.contains("answer: 200"), "got: {text}");
+    let _ = std::fs::remove_file(&path);
+}
+
+#[test]
+fn csv_errors_are_reported_with_context() {
+    let dir = std::env::temp_dir().join("fedra-cli-csv-test");
+    std::fs::create_dir_all(&dir).unwrap();
+    let path = dir.join("broken.csv");
+    std::fs::write(&path, "0,oops,1,1\n").unwrap();
+    let out = cli()
+        .args(["stats", "--data", path.to_str().unwrap()])
+        .output()
+        .expect("run fedra-cli");
+    assert!(!out.status.success());
+    assert!(String::from_utf8_lossy(&out.stderr).contains("line 1"));
+    let _ = std::fs::remove_file(&path);
+}
+
+#[test]
+fn sql_statement_answers() {
+    let out = cli()
+        .args([
+            "sql",
+            "SELECT COUNT(*) FROM fleet WHERE WITHIN(0, -95, 2)",
+            "--objects",
+            "5000",
+            "--silos",
+            "2",
+        ])
+        .output()
+        .expect("run fedra-cli");
+    assert!(out.status.success(), "stderr: {}", String::from_utf8_lossy(&out.stderr));
+    let text = String::from_utf8_lossy(&out.stdout);
+    assert!(text.contains("answer:"));
+}
+
+#[test]
+fn sql_parse_errors_are_clear() {
+    let out = cli()
+        .args(["sql", "SELECT MEDIAN(measure) FROM f WHERE WITHIN(1,2,3)"])
+        .output()
+        .expect("run fedra-cli");
+    assert!(!out.status.success());
+    assert!(String::from_utf8_lossy(&out.stderr).contains("MEDIAN"));
+}
+
+#[test]
+fn sql_without_statement_shows_usage() {
+    let out = cli().args(["sql"]).output().expect("run fedra-cli");
+    assert!(!out.status.success());
+    assert!(String::from_utf8_lossy(&out.stderr).contains("usage"));
+}

@@ -1,0 +1,242 @@
+//! End-to-end integration: workload generation → federation setup →
+//! all six algorithms → ground truth, across aggregation functions and
+//! range shapes.
+
+use fedra::prelude::*;
+
+fn testbed(total: usize, silos: usize, seed: u64) -> (Federation, Vec<SpatialObject>) {
+    let spec = WorkloadSpec::default()
+        .with_total_objects(total)
+        .with_silos(silos)
+        .with_seed(seed);
+    let dataset = spec.generate();
+    let all = dataset.all_objects();
+    let federation = FederationBuilder::new(dataset.bounds())
+        .grid_cell_len(1.0)
+        .build(dataset.into_partitions());
+    (federation, all)
+}
+
+fn brute(objects: &[SpatialObject], range: &Range) -> Aggregate {
+    objects
+        .iter()
+        .filter(|o| range.contains_point(&o.location))
+        .fold(Aggregate::ZERO, |acc, o| acc.merge(&Aggregate::of(o)))
+}
+
+#[test]
+fn exact_matches_bruteforce_for_all_functions_and_shapes() {
+    let (fed, all) = testbed(20_000, 3, 1);
+    let ranges = [
+        Range::circle(Point::new(0.0, -95.0), 2.0),
+        Range::circle(Point::new(8.0, -88.0), 1.0),
+        Range::rect(Point::new(-5.0, -100.0), Point::new(5.0, -90.0)),
+    ];
+    let exact = Exact::new();
+    for range in &ranges {
+        let oracle = brute(&all, range);
+        for func in AggFunc::ALL {
+            let r = exact.execute(&fed, &FraQuery::new(*range, func));
+            assert!(
+                (r.value - oracle.value(func)).abs() < 1e-9,
+                "{func} over {range}: {} vs {}",
+                r.value,
+                oracle.value(func)
+            );
+        }
+    }
+}
+
+#[test]
+fn estimators_are_accurate_on_the_city_workload() {
+    let (fed, all) = testbed(60_000, 6, 2);
+    let mut generator = QueryGenerator::new(&all, 3);
+    let queries: Vec<FraQuery> = generator
+        .circles(2.0, 20)
+        .into_iter()
+        .map(|r| FraQuery::new(r, AggFunc::Count))
+        .collect();
+    let exact = Exact::new();
+    let truth: Vec<f64> = queries.iter().map(|q| exact.execute(&fed, q).value).collect();
+
+    let params = AccuracyParams::default();
+    let algorithms: Vec<(Box<dyn FraAlgorithm>, f64)> = vec![
+        (Box::new(Opta::new()), 0.30),
+        (Box::new(IidEst::new(4)), 0.30),
+        (Box::new(IidEstLsr::new(5, params)), 0.35),
+        (Box::new(NonIidEst::new(6)), 0.15),
+        (Box::new(NonIidEstLsr::new(7, params)), 0.20),
+    ];
+    for (alg, limit) in &algorithms {
+        let mut total = 0.0;
+        for (q, &t) in queries.iter().zip(&truth) {
+            let r = alg.execute(&fed, q);
+            total += r.relative_error(t);
+        }
+        let mre = total / queries.len() as f64;
+        assert!(mre < *limit, "{} MRE {mre} over limit {limit}", alg.name());
+    }
+}
+
+#[test]
+fn rounds_reflect_the_protocol() {
+    let (fed, all) = testbed(20_000, 5, 8);
+    let mut generator = QueryGenerator::new(&all, 9);
+    let q = FraQuery::new(generator.circle(2.0), AggFunc::Count);
+
+    fed.reset_query_comm();
+    Exact::new().execute(&fed, &q);
+    assert_eq!(fed.query_comm().rounds, 5, "EXACT talks to every silo");
+
+    fed.reset_query_comm();
+    Opta::new().execute(&fed, &q);
+    assert_eq!(fed.query_comm().rounds, 5, "OPTA talks to every silo");
+
+    fed.reset_query_comm();
+    IidEst::new(10).execute(&fed, &q);
+    assert_eq!(fed.query_comm().rounds, 1, "IID-est samples one silo");
+
+    fed.reset_query_comm();
+    NonIidEst::new(11).execute(&fed, &q);
+    assert_eq!(fed.query_comm().rounds, 1, "NonIID-est samples one silo");
+}
+
+#[test]
+fn communication_ordering_matches_the_paper() {
+    // Per-query bytes: IID-est < NonIID-est < EXACT ≈ OPTA (with the
+    // per-message envelope making fan-out O(m) visible).
+    let (fed, all) = testbed(40_000, 6, 12);
+    let mut generator = QueryGenerator::new(&all, 13);
+    let queries: Vec<FraQuery> = generator
+        .circles(2.0, 30)
+        .into_iter()
+        .map(|r| FraQuery::new(r, AggFunc::Count))
+        .collect();
+
+    let comm_of = |alg: &dyn FraAlgorithm| {
+        fed.reset_query_comm();
+        for q in &queries {
+            alg.execute(&fed, q);
+        }
+        fed.query_comm().total_bytes()
+    };
+    let exact = comm_of(&Exact::new());
+    let opta = comm_of(&Opta::new());
+    let iid = comm_of(&IidEst::new(14));
+    let noniid = comm_of(&NonIidEst::new(15));
+
+    assert!(iid < noniid, "IID O(1) vs NonIID O(sqrt(g0)): {iid} vs {noniid}");
+    assert!(noniid < exact, "NonIID must undercut EXACT: {noniid} vs {exact}");
+    assert!(noniid < opta, "NonIID must undercut OPTA: {noniid} vs {opta}");
+    assert!(
+        exact as f64 / iid as f64 > 3.0,
+        "fan-out premium should approach m: {exact} vs {iid}"
+    );
+}
+
+#[test]
+fn batch_engine_balances_load_and_preserves_answers() {
+    let (fed, all) = testbed(30_000, 6, 16);
+    let mut generator = QueryGenerator::new(&all, 17);
+    let queries: Vec<FraQuery> = generator
+        .circles(2.0, 120)
+        .into_iter()
+        .map(|r| FraQuery::new(r, AggFunc::Count))
+        .collect();
+
+    let served_before = fed.served_per_silo();
+    let alg = NonIidEst::new(18);
+    let engine = QueryEngine::per_silo(&alg, &fed);
+    let batch = engine.execute_batch(&fed, &queries);
+    assert_eq!(batch.failures(), 0);
+    assert!(batch.throughput_qps > 0.0);
+
+    let served_after = fed.served_per_silo();
+    let deltas: Vec<u64> = served_before
+        .iter()
+        .zip(&served_after)
+        .map(|(b, a)| a - b)
+        .collect();
+    let expected = queries.len() as f64 / fed.num_silos() as f64;
+    for (k, &d) in deltas.iter().enumerate() {
+        assert!(
+            (d as f64) < expected * 2.5 + 5.0,
+            "silo {k} over-loaded: {d} of {} queries",
+            queries.len()
+        );
+    }
+}
+
+#[test]
+fn avg_and_stdev_agree_between_estimates_and_truth() {
+    let (fed, all) = testbed(50_000, 4, 19);
+    let mut generator = QueryGenerator::new(&all, 20);
+    let exact = Exact::new();
+    let noniid = NonIidEst::new(21);
+    for range in generator.circles(2.5, 8) {
+        for func in [AggFunc::Avg, AggFunc::Stdev] {
+            let q = FraQuery::new(range, func);
+            let t = exact.execute(&fed, &q).value;
+            if t == 0.0 {
+                continue;
+            }
+            let e = noniid.execute(&fed, &q).value;
+            assert!(
+                (e - t).abs() / t < 0.25,
+                "{func} at {range}: est {e} vs exact {t}"
+            );
+        }
+    }
+}
+
+#[test]
+fn rect_ranges_work_across_all_algorithms() {
+    let (fed, all) = testbed(30_000, 3, 22);
+    let oracle = |r: &Range| brute(&all, r).count;
+    let range = Range::rect(Point::new(-10.0, -105.0), Point::new(10.0, -85.0));
+    let q = FraQuery::new(range, AggFunc::Count);
+    let truth = oracle(&range);
+    assert!(truth > 100.0, "test range too sparse: {truth}");
+
+    let params = AccuracyParams::default();
+    let algorithms: Vec<Box<dyn FraAlgorithm>> = vec![
+        Box::new(Exact::new()),
+        Box::new(Opta::new()),
+        Box::new(IidEst::new(23)),
+        Box::new(IidEstLsr::new(24, params)),
+        Box::new(NonIidEst::new(25)),
+        Box::new(NonIidEstLsr::new(26, params)),
+    ];
+    for alg in &algorithms {
+        let r = alg.execute(&fed, &q);
+        assert!(
+            r.relative_error(truth) < 0.3,
+            "{} rect-range error too large: {} vs {truth}",
+            alg.name(),
+            r.value
+        );
+    }
+}
+
+#[test]
+fn setup_comm_scales_with_grid_size_not_data() {
+    let spec = WorkloadSpec::default()
+        .with_total_objects(10_000)
+        .with_silos(3)
+        .with_seed(27);
+    let dataset = spec.generate();
+    let bounds = dataset.bounds();
+    let coarse = FederationBuilder::new(bounds)
+        .grid_cell_len(4.0)
+        .build(dataset.partitions().to_vec());
+    let fine = FederationBuilder::new(bounds)
+        .grid_cell_len(1.0)
+        .build(dataset.into_partitions());
+    // 16× more cells → much more setup traffic, same data.
+    assert!(
+        fine.setup_comm().total_bytes() > 4 * coarse.setup_comm().total_bytes(),
+        "fine {} vs coarse {}",
+        fine.setup_comm().total_bytes(),
+        coarse.setup_comm().total_bytes()
+    );
+}

@@ -1,0 +1,127 @@
+//! Failure-injection integration: the availability ladder the estimators
+//! climb down as silos disappear, and the hard-fail semantics of the
+//! fan-out baselines.
+
+use fedra::prelude::*;
+
+fn testbed(seed: u64) -> (Federation, f64, FraQuery) {
+    let spec = WorkloadSpec::default()
+        .with_total_objects(30_000)
+        .with_silos(5)
+        .with_seed(seed);
+    let dataset = spec.generate();
+    let federation = FederationBuilder::new(dataset.bounds())
+        .grid_cell_len(1.0)
+        .build(dataset.into_partitions());
+    let q = FraQuery::circle(Point::new(0.0, -95.0), 2.0, AggFunc::Count);
+    let truth = Exact::new().execute(&federation, &q).value;
+    assert!(truth > 100.0, "query must hit data: {truth}");
+    (federation, truth, q)
+}
+
+#[test]
+fn exact_and_opta_fail_fast_on_any_down_silo() {
+    let (fed, _, q) = testbed(1);
+    fed.set_silo_failed(2, true);
+    assert!(matches!(
+        Exact::new().try_execute(&fed, &q),
+        Err(FraError::SiloFailed(_))
+    ));
+    assert!(matches!(
+        Opta::new().try_execute(&fed, &q),
+        Err(FraError::SiloFailed(_))
+    ));
+}
+
+#[test]
+fn estimators_survive_partial_outages() {
+    let (fed, truth, q) = testbed(2);
+    // Progressive outage: keep failing silos; the estimators must keep
+    // answering with bounded error as long as one candidate remains.
+    for down in 0..4 {
+        fed.set_silo_failed(down, true);
+        let r = NonIidEst::new(3 + down as u64).execute(&fed, &q);
+        assert!(
+            r.relative_error(truth) < 0.35,
+            "with {} silos down: error {}",
+            down + 1,
+            r.relative_error(truth)
+        );
+        let r = IidEst::new(30 + down as u64).execute(&fed, &q);
+        assert!(
+            r.relative_error(truth) < 0.5,
+            "IID with {} silos down: error {}",
+            down + 1,
+            r.relative_error(truth)
+        );
+    }
+}
+
+#[test]
+fn estimators_degrade_to_grid_only_under_total_outage() {
+    let (fed, truth, q) = testbed(3);
+    for k in 0..fed.num_silos() {
+        fed.set_silo_failed(k, true);
+    }
+    fed.reset_query_comm();
+    let r = NonIidEst::new(4).execute(&fed, &q);
+    assert!(r.sampled_silo.is_none());
+    assert!(
+        r.relative_error(truth) < 0.5,
+        "grid-only degradation error {}",
+        r.relative_error(truth)
+    );
+    // Dead silos still cost failed rounds (the resample attempts), but
+    // the answer comes from provider state.
+    let comm = fed.query_comm();
+    assert!(comm.rounds <= fed.num_silos() as u64);
+}
+
+#[test]
+fn recovery_restores_single_round_behavior() {
+    let (fed, truth, q) = testbed(5);
+    for k in 0..fed.num_silos() {
+        fed.set_silo_failed(k, true);
+    }
+    let _ = NonIidEst::new(6).execute(&fed, &q);
+    for k in 0..fed.num_silos() {
+        fed.set_silo_failed(k, false);
+    }
+    fed.reset_query_comm();
+    let r = NonIidEst::new(7).execute(&fed, &q);
+    assert_eq!(fed.query_comm().rounds, 1);
+    assert!(r.sampled_silo.is_some());
+    assert!(r.relative_error(truth) < 0.3);
+}
+
+#[test]
+fn batch_execution_tolerates_mid_batch_failures() {
+    let spec = WorkloadSpec::default()
+        .with_total_objects(20_000)
+        .with_silos(4)
+        .with_seed(8);
+    let dataset = spec.generate();
+    let all = dataset.all_objects();
+    let fed = FederationBuilder::new(dataset.bounds())
+        .grid_cell_len(1.0)
+        .build(dataset.into_partitions());
+    let mut generator = QueryGenerator::new(&all, 9);
+    let queries: Vec<FraQuery> = generator
+        .circles(2.0, 60)
+        .into_iter()
+        .map(|r| FraQuery::new(r, AggFunc::Count))
+        .collect();
+
+    fed.set_silo_failed(0, true);
+    fed.set_silo_failed(1, true);
+    let alg = IidEst::new(10);
+    let engine = QueryEngine::per_silo(&alg, &fed);
+    let batch = engine.execute_batch(&fed, &queries);
+    assert_eq!(batch.failures(), 0, "estimators never fail a batch");
+    // No answer may come from a failed silo.
+    for r in &batch.results {
+        if let Some(silo) = r.as_ref().unwrap().sampled_silo {
+            assert!(silo >= 2, "answer came from failed silo {silo}");
+        }
+    }
+}

@@ -1,0 +1,115 @@
+//! Determinism guarantees: identical seeds must yield identical datasets,
+//! federations, and (for seeded estimators) identical answers — the
+//! property every experiment table in EXPERIMENTS.md relies on.
+
+use fedra::prelude::*;
+
+#[test]
+fn datasets_are_bit_identical_per_seed() {
+    let a = WorkloadSpec::small().with_seed(7).generate();
+    let b = WorkloadSpec::small().with_seed(7).generate();
+    assert_eq!(a.len(), b.len());
+    for (x, y) in a.all_objects().iter().zip(b.all_objects().iter()) {
+        assert_eq!(x.location.x.to_bits(), y.location.x.to_bits());
+        assert_eq!(x.location.y.to_bits(), y.location.y.to_bits());
+        assert_eq!(x.measure.to_bits(), y.measure.to_bits());
+    }
+}
+
+#[test]
+fn estimator_answers_are_deterministic_per_seed() {
+    let spec = WorkloadSpec::default()
+        .with_total_objects(20_000)
+        .with_silos(4)
+        .with_seed(11);
+    let dataset = spec.generate();
+    let all = dataset.all_objects();
+    let fed = FederationBuilder::new(dataset.bounds())
+        .grid_cell_len(1.0)
+        .lsr_seed(99)
+        .build(dataset.into_partitions());
+    let mut generator = QueryGenerator::new(&all, 12);
+    let queries: Vec<FraQuery> = generator
+        .circles(2.0, 10)
+        .into_iter()
+        .map(|r| FraQuery::new(r, AggFunc::Count))
+        .collect();
+
+    // Two instances with the same sampling seed walk the same silos.
+    let run = |seed: u64| -> Vec<f64> {
+        let alg = NonIidEst::new(seed);
+        queries.iter().map(|q| alg.execute(&fed, q).value).collect()
+    };
+    assert_eq!(run(42), run(42));
+    // Different seeds are allowed to differ (they sample other silos).
+    let other = run(43);
+    let same = run(42);
+    assert!(
+        same.iter().zip(&other).any(|(a, b)| a != b) || fed.num_silos() == 1,
+        "different sampling seeds should usually pick different silos"
+    );
+}
+
+#[test]
+fn federation_rebuild_reproduces_grid_state() {
+    let spec = WorkloadSpec::small().with_seed(13);
+    let d1 = spec.generate();
+    let d2 = spec.generate();
+    let f1 = FederationBuilder::new(d1.bounds())
+        .grid_cell_len(2.0)
+        .build(d1.into_partitions());
+    let f2 = FederationBuilder::new(d2.bounds())
+        .grid_cell_len(2.0)
+        .build(d2.into_partitions());
+    let spec1 = *f1.merged_grid().spec();
+    for id in 0..spec1.num_cells() as u32 {
+        assert_eq!(
+            f1.merged_grid().cell(id).count,
+            f2.merged_grid().cell(id).count,
+            "cell {id} diverged between identical builds"
+        );
+    }
+    assert_eq!(
+        f1.setup_comm().total_bytes(),
+        f2.setup_comm().total_bytes(),
+        "setup traffic must be deterministic"
+    );
+}
+
+#[test]
+fn lsr_forests_reproduce_per_seed() {
+    // Same lsr_seed → identical LSR answers from the same silo.
+    let spec = WorkloadSpec::default()
+        .with_total_objects(15_000)
+        .with_silos(3)
+        .with_seed(14);
+    let build = || {
+        let dataset = spec.generate();
+        FederationBuilder::new(dataset.bounds())
+            .grid_cell_len(1.0)
+            .lsr_seed(1234)
+            .build(dataset.into_partitions())
+    };
+    let f1 = build();
+    let f2 = build();
+    let q = FraQuery::circle(Point::new(0.0, -95.0), 2.0, AggFunc::Count);
+    use fedra::federation::{LocalMode, Request, Response};
+    let ask = |fed: &Federation| match fed
+        .call(
+            0,
+            &Request::Aggregate {
+                range: q.range,
+                mode: LocalMode::Lsr {
+                    epsilon: 0.2,
+                    delta: 0.01,
+                    sum0: 10_000.0,
+                },
+            },
+        )
+        .unwrap()
+    {
+        Response::Agg(a) => a.count,
+        other => panic!("unexpected {other:?}"),
+    };
+    assert_eq!(ask(&f1), ask(&f2));
+}

@@ -1,0 +1,124 @@
+//! Property-based fuzzing of the wire protocol: arbitrary well-formed
+//! messages must round-trip exactly, and arbitrary byte soup must never
+//! panic the decoder (it errors instead).
+
+use bytes::Bytes;
+use fedra::federation::wire::Wire;
+use fedra::federation::{LocalMode, Request, Response, SiloMemoryReport};
+use fedra::geo::{Point, Range, Rect};
+use fedra::index::Aggregate;
+use proptest::prelude::*;
+
+fn agg() -> impl Strategy<Value = Aggregate> {
+    (any::<f64>(), any::<f64>(), any::<f64>()).prop_map(|(count, sum, sum_sqr)| Aggregate {
+        count,
+        sum,
+        sum_sqr,
+    })
+}
+
+fn range() -> impl Strategy<Value = Range> {
+    prop_oneof![
+        (-1e6f64..1e6, -1e6f64..1e6, 0.0f64..1e4)
+            .prop_map(|(x, y, r)| Range::circle(Point::new(x, y), r)),
+        (-1e6f64..1e6, -1e6f64..1e6, -1e6f64..1e6, -1e6f64..1e6)
+            .prop_map(|(x0, y0, x1, y1)| Range::rect(Point::new(x0, y0), Point::new(x1, y1))),
+    ]
+}
+
+fn mode() -> impl Strategy<Value = LocalMode> {
+    prop_oneof![
+        Just(LocalMode::Exact),
+        (1e-6f64..10.0, 1e-6f64..0.999, 0.0f64..1e9).prop_map(|(epsilon, delta, sum0)| {
+            LocalMode::Lsr {
+                epsilon,
+                delta,
+                sum0,
+            }
+        }),
+    ]
+}
+
+fn request() -> impl Strategy<Value = Request> {
+    prop_oneof![
+        (-1e5f64..1e5, -1e5f64..1e5, 1.0f64..100.0, any::<bool>()).prop_map(
+            |(x, y, len, return_cells)| Request::BuildGrid {
+                bounds: Rect::new(Point::new(x, y), Point::new(x + 10.0, y + 10.0)),
+                cell_len: len,
+                return_cells,
+            }
+        ),
+        (range(), mode()).prop_map(|(range, mode)| Request::Aggregate { range, mode }),
+        (range(), proptest::collection::vec(any::<u32>(), 0..64), mode())
+            .prop_map(|(range, cells, mode)| Request::CellContributions { range, cells, mode }),
+        range().prop_map(|range| Request::HistogramEstimate { range }),
+        Just(Request::MemoryReport),
+        Just(Request::Ping),
+    ]
+}
+
+fn response() -> impl Strategy<Value = Response> {
+    prop_oneof![
+        agg().prop_map(Response::Agg),
+        proptest::collection::vec(agg(), 0..64).prop_map(Response::AggVec),
+        (any::<u64>(), any::<u64>(), any::<u64>(), any::<u64>()).prop_map(
+            |(rtree, lsr_extra, grid, histogram)| Response::Memory(SiloMemoryReport {
+                rtree,
+                lsr_extra,
+                grid,
+                histogram,
+            })
+        ),
+        Just(Response::Pong),
+        ".{0,120}".prop_map(Response::Error),
+    ]
+}
+
+/// Bit-exact equality for aggregates (NaN-safe, unlike PartialEq).
+fn agg_bits(a: &Aggregate) -> (u64, u64, u64) {
+    (a.count.to_bits(), a.sum.to_bits(), a.sum_sqr.to_bits())
+}
+
+proptest! {
+    #[test]
+    fn requests_round_trip(req in request()) {
+        let bytes = req.to_bytes();
+        let back = Request::from_bytes(bytes).expect("well-formed request decodes");
+        prop_assert_eq!(format!("{back:?}"), format!("{req:?}"));
+    }
+
+    #[test]
+    fn responses_round_trip(resp in response()) {
+        let bytes = resp.to_bytes();
+        let back = Response::from_bytes(bytes).expect("well-formed response decodes");
+        match (&back, &resp) {
+            (Response::Agg(a), Response::Agg(b)) => prop_assert_eq!(agg_bits(a), agg_bits(b)),
+            (Response::AggVec(a), Response::AggVec(b)) => {
+                prop_assert_eq!(a.len(), b.len());
+                for (x, y) in a.iter().zip(b) {
+                    prop_assert_eq!(agg_bits(x), agg_bits(y));
+                }
+            }
+            _ => prop_assert_eq!(format!("{back:?}"), format!("{resp:?}")),
+        }
+    }
+
+    #[test]
+    fn arbitrary_bytes_never_panic_the_decoders(data in proptest::collection::vec(any::<u8>(), 0..256)) {
+        // Any outcome is fine except a panic.
+        let _ = Request::from_bytes(Bytes::from(data.clone()));
+        let _ = Response::from_bytes(Bytes::from(data));
+    }
+
+    #[test]
+    fn truncation_is_always_detected(req in request(), cut in 0usize..64) {
+        let bytes = req.to_bytes();
+        if cut > 0 && cut < bytes.len() {
+            let truncated = bytes.slice(0..bytes.len() - cut);
+            // Truncated buffers must error (never silently succeed with
+            // the same meaning... decoding may succeed only if it errors
+            // on the trailing check, which slice removal prevents).
+            prop_assert!(Request::from_bytes(truncated).is_err());
+        }
+    }
+}
