@@ -1,0 +1,69 @@
+//! A/B harness for the batched transport: runs the fig. 8 batch point
+//! (`nQ = 250` at the Tab. 2 defaults) through the coalesced engine path
+//! (`execute_batch`) and the legacy one-RPC-per-query path
+//! (`execute_batch_singleton`), printing throughput and communication
+//! side by side for every algorithm.
+//!
+//! ```text
+//! FEDRA_SCALE=0.2 cargo run --release -p fedra-bench --example ab_batching
+//! ```
+
+use fedra_bench::{build_testbed, SweepConfig};
+use fedra_core::{
+    AccuracyParams, Exact, FraAlgorithm, FraQuery, IidEst, IidEstLsr, NonIidEst, NonIidEstLsr,
+    Opta, QueryEngine,
+};
+use fedra_index::AggFunc;
+use fedra_workload::QueryGenerator;
+
+fn main() {
+    let config = SweepConfig::from_env();
+    let point = fedra_workload::ParamPoint {
+        num_queries: 250,
+        ..config.defaults
+    };
+    let testbed = fedra_bench::timed("build testbed", || build_testbed(&point, 46));
+    let federation = &testbed.federation;
+    let mut generator = QueryGenerator::new(&testbed.all_objects, 6_004 ^ 0x9E37);
+    let queries: Vec<FraQuery> = generator
+        .circles(point.radius_km, point.num_queries)
+        .into_iter()
+        .map(|range| FraQuery::new(range, AggFunc::Count))
+        .collect();
+
+    let params = AccuracyParams::new(point.epsilon, point.delta);
+    let algorithms: Vec<Box<dyn FraAlgorithm>> = vec![
+        Box::new(Exact::new()),
+        Box::new(Opta::new()),
+        Box::new(IidEst::new(46 ^ 0x11)),
+        Box::new(IidEstLsr::new(46 ^ 0x22, params)),
+        Box::new(NonIidEst::new(46 ^ 0x33)),
+        Box::new(NonIidEstLsr::new(46 ^ 0x44, params)),
+    ];
+
+    println!(
+        "nQ = {}  m = {}  |P| = {}  (before = singleton RPCs, after = coalesced batches)",
+        point.num_queries, point.num_silos, point.data_size
+    );
+    println!(
+        "{:>12}  {:>12} {:>12}  {:>12} {:>12}  {:>8} {:>8}",
+        "algorithm", "before q/s", "after q/s", "before KB", "after KB", "b.rounds", "a.rounds"
+    );
+    for alg in &algorithms {
+        let engine = QueryEngine::per_silo(alg.as_ref(), federation);
+        federation.reset_query_comm();
+        let before = engine.execute_batch_singleton(federation, &queries);
+        federation.reset_query_comm();
+        let after = engine.execute_batch(federation, &queries);
+        println!(
+            "{:>12}  {:>12.1} {:>12.1}  {:>12.1} {:>12.1}  {:>8} {:>8}",
+            alg.name(),
+            before.throughput_qps,
+            after.throughput_qps,
+            before.comm.total_bytes() as f64 / 1024.0,
+            after.comm.total_bytes() as f64 / 1024.0,
+            before.comm.rounds,
+            after.comm.rounds,
+        );
+    }
+}

@@ -1,7 +1,8 @@
 //! The [`FraAlgorithm`] trait every query algorithm implements.
 
-use fedra_federation::Federation;
+use fedra_federation::{Federation, Request, Response, SiloId};
 
+use crate::helpers;
 use crate::query::{FraError, FraQuery, QueryResult};
 
 /// Accuracy parameters `(ε, δ)` for the LSR-accelerated variants
@@ -35,11 +36,47 @@ impl AccuracyParams {
     }
 }
 
+/// The remote step a planning algorithm wants executed for one query.
+///
+/// Produced by [`FraAlgorithm::plan`] when the query needs exactly one
+/// silo's answer (the single-silo sampling pattern of Algs. 2 and 3).
+#[derive(Debug, Clone)]
+pub struct RemotePlan {
+    /// Candidate silos in visiting order: the head is the sampled silo,
+    /// the tail is the resample-on-failure fallback order.
+    pub order: Vec<SiloId>,
+    /// The request to send to whichever candidate is visited.
+    pub request: Request,
+}
+
+/// The outcome of planning one query ([`FraAlgorithm::plan`]).
+#[derive(Debug)]
+pub enum QueryPlan {
+    /// The query resolved provider-side — no silo contact needed (or the
+    /// algorithm does not split planning from execution).
+    Ready(Result<QueryResult, FraError>),
+    /// One single-silo request remains; execute it (resampling down
+    /// [`RemotePlan::order`] on failure) and hand the response to
+    /// [`FraAlgorithm::finish`].
+    SingleSilo(RemotePlan),
+}
+
 /// A federated range aggregation algorithm.
 ///
 /// Implementations are `Send + Sync` so the multi-query framework
 /// (Alg. 4) can drive one instance from many worker threads; internal
 /// randomness therefore lives behind locks.
+///
+/// # Planning split
+///
+/// Single-silo estimators additionally implement the
+/// [`plan`](Self::plan) / [`finish`](Self::finish) split (and return
+/// `true` from [`supports_planning`](Self::supports_planning)): `plan`
+/// does the provider-side work and names the one remote request, the
+/// engine coalesces all same-silo requests of a batch into one wire
+/// frame, and `finish` re-weights the response. The split changes *where*
+/// requests are sent from, not *what* is sent — a planned query consumes
+/// the same RNG draws and produces the same result as `try_execute`.
 pub trait FraAlgorithm: Send + Sync {
     /// The algorithm's display name (matches the paper's legends:
     /// `EXACT`, `OPTA`, `IID-est`, `IID-est+LSR`, `NonIID-est`,
@@ -57,6 +94,59 @@ pub trait FraAlgorithm: Send + Sync {
             Ok(result) => result,
             Err(e) => panic!("{} failed: {e}", self.name()),
         }
+    }
+
+    /// Whether this algorithm implements the plan/finish split.
+    ///
+    /// `false` (the default) means [`plan`](Self::plan) simply runs
+    /// [`try_execute`](Self::try_execute) — correct, but it gives the
+    /// batch engine nothing to coalesce.
+    fn supports_planning(&self) -> bool {
+        false
+    }
+
+    /// Performs the provider-side part of one query.
+    ///
+    /// Must consume exactly the same internal randomness as
+    /// [`try_execute`](Self::try_execute) would, so batched and
+    /// sequential execution of the same query stream stay
+    /// fixed-seed-equivalent.
+    fn plan(&self, federation: &Federation, query: &FraQuery) -> QueryPlan {
+        QueryPlan::Ready(self.try_execute(federation, query))
+    }
+
+    /// Completes a planned query from the sampled silo's response.
+    ///
+    /// `rounds` is the number of silo attempts spent on this query
+    /// (1 unless earlier candidates failed and the engine resampled).
+    fn finish(
+        &self,
+        federation: &Federation,
+        query: &FraQuery,
+        silo: SiloId,
+        response: Response,
+        rounds: u64,
+    ) -> Result<QueryResult, FraError> {
+        let _ = (federation, query, silo, response, rounds);
+        unimplemented!(
+            "{}: plan() returned SingleSilo but finish() is not implemented",
+            self.name()
+        )
+    }
+
+    /// Completes a planned query after *every* candidate silo failed.
+    ///
+    /// The default degrades to the provider-only grid estimate —
+    /// availability over precision, matching the estimators' sequential
+    /// behaviour.
+    fn finish_degraded(
+        &self,
+        federation: &Federation,
+        query: &FraQuery,
+        rounds: u64,
+    ) -> Result<QueryResult, FraError> {
+        let fallback = helpers::grid_only_estimate(federation, &query.range);
+        Ok(QueryResult::from_aggregate(fallback, query.func).with_rounds(rounds))
     }
 }
 

@@ -39,30 +39,22 @@ impl FraAlgorithm for Exact {
             range: query.range,
             mode: LocalMode::Exact,
         };
-        // One thread per silo, mirroring the paper's multi-threaded
-        // communication setup (Sec. 8.1).
-        let partials: Vec<Result<Aggregate, FraError>> = std::thread::scope(|scope| {
-            let handles: Vec<_> = (0..federation.num_silos())
-                .map(|k| {
-                    let request = &request;
-                    scope.spawn(move || match federation.call(k, request) {
-                        Ok(Response::Agg(a)) => Ok(a),
-                        Ok(_) => Err(FraError::ProtocolViolation {
-                            silo: k,
-                            expected: "Agg",
-                        }),
-                        Err(e) => Err(FraError::SiloFailed(e)),
-                    })
-                })
-                .collect();
-            handles
-                .into_iter()
-                .map(|h| h.join().expect("silo call thread"))
-                .collect()
-        });
+        // The m-way fan-out runs on the persistent silo workers: the
+        // frame is begun on every channel before any reply is awaited, so
+        // the silos answer concurrently without a thread spawned per query
+        // (mirroring the paper's multi-threaded setup, minus the threads).
         let mut total = Aggregate::ZERO;
-        for partial in partials {
-            total.merge_in(&partial?);
+        for (k, partial) in federation.broadcast(&request).into_iter().enumerate() {
+            match partial {
+                Ok(Response::Agg(a)) => total.merge_in(&a),
+                Ok(_) => {
+                    return Err(FraError::ProtocolViolation {
+                        silo: k,
+                        expected: "Agg",
+                    })
+                }
+                Err(e) => return Err(FraError::SiloFailed(e)),
+            }
         }
         Ok(QueryResult::from_aggregate(total, query.func)
             .with_rounds(federation.num_silos() as u64))

@@ -1,18 +1,28 @@
-//! The multi-query framework of Alg. 4: parallel batch execution.
+//! The multi-query framework of Alg. 4: batched scatter–gather execution.
 //!
-//! Single-silo sampling is what makes parallelism pay: each query lands on
-//! an independently sampled silo, so a batch of |Q| queries spreads
-//! ≈ |Q|/m per silo instead of |Q| everywhere (the EXACT/OPTA fan-out
-//! pattern). [`QueryEngine`] drives a batch through a worker pool and
-//! reports the paper's experiment metrics for it: wall time, throughput,
-//! communication, and (given exact references) mean relative error.
+//! Single-silo sampling is what makes batching pay: each query lands on an
+//! independently sampled silo, so a batch of |Q| queries spreads ≈ |Q|/m
+//! per silo instead of |Q| everywhere (the EXACT/OPTA fan-out pattern).
+//! For algorithms implementing the plan/finish split
+//! ([`FraAlgorithm::supports_planning`]) the engine goes further: it plans
+//! every query up front, groups the planned requests by destination silo,
+//! and ships each silo's share of the batch as **one coalesced wire
+//! frame** — |Q| queries cost at most m rounds (plus resampling rounds),
+//! and the per-message envelope overhead is paid once per silo instead of
+//! once per query. Algorithms without the split fall back to a worker
+//! pool over `try_execute`.
+//!
+//! [`QueryEngine`] reports the paper's experiment metrics per batch: wall
+//! time, throughput, communication, and (given exact references) mean
+//! relative error.
 
+use std::collections::BTreeMap;
 use std::sync::atomic::{AtomicUsize, Ordering};
 use std::time::{Duration, Instant};
 
-use fedra_federation::{CommSnapshot, Federation};
+use fedra_federation::{CommSnapshot, Federation, Request, SiloId};
 
-use crate::algorithm::FraAlgorithm;
+use crate::algorithm::{FraAlgorithm, QueryPlan};
 use crate::query::{FraError, FraQuery, QueryResult};
 
 /// Batch execution statistics (one experiment data point).
@@ -98,32 +108,48 @@ impl<'a> QueryEngine<'a> {
     /// Executes a batch of queries, measuring wall time / throughput /
     /// communication around the whole batch (Alg. 4 semantics: the batch
     /// arrives at once, answers stream out as silos respond).
+    ///
+    /// Planning algorithms take the coalesced scatter–gather path (one
+    /// wire frame per silo per round); the rest run on the worker pool.
+    /// Either way the per-query results are identical to running
+    /// `try_execute` on each query — batching changes how frames travel,
+    /// not what they compute.
     pub fn execute_batch(&self, federation: &Federation, queries: &[FraQuery]) -> BatchResult {
         let comm_before = federation.query_comm();
-        let next = AtomicUsize::new(0);
-        let mut results: Vec<Option<Result<QueryResult, FraError>>> = Vec::new();
-        results.resize_with(queries.len(), || None);
-        let slots = parking_lot::Mutex::new(&mut results);
-
         let started = Instant::now();
-        std::thread::scope(|scope| {
-            for _ in 0..self.workers.min(queries.len().max(1)) {
-                scope.spawn(|| loop {
-                    let i = next.fetch_add(1, Ordering::Relaxed);
-                    if i >= queries.len() {
-                        break;
-                    }
-                    let outcome = self.algorithm.try_execute(federation, &queries[i]);
-                    slots.lock()[i] = Some(outcome);
-                });
-            }
-        });
-        let wall_time = started.elapsed();
+        let results = if self.algorithm.supports_planning() {
+            self.run_planned(federation, queries)
+        } else {
+            self.run_pooled(federation, queries)
+        };
+        Self::finish_measurement(federation, queries, results, started, comm_before)
+    }
 
-        let results: Vec<Result<QueryResult, FraError>> = results
-            .into_iter()
-            .map(|slot| slot.expect("every query slot is filled"))
-            .collect();
+    /// Executes a batch strictly through the per-query `try_execute` path,
+    /// ignoring any plan/finish support.
+    ///
+    /// Kept as the A/B reference for measuring what the coalesced
+    /// transport buys: same results, one frame (and two envelope
+    /// overheads) per query instead of per silo-group.
+    pub fn execute_batch_singleton(
+        &self,
+        federation: &Federation,
+        queries: &[FraQuery],
+    ) -> BatchResult {
+        let comm_before = federation.query_comm();
+        let started = Instant::now();
+        let results = self.run_pooled(federation, queries);
+        Self::finish_measurement(federation, queries, results, started, comm_before)
+    }
+
+    fn finish_measurement(
+        federation: &Federation,
+        queries: &[FraQuery],
+        results: Vec<Result<QueryResult, FraError>>,
+        started: Instant,
+        comm_before: CommSnapshot,
+    ) -> BatchResult {
+        let wall_time = started.elapsed();
         let throughput_qps = if wall_time.as_secs_f64() > 0.0 {
             queries.len() as f64 / wall_time.as_secs_f64()
         } else {
@@ -135,6 +161,154 @@ impl<'a> QueryEngine<'a> {
             throughput_qps,
             comm: federation.query_comm().since(&comm_before),
         }
+    }
+
+    /// Worker-pool execution: one `try_execute` per query, work-stealing
+    /// over an atomic cursor. Workers accumulate `(index, outcome)` pairs
+    /// locally and the main thread scatters them into the result vector —
+    /// no shared lock on the hot path.
+    fn run_pooled(
+        &self,
+        federation: &Federation,
+        queries: &[FraQuery],
+    ) -> Vec<Result<QueryResult, FraError>> {
+        let next = AtomicUsize::new(0);
+        let mut results: Vec<Option<Result<QueryResult, FraError>>> = Vec::new();
+        results.resize_with(queries.len(), || None);
+        std::thread::scope(|scope| {
+            let handles: Vec<_> = (0..self.workers.min(queries.len().max(1)))
+                .map(|_| {
+                    scope.spawn(|| {
+                        let mut local = Vec::new();
+                        loop {
+                            let i = next.fetch_add(1, Ordering::Relaxed);
+                            if i >= queries.len() {
+                                break;
+                            }
+                            local.push((i, self.algorithm.try_execute(federation, &queries[i])));
+                        }
+                        local
+                    })
+                })
+                .collect();
+            for handle in handles {
+                for (i, outcome) in handle.join().expect("batch worker") {
+                    results[i] = Some(outcome);
+                }
+            }
+        });
+        results
+            .into_iter()
+            .map(|slot| slot.expect("every query slot is filled"))
+            .collect()
+    }
+
+    /// Coalesced scatter–gather execution for planning algorithms.
+    ///
+    /// Planning runs sequentially in input order (it consumes the
+    /// algorithm's RNG — sequential order is what keeps a batched run
+    /// seed-equivalent to query-for-query execution), then each round
+    /// groups the in-flight requests by destination silo, ships one
+    /// coalesced frame per silo, and resolves every reply. Queries whose
+    /// sampled silo failed advance to their next candidate and ride the
+    /// next round's frames.
+    fn run_planned(
+        &self,
+        federation: &Federation,
+        queries: &[FraQuery],
+    ) -> Vec<Result<QueryResult, FraError>> {
+        struct InFlight {
+            order: Vec<SiloId>,
+            request: Request,
+            attempt: usize,
+            rounds: u64,
+        }
+
+        let mut results: Vec<Option<Result<QueryResult, FraError>>> = Vec::new();
+        results.resize_with(queries.len(), || None);
+        let mut inflight: Vec<Option<InFlight>> = queries
+            .iter()
+            .enumerate()
+            .map(|(i, query)| match self.algorithm.plan(federation, query) {
+                QueryPlan::Ready(outcome) => {
+                    results[i] = Some(outcome);
+                    None
+                }
+                QueryPlan::SingleSilo(plan) => Some(InFlight {
+                    order: plan.order,
+                    request: plan.request,
+                    attempt: 0,
+                    rounds: 0,
+                }),
+            })
+            .collect();
+
+        loop {
+            // Group the in-flight queries by the silo their current
+            // candidate points at. BTreeMap: deterministic frame order.
+            let mut groups: BTreeMap<SiloId, Vec<usize>> = BTreeMap::new();
+            for (i, entry) in inflight.iter().enumerate() {
+                if let Some(entry) = entry {
+                    groups.entry(entry.order[entry.attempt]).or_default().push(i);
+                }
+            }
+            if groups.is_empty() {
+                break;
+            }
+            // Scatter: begin every silo's coalesced frame before waiting
+            // on any reply — the silo workers run concurrently.
+            let pending: Vec<_> = groups
+                .into_iter()
+                .map(|(silo, indices)| {
+                    let requests: Vec<&Request> = indices
+                        .iter()
+                        .map(|&i| &inflight[i].as_ref().expect("grouped from live entries").request)
+                        .collect();
+                    let batch = federation.channel(silo).begin_batch(&requests);
+                    (silo, indices, batch)
+                })
+                .collect();
+            // Gather: resolve each frame's per-item results.
+            for (silo, indices, batch) in pending {
+                let items: Vec<Option<_>> = match batch.and_then(|b| b.wait()) {
+                    Ok(items) => items.into_iter().map(Some).collect(),
+                    // Whole-frame transport failure: every rider counts
+                    // one failed attempt and moves to its next candidate.
+                    Err(_) => indices.iter().map(|_| None).collect(),
+                };
+                for (i, item) in indices.into_iter().zip(items) {
+                    let entry = inflight[i].as_mut().expect("still in flight");
+                    entry.rounds += 1;
+                    match item {
+                        Some(Ok(response)) => {
+                            let entry = inflight[i].take().expect("still in flight");
+                            results[i] = Some(self.algorithm.finish(
+                                federation,
+                                &queries[i],
+                                silo,
+                                response,
+                                entry.rounds,
+                            ));
+                        }
+                        Some(Err(_)) | None => {
+                            entry.attempt += 1;
+                            if entry.attempt >= entry.order.len() {
+                                let entry = inflight[i].take().expect("still in flight");
+                                results[i] = Some(self.algorithm.finish_degraded(
+                                    federation,
+                                    &queries[i],
+                                    entry.rounds,
+                                ));
+                            }
+                        }
+                    }
+                }
+            }
+        }
+        results
+            .into_iter()
+            .map(|slot| slot.expect("every query slot is filled"))
+            .collect()
     }
 }
 
@@ -214,8 +388,111 @@ mod tests {
         let engine = QueryEngine::per_silo(&alg, &fed);
         let batch = engine.execute_batch(&fed, &qs);
         assert!(batch.throughput_qps > 0.0);
-        assert_eq!(batch.comm.rounds, 30); // one silo per query
+        // Coalesced: the 30 queries share at most one frame per silo.
+        assert!(
+            batch.comm.rounds <= 3,
+            "expected ≤ 3 coalesced rounds, got {}",
+            batch.comm.rounds
+        );
         assert!(batch.wall_time > Duration::ZERO);
+    }
+
+    #[test]
+    fn batched_path_amortizes_envelopes_over_singleton() {
+        let fed = setup(3, 500);
+        let qs = queries(40, 20);
+        let alg = IidEst::new(21);
+        let engine = QueryEngine::per_silo(&alg, &fed);
+        fed.reset_query_comm();
+        let batched = engine.execute_batch(&fed, &qs);
+        // One worker: the singleton pool then consumes the RNG in input
+        // order, making it seed-comparable to the (sequentially planned)
+        // batched run.
+        let alg_seq = IidEst::new(21);
+        let engine_seq = QueryEngine::with_workers(&alg_seq, 1);
+        fed.reset_query_comm();
+        let singleton = engine_seq.execute_batch_singleton(&fed, &qs);
+        // Same seed, same queries: identical answers...
+        for (a, b) in batched.results.iter().zip(&singleton.results) {
+            assert_eq!(a.as_ref().unwrap().value, b.as_ref().unwrap().value);
+        }
+        // ...but the batched run pays one envelope per silo, not per query.
+        assert_eq!(singleton.comm.rounds, 40);
+        assert!(batched.comm.rounds <= 3);
+        assert!(
+            batched.comm.total_bytes() < singleton.comm.total_bytes() / 2,
+            "batched {} bytes vs singleton {} bytes",
+            batched.comm.total_bytes(),
+            singleton.comm.total_bytes()
+        );
+    }
+
+    #[test]
+    fn batched_iid_est_matches_sequential_fixed_seed() {
+        let fed = setup(3, 1000);
+        let qs = queries(25, 9);
+        // Batched via the engine...
+        let alg = IidEst::new(42);
+        let batch = QueryEngine::per_silo(&alg, &fed).execute_batch(&fed, &qs);
+        // ...vs a fresh same-seed instance executed query for query.
+        let reference = IidEst::new(42);
+        for (i, q) in qs.iter().enumerate() {
+            let sequential = reference.try_execute(&fed, q).unwrap();
+            let batched = batch.results[i].as_ref().unwrap();
+            assert_eq!(batched.value, sequential.value, "query {i}");
+            assert_eq!(batched.sampled_silo, sequential.sampled_silo, "query {i}");
+            assert_eq!(batched.rounds, sequential.rounds, "query {i}");
+        }
+    }
+
+    #[test]
+    fn batched_noniid_est_matches_sequential_fixed_seed() {
+        let fed = setup(4, 800);
+        let qs = queries(25, 10);
+        let alg = NonIidEst::new(43);
+        let batch = QueryEngine::per_silo(&alg, &fed).execute_batch(&fed, &qs);
+        let reference = NonIidEst::new(43);
+        for (i, q) in qs.iter().enumerate() {
+            let sequential = reference.try_execute(&fed, q).unwrap();
+            let batched = batch.results[i].as_ref().unwrap();
+            assert_eq!(batched.value, sequential.value, "query {i}");
+            assert_eq!(batched.sampled_silo, sequential.sampled_silo, "query {i}");
+        }
+    }
+
+    #[test]
+    fn batched_resampling_survives_a_failed_silo() {
+        let fed = setup(4, 600);
+        let qs = queries(30, 11);
+        fed.set_silo_failed(2, true);
+        let alg = IidEst::new(44);
+        let batch = QueryEngine::per_silo(&alg, &fed).execute_batch(&fed, &qs);
+        assert_eq!(batch.failures(), 0);
+        // Every answered query sampled a healthy silo (possibly after a
+        // failed first attempt, which shows up as rounds > 1).
+        let reference = IidEst::new(44);
+        for (i, q) in qs.iter().enumerate() {
+            let batched = batch.results[i].as_ref().unwrap();
+            assert_ne!(batched.sampled_silo, Some(2), "query {i} stuck on failed silo");
+            let sequential = reference.try_execute(&fed, q).unwrap();
+            assert_eq!(batched.value, sequential.value, "query {i}");
+            assert_eq!(batched.sampled_silo, sequential.sampled_silo, "query {i}");
+            assert_eq!(batched.rounds, sequential.rounds, "query {i}");
+        }
+        fed.set_silo_failed(2, false);
+    }
+
+    #[test]
+    fn batched_exact_matches_singleton_path() {
+        let fed = setup(3, 800);
+        let qs = queries(15, 12);
+        let exact = Exact::new();
+        let engine = QueryEngine::per_silo(&exact, &fed);
+        let batched = engine.execute_batch(&fed, &qs);
+        let singleton = engine.execute_batch_singleton(&fed, &qs);
+        for (a, b) in batched.results.iter().zip(&singleton.results) {
+            assert_eq!(a.as_ref().unwrap().value, b.as_ref().unwrap().value);
+        }
     }
 
     #[test]

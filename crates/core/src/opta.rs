@@ -37,28 +37,20 @@ impl FraAlgorithm for Opta {
         query: &FraQuery,
     ) -> Result<QueryResult, FraError> {
         let request = Request::HistogramEstimate { range: query.range };
-        let partials: Vec<Result<Aggregate, FraError>> = std::thread::scope(|scope| {
-            let handles: Vec<_> = (0..federation.num_silos())
-                .map(|k| {
-                    let request = &request;
-                    scope.spawn(move || match federation.call(k, request) {
-                        Ok(Response::Agg(a)) => Ok(a),
-                        Ok(_) => Err(FraError::ProtocolViolation {
-                            silo: k,
-                            expected: "Agg",
-                        }),
-                        Err(e) => Err(FraError::SiloFailed(e)),
-                    })
-                })
-                .collect();
-            handles
-                .into_iter()
-                .map(|h| h.join().expect("silo call thread"))
-                .collect()
-        });
+        // Same fan-out as EXACT: broadcast over the persistent silo
+        // workers, no per-query threads.
         let mut total = Aggregate::ZERO;
-        for partial in partials {
-            total.merge_in(&partial?);
+        for (k, partial) in federation.broadcast(&request).into_iter().enumerate() {
+            match partial {
+                Ok(Response::Agg(a)) => total.merge_in(&a),
+                Ok(_) => {
+                    return Err(FraError::ProtocolViolation {
+                        silo: k,
+                        expected: "Agg",
+                    })
+                }
+                Err(e) => return Err(FraError::SiloFailed(e)),
+            }
         }
         Ok(QueryResult::from_aggregate(total, query.func)
             .with_rounds(federation.num_silos() as u64))

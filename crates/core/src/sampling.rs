@@ -33,7 +33,7 @@ use fedra_federation::{Federation, LocalMode, Request, Response, SiloId, Transpo
 use fedra_geo::intersection_area;
 use fedra_index::Aggregate;
 
-use crate::algorithm::{AccuracyParams, FraAlgorithm};
+use crate::algorithm::{AccuracyParams, FraAlgorithm, QueryPlan, RemotePlan};
 use crate::helpers;
 use crate::query::{FraError, FraQuery, QueryResult};
 use crate::theory;
@@ -188,6 +188,73 @@ impl FraAlgorithm for IidEst {
         // rather than an error — availability over precision.
         Ok(QueryResult::from_aggregate(fallback, query.func).with_rounds(rounds))
     }
+
+    fn supports_planning(&self) -> bool {
+        true
+    }
+
+    fn plan(&self, federation: &Federation, query: &FraQuery) -> QueryPlan {
+        let range = &query.range;
+        let sum0 = helpers::sum0(federation, range);
+        if sum0.count == 0.0 {
+            return QueryPlan::Ready(Ok(QueryResult::from_aggregate(
+                Aggregate::ZERO,
+                query.func,
+            )));
+        }
+        let candidates = helpers::candidate_silos(federation, range);
+        // One visiting-order draw per query, exactly like try_execute —
+        // this is what keeps batched and sequential runs seed-equivalent.
+        let order = self.sampler.visiting_order(&candidates);
+        if order.is_empty() {
+            if federation.failed_silos().is_empty() {
+                // See try_execute: contradicts sum0 > 0, defensive zero.
+                return QueryPlan::Ready(Ok(QueryResult::from_aggregate(
+                    Aggregate::ZERO,
+                    query.func,
+                )));
+            }
+            let fallback = helpers::grid_only_estimate(federation, range);
+            return QueryPlan::Ready(Ok(QueryResult::from_aggregate(fallback, query.func)));
+        }
+        QueryPlan::SingleSilo(RemotePlan {
+            order,
+            request: Request::Aggregate {
+                range: *range,
+                mode: self.local.mode(sum0.count),
+            },
+        })
+    }
+
+    fn finish(
+        &self,
+        federation: &Federation,
+        query: &FraQuery,
+        silo: SiloId,
+        response: Response,
+        rounds: u64,
+    ) -> Result<QueryResult, FraError> {
+        let range = &query.range;
+        match response {
+            Response::Agg(res_k) => {
+                let sum0 = helpers::sum0(federation, range);
+                let sum_k = helpers::sum_k(federation, silo, range);
+                let fallback = helpers::grid_only_estimate(federation, range);
+                let estimate = helpers::ratio_scale(&sum0, &res_k, &sum_k, &fallback);
+                let mut result = QueryResult::from_aggregate(estimate, query.func)
+                    .with_silo(silo)
+                    .with_rounds(rounds);
+                if let Some(level) = self.local.level(sum0.count) {
+                    result = result.with_level(level);
+                }
+                Ok(result)
+            }
+            _ => Err(FraError::ProtocolViolation {
+                silo,
+                expected: "Agg",
+            }),
+        }
+    }
 }
 
 /// NonIID-est (Alg. 3), optionally LSR-accelerated (Alg. 3 + Alg. 6).
@@ -311,6 +378,95 @@ impl FraAlgorithm for NonIidEst {
         // Degraded mode: all candidates failed.
         let fallback = helpers::grid_only_estimate(federation, range);
         Ok(QueryResult::from_aggregate(fallback, query.func).with_rounds(rounds))
+    }
+
+    fn supports_planning(&self) -> bool {
+        true
+    }
+
+    fn plan(&self, federation: &Federation, query: &FraQuery) -> QueryPlan {
+        let range = &query.range;
+        let grid = federation.merged_grid();
+        let spec = grid.spec();
+        let classification = spec.classify(range);
+        if classification.is_empty() {
+            return QueryPlan::Ready(Ok(QueryResult::from_aggregate(
+                Aggregate::ZERO,
+                query.func,
+            )));
+        }
+        let covered = grid.aggregate_cells(classification.covered.iter().copied());
+        if classification.boundary.is_empty() {
+            return QueryPlan::Ready(Ok(QueryResult::from_aggregate(covered, query.func)));
+        }
+        let sum0_count = helpers::rough_count(federation, range);
+        let candidates = helpers::candidate_silos(federation, range);
+        // One visiting-order draw per query, mirroring try_execute.
+        let order = self.sampler.visiting_order(&candidates);
+        if order.is_empty() {
+            if federation.failed_silos().is_empty() {
+                return QueryPlan::Ready(Ok(QueryResult::from_aggregate(covered, query.func)));
+            }
+            let fallback = helpers::grid_only_estimate(federation, range);
+            return QueryPlan::Ready(Ok(QueryResult::from_aggregate(fallback, query.func)));
+        }
+        QueryPlan::SingleSilo(RemotePlan {
+            order,
+            request: Request::CellContributions {
+                range: *range,
+                cells: classification.boundary,
+                mode: self.local.mode(sum0_count),
+            },
+        })
+    }
+
+    fn finish(
+        &self,
+        federation: &Federation,
+        query: &FraQuery,
+        silo: SiloId,
+        response: Response,
+        rounds: u64,
+    ) -> Result<QueryResult, FraError> {
+        let range = &query.range;
+        let grid = federation.merged_grid();
+        let spec = grid.spec();
+        // The classification is a pure function of the grid spec and the
+        // range, so recomputing it here reproduces the plan's cell list.
+        let classification = spec.classify(range);
+        let covered = grid.aggregate_cells(classification.covered.iter().copied());
+        match response {
+            Response::AggVec(contributions) => {
+                if contributions.len() != classification.boundary.len() {
+                    return Err(FraError::ProtocolViolation {
+                        silo,
+                        expected: "one aggregate per requested cell",
+                    });
+                }
+                let sum0_count = helpers::rough_count(federation, range);
+                let silo_grid = federation.silo_grid(silo);
+                let mut estimate = covered;
+                for (cell, res_i) in classification.boundary.iter().zip(&contributions) {
+                    let g0_i = grid.cell(*cell);
+                    let gk_i = silo_grid.cell(*cell);
+                    let rect = spec.cell_rect_of(*cell);
+                    let frac = intersection_area(range, &rect) / rect.area();
+                    let fallback = g0_i.scale(frac);
+                    estimate.merge_in(&helpers::ratio_scale(g0_i, res_i, gk_i, &fallback));
+                }
+                let mut result = QueryResult::from_aggregate(estimate, query.func)
+                    .with_silo(silo)
+                    .with_rounds(rounds);
+                if let Some(level) = self.local.level(sum0_count) {
+                    result = result.with_level(level);
+                }
+                Ok(result)
+            }
+            _ => Err(FraError::ProtocolViolation {
+                silo,
+                expected: "AggVec",
+            }),
+        }
     }
 }
 

@@ -28,6 +28,7 @@ use crate::protocol::{Request, Response, SiloMemoryReport};
 use crate::silo::{Silo, SiloConfig, SiloId};
 use crate::snapshot::ProviderSnapshot;
 use crate::transport::{spawn_silo, CommSnapshot, CommStats, SiloChannel, TransportError};
+use crate::wire::Wire;
 
 /// Builder for a [`Federation`].
 #[derive(Debug, Clone)]
@@ -150,48 +151,96 @@ impl FederationBuilder {
                 && s.num_silos() == channels.len()
         });
 
-        // Alg. 1: collect g_1 … g_m, merge into g_0.
-        let mut silo_grids = Vec::with_capacity(channels.len());
+        // Alg. 1: collect g_1 … g_m, merge into g_0. Each silo receives
+        // ONE coalesced [BuildGrid, MemoryReport] frame, and every frame
+        // is begun before any reply is awaited — setup is a single
+        // batched round per silo (plus one fallback round per warm-start
+        // miss) and the per-silo grid builds run concurrently on the
+        // worker threads instead of serializing through the provider.
+        let build_request = Request::BuildGrid {
+            bounds: self.bounds,
+            cell_len: self.grid_cell_len,
+            // Warm mode asks for a checksum-only build; the cached cell
+            // vectors are reused when the silo's data still matches.
+            return_cells: snapshot.is_none(),
+        };
+        let pending: Vec<_> = channels
+            .iter()
+            .map(|channel| {
+                channel
+                    .begin_batch(&[&build_request, &Request::MemoryReport])
+                    .expect("setup send must succeed")
+            })
+            .collect();
+
+        let mut silo_grids: Vec<Option<GridIndex>> = Vec::with_capacity(channels.len());
         let mut memory_reports = Vec::with_capacity(channels.len());
         let mut warm_hits = 0usize;
-        for (k, channel) in channels.iter().enumerate() {
-            let mut grid = None;
-            if let Some(snap) = &snapshot {
-                // Ask for a checksum-only build; reuse the cached cells
-                // when the silo's data still matches.
-                let ack = channel
-                    .call(&Request::BuildGrid {
-                        bounds: self.bounds,
-                        cell_len: self.grid_cell_len,
-                        return_cells: false,
-                    })
-                    .expect("grid construction must succeed at setup");
-                if let Response::GridAck { total, outside } = ack {
+        for (k, pending) in pending.into_iter().enumerate() {
+            let mut items = pending.wait().expect("setup transport must succeed");
+            assert_eq!(items.len(), 2, "setup batch answers two items");
+            let memory = items.pop().expect("arity checked");
+            let build = items.pop().expect("arity checked");
+            let grid = match build.expect("grid construction must succeed at setup") {
+                Response::GridAck { total, outside } => {
+                    let snap = snapshot.as_ref().expect("acks only occur in warm mode");
                     let cached = snap.grid(k);
                     if cached.total() == total && cached.outside_count() == outside {
-                        grid = Some(cached);
                         warm_hits += 1;
+                        Some(cached)
+                    } else {
+                        None // stale snapshot entry: full transfer below
                     }
                 }
-            }
-            let grid = match grid {
-                Some(g) => g,
-                None => channel
-                    .call(&Request::BuildGrid {
-                        bounds: self.bounds,
-                        cell_len: self.grid_cell_len,
-                        return_cells: true,
-                    })
-                    .expect("grid construction must succeed at setup")
-                    .into_grid_index()
-                    .expect("BuildGrid returns a grid payload"),
+                grid_response => Some(
+                    grid_response
+                        .into_grid_index()
+                        .expect("BuildGrid returns a grid payload"),
+                ),
             };
             silo_grids.push(grid);
-            match channel.call(&Request::MemoryReport) {
+            match memory {
                 Ok(Response::Memory(m)) => memory_reports.push(m),
                 other => panic!("unexpected memory report response: {other:?}"),
             }
         }
+
+        // Warm-start misses fall back to a full cell transfer — also
+        // pipelined, one extra round per stale silo only.
+        let misses: Vec<SiloId> = silo_grids
+            .iter()
+            .enumerate()
+            .filter(|(_, g)| g.is_none())
+            .map(|(k, _)| k)
+            .collect();
+        if !misses.is_empty() {
+            let full = Request::BuildGrid {
+                bounds: self.bounds,
+                cell_len: self.grid_cell_len,
+                return_cells: true,
+            }
+            .to_bytes();
+            let pending: Vec<_> = misses
+                .iter()
+                .map(|&k| {
+                    channels[k]
+                        .begin_call_encoded(full.clone())
+                        .expect("setup send must succeed")
+                })
+                .collect();
+            for (&k, pending) in misses.iter().zip(pending) {
+                let grid = pending
+                    .wait()
+                    .expect("grid construction must succeed at setup")
+                    .into_grid_index()
+                    .expect("BuildGrid returns a grid payload");
+                silo_grids[k] = Some(grid);
+            }
+        }
+        let silo_grids: Vec<GridIndex> = silo_grids
+            .into_iter()
+            .map(|g| g.expect("every silo resolved above"))
+            .collect();
         let merged = GridIndex::merge(silo_grids.iter()).expect("at least one silo");
         let merged_prefix = PrefixGrid::build(&merged);
         let silo_prefixes = silo_grids.iter().map(PrefixGrid::build).collect();
@@ -285,6 +334,27 @@ impl Federation {
         request: &Request,
     ) -> Result<crate::protocol::Response, TransportError> {
         self.channels[silo].call(request)
+    }
+
+    /// Sends one request to *every* silo concurrently; results come back
+    /// in silo order.
+    ///
+    /// The frame is encoded once (the clone per silo is O(1) — `Bytes` is
+    /// reference-counted) and begun on all channels before any reply is
+    /// awaited, so the per-silo worker threads execute in parallel. This
+    /// is the EXACT/OPTA fan-out primitive: `m` silos, `m` rounds, zero
+    /// provider-side threads spawned.
+    pub fn broadcast(&self, request: &Request) -> Vec<Result<Response, TransportError>> {
+        let frame = request.to_bytes();
+        let pending: Vec<_> = self
+            .channels
+            .iter()
+            .map(|channel| channel.begin_call_encoded(frame.clone()))
+            .collect();
+        pending
+            .into_iter()
+            .map(|p| p.and_then(|call| call.wait()))
+            .collect()
     }
 
     /// Per-silo grid index `g_k` held by the provider.
@@ -460,12 +530,50 @@ mod tests {
     fn setup_comm_counts_grid_transfer() {
         let fed = small_federation(3, 100);
         let setup = fed.setup_comm();
-        // 3 BuildGrid rounds + 3 MemoryReport rounds.
-        assert_eq!(setup.rounds, 6);
+        // One batched [BuildGrid, MemoryReport] round per silo.
+        assert_eq!(setup.rounds, 3);
         // Each grid response carries 100 cells × 24 bytes.
         assert!(setup.bytes_down > 3 * 100 * 24);
         // Query counters start clean.
         assert_eq!(fed.query_comm().rounds, 0);
+    }
+
+    #[test]
+    fn broadcast_reaches_every_silo_in_order() {
+        let fed = small_federation(3, 200);
+        let q = Range::circle(Point::new(50.0, 50.0), 20.0);
+        let request = Request::Aggregate {
+            range: q,
+            mode: LocalMode::Exact,
+        };
+        let before = fed.query_comm();
+        let results = fed.broadcast(&request);
+        assert_eq!(results.len(), 3);
+        let mut total = 0.0;
+        for (k, result) in results.into_iter().enumerate() {
+            match result.unwrap() {
+                Response::Agg(a) => {
+                    // Silo order: each reply matches a direct call.
+                    let direct = fed.call(k, &request).unwrap();
+                    assert_eq!(direct, Response::Agg(a));
+                    total += a.count;
+                }
+                other => panic!("unexpected {other:?}"),
+            }
+        }
+        assert!(total > 0.0);
+        // The broadcast itself is one round per silo.
+        assert_eq!(fed.query_comm().since(&before).rounds, 6); // 3 broadcast + 3 direct
+    }
+
+    #[test]
+    fn broadcast_surfaces_per_silo_failures() {
+        let fed = small_federation(3, 50);
+        fed.set_silo_failed(1, true);
+        let results = fed.broadcast(&Request::Ping);
+        assert_eq!(results[0], Ok(Response::Pong));
+        assert!(matches!(results[1], Err(TransportError::Remote { silo: 1, .. })));
+        assert_eq!(results[2], Ok(Response::Pong));
     }
 
     #[test]

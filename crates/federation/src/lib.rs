@@ -32,4 +32,6 @@ pub use federation::{Federation, FederationBuilder};
 pub use protocol::{LocalMode, Request, Response, SiloMemoryReport};
 pub use silo::{Silo, SiloConfig, SiloId};
 pub use snapshot::ProviderSnapshot;
-pub use transport::{CommSnapshot, CommStats, SiloChannel, TransportError};
+pub use transport::{
+    CommSnapshot, CommStats, PendingBatch, PendingCall, SiloChannel, TransportError,
+};

@@ -81,6 +81,14 @@ pub enum Request {
     MemoryReport,
     /// Liveness probe.
     Ping,
+    /// Several requests coalesced into one wire frame: the silo serves
+    /// each in order and answers with one [`Response::Batch`] of the same
+    /// arity. A batch of `n` requests pays **one** message envelope per
+    /// direction instead of `n` — the amortization behind
+    /// [`crate::transport::SiloChannel::call_batch`]. Nesting is a wire
+    /// error: a `Batch` inside a `Batch` is answered with a per-item
+    /// [`Response::Error`].
+    Batch(Vec<Request>),
 }
 
 /// Per-index memory usage of one silo, in bytes.
@@ -135,6 +143,9 @@ pub enum Response {
     Pong,
     /// The silo could not serve the request.
     Error(String),
+    /// Answers to a [`Request::Batch`], in request order (one entry per
+    /// sub-request; failed sub-requests carry [`Response::Error`]).
+    Batch(Vec<Response>),
 }
 
 impl Response {
@@ -186,6 +197,30 @@ impl Wire for LocalMode {
             tag => Err(WireError::BadTag { context: "local mode", tag }),
         }
     }
+    fn encoded_len(&self) -> usize {
+        match self {
+            LocalMode::Exact => 1,
+            LocalMode::Lsr { .. } => 1 + 24,
+        }
+    }
+}
+
+/// Wire tag of [`Request::Batch`].
+pub(crate) const REQUEST_BATCH_TAG: u8 = 6;
+
+/// Encodes a batch request frame straight from borrowed sub-requests —
+/// byte-identical to `Request::Batch(requests.to_vec()).to_bytes()` but
+/// without cloning the sub-requests, and with the buffer pre-reserved to
+/// the exact frame size. This is the transport's batched-send hot path.
+pub(crate) fn encode_batch_request(requests: &[&Request]) -> Bytes {
+    let len: usize = 1 + 4 + requests.iter().map(|r| r.encoded_len()).sum::<usize>();
+    let mut buf = BytesMut::with_capacity(len);
+    buf.put_u8(REQUEST_BATCH_TAG);
+    (requests.len() as u32).encode(&mut buf);
+    for request in requests {
+        request.encode(&mut buf);
+    }
+    buf.freeze()
 }
 
 impl Wire for Request {
@@ -218,6 +253,10 @@ impl Wire for Request {
             }
             Request::MemoryReport => buf.put_u8(4),
             Request::Ping => buf.put_u8(5),
+            Request::Batch(requests) => {
+                buf.put_u8(REQUEST_BATCH_TAG);
+                requests.encode(buf);
+            }
         }
     }
     fn decode(buf: &mut Bytes) -> WireResult<Self> {
@@ -244,7 +283,22 @@ impl Wire for Request {
             }),
             4 => Ok(Request::MemoryReport),
             5 => Ok(Request::Ping),
+            REQUEST_BATCH_TAG => Ok(Request::Batch(Vec::<Request>::decode(buf)?)),
             tag => Err(WireError::BadTag { context: "request", tag }),
+        }
+    }
+    fn encoded_len(&self) -> usize {
+        1 + match self {
+            Request::BuildGrid { bounds, cell_len, return_cells } => {
+                bounds.encoded_len() + cell_len.encoded_len() + return_cells.encoded_len()
+            }
+            Request::Aggregate { range, mode } => range.encoded_len() + mode.encoded_len(),
+            Request::CellContributions { range, cells, mode } => {
+                range.encoded_len() + cells.encoded_len() + mode.encoded_len()
+            }
+            Request::HistogramEstimate { range } => range.encoded_len(),
+            Request::MemoryReport | Request::Ping => 0,
+            Request::Batch(requests) => requests.encoded_len(),
         }
     }
 }
@@ -263,6 +317,9 @@ impl Wire for SiloMemoryReport {
             grid: u64::decode(buf)?,
             histogram: u64::decode(buf)?,
         })
+    }
+    fn encoded_len(&self) -> usize {
+        32
     }
 }
 
@@ -303,6 +360,10 @@ impl Wire for Response {
                 buf.put_u8(5);
                 msg.encode(buf);
             }
+            Response::Batch(responses) => {
+                buf.put_u8(7);
+                responses.encode(buf);
+            }
         }
     }
     fn decode(buf: &mut Bytes) -> WireResult<Self> {
@@ -325,7 +386,25 @@ impl Wire for Response {
                 total: Aggregate::decode(buf)?,
                 outside: u64::decode(buf)?,
             }),
+            7 => Ok(Response::Batch(Vec::<Response>::decode(buf)?)),
             tag => Err(WireError::BadTag { context: "response", tag }),
+        }
+    }
+    fn encoded_len(&self) -> usize {
+        1 + match self {
+            Response::Grid { bounds, cell_len, cells, outside } => {
+                bounds.encoded_len()
+                    + cell_len.encoded_len()
+                    + cells.encoded_len()
+                    + outside.encoded_len()
+            }
+            Response::GridAck { total, outside } => total.encoded_len() + outside.encoded_len(),
+            Response::Agg(a) => a.encoded_len(),
+            Response::AggVec(v) => v.encoded_len(),
+            Response::Memory(m) => m.encoded_len(),
+            Response::Pong => 0,
+            Response::Error(msg) => msg.encoded_len(),
+            Response::Batch(responses) => responses.encoded_len(),
         }
     }
 }
@@ -443,6 +522,149 @@ mod tests {
             histogram: 4,
         };
         assert_eq!(m.total(), 10);
+    }
+
+    #[test]
+    fn batch_frames_round_trip() {
+        round_trip(Request::Batch(vec![]));
+        round_trip(Request::Batch(vec![
+            Request::Ping,
+            Request::Aggregate {
+                range: Range::circle(Point::new(4.0, 6.0), 3.0),
+                mode: LocalMode::Exact,
+            },
+            Request::CellContributions {
+                range: Range::rect(Point::new(0.0, 0.0), Point::new(1.0, 1.0)),
+                cells: vec![2, 4, 8],
+                mode: LocalMode::Lsr {
+                    epsilon: 0.1,
+                    delta: 0.01,
+                    sum0: 99.0,
+                },
+            },
+            Request::MemoryReport,
+        ]));
+        round_trip(Response::Batch(vec![]));
+        round_trip(Response::Batch(vec![
+            Response::Pong,
+            Response::Agg(Aggregate::ZERO),
+            Response::AggVec(vec![Aggregate::ZERO; 3]),
+            Response::Error("silo 1 unavailable".to_string()),
+        ]));
+        // Nested batches are wire-legal (the silo rejects them at
+        // handling time, not the codec).
+        round_trip(Request::Batch(vec![Request::Batch(vec![Request::Ping])]));
+    }
+
+    #[test]
+    fn truncated_batch_frames_error() {
+        let frame = Request::Batch(vec![
+            Request::Ping,
+            Request::Aggregate {
+                range: Range::circle(Point::new(4.0, 6.0), 3.0),
+                mode: LocalMode::Exact,
+            },
+        ])
+        .to_bytes();
+        for cut in 1..frame.len() {
+            assert!(
+                Request::from_bytes(frame.slice(0..frame.len() - cut)).is_err(),
+                "cutting {cut} bytes must not decode"
+            );
+        }
+    }
+
+    #[test]
+    fn bad_tags_error() {
+        let mut buf = BytesMut::new();
+        buf.put_u8(7); // one past the Batch request tag
+        assert!(matches!(
+            Request::from_bytes(buf.freeze()),
+            Err(WireError::BadTag { context: "request", tag: 7 })
+        ));
+        let mut buf = BytesMut::new();
+        buf.put_u8(8); // one past the Batch response tag
+        assert!(matches!(
+            Response::from_bytes(buf.freeze()),
+            Err(WireError::BadTag { context: "response", tag: 8 })
+        ));
+        // A batch whose *item* carries a bad tag also errors.
+        let mut buf = BytesMut::new();
+        buf.put_u8(super::REQUEST_BATCH_TAG);
+        1u32.encode(&mut buf);
+        buf.put_u8(200);
+        assert!(matches!(
+            Request::from_bytes(buf.freeze()),
+            Err(WireError::BadTag { context: "request", tag: 200 })
+        ));
+    }
+
+    #[test]
+    fn encoded_len_is_exact_for_protocol_frames() {
+        let requests = vec![
+            Request::BuildGrid {
+                bounds: Rect::new(Point::new(0.0, 0.0), Point::new(10.0, 10.0)),
+                cell_len: 2.5,
+                return_cells: true,
+            },
+            Request::Aggregate {
+                range: Range::circle(Point::new(4.0, 6.0), 3.0),
+                mode: LocalMode::Lsr {
+                    epsilon: 0.1,
+                    delta: 0.01,
+                    sum0: 5.0,
+                },
+            },
+            Request::CellContributions {
+                range: Range::rect(Point::new(0.0, 0.0), Point::new(1.0, 1.0)),
+                cells: vec![1, 2, 3],
+                mode: LocalMode::Exact,
+            },
+            Request::HistogramEstimate {
+                range: Range::circle(Point::new(4.0, 6.0), 3.0),
+            },
+            Request::MemoryReport,
+            Request::Ping,
+        ];
+        for r in &requests {
+            assert_eq!(r.encoded_len(), r.to_bytes().len(), "{r:?}");
+        }
+        let batch = Request::Batch(requests);
+        assert_eq!(batch.encoded_len(), batch.to_bytes().len());
+        let responses = vec![
+            Response::Grid {
+                bounds: Rect::new(Point::new(0.0, 0.0), Point::new(10.0, 10.0)),
+                cell_len: 2.5,
+                cells: vec![Aggregate::ZERO; 16],
+                outside: 3,
+            },
+            Response::GridAck {
+                total: Aggregate::ZERO,
+                outside: 0,
+            },
+            Response::Agg(Aggregate::ZERO),
+            Response::AggVec(vec![Aggregate::ZERO; 2]),
+            Response::Memory(SiloMemoryReport::default()),
+            Response::Pong,
+            Response::Error("boom".to_string()),
+        ];
+        for r in &responses {
+            assert_eq!(r.encoded_len(), r.to_bytes().len(), "{r:?}");
+        }
+        let batch = Response::Batch(responses);
+        assert_eq!(batch.encoded_len(), batch.to_bytes().len());
+    }
+
+    #[test]
+    fn borrowed_batch_encoding_matches_owned() {
+        let a = Request::Ping;
+        let b = Request::Aggregate {
+            range: Range::circle(Point::new(1.0, 2.0), 3.0),
+            mode: LocalMode::Exact,
+        };
+        let borrowed = super::encode_batch_request(&[&a, &b]);
+        let owned = Request::Batch(vec![a, b]).to_bytes();
+        assert_eq!(borrowed.to_vec(), owned.to_vec());
     }
 
     #[test]

@@ -110,9 +110,32 @@ impl Silo {
         Arc::clone(&self.served)
     }
 
-    /// Serves one request (Alg. 1 line 2, Alg. 2 line 3, Alg. 3 line 3,
+    /// Serves one wire frame (Alg. 1 line 2, Alg. 2 line 3, Alg. 3 line 3,
     /// OPTA, metrics).
+    ///
+    /// A [`Request::Batch`] frame is unpacked here: every item is served
+    /// through [`Self::handle_one`] in order and the answers are returned
+    /// as a [`Response::Batch`] of the same arity. Per-item failures
+    /// surface as `Response::Error` items — one bad sub-request never
+    /// aborts its batch-mates.
     pub fn handle(&self, request: Request) -> Response {
+        match request {
+            Request::Batch(requests) => Response::Batch(
+                requests
+                    .into_iter()
+                    .map(|item| self.handle_one(item))
+                    .collect(),
+            ),
+            other => self.handle_one(other),
+        }
+    }
+
+    /// Serves one logical (non-batch) request.
+    ///
+    /// The served counter counts logical requests: a batch of `n`
+    /// increments it `n` times, so load-balance diagnostics see the same
+    /// numbers whether the provider coalesces frames or not.
+    fn handle_one(&self, request: Request) -> Response {
         self.served.fetch_add(1, Ordering::Relaxed);
         if self.failed.load(Ordering::Acquire) {
             return Response::Error(format!("silo {} unavailable", self.id));
@@ -130,6 +153,11 @@ impl Silo {
             Request::HistogramEstimate { range } => Response::Agg(self.histogram.estimate(&range)),
             Request::MemoryReport => Response::Memory(self.memory_report()),
             Request::Ping => Response::Pong,
+            // One level of batching is all the protocol grants: nesting
+            // would let a malformed frame amplify work quadratically.
+            Request::Batch(_) => {
+                Response::Error(format!("silo {}: nested batch rejected", self.id))
+            }
         }
     }
 
@@ -393,6 +421,72 @@ mod tests {
             }
             other => panic!("unexpected response {other:?}"),
         }
+    }
+
+    #[test]
+    fn batch_serves_items_in_order() {
+        let s = Silo::new(8, objects(500), config());
+        let q = Range::circle(Point::new(50.0, 50.0), 20.0);
+        let expected = s.oracle_aggregate(&q);
+        let resp = s.handle(Request::Batch(vec![
+            Request::Ping,
+            Request::Aggregate {
+                range: q,
+                mode: LocalMode::Exact,
+            },
+            Request::MemoryReport,
+        ]));
+        match resp {
+            Response::Batch(items) => {
+                assert_eq!(items.len(), 3);
+                assert_eq!(items[0], Response::Pong);
+                assert_eq!(items[1], Response::Agg(expected));
+                assert!(matches!(items[2], Response::Memory(_)));
+            }
+            other => panic!("unexpected response {other:?}"),
+        }
+        // served counts logical sub-requests, not frames.
+        assert_eq!(s.served_counter().load(Ordering::Relaxed), 3);
+    }
+
+    #[test]
+    fn nested_batch_is_rejected_per_item() {
+        let s = Silo::new(9, objects(10), config());
+        let resp = s.handle(Request::Batch(vec![
+            Request::Ping,
+            Request::Batch(vec![Request::Ping]),
+            Request::Ping,
+        ]));
+        match resp {
+            Response::Batch(items) => {
+                assert_eq!(items[0], Response::Pong);
+                assert!(matches!(&items[1], Response::Error(e) if e.contains("nested batch")));
+                assert_eq!(items[2], Response::Pong);
+            }
+            other => panic!("unexpected response {other:?}"),
+        }
+    }
+
+    #[test]
+    fn failed_silo_answers_batches_item_by_item() {
+        let s = Silo::new(10, objects(10), config());
+        s.failure_flag().store(true, Ordering::Release);
+        match s.handle(Request::Batch(vec![Request::Ping, Request::Ping])) {
+            Response::Batch(items) => {
+                assert_eq!(items.len(), 2);
+                for item in items {
+                    assert!(matches!(item, Response::Error(_)));
+                }
+            }
+            other => panic!("unexpected response {other:?}"),
+        }
+    }
+
+    #[test]
+    fn empty_batch_yields_empty_batch() {
+        let s = Silo::new(11, objects(10), config());
+        assert_eq!(s.handle(Request::Batch(vec![])), Response::Batch(vec![]));
+        assert_eq!(s.served_counter().load(Ordering::Relaxed), 0);
     }
 
     #[test]

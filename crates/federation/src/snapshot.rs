@@ -71,6 +71,17 @@ impl Wire for ProviderSnapshot {
         }
     }
 
+    fn encoded_len(&self) -> usize {
+        self.bounds.encoded_len()
+            + self.cell_len.encoded_len()
+            + 4
+            + self
+                .grids
+                .iter()
+                .map(|(cells, outside)| cells.encoded_len() + outside.encoded_len())
+                .sum::<usize>()
+    }
+
     fn decode(buf: &mut Bytes) -> WireResult<Self> {
         let bounds = Rect::decode(buf)?;
         let cell_len = f64::decode(buf)?;

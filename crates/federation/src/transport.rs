@@ -1,10 +1,21 @@
 //! Byte-counted transport between the provider and silo worker threads.
 //!
 //! Each silo runs on its own OS thread and receives length-delimited byte
-//! buffers over a crossbeam channel; replies travel back on a per-request
-//! oneshot channel. Every buffer is a real [`crate::wire`] encoding — the
-//! transport never shortcuts through shared memory — so the byte counters
-//! here *are* the paper's communication-cost metric.
+//! buffers over a crossbeam channel; replies travel back on pooled oneshot
+//! channels (checked out per in-flight call, so the steady-state hot path
+//! allocates nothing). Every buffer is a real [`crate::wire`] encoding —
+//! the transport never shortcuts through shared memory — so the byte
+//! counters here *are* the paper's communication-cost metric.
+//!
+//! Two amortization levers ride on top of the basic RPC:
+//!
+//! * **send/wait split** ([`SiloChannel::begin_call`] /
+//!   [`PendingCall::wait`]): begin a frame on every relevant channel, then
+//!   wait — the silo workers *are* the fan-out pool, no provider threads
+//!   needed;
+//! * **batching** ([`SiloChannel::call_batch`]): `n` same-silo requests
+//!   share one wire frame, paying the per-message envelope overhead once
+//!   per direction instead of `n` times.
 
 use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::Arc;
@@ -12,11 +23,12 @@ use std::thread::JoinHandle;
 use std::time::Duration;
 
 use bytes::Bytes;
-use crossbeam::channel::{bounded, unbounded, Sender};
+use crossbeam::channel::{bounded, unbounded, Receiver, Sender};
+use parking_lot::Mutex;
 
-use crate::protocol::{Request, Response};
+use crate::protocol::{encode_batch_request, Request, Response};
 use crate::silo::{Silo, SiloId};
-use crate::wire::Wire;
+use crate::wire::{Wire, WireError};
 
 /// Per-message envelope overhead, in bytes, charged on top of the payload
 /// in each direction.
@@ -122,6 +134,31 @@ struct Envelope {
     reply: Sender<Bytes>,
 }
 
+/// A reusable oneshot reply pair.
+type ReplyPair = (Sender<Bytes>, Receiver<Bytes>);
+
+/// Pool of reply pairs, so steady-state calls allocate no channels.
+///
+/// Each [`SiloChannel::call`] used to create a fresh `bounded(1)` channel;
+/// under a query workload that is two heap allocations per RPC. Pairs are
+/// checked out per in-flight call and returned once the reply has been
+/// drained — a pair whose pending call was abandoned is *discarded*
+/// instead (the worker may still push a stale reply into it later).
+#[derive(Default)]
+struct ReplyPool {
+    pairs: Mutex<Vec<ReplyPair>>,
+}
+
+impl ReplyPool {
+    fn checkout(&self) -> ReplyPair {
+        self.pairs.lock().pop().unwrap_or_else(|| bounded(1))
+    }
+
+    fn restore(&self, pair: ReplyPair) {
+        self.pairs.lock().push(pair);
+    }
+}
+
 /// Errors surfaced by [`SiloChannel::call`].
 #[derive(Debug, Clone, PartialEq)]
 pub enum TransportError {
@@ -158,12 +195,133 @@ impl std::fmt::Display for TransportError {
 
 impl std::error::Error for TransportError {}
 
+/// A frame in flight: the request has been handed to the silo worker, the
+/// reply has not been drained yet.
+///
+/// This is the primitive that turns the silo workers into a fan-out pool:
+/// the provider `begin`s a frame on every relevant channel *without
+/// blocking*, then waits on each pending reply. No provider-side threads
+/// are needed for parallel fan-out — the per-silo worker threads already
+/// provide the concurrency.
+struct PendingReply {
+    silo: SiloId,
+    up: usize,
+    pair: Option<ReplyPair>,
+    pool: Arc<ReplyPool>,
+    stats: Arc<CommStats>,
+}
+
+impl PendingReply {
+    /// Blocks for the raw reply bytes, records the round's traffic, and
+    /// returns the reply pair to the pool.
+    fn wait_bytes(mut self) -> Result<Bytes, TransportError> {
+        let pair = self.pair.take().expect("wait_bytes consumes the pair");
+        match pair.1.recv() {
+            Ok(bytes) => {
+                self.stats.record(self.up, bytes.len());
+                self.pool.restore(pair);
+                Ok(bytes)
+            }
+            Err(_) => Err(TransportError::Disconnected { silo: self.silo }),
+        }
+    }
+}
+
+/// An in-flight single-request RPC; resolve it with [`PendingCall::wait`].
+pub struct PendingCall {
+    inner: PendingReply,
+}
+
+impl PendingCall {
+    /// Blocks for the response, recording the traffic.
+    ///
+    /// `Response::Error` payloads are mapped to [`TransportError::Remote`]
+    /// so callers can't mistake a refusal for an answer.
+    pub fn wait(self) -> Result<Response, TransportError> {
+        let silo = self.inner.silo;
+        let bytes = self.inner.wait_bytes()?;
+        match Response::from_bytes(bytes) {
+            Ok(Response::Error(message)) => Err(TransportError::Remote { silo, message }),
+            Ok(response) => Ok(response),
+            Err(error) => Err(TransportError::Codec { silo, error }),
+        }
+    }
+}
+
+impl std::fmt::Debug for PendingCall {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("PendingCall").field("silo", &self.inner.silo).finish()
+    }
+}
+
+/// An in-flight batched RPC; resolve it with [`PendingBatch::wait`].
+pub struct PendingBatch {
+    inner: PendingReply,
+    expected: usize,
+}
+
+impl PendingBatch {
+    /// Blocks for the batch response, recording the traffic.
+    ///
+    /// The outer `Result` is transport-level (worker gone, undecodable
+    /// frame, wrong arity); the inner `Vec` carries one entry per
+    /// sub-request *in request order*, each individually an error if the
+    /// silo refused that item. One bad item never poisons its batch-mates.
+    pub fn wait(self) -> Result<Vec<Result<Response, TransportError>>, TransportError> {
+        let silo = self.inner.silo;
+        let expected = self.expected;
+        let bytes = self.inner.wait_bytes()?;
+        match Response::from_bytes(bytes) {
+            Ok(Response::Batch(items)) => {
+                if items.len() != expected {
+                    return Err(TransportError::Codec {
+                        silo,
+                        error: WireError::BadLength {
+                            context: "batch response arity",
+                            len: items.len(),
+                        },
+                    });
+                }
+                Ok(items
+                    .into_iter()
+                    .map(|item| match item {
+                        Response::Error(message) => {
+                            Err(TransportError::Remote { silo, message })
+                        }
+                        other => Ok(other),
+                    })
+                    .collect())
+            }
+            // A whole-frame refusal (e.g. the worker could not decode the
+            // request) fails every sub-request the same way.
+            Ok(Response::Error(message)) => {
+                Ok(vec![Err(TransportError::Remote { silo, message }); expected])
+            }
+            Ok(other) => Err(TransportError::Remote {
+                silo,
+                message: format!("expected batch response, got {other:?}"),
+            }),
+            Err(error) => Err(TransportError::Codec { silo, error }),
+        }
+    }
+}
+
+impl std::fmt::Debug for PendingBatch {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("PendingBatch")
+            .field("silo", &self.inner.silo)
+            .field("expected", &self.expected)
+            .finish()
+    }
+}
+
 /// The provider's handle to one silo worker.
 #[derive(Clone)]
 pub struct SiloChannel {
     id: SiloId,
     tx: Sender<Envelope>,
     stats: Arc<CommStats>,
+    reply_pool: Arc<ReplyPool>,
     served: Arc<AtomicU64>,
     failed: Arc<std::sync::atomic::AtomicBool>,
 }
@@ -174,36 +332,78 @@ impl SiloChannel {
         self.id
     }
 
+    /// Ships an already-encoded frame to the worker and returns the
+    /// in-flight reply handle.
+    fn send_frame(&self, frame: Bytes) -> Result<PendingReply, TransportError> {
+        let up = frame.len();
+        let pair = self.reply_pool.checkout();
+        self.tx
+            .send(Envelope {
+                request: frame,
+                reply: pair.0.clone(),
+            })
+            .map_err(|_| TransportError::Disconnected { silo: self.id })?;
+        Ok(PendingReply {
+            silo: self.id,
+            up,
+            pair: Some(pair),
+            pool: Arc::clone(&self.reply_pool),
+            stats: Arc::clone(&self.stats),
+        })
+    }
+
+    /// Starts a request without blocking for the reply.
+    ///
+    /// Begin on several channels, then [`PendingCall::wait`] on each: the
+    /// silo workers execute concurrently, giving fan-out parallelism with
+    /// zero provider-side threads.
+    pub fn begin_call(&self, request: &Request) -> Result<PendingCall, TransportError> {
+        self.begin_call_encoded(request.to_bytes())
+    }
+
+    /// Starts a request from a pre-encoded frame (O(1) to clone — use for
+    /// broadcasting one frame to many silos without re-encoding).
+    pub fn begin_call_encoded(&self, frame: Bytes) -> Result<PendingCall, TransportError> {
+        Ok(PendingCall {
+            inner: self.send_frame(frame)?,
+        })
+    }
+
+    /// Starts a batch of requests as one coalesced wire frame, without
+    /// blocking for the reply.
+    ///
+    /// The whole batch pays the per-message envelope overhead *once* per
+    /// direction, instead of once per request.
+    pub fn begin_batch(&self, requests: &[&Request]) -> Result<PendingBatch, TransportError> {
+        Ok(PendingBatch {
+            inner: self.send_frame(encode_batch_request(requests))?,
+            expected: requests.len(),
+        })
+    }
+
     /// Sends a request and waits for the response, recording the traffic.
     ///
     /// `Response::Error` payloads are mapped to
     /// [`TransportError::Remote`] so callers can't mistake a refusal for an
     /// answer.
     pub fn call(&self, request: &Request) -> Result<Response, TransportError> {
-        let request_bytes = request.to_bytes();
-        let (reply_tx, reply_rx) = bounded(1);
-        let up = request_bytes.len();
-        self.tx
-            .send(Envelope {
-                request: request_bytes,
-                reply: reply_tx,
-            })
-            .map_err(|_| TransportError::Disconnected { silo: self.id })?;
-        let response_bytes = reply_rx
-            .recv()
-            .map_err(|_| TransportError::Disconnected { silo: self.id })?;
-        self.stats.record(up, response_bytes.len());
-        match Response::from_bytes(response_bytes) {
-            Ok(Response::Error(message)) => Err(TransportError::Remote {
-                silo: self.id,
-                message,
-            }),
-            Ok(response) => Ok(response),
-            Err(error) => Err(TransportError::Codec {
-                silo: self.id,
-                error,
-            }),
+        self.begin_call(request)?.wait()
+    }
+
+    /// Sends `requests` as one coalesced frame and waits for the per-item
+    /// results, in request order.
+    ///
+    /// An empty slice is answered locally with no traffic. See
+    /// [`PendingBatch::wait`] for the error contract.
+    pub fn call_batch(
+        &self,
+        requests: &[Request],
+    ) -> Result<Vec<Result<Response, TransportError>>, TransportError> {
+        if requests.is_empty() {
+            return Ok(Vec::new());
         }
+        let refs: Vec<&Request> = requests.iter().collect();
+        self.begin_batch(&refs)?.wait()
     }
 
     /// Returns a copy of this channel that records traffic into a
@@ -214,6 +414,7 @@ impl SiloChannel {
             id: self.id,
             tx: self.tx.clone(),
             stats,
+            reply_pool: Arc::clone(&self.reply_pool),
             served: Arc::clone(&self.served),
             failed: Arc::clone(&self.failed),
         }
@@ -274,6 +475,7 @@ pub fn spawn_silo(
             id,
             tx,
             stats,
+            reply_pool: Arc::new(ReplyPool::default()),
             served,
             failed,
         },
@@ -399,6 +601,130 @@ mod tests {
             }
         });
         assert_eq!(stats.snapshot().rounds, 160);
+    }
+
+    #[test]
+    fn call_batch_preserves_request_order() {
+        let stats = Arc::new(CommStats::default());
+        let (chan, _handle) = spawn_silo(test_silo(8, 100), Arc::clone(&stats), None);
+        let q = Range::circle(Point::new(5.0, 5.0), 2.0);
+        let exact = chan
+            .call(&Request::Aggregate {
+                range: q,
+                mode: LocalMode::Exact,
+            })
+            .unwrap();
+        let before = stats.snapshot();
+        let results = chan
+            .call_batch(&[
+                Request::Ping,
+                Request::Aggregate {
+                    range: q,
+                    mode: LocalMode::Exact,
+                },
+                Request::MemoryReport,
+            ])
+            .expect("batch transport");
+        assert_eq!(results.len(), 3);
+        assert_eq!(results[0], Ok(Response::Pong));
+        assert_eq!(results[1].as_ref().unwrap(), &exact);
+        assert!(matches!(results[2], Ok(Response::Memory(_))));
+        // The whole batch is one round.
+        assert_eq!(stats.snapshot().since(&before).rounds, 1);
+    }
+
+    #[test]
+    fn call_batch_surfaces_per_item_errors() {
+        let stats = Arc::new(CommStats::default());
+        let (chan, _handle) = spawn_silo(test_silo(9, 10), Arc::clone(&stats), None);
+        chan.set_failed(true);
+        let results = chan
+            .call_batch(&[Request::Ping, Request::Ping, Request::Ping])
+            .expect("transport still works; the refusals are per item");
+        assert_eq!(results.len(), 3);
+        for r in results {
+            assert!(matches!(r, Err(TransportError::Remote { silo: 9, .. })));
+        }
+        // Failure injection costs one round, not three.
+        assert_eq!(stats.snapshot().rounds, 1);
+    }
+
+    #[test]
+    fn empty_batch_sends_no_traffic() {
+        let stats = Arc::new(CommStats::default());
+        let (chan, _handle) = spawn_silo(test_silo(10, 10), Arc::clone(&stats), None);
+        assert_eq!(chan.call_batch(&[]).unwrap(), Vec::new());
+        assert_eq!(stats.snapshot(), CommSnapshot::default());
+    }
+
+    #[test]
+    fn batch_amortizes_the_envelope_overhead() {
+        // Zero-overhead stats pin the payload arithmetic; the saving shows
+        // in rounds (each round costs 2 × overhead under default stats).
+        let stats = Arc::new(CommStats::with_overhead(0));
+        let (chan, _handle) = spawn_silo(test_silo(11, 100), Arc::clone(&stats), None);
+        let q = Range::circle(Point::new(5.0, 5.0), 2.0);
+        let agg = Request::Aggregate {
+            range: q,
+            mode: LocalMode::Exact,
+        };
+        let before = stats.snapshot();
+        chan.call_batch(&[agg.clone(), agg.clone()]).unwrap();
+        let batched = stats.snapshot().since(&before);
+        let before = stats.snapshot();
+        chan.call(&agg).unwrap();
+        chan.call(&agg).unwrap();
+        let singleton = stats.snapshot().since(&before);
+        // Payloads: singleton 2 × (27 up, 25 down); batch adds a 5-byte
+        // frame header each way (tag + count) on top of the same items.
+        assert_eq!(singleton.bytes_up, 54);
+        assert_eq!(singleton.bytes_down, 50);
+        assert_eq!(batched.bytes_up, 59);
+        assert_eq!(batched.bytes_down, 55);
+        assert_eq!(singleton.rounds, 2);
+        assert_eq!(batched.rounds, 1);
+    }
+
+    #[test]
+    fn reply_pairs_are_pooled_and_reused() {
+        let stats = Arc::new(CommStats::default());
+        let (chan, _handle) = spawn_silo(test_silo(12, 10), Arc::clone(&stats), None);
+        for _ in 0..10 {
+            chan.call(&Request::Ping).unwrap();
+        }
+        // Sequential calls recycle a single pair.
+        assert_eq!(chan.reply_pool.pairs.lock().len(), 1);
+        // An abandoned pending call discards its pair instead of returning
+        // a (possibly stale) channel to the pool.
+        let pending = chan.begin_call(&Request::Ping).unwrap();
+        drop(pending);
+        assert!(chan.reply_pool.pairs.lock().is_empty());
+        // The channel still works after the discard.
+        assert_eq!(chan.call(&Request::Ping).unwrap(), Response::Pong);
+    }
+
+    #[test]
+    fn begin_then_wait_overlaps_silo_work() {
+        // With 20ms of injected latency per frame, four pipelined frames
+        // on four silos must finish in ~1 latency, not 4.
+        let stats = Arc::new(CommStats::default());
+        let latency = Duration::from_millis(20);
+        let channels: Vec<SiloChannel> = (0..4)
+            .map(|i| spawn_silo(test_silo(i, 10), Arc::clone(&stats), Some(latency)).0)
+            .collect();
+        let start = std::time::Instant::now();
+        let pending: Vec<PendingCall> = channels
+            .iter()
+            .map(|c| c.begin_call(&Request::Ping).unwrap())
+            .collect();
+        for p in pending {
+            assert_eq!(p.wait().unwrap(), Response::Pong);
+        }
+        let elapsed = start.elapsed();
+        assert!(
+            elapsed < latency * 3,
+            "fan-out not overlapped: {elapsed:?} for 4 × {latency:?} silos"
+        );
     }
 
     #[test]

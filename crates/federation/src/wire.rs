@@ -61,9 +61,17 @@ pub trait Wire: Sized {
     /// Decodes a value, advancing `buf` past it.
     fn decode(buf: &mut Bytes) -> WireResult<Self>;
 
-    /// Convenience: encodes into a fresh buffer.
+    /// Exact number of bytes [`Wire::encode`] will append for `self`.
+    ///
+    /// Used by [`Wire::to_bytes`] to reserve the full buffer up front, so
+    /// the RPC hot path encodes every frame with a single allocation and
+    /// no growth copies.
+    fn encoded_len(&self) -> usize;
+
+    /// Convenience: encodes into a fresh buffer sized exactly by
+    /// [`Wire::encoded_len`].
     fn to_bytes(&self) -> Bytes {
-        let mut buf = BytesMut::new();
+        let mut buf = BytesMut::with_capacity(self.encoded_len());
         self.encode(&mut buf);
         buf.freeze()
     }
@@ -98,6 +106,9 @@ impl Wire for u8 {
         need(buf, 1, "u8")?;
         Ok(buf.get_u8())
     }
+    fn encoded_len(&self) -> usize {
+        1
+    }
 }
 
 impl Wire for u32 {
@@ -107,6 +118,9 @@ impl Wire for u32 {
     fn decode(buf: &mut Bytes) -> WireResult<Self> {
         need(buf, 4, "u32")?;
         Ok(buf.get_u32_le())
+    }
+    fn encoded_len(&self) -> usize {
+        4
     }
 }
 
@@ -118,6 +132,9 @@ impl Wire for u64 {
         need(buf, 8, "u64")?;
         Ok(buf.get_u64_le())
     }
+    fn encoded_len(&self) -> usize {
+        8
+    }
 }
 
 impl Wire for usize {
@@ -128,6 +145,9 @@ impl Wire for usize {
         need(buf, 8, "usize")?;
         Ok(buf.get_u64_le() as usize)
     }
+    fn encoded_len(&self) -> usize {
+        8
+    }
 }
 
 impl Wire for f64 {
@@ -137,6 +157,9 @@ impl Wire for f64 {
     fn decode(buf: &mut Bytes) -> WireResult<Self> {
         need(buf, 8, "f64")?;
         Ok(buf.get_f64_le())
+    }
+    fn encoded_len(&self) -> usize {
+        8
     }
 }
 
@@ -151,6 +174,9 @@ impl Wire for bool {
             1 => Ok(true),
             tag => Err(WireError::BadTag { context: "bool", tag }),
         }
+    }
+    fn encoded_len(&self) -> usize {
+        1
     }
 }
 
@@ -167,6 +193,9 @@ impl Wire for String {
             context: "string utf-8",
             tag: 0,
         })
+    }
+    fn encoded_len(&self) -> usize {
+        4 + self.len()
     }
 }
 
@@ -190,6 +219,9 @@ impl<T: Wire> Wire for Vec<T> {
         }
         Ok(out)
     }
+    fn encoded_len(&self) -> usize {
+        4 + self.iter().map(Wire::encoded_len).sum::<usize>()
+    }
 }
 
 impl<T: Wire> Wire for Option<T> {
@@ -210,6 +242,9 @@ impl<T: Wire> Wire for Option<T> {
             tag => Err(WireError::BadTag { context: "option", tag }),
         }
     }
+    fn encoded_len(&self) -> usize {
+        1 + self.as_ref().map_or(0, Wire::encoded_len)
+    }
 }
 
 impl Wire for Point {
@@ -219,6 +254,9 @@ impl Wire for Point {
     }
     fn decode(buf: &mut Bytes) -> WireResult<Self> {
         Ok(Point::new(f64::decode(buf)?, f64::decode(buf)?))
+    }
+    fn encoded_len(&self) -> usize {
+        16
     }
 }
 
@@ -230,6 +268,9 @@ impl Wire for Rect {
     fn decode(buf: &mut Bytes) -> WireResult<Self> {
         Ok(Rect::from_corners(Point::decode(buf)?, Point::decode(buf)?))
     }
+    fn encoded_len(&self) -> usize {
+        32
+    }
 }
 
 impl Wire for Circle {
@@ -239,6 +280,9 @@ impl Wire for Circle {
     }
     fn decode(buf: &mut Bytes) -> WireResult<Self> {
         Ok(Circle::new(Point::decode(buf)?, f64::decode(buf)?))
+    }
+    fn encoded_len(&self) -> usize {
+        24
     }
 }
 
@@ -263,6 +307,12 @@ impl Wire for Range {
             tag => Err(WireError::BadTag { context: "range", tag }),
         }
     }
+    fn encoded_len(&self) -> usize {
+        1 + match self {
+            Range::Circle(c) => c.encoded_len(),
+            Range::Rect(r) => r.encoded_len(),
+        }
+    }
 }
 
 impl Wire for Aggregate {
@@ -277,6 +327,9 @@ impl Wire for Aggregate {
             sum: f64::decode(buf)?,
             sum_sqr: f64::decode(buf)?,
         })
+    }
+    fn encoded_len(&self) -> usize {
+        24
     }
 }
 
@@ -387,6 +440,32 @@ mod tests {
         assert_eq!(Range::circle(Point::new(0.0, 0.0), 1.0).to_bytes().len(), 25);
         assert_eq!(Aggregate::ZERO.to_bytes().len(), 24);
         assert_eq!(vec![1u32, 2, 3].to_bytes().len(), 4 + 12);
+    }
+
+    fn assert_len_exact<T: Wire>(value: T) {
+        assert_eq!(value.encoded_len(), value.to_bytes().len());
+    }
+
+    #[test]
+    fn encoded_len_matches_actual_encoding() {
+        assert_len_exact(7u8);
+        assert_len_exact(7u32);
+        assert_len_exact(7u64);
+        assert_len_exact(7usize);
+        assert_len_exact(7.5f64);
+        assert_len_exact(true);
+        assert_len_exact(String::new());
+        assert_len_exact("日本語 ünïcode".to_string()); // len() is bytes, not chars
+        assert_len_exact(vec![1u32, 2, 3]);
+        assert_len_exact(vec!["a".to_string(), "bcd".to_string()]);
+        assert_len_exact(Option::<f64>::None);
+        assert_len_exact(Some(2.5f64));
+        assert_len_exact(Point::new(1.0, 2.0));
+        assert_len_exact(Rect::EMPTY);
+        assert_len_exact(Circle::new(Point::new(0.0, 0.0), 1.0));
+        assert_len_exact(Range::circle(Point::new(0.0, 0.0), 1.0));
+        assert_len_exact(Range::rect(Point::new(0.0, 0.0), Point::new(1.0, 1.0)));
+        assert_len_exact(Aggregate::ZERO);
     }
 
     #[test]

@@ -1,0 +1,91 @@
+//! Offline stand-in for `rand_distr` (see `shims/bytes` for why).
+//!
+//! Only the pieces `fedra` uses: the `Distribution` trait and a Box–Muller
+//! `Normal<f64>`.
+
+#![forbid(unsafe_code)]
+
+use rand::{Rng, RngCore};
+
+/// Types that generate values of `T` from an RNG.
+pub trait Distribution<T> {
+    /// Draws one value.
+    fn sample<R: RngCore + ?Sized>(&self, rng: &mut R) -> T;
+}
+
+/// Invalid `Normal` parameters (non-finite or negative standard deviation).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct NormalError;
+
+impl std::fmt::Display for NormalError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "invalid normal distribution parameters")
+    }
+}
+
+impl std::error::Error for NormalError {}
+
+/// The normal (Gaussian) distribution `N(mean, std_dev²)`.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct Normal<F = f64> {
+    mean: F,
+    std_dev: F,
+}
+
+impl Normal<f64> {
+    /// Creates `N(mean, std_dev²)`; errors on non-finite or negative
+    /// `std_dev`.
+    pub fn new(mean: f64, std_dev: f64) -> Result<Self, NormalError> {
+        if !mean.is_finite() || !std_dev.is_finite() || std_dev < 0.0 {
+            return Err(NormalError);
+        }
+        Ok(Normal { mean, std_dev })
+    }
+
+    /// The distribution mean.
+    pub fn mean(&self) -> f64 {
+        self.mean
+    }
+
+    /// The distribution standard deviation.
+    pub fn std_dev(&self) -> f64 {
+        self.std_dev
+    }
+}
+
+impl Distribution<f64> for Normal<f64> {
+    fn sample<R: RngCore + ?Sized>(&self, rng: &mut R) -> f64 {
+        // Box–Muller: two uniforms per draw, second output discarded to
+        // keep the distribution stateless.
+        let u1: f64 = (1.0 - rng.random::<f64>()).max(f64::MIN_POSITIVE);
+        let u2: f64 = rng.random();
+        let z = (-2.0 * u1.ln()).sqrt() * (std::f64::consts::TAU * u2).cos();
+        self.mean + self.std_dev * z
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    #[test]
+    fn rejects_bad_parameters() {
+        assert!(Normal::new(0.0, -1.0).is_err());
+        assert!(Normal::new(f64::NAN, 1.0).is_err());
+        assert!(Normal::new(0.0, 0.0).is_ok());
+    }
+
+    #[test]
+    fn sample_moments_are_close() {
+        let normal = Normal::new(40.0, 12.0).unwrap();
+        let mut rng = StdRng::seed_from_u64(5);
+        let n = 20_000;
+        let samples: Vec<f64> = (0..n).map(|_| normal.sample(&mut rng)).collect();
+        let mean = samples.iter().sum::<f64>() / n as f64;
+        let var = samples.iter().map(|x| (x - mean) * (x - mean)).sum::<f64>() / n as f64;
+        assert!((mean - 40.0).abs() < 0.5, "mean {mean}");
+        assert!((var.sqrt() - 12.0).abs() < 0.5, "std {}", var.sqrt());
+    }
+}

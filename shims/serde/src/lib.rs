@@ -1,0 +1,16 @@
+//! Offline stand-in for `serde` (see `shims/bytes` for why).
+//!
+//! Re-exports the no-op derives from the `serde_derive` shim plus empty
+//! marker traits, which is all the workspace needs: `fedra` annotates types
+//! with `#[derive(Serialize, Deserialize)]` for downstream consumers but
+//! performs all of its own serialization through the wire codec.
+
+#![forbid(unsafe_code)]
+
+pub use serde_derive::{Deserialize, Serialize};
+
+/// Marker trait standing in for `serde::Serialize`.
+pub trait Serialize {}
+
+/// Marker trait standing in for `serde::Deserialize`.
+pub trait Deserialize<'de> {}

@@ -1,0 +1,21 @@
+//! Offline stand-in for `serde_derive` (see `shims/bytes` for why).
+//!
+//! `fedra` derives `Serialize`/`Deserialize` on its geometry and index
+//! types but serializes exclusively through its own byte-counted wire
+//! codec (`fedra-federation::wire`), so nothing in the workspace consumes
+//! the serde impls. These derives therefore expand to nothing, keeping the
+//! annotations compiling without a real serde implementation.
+
+use proc_macro::TokenStream;
+
+/// No-op `#[derive(Serialize)]`.
+#[proc_macro_derive(Serialize)]
+pub fn derive_serialize(_input: TokenStream) -> TokenStream {
+    TokenStream::new()
+}
+
+/// No-op `#[derive(Deserialize)]`.
+#[proc_macro_derive(Deserialize)]
+pub fn derive_deserialize(_input: TokenStream) -> TokenStream {
+    TokenStream::new()
+}

@@ -74,6 +74,16 @@ fn response() -> impl Strategy<Value = Response> {
     ]
 }
 
+/// One level of batching over arbitrary leaf requests (the legal shape:
+/// silos reject nested batches at handling time, not the codec).
+fn batch_request() -> impl Strategy<Value = Request> {
+    proptest::collection::vec(request(), 0..12).prop_map(Request::Batch)
+}
+
+fn batch_response() -> impl Strategy<Value = Response> {
+    proptest::collection::vec(response(), 0..12).prop_map(Response::Batch)
+}
+
 /// Bit-exact equality for aggregates (NaN-safe, unlike PartialEq).
 fn agg_bits(a: &Aggregate) -> (u64, u64, u64) {
     (a.count.to_bits(), a.sum.to_bits(), a.sum_sqr.to_bits())
@@ -120,5 +130,37 @@ proptest! {
             // on the trailing check, which slice removal prevents).
             prop_assert!(Request::from_bytes(truncated).is_err());
         }
+    }
+
+    #[test]
+    fn batch_requests_round_trip(req in batch_request()) {
+        let bytes = req.to_bytes();
+        let back = Request::from_bytes(bytes).expect("well-formed batch decodes");
+        prop_assert_eq!(format!("{back:?}"), format!("{req:?}"));
+    }
+
+    #[test]
+    fn batch_responses_round_trip(resp in batch_response()) {
+        let bytes = resp.to_bytes();
+        let back = Response::from_bytes(bytes).expect("well-formed batch decodes");
+        prop_assert_eq!(format!("{back:?}"), format!("{resp:?}"));
+    }
+
+    #[test]
+    fn batch_truncation_is_always_detected(req in batch_request(), cut in 1usize..64) {
+        let bytes = req.to_bytes();
+        if cut < bytes.len() {
+            prop_assert!(Request::from_bytes(bytes.slice(0..bytes.len() - cut)).is_err());
+        }
+    }
+
+    #[test]
+    fn encoded_len_is_exact_for_requests(req in prop_oneof![request(), batch_request()]) {
+        prop_assert_eq!(req.encoded_len(), req.to_bytes().len());
+    }
+
+    #[test]
+    fn encoded_len_is_exact_for_responses(resp in prop_oneof![response(), batch_response()]) {
+        prop_assert_eq!(resp.encoded_len(), resp.to_bytes().len());
     }
 }
