@@ -1,0 +1,27 @@
+#!/usr/bin/env bash
+# Local CI gate: build, test, lint, format.
+#
+# Usage: ./ci.sh
+# Fails fast on the first broken step. rustfmt is optional (offline
+# toolchains may lack it); every other step is mandatory.
+
+set -euo pipefail
+cd "$(dirname "$0")"
+
+echo "==> cargo build --release"
+cargo build --release
+
+echo "==> cargo test -q (workspace)"
+cargo test -q --workspace
+
+echo "==> fedra-lint check"
+cargo run -q -p fedra-lint -- check
+
+if command -v rustfmt >/dev/null 2>&1; then
+    echo "==> cargo fmt --check"
+    cargo fmt --check
+else
+    echo "==> cargo fmt --check: SKIPPED (rustfmt not installed)"
+fi
+
+echo "CI gate passed."

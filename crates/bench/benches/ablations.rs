@@ -40,9 +40,15 @@ fn main() {
     }
     let prefix_time = t0.elapsed();
     assert!((acc_naive - acc_prefix).abs() < 1e-6 * acc_naive.max(1.0));
-    println!("=== Ablation A: sum0 computation over {} ranges ===", ranges.len());
+    println!(
+        "=== Ablation A: sum0 computation over {} ranges ===",
+        ranges.len()
+    );
     println!("  naive cell scan : {naive_time:?}");
-    println!("  cumulative array: {prefix_time:?}  ({:.1}x)", naive_time.as_secs_f64() / prefix_time.as_secs_f64());
+    println!(
+        "  cumulative array: {prefix_time:?}  ({:.1}x)",
+        naive_time.as_secs_f64() / prefix_time.as_secs_f64()
+    );
 
     // --- B: boundary-only vs full-vector NonIID transfer ----------------
     // The benefit of the Sec. 4.2.2 remark scales with r/L: at small
@@ -52,7 +58,11 @@ fn main() {
     let spec = *grid.spec();
     println!();
     println!("=== Ablation B: NonIID transfer, boundary-only vs all intersecting cells ===");
-    for radius in [point.radius_km, 2.0 * point.radius_km, 4.0 * point.radius_km] {
+    for radius in [
+        point.radius_km,
+        2.0 * point.radius_km,
+        4.0 * point.radius_km,
+    ] {
         let mut generator_b = QueryGenerator::new(&testbed.all_objects, 777);
         let ranges_b = generator_b.circles(radius, 50);
         let mut boundary_bytes = 0u64;
@@ -61,10 +71,24 @@ fn main() {
             let cls = spec.classify(r);
             let all: Vec<u32> = cls.iter().collect();
             fed.reset_query_comm();
-            let _ = fed.call(0, &Request::CellContributions { range: *r, cells: cls.boundary.clone(), mode: LocalMode::Exact });
+            let _ = fed.call(
+                0,
+                &Request::CellContributions {
+                    range: *r,
+                    cells: cls.boundary.clone(),
+                    mode: LocalMode::Exact,
+                },
+            );
             boundary_bytes += fed.query_comm().total_bytes();
             fed.reset_query_comm();
-            let _ = fed.call(0, &Request::CellContributions { range: *r, cells: all, mode: LocalMode::Exact });
+            let _ = fed.call(
+                0,
+                &Request::CellContributions {
+                    range: *r,
+                    cells: all,
+                    mode: LocalMode::Exact,
+                },
+            );
             full_bytes += fed.query_comm().total_bytes();
         }
         println!(
@@ -81,7 +105,13 @@ fn main() {
     let mut exact_vals = Vec::new();
     for r in ranges.iter().take(100) {
         exact_vals.push(
-            match fed.call(0, &Request::Aggregate { range: *r, mode: LocalMode::Exact }) {
+            match fed.call(
+                0,
+                &Request::Aggregate {
+                    range: *r,
+                    mode: LocalMode::Exact,
+                },
+            ) {
                 Ok(Response::Agg(a)) => a.count,
                 other => panic!("unexpected {other:?}"),
             },
@@ -94,17 +124,26 @@ fn main() {
         for (r, &truth) in ranges.iter().take(100).zip(&exact_vals) {
             let sum0 = fed.merged_prefix().aggregate_intersecting(r).count;
             let mode = match level_desc {
-                "rule" => LocalMode::Lsr { epsilon: point.epsilon, delta: point.delta, sum0 },
+                "rule" => LocalMode::Lsr {
+                    epsilon: point.epsilon,
+                    delta: point.delta,
+                    sum0,
+                },
                 lvl => {
                     // Fixed level: encode via epsilon chosen so the rule
                     // yields that level for this sum0 (diagnostic only) —
                     // instead, query the silo with a synthetic sum0 that
                     // forces the level.
                     let l: u32 = lvl.parse().unwrap();
-                    let forced = (3.0 * (2.0f64 / point.delta).ln()) / (point.epsilon * point.epsilon)
+                    let forced = (3.0 * (2.0f64 / point.delta).ln())
+                        / (point.epsilon * point.epsilon)
                         * 2f64.powi(l as i32 + 1)
                         * 0.75;
-                    LocalMode::Lsr { epsilon: point.epsilon, delta: point.delta, sum0: forced }
+                    LocalMode::Lsr {
+                        epsilon: point.epsilon,
+                        delta: point.delta,
+                        sum0: forced,
+                    }
                 }
             };
             match fed.call(0, &Request::Aggregate { range: *r, mode }) {
@@ -130,7 +169,11 @@ fn main() {
     let truth: Vec<f64> = ranges
         .iter()
         .take(60)
-        .map(|r| Exact::new().execute(fed, &FraQuery::new(*r, AggFunc::Count)).value)
+        .map(|r| {
+            Exact::new()
+                .execute(fed, &FraQuery::new(*r, AggFunc::Count))
+                .value
+        })
         .collect();
     for k in [1usize, 2, 3, point.num_silos] {
         let alg = MultiSiloEst::new(900 + k as u64, k);

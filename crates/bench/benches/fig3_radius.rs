@@ -7,9 +7,7 @@ use fedra_bench::{build_testbed, report, run_algorithms, SweepConfig};
 
 fn main() {
     let config = SweepConfig::from_env();
-    let testbed = fedra_bench::timed("build testbed", || {
-        build_testbed(&config.defaults, 42)
-    });
+    let testbed = fedra_bench::timed("build testbed", || build_testbed(&config.defaults, 42));
     let mut points = Vec::new();
     for (i, p) in config.sweep_radius().iter().enumerate() {
         eprintln!("[fig3] r = {} km ...", p.radius_km);
@@ -17,10 +15,5 @@ fn main() {
         r.x = format!("{}", p.radius_km);
         points.push(r);
     }
-    report(
-        "fig3",
-        "Impact of radius r (COUNT)",
-        "r (km)",
-        &points,
-    );
+    report("fig3", "Impact of radius r (COUNT)", "r (km)", &points);
 }

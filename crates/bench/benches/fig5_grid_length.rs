@@ -12,10 +12,5 @@ fn main() {
         r.x = format!("{}", p.grid_len_km);
         points.push(r);
     }
-    report(
-        "fig5",
-        "Impact of grid length L (COUNT)",
-        "L (km)",
-        &points,
-    );
+    report("fig5", "Impact of grid length L (COUNT)", "L (km)", &points);
 }

@@ -6,9 +6,7 @@ use fedra_bench::{build_testbed, report, run_algorithms, SweepConfig};
 
 fn main() {
     let config = SweepConfig::from_env();
-    let testbed = fedra_bench::timed("build testbed", || {
-        build_testbed(&config.defaults, 44)
-    });
+    let testbed = fedra_bench::timed("build testbed", || build_testbed(&config.defaults, 44));
     let mut points = Vec::new();
     for (i, p) in config.sweep_epsilon().iter().enumerate() {
         eprintln!("[fig6] epsilon = {} ...", p.epsilon);

@@ -6,9 +6,7 @@ use fedra_bench::{build_testbed, report, run_algorithms, SweepConfig};
 
 fn main() {
     let config = SweepConfig::from_env();
-    let testbed = fedra_bench::timed("build testbed", || {
-        build_testbed(&config.defaults, 45)
-    });
+    let testbed = fedra_bench::timed("build testbed", || build_testbed(&config.defaults, 45));
     let mut points = Vec::new();
     for (i, p) in config.sweep_delta().iter().enumerate() {
         eprintln!("[fig7] delta = {} ...", p.delta);

@@ -7,9 +7,7 @@ use fedra_bench::{build_testbed, report, run_algorithms, SweepConfig};
 
 fn main() {
     let config = SweepConfig::from_env();
-    let testbed = fedra_bench::timed("build testbed", || {
-        build_testbed(&config.defaults, 46)
-    });
+    let testbed = fedra_bench::timed("build testbed", || build_testbed(&config.defaults, 46));
     let mut points = Vec::new();
     for (i, p) in config.sweep_queries().iter().enumerate() {
         eprintln!("[fig8] nQ = {} ...", p.num_queries);

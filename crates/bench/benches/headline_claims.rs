@@ -28,8 +28,10 @@ fn main() {
     let exact = get("EXACT");
 
     println!();
-    println!("=== Headline claims at the default point (|P|={}, m={}, r={} km, nQ={}) ===",
-        point.data_size, point.num_silos, point.radius_km, point.num_queries);
+    println!(
+        "=== Headline claims at the default point (|P|={}, m={}, r={} km, nQ={}) ===",
+        point.data_size, point.num_silos, point.radius_km, point.num_queries
+    );
     println!();
     println!(
         "{:>16} {:>10} {:>12} {:>12} {:>10} {:>12} {:>12}",

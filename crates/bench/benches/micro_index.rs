@@ -76,7 +76,10 @@ fn bench_local_queries(c: &mut Criterion) {
     let queries: Vec<Range> = (0..64)
         .map(|i| {
             Range::circle(
-                Point::new(10.0 + (i as f64 * 1.3) % 80.0, 10.0 + (i as f64 * 2.7) % 80.0),
+                Point::new(
+                    10.0 + (i as f64 * 1.3) % 80.0,
+                    10.0 + (i as f64 * 2.7) % 80.0,
+                ),
                 5.0,
             )
         })
@@ -90,7 +93,11 @@ fn bench_local_queries(c: &mut Criterion) {
             }
         })
     });
-    for (label, eps) in [("lsr_eps_0.05", 0.05), ("lsr_eps_0.1", 0.1), ("lsr_eps_0.25", 0.25)] {
+    for (label, eps) in [
+        ("lsr_eps_0.05", 0.05),
+        ("lsr_eps_0.1", 0.1),
+        ("lsr_eps_0.25", 0.25),
+    ] {
         group.bench_function(label, |b| {
             b.iter(|| {
                 for q in &queries {
@@ -134,7 +141,12 @@ fn bench_local_queries(c: &mut Criterion) {
 fn bench_rtree_fanout(c: &mut Criterion) {
     let objs = objects(100_000, 5);
     let queries: Vec<Range> = (0..32)
-        .map(|i| Range::circle(Point::new((i as f64 * 3.1) % 100.0, (i as f64 * 7.7) % 100.0), 5.0))
+        .map(|i| {
+            Range::circle(
+                Point::new((i as f64 * 3.1) % 100.0, (i as f64 * 7.7) % 100.0),
+                5.0,
+            )
+        })
         .collect();
     let mut group = c.benchmark_group("rtree_fanout");
     group.sample_size(20);
@@ -151,5 +163,10 @@ fn bench_rtree_fanout(c: &mut Criterion) {
     group.finish();
 }
 
-criterion_group!(benches, bench_builds, bench_local_queries, bench_rtree_fanout);
+criterion_group!(
+    benches,
+    bench_builds,
+    bench_local_queries,
+    bench_rtree_fanout
+);
 criterion_main!(benches);

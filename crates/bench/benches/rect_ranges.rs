@@ -60,9 +60,7 @@ fn main() {
     let square = run("square");
 
     println!();
-    println!(
-        "=== Circular vs equal-area square ranges at the Tab. 2 default point ==="
-    );
+    println!("=== Circular vs equal-area square ranges at the Tab. 2 default point ===");
     println!();
     println!(
         "{:>16} {:>12} {:>12} {:>14} {:>14} {:>12} {:>12}",

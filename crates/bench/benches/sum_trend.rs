@@ -18,7 +18,13 @@ fn main() {
     let fed = &testbed.federation;
 
     let mut rows: Vec<(AggFunc, Vec<(f64, f64)>)> = Vec::new();
-    for func in [AggFunc::Count, AggFunc::Sum, AggFunc::SumSqr, AggFunc::Avg, AggFunc::Stdev] {
+    for func in [
+        AggFunc::Count,
+        AggFunc::Sum,
+        AggFunc::SumSqr,
+        AggFunc::Avg,
+        AggFunc::Stdev,
+    ] {
         let mut generator = QueryGenerator::new(&testbed.all_objects, 52);
         let queries: Vec<FraQuery> = generator
             .circles(point.radius_km, point.num_queries)

@@ -13,6 +13,9 @@
 //! Scale is governed by `FEDRA_SCALE` (default 0.2 → 600 k objects at the
 //! default point; set 1.0 for the paper's 3 × 10⁶).
 
+#![forbid(unsafe_code)]
+#![deny(missing_docs)]
+
 use std::io::Write as _;
 use std::time::{Duration, Instant};
 
@@ -211,7 +214,10 @@ pub fn report(figure: &str, title: &str, x_label: &str, points: &[PointResult]) 
     println!("=== {figure}: {title} ===");
     for (metric_name, extract) in METRICS {
         println!();
-        println!("--- {figure}{}: {metric_name} ---", panel_letter(metric_name));
+        println!(
+            "--- {figure}{}: {metric_name} ---",
+            panel_letter(metric_name)
+        );
         print!("{x_label:>10}");
         for name in ALGORITHM_NAMES {
             print!("  {name:>14}");

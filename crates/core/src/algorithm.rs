@@ -30,7 +30,10 @@ impl AccuracyParams {
     /// # Panics
     /// Panics on out-of-domain values.
     pub fn new(epsilon: f64, delta: f64) -> Self {
-        assert!(epsilon > 0.0 && epsilon.is_finite(), "epsilon must be positive");
+        assert!(
+            epsilon > 0.0 && epsilon.is_finite(),
+            "epsilon must be positive"
+        );
         assert!(delta > 0.0 && delta < 1.0, "delta must lie in (0, 1)");
         Self { epsilon, delta }
     }
@@ -84,15 +87,22 @@ pub trait FraAlgorithm: Send + Sync {
     fn name(&self) -> &'static str;
 
     /// Executes one query, returning the result or a federation error.
-    fn try_execute(&self, federation: &Federation, query: &FraQuery)
-        -> Result<QueryResult, FraError>;
+    fn try_execute(
+        &self,
+        federation: &Federation,
+        query: &FraQuery,
+    ) -> Result<QueryResult, FraError>;
 
     /// Executes one query, panicking on federation errors (convenience
     /// for examples and healthy-path code).
+    ///
+    /// # Panics
+    /// Panics when `try_execute` fails; fallible callers should use
+    /// `try_execute` directly.
     fn execute(&self, federation: &Federation, query: &FraQuery) -> QueryResult {
         match self.try_execute(federation, query) {
             Ok(result) => result,
-            Err(e) => panic!("{} failed: {e}", self.name()),
+            Err(e) => panic!("{} failed: {e}", self.name()), // fedra-lint: allow(panic-discipline)
         }
     }
 

@@ -253,7 +253,11 @@ mod tests {
             .map(|k| {
                 (0..500)
                     .map(|i| {
-                        SpatialObject::at((i % 25) as f64 * 4.0, (i / 25) as f64 * 5.0, k as f64 + 1.0)
+                        SpatialObject::at(
+                            (i % 25) as f64 * 4.0,
+                            (i / 25) as f64 * 5.0,
+                            k as f64 + 1.0,
+                        )
                     })
                     .collect()
             })

@@ -67,10 +67,14 @@ impl BatchResult {
     }
 
     /// Unwraps all results (for healthy-path tests and examples).
+    ///
+    /// # Panics
+    /// Panics when any query in the batch failed; fallible callers should
+    /// walk `results` instead.
     pub fn values(&self) -> Vec<f64> {
         self.results
             .iter()
-            .map(|r| r.as_ref().expect("batch query failed").value)
+            .map(|r| r.as_ref().expect("batch query failed").value) // fedra-lint: allow(panic-discipline)
             .collect()
     }
 }
@@ -192,14 +196,24 @@ impl<'a> QueryEngine<'a> {
                 })
                 .collect();
             for handle in handles {
-                for (i, outcome) in handle.join().expect("batch worker") {
-                    results[i] = Some(outcome);
+                // A panicked worker forfeits its local results; the
+                // affected slots surface as FraError::Internal below.
+                if let Ok(local) = handle.join() {
+                    for (i, outcome) in local {
+                        results[i] = Some(outcome);
+                    }
                 }
             }
         });
         results
             .into_iter()
-            .map(|slot| slot.expect("every query slot is filled"))
+            .map(|slot| {
+                slot.unwrap_or_else(|| {
+                    Err(FraError::Internal {
+                        message: "batch worker panicked before answering this query".into(),
+                    })
+                })
+            })
             .collect()
     }
 
@@ -249,7 +263,10 @@ impl<'a> QueryEngine<'a> {
             let mut groups: BTreeMap<SiloId, Vec<usize>> = BTreeMap::new();
             for (i, entry) in inflight.iter().enumerate() {
                 if let Some(entry) = entry {
-                    groups.entry(entry.order[entry.attempt]).or_default().push(i);
+                    groups
+                        .entry(entry.order[entry.attempt])
+                        .or_default()
+                        .push(i);
                 }
             }
             if groups.is_empty() {
@@ -262,42 +279,50 @@ impl<'a> QueryEngine<'a> {
                 .map(|(silo, indices)| {
                     let requests: Vec<&Request> = indices
                         .iter()
-                        .map(|&i| &inflight[i].as_ref().expect("grouped from live entries").request)
+                        .filter_map(|&i| inflight[i].as_ref())
+                        .map(|entry| &entry.request)
                         .collect();
-                    let batch = federation.channel(silo).begin_batch(&requests);
+                    // A lost entry (requests shorter than indices) would
+                    // misalign the reply zip; degrade the whole frame.
+                    let batch = (requests.len() == indices.len())
+                        .then(|| federation.channel(silo).begin_batch(&requests));
                     (silo, indices, batch)
                 })
                 .collect();
             // Gather: resolve each frame's per-item results.
             for (silo, indices, batch) in pending {
-                let items: Vec<Option<_>> = match batch.and_then(|b| b.wait()) {
-                    Ok(items) => items.into_iter().map(Some).collect(),
+                let items: Vec<Option<_>> = match batch.map(|b| b.and_then(|p| p.wait())) {
+                    Some(Ok(items)) => items.into_iter().map(Some).collect(),
                     // Whole-frame transport failure: every rider counts
                     // one failed attempt and moves to its next candidate.
-                    Err(_) => indices.iter().map(|_| None).collect(),
+                    _ => indices.iter().map(|_| None).collect(),
                 };
                 for (i, item) in indices.into_iter().zip(items) {
-                    let entry = inflight[i].as_mut().expect("still in flight");
+                    let Some(entry) = inflight[i].as_mut() else {
+                        continue;
+                    };
                     entry.rounds += 1;
                     match item {
                         Some(Ok(response)) => {
-                            let entry = inflight[i].take().expect("still in flight");
+                            let rounds = entry.rounds;
+                            inflight[i] = None;
                             results[i] = Some(self.algorithm.finish(
                                 federation,
                                 &queries[i],
                                 silo,
                                 response,
-                                entry.rounds,
+                                rounds,
                             ));
                         }
                         Some(Err(_)) | None => {
                             entry.attempt += 1;
                             if entry.attempt >= entry.order.len() {
-                                let entry = inflight[i].take().expect("still in flight");
+                                let rounds = entry.rounds;
+                                inflight[i] = None;
                                 results[i] = Some(self.algorithm.finish_degraded(
                                     federation,
                                     &queries[i],
-                                    entry.rounds,
+                                    rounds,
                                 ));
                             }
                         }
@@ -307,7 +332,13 @@ impl<'a> QueryEngine<'a> {
         }
         results
             .into_iter()
-            .map(|slot| slot.expect("every query slot is filled"))
+            .map(|slot| {
+                slot.unwrap_or_else(|| {
+                    Err(FraError::Internal {
+                        message: "planned query never resolved to a result".into(),
+                    })
+                })
+            })
             .collect()
     }
 }
@@ -473,7 +504,11 @@ mod tests {
         let reference = IidEst::new(44);
         for (i, q) in qs.iter().enumerate() {
             let batched = batch.results[i].as_ref().unwrap();
-            assert_ne!(batched.sampled_silo, Some(2), "query {i} stuck on failed silo");
+            assert_ne!(
+                batched.sampled_silo,
+                Some(2),
+                "query {i} stuck on failed silo"
+            );
             let sequential = reference.try_execute(&fed, q).unwrap();
             assert_eq!(batched.value, sequential.value, "query {i}");
             assert_eq!(batched.sampled_silo, sequential.sampled_silo, "query {i}");
@@ -524,7 +559,10 @@ mod tests {
         let fed = setup(3, 2000);
         let qs = queries(15, 7);
         let exact_alg = Exact::new();
-        let exact_vals: Vec<f64> = qs.iter().map(|q| exact_alg.execute(&fed, q).value).collect();
+        let exact_vals: Vec<f64> = qs
+            .iter()
+            .map(|q| exact_alg.execute(&fed, q).value)
+            .collect();
         let alg = IidEst::new(8);
         let engine = QueryEngine::per_silo(&alg, &fed);
         let batch = engine.execute_batch(&fed, &qs);

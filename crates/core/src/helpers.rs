@@ -8,7 +8,10 @@ use fedra_index::Aggregate;
 /// (Alg. 6): the COUNT over all `g₀` cells intersecting the range,
 /// answered from the cumulative array in O(√|g₀|).
 pub fn rough_count(federation: &Federation, range: &Range) -> f64 {
-    federation.merged_prefix().aggregate_intersecting(range).count
+    federation
+        .merged_prefix()
+        .aggregate_intersecting(range)
+        .count
 }
 
 /// The `sum₀` aggregate triple of Alg. 2 — `g₀` over intersecting cells.
@@ -49,7 +52,12 @@ pub fn grid_only_estimate(federation: &Federation, range: &Range) -> Aggregate {
 /// (Sec. 7). A component with `sum_k = 0` carries no information from the
 /// sampled silo, so the corresponding component of `fallback` (the
 /// grid-only estimate) is used instead.
-pub fn ratio_scale(sum0: &Aggregate, res: &Aggregate, sum_k: &Aggregate, fallback: &Aggregate) -> Aggregate {
+pub fn ratio_scale(
+    sum0: &Aggregate,
+    res: &Aggregate,
+    sum_k: &Aggregate,
+    fallback: &Aggregate,
+) -> Aggregate {
     let component = |s0: f64, r: f64, sk: f64, fb: f64| -> f64 {
         if sk.abs() < f64::EPSILON {
             fb
@@ -91,7 +99,13 @@ mod tests {
             .map(|i| SpatialObject::at((i % 25) as f64 * 2.0, (i / 25) as f64 * 2.5, 1.0))
             .collect();
         let right: Vec<SpatialObject> = (0..500)
-            .map(|i| SpatialObject::at(50.0 + (i % 25) as f64 * 2.0, (i / 25) as f64 * 2.5 + 50.0, 2.0))
+            .map(|i| {
+                SpatialObject::at(
+                    50.0 + (i % 25) as f64 * 2.0,
+                    (i / 25) as f64 * 2.5 + 50.0,
+                    2.0,
+                )
+            })
             .collect();
         FederationBuilder::new(bounds)
             .grid_cell_len(10.0)

@@ -17,7 +17,7 @@
 //! as computable bounds.
 
 #![forbid(unsafe_code)]
-#![warn(missing_docs)]
+#![deny(missing_docs)]
 
 mod algorithm;
 mod cache;

@@ -131,7 +131,12 @@ impl FraAlgorithm for MultiSiloEst {
             let rect = spec.cell_rect_of(*cell);
             let frac = intersection_area(range, &rect) / rect.area();
             let fallback = g0_i.scale(frac);
-            estimate.merge_in(&helpers::ratio_scale(g0_i, &pooled[idx], &gk_pooled, &fallback));
+            estimate.merge_in(&helpers::ratio_scale(
+                g0_i,
+                &pooled[idx],
+                &gk_pooled,
+                &fallback,
+            ));
         }
         Ok(QueryResult::from_aggregate(estimate, query.func)
             .with_silo(pooled_silos[0])
@@ -160,7 +165,10 @@ mod tests {
                 (0..per_silo)
                     .map(|_| {
                         let (x, y): (f64, f64) = if rng.random_range(0..10) < 6 {
-                            (fx + rng.random_range(-15.0..15.0), fy + rng.random_range(-15.0..15.0))
+                            (
+                                fx + rng.random_range(-15.0..15.0),
+                                fy + rng.random_range(-15.0..15.0),
+                            )
                         } else {
                             (rng.random_range(0.0..100.0), rng.random_range(0.0..100.0))
                         };
@@ -222,7 +230,10 @@ mod tests {
                 )
             })
             .collect();
-        let truth: Vec<f64> = queries.iter().map(|q| exact.execute(&fed, q).value).collect();
+        let truth: Vec<f64> = queries
+            .iter()
+            .map(|q| exact.execute(&fed, q).value)
+            .collect();
         let mre = |k: usize, seed: u64| -> f64 {
             let alg = MultiSiloEst::new(seed, k);
             queries

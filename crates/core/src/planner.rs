@@ -279,7 +279,11 @@ mod tests {
     fn cell_aligned_queries_choose_grid_exact() {
         let fed = build(uniform_partitions(3, 2000, 1));
         let planner = AdaptivePlanner::new(2, PlannerPolicy::default());
-        let q = FraQuery::rect(Point::new(10.0, 10.0), Point::new(60.0, 60.0), AggFunc::Count);
+        let q = FraQuery::rect(
+            Point::new(10.0, 10.0),
+            Point::new(60.0, 60.0),
+            AggFunc::Count,
+        );
         assert_eq!(planner.plan(&fed, &q), PlanDecision::GridExact);
         fed.reset_query_comm();
         let (decision, result) = planner.execute_planned(&fed, &q).unwrap();
@@ -318,7 +322,9 @@ mod tests {
         // 0.1 % target is not plausible from a sparse sample.
         let q = FraQuery::circle(Point::new(50.0, 50.0), 4.0, AggFunc::Count);
         match planner.plan(&fed, &q) {
-            PlanDecision::Exact { boundary_share_percent } => {
+            PlanDecision::Exact {
+                boundary_share_percent,
+            } => {
                 assert!(boundary_share_percent > 30);
             }
             other => panic!("expected EXACT escalation, got {other:?}"),
@@ -333,7 +339,7 @@ mod tests {
     fn comm_budget_forces_iid() {
         let fed = build(corner_partitions(4000, 9));
         let policy = PlannerPolicy {
-            target_error: 0.5, // lax, so budget is the binding constraint
+            target_error: 0.5,             // lax, so budget is the binding constraint
             comm_budget_bytes: Some(1100), // below envelope + per-cell cost
             skew_threshold: 0.0,           // would otherwise always pick NonIID
         };

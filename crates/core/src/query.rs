@@ -120,6 +120,12 @@ pub enum FraError {
         /// What was expected.
         expected: &'static str,
     },
+    /// The engine itself failed (a panicked batch worker, a broken
+    /// scheduling invariant) — the query was never answered.
+    Internal {
+        /// What went wrong.
+        message: String,
+    },
 }
 
 impl std::fmt::Display for FraError {
@@ -133,6 +139,7 @@ impl std::fmt::Display for FraError {
             FraError::ProtocolViolation { silo, expected } => {
                 write!(f, "silo {silo} violated the protocol (expected {expected})")
             }
+            FraError::Internal { message } => write!(f, "internal engine error: {message}"),
         }
     }
 }

@@ -197,10 +197,7 @@ impl FraAlgorithm for IidEst {
         let range = &query.range;
         let sum0 = helpers::sum0(federation, range);
         if sum0.count == 0.0 {
-            return QueryPlan::Ready(Ok(QueryResult::from_aggregate(
-                Aggregate::ZERO,
-                query.func,
-            )));
+            return QueryPlan::Ready(Ok(QueryResult::from_aggregate(Aggregate::ZERO, query.func)));
         }
         let candidates = helpers::candidate_silos(federation, range);
         // One visiting-order draw per query, exactly like try_execute —
@@ -390,10 +387,7 @@ impl FraAlgorithm for NonIidEst {
         let spec = grid.spec();
         let classification = spec.classify(range);
         if classification.is_empty() {
-            return QueryPlan::Ready(Ok(QueryResult::from_aggregate(
-                Aggregate::ZERO,
-                query.func,
-            )));
+            return QueryPlan::Ready(Ok(QueryResult::from_aggregate(Aggregate::ZERO, query.func)));
         }
         let covered = grid.aggregate_cells(classification.covered.iter().copied());
         if classification.boundary.is_empty() {
@@ -518,14 +512,23 @@ mod tests {
     /// a city-wide background (overlapping coverage, skewed focus).
     fn noniid_partitions(m: usize, per_silo: usize, seed: u64) -> Vec<Vec<SpatialObject>> {
         let mut rng = StdRng::seed_from_u64(seed);
-        let foci = [(20.0, 20.0), (80.0, 20.0), (20.0, 80.0), (80.0, 80.0), (50.0, 50.0)];
+        let foci = [
+            (20.0, 20.0),
+            (80.0, 20.0),
+            (20.0, 80.0),
+            (80.0, 80.0),
+            (50.0, 50.0),
+        ];
         (0..m)
             .map(|k| {
                 let (fx, fy) = foci[k % foci.len()];
                 (0..per_silo)
                     .map(|_| {
                         let (x, y): (f64, f64) = if rng.random_range(0..10) < 7 {
-                            (fx + rng.random_range(-12.0..12.0), fy + rng.random_range(-12.0..12.0))
+                            (
+                                fx + rng.random_range(-12.0..12.0),
+                                fy + rng.random_range(-12.0..12.0),
+                            )
                         } else {
                             (rng.random_range(0.0..100.0), rng.random_range(0.0..100.0))
                         };
@@ -676,7 +679,10 @@ mod tests {
         let r = IidEst::new(24).execute(&fed, &q);
         assert!(r.sampled_silo.is_none());
         assert!(r.value > 0.0);
-        assert!(r.relative_error(exact) < 0.5, "grid-only degraded answer too far off");
+        assert!(
+            r.relative_error(exact) < 0.5,
+            "grid-only degraded answer too far off"
+        );
         let r = NonIidEst::new(25).execute(&fed, &q);
         assert!(r.value > 0.0);
         for k in 0..3 {
@@ -702,7 +708,11 @@ mod tests {
         // cell column/row, which hold no data in a continuous workload —
         // so NonIID-est reproduces the exact answer.
         let fed = build(noniid_partitions(3, 2000, 29), 10.0);
-        let q = FraQuery::rect(Point::new(20.0, 20.0), Point::new(60.0, 70.0), AggFunc::Count);
+        let q = FraQuery::rect(
+            Point::new(20.0, 20.0),
+            Point::new(60.0, 70.0),
+            AggFunc::Count,
+        );
         let exact = Exact::new().execute(&fed, &q).value;
         fed.reset_query_comm();
         let r = NonIidEst::new(30).execute(&fed, &q);
@@ -738,7 +748,10 @@ mod tests {
         }
         let mean = sum / trials as f64;
         let rel = (mean - exact).abs() / exact;
-        assert!(rel < 0.03, "IID-est mean {mean} vs exact {exact} (rel {rel})");
+        assert!(
+            rel < 0.03,
+            "IID-est mean {mean} vs exact {exact} (rel {rel})"
+        );
     }
 
     #[test]

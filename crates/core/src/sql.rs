@@ -285,7 +285,10 @@ mod tests {
     fn inside_rect_parses() {
         let q = parse("SELECT SUM(measure) FROM t WHERE INSIDE(0, 0, 10, 20)").unwrap();
         assert_eq!(q.func, AggFunc::Sum);
-        assert_eq!(q.range, Range::rect(Point::new(0.0, 0.0), Point::new(10.0, 20.0)));
+        assert_eq!(
+            q.range,
+            Range::rect(Point::new(0.0, 0.0), Point::new(10.0, 20.0))
+        );
     }
 
     #[test]
@@ -344,7 +347,11 @@ mod tests {
         ));
         assert!(matches!(
             parse("SELECT COUNT(*) FROM f WHERE WITHIN(1,2)"),
-            Err(SqlError::BadArity { expected: 3, found: 2, .. })
+            Err(SqlError::BadArity {
+                expected: 3,
+                found: 2,
+                ..
+            })
         ));
         assert!(matches!(
             parse("SELECT COUNT(*) FROM f WHERE WITHIN(1,2,zebra)"),

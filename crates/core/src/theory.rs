@@ -27,7 +27,10 @@
 /// assert_eq!(select_level(0.1, 0.01, 10.0), 0);
 /// ```
 pub fn select_level(epsilon: f64, delta: f64, sum0: f64) -> usize {
-    assert!(epsilon > 0.0 && epsilon.is_finite(), "epsilon must be positive");
+    assert!(
+        epsilon > 0.0 && epsilon.is_finite(),
+        "epsilon must be positive"
+    );
     assert!(delta > 0.0 && delta < 1.0, "delta must lie in (0, 1)");
     if sum0 <= 0.0 {
         return 0;

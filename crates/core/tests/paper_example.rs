@@ -107,7 +107,13 @@ fn example3_iid_est_arithmetic() {
     assert_eq!(sum_k.sum, 11.0);
 
     let res_k = match fed
-        .call(1, &Request::Aggregate { range: q, mode: LocalMode::Exact })
+        .call(
+            1,
+            &Request::Aggregate {
+                range: q,
+                mode: LocalMode::Exact,
+            },
+        )
         .unwrap()
     {
         Response::Agg(a) => a,
@@ -122,7 +128,13 @@ fn example3_iid_est_arithmetic() {
     // estimates, whichever silo its seed samples.
     let sum_k1 = fed.silo_prefix(0).aggregate_intersecting(&q);
     let res_k1 = match fed
-        .call(0, &Request::Aggregate { range: q, mode: LocalMode::Exact })
+        .call(
+            0,
+            &Request::Aggregate {
+                range: q,
+                mode: LocalMode::Exact,
+            },
+        )
         .unwrap()
     {
         Response::Agg(a) => a,
@@ -215,7 +227,10 @@ fn both_estimators_stay_in_the_examples_ballpark() {
         let iid = IidEst::new(seed).execute(&fed, &q).value;
         let noniid = NonIidEst::new(seed).execute(&fed, &q).value;
         assert!((iid - exact).abs() < 0.6 * exact, "IID {iid} vs {exact}");
-        assert!((noniid - exact).abs() < 0.6 * exact, "NonIID {noniid} vs {exact}");
+        assert!(
+            (noniid - exact).abs() < 0.6 * exact,
+            "NonIID {noniid} vs {exact}"
+        );
     }
 }
 

@@ -58,7 +58,13 @@ fn lemma1_violation_rate_stays_below_delta_with_margin() {
             10.0,
         );
         let exact = match fed
-            .call(0, &Request::Aggregate { range: q, mode: LocalMode::Exact })
+            .call(
+                0,
+                &Request::Aggregate {
+                    range: q,
+                    mode: LocalMode::Exact,
+                },
+            )
             .unwrap()
         {
             Response::Agg(a) => a.count,
@@ -76,7 +82,11 @@ fn lemma1_violation_rate_stays_below_delta_with_margin() {
                 0,
                 &Request::Aggregate {
                     range: q,
-                    mode: LocalMode::Lsr { epsilon, delta, sum0 },
+                    mode: LocalMode::Lsr {
+                        epsilon,
+                        delta,
+                        sum0,
+                    },
                 },
             )
             .unwrap()
@@ -126,10 +136,7 @@ fn end_to_end_error_shrinks_as_radius_grows() {
         }
         mres.push(err / counted as f64);
     }
-    assert!(
-        mres[2] < mres[0],
-        "MRE should fall with radius: {mres:?}"
-    );
+    assert!(mres[2] < mres[0], "MRE should fall with radius: {mres:?}");
 }
 
 #[test]
@@ -148,7 +155,10 @@ fn epsilon_monotonicity_of_lsr_error() {
             )
         })
         .collect();
-    let truth: Vec<f64> = queries.iter().map(|q| exact.execute(&fed, q).value).collect();
+    let truth: Vec<f64> = queries
+        .iter()
+        .map(|q| exact.execute(&fed, q).value)
+        .collect();
     let mre = |epsilon: f64, seed: u64| -> f64 {
         let alg = NonIidEstLsr::new(seed, AccuracyParams::new(epsilon, 0.01));
         queries

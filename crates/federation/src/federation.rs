@@ -30,6 +30,58 @@ use crate::snapshot::ProviderSnapshot;
 use crate::transport::{spawn_silo, CommSnapshot, CommStats, SiloChannel, TransportError};
 use crate::wire::Wire;
 
+/// Errors from standing a federation up ([`FederationBuilder::try_build`]).
+#[derive(Debug, Clone, PartialEq)]
+pub enum SetupError {
+    /// No partitions were supplied — a federation needs at least one silo.
+    NoSilos,
+    /// A silo's index-construction thread panicked.
+    SiloBuildPanicked {
+        /// Which silo.
+        silo: SiloId,
+    },
+    /// The transport failed while running Alg. 1 (spawn failure, dead
+    /// worker, undecodable frame, silo refusal).
+    Transport(TransportError),
+    /// A silo answered setup with the wrong response shape.
+    Protocol {
+        /// Which silo.
+        silo: SiloId,
+        /// What was wrong.
+        message: String,
+    },
+}
+
+impl std::fmt::Display for SetupError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            SetupError::NoSilos => write!(f, "a federation needs at least one silo"),
+            SetupError::SiloBuildPanicked { silo } => {
+                write!(f, "silo {silo} index construction panicked")
+            }
+            SetupError::Transport(e) => write!(f, "setup transport failed: {e}"),
+            SetupError::Protocol { silo, message } => {
+                write!(f, "silo {silo} violated the setup protocol: {message}")
+            }
+        }
+    }
+}
+
+impl std::error::Error for SetupError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            SetupError::Transport(e) => Some(e),
+            _ => None,
+        }
+    }
+}
+
+impl From<TransportError> for SetupError {
+    fn from(e: TransportError) -> Self {
+        SetupError::Transport(e)
+    }
+}
+
 /// Builder for a [`Federation`].
 #[derive(Debug, Clone)]
 pub struct FederationBuilder {
@@ -107,11 +159,25 @@ impl FederationBuilder {
 
     /// Builds silos from the partitions and runs Alg. 1.
     ///
+    /// Convenience wrapper over [`FederationBuilder::try_build`] for
+    /// experiments and examples that have no setup-failure story.
+    ///
     /// # Panics
-    /// Panics if `partitions` is empty — a federation needs at least one
-    /// silo.
+    /// Panics if setup fails for any reason — including an empty
+    /// `partitions` (a federation needs at least one silo). Fallible
+    /// callers should use [`FederationBuilder::try_build`].
     pub fn build(self, partitions: Vec<Vec<SpatialObject>>) -> Federation {
-        assert!(!partitions.is_empty(), "a federation needs at least one silo");
+        // Documented-panic convenience API; the recoverable path is try_build.
+        self.try_build(partitions)
+            .unwrap_or_else(|e| panic!("federation setup failed: {e}")) // fedra-lint: allow(panic-discipline)
+    }
+
+    /// Builds silos from the partitions and runs Alg. 1, surfacing setup
+    /// failures as [`SetupError`] instead of panicking.
+    pub fn try_build(self, partitions: Vec<Vec<SpatialObject>>) -> Result<Federation, SetupError> {
+        if partitions.is_empty() {
+            return Err(SetupError::NoSilos);
+        }
         let setup_stats = Arc::new(CommStats::with_overhead(self.message_overhead));
         let query_stats = Arc::new(CommStats::with_overhead(self.message_overhead));
 
@@ -132,13 +198,20 @@ impl FederationBuilder {
                     scope.spawn(move || Silo::new(id, objects, config))
                 })
                 .collect();
-            handles.into_iter().map(|h| h.join().expect("silo build")).collect()
-        });
+            handles
+                .into_iter()
+                .enumerate()
+                .map(|(id, h)| {
+                    h.join()
+                        .map_err(|_| SetupError::SiloBuildPanicked { silo: id })
+                })
+                .collect::<Result<Vec<_>, _>>()
+        })?;
 
         let mut channels = Vec::with_capacity(silos.len());
         let mut workers = Vec::with_capacity(silos.len());
         for silo in silos {
-            let (channel, handle) = spawn_silo(silo, Arc::clone(&setup_stats), self.latency);
+            let (channel, handle) = spawn_silo(silo, Arc::clone(&setup_stats), self.latency)?;
             channels.push(channel);
             workers.push(handle);
         }
@@ -164,44 +237,57 @@ impl FederationBuilder {
             // vectors are reused when the silo's data still matches.
             return_cells: snapshot.is_none(),
         };
-        let pending: Vec<_> = channels
+        let pending = channels
             .iter()
-            .map(|channel| {
-                channel
-                    .begin_batch(&[&build_request, &Request::MemoryReport])
-                    .expect("setup send must succeed")
-            })
-            .collect();
+            .map(|channel| channel.begin_batch(&[&build_request, &Request::MemoryReport]))
+            .collect::<Result<Vec<_>, TransportError>>()?;
 
         let mut silo_grids: Vec<Option<GridIndex>> = Vec::with_capacity(channels.len());
         let mut memory_reports = Vec::with_capacity(channels.len());
         let mut warm_hits = 0usize;
         for (k, pending) in pending.into_iter().enumerate() {
-            let mut items = pending.wait().expect("setup transport must succeed");
-            assert_eq!(items.len(), 2, "setup batch answers two items");
-            let memory = items.pop().expect("arity checked");
-            let build = items.pop().expect("arity checked");
-            let grid = match build.expect("grid construction must succeed at setup") {
-                Response::GridAck { total, outside } => {
-                    let snap = snapshot.as_ref().expect("acks only occur in warm mode");
-                    let cached = snap.grid(k);
-                    if cached.total() == total && cached.outside_count() == outside {
-                        warm_hits += 1;
-                        Some(cached)
-                    } else {
-                        None // stale snapshot entry: full transfer below
-                    }
+            let mut items = pending.wait()?;
+            let (memory, build) = match (items.pop(), items.pop(), items.pop()) {
+                (Some(memory), Some(build), None) => (memory, build),
+                _ => {
+                    return Err(SetupError::Protocol {
+                        silo: k,
+                        message: "setup batch must answer exactly two items".into(),
+                    })
                 }
-                grid_response => Some(
-                    grid_response
-                        .into_grid_index()
-                        .expect("BuildGrid returns a grid payload"),
-                ),
             };
+            let grid =
+                match build? {
+                    Response::GridAck { total, outside } => {
+                        let snap = snapshot.as_ref().ok_or_else(|| SetupError::Protocol {
+                            silo: k,
+                            message: "unsolicited GridAck (no warm-start snapshot)".into(),
+                        })?;
+                        let cached = snap.grid(k);
+                        if cached.total() == total && cached.outside_count() == outside {
+                            warm_hits += 1;
+                            Some(cached)
+                        } else {
+                            None // stale snapshot entry: full transfer below
+                        }
+                    }
+                    grid_response => Some(grid_response.into_grid_index().ok_or_else(|| {
+                        SetupError::Protocol {
+                            silo: k,
+                            message: "BuildGrid did not return a grid payload".into(),
+                        }
+                    })?),
+                };
             silo_grids.push(grid);
             match memory {
                 Ok(Response::Memory(m)) => memory_reports.push(m),
-                other => panic!("unexpected memory report response: {other:?}"),
+                Ok(other) => {
+                    return Err(SetupError::Protocol {
+                        silo: k,
+                        message: format!("unexpected memory report response: {other:?}"),
+                    })
+                }
+                Err(e) => return Err(SetupError::Transport(e)),
             }
         }
 
@@ -220,28 +306,33 @@ impl FederationBuilder {
                 return_cells: true,
             }
             .to_bytes();
-            let pending: Vec<_> = misses
+            let pending = misses
                 .iter()
-                .map(|&k| {
-                    channels[k]
-                        .begin_call_encoded(full.clone())
-                        .expect("setup send must succeed")
-                })
-                .collect();
+                .map(|&k| channels[k].begin_call_encoded(full.clone()))
+                .collect::<Result<Vec<_>, TransportError>>()?;
             for (&k, pending) in misses.iter().zip(pending) {
-                let grid = pending
-                    .wait()
-                    .expect("grid construction must succeed at setup")
-                    .into_grid_index()
-                    .expect("BuildGrid returns a grid payload");
+                let grid =
+                    pending
+                        .wait()?
+                        .into_grid_index()
+                        .ok_or_else(|| SetupError::Protocol {
+                            silo: k,
+                            message: "BuildGrid did not return a grid payload".into(),
+                        })?;
                 silo_grids[k] = Some(grid);
             }
         }
         let silo_grids: Vec<GridIndex> = silo_grids
             .into_iter()
-            .map(|g| g.expect("every silo resolved above"))
-            .collect();
-        let merged = GridIndex::merge(silo_grids.iter()).expect("at least one silo");
+            .enumerate()
+            .map(|(k, g)| {
+                g.ok_or(SetupError::Protocol {
+                    silo: k,
+                    message: "silo grid never resolved during setup".into(),
+                })
+            })
+            .collect::<Result<_, _>>()?;
+        let merged = GridIndex::merge(silo_grids.iter()).ok_or(SetupError::NoSilos)?;
         let merged_prefix = PrefixGrid::build(&merged);
         let silo_prefixes = silo_grids.iter().map(PrefixGrid::build).collect();
 
@@ -251,7 +342,7 @@ impl FederationBuilder {
             *channel = channel.with_stats(Arc::clone(&query_stats));
         }
 
-        Federation {
+        Ok(Federation {
             bounds: self.bounds,
             channels,
             workers,
@@ -263,7 +354,7 @@ impl FederationBuilder {
             setup_snapshot,
             query_stats,
             warm_hits,
-        }
+        })
     }
 }
 
@@ -572,7 +663,10 @@ mod tests {
         fed.set_silo_failed(1, true);
         let results = fed.broadcast(&Request::Ping);
         assert_eq!(results[0], Ok(Response::Pong));
-        assert!(matches!(results[1], Err(TransportError::Remote { silo: 1, .. })));
+        assert!(matches!(
+            results[1],
+            Err(TransportError::Remote { silo: 1, .. })
+        ));
         assert_eq!(results[2], Ok(Response::Pong));
     }
 
@@ -663,6 +757,25 @@ mod tests {
     #[should_panic(expected = "at least one silo")]
     fn empty_federation_is_rejected() {
         FederationBuilder::new(bounds()).build(vec![]);
+    }
+
+    #[test]
+    fn try_build_surfaces_setup_errors() {
+        let err = FederationBuilder::new(bounds())
+            .try_build(vec![])
+            .expect_err("no silos");
+        assert_eq!(err, SetupError::NoSilos);
+        assert!(err.to_string().contains("at least one silo"));
+    }
+
+    #[test]
+    fn try_build_succeeds_on_a_real_federation() {
+        let fed = FederationBuilder::new(bounds())
+            .grid_cell_len(10.0)
+            .try_build(partitions(2, 50))
+            .expect("setup succeeds");
+        assert_eq!(fed.num_silos(), 2);
+        assert_eq!(fed.total_objects(), 100.0);
     }
 
     #[test]

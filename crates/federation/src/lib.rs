@@ -19,7 +19,7 @@
 //! moves bytes and owns indices.
 
 #![forbid(unsafe_code)]
-#![warn(missing_docs)]
+#![deny(missing_docs)]
 
 mod federation;
 pub mod protocol;
@@ -28,7 +28,7 @@ pub mod snapshot;
 pub mod transport;
 pub mod wire;
 
-pub use federation::{Federation, FederationBuilder};
+pub use federation::{Federation, FederationBuilder, SetupError};
 pub use protocol::{LocalMode, Request, Response, SiloMemoryReport};
 pub use silo::{Silo, SiloConfig, SiloId};
 pub use snapshot::ProviderSnapshot;

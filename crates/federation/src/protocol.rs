@@ -185,7 +185,9 @@ impl Wire for LocalMode {
     }
     fn decode(buf: &mut Bytes) -> WireResult<Self> {
         if buf.remaining() < 1 {
-            return Err(WireError::Truncated { context: "local mode" });
+            return Err(WireError::Truncated {
+                context: "local mode",
+            });
         }
         match buf.get_u8() {
             0 => Ok(LocalMode::Exact),
@@ -194,7 +196,10 @@ impl Wire for LocalMode {
                 delta: f64::decode(buf)?,
                 sum0: f64::decode(buf)?,
             }),
-            tag => Err(WireError::BadTag { context: "local mode", tag }),
+            tag => Err(WireError::BadTag {
+                context: "local mode",
+                tag,
+            }),
         }
     }
     fn encoded_len(&self) -> usize {
@@ -261,7 +266,9 @@ impl Wire for Request {
     }
     fn decode(buf: &mut Bytes) -> WireResult<Self> {
         if buf.remaining() < 1 {
-            return Err(WireError::Truncated { context: "request tag" });
+            return Err(WireError::Truncated {
+                context: "request tag",
+            });
         }
         match buf.get_u8() {
             0 => Ok(Request::BuildGrid {
@@ -284,14 +291,19 @@ impl Wire for Request {
             4 => Ok(Request::MemoryReport),
             5 => Ok(Request::Ping),
             REQUEST_BATCH_TAG => Ok(Request::Batch(Vec::<Request>::decode(buf)?)),
-            tag => Err(WireError::BadTag { context: "request", tag }),
+            tag => Err(WireError::BadTag {
+                context: "request",
+                tag,
+            }),
         }
     }
     fn encoded_len(&self) -> usize {
         1 + match self {
-            Request::BuildGrid { bounds, cell_len, return_cells } => {
-                bounds.encoded_len() + cell_len.encoded_len() + return_cells.encoded_len()
-            }
+            Request::BuildGrid {
+                bounds,
+                cell_len,
+                return_cells,
+            } => bounds.encoded_len() + cell_len.encoded_len() + return_cells.encoded_len(),
             Request::Aggregate { range, mode } => range.encoded_len() + mode.encoded_len(),
             Request::CellContributions { range, cells, mode } => {
                 range.encoded_len() + cells.encoded_len() + mode.encoded_len()
@@ -368,7 +380,9 @@ impl Wire for Response {
     }
     fn decode(buf: &mut Bytes) -> WireResult<Self> {
         if buf.remaining() < 1 {
-            return Err(WireError::Truncated { context: "response tag" });
+            return Err(WireError::Truncated {
+                context: "response tag",
+            });
         }
         match buf.get_u8() {
             0 => Ok(Response::Grid {
@@ -387,12 +401,20 @@ impl Wire for Response {
                 outside: u64::decode(buf)?,
             }),
             7 => Ok(Response::Batch(Vec::<Response>::decode(buf)?)),
-            tag => Err(WireError::BadTag { context: "response", tag }),
+            tag => Err(WireError::BadTag {
+                context: "response",
+                tag,
+            }),
         }
     }
     fn encoded_len(&self) -> usize {
         1 + match self {
-            Response::Grid { bounds, cell_len, cells, outside } => {
+            Response::Grid {
+                bounds,
+                cell_len,
+                cells,
+                outside,
+            } => {
                 bounds.encoded_len()
                     + cell_len.encoded_len()
                     + cells.encoded_len()
@@ -468,11 +490,14 @@ mod tests {
             sum: 4.0,
             sum_sqr: 4.0,
         }));
-        round_trip(Response::AggVec(vec![Aggregate::ZERO, Aggregate {
-            count: 1.0,
-            sum: 7.0,
-            sum_sqr: 49.0,
-        }]));
+        round_trip(Response::AggVec(vec![
+            Aggregate::ZERO,
+            Aggregate {
+                count: 1.0,
+                sum: 7.0,
+                sum_sqr: 49.0,
+            },
+        ]));
         round_trip(Response::Memory(SiloMemoryReport {
             rtree: 100,
             lsr_extra: 90,
@@ -580,13 +605,19 @@ mod tests {
         buf.put_u8(7); // one past the Batch request tag
         assert!(matches!(
             Request::from_bytes(buf.freeze()),
-            Err(WireError::BadTag { context: "request", tag: 7 })
+            Err(WireError::BadTag {
+                context: "request",
+                tag: 7
+            })
         ));
         let mut buf = BytesMut::new();
         buf.put_u8(8); // one past the Batch response tag
         assert!(matches!(
             Response::from_bytes(buf.freeze()),
-            Err(WireError::BadTag { context: "response", tag: 8 })
+            Err(WireError::BadTag {
+                context: "response",
+                tag: 8
+            })
         ));
         // A batch whose *item* carries a bad tag also errors.
         let mut buf = BytesMut::new();
@@ -595,7 +626,10 @@ mod tests {
         buf.put_u8(200);
         assert!(matches!(
             Request::from_bytes(buf.freeze()),
-            Err(WireError::BadTag { context: "request", tag: 200 })
+            Err(WireError::BadTag {
+                context: "request",
+                tag: 200
+            })
         ));
     }
 

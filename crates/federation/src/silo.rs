@@ -68,7 +68,9 @@ pub struct Silo {
 impl Silo {
     /// Builds a silo over its partition. O(n log n).
     pub fn new(id: SiloId, objects: Vec<SpatialObject>, config: SiloConfig) -> Self {
-        let mut rng = StdRng::seed_from_u64(config.lsr_seed ^ (id as u64).wrapping_mul(0x9E37_79B9_7F4A_7C15));
+        let mut rng = StdRng::seed_from_u64(
+            config.lsr_seed ^ (id as u64).wrapping_mul(0x9E37_79B9_7F4A_7C15),
+        );
         let lsr = LsrForest::build(&objects, config.rtree, &mut rng);
         let histogram = MinSkewHistogram::build(config.bounds, config.histogram, &objects);
         let num_objects = objects.len();
@@ -302,9 +304,13 @@ mod tests {
         let mut state = 11u64;
         (0..n)
             .map(|i| {
-                state = state.wrapping_mul(6364136223846793005).wrapping_add(1442695040888963407);
+                state = state
+                    .wrapping_mul(6364136223846793005)
+                    .wrapping_add(1442695040888963407);
                 let x = (state >> 11) as f64 / (1u64 << 53) as f64 * 100.0;
-                state = state.wrapping_mul(6364136223846793005).wrapping_add(1442695040888963407);
+                state = state
+                    .wrapping_mul(6364136223846793005)
+                    .wrapping_add(1442695040888963407);
                 let y = (state >> 11) as f64 / (1u64 << 53) as f64 * 100.0;
                 SpatialObject::at(x, y, (i % 4) as f64 + 1.0)
             })
@@ -327,7 +333,10 @@ mod tests {
             range: q,
             mode: LocalMode::Exact,
         });
-        let brute: f64 = objs.iter().filter(|o| q.contains_point(&o.location)).count() as f64;
+        let brute: f64 = objs
+            .iter()
+            .filter(|o| q.contains_point(&o.location))
+            .count() as f64;
         match resp {
             Response::Agg(a) => assert_eq!(a.count, brute),
             other => panic!("unexpected response {other:?}"),
@@ -413,7 +422,10 @@ mod tests {
         let objs = objects(20_000);
         let s = Silo::new(4, objs.clone(), config());
         let q = Range::circle(Point::new(50.0, 50.0), 25.0);
-        let exact: f64 = objs.iter().filter(|o| q.contains_point(&o.location)).count() as f64;
+        let exact: f64 = objs
+            .iter()
+            .filter(|o| q.contains_point(&o.location))
+            .count() as f64;
         match s.handle(Request::HistogramEstimate { range: q }) {
             Response::Agg(a) => {
                 let rel = (a.count - exact).abs() / exact;

@@ -107,8 +107,10 @@ impl CommStats {
     /// Records one round (payload sizes; the envelope overhead is added
     /// per direction).
     pub fn record(&self, up: usize, down: usize) {
-        self.bytes_up.fetch_add(up as u64 + self.overhead, Ordering::Relaxed);
-        self.bytes_down.fetch_add(down as u64 + self.overhead, Ordering::Relaxed);
+        self.bytes_up
+            .fetch_add(up as u64 + self.overhead, Ordering::Relaxed);
+        self.bytes_down
+            .fetch_add(down as u64 + self.overhead, Ordering::Relaxed);
         self.rounds.fetch_add(1, Ordering::Relaxed);
     }
 
@@ -181,6 +183,16 @@ pub enum TransportError {
         /// The silo's error message.
         message: String,
     },
+    /// The silo worker thread could not be spawned at all.
+    ///
+    /// Carries the OS error as a string because [`TransportError`] is
+    /// `Clone + PartialEq` and `std::io::Error` is neither.
+    Spawn {
+        /// Which silo.
+        silo: SiloId,
+        /// The OS-level spawn failure.
+        reason: String,
+    },
 }
 
 impl std::fmt::Display for TransportError {
@@ -189,6 +201,9 @@ impl std::fmt::Display for TransportError {
             TransportError::Disconnected { silo } => write!(f, "silo {silo} disconnected"),
             TransportError::Codec { silo, error } => write!(f, "silo {silo} codec error: {error}"),
             TransportError::Remote { silo, message } => write!(f, "silo {silo} error: {message}"),
+            TransportError::Spawn { silo, reason } => {
+                write!(f, "silo {silo} worker could not be spawned: {reason}")
+            }
         }
     }
 }
@@ -206,7 +221,7 @@ impl std::error::Error for TransportError {}
 struct PendingReply {
     silo: SiloId,
     up: usize,
-    pair: Option<ReplyPair>,
+    pair: ReplyPair,
     pool: Arc<ReplyPool>,
     stats: Arc<CommStats>,
 }
@@ -214,15 +229,21 @@ struct PendingReply {
 impl PendingReply {
     /// Blocks for the raw reply bytes, records the round's traffic, and
     /// returns the reply pair to the pool.
-    fn wait_bytes(mut self) -> Result<Bytes, TransportError> {
-        let pair = self.pair.take().expect("wait_bytes consumes the pair");
+    fn wait_bytes(self) -> Result<Bytes, TransportError> {
+        let PendingReply {
+            silo,
+            up,
+            pair,
+            pool,
+            stats,
+        } = self;
         match pair.1.recv() {
             Ok(bytes) => {
-                self.stats.record(self.up, bytes.len());
-                self.pool.restore(pair);
+                stats.record(up, bytes.len());
+                pool.restore(pair);
                 Ok(bytes)
             }
-            Err(_) => Err(TransportError::Disconnected { silo: self.silo }),
+            Err(_) => Err(TransportError::Disconnected { silo }),
         }
     }
 }
@@ -250,7 +271,9 @@ impl PendingCall {
 
 impl std::fmt::Debug for PendingCall {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
-        f.debug_struct("PendingCall").field("silo", &self.inner.silo).finish()
+        f.debug_struct("PendingCall")
+            .field("silo", &self.inner.silo)
+            .finish()
     }
 }
 
@@ -285,18 +308,17 @@ impl PendingBatch {
                 Ok(items
                     .into_iter()
                     .map(|item| match item {
-                        Response::Error(message) => {
-                            Err(TransportError::Remote { silo, message })
-                        }
+                        Response::Error(message) => Err(TransportError::Remote { silo, message }),
                         other => Ok(other),
                     })
                     .collect())
             }
             // A whole-frame refusal (e.g. the worker could not decode the
             // request) fails every sub-request the same way.
-            Ok(Response::Error(message)) => {
-                Ok(vec![Err(TransportError::Remote { silo, message }); expected])
-            }
+            Ok(Response::Error(message)) => Ok(vec![
+                Err(TransportError::Remote { silo, message });
+                expected
+            ]),
             Ok(other) => Err(TransportError::Remote {
                 silo,
                 message: format!("expected batch response, got {other:?}"),
@@ -346,7 +368,7 @@ impl SiloChannel {
         Ok(PendingReply {
             silo: self.id,
             up,
-            pair: Some(pair),
+            pair,
             pool: Arc::clone(&self.reply_pool),
             stats: Arc::clone(&self.stats),
         })
@@ -445,11 +467,15 @@ impl std::fmt::Debug for SiloChannel {
 
 /// Spawns the silo worker thread and returns the provider-side channel
 /// plus the join handle (owned by the federation for shutdown).
+///
+/// Fails with [`TransportError::Spawn`] when the OS refuses the thread
+/// (resource exhaustion) — the federation maps that to a setup error
+/// instead of tearing the provider down.
 pub fn spawn_silo(
     silo: Silo,
     stats: Arc<CommStats>,
     simulated_latency: Option<Duration>,
-) -> (SiloChannel, JoinHandle<()>) {
+) -> Result<(SiloChannel, JoinHandle<()>), TransportError> {
     let (tx, rx) = unbounded::<Envelope>();
     let id = silo.id();
     let served = silo.served_counter();
@@ -469,8 +495,11 @@ pub fn spawn_silo(
                 let _ = envelope.reply.send(response.to_bytes());
             }
         })
-        .expect("failed to spawn silo worker thread");
-    (
+        .map_err(|e| TransportError::Spawn {
+            silo: id,
+            reason: e.to_string(),
+        })?;
+    Ok((
         SiloChannel {
             id,
             tx,
@@ -480,7 +509,7 @@ pub fn spawn_silo(
             failed,
         },
         handle,
-    )
+    ))
 }
 
 #[cfg(test)]
@@ -515,7 +544,8 @@ mod tests {
     #[test]
     fn call_round_trips_through_the_thread() {
         let stats = Arc::new(CommStats::default());
-        let (chan, handle) = spawn_silo(test_silo(0, 100), Arc::clone(&stats), None);
+        let (chan, handle) =
+            spawn_silo(test_silo(0, 100), Arc::clone(&stats), None).expect("spawn silo");
         let resp = chan.call(&Request::Ping).expect("ping");
         assert_eq!(resp, Response::Pong);
         let snap = stats.snapshot();
@@ -530,7 +560,8 @@ mod tests {
     fn traffic_is_counted_per_round() {
         // Zero-overhead stats so payload sizes can be pinned exactly.
         let stats = Arc::new(CommStats::with_overhead(0));
-        let (chan, _handle) = spawn_silo(test_silo(1, 100), Arc::clone(&stats), None);
+        let (chan, _handle) =
+            spawn_silo(test_silo(1, 100), Arc::clone(&stats), None).expect("spawn silo");
         let q = Range::circle(Point::new(5.0, 5.0), 2.0);
         let before = stats.snapshot();
         chan.call(&Request::Aggregate {
@@ -549,7 +580,8 @@ mod tests {
     fn default_overhead_is_charged_per_message() {
         let stats = Arc::new(CommStats::default());
         assert_eq!(stats.overhead(), DEFAULT_MESSAGE_OVERHEAD);
-        let (chan, _handle) = spawn_silo(test_silo(7, 10), Arc::clone(&stats), None);
+        let (chan, _handle) =
+            spawn_silo(test_silo(7, 10), Arc::clone(&stats), None).expect("spawn silo");
         chan.call(&Request::Ping).unwrap();
         let snap = stats.snapshot();
         assert!(snap.bytes_up > DEFAULT_MESSAGE_OVERHEAD);
@@ -559,7 +591,8 @@ mod tests {
     #[test]
     fn remote_errors_are_surfaced() {
         let stats = Arc::new(CommStats::default());
-        let (chan, _handle) = spawn_silo(test_silo(2, 10), Arc::clone(&stats), None);
+        let (chan, _handle) =
+            spawn_silo(test_silo(2, 10), Arc::clone(&stats), None).expect("spawn silo");
         chan.set_failed(true);
         let err = chan.call(&Request::Ping).expect_err("should fail");
         assert!(matches!(err, TransportError::Remote { silo: 2, .. }));
@@ -571,7 +604,8 @@ mod tests {
     #[test]
     fn served_counter_tracks_requests() {
         let stats = Arc::new(CommStats::default());
-        let (chan, _handle) = spawn_silo(test_silo(3, 10), Arc::clone(&stats), None);
+        let (chan, _handle) =
+            spawn_silo(test_silo(3, 10), Arc::clone(&stats), None).expect("spawn silo");
         assert_eq!(chan.served(), 0);
         for _ in 0..5 {
             chan.call(&Request::Ping).unwrap();
@@ -582,7 +616,8 @@ mod tests {
     #[test]
     fn concurrent_calls_from_many_threads() {
         let stats = Arc::new(CommStats::default());
-        let (chan, _handle) = spawn_silo(test_silo(4, 200), Arc::clone(&stats), None);
+        let (chan, _handle) =
+            spawn_silo(test_silo(4, 200), Arc::clone(&stats), None).expect("spawn silo");
         let q = Range::circle(Point::new(5.0, 5.0), 3.0);
         std::thread::scope(|scope| {
             for _ in 0..8 {
@@ -606,7 +641,8 @@ mod tests {
     #[test]
     fn call_batch_preserves_request_order() {
         let stats = Arc::new(CommStats::default());
-        let (chan, _handle) = spawn_silo(test_silo(8, 100), Arc::clone(&stats), None);
+        let (chan, _handle) =
+            spawn_silo(test_silo(8, 100), Arc::clone(&stats), None).expect("spawn silo");
         let q = Range::circle(Point::new(5.0, 5.0), 2.0);
         let exact = chan
             .call(&Request::Aggregate {
@@ -636,7 +672,8 @@ mod tests {
     #[test]
     fn call_batch_surfaces_per_item_errors() {
         let stats = Arc::new(CommStats::default());
-        let (chan, _handle) = spawn_silo(test_silo(9, 10), Arc::clone(&stats), None);
+        let (chan, _handle) =
+            spawn_silo(test_silo(9, 10), Arc::clone(&stats), None).expect("spawn silo");
         chan.set_failed(true);
         let results = chan
             .call_batch(&[Request::Ping, Request::Ping, Request::Ping])
@@ -652,7 +689,8 @@ mod tests {
     #[test]
     fn empty_batch_sends_no_traffic() {
         let stats = Arc::new(CommStats::default());
-        let (chan, _handle) = spawn_silo(test_silo(10, 10), Arc::clone(&stats), None);
+        let (chan, _handle) =
+            spawn_silo(test_silo(10, 10), Arc::clone(&stats), None).expect("spawn silo");
         assert_eq!(chan.call_batch(&[]).unwrap(), Vec::new());
         assert_eq!(stats.snapshot(), CommSnapshot::default());
     }
@@ -662,7 +700,8 @@ mod tests {
         // Zero-overhead stats pin the payload arithmetic; the saving shows
         // in rounds (each round costs 2 × overhead under default stats).
         let stats = Arc::new(CommStats::with_overhead(0));
-        let (chan, _handle) = spawn_silo(test_silo(11, 100), Arc::clone(&stats), None);
+        let (chan, _handle) =
+            spawn_silo(test_silo(11, 100), Arc::clone(&stats), None).expect("spawn silo");
         let q = Range::circle(Point::new(5.0, 5.0), 2.0);
         let agg = Request::Aggregate {
             range: q,
@@ -688,7 +727,8 @@ mod tests {
     #[test]
     fn reply_pairs_are_pooled_and_reused() {
         let stats = Arc::new(CommStats::default());
-        let (chan, _handle) = spawn_silo(test_silo(12, 10), Arc::clone(&stats), None);
+        let (chan, _handle) =
+            spawn_silo(test_silo(12, 10), Arc::clone(&stats), None).expect("spawn silo");
         for _ in 0..10 {
             chan.call(&Request::Ping).unwrap();
         }
@@ -710,7 +750,11 @@ mod tests {
         let stats = Arc::new(CommStats::default());
         let latency = Duration::from_millis(20);
         let channels: Vec<SiloChannel> = (0..4)
-            .map(|i| spawn_silo(test_silo(i, 10), Arc::clone(&stats), Some(latency)).0)
+            .map(|i| {
+                spawn_silo(test_silo(i, 10), Arc::clone(&stats), Some(latency))
+                    .expect("spawn silo")
+                    .0
+            })
             .collect();
         let start = std::time::Instant::now();
         let pending: Vec<PendingCall> = channels
@@ -730,7 +774,8 @@ mod tests {
     #[test]
     fn disconnected_worker_reports_cleanly() {
         let stats = Arc::new(CommStats::default());
-        let (chan, handle) = spawn_silo(test_silo(5, 10), Arc::clone(&stats), None);
+        let (chan, handle) =
+            spawn_silo(test_silo(5, 10), Arc::clone(&stats), None).expect("spawn silo");
         // Simulate a dead worker: clone the channel, drop the original
         // sender... the worker only exits when *all* senders drop, so
         // instead kill it by dropping every channel and joining.
@@ -747,7 +792,8 @@ mod tests {
             test_silo(6, 10),
             Arc::clone(&stats),
             Some(Duration::from_millis(20)),
-        );
+        )
+        .expect("spawn silo");
         let start = std::time::Instant::now();
         chan.call(&Request::Ping).unwrap();
         assert!(start.elapsed() >= Duration::from_millis(20));

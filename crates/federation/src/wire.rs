@@ -40,8 +40,12 @@ pub enum WireError {
 impl std::fmt::Display for WireError {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
         match self {
-            WireError::Truncated { context } => write!(f, "truncated buffer while decoding {context}"),
-            WireError::BadTag { context, tag } => write!(f, "unknown tag {tag} while decoding {context}"),
+            WireError::Truncated { context } => {
+                write!(f, "truncated buffer while decoding {context}")
+            }
+            WireError::BadTag { context, tag } => {
+                write!(f, "unknown tag {tag} while decoding {context}")
+            }
             WireError::BadLength { context, len } => {
                 write!(f, "implausible length {len} while decoding {context}")
             }
@@ -172,7 +176,10 @@ impl Wire for bool {
         match buf.get_u8() {
             0 => Ok(false),
             1 => Ok(true),
-            tag => Err(WireError::BadTag { context: "bool", tag }),
+            tag => Err(WireError::BadTag {
+                context: "bool",
+                tag,
+            }),
         }
     }
     fn encoded_len(&self) -> usize {
@@ -211,7 +218,10 @@ impl<T: Wire> Wire for Vec<T> {
         // Each element takes at least one byte; reject absurd prefixes
         // before allocating.
         if len > buf.remaining() {
-            return Err(WireError::BadLength { context: "vec", len });
+            return Err(WireError::BadLength {
+                context: "vec",
+                len,
+            });
         }
         let mut out = Vec::with_capacity(len);
         for _ in 0..len {
@@ -239,7 +249,10 @@ impl<T: Wire> Wire for Option<T> {
         match buf.get_u8() {
             0 => Ok(None),
             1 => Ok(Some(T::decode(buf)?)),
-            tag => Err(WireError::BadTag { context: "option", tag }),
+            tag => Err(WireError::BadTag {
+                context: "option",
+                tag,
+            }),
         }
     }
     fn encoded_len(&self) -> usize {
@@ -304,7 +317,10 @@ impl Wire for Range {
         match buf.get_u8() {
             0 => Ok(Range::Circle(Circle::decode(buf)?)),
             1 => Ok(Range::Rect(Rect::decode(buf)?)),
-            tag => Err(WireError::BadTag { context: "range", tag }),
+            tag => Err(WireError::BadTag {
+                context: "range",
+                tag,
+            }),
         }
     }
     fn encoded_len(&self) -> usize {
@@ -418,7 +434,10 @@ mod tests {
         buf.put_u8(9);
         assert!(matches!(
             Range::from_bytes(buf.freeze()),
-            Err(WireError::BadTag { context: "range", tag: 9 })
+            Err(WireError::BadTag {
+                context: "range",
+                tag: 9
+            })
         ));
     }
 
@@ -437,7 +456,10 @@ mod tests {
         // Sizes feed the communication-cost metric; pin them down.
         assert_eq!(Point::new(0.0, 0.0).to_bytes().len(), 16);
         assert_eq!(Rect::EMPTY.to_bytes().len(), 32);
-        assert_eq!(Range::circle(Point::new(0.0, 0.0), 1.0).to_bytes().len(), 25);
+        assert_eq!(
+            Range::circle(Point::new(0.0, 0.0), 1.0).to_bytes().len(),
+            25
+        );
         assert_eq!(Aggregate::ZERO.to_bytes().len(), 24);
         assert_eq!(vec![1u32, 2, 3].to_bytes().len(), 4 + 12);
     }
@@ -472,9 +494,15 @@ mod tests {
     fn error_messages_render() {
         let e = WireError::Truncated { context: "u8" };
         assert!(e.to_string().contains("truncated"));
-        let e = WireError::BadTag { context: "range", tag: 7 };
+        let e = WireError::BadTag {
+            context: "range",
+            tag: 7,
+        };
         assert!(e.to_string().contains("unknown tag 7"));
-        let e = WireError::BadLength { context: "vec", len: 9 };
+        let e = WireError::BadLength {
+            context: "vec",
+            len: 9,
+        };
         assert!(e.to_string().contains("length 9"));
     }
 }

@@ -42,7 +42,13 @@ fn sixteen_threads_hammering_four_silos() {
     let fed = build(4, 2_000);
     let q = Range::circle(Point::new(50.0, 50.0), 20.0);
     let expected = match fed
-        .call(0, &Request::Aggregate { range: q, mode: LocalMode::Exact })
+        .call(
+            0,
+            &Request::Aggregate {
+                range: q,
+                mode: LocalMode::Exact,
+            },
+        )
         .unwrap()
     {
         Response::Agg(a) => a.count,
@@ -58,7 +64,13 @@ fn sixteen_threads_hammering_four_silos() {
                 for i in 0..200 {
                     let silo = (t + i) % fed.num_silos();
                     match fed
-                        .call(silo, &Request::Aggregate { range: q, mode: LocalMode::Exact })
+                        .call(
+                            silo,
+                            &Request::Aggregate {
+                                range: q,
+                                mode: LocalMode::Exact,
+                            },
+                        )
                         .unwrap()
                     {
                         Response::Agg(a) => {
@@ -97,14 +109,26 @@ fn failure_flapping_under_load() {
         for _ in 0..4 {
             scope.spawn(|| {
                 for _ in 0..200 {
-                    let _ = fed.call(1, &Request::Aggregate { range: q, mode: LocalMode::Exact });
+                    let _ = fed.call(
+                        1,
+                        &Request::Aggregate {
+                            range: q,
+                            mode: LocalMode::Exact,
+                        },
+                    );
                 }
             });
         }
     });
     // After the flapping stops, the silo serves again.
     assert!(fed
-        .call(1, &Request::Aggregate { range: q, mode: LocalMode::Exact })
+        .call(
+            1,
+            &Request::Aggregate {
+                range: q,
+                mode: LocalMode::Exact
+            }
+        )
         .is_ok());
 }
 
@@ -124,7 +148,13 @@ fn mixed_request_types_interleave_cleanly() {
                     match i % 4 {
                         0 => {
                             let r = fed
-                                .call(silo, &Request::Aggregate { range: q, mode: LocalMode::Exact })
+                                .call(
+                                    silo,
+                                    &Request::Aggregate {
+                                        range: q,
+                                        mode: LocalMode::Exact,
+                                    },
+                                )
                                 .unwrap();
                             assert!(matches!(r, Response::Agg(_)));
                         }
@@ -171,7 +201,13 @@ fn many_federations_coexist_and_shut_down() {
                     let fed = build(2, 300);
                     let q = Range::circle(Point::new(50.0, 50.0), 10.0);
                     let r = fed
-                        .call(0, &Request::Aggregate { range: q, mode: LocalMode::Exact })
+                        .call(
+                            0,
+                            &Request::Aggregate {
+                                range: q,
+                                mode: LocalMode::Exact,
+                            },
+                        )
                         .unwrap();
                     assert!(matches!(r, Response::Agg(_)));
                     drop(fed);
@@ -186,7 +222,13 @@ fn lsr_requests_under_concurrency_stay_in_reasonable_range() {
     let fed = build(4, 4_000);
     let q = Range::circle(Point::new(50.0, 50.0), 25.0);
     let exact = match fed
-        .call(0, &Request::Aggregate { range: q, mode: LocalMode::Exact })
+        .call(
+            0,
+            &Request::Aggregate {
+                range: q,
+                mode: LocalMode::Exact,
+            },
+        )
         .unwrap()
     {
         Response::Agg(a) => a.count,
@@ -235,7 +277,10 @@ fn warm_start_skips_cell_transfer_and_validates() {
         .collect();
     let cold = FederationBuilder::new(bounds)
         .grid_cell_len(5.0)
-        .histogram_config(MinSkewConfig { resolution: 8, budget: 8 })
+        .histogram_config(MinSkewConfig {
+            resolution: 8,
+            budget: 8,
+        })
         .build(partitions.clone());
     let cold_setup = cold.setup_comm().total_bytes();
     assert_eq!(cold.warm_start_hits(), 0);
@@ -246,7 +291,10 @@ fn warm_start_skips_cell_transfer_and_validates() {
     // traffic collapses (no cell vectors on the wire).
     let warm = FederationBuilder::new(bounds)
         .grid_cell_len(5.0)
-        .histogram_config(MinSkewConfig { resolution: 8, budget: 8 })
+        .histogram_config(MinSkewConfig {
+            resolution: 8,
+            budget: 8,
+        })
         .warm_start(snapshot.clone())
         .build(partitions.clone());
     assert_eq!(warm.warm_start_hits(), 3);
@@ -259,7 +307,10 @@ fn warm_start_skips_cell_transfer_and_validates() {
     let spec = *warm.merged_grid().spec();
     let fresh = FederationBuilder::new(bounds)
         .grid_cell_len(5.0)
-        .histogram_config(MinSkewConfig { resolution: 8, budget: 8 })
+        .histogram_config(MinSkewConfig {
+            resolution: 8,
+            budget: 8,
+        })
         .build(partitions.clone());
     for id in 0..spec.num_cells() as u32 {
         assert_eq!(
@@ -274,7 +325,10 @@ fn warm_start_skips_cell_transfer_and_validates() {
     changed[1].push(SpatialObject::at(50.0, 50.0, 9.0));
     let partial = FederationBuilder::new(bounds)
         .grid_cell_len(5.0)
-        .histogram_config(MinSkewConfig { resolution: 8, budget: 8 })
+        .histogram_config(MinSkewConfig {
+            resolution: 8,
+            budget: 8,
+        })
         .warm_start(snapshot.clone())
         .build(changed);
     assert_eq!(partial.warm_start_hits(), 2);
@@ -283,7 +337,10 @@ fn warm_start_skips_cell_transfer_and_validates() {
     // Mismatched geometry: the snapshot is ignored entirely.
     let ignored = FederationBuilder::new(bounds)
         .grid_cell_len(10.0)
-        .histogram_config(MinSkewConfig { resolution: 8, budget: 8 })
+        .histogram_config(MinSkewConfig {
+            resolution: 8,
+            budget: 8,
+        })
         .warm_start(snapshot)
         .build(partitions);
     assert_eq!(ignored.warm_start_hits(), 0);
@@ -293,11 +350,18 @@ fn warm_start_skips_cell_transfer_and_validates() {
 fn snapshot_survives_disk_round_trip() {
     let bounds = Rect::new(Point::new(0.0, 0.0), Point::new(100.0, 100.0));
     let partitions: Vec<Vec<SpatialObject>> = (0..2)
-        .map(|_| (0..200).map(|i| SpatialObject::at(i as f64 / 2.0, 50.0, 1.0)).collect())
+        .map(|_| {
+            (0..200)
+                .map(|i| SpatialObject::at(i as f64 / 2.0, 50.0, 1.0))
+                .collect()
+        })
         .collect();
     let fed = FederationBuilder::new(bounds)
         .grid_cell_len(10.0)
-        .histogram_config(MinSkewConfig { resolution: 8, budget: 8 })
+        .histogram_config(MinSkewConfig {
+            resolution: 8,
+            budget: 8,
+        })
         .build(partitions.clone());
     let snapshot = fed.snapshot();
     let dir = std::env::temp_dir().join("fedra-warm-start-test");
@@ -308,7 +372,10 @@ fn snapshot_survives_disk_round_trip() {
     assert_eq!(loaded, snapshot);
     let warm = FederationBuilder::new(bounds)
         .grid_cell_len(10.0)
-        .histogram_config(MinSkewConfig { resolution: 8, budget: 8 })
+        .histogram_config(MinSkewConfig {
+            resolution: 8,
+            budget: 8,
+        })
         .warm_start(loaded)
         .build(partitions);
     assert_eq!(warm.warm_start_hits(), 2);

@@ -206,7 +206,10 @@ mod tests {
             }
         }
         let lattice = hits as f64 / (n * n) as f64 * r.area();
-        assert!(close(analytic, lattice, 1e-2), "analytic {analytic} vs lattice {lattice}");
+        assert!(
+            close(analytic, lattice, 1e-2),
+            "analytic {analytic} vs lattice {lattice}"
+        );
     }
 
     #[test]

@@ -18,7 +18,7 @@
 //! dependencies beyond `serde` for wire/ persistence formats.
 
 #![forbid(unsafe_code)]
-#![warn(missing_docs)]
+#![deny(missing_docs)]
 
 mod area;
 mod circle;

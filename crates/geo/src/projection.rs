@@ -76,7 +76,10 @@ impl Projection {
     pub fn project(&self, g: &GeoPoint) -> Point {
         let dlat = (g.lat - self.origin.lat).to_radians();
         let dlon = (g.lon - self.origin.lon).to_radians();
-        Point::new(EARTH_RADIUS_KM * dlon * self.cos_lat0, EARTH_RADIUS_KM * dlat)
+        Point::new(
+            EARTH_RADIUS_KM * dlon * self.cos_lat0,
+            EARTH_RADIUS_KM * dlat,
+        )
     }
 
     /// Maps a planar point (kilometres) back to geographic degrees.

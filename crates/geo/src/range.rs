@@ -143,7 +143,10 @@ mod tests {
         let q = Range::rect(Point::new(0.0, 0.0), Point::new(2.0, 2.0));
         assert!(q.contains_point(&Point::new(2.0, 2.0)));
         assert!(!q.contains_point(&Point::new(2.1, 2.0)));
-        assert_eq!(q.bounding_rect(), Rect::new(Point::new(0.0, 0.0), Point::new(2.0, 2.0)));
+        assert_eq!(
+            q.bounding_rect(),
+            Rect::new(Point::new(0.0, 0.0), Point::new(2.0, 2.0))
+        );
         assert_eq!(q.area(), 4.0);
     }
 

@@ -93,7 +93,9 @@ impl Aggregate {
 
     /// Aggregate of a slice of objects.
     pub fn of_all(objects: &[SpatialObject]) -> Self {
-        objects.iter().fold(Aggregate::ZERO, |acc, o| acc.merge(&Aggregate::of(o)))
+        objects
+            .iter()
+            .fold(Aggregate::ZERO, |acc, o| acc.merge(&Aggregate::of(o)))
     }
 
     /// Monoid operation: component-wise addition.

@@ -171,10 +171,16 @@ impl GridSpec {
         if clipped.is_empty() {
             return None;
         }
-        let ix0 = ((clipped.min.x - self.bounds.min.x) / self.cell_len).floor().max(0.0) as u32;
-        let iy0 = ((clipped.min.y - self.bounds.min.y) / self.cell_len).floor().max(0.0) as u32;
-        let ix1 = (((clipped.max.x - self.bounds.min.x) / self.cell_len).floor() as u32).min(self.nx - 1);
-        let iy1 = (((clipped.max.y - self.bounds.min.y) / self.cell_len).floor() as u32).min(self.ny - 1);
+        let ix0 = ((clipped.min.x - self.bounds.min.x) / self.cell_len)
+            .floor()
+            .max(0.0) as u32;
+        let iy0 = ((clipped.min.y - self.bounds.min.y) / self.cell_len)
+            .floor()
+            .max(0.0) as u32;
+        let ix1 =
+            (((clipped.max.x - self.bounds.min.x) / self.cell_len).floor() as u32).min(self.nx - 1);
+        let iy1 =
+            (((clipped.max.y - self.bounds.min.y) / self.cell_len).floor() as u32).min(self.ny - 1);
         Some((ix0, iy0, ix1, iy1))
     }
 

@@ -230,8 +230,20 @@ impl MinSkewHistogram {
                 if best.as_ref().is_none_or(|(c, _, _)| l + r < *c) {
                     best = Some((
                         l + r,
-                        WorkBucket { ix0: b.ix0, iy0: b.iy0, ix1: sx, iy1: b.iy1, skew: l },
-                        WorkBucket { ix0: sx + 1, iy0: b.iy0, ix1: b.ix1, iy1: b.iy1, skew: r },
+                        WorkBucket {
+                            ix0: b.ix0,
+                            iy0: b.iy0,
+                            ix1: sx,
+                            iy1: b.iy1,
+                            skew: l,
+                        },
+                        WorkBucket {
+                            ix0: sx + 1,
+                            iy0: b.iy0,
+                            ix1: b.ix1,
+                            iy1: b.iy1,
+                            skew: r,
+                        },
                     ));
                 }
             }
@@ -242,8 +254,20 @@ impl MinSkewHistogram {
                 if best.as_ref().is_none_or(|(c, _, _)| lo + hi < *c) {
                     best = Some((
                         lo + hi,
-                        WorkBucket { ix0: b.ix0, iy0: b.iy0, ix1: b.ix1, iy1: sy, skew: lo },
-                        WorkBucket { ix0: b.ix0, iy0: sy + 1, ix1: b.ix1, iy1: b.iy1, skew: hi },
+                        WorkBucket {
+                            ix0: b.ix0,
+                            iy0: b.iy0,
+                            ix1: b.ix1,
+                            iy1: sy,
+                            skew: lo,
+                        },
+                        WorkBucket {
+                            ix0: b.ix0,
+                            iy0: sy + 1,
+                            ix1: b.ix1,
+                            iy1: b.iy1,
+                            skew: hi,
+                        },
                     ));
                 }
             }
@@ -353,9 +377,13 @@ mod tests {
         let mut objs = Vec::with_capacity(n);
         let mut state = 42u64;
         for i in 0..n {
-            state = state.wrapping_mul(6364136223846793005).wrapping_add(1442695040888963407);
+            state = state
+                .wrapping_mul(6364136223846793005)
+                .wrapping_add(1442695040888963407);
             let x = (state >> 11) as f64 / (1u64 << 53) as f64 * 100.0;
-            state = state.wrapping_mul(6364136223846793005).wrapping_add(1442695040888963407);
+            state = state
+                .wrapping_mul(6364136223846793005)
+                .wrapping_add(1442695040888963407);
             let y = (state >> 11) as f64 / (1u64 << 53) as f64 * 100.0;
             objs.push(SpatialObject::at(x, y, (i % 3 + 1) as f64));
         }
@@ -368,7 +396,9 @@ mod tests {
         let mut objs = Vec::with_capacity(n);
         let mut state = 7u64;
         let mut next = || {
-            state = state.wrapping_mul(6364136223846793005).wrapping_add(1442695040888963407);
+            state = state
+                .wrapping_mul(6364136223846793005)
+                .wrapping_add(1442695040888963407);
             (state >> 11) as f64 / (1u64 << 53) as f64
         };
         for i in 0..n {
@@ -385,7 +415,9 @@ mod tests {
     }
 
     fn brute(objs: &[SpatialObject], q: &Range) -> f64 {
-        objs.iter().filter(|o| q.contains_point(&o.location)).count() as f64
+        objs.iter()
+            .filter(|o| q.contains_point(&o.location))
+            .count() as f64
     }
 
     #[test]
@@ -420,7 +452,10 @@ mod tests {
         let objs = skewed_objects(5000);
         let h = MinSkewHistogram::build(
             bounds(),
-            MinSkewConfig { resolution: 64, budget: 100 },
+            MinSkewConfig {
+                resolution: 64,
+                budget: 100,
+            },
             &objs,
         );
         assert_eq!(h.num_buckets(), 100);
@@ -432,7 +467,10 @@ mod tests {
         let objs = skewed_objects(3000);
         let h = MinSkewHistogram::build(
             bounds(),
-            MinSkewConfig { resolution: 32, budget: 50 },
+            MinSkewConfig {
+                resolution: 32,
+                budget: 50,
+            },
             &objs,
         );
         // Areas add up to the domain; aggregates add up to the total.
@@ -444,7 +482,12 @@ mod tests {
         for (i, a) in h.buckets().iter().enumerate() {
             for b in &h.buckets()[i + 1..] {
                 let inter = a.rect.intersection(&b.rect);
-                assert!(inter.area() < 1e-9, "buckets overlap: {} vs {}", a.rect, b.rect);
+                assert!(
+                    inter.area() < 1e-9,
+                    "buckets overlap: {} vs {}",
+                    a.rect,
+                    b.rect
+                );
             }
         }
     }
@@ -456,7 +499,10 @@ mod tests {
         let ew = EquiWidthHistogram::build(bounds(), 10.0, &objs);
         let ms = MinSkewHistogram::build(
             bounds(),
-            MinSkewConfig { resolution: 128, budget: 100 },
+            MinSkewConfig {
+                resolution: 128,
+                budget: 100,
+            },
             &objs,
         );
         let queries = [
@@ -506,7 +552,10 @@ mod tests {
         let objs = uniform_objects(100);
         let h = MinSkewHistogram::build(
             bounds(),
-            MinSkewConfig { resolution: 16, budget: 1 },
+            MinSkewConfig {
+                resolution: 16,
+                budget: 1,
+            },
             &objs,
         );
         assert_eq!(h.num_buckets(), 1);
@@ -518,12 +567,18 @@ mod tests {
         let objs = uniform_objects(1000);
         let small = MinSkewHistogram::build(
             bounds(),
-            MinSkewConfig { resolution: 32, budget: 10 },
+            MinSkewConfig {
+                resolution: 32,
+                budget: 10,
+            },
             &objs,
         );
         let large = MinSkewHistogram::build(
             bounds(),
-            MinSkewConfig { resolution: 32, budget: 200 },
+            MinSkewConfig {
+                resolution: 32,
+                budget: 200,
+            },
             &objs,
         );
         assert!(large.memory_bytes() >= small.memory_bytes());

@@ -25,7 +25,7 @@
 //! experiment metric (Figs. 3d–9d).
 
 #![forbid(unsafe_code)]
-#![warn(missing_docs)]
+#![deny(missing_docs)]
 
 mod agg;
 pub mod grid;

@@ -112,7 +112,10 @@ impl LsrForest {
     ///   index (the paper: "the aggregation result of grids that intersect
     ///   with the query range").
     pub fn select_level(&self, epsilon: f64, delta: f64, sum0: f64) -> usize {
-        assert!(epsilon > 0.0 && epsilon.is_finite(), "epsilon must be positive");
+        assert!(
+            epsilon > 0.0 && epsilon.is_finite(),
+            "epsilon must be positive"
+        );
         assert!(
             delta > 0.0 && delta < 1.0,
             "delta must be a probability in (0, 1)"
@@ -282,7 +285,10 @@ mod tests {
         let expected = ((eps * eps * sum0) / (3.0 * (2.0f64 / delta).ln()))
             .log2()
             .floor() as usize;
-        assert_eq!(f.select_level(eps, delta, sum0), expected.min(f.num_levels() - 1));
+        assert_eq!(
+            f.select_level(eps, delta, sum0),
+            expected.min(f.num_levels() - 1)
+        );
     }
 
     #[test]

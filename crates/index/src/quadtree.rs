@@ -103,7 +103,9 @@ impl QuadTree {
     pub fn from_objects(objects: &[SpatialObject]) -> Self {
         let region = objects
             .iter()
-            .fold(Rect::EMPTY, |acc, o| acc.union(&Rect::from_point(o.location)))
+            .fold(Rect::EMPTY, |acc, o| {
+                acc.union(&Rect::from_point(o.location))
+            })
             .inflate(1e-9);
         let region = if region.is_empty() {
             Rect::new(Point::new(0.0, 0.0), Point::new(1.0, 1.0))
@@ -272,7 +274,9 @@ impl IndexMemory for QuadTree {
         let nodes: usize = self
             .nodes
             .iter()
-            .map(|n| std::mem::size_of::<QuadNode>() + n.objects.capacity() * std::mem::size_of::<u32>())
+            .map(|n| {
+                std::mem::size_of::<QuadNode>() + n.objects.capacity() * std::mem::size_of::<u32>()
+            })
             .sum();
         std::mem::size_of::<Self>()
             + self.objects.capacity() * std::mem::size_of::<SpatialObject>()
@@ -288,9 +292,13 @@ mod tests {
         let mut state = seed;
         (0..n)
             .map(|i| {
-                state = state.wrapping_mul(6364136223846793005).wrapping_add(1442695040888963407);
+                state = state
+                    .wrapping_mul(6364136223846793005)
+                    .wrapping_add(1442695040888963407);
                 let x = (state >> 11) as f64 / (1u64 << 53) as f64 * 100.0;
-                state = state.wrapping_mul(6364136223846793005).wrapping_add(1442695040888963407);
+                state = state
+                    .wrapping_mul(6364136223846793005)
+                    .wrapping_add(1442695040888963407);
                 let y = (state >> 11) as f64 / (1u64 << 53) as f64 * 100.0;
                 SpatialObject::at(x, y, (i % 7) as f64)
             })
@@ -317,7 +325,12 @@ mod tests {
         let objs = scatter(3000, 9);
         let t = QuadTree::from_objects(&objs);
         assert_eq!(t.total().count, 3000.0);
-        for (cx, cy, r) in [(50.0, 50.0, 12.0), (0.0, 0.0, 30.0), (95.0, 5.0, 8.0), (50.0, 50.0, 300.0)] {
+        for (cx, cy, r) in [
+            (50.0, 50.0, 12.0),
+            (0.0, 0.0, 30.0),
+            (95.0, 5.0, 8.0),
+            (50.0, 50.0, 300.0),
+        ] {
             let q = Range::circle(Point::new(cx, cy), r);
             let got = t.aggregate(&q);
             let want = brute(&objs, &q);
@@ -338,7 +351,11 @@ mod tests {
                 Point::new((i as f64 * 13.7) % 100.0, (i as f64 * 7.3) % 100.0),
                 6.0,
             );
-            assert_eq!(quad.aggregate(&q).count, rtree.aggregate(&q).count, "at {q}");
+            assert_eq!(
+                quad.aggregate(&q).count,
+                rtree.aggregate(&q).count,
+                "at {q}"
+            );
         }
     }
 

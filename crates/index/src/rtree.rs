@@ -338,7 +338,9 @@ impl IndexMemory for RTree {
         let nodes: usize = self
             .nodes
             .iter()
-            .map(|n| std::mem::size_of::<Node>() + n.children.capacity() * std::mem::size_of::<u32>())
+            .map(|n| {
+                std::mem::size_of::<Node>() + n.children.capacity() * std::mem::size_of::<u32>()
+            })
             .sum();
         std::mem::size_of::<Self>()
             + self.objects.capacity() * std::mem::size_of::<SpatialObject>()
@@ -364,9 +366,13 @@ mod tests {
         let mut objs = Vec::with_capacity(n);
         let mut state = 0x9e3779b97f4a7c15u64;
         for i in 0..n {
-            state = state.wrapping_mul(6364136223846793005).wrapping_add(1442695040888963407);
+            state = state
+                .wrapping_mul(6364136223846793005)
+                .wrapping_add(1442695040888963407);
             let x = (state >> 11) as f64 / (1u64 << 53) as f64 * 100.0;
-            state = state.wrapping_mul(6364136223846793005).wrapping_add(1442695040888963407);
+            state = state
+                .wrapping_mul(6364136223846793005)
+                .wrapping_add(1442695040888963407);
             let y = (state >> 11) as f64 / (1u64 << 53) as f64 * 100.0;
             objs.push(SpatialObject::at(x, y, (i % 7) as f64));
         }

@@ -16,8 +16,7 @@ const SIDE: f64 = 64.0;
 
 fn objects() -> impl Strategy<Value = Vec<SpatialObject>> {
     proptest::collection::vec(
-        (0.0f64..SIDE, 0.0f64..SIDE, -5.0f64..5.0)
-            .prop_map(|(x, y, m)| SpatialObject::at(x, y, m)),
+        (0.0f64..SIDE, 0.0f64..SIDE, -5.0f64..5.0).prop_map(|(x, y, m)| SpatialObject::at(x, y, m)),
         0..300,
     )
 }

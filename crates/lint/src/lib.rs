@@ -1,0 +1,24 @@
+//! `fedra-lint` — workspace static analysis for the fedra federation.
+//!
+//! The paper's core constraint — raw rows never leave a silo, only
+//! aggregates cross the wire — plus the transport's panic and locking
+//! discipline are invariants no compiler checks. This crate checks them
+//! mechanically: a hand-rolled [`lexer`] (no `syn`: the build environment
+//! is offline) feeds token streams to a [`registry::Registry`] of
+//! fedra-specific [`lints`], with `file:line:col` [`diagnostics`], an
+//! inline `// fedra-lint: allow(<lint>)` escape hatch and a committed
+//! baseline for grandfathered findings.
+//!
+//! Run it as `cargo run -p fedra-lint -- check`; the same pass runs as a
+//! tier-1 test (`cargo test -p fedra-lint`), so CI fails on any
+//! non-baselined finding. See `README.md` § Static analysis.
+
+#![forbid(unsafe_code)]
+#![deny(missing_docs)]
+
+pub mod diagnostics;
+pub mod lexer;
+pub mod lints;
+pub mod registry;
+pub mod scan;
+pub mod workspace;

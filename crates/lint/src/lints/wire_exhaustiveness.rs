@@ -1,0 +1,88 @@
+//! `wire-exhaustiveness`: every `Request` variant must be answerable.
+//!
+//! The wire protocol has three places that must stay in lock-step with
+//! `enum Request`:
+//!
+//! 1. `impl Wire for Request::encoded_len` — the batched transport
+//!    pre-reserves exact frame sizes; a missing case silently breaks the
+//!    single-allocation guarantee (or, with a `_ => 0` catch-all, the
+//!    byte accounting that *is* the paper's communication metric);
+//! 2. the silo handler (`silo.rs`) — a request with no handler arm can
+//!    only be answered with a decode error at runtime;
+//! 3. `fn decode` — a variant that encodes but does not decode is a
+//!    guaranteed `BadTag` for every peer.
+//!
+//! Rust's own exhaustiveness checking does not help here because these
+//! are *three separate `match` statements in two files*: adding a variant
+//! compiles cleanly while quietly missing an arm wherever `_ =>` appears.
+//! This lint closes that gap by name-matching `Request::<Variant>`
+//! mentions in each required site.
+
+use crate::diagnostics::{Diagnostic, Level};
+use crate::registry::Lint;
+use crate::scan::{enum_body, enum_variants, fn_body, impl_body, mentions_variant, SourceFile};
+
+/// See the module docs.
+pub struct WireExhaustiveness;
+
+impl Lint for WireExhaustiveness {
+    fn name(&self) -> &'static str {
+        "wire-exhaustiveness"
+    }
+
+    fn description(&self) -> &'static str {
+        "every Request variant has an encoded_len case, a decode case and a silo handler arm"
+    }
+
+    fn check(&self, files: &[SourceFile], diags: &mut Vec<Diagnostic>) {
+        let Some(protocol) = files
+            .iter()
+            .find(|f| f.path.ends_with("federation/src/protocol.rs"))
+        else {
+            return;
+        };
+        let tokens = protocol.tokens();
+        let Some(body) = enum_body(tokens, "Request") else {
+            return;
+        };
+        let variants = enum_variants(tokens, body);
+        let silo = files
+            .iter()
+            .find(|f| f.path.ends_with("federation/src/silo.rs"));
+
+        let wire_impl = impl_body(tokens, "Wire", "Request");
+        let encoded_len = wire_impl.and_then(|range| fn_body(tokens, range, "encoded_len"));
+        let decode = wire_impl.and_then(|range| fn_body(tokens, range, "decode"));
+
+        for (variant, idx) in &variants {
+            let at = &tokens[*idx];
+            let mut missing: Vec<&str> = Vec::new();
+            if let Some(range) = encoded_len {
+                if !mentions_variant(tokens, range, "Request", variant) {
+                    missing.push("`encoded_len` case in `impl Wire for Request`");
+                }
+            }
+            if let Some(range) = decode {
+                if !mentions_variant(tokens, range, "Request", variant) {
+                    missing.push("`decode` case in `impl Wire for Request`");
+                }
+            }
+            if let Some(silo) = silo {
+                let whole = (0, silo.tokens().len());
+                if !mentions_variant(silo.tokens(), whole, "Request", variant) {
+                    missing.push("handler arm in `silo.rs` (no Response is ever produced)");
+                }
+            }
+            for m in missing {
+                diags.push(Diagnostic {
+                    lint: self.name(),
+                    level: Level::Deny,
+                    file: protocol.path.clone(),
+                    line: at.line,
+                    col: at.col,
+                    message: format!("`Request::{variant}` has no {m}"),
+                });
+            }
+        }
+    }
+}

@@ -1,0 +1,104 @@
+//! Workspace collection and the check entry point.
+
+use std::path::{Path, PathBuf};
+
+use crate::diagnostics::{Baseline, Diagnostic, Level};
+use crate::registry::Registry;
+use crate::scan::SourceFile;
+
+/// Where the committed baseline lives, relative to the repo root.
+pub const BASELINE_PATH: &str = "crates/lint/baseline.txt";
+
+/// Outcome of one check run.
+#[derive(Debug)]
+pub struct Report {
+    /// Findings that fail the run (deny level, not baselined).
+    pub failing: Vec<Diagnostic>,
+    /// Findings printed but tolerated (warn level).
+    pub warnings: Vec<Diagnostic>,
+    /// Findings covered by the committed baseline.
+    pub baselined: Vec<Diagnostic>,
+    /// Baseline entries whose finding no longer exists (should be pruned).
+    pub stale_baseline: Vec<String>,
+    /// Number of files analyzed.
+    pub files_checked: usize,
+}
+
+impl Report {
+    /// Whether the run passes (nothing failing, no stale baseline).
+    pub fn is_clean(&self) -> bool {
+        self.failing.is_empty() && self.stale_baseline.is_empty()
+    }
+}
+
+/// Collects every `.rs` file under `<root>/src` and `<root>/crates/*/src`.
+///
+/// Shims (`shims/*`), tests, benches and examples directories are not
+/// product source and are deliberately out of scope; test *modules* inside
+/// product sources are handled per-lint via the test-region map.
+pub fn collect_sources(root: &Path) -> std::io::Result<Vec<SourceFile>> {
+    let mut dirs: Vec<PathBuf> = vec![root.join("src")];
+    let crates_dir = root.join("crates");
+    if let Ok(entries) = std::fs::read_dir(&crates_dir) {
+        let mut crate_dirs: Vec<PathBuf> = entries
+            .filter_map(|e| e.ok())
+            .map(|e| e.path().join("src"))
+            .filter(|p| p.is_dir())
+            .collect();
+        crate_dirs.sort();
+        dirs.extend(crate_dirs);
+    }
+    let mut paths = Vec::new();
+    for dir in dirs {
+        if dir.is_dir() {
+            walk(&dir, &mut paths)?;
+        }
+    }
+    paths.sort();
+    paths
+        .iter()
+        .map(|p| SourceFile::load(root, p))
+        .collect::<Result<Vec<_>, _>>()
+}
+
+fn walk(dir: &Path, out: &mut Vec<PathBuf>) -> std::io::Result<()> {
+    for entry in std::fs::read_dir(dir)? {
+        let path = entry?.path();
+        if path.is_dir() {
+            walk(&path, out)?;
+        } else if path.extension().is_some_and(|e| e == "rs") {
+            out.push(path);
+        }
+    }
+    Ok(())
+}
+
+/// Runs `registry` over the workspace at `root`, splitting findings
+/// against the baseline at `<root>/`[`BASELINE_PATH`].
+pub fn run_check(root: &Path, registry: &Registry) -> std::io::Result<Report> {
+    let files = collect_sources(root)?;
+    let baseline = Baseline::load(&root.join(BASELINE_PATH));
+    let diags = registry.run(&files);
+    let stale_baseline = baseline
+        .stale(&diags)
+        .into_iter()
+        .map(str::to_string)
+        .collect();
+    let mut report = Report {
+        failing: Vec::new(),
+        warnings: Vec::new(),
+        baselined: Vec::new(),
+        stale_baseline,
+        files_checked: files.len(),
+    };
+    for d in diags {
+        if baseline.covers(&d) {
+            report.baselined.push(d);
+        } else if d.level == Level::Warn {
+            report.warnings.push(d);
+        } else {
+            report.failing.push(d);
+        }
+    }
+    Ok(report)
+}

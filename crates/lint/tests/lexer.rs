@@ -1,0 +1,159 @@
+//! Lexer unit tests: the constructs that would make token-level lints lie.
+
+use fedra_lint::lexer::{lex, TokenKind};
+
+fn idents(source: &str) -> Vec<String> {
+    lex(source)
+        .tokens
+        .into_iter()
+        .filter(|t| t.kind == TokenKind::Ident)
+        .map(|t| t.text)
+        .collect()
+}
+
+#[test]
+fn panicky_words_inside_strings_are_not_identifiers() {
+    let src = r#"let msg = "please unwrap() and panic! here";"#;
+    let names = idents(src);
+    assert_eq!(names, vec!["let", "msg"]);
+    let strings: Vec<_> = lex(src)
+        .tokens
+        .into_iter()
+        .filter(|t| t.kind == TokenKind::StrLit)
+        .collect();
+    assert_eq!(strings.len(), 1);
+    assert!(strings[0].text.contains("unwrap()"));
+}
+
+#[test]
+fn escaped_quotes_do_not_end_a_string() {
+    let src = r#"let s = "a \" still string unwrap"; x.lock();"#;
+    let names = idents(src);
+    assert_eq!(names, vec!["let", "s", "x", "lock"]);
+}
+
+#[test]
+fn raw_strings_swallow_quotes_and_hashes() {
+    let src = r###"let s = r#"has "quotes" and unwrap()"#; done();"###;
+    let names = idents(src);
+    assert_eq!(names, vec!["let", "s", "done"]);
+}
+
+#[test]
+fn plain_raw_string_without_hashes() {
+    let src = r#"let s = r"no unwrap here"; after();"#;
+    assert_eq!(idents(src), vec!["let", "s", "after"]);
+}
+
+#[test]
+fn byte_and_raw_byte_strings_are_literals() {
+    let src = r###"let a = b"unwrap"; let b2 = br#"expect"#; tail();"###;
+    assert_eq!(idents(src), vec!["let", "a", "let", "b2", "tail"]);
+}
+
+#[test]
+fn nested_block_comments_are_invisible() {
+    let src = "/* outer /* inner unwrap() */ still comment */ fn live() {}";
+    assert_eq!(idents(src), vec!["fn", "live"]);
+}
+
+#[test]
+fn line_comments_hide_code_but_yield_allow_directives() {
+    let src = "\
+// x.unwrap() is commented out
+let a = 1; // fedra-lint: allow(panic-discipline)
+";
+    let lexed = lex(src);
+    assert_eq!(
+        lexed.tokens.iter().filter(|t| t.is_ident("unwrap")).count(),
+        0
+    );
+    assert_eq!(lexed.allows.len(), 1);
+    assert_eq!(lexed.allows[0].lint, "panic-discipline");
+    assert_eq!(lexed.allows[0].line, 2);
+}
+
+#[test]
+fn allow_directive_accepts_a_lint_list() {
+    let lexed = lex("// fedra-lint: allow(lock-discipline, federation-safety)\n");
+    let lints: Vec<_> = lexed.allows.iter().map(|a| a.lint.as_str()).collect();
+    assert_eq!(lints, vec!["lock-discipline", "federation-safety"]);
+}
+
+#[test]
+fn lifetimes_are_not_char_literals() {
+    let src = "fn f<'a>(x: &'a str) -> char { 'a' }";
+    let tokens = lex(src).tokens;
+    let lifetimes: Vec<_> = tokens
+        .iter()
+        .filter(|t| t.kind == TokenKind::Lifetime)
+        .map(|t| t.text.as_str())
+        .collect();
+    assert_eq!(lifetimes, vec!["a", "a"]);
+    let chars: Vec<_> = tokens
+        .iter()
+        .filter(|t| t.kind == TokenKind::CharLit)
+        .map(|t| t.text.as_str())
+        .collect();
+    assert_eq!(chars, vec!["'a'"]);
+}
+
+#[test]
+fn escaped_char_literals_lex_as_chars() {
+    let src = r"let nl = '\n'; let q = '\''; let sp = ' ';";
+    let chars: Vec<_> = lex(src)
+        .tokens
+        .into_iter()
+        .filter(|t| t.kind == TokenKind::CharLit)
+        .collect();
+    assert_eq!(chars.len(), 3);
+    assert_eq!(chars[2].text, "' '");
+}
+
+#[test]
+fn static_lifetime_is_a_lifetime() {
+    let src = "static S: &'static str = \"x\";";
+    let tokens = lex(src).tokens;
+    assert!(tokens
+        .iter()
+        .any(|t| t.kind == TokenKind::Lifetime && t.text == "static"));
+}
+
+#[test]
+fn raw_identifiers_lex_as_identifiers() {
+    let src = "let r#fn = 1;";
+    assert_eq!(idents(src), vec!["let", "fn"]);
+}
+
+#[test]
+fn floats_and_ranges_disambiguate() {
+    let src = "let a = 1.5; for i in 0..10 {}";
+    let numbers: Vec<_> = lex(src)
+        .tokens
+        .into_iter()
+        .filter(|t| t.kind == TokenKind::Number)
+        .map(|t| t.text)
+        .collect();
+    assert_eq!(numbers, vec!["1.5", "0", "10"]);
+}
+
+#[test]
+fn positions_are_one_based_lines_and_columns() {
+    let src = "let a = 1;\n  let b = 2;\n";
+    let tokens = lex(src).tokens;
+    let b = tokens.iter().find(|t| t.is_ident("b")).expect("b token");
+    assert_eq!(b.line, 2);
+    assert_eq!(b.col, 7);
+}
+
+#[test]
+fn unterminated_constructs_never_panic() {
+    for src in [
+        "let s = \"never closed",
+        "/* never closed",
+        "let s = r#\"never closed",
+        "let c = '",
+    ] {
+        let _ = lex(src); // must not panic
+    }
+}

@@ -1,0 +1,339 @@
+//! Fixture tests: each lint fires on a seeded violation and stays quiet on
+//! the repaired equivalent.
+
+use fedra_lint::diagnostics::Level;
+use fedra_lint::registry::Registry;
+use fedra_lint::scan::SourceFile;
+
+fn run(files: &[SourceFile]) -> Vec<fedra_lint::diagnostics::Diagnostic> {
+    Registry::with_default_lints().run(files)
+}
+
+fn file(path: &str, source: &str) -> SourceFile {
+    SourceFile::new(path.to_string(), source)
+}
+
+// ---------------------------------------------------------------- federation-safety
+
+#[test]
+fn federation_safety_flags_location_types_in_response() {
+    let src = "
+pub enum Response {
+    Rows(Vec<SpatialObject>),
+    Where(Point),
+    Measures(Vec<f64>),
+    Agg(Aggregate),
+}
+";
+    let diags = run(&[file("crates/federation/src/protocol.rs", src)]);
+    let safety: Vec<_> = diags
+        .iter()
+        .filter(|d| d.lint == "federation-safety")
+        .collect();
+    assert_eq!(safety.len(), 3, "{safety:?}");
+    assert!(safety[0].message.contains("SpatialObject"));
+    assert!(safety[1].message.contains("Point"));
+    assert!(safety[2].message.contains("Vec<f64>") || safety[2].message.contains("measure"));
+}
+
+#[test]
+fn federation_safety_accepts_aggregate_only_responses() {
+    let src = "
+pub enum Response {
+    Agg(Aggregate),
+    Memory(SiloMemoryReport),
+    Error(String),
+}
+";
+    let diags = run(&[file("crates/federation/src/protocol.rs", src)]);
+    assert!(
+        diags.iter().all(|d| d.lint != "federation-safety"),
+        "{diags:?}"
+    );
+}
+
+#[test]
+fn federation_safety_ignores_request_payloads_and_other_crates() {
+    // Requests legitimately carry provider-chosen coordinates to silos.
+    let request_side = "
+pub enum Request {
+    Aggregate { range: Range, center: Point },
+}
+";
+    let diags = run(&[file("crates/federation/src/protocol.rs", request_side)]);
+    assert!(diags.iter().all(|d| d.lint != "federation-safety"));
+    // A Response enum outside crates/federation is out of scope.
+    let elsewhere = "pub enum Response { Raw(Vec<SpatialObject>) }";
+    let diags = run(&[file("crates/workload/src/gen.rs", elsewhere)]);
+    assert!(diags.iter().all(|d| d.lint != "federation-safety"));
+}
+
+// ---------------------------------------------------------------- panic-discipline
+
+#[test]
+fn panic_discipline_flags_unwrap_expect_and_macros() {
+    let src = "
+fn hot(rx: Receiver<u8>) -> u8 {
+    let a = rx.recv().unwrap();
+    let b = rx.recv().expect(\"reply\");
+    if a == b {
+        panic!(\"equal\");
+    }
+    unreachable!()
+}
+";
+    let diags = run(&[file("crates/federation/src/transport.rs", src)]);
+    let panics: Vec<_> = diags
+        .iter()
+        .filter(|d| d.lint == "panic-discipline")
+        .collect();
+    assert_eq!(panics.len(), 4, "{panics:?}");
+    assert!(panics.iter().all(|d| d.level == Level::Deny));
+}
+
+#[test]
+fn panic_discipline_exempts_test_code() {
+    let src = "
+fn hot() {}
+
+#[cfg(test)]
+mod tests {
+    #[test]
+    fn roundtrip() {
+        make().unwrap();
+        panic!(\"fine in tests\");
+    }
+}
+";
+    let diags = run(&[file("crates/federation/src/transport.rs", src)]);
+    assert!(
+        diags.iter().all(|d| d.lint != "panic-discipline"),
+        "{diags:?}"
+    );
+}
+
+#[test]
+fn panic_discipline_honors_inline_allow() {
+    let src = "
+fn convenience() -> u8 {
+    fallible().unwrap() // fedra-lint: allow(panic-discipline)
+}
+
+fn above() -> u8 {
+    // fedra-lint: allow(panic-discipline)
+    fallible().unwrap()
+}
+";
+    let diags = run(&[file("crates/federation/src/transport.rs", src)]);
+    assert!(
+        diags.iter().all(|d| d.lint != "panic-discipline"),
+        "{diags:?}"
+    );
+}
+
+#[test]
+fn panic_discipline_scopes_to_federation_and_engine_paths() {
+    let src = "fn helper() { thing().unwrap(); }";
+    // sql.rs is a user-facing front-end, not the hot path.
+    let diags = run(&[file("crates/core/src/sql.rs", src)]);
+    assert!(diags.iter().all(|d| d.lint != "panic-discipline"));
+    // The engine files are in scope.
+    let diags = run(&[file("crates/core/src/framework.rs", src)]);
+    assert_eq!(
+        diags
+            .iter()
+            .filter(|d| d.lint == "panic-discipline")
+            .count(),
+        1
+    );
+}
+
+#[test]
+fn panic_discipline_ignores_strings_and_comments() {
+    let src = "
+// explains why x.unwrap() would be wrong here
+fn hot() {
+    log(\"never call unwrap() on the reply\");
+}
+";
+    let diags = run(&[file("crates/federation/src/transport.rs", src)]);
+    assert!(
+        diags.iter().all(|d| d.lint != "panic-discipline"),
+        "{diags:?}"
+    );
+}
+
+// ---------------------------------------------------------------- lock-discipline
+
+#[test]
+fn lock_discipline_flags_blocking_send_under_a_guard() {
+    let src = "
+fn pump(pool: &Mutex<Vec<u8>>, tx: &Sender<u8>) {
+    let pairs = pool.lock();
+    let _ = tx.send(1);
+}
+";
+    let diags = run(&[file("crates/core/src/sql.rs", src)]);
+    let locks: Vec<_> = diags
+        .iter()
+        .filter(|d| d.lint == "lock-discipline")
+        .collect();
+    assert_eq!(locks.len(), 1, "{locks:?}");
+    assert!(locks[0].message.contains("pairs"));
+    assert!(locks[0].message.contains("send"));
+}
+
+#[test]
+fn lock_discipline_flags_recv_and_join_and_guard_variants() {
+    let src = "
+fn a(m: &RwLock<u8>, rx: &Receiver<u8>) {
+    let g = m.read();
+    let _ = rx.recv();
+}
+fn b(m: &RwLock<u8>, h: JoinHandle<()>) {
+    let g = m.write();
+    let _ = h.join();
+}
+fn c(m: &Mutex<u8>, rx: &Receiver<u8>) {
+    let g = m.lock().unwrap();
+    let _ = rx.recv_timeout(t);
+}
+";
+    let diags = run(&[file("crates/core/src/sql.rs", src)]);
+    assert_eq!(
+        diags.iter().filter(|d| d.lint == "lock-discipline").count(),
+        3,
+        "{diags:?}"
+    );
+}
+
+#[test]
+fn lock_discipline_accepts_drop_before_blocking() {
+    let src = "
+fn pump(pool: &Mutex<Vec<u8>>, tx: &Sender<u8>) {
+    let pairs = pool.lock();
+    drop(pairs);
+    let _ = tx.send(1);
+}
+";
+    let diags = run(&[file("crates/core/src/sql.rs", src)]);
+    assert!(
+        diags.iter().all(|d| d.lint != "lock-discipline"),
+        "{diags:?}"
+    );
+}
+
+#[test]
+fn lock_discipline_accepts_scoped_guards_and_temporaries() {
+    let src = "
+fn scoped(pool: &Mutex<Vec<u8>>, tx: &Sender<u8>) {
+    {
+        let pairs = pool.lock();
+        pairs.push(1);
+    }
+    let _ = tx.send(1);
+}
+fn temporary(pool: &Mutex<Vec<u8>>, tx: &Sender<u8>) {
+    pool.lock().push(1);
+    let _ = tx.send(2);
+}
+fn consumed(pool: &Mutex<Vec<u8>>, tx: &Sender<u8>) {
+    let top = pool.lock().pop();
+    let _ = tx.send(3);
+}
+";
+    let diags = run(&[file("crates/core/src/sql.rs", src)]);
+    assert!(
+        diags.iter().all(|d| d.lint != "lock-discipline"),
+        "{diags:?}"
+    );
+}
+
+// ---------------------------------------------------------------- wire-exhaustiveness
+
+fn wire_fixture(encoded_len_arms: &str, decode_arms: &str, silo_arms: &str) -> Vec<SourceFile> {
+    let protocol = format!(
+        "
+pub enum Request {{
+    Ping,
+    Extra,
+}}
+
+impl Wire for Request {{
+    fn encoded_len(&self) -> usize {{
+        match self {{
+            {encoded_len_arms}
+        }}
+    }}
+    fn encode(&self, buf: &mut Vec<u8>) {{}}
+    fn decode(buf: &[u8]) -> Result<Self, WireError> {{
+        match tag {{
+            {decode_arms}
+        }}
+    }}
+}}
+"
+    );
+    let silo = format!(
+        "
+fn handle(request: Request) -> Response {{
+    match request {{
+        {silo_arms}
+    }}
+}}
+"
+    );
+    vec![
+        file("crates/federation/src/protocol.rs", &protocol),
+        file("crates/federation/src/silo.rs", &silo),
+    ]
+}
+
+#[test]
+fn wire_exhaustiveness_flags_a_variant_missing_everywhere() {
+    let files = wire_fixture(
+        "Request::Ping => 1,",
+        "0 => Ok(Request::Ping),",
+        "Request::Ping => Response::Pong,",
+    );
+    let diags = run(&files);
+    let wire: Vec<_> = diags
+        .iter()
+        .filter(|d| d.lint == "wire-exhaustiveness")
+        .collect();
+    // Extra is missing from encoded_len, decode and the silo handler.
+    assert_eq!(wire.len(), 3, "{wire:?}");
+    assert!(wire.iter().all(|d| d.message.contains("Request::Extra")));
+}
+
+#[test]
+fn wire_exhaustiveness_accepts_a_complete_protocol() {
+    let files = wire_fixture(
+        "Request::Ping => 1, Request::Extra => 1,",
+        "0 => Ok(Request::Ping), 1 => Ok(Request::Extra),",
+        "Request::Ping => Response::Pong, Request::Extra => Response::Pong,",
+    );
+    let diags = run(&files);
+    assert!(
+        diags.iter().all(|d| d.lint != "wire-exhaustiveness"),
+        "{diags:?}"
+    );
+}
+
+// ---------------------------------------------------------------- registry levels
+
+#[test]
+fn registry_levels_rewrite_or_disable_findings() {
+    let src = "fn hot() { thing().unwrap(); }";
+    let files = [file("crates/federation/src/transport.rs", src)];
+
+    let mut warn = Registry::with_default_lints();
+    warn.set_level("panic-discipline", Level::Warn);
+    let diags = warn.run(&files);
+    assert_eq!(diags.len(), 1);
+    assert_eq!(diags[0].level, Level::Warn);
+
+    let mut off = Registry::with_default_lints();
+    off.set_level("panic-discipline", Level::Allow);
+    assert!(off.run(&files).is_empty());
+}

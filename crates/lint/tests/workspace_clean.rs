@@ -1,0 +1,94 @@
+//! End-to-end checks: the real workspace passes, the baseline matches a
+//! fresh run, and a seeded violation fails a check of a scratch tree.
+
+use std::path::{Path, PathBuf};
+
+use fedra_lint::diagnostics::Baseline;
+use fedra_lint::registry::Registry;
+use fedra_lint::workspace::{collect_sources, run_check, BASELINE_PATH};
+
+fn repo_root() -> PathBuf {
+    Path::new(env!("CARGO_MANIFEST_DIR"))
+        .join("../..")
+        .canonicalize()
+        .expect("repo root resolves")
+}
+
+#[test]
+fn the_workspace_is_clean() {
+    let report =
+        run_check(&repo_root(), &Registry::with_default_lints()).expect("workspace is readable");
+    assert!(report.files_checked > 30, "suspiciously few files scanned");
+    assert!(
+        report.failing.is_empty(),
+        "non-baselined findings:\n{}",
+        report
+            .failing
+            .iter()
+            .map(|d| d.to_string())
+            .collect::<Vec<_>>()
+            .join("\n")
+    );
+}
+
+#[test]
+fn the_baseline_matches_a_fresh_run() {
+    let root = repo_root();
+    let files = collect_sources(&root).expect("workspace is readable");
+    let diags = Registry::with_default_lints().run(&files);
+    let baseline = Baseline::load(&root.join(BASELINE_PATH));
+    // No stale entries: everything in the baseline still reproduces.
+    let stale = baseline.stale(&diags);
+    assert!(stale.is_empty(), "stale baseline entries: {stale:?}");
+    // And the panic-discipline findings were fixed, not baselined: the
+    // committed baseline must stay empty.
+    assert!(
+        baseline.is_empty(),
+        "baseline grew to {} entries — fix findings instead of baselining them",
+        baseline.len()
+    );
+}
+
+/// Builds a scratch tree shaped like the workspace, with one seeded
+/// violation, and checks it end to end through `run_check`.
+#[test]
+fn a_seeded_violation_fails_a_scratch_tree() {
+    let root = std::env::temp_dir().join(format!("fedra-lint-fixture-{}", std::process::id()));
+    let src_dir = root.join("crates/federation/src");
+    std::fs::create_dir_all(&src_dir).expect("scratch tree");
+    std::fs::write(
+        src_dir.join("transport.rs"),
+        "fn hot(rx: Receiver<u8>) -> u8 { rx.recv().unwrap() }\n",
+    )
+    .expect("write fixture");
+
+    let report = run_check(&root, &Registry::with_default_lints()).expect("scratch readable");
+    assert_eq!(report.files_checked, 1);
+    assert_eq!(report.failing.len(), 1, "{:?}", report.failing);
+    assert_eq!(report.failing[0].lint, "panic-discipline");
+    assert_eq!(report.failing[0].file, "crates/federation/src/transport.rs");
+    assert!(!report.is_clean());
+
+    // Baselining the finding turns the same run clean...
+    std::fs::create_dir_all(root.join("crates/lint")).expect("baseline dir");
+    std::fs::write(root.join(BASELINE_PATH), Baseline::render(&report.failing))
+        .expect("write baseline");
+    let report = run_check(&root, &Registry::with_default_lints()).expect("scratch readable");
+    assert!(report.failing.is_empty());
+    assert_eq!(report.baselined.len(), 1);
+    assert!(report.is_clean());
+
+    // ...and fixing the code turns that baseline entry stale, which is
+    // also a failure: stale entries must be pruned.
+    std::fs::write(
+        src_dir.join("transport.rs"),
+        "fn hot(rx: Receiver<u8>) -> Result<u8, RecvError> { rx.recv() }\n",
+    )
+    .expect("rewrite fixture");
+    let report = run_check(&root, &Registry::with_default_lints()).expect("scratch readable");
+    assert!(report.failing.is_empty());
+    assert_eq!(report.stale_baseline.len(), 1);
+    assert!(!report.is_clean());
+
+    std::fs::remove_dir_all(&root).ok();
+}

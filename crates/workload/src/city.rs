@@ -69,12 +69,36 @@ impl CityModel {
             // A dense CBD, two business districts, two residential belts,
             // one suburban hub — spreads chosen to span 1.5–9 km so the
             // 1–3 km query radii of Fig. 3 see varied local densities.
-            Hotspot { center: Point::new(0.0, -95.0), sigma: 3.0, weight: 0.25 },
-            Hotspot { center: Point::new(8.0, -88.0), sigma: 1.5, weight: 0.15 },
-            Hotspot { center: Point::new(-12.0, -100.0), sigma: 4.0, weight: 0.15 },
-            Hotspot { center: Point::new(20.0, -110.0), sigma: 6.0, weight: 0.10 },
-            Hotspot { center: Point::new(-25.0, -80.0), sigma: 7.0, weight: 0.10 },
-            Hotspot { center: Point::new(35.0, -60.0), sigma: 9.0, weight: 0.05 },
+            Hotspot {
+                center: Point::new(0.0, -95.0),
+                sigma: 3.0,
+                weight: 0.25,
+            },
+            Hotspot {
+                center: Point::new(8.0, -88.0),
+                sigma: 1.5,
+                weight: 0.15,
+            },
+            Hotspot {
+                center: Point::new(-12.0, -100.0),
+                sigma: 4.0,
+                weight: 0.15,
+            },
+            Hotspot {
+                center: Point::new(20.0, -110.0),
+                sigma: 6.0,
+                weight: 0.10,
+            },
+            Hotspot {
+                center: Point::new(-25.0, -80.0),
+                sigma: 7.0,
+                weight: 0.10,
+            },
+            Hotspot {
+                center: Point::new(35.0, -60.0),
+                sigma: 9.0,
+                weight: 0.05,
+            },
         ];
         let urban_core = Rect::new(Point::new(-45.0, -125.0), Point::new(55.0, -45.0));
         Self {
@@ -241,7 +265,7 @@ mod tests {
             .filter(|(s, b)| (**s - **b * 4.0).abs() < 1e-12)
             .count();
         assert_eq!(boosted, 2); // 6 hotspots / 3 companies
-        // Different companies focus different hotspots.
+                                // Different companies focus different hotspots.
         let c0 = model.company_weights(0, 3, 4.0);
         let c1 = model.company_weights(1, 3, 4.0);
         assert_ne!(c0, c1);
@@ -268,12 +292,19 @@ mod tests {
         let model = CityModel::beijing();
         let weights = model.company_weights(0, 3, 1.0);
         let mut rng = StdRng::seed_from_u64(4);
-        let samples: Vec<SpatialObject> =
-            (0..20_000).map(|_| model.sample(&weights, &mut rng)).collect();
+        let samples: Vec<SpatialObject> = (0..20_000)
+            .map(|_| model.sample(&weights, &mut rng))
+            .collect();
         let cbd = fedra_geo::Circle::new(Point::new(0.0, -95.0), 6.0);
         let sticks = fedra_geo::Circle::new(Point::new(-40.0, -50.0), 6.0);
-        let in_cbd = samples.iter().filter(|o| cbd.contains_point(&o.location)).count();
-        let in_sticks = samples.iter().filter(|o| sticks.contains_point(&o.location)).count();
+        let in_cbd = samples
+            .iter()
+            .filter(|o| cbd.contains_point(&o.location))
+            .count();
+        let in_sticks = samples
+            .iter()
+            .filter(|o| sticks.contains_point(&o.location))
+            .count();
         assert!(
             in_cbd > 10 * in_sticks.max(1),
             "cbd {in_cbd} vs background {in_sticks}"

@@ -65,7 +65,11 @@ pub fn write_csv(dataset: &Dataset, path: impl AsRef<Path>) -> Result<(), CsvErr
     writeln!(w, "silo,x_km,y_km,measure")?;
     for (silo, partition) in dataset.partitions().iter().enumerate() {
         for o in partition {
-            writeln!(w, "{},{},{},{}", silo, o.location.x, o.location.y, o.measure)?;
+            writeln!(
+                w,
+                "{},{},{},{}",
+                silo, o.location.x, o.location.y, o.measure
+            )?;
         }
     }
     w.flush()?;
@@ -94,25 +98,35 @@ pub fn read_csv(path: impl AsRef<Path>, bounds_margin: f64) -> Result<Dataset, C
                 reason: format!("missing field `{name}`"),
             })
         };
-        let silo: usize = next_field("silo")?.trim().parse().map_err(|e| CsvError::Malformed {
-            line: number,
-            reason: format!("bad silo id: {e}"),
-        })?;
-        let x: f64 = next_field("x_km")?.trim().parse().map_err(|e| CsvError::Malformed {
-            line: number,
-            reason: format!("bad x: {e}"),
-        })?;
-        let y: f64 = next_field("y_km")?.trim().parse().map_err(|e| CsvError::Malformed {
-            line: number,
-            reason: format!("bad y: {e}"),
-        })?;
-        let measure: f64 = next_field("measure")?
+        let silo: usize = next_field("silo")?
             .trim()
             .parse()
             .map_err(|e| CsvError::Malformed {
                 line: number,
-                reason: format!("bad measure: {e}"),
+                reason: format!("bad silo id: {e}"),
             })?;
+        let x: f64 = next_field("x_km")?
+            .trim()
+            .parse()
+            .map_err(|e| CsvError::Malformed {
+                line: number,
+                reason: format!("bad x: {e}"),
+            })?;
+        let y: f64 = next_field("y_km")?
+            .trim()
+            .parse()
+            .map_err(|e| CsvError::Malformed {
+                line: number,
+                reason: format!("bad y: {e}"),
+            })?;
+        let measure: f64 =
+            next_field("measure")?
+                .trim()
+                .parse()
+                .map_err(|e| CsvError::Malformed {
+                    line: number,
+                    reason: format!("bad measure: {e}"),
+                })?;
         if !x.is_finite() || !y.is_finite() || !measure.is_finite() {
             return Err(CsvError::Malformed {
                 line: number,
@@ -130,7 +144,10 @@ pub fn read_csv(path: impl AsRef<Path>, bounds_margin: f64) -> Result<Dataset, C
     if rows == 0 {
         return Err(CsvError::Empty);
     }
-    Ok(Dataset::from_partitions(bbox.inflate(bounds_margin), partitions))
+    Ok(Dataset::from_partitions(
+        bbox.inflate(bounds_margin),
+        partitions,
+    ))
 }
 
 #[cfg(test)]
@@ -169,7 +186,11 @@ mod tests {
     #[test]
     fn header_and_blank_lines_are_tolerated() {
         let path = temp_path("header.csv");
-        std::fs::write(&path, "silo,x_km,y_km,measure\n\n0,1.0,2.0,3.0\n\n1,4.0,5.0,6.0\n").unwrap();
+        std::fs::write(
+            &path,
+            "silo,x_km,y_km,measure\n\n0,1.0,2.0,3.0\n\n1,4.0,5.0,6.0\n",
+        )
+        .unwrap();
         let ds = read_csv(&path, 0.5).unwrap();
         assert_eq!(ds.len(), 2);
         assert_eq!(ds.partitions().len(), 2);
@@ -179,7 +200,11 @@ mod tests {
     #[test]
     fn malformed_rows_fail_with_line_numbers() {
         let path = temp_path("malformed.csv");
-        std::fs::write(&path, "silo,x_km,y_km,measure\n0,1.0,2.0,3.0\n0,not_a_number,2.0,3.0\n").unwrap();
+        std::fs::write(
+            &path,
+            "silo,x_km,y_km,measure\n0,1.0,2.0,3.0\n0,not_a_number,2.0,3.0\n",
+        )
+        .unwrap();
         match read_csv(&path, 0.5) {
             Err(CsvError::Malformed { line, reason }) => {
                 assert_eq!(line, 3);
@@ -205,7 +230,10 @@ mod tests {
     fn non_finite_values_are_rejected() {
         let path = temp_path("nan.csv");
         std::fs::write(&path, "0,NaN,2.0,3.0\n").unwrap();
-        assert!(matches!(read_csv(&path, 0.5), Err(CsvError::Malformed { .. })));
+        assert!(matches!(
+            read_csv(&path, 0.5),
+            Err(CsvError::Malformed { .. })
+        ));
         let _ = std::fs::remove_file(&path);
     }
 

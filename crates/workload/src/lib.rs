@@ -15,7 +15,7 @@
 //!   the `FEDRA_SCALE` environment override.
 
 #![forbid(unsafe_code)]
-#![warn(missing_docs)]
+#![deny(missing_docs)]
 
 pub mod city;
 pub mod io;

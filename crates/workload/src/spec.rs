@@ -128,7 +128,9 @@ impl WorkloadSpec {
                         model.company_weights(c, num_companies, self.skew)
                     }
                 };
-                (0..size).map(|_| model.sample(&weights, &mut rng)).collect()
+                (0..size)
+                    .map(|_| model.sample(&weights, &mut rng))
+                    .collect()
             })
             .collect();
 
@@ -281,16 +283,17 @@ mod tests {
             })
             .collect();
         for w in centroids.windows(2) {
-            assert!((w[0].0 - w[1].0).abs() < 2.0, "IID centroids drift: {centroids:?}");
+            assert!(
+                (w[0].0 - w[1].0).abs() < 2.0,
+                "IID centroids drift: {centroids:?}"
+            );
             assert!((w[0].1 - w[1].1).abs() < 2.0);
         }
     }
 
     #[test]
     fn skewed_silos_have_divergent_spatial_means() {
-        let ds = WorkloadSpec::small()
-            .with_total_objects(60_000)
-            .generate(); // CompanySkewed by default
+        let ds = WorkloadSpec::small().with_total_objects(60_000).generate(); // CompanySkewed by default
         let centroids: Vec<(f64, f64)> = ds
             .partitions()
             .iter()

@@ -188,7 +188,10 @@ mod tests {
     #[test]
     fn paper_grid_matches_table2() {
         let c = SweepConfig::paper();
-        assert_eq!(c.data_sizes, vec![1_000_000, 2_000_000, 3_000_000, 4_000_000, 5_000_000]);
+        assert_eq!(
+            c.data_sizes,
+            vec![1_000_000, 2_000_000, 3_000_000, 4_000_000, 5_000_000]
+        );
         assert_eq!(c.silo_counts, vec![3, 6, 9, 12, 15]);
         assert_eq!(c.radii_km, vec![1.0, 1.5, 2.0, 2.5, 3.0]);
         assert_eq!(c.query_counts, vec![50, 100, 150, 200, 250]);

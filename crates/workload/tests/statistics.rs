@@ -5,7 +5,11 @@
 use fedra_workload::{Distribution, QueryGenerator, WorkloadSpec};
 
 /// Coarse spatial histogram for divergence measurements.
-fn cell_histogram(objects: &[fedra_geo::SpatialObject], bounds: fedra_geo::Rect, n: usize) -> Vec<f64> {
+fn cell_histogram(
+    objects: &[fedra_geo::SpatialObject],
+    bounds: fedra_geo::Rect,
+    n: usize,
+) -> Vec<f64> {
     let mut h = vec![0.0; n * n];
     for o in objects {
         let ix = (((o.location.x - bounds.min.x) / bounds.width() * n as f64) as usize).min(n - 1);
@@ -99,7 +103,10 @@ fn measure_distribution_is_uniform_passengers() {
     let expected = ds.len() as f64 / 5.0;
     for (v, &c) in counts.iter().enumerate() {
         let rel = (c as f64 - expected).abs() / expected;
-        assert!(rel < 0.1, "passenger value {v} count {c} vs expected {expected}");
+        assert!(
+            rel < 0.1,
+            "passenger value {v} count {c} vs expected {expected}"
+        );
     }
 }
 
@@ -120,7 +127,10 @@ fn query_radii_land_in_dense_areas() {
             nonempty += 1;
         }
     }
-    assert!(nonempty == n, "every data-anchored query hits its own anchor");
+    assert!(
+        nonempty == n,
+        "every data-anchored query hits its own anchor"
+    );
     // And the hit counts should be substantial for most queries.
     let mut generator = QueryGenerator::new(&all, 6);
     let mut substantial = 0;

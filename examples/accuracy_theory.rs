@@ -59,9 +59,13 @@ fn main() {
         let mut level_sum = 0.0;
         let mut bound_sum = 0.0;
         for r in &ranges {
-            let local_exact = match federation
-                .call(0, &Request::Aggregate { range: *r, mode: LocalMode::Exact })
-            {
+            let local_exact = match federation.call(
+                0,
+                &Request::Aggregate {
+                    range: *r,
+                    mode: LocalMode::Exact,
+                },
+            ) {
                 Ok(Response::Agg(a)) => a.count,
                 other => panic!("unexpected {other:?}"),
             };
@@ -73,7 +77,11 @@ fn main() {
                 0,
                 &Request::Aggregate {
                     range: *r,
-                    mode: LocalMode::Lsr { epsilon, delta, sum0 },
+                    mode: LocalMode::Lsr {
+                        epsilon,
+                        delta,
+                        sum0,
+                    },
                 },
             ) {
                 Ok(Response::Agg(a)) => a.count,
@@ -143,6 +151,9 @@ fn main() {
     println!("\ninverse design: epsilon needed for a target confidence at ans/sum0 = 0.8:");
     for confidence in [0.9, 0.95, 0.99] {
         let eps = theory::epsilon_for_confidence(confidence, 800.0, 1000.0);
-        println!("  {:>4.0}% confidence -> epsilon <= {eps:.3}", confidence * 100.0);
+        println!(
+            "  {:>4.0}% confidence -> epsilon <= {eps:.3}",
+            confidence * 100.0
+        );
     }
 }

@@ -31,7 +31,10 @@ fn main() {
     // Beijing box — see fedra_workload::city).
     let core = Rect::new(Point::new(-45.0, -125.0), Point::new(55.0, -45.0));
     let (tiles_x, tiles_y) = (4, 4);
-    let (w, h) = (core.width() / tiles_x as f64, core.height() / tiles_y as f64);
+    let (w, h) = (
+        core.width() / tiles_x as f64,
+        core.height() / tiles_y as f64,
+    );
 
     let noniid = NonIidEst::new(99);
     let exact = Exact::new();

@@ -42,7 +42,9 @@ fn main() {
     );
 
     let snapshot_path = std::env::temp_dir().join("fedra-operations-example.snap");
-    cold.snapshot().save_to(&snapshot_path).expect("save snapshot");
+    cold.snapshot()
+        .save_to(&snapshot_path)
+        .expect("save snapshot");
     println!(
         "snapshot   : {:>8.1} KB on disk at {}",
         std::fs::metadata(&snapshot_path).unwrap().len() as f64 / 1024.0,

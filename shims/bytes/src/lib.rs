@@ -103,7 +103,10 @@ impl Bytes {
     /// # Panics
     /// Panics if the range is out of bounds.
     pub fn slice(&self, range: std::ops::Range<usize>) -> Bytes {
-        assert!(range.start <= range.end && range.end <= self.len(), "slice out of bounds");
+        assert!(
+            range.start <= range.end && range.end <= self.len(),
+            "slice out of bounds"
+        );
         Bytes {
             data: Arc::clone(&self.data),
             start: self.start + range.start,
@@ -145,7 +148,11 @@ impl AsRef<[u8]> for Bytes {
 impl From<Vec<u8>> for Bytes {
     fn from(data: Vec<u8>) -> Self {
         let end = data.len();
-        Bytes { data: Arc::new(data), start: 0, end }
+        Bytes {
+            data: Arc::new(data),
+            start: 0,
+            end,
+        }
     }
 }
 
@@ -206,7 +213,9 @@ impl BytesMut {
 
     /// An empty buffer with `capacity` bytes pre-reserved.
     pub fn with_capacity(capacity: usize) -> Self {
-        BytesMut { data: Vec::with_capacity(capacity) }
+        BytesMut {
+            data: Vec::with_capacity(capacity),
+        }
     }
 
     /// Written length.

@@ -26,18 +26,24 @@ pub struct BenchmarkId {
 impl BenchmarkId {
     /// A function name plus a parameter value, rendered `name/param`.
     pub fn new(function_name: &str, parameter: impl std::fmt::Display) -> Self {
-        BenchmarkId { label: format!("{function_name}/{parameter}") }
+        BenchmarkId {
+            label: format!("{function_name}/{parameter}"),
+        }
     }
 
     /// A parameter-only id.
     pub fn from_parameter(parameter: impl std::fmt::Display) -> Self {
-        BenchmarkId { label: parameter.to_string() }
+        BenchmarkId {
+            label: parameter.to_string(),
+        }
     }
 }
 
 impl From<&str> for BenchmarkId {
     fn from(label: &str) -> Self {
-        BenchmarkId { label: label.to_string() }
+        BenchmarkId {
+            label: label.to_string(),
+        }
     }
 }
 
@@ -56,7 +62,10 @@ pub struct Bencher {
 
 impl Bencher {
     fn new(samples: usize) -> Self {
-        Bencher { samples, measured: None }
+        Bencher {
+            samples,
+            measured: None,
+        }
     }
 
     /// Measures `f`: calibrates a batch size targeting
@@ -127,7 +136,10 @@ impl BenchmarkGroup<'_> {
         f(&mut bencher);
         match bencher.measured {
             Some(t) => println!("{}/{}: {}/iter", self.name, label, format_duration(t)),
-            None => println!("{}/{}: no measurement (b.iter never called)", self.name, label),
+            None => println!(
+                "{}/{}: no measurement (b.iter never called)",
+                self.name, label
+            ),
         }
     }
 

@@ -108,14 +108,18 @@ pub mod channel {
     impl<T> Clone for Sender<T> {
         fn clone(&self) -> Self {
             self.chan.state.lock().unwrap().senders += 1;
-            Sender { chan: Arc::clone(&self.chan) }
+            Sender {
+                chan: Arc::clone(&self.chan),
+            }
         }
     }
 
     impl<T> Clone for Receiver<T> {
         fn clone(&self) -> Self {
             self.chan.state.lock().unwrap().receivers += 1;
-            Receiver { chan: Arc::clone(&self.chan) }
+            Receiver {
+                chan: Arc::clone(&self.chan),
+            }
         }
     }
 
@@ -194,7 +198,12 @@ pub mod channel {
             not_full: Condvar::new(),
             capacity,
         });
-        (Sender { chan: Arc::clone(&chan) }, Receiver { chan })
+        (
+            Sender {
+                chan: Arc::clone(&chan),
+            },
+            Receiver { chan },
+        )
     }
 
     /// Creates a channel holding at most `cap` in-flight values.

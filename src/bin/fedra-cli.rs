@@ -137,10 +137,7 @@ fn demo(options: &Options) -> ExitCode {
     let engine = QueryEngine::per_silo(&exact, &federation);
     let truth: Vec<f64> = engine.execute_batch(&federation, &queries).values();
 
-    println!(
-        "\n{} COUNT queries, radius {radius} km:\n",
-        queries.len()
-    );
+    println!("\n{} COUNT queries, radius {radius} km:\n", queries.len());
     println!(
         "{:>16} {:>10} {:>12} {:>12} {:>12}",
         "algorithm", "MRE", "time (ms)", "q/s", "comm (KB)"
@@ -216,7 +213,11 @@ fn query(options: &Options) -> ExitCode {
                 println!("level : {level}");
             }
             let comm = federation.query_comm();
-            println!("comm  : {} rounds, {} bytes", comm.rounds, comm.total_bytes());
+            println!(
+                "comm  : {} rounds, {} bytes",
+                comm.rounds,
+                comm.total_bytes()
+            );
             ExitCode::SUCCESS
         }
         Err(e) => {
@@ -255,7 +256,11 @@ fn sql(options: &Options, args: &[String]) -> ExitCode {
             println!("query : {q}");
             println!("answer: {}", r.value);
             let comm = federation.query_comm();
-            println!("comm  : {} rounds, {} bytes", comm.rounds, comm.total_bytes());
+            println!(
+                "comm  : {} rounds, {} bytes",
+                comm.rounds,
+                comm.total_bytes()
+            );
             ExitCode::SUCCESS
         }
         Err(e) => {

@@ -41,6 +41,9 @@
 //! assert!(rel_err < 0.5);
 //! ```
 
+#![forbid(unsafe_code)]
+#![deny(missing_docs)]
+
 pub use fedra_core as core;
 pub use fedra_federation as federation;
 pub use fedra_geo as geo;

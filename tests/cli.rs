@@ -34,7 +34,15 @@ fn unknown_command_fails() {
 #[test]
 fn unknown_algo_fails_cleanly() {
     let out = cli()
-        .args(["query", "--objects", "2000", "--silos", "2", "--algo", "magic"])
+        .args([
+            "query",
+            "--objects",
+            "2000",
+            "--silos",
+            "2",
+            "--algo",
+            "magic",
+        ])
         .output()
         .expect("run fedra-cli");
     assert!(!out.status.success());
@@ -45,12 +53,29 @@ fn unknown_algo_fails_cleanly() {
 fn query_count_prints_answer_and_comm() {
     let out = cli()
         .args([
-            "query", "--objects", "5000", "--silos", "2", "--x", "0", "--y", "-95", "--radius",
-            "3", "--func", "count", "--algo", "exact",
+            "query",
+            "--objects",
+            "5000",
+            "--silos",
+            "2",
+            "--x",
+            "0",
+            "--y",
+            "-95",
+            "--radius",
+            "3",
+            "--func",
+            "count",
+            "--algo",
+            "exact",
         ])
         .output()
         .expect("run fedra-cli");
-    assert!(out.status.success(), "stderr: {}", String::from_utf8_lossy(&out.stderr));
+    assert!(
+        out.status.success(),
+        "stderr: {}",
+        String::from_utf8_lossy(&out.stderr)
+    );
     let text = String::from_utf8_lossy(&out.stdout);
     assert!(text.contains("answer:"));
     assert!(text.contains("comm"));
@@ -59,10 +84,22 @@ fn query_count_prints_answer_and_comm() {
 #[test]
 fn demo_prints_all_six_algorithms() {
     let out = cli()
-        .args(["demo", "--objects", "6000", "--silos", "3", "--queries", "5"])
+        .args([
+            "demo",
+            "--objects",
+            "6000",
+            "--silos",
+            "3",
+            "--queries",
+            "5",
+        ])
         .output()
         .expect("run fedra-cli");
-    assert!(out.status.success(), "stderr: {}", String::from_utf8_lossy(&out.stderr));
+    assert!(
+        out.status.success(),
+        "stderr: {}",
+        String::from_utf8_lossy(&out.stderr)
+    );
     let text = String::from_utf8_lossy(&out.stdout);
     for name in [
         "EXACT",
@@ -79,7 +116,15 @@ fn demo_prints_all_six_algorithms() {
 #[test]
 fn stats_reports_grid_and_memory() {
     let out = cli()
-        .args(["stats", "--objects", "4000", "--silos", "2", "--grid-len", "2.0"])
+        .args([
+            "stats",
+            "--objects",
+            "4000",
+            "--silos",
+            "2",
+            "--grid-len",
+            "2.0",
+        ])
         .output()
         .expect("run fedra-cli");
     assert!(out.status.success());
@@ -106,17 +151,35 @@ fn csv_data_drives_the_cli() {
     // A tiny 2-silo fleet around the origin.
     let mut csv = String::from("silo,x_km,y_km,measure\n");
     for i in 0..200 {
-        csv.push_str(&format!("{},{},{},1\n", i % 2, (i % 20) as f64 * 0.1, (i / 20) as f64 * 0.1));
+        csv.push_str(&format!(
+            "{},{},{},1\n",
+            i % 2,
+            (i % 20) as f64 * 0.1,
+            (i / 20) as f64 * 0.1
+        ));
     }
     std::fs::write(&path, csv).unwrap();
     let out = cli()
         .args([
-            "query", "--data", path.to_str().unwrap(), "--x", "1", "--y", "0.5", "--radius",
-            "5", "--algo", "exact",
+            "query",
+            "--data",
+            path.to_str().unwrap(),
+            "--x",
+            "1",
+            "--y",
+            "0.5",
+            "--radius",
+            "5",
+            "--algo",
+            "exact",
         ])
         .output()
         .expect("run fedra-cli");
-    assert!(out.status.success(), "stderr: {}", String::from_utf8_lossy(&out.stderr));
+    assert!(
+        out.status.success(),
+        "stderr: {}",
+        String::from_utf8_lossy(&out.stderr)
+    );
     let text = String::from_utf8_lossy(&out.stdout);
     // All 200 objects are within 5 km of (1, 0.5).
     assert!(text.contains("answer: 200"), "got: {text}");
@@ -151,7 +214,11 @@ fn sql_statement_answers() {
         ])
         .output()
         .expect("run fedra-cli");
-    assert!(out.status.success(), "stderr: {}", String::from_utf8_lossy(&out.stderr));
+    assert!(
+        out.status.success(),
+        "stderr: {}",
+        String::from_utf8_lossy(&out.stderr)
+    );
     let text = String::from_utf8_lossy(&out.stdout);
     assert!(text.contains("answer:"));
 }

@@ -57,7 +57,10 @@ fn estimators_are_accurate_on_the_city_workload() {
         .map(|r| FraQuery::new(r, AggFunc::Count))
         .collect();
     let exact = Exact::new();
-    let truth: Vec<f64> = queries.iter().map(|q| exact.execute(&fed, q).value).collect();
+    let truth: Vec<f64> = queries
+        .iter()
+        .map(|q| exact.execute(&fed, q).value)
+        .collect();
 
     let params = AccuracyParams::default();
     let algorithms: Vec<(Box<dyn FraAlgorithm>, f64)> = vec![
@@ -125,9 +128,18 @@ fn communication_ordering_matches_the_paper() {
     let iid = comm_of(&IidEst::new(14));
     let noniid = comm_of(&NonIidEst::new(15));
 
-    assert!(iid < noniid, "IID O(1) vs NonIID O(sqrt(g0)): {iid} vs {noniid}");
-    assert!(noniid < exact, "NonIID must undercut EXACT: {noniid} vs {exact}");
-    assert!(noniid < opta, "NonIID must undercut OPTA: {noniid} vs {opta}");
+    assert!(
+        iid < noniid,
+        "IID O(1) vs NonIID O(sqrt(g0)): {iid} vs {noniid}"
+    );
+    assert!(
+        noniid < exact,
+        "NonIID must undercut EXACT: {noniid} vs {exact}"
+    );
+    assert!(
+        noniid < opta,
+        "NonIID must undercut OPTA: {noniid} vs {opta}"
+    );
     assert!(
         exact as f64 / iid as f64 > 3.0,
         "fan-out premium should approach m: {exact} vs {iid}"

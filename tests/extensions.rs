@@ -30,7 +30,10 @@ fn adaptive_planner_matches_or_beats_iid_accuracy() {
         .map(|r| FraQuery::new(r, AggFunc::Count))
         .collect();
     let exact = Exact::new();
-    let truth: Vec<f64> = queries.iter().map(|q| exact.execute(&fed, q).value).collect();
+    let truth: Vec<f64> = queries
+        .iter()
+        .map(|q| exact.execute(&fed, q).value)
+        .collect();
 
     let planner = AdaptivePlanner::new(3, PlannerPolicy::default());
     let iid = IidEst::new(4);
@@ -60,7 +63,10 @@ fn pooled_sampling_tightens_toward_exact() {
         .map(|r| FraQuery::new(r, AggFunc::Count))
         .collect();
     let exact = Exact::new();
-    let truth: Vec<f64> = queries.iter().map(|q| exact.execute(&fed, q).value).collect();
+    let truth: Vec<f64> = queries
+        .iter()
+        .map(|q| exact.execute(&fed, q).value)
+        .collect();
     let mre = |k: usize| -> f64 {
         let alg = MultiSiloEst::new(7 + k as u64, k);
         queries

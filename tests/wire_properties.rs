@@ -49,8 +49,16 @@ fn request() -> impl Strategy<Value = Request> {
             }
         ),
         (range(), mode()).prop_map(|(range, mode)| Request::Aggregate { range, mode }),
-        (range(), proptest::collection::vec(any::<u32>(), 0..64), mode())
-            .prop_map(|(range, cells, mode)| Request::CellContributions { range, cells, mode }),
+        (
+            range(),
+            proptest::collection::vec(any::<u32>(), 0..64),
+            mode()
+        )
+            .prop_map(|(range, cells, mode)| Request::CellContributions {
+                range,
+                cells,
+                mode
+            }),
         range().prop_map(|range| Request::HistogramEstimate { range }),
         Just(Request::MemoryReport),
         Just(Request::Ping),
