@@ -14,6 +14,16 @@ cargo build --release
 echo "==> cargo test -q (workspace)"
 cargo test -q --workspace
 
+# The pool-size equivalence suite again under forced pool sizes. The
+# FEDRA_SILO_THREADS override steers every auto-sized pool (the
+# reproducibility suite builds with the default), and the equivalence
+# suite's explicit 1-vs-4 comparison must hold in both environments.
+for threads in 1 4; do
+    echo "==> parallel equivalence (FEDRA_SILO_THREADS=$threads)"
+    FEDRA_SILO_THREADS=$threads cargo test -q -p fedra \
+        --test parallel_equivalence --test reproducibility
+done
+
 echo "==> fedra-lint check"
 cargo run -q -p fedra-lint -- check
 

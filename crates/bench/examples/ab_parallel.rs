@@ -1,0 +1,140 @@
+//! A/B harness for the silo-local worker pool: stands the same
+//! federation up twice — once with every pool pinned to 1 worker, once
+//! with auto sizing — and reports setup wall time (index builds + the
+//! Alg. 1 grid round) plus `nQ = 250` batch throughput side by side.
+//! The answers are bit-identical by construction (see
+//! `tests/parallel_equivalence.rs`); this harness measures the only
+//! thing the pool is allowed to change, wall-clock.
+//!
+//! Writes the numbers to `BENCH_parallel.json` at the repo root
+//! (referenced from EXPERIMENTS.md) along with the host's core count —
+//! the speedups only mean something relative to it.
+//!
+//! ```text
+//! FEDRA_SCALE=0.2 cargo run --release -p fedra-bench --example ab_parallel
+//! ```
+
+use std::time::Instant;
+
+use fedra_core::{Exact, FraAlgorithm, FraQuery, NonIidEst, QueryEngine};
+use fedra_federation::{Federation, FederationBuilder};
+use fedra_index::AggFunc;
+use fedra_workload::{QueryGenerator, SweepConfig, WorkloadSpec};
+
+struct Variant {
+    name: &'static str,
+    threads: usize,
+    setup_secs: f64,
+    batch: Vec<(String, f64)>,
+}
+
+fn stand_up(point: &fedra_workload::ParamPoint, seed: u64, threads: usize) -> (Federation, f64) {
+    let spec = WorkloadSpec::default()
+        .with_total_objects(point.data_size)
+        .with_silos(point.num_silos)
+        .with_seed(seed);
+    let dataset = spec.generate();
+    let bounds = dataset.bounds();
+    let partitions = dataset.into_partitions();
+    let started = Instant::now();
+    let federation = FederationBuilder::new(bounds)
+        .grid_cell_len(point.grid_len_km)
+        .lsr_seed(seed ^ 0x15AF)
+        .silo_threads(threads)
+        .build(partitions);
+    (federation, started.elapsed().as_secs_f64())
+}
+
+fn main() {
+    let config = SweepConfig::from_env();
+    let point = fedra_workload::ParamPoint {
+        num_queries: 250,
+        ..config.defaults
+    };
+    let seed = 48u64;
+    let cores = std::thread::available_parallelism().map_or(1, |n| n.get());
+
+    // Query centers are anchored on the same objects for both variants.
+    let all_objects = WorkloadSpec::default()
+        .with_total_objects(point.data_size)
+        .with_silos(point.num_silos)
+        .with_seed(seed)
+        .generate()
+        .all_objects();
+    let mut generator = QueryGenerator::new(&all_objects, seed ^ 0x9E37);
+    let queries: Vec<FraQuery> = generator
+        .circles(point.radius_km, point.num_queries)
+        .into_iter()
+        .map(|range| FraQuery::new(range, AggFunc::Count))
+        .collect();
+
+    // Throwaway build: pre-faults the heap so the first measured variant
+    // doesn't pay the allocator warm-up (worth ~3x on its own).
+    drop(stand_up(&point, seed, 1));
+
+    let mut variants = Vec::new();
+    for (name, threads) in [("threads=1", 1usize), ("auto", 0usize)] {
+        // Best of two stand-ups: one build is a single sample and noisy
+        // on loaded runners.
+        let first = stand_up(&point, seed, threads);
+        let (federation, second_secs) = stand_up(&point, seed, threads);
+        let setup_secs = first.1.min(second_secs);
+        println!("[{name}] setup: {setup_secs:.3}s");
+        let algorithms: Vec<Box<dyn FraAlgorithm>> = vec![
+            Box::new(Exact::new()),
+            Box::new(NonIidEst::new(seed ^ 0x33)),
+        ];
+        let mut batch = Vec::new();
+        for alg in &algorithms {
+            let engine = QueryEngine::per_silo(alg.as_ref(), &federation);
+            // Warm once, then keep the best of three (least scheduler
+            // noise on loaded runners).
+            engine.execute_batch(&federation, &queries);
+            let qps = (0..3)
+                .map(|_| engine.execute_batch(&federation, &queries).throughput_qps)
+                .fold(0.0f64, f64::max);
+            println!("[{name}] {:>12}: {qps:.1} q/s", alg.name());
+            batch.push((alg.name().to_string(), qps));
+        }
+        variants.push(Variant {
+            name,
+            threads,
+            setup_secs,
+            batch,
+        });
+    }
+
+    let (base, auto) = (&variants[0], &variants[1]);
+    let setup_speedup = base.setup_secs / auto.setup_secs.max(1e-9);
+    println!("setup speedup (threads=1 → auto): {setup_speedup:.2}x on {cores} core(s)");
+
+    let batch_json = |v: &Variant| -> String {
+        v.batch
+            .iter()
+            .map(|(name, qps)| format!("{{\"algorithm\": \"{name}\", \"qps\": {qps:.2}}}"))
+            .collect::<Vec<_>>()
+            .join(", ")
+    };
+    let variant_json = |v: &Variant| -> String {
+        format!(
+            "{{\"name\": \"{}\", \"threads\": {}, \"setup_secs\": {:.4}, \"batch\": [{}]}}",
+            v.name,
+            v.threads,
+            v.setup_secs,
+            batch_json(v)
+        )
+    };
+    let json = format!(
+        "{{\n  \"bench\": \"ab_parallel\",\n  \"host_cores\": {cores},\n  \"point\": {{\"data_size\": {}, \"num_silos\": {}, \"num_queries\": {}, \"radius_km\": {}, \"grid_len_km\": {}}},\n  \"variants\": [\n    {},\n    {}\n  ],\n  \"setup_speedup\": {setup_speedup:.3},\n  \"note\": \"speedup is bounded by host_cores; on a single-core runner the two variants coincide up to pool overhead\"\n}}\n",
+        point.data_size,
+        point.num_silos,
+        point.num_queries,
+        point.radius_km,
+        point.grid_len_km,
+        variant_json(base),
+        variant_json(auto),
+    );
+    let path = concat!(env!("CARGO_MANIFEST_DIR"), "/../../BENCH_parallel.json");
+    std::fs::write(path, json).expect("write BENCH_parallel.json");
+    println!("wrote {path}");
+}

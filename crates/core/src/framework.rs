@@ -17,10 +17,10 @@
 //! relative error.
 
 use std::collections::BTreeMap;
-use std::sync::atomic::{AtomicUsize, Ordering};
 use std::time::{Duration, Instant};
 
 use fedra_federation::{CommSnapshot, Federation, Request, SiloId};
+use fedra_index::pool::WorkerPool;
 
 use crate::algorithm::{FraAlgorithm, QueryPlan};
 use crate::query::{FraError, FraQuery, QueryResult};
@@ -167,54 +167,29 @@ impl<'a> QueryEngine<'a> {
         }
     }
 
-    /// Worker-pool execution: one `try_execute` per query, work-stealing
-    /// over an atomic cursor. Workers accumulate `(index, outcome)` pairs
-    /// locally and the main thread scatters them into the result vector —
-    /// no shared lock on the hot path.
+    /// Worker-pool execution: one `try_execute` per query on a
+    /// [`WorkerPool`] sized to this engine's worker count. A panicking
+    /// worker forfeits its in-flight queries; those slots surface as
+    /// [`FraError::Internal`] while the rest of the batch answers
+    /// normally.
     fn run_pooled(
         &self,
         federation: &Federation,
         queries: &[FraQuery],
     ) -> Vec<Result<QueryResult, FraError>> {
-        let next = AtomicUsize::new(0);
-        let mut results: Vec<Option<Result<QueryResult, FraError>>> = Vec::new();
-        results.resize_with(queries.len(), || None);
-        std::thread::scope(|scope| {
-            let handles: Vec<_> = (0..self.workers.min(queries.len().max(1)))
-                .map(|_| {
-                    scope.spawn(|| {
-                        let mut local = Vec::new();
-                        loop {
-                            let i = next.fetch_add(1, Ordering::Relaxed);
-                            if i >= queries.len() {
-                                break;
-                            }
-                            local.push((i, self.algorithm.try_execute(federation, &queries[i])));
-                        }
-                        local
-                    })
-                })
-                .collect();
-            for handle in handles {
-                // A panicked worker forfeits its local results; the
-                // affected slots surface as FraError::Internal below.
-                if let Ok(local) = handle.join() {
-                    for (i, outcome) in local {
-                        results[i] = Some(outcome);
-                    }
-                }
-            }
-        });
-        results
-            .into_iter()
-            .map(|slot| {
-                slot.unwrap_or_else(|| {
-                    Err(FraError::Internal {
-                        message: "batch worker panicked before answering this query".into(),
-                    })
+        let pool = WorkerPool::new(self.workers);
+        pool.try_map(queries, |_, query| {
+            self.algorithm.try_execute(federation, query)
+        })
+        .into_iter()
+        .map(|slot| {
+            slot.unwrap_or_else(|| {
+                Err(FraError::Internal {
+                    message: "batch worker panicked before answering this query".into(),
                 })
             })
-            .collect()
+        })
+        .collect()
     }
 
     /// Coalesced scatter–gather execution for planning algorithms.

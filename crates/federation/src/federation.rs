@@ -22,6 +22,7 @@ use std::time::Duration;
 use fedra_geo::{Rect, SpatialObject};
 use fedra_index::grid::{GridIndex, PrefixGrid};
 use fedra_index::histogram::MinSkewConfig;
+use fedra_index::pool::WorkerPool;
 use fedra_index::rtree::RTreeConfig;
 
 use crate::protocol::{Request, Response, SiloMemoryReport};
@@ -90,6 +91,7 @@ pub struct FederationBuilder {
     rtree: RTreeConfig,
     histogram: MinSkewConfig,
     lsr_seed: u64,
+    silo_threads: usize,
     latency: Option<Duration>,
     message_overhead: u64,
     warm_start: Option<ProviderSnapshot>,
@@ -104,6 +106,7 @@ impl FederationBuilder {
             rtree: RTreeConfig::default(),
             histogram: MinSkewConfig::default(),
             lsr_seed: 0x000F_ED0A,
+            silo_threads: 0,
             latency: None,
             message_overhead: crate::transport::DEFAULT_MESSAGE_OVERHEAD,
             warm_start: None,
@@ -131,6 +134,17 @@ impl FederationBuilder {
     /// Seeds the LSR-Forest level sampling (reproducible experiments).
     pub fn lsr_seed(mut self, seed: u64) -> Self {
         self.lsr_seed = seed;
+        self
+    }
+
+    /// Sets the intra-silo worker-pool size ([`SiloConfig::threads`]);
+    /// the provider-side grid merge and prefix builds use the same size.
+    /// `0` (the default) sizes the pool automatically from the host's
+    /// cores (clamped, `FEDRA_SILO_THREADS` override). Every value
+    /// produces bit-identical query results — the knob trades nothing but
+    /// wall-clock.
+    pub fn silo_threads(mut self, threads: usize) -> Self {
+        self.silo_threads = threads;
         self
     }
 
@@ -188,6 +202,7 @@ impl FederationBuilder {
             histogram: self.histogram,
             bounds: self.bounds,
             lsr_seed: self.lsr_seed,
+            threads: self.silo_threads,
         };
         let silos: Vec<Silo> = std::thread::scope(|scope| {
             let handles: Vec<_> = partitions
@@ -224,6 +239,18 @@ impl FederationBuilder {
                 && s.num_silos() == channels.len()
         });
 
+        // Provider-side worker pool: warm-grid materialization, the g_0
+        // merge, and the prefix builds all fan out on it. Sized like the
+        // silos' pools so one knob governs the whole deployment.
+        let pool = WorkerPool::new(self.silo_threads);
+        // Rebuild all cached grids up front (in parallel) instead of
+        // lazily inside the reply loop; each GridAck then *takes* its
+        // entry, so an unsolicited ack still surfaces as a protocol error.
+        let mut warm_grids: Vec<Option<GridIndex>> = match snapshot.as_ref() {
+            Some(s) => s.materialize_with(&pool).into_iter().map(Some).collect(),
+            None => Vec::new(),
+        };
+
         // Alg. 1: collect g_1 … g_m, merge into g_0. Each silo receives
         // ONE coalesced [BuildGrid, MemoryReport] frame, and every frame
         // is begun before any reply is awaited — setup is a single
@@ -259,11 +286,14 @@ impl FederationBuilder {
             let grid =
                 match build? {
                     Response::GridAck { total, outside } => {
-                        let snap = snapshot.as_ref().ok_or_else(|| SetupError::Protocol {
-                            silo: k,
-                            message: "unsolicited GridAck (no warm-start snapshot)".into(),
-                        })?;
-                        let cached = snap.grid(k);
+                        let cached =
+                            warm_grids
+                                .get_mut(k)
+                                .and_then(Option::take)
+                                .ok_or_else(|| SetupError::Protocol {
+                                    silo: k,
+                                    message: "unsolicited GridAck (no warm-start snapshot)".into(),
+                                })?;
                         if cached.total() == total && cached.outside_count() == outside {
                             warm_hits += 1;
                             Some(cached)
@@ -332,9 +362,10 @@ impl FederationBuilder {
                 })
             })
             .collect::<Result<_, _>>()?;
-        let merged = GridIndex::merge(silo_grids.iter()).ok_or(SetupError::NoSilos)?;
+        let grid_refs: Vec<&GridIndex> = silo_grids.iter().collect();
+        let merged = GridIndex::merge_with(&grid_refs, &pool).ok_or(SetupError::NoSilos)?;
         let merged_prefix = PrefixGrid::build(&merged);
-        let silo_prefixes = silo_grids.iter().map(PrefixGrid::build).collect();
+        let silo_prefixes = pool.map(&silo_grids, |_, g| PrefixGrid::build(g));
 
         // From here on, traffic counts as query traffic.
         let setup_snapshot = setup_stats.snapshot();

@@ -14,6 +14,7 @@
 //! the shared spec which it returns and retains (it needs the spec to map
 //! cell ids to rectangles for `CellContributions`).
 
+use std::panic::{catch_unwind, AssertUnwindSafe};
 use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
 use std::sync::Arc;
 
@@ -24,6 +25,7 @@ use fedra_geo::{Range, Rect, SpatialObject};
 use fedra_index::grid::{CellId, GridIndex, GridSpec};
 use fedra_index::histogram::{MinSkewConfig, MinSkewHistogram};
 use fedra_index::lsr::LsrForest;
+use fedra_index::pool::WorkerPool;
 use fedra_index::rtree::{RTree, RTreeConfig};
 use fedra_index::{Aggregate, IndexMemory};
 
@@ -43,6 +45,12 @@ pub struct SiloConfig {
     pub bounds: Rect,
     /// Seed for the LSR level sampling (kept per-silo for reproducibility).
     pub lsr_seed: u64,
+    /// Worker-pool size for intra-silo parallelism (index construction,
+    /// batch fan-out, per-cell contributions). `0` = automatic: available
+    /// cores clamped to [`fedra_index::pool::MAX_AUTO_THREADS`], with the
+    /// `FEDRA_SILO_THREADS` environment variable as an override. Results
+    /// are bit-identical for every value — the pool only changes speed.
+    pub threads: usize,
 }
 
 /// The silo's in-memory state and request handler.
@@ -58,6 +66,8 @@ pub struct Silo {
     lsr: LsrForest,
     histogram: MinSkewHistogram,
     grid: parking_lot::RwLock<Option<GridIndex>>,
+    /// Scoped worker pool shared by index builds and request fan-out.
+    pool: WorkerPool,
     /// Failure injection: when set, every request is answered with
     /// `Response::Error`.
     failed: Arc<AtomicBool>,
@@ -71,10 +81,11 @@ impl Silo {
         let mut rng = StdRng::seed_from_u64(
             config.lsr_seed ^ (id as u64).wrapping_mul(0x9E37_79B9_7F4A_7C15),
         );
-        let lsr = LsrForest::build(&objects, config.rtree, &mut rng);
+        let pool = WorkerPool::new(config.threads);
+        let lsr = LsrForest::build_with(&objects, config.rtree, &mut rng, &pool);
         let histogram = MinSkewHistogram::build(config.bounds, config.histogram, &objects);
         let num_objects = objects.len();
-        let rtree = RTree::bulk_load(objects, config.rtree);
+        let rtree = RTree::bulk_load_with(objects, config.rtree, &pool);
         Self {
             id,
             num_objects,
@@ -82,6 +93,7 @@ impl Silo {
             lsr,
             histogram,
             grid: parking_lot::RwLock::new(None),
+            pool,
             failed: Arc::new(AtomicBool::new(false)),
             served: Arc::new(AtomicU64::new(0)),
         }
@@ -115,19 +127,23 @@ impl Silo {
     /// Serves one wire frame (Alg. 1 line 2, Alg. 2 line 3, Alg. 3 line 3,
     /// OPTA, metrics).
     ///
-    /// A [`Request::Batch`] frame is unpacked here: every item is served
-    /// through [`Self::handle_one`] in order and the answers are returned
-    /// as a [`Response::Batch`] of the same arity. Per-item failures
-    /// surface as `Response::Error` items — one bad sub-request never
-    /// aborts its batch-mates.
+    /// A [`Request::Batch`] frame is unpacked here: the items fan out
+    /// across the silo's worker pool (a coalesced frame of `k` sub-queries
+    /// costs ~`k/P` silo time) and the answers are reassembled in request
+    /// order into a [`Response::Batch`] of the same arity. Per-item
+    /// failures — including a panicking handler — surface as
+    /// `Response::Error` items; one bad sub-request never aborts its
+    /// batch-mates.
     pub fn handle(&self, request: Request) -> Response {
         match request {
-            Request::Batch(requests) => Response::Batch(
-                requests
-                    .into_iter()
-                    .map(|item| self.handle_one(item))
-                    .collect(),
-            ),
+            Request::Batch(requests) => {
+                let id = self.id;
+                Response::Batch(self.pool.map_vec(requests, |_, item| {
+                    catch_unwind(AssertUnwindSafe(|| self.handle_one(item))).unwrap_or_else(|_| {
+                        Response::Error(format!("silo {id}: batch item panicked"))
+                    })
+                }))
+            }
             other => self.handle_one(other),
         }
     }
@@ -165,11 +181,13 @@ impl Silo {
 
     fn handle_build_grid(&self, bounds: Rect, cell_len: f64, return_cells: bool) -> Response {
         let spec = GridSpec::new(bounds, cell_len);
-        // Rebuild from the R-tree's objects: the silo owns no second copy.
-        let everything = Range::Rect(self.rtree.mbr().inflate(1.0));
-        let objects = self.rtree.query_objects(&everything);
-        let grid = GridIndex::build(spec, &objects);
-        let outside = grid.outside_count() + (self.num_objects - objects.len()) as u64;
+        // The R-tree keeps the canonical copy of the partition: index it
+        // directly (sharded across the pool) instead of re-collecting it
+        // through an inflated-MBR range query, which paid an O(n)
+        // traversal plus a copy and could miss objects at the inflate
+        // boundary.
+        let grid = GridIndex::build_with(spec, self.rtree.objects(), &self.pool);
+        let outside = grid.outside_count();
         let response = if return_cells {
             Response::Grid {
                 bounds,
@@ -227,16 +245,16 @@ impl Silo {
                 sum0,
             } => Some(self.lsr.select_level(epsilon, delta, sum0)),
         };
-        let out: Vec<Aggregate> = cells
-            .iter()
-            .map(|&id| {
-                let rect = spec.cell_rect_of(id);
-                match level {
-                    None => self.rtree.aggregate_clipped(range, &rect),
-                    Some(l) => self.lsr.query_clipped_at_level(range, &rect, l),
-                }
-            })
-            .collect();
+        // The per-cell clipped aggregates (the O(√|g₀|) boundary work of
+        // Alg. 3) are independent: fan them across the pool, answers in
+        // cell order.
+        let out: Vec<Aggregate> = self.pool.map(cells, |_, &id| {
+            let rect = spec.cell_rect_of(id);
+            match level {
+                None => self.rtree.aggregate_clipped(range, &rect),
+                Some(l) => self.lsr.query_clipped_at_level(range, &rect, l),
+            }
+        });
         Response::AggVec(out)
     }
 
@@ -297,6 +315,7 @@ mod tests {
             },
             bounds: bounds(),
             lsr_seed: 7,
+            threads: 0,
         }
     }
 
@@ -459,6 +478,42 @@ mod tests {
         }
         // served counts logical sub-requests, not frames.
         assert_eq!(s.served_counter().load(Ordering::Relaxed), 3);
+    }
+
+    #[test]
+    fn panicking_batch_item_degrades_to_error() {
+        // A BuildGrid with a negative cell length panics inside the
+        // handler (GridSpec::new asserts); inside a batch that must come
+        // back as Response::Error for that item only, with its
+        // batch-mates answered normally and the pool intact for the
+        // follow-up frame.
+        let mut cfg = config();
+        cfg.threads = 4;
+        let s = Silo::new(12, objects(200), cfg);
+        let resp = s.handle(Request::Batch(vec![
+            Request::Ping,
+            Request::BuildGrid {
+                bounds: bounds(),
+                cell_len: -1.0,
+                return_cells: true,
+            },
+            Request::Ping,
+        ]));
+        match resp {
+            Response::Batch(items) => {
+                assert_eq!(items.len(), 3);
+                assert_eq!(items[0], Response::Pong);
+                assert!(
+                    matches!(&items[1], Response::Error(e) if e.contains("panicked")),
+                    "got {:?}",
+                    items[1]
+                );
+                assert_eq!(items[2], Response::Pong);
+            }
+            other => panic!("unexpected response {other:?}"),
+        }
+        // The silo is not poisoned: the next frame still answers.
+        assert_eq!(s.handle(Request::Ping), Response::Pong);
     }
 
     #[test]

@@ -15,6 +15,7 @@ use bytes::{Bytes, BytesMut};
 
 use fedra_geo::Rect;
 use fedra_index::grid::{GridIndex, GridSpec};
+use fedra_index::pool::WorkerPool;
 use fedra_index::Aggregate;
 
 use crate::wire::{Wire, WireError, WireResult};
@@ -40,6 +41,17 @@ impl ProviderSnapshot {
     pub fn grid(&self, k: usize) -> GridIndex {
         let spec = GridSpec::new(self.bounds, self.cell_len);
         GridIndex::from_parts(spec, self.grids[k].0.clone(), self.grids[k].1)
+    }
+
+    /// Rebuilds every silo's [`GridIndex`] at once, cloning the cell
+    /// vectors on `pool`'s workers. Output order is silo order — the
+    /// result is element-for-element identical to calling [`Self::grid`]
+    /// for each `k` in turn.
+    pub fn materialize_with(&self, pool: &WorkerPool) -> Vec<GridIndex> {
+        let spec = GridSpec::new(self.bounds, self.cell_len);
+        pool.map(&self.grids, |_, (cells, outside)| {
+            GridIndex::from_parts(spec, cells.clone(), *outside)
+        })
     }
 
     /// Serializes to a byte buffer.

@@ -536,6 +536,7 @@ mod tests {
                     budget: 8,
                 },
                 bounds,
+                threads: 0,
                 lsr_seed: 1,
             },
         )

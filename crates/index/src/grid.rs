@@ -11,7 +11,16 @@ use serde::{Deserialize, Serialize};
 
 use fedra_geo::{Point, Range, Rect, RectRelation, SpatialObject};
 
+use crate::pool::WorkerPool;
 use crate::{Aggregate, IndexMemory};
+
+/// Object-chunk size for [`GridIndex::build_with`]. A function of nothing
+/// but this constant — never the pool size — so chunk boundaries (and
+/// therefore the float-merge order) are identical for every pool size.
+const BUILD_CHUNK_OBJECTS: usize = 32 * 1024;
+
+/// Cell-range chunk size for [`GridIndex::merge_with`].
+const MERGE_CHUNK_CELLS: usize = 8 * 1024;
 
 /// The geometry of a grid: bounds plus cell side length.
 ///
@@ -262,6 +271,39 @@ impl GridIndex {
     /// Builds the grid index for a set of spatial objects — the silo-side
     /// half of Alg. 1. O(n) time, O(|g|) space.
     pub fn build(spec: GridSpec, objects: &[SpatialObject]) -> Self {
+        Self::build_with(spec, objects, &WorkerPool::sequential())
+    }
+
+    /// Builds the grid index with sharded accumulators on a [`WorkerPool`]:
+    /// each worker folds a contiguous object chunk into its own cell
+    /// vector, and the shards merge in chunk order. Chunk boundaries
+    /// depend only on the input size, so the result is bit-identical for
+    /// every pool size (including the sequential [`GridIndex::build`]).
+    pub fn build_with(spec: GridSpec, objects: &[SpatialObject], pool: &WorkerPool) -> Self {
+        if objects.len() <= BUILD_CHUNK_OBJECTS {
+            return Self::build_shard(spec, objects);
+        }
+        let chunks: Vec<&[SpatialObject]> = objects.chunks(BUILD_CHUNK_OBJECTS).collect();
+        let shards = pool.map(&chunks, |_, chunk| Self::build_shard(spec, chunk));
+        let mut shards = shards.into_iter();
+        // At least one shard exists: objects.len() > BUILD_CHUNK_OBJECTS.
+        let mut merged = match shards.next() {
+            Some(first) => first,
+            None => Self::empty(spec),
+        };
+        for shard in shards {
+            for (acc, cell) in merged.cells.iter_mut().zip(&shard.cells) {
+                acc.merge_in(cell);
+            }
+            merged.total.merge_in(&shard.total);
+            merged.outside += shard.outside;
+        }
+        merged
+    }
+
+    /// One worker's share of [`GridIndex::build_with`] (also the whole
+    /// build when the input fits a single chunk).
+    fn build_shard(spec: GridSpec, objects: &[SpatialObject]) -> Self {
         let mut cells = vec![Aggregate::ZERO; spec.num_cells()];
         let mut total = Aggregate::ZERO;
         let mut outside = 0;
@@ -299,21 +341,57 @@ impl GridIndex {
     /// # Panics
     /// Panics if the specs disagree — silos must build over the shared spec.
     pub fn merge<'a>(indices: impl IntoIterator<Item = &'a GridIndex>) -> Option<GridIndex> {
-        let mut iter = indices.into_iter();
-        let first = iter.next()?;
-        let mut merged = first.clone();
-        for g in iter {
+        let refs: Vec<&GridIndex> = indices.into_iter().collect();
+        Self::merge_with(&refs, &WorkerPool::sequential())
+    }
+
+    /// Merges silo grid indices with the cell space chunked across a
+    /// [`WorkerPool`]. Every cell folds its silos in silo order, exactly
+    /// like the sequential [`GridIndex::merge`], so the result is
+    /// bit-identical for every pool size.
+    ///
+    /// # Panics
+    /// Panics if the specs disagree — silos must build over the shared spec.
+    pub fn merge_with(indices: &[&GridIndex], pool: &WorkerPool) -> Option<GridIndex> {
+        let first = *indices.first()?;
+        for g in &indices[1..] {
             assert_eq!(
-                g.spec, merged.spec,
+                g.spec, first.spec,
                 "cannot merge grid indices over different specs"
             );
-            for (acc, cell) in merged.cells.iter_mut().zip(&g.cells) {
-                acc.merge_in(cell);
-            }
-            merged.total.merge_in(&g.total);
-            merged.outside += g.outside;
         }
-        Some(merged)
+        let num_cells = first.spec.num_cells();
+        let ranges: Vec<(usize, usize)> = (0..num_cells)
+            .step_by(MERGE_CHUNK_CELLS.max(1))
+            .map(|lo| (lo, (lo + MERGE_CHUNK_CELLS).min(num_cells)))
+            .collect();
+        let chunks = pool.map(&ranges, |_, &(lo, hi)| {
+            (lo..hi)
+                .map(|i| {
+                    let mut acc = indices[0].cells[i];
+                    for g in &indices[1..] {
+                        acc.merge_in(&g.cells[i]);
+                    }
+                    acc
+                })
+                .collect::<Vec<Aggregate>>()
+        });
+        let mut cells = Vec::with_capacity(num_cells);
+        for chunk in chunks {
+            cells.extend(chunk);
+        }
+        let mut total = first.total;
+        let mut outside = first.outside;
+        for g in &indices[1..] {
+            total.merge_in(&g.total);
+            outside += g.outside;
+        }
+        Some(GridIndex {
+            spec: first.spec,
+            cells,
+            total,
+            outside,
+        })
     }
 
     /// Reassembles a grid index from its spec and per-cell aggregates —
@@ -744,6 +822,50 @@ mod tests {
         );
         assert_eq!(g.total().count, 1.0);
         assert_eq!(g.outside_count(), 1);
+    }
+
+    #[test]
+    fn parallel_build_is_bit_identical() {
+        // 100k objects span four build chunks; pool sizes 1 and 4 must
+        // produce the same bits because chunking depends only on n.
+        let mut state = 7u64;
+        let objs: Vec<SpatialObject> = (0..100_000)
+            .map(|i| {
+                state = state
+                    .wrapping_mul(6364136223846793005)
+                    .wrapping_add(1442695040888963407);
+                let x = (state >> 11) as f64 / (1u64 << 53) as f64 * 10.0;
+                state = state
+                    .wrapping_mul(6364136223846793005)
+                    .wrapping_add(1442695040888963407);
+                let y = (state >> 11) as f64 / (1u64 << 53) as f64 * 10.0;
+                SpatialObject::at(x, y, (i % 9) as f64 * 0.3)
+            })
+            .collect();
+        let spec = spec10();
+        let seq = GridIndex::build(spec, &objs);
+        let par = GridIndex::build_with(spec, &objs, &WorkerPool::new(4));
+        assert_eq!(seq.outside_count(), par.outside_count());
+        assert_eq!(seq.total().sum.to_bits(), par.total().sum.to_bits());
+        for (a, b) in seq.cells().iter().zip(par.cells()) {
+            assert_eq!(a.count.to_bits(), b.count.to_bits());
+            assert_eq!(a.sum.to_bits(), b.sum.to_bits());
+            assert_eq!(a.sum_sqr.to_bits(), b.sum_sqr.to_bits());
+        }
+    }
+
+    #[test]
+    fn parallel_merge_matches_sequential_bitwise() {
+        let (s1, s2) = example1_objects();
+        let g1 = GridIndex::build(spec10(), &s1);
+        let g2 = GridIndex::build(spec10(), &s2);
+        let seq = GridIndex::merge([&g1, &g2]).unwrap();
+        let par = GridIndex::merge_with(&[&g1, &g2], &WorkerPool::new(4)).unwrap();
+        assert_eq!(seq, par);
+        for (a, b) in seq.cells().iter().zip(par.cells()) {
+            assert_eq!(a.sum.to_bits(), b.sum.to_bits());
+        }
+        assert_eq!(seq.total().sum.to_bits(), par.total().sum.to_bits());
     }
 
     #[test]

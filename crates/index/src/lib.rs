@@ -31,6 +31,7 @@ mod agg;
 pub mod grid;
 pub mod histogram;
 pub mod lsr;
+pub mod pool;
 pub mod quadtree;
 pub mod rtree;
 

@@ -21,6 +21,7 @@ use serde::{Deserialize, Serialize};
 
 use fedra_geo::{Range, Rect, SpatialObject};
 
+use crate::pool::WorkerPool;
 use crate::rtree::{RTree, RTreeConfig};
 use crate::{Aggregate, IndexMemory};
 
@@ -61,16 +62,35 @@ impl LsrForest {
         config: RTreeConfig,
         rng: &mut R,
     ) -> Self {
-        let mut levels = Vec::new();
-        // T_0 indexes everything.
-        levels.push(RTree::bulk_load(objects.to_vec(), config));
+        Self::build_with(objects, config, rng, &WorkerPool::sequential())
+    }
+
+    /// Builds the forest with the level trees bulk-loaded on a
+    /// [`WorkerPool`]. All level samples are drawn first — the RNG stream
+    /// defines the nested levels (level `l` samples level `l−1`), so
+    /// sampling stays sequential and consumes exactly the same stream as
+    /// the sequential build — then `T_0` bulk-loads with pooled sorts and
+    /// the independent sampled trees bulk-load concurrently. Each sample
+    /// vector is handed to its tree by value (no per-level copy).
+    pub fn build_with<R: Rng + ?Sized>(
+        objects: &[SpatialObject],
+        config: RTreeConfig,
+        rng: &mut R,
+        pool: &WorkerPool,
+    ) -> Self {
         if objects.is_empty() {
-            return Self { levels };
+            return Self {
+                levels: vec![RTree::bulk_load(Vec::new(), config)],
+            };
         }
         let max_level = (objects.len() as f64).log2().floor() as usize;
-        let mut current: Vec<SpatialObject> = objects.to_vec();
+        let mut samples: Vec<Vec<SpatialObject>> = Vec::new();
         for _ in 1..=max_level {
-            let sampled: Vec<SpatialObject> = current
+            let prev: &[SpatialObject] = match samples.last() {
+                None => objects,
+                Some(s) => s,
+            };
+            let sampled: Vec<SpatialObject> = prev
                 .iter()
                 .filter(|_| rng.random::<bool>())
                 .copied()
@@ -78,9 +98,16 @@ impl LsrForest {
             if sampled.is_empty() {
                 break;
             }
-            levels.push(RTree::bulk_load(sampled.clone(), config));
-            current = sampled;
+            samples.push(sampled);
         }
+        // T_0 dominates the build cost: it gets the pool's parallel STR
+        // sorts. The sampled trees are independent of each other and run
+        // one per worker (sequential sorts — they are already on the pool).
+        let base = RTree::bulk_load_with(objects.to_vec(), config, pool);
+        let rest = pool.map_vec(samples, |_, sampled| RTree::bulk_load(sampled, config));
+        let mut levels = Vec::with_capacity(1 + rest.len());
+        levels.push(base);
+        levels.extend(rest);
         Self { levels }
     }
 
@@ -354,6 +381,34 @@ mod tests {
         assert_eq!(a, b);
         let clipped = f.query_clipped_at_level(&q, &clip, 2);
         assert!(clipped.count <= a.count);
+    }
+
+    #[test]
+    fn parallel_build_is_bit_identical() {
+        let objs = objects(10_000, 22);
+        let mut rng_seq = StdRng::seed_from_u64(23);
+        let mut rng_par = StdRng::seed_from_u64(23);
+        let seq = LsrForest::build(&objs, RTreeConfig::default(), &mut rng_seq);
+        let par = LsrForest::build_with(
+            &objs,
+            RTreeConfig::default(),
+            &mut rng_par,
+            &WorkerPool::new(4),
+        );
+        // Same RNG stream → same levels; same sorts → same trees.
+        assert_eq!(rng_seq.random::<u64>(), rng_par.random::<u64>());
+        assert_eq!(seq.num_levels(), par.num_levels());
+        let q = Range::circle(Point::new(50.0, 50.0), 25.0);
+        for l in 0..seq.num_levels() {
+            let (a, b) = (seq.level(l).unwrap(), par.level(l).unwrap());
+            assert_eq!(a.len(), b.len(), "level {l} size");
+            assert_eq!(a.total().sum.to_bits(), b.total().sum.to_bits());
+            assert_eq!(
+                a.aggregate(&q).sum.to_bits(),
+                b.aggregate(&q).sum.to_bits(),
+                "level {l} query"
+            );
+        }
     }
 
     #[test]

@@ -19,6 +19,7 @@ use serde::{Deserialize, Serialize};
 
 use fedra_geo::{Range, Rect, RectRelation, SpatialObject};
 
+use crate::pool::WorkerPool;
 use crate::{Aggregate, IndexMemory};
 
 /// R-tree build parameters.
@@ -90,6 +91,18 @@ impl RTree {
     /// Bulk-loads the tree from a set of objects (copied and reordered
     /// internally). O(n log n) time, O(n) space.
     pub fn bulk_load(objects: Vec<SpatialObject>, config: RTreeConfig) -> Self {
+        Self::bulk_load_with(objects, config, &WorkerPool::sequential())
+    }
+
+    /// Bulk-loads with the STR pre-sort and per-slab sorts spread over a
+    /// [`WorkerPool`]. The packed tree is bit-identical for every pool
+    /// size: the parallel sort is stable-canonical, so chunking never
+    /// shows through in the object order.
+    pub fn bulk_load_with(
+        objects: Vec<SpatialObject>,
+        config: RTreeConfig,
+        pool: &WorkerPool,
+    ) -> Self {
         assert!(config.max_entries >= 2, "R-tree fanout must be at least 2");
         let mut tree = Self {
             config,
@@ -101,8 +114,8 @@ impl RTree {
         if tree.objects.is_empty() {
             return tree;
         }
-        let leaves = tree.pack_leaves();
-        tree.root = Some(tree.pack_upward(leaves));
+        let leaves = tree.pack_leaves(pool);
+        tree.root = Some(tree.pack_upward(leaves, pool));
         tree
     }
 
@@ -113,25 +126,33 @@ impl RTree {
 
     /// Sort-Tile-Recursive leaf packing: sort by x, slice into vertical
     /// slabs of √P leaf-groups, sort each slab by y, emit full leaves.
-    fn pack_leaves(&mut self) -> Vec<u32> {
+    /// The x pre-sort and the independent slab sorts run on the pool.
+    fn pack_leaves(&mut self, pool: &WorkerPool) -> Vec<u32> {
         let m = self.config.max_entries;
         let n = self.objects.len();
         let num_leaves = n.div_ceil(m);
         let slabs = (num_leaves as f64).sqrt().ceil() as usize;
         let slab_size = n.div_ceil(slabs);
 
-        self.objects
-            .sort_by(|a, b| a.location.x.total_cmp(&b.location.x));
+        pool.sort_by(&mut self.objects, |a, b| {
+            a.location.x.total_cmp(&b.location.x)
+        });
 
-        let mut leaves = Vec::with_capacity(num_leaves);
         let mut idx: Vec<u32> = (0..n as u32).collect();
-        for slab in idx.chunks_mut(slab_size) {
-            slab.sort_by(|&a, &b| {
-                self.objects[a as usize]
-                    .location
-                    .y
-                    .total_cmp(&self.objects[b as usize].location.y)
+        {
+            let objects = &self.objects;
+            let chunks: Vec<&mut [u32]> = idx.chunks_mut(slab_size).collect();
+            pool.for_each_mut(chunks, |_, slab| {
+                slab.sort_by(|&a, &b| {
+                    objects[a as usize]
+                        .location
+                        .y
+                        .total_cmp(&objects[b as usize].location.y)
+                });
             });
+        }
+        let mut leaves = Vec::with_capacity(num_leaves);
+        for slab in idx.chunks(slab_size) {
             for group in slab.chunks(m) {
                 let mut mbr = Rect::EMPTY;
                 let mut agg = Aggregate::ZERO;
@@ -154,8 +175,9 @@ impl RTree {
     }
 
     /// Packs one level of internal nodes at a time until a single root
-    /// remains, re-tiling node centers with the same STR recipe.
-    fn pack_upward(&mut self, mut level: Vec<u32>) -> u32 {
+    /// remains, re-tiling node centers with the same STR recipe. Sorts run
+    /// on the pool (only the large lower levels clear its inline cutoff).
+    fn pack_upward(&mut self, mut level: Vec<u32>, pool: &WorkerPool) -> u32 {
         let m = self.config.max_entries;
         self.height = 1;
         while level.len() > 1 {
@@ -163,23 +185,32 @@ impl RTree {
             let slabs = (num_parents as f64).sqrt().ceil() as usize;
             let slab_size = level.len().div_ceil(slabs);
 
-            level.sort_by(|&a, &b| {
-                self.nodes[a as usize]
-                    .mbr
-                    .center()
-                    .x
-                    .total_cmp(&self.nodes[b as usize].mbr.center().x)
-            });
-            let mut next = Vec::with_capacity(num_parents);
-            let mut level_slice = level;
-            for slab in level_slice.chunks_mut(slab_size) {
-                slab.sort_by(|&a, &b| {
-                    self.nodes[a as usize]
+            {
+                let nodes = &self.nodes;
+                pool.sort_by(&mut level, |&a, &b| {
+                    nodes[a as usize]
                         .mbr
                         .center()
-                        .y
-                        .total_cmp(&self.nodes[b as usize].mbr.center().y)
+                        .x
+                        .total_cmp(&nodes[b as usize].mbr.center().x)
                 });
+            }
+            let mut next = Vec::with_capacity(num_parents);
+            let mut level_slice = level;
+            {
+                let nodes = &self.nodes;
+                let chunks: Vec<&mut [u32]> = level_slice.chunks_mut(slab_size).collect();
+                pool.for_each_mut(chunks, |_, slab| {
+                    slab.sort_by(|&a, &b| {
+                        nodes[a as usize]
+                            .mbr
+                            .center()
+                            .y
+                            .total_cmp(&nodes[b as usize].mbr.center().y)
+                    });
+                });
+            }
+            for slab in level_slice.chunks(slab_size) {
                 for group in slab.chunks(m) {
                     let mut mbr = Rect::EMPTY;
                     let mut agg = Aggregate::ZERO;
@@ -330,6 +361,14 @@ impl RTree {
     /// Number of nodes (diagnostics / memory model validation).
     pub fn node_count(&self) -> usize {
         self.nodes.len()
+    }
+
+    /// Every indexed object, in STR-packed order. This is the silo's
+    /// canonical copy of its partition — callers that need "all objects"
+    /// (e.g. a grid rebuild) read it directly instead of paying an O(n)
+    /// inflated-MBR range query that also risks missing boundary points.
+    pub fn objects(&self) -> &[SpatialObject] {
+        &self.objects
     }
 }
 
@@ -550,6 +589,43 @@ mod tests {
         let large = RTree::from_objects(&grid_objects(10_000));
         assert!(large.memory_bytes() > small.memory_bytes());
         assert!(small.memory_bytes() > 0);
+    }
+
+    #[test]
+    fn parallel_bulk_load_is_bit_identical() {
+        // 20k objects clear the pool's inline-sort cutoff, so the chunked
+        // sorts and merges actually run — and must not show through.
+        let objs = grid_objects(20_000);
+        let seq = RTree::bulk_load(objs.clone(), RTreeConfig::default());
+        let par = RTree::bulk_load_with(objs, RTreeConfig::default(), &WorkerPool::new(4));
+        let bits = |t: &RTree| -> Vec<(u64, u64)> {
+            t.objects()
+                .iter()
+                .map(|o| (o.location.x.to_bits(), o.location.y.to_bits()))
+                .collect()
+        };
+        assert_eq!(bits(&seq), bits(&par));
+        assert_eq!(seq.node_count(), par.node_count());
+        assert_eq!(seq.height(), par.height());
+        for (cx, cy, r) in [(50.0, 50.0, 17.0), (10.0, 90.0, 33.0)] {
+            let q = Range::circle(Point::new(cx, cy), r);
+            let (a, b) = (seq.aggregate(&q), par.aggregate(&q));
+            assert_eq!(a.count.to_bits(), b.count.to_bits());
+            assert_eq!(a.sum.to_bits(), b.sum.to_bits());
+            assert_eq!(a.sum_sqr.to_bits(), b.sum_sqr.to_bits());
+        }
+    }
+
+    #[test]
+    fn objects_accessor_returns_every_object() {
+        let objs = grid_objects(333);
+        let t = RTree::from_objects(&objs);
+        assert_eq!(t.objects().len(), 333);
+        let mut got: Vec<u64> = t.objects().iter().map(|o| o.location.x.to_bits()).collect();
+        let mut want: Vec<u64> = objs.iter().map(|o| o.location.x.to_bits()).collect();
+        got.sort_unstable();
+        want.sort_unstable();
+        assert_eq!(got, want);
     }
 
     #[test]

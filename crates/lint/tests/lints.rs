@@ -249,6 +249,49 @@ fn consumed(pool: &Mutex<Vec<u8>>, tx: &Sender<u8>) {
     );
 }
 
+#[test]
+fn lock_discipline_flags_scoped_worker_join_under_a_guard() {
+    // The worker-pool idiom: scoped threads joined while a lock guard is
+    // still live deadlocks as surely as a bare `JoinHandle::join` —
+    // the scoped spawn must not launder the blocking call.
+    let src = "
+fn reduce(state: &Mutex<Vec<u8>>) {
+    std::thread::scope(|scope| {
+        let guard = state.lock();
+        let handle = scope.spawn(|| 1u8);
+        let _ = handle.join();
+    });
+}
+";
+    let diags = run(&[file("crates/core/src/sql.rs", src)]);
+    let locks: Vec<_> = diags
+        .iter()
+        .filter(|d| d.lint == "lock-discipline")
+        .collect();
+    assert_eq!(locks.len(), 1, "{locks:?}");
+    assert!(locks[0].message.contains("guard"));
+    assert!(locks[0].message.contains("join"));
+}
+
+#[test]
+fn lock_discipline_accepts_guard_dropped_before_scoped_join() {
+    let src = "
+fn reduce(state: &Mutex<Vec<u8>>) {
+    std::thread::scope(|scope| {
+        let guard = state.lock();
+        let handle = scope.spawn(|| 1u8);
+        drop(guard);
+        let _ = handle.join();
+    });
+}
+";
+    let diags = run(&[file("crates/core/src/sql.rs", src)]);
+    assert!(
+        diags.iter().all(|d| d.lint != "lock-discipline"),
+        "{diags:?}"
+    );
+}
+
 // ---------------------------------------------------------------- wire-exhaustiveness
 
 fn wire_fixture(encoded_len_arms: &str, decode_arms: &str, silo_arms: &str) -> Vec<SourceFile> {
