@@ -27,6 +27,18 @@ done
 echo "==> fedra-lint check"
 cargo run -q -p fedra-lint -- check
 
+# Observability smoke: the quickstart ends with an instrumented batch
+# and a Prometheus dump; an empty or counter-less dump means the
+# exporter or the engine instrumentation broke.
+echo "==> observability smoke (quickstart metrics dump)"
+obs_dump=$(cargo run -q --release --example quickstart | sed -n '/^fedra_/p')
+test -n "$obs_dump" || { echo "obs smoke: exporter output empty"; exit 1; }
+echo "$obs_dump" | grep -q '^fedra_queries_total 32$' \
+    || { echo "obs smoke: fedra_queries_total missing or wrong"; exit 1; }
+echo "$obs_dump" | grep -q '^fedra_comm_bytes_up_total ' \
+    || { echo "obs smoke: comm mirror missing"; exit 1; }
+echo "    ok ($(echo "$obs_dump" | wc -l) exporter lines)"
+
 if command -v rustfmt >/dev/null 2>&1; then
     echo "==> cargo fmt --check"
     cargo fmt --check

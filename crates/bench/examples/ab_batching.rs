@@ -51,9 +51,8 @@ fn main() {
     );
     for alg in &algorithms {
         let engine = QueryEngine::per_silo(alg.as_ref(), federation);
-        federation.reset_query_comm();
+        // BatchResult.comm is a delta around the batch — no reset needed.
         let before = engine.execute_batch_singleton(federation, &queries);
-        federation.reset_query_comm();
         let after = engine.execute_batch(federation, &queries);
         println!(
             "{:>12}  {:>12.1} {:>12.1}  {:>12.1} {:>12.1}  {:>8} {:>8}",

@@ -152,7 +152,7 @@ pub fn measure_algorithm(
     queries: &[FraQuery],
     exact_values: &[f64],
 ) -> AlgoMetrics {
-    federation.reset_query_comm();
+    // BatchResult.comm is a delta around the batch — no reset needed.
     let engine = QueryEngine::per_silo(algorithm, federation);
     let batch = engine.execute_batch(federation, queries);
     AlgoMetrics {

@@ -1,6 +1,7 @@
 //! The [`FraAlgorithm`] trait every query algorithm implements.
 
 use fedra_federation::{Federation, Request, Response, SiloId};
+use fedra_obs::{labeled, ObsContext, Span};
 
 use crate::helpers;
 use crate::query::{FraError, FraQuery, QueryResult};
@@ -70,28 +71,54 @@ pub enum QueryPlan {
 /// (Alg. 4) can drive one instance from many worker threads; internal
 /// randomness therefore lives behind locks.
 ///
+/// # One fallible core
+///
+/// [`try_execute_with`](Self::try_execute_with) is the single required
+/// execution method; everything else layers on it. `try_execute` is the
+/// uninstrumented convenience (a no-op [`ObsContext`]), and `execute` the
+/// panicking convenience over that — so instrumentation and error
+/// handling are threaded through exactly one place per algorithm.
+///
 /// # Planning split
 ///
 /// Single-silo estimators additionally implement the
-/// [`plan`](Self::plan) / [`finish`](Self::finish) split (and return
-/// `true` from [`supports_planning`](Self::supports_planning)): `plan`
-/// does the provider-side work and names the one remote request, the
-/// engine coalesces all same-silo requests of a batch into one wire
-/// frame, and `finish` re-weights the response. The split changes *where*
+/// [`plan_with`](Self::plan_with) / [`finish_with`](Self::finish_with)
+/// split (and return `true` from
+/// [`supports_planning`](Self::supports_planning)): `plan_with` does the
+/// provider-side work and names the one remote request, the engine
+/// coalesces all same-silo requests of a batch into one wire frame, and
+/// `finish_with` re-weights the response. The split changes *where*
 /// requests are sent from, not *what* is sent — a planned query consumes
 /// the same RNG draws and produces the same result as `try_execute`.
+/// Such algorithms get their sequential execution for free from
+/// [`drive_planned`].
 pub trait FraAlgorithm: Send + Sync {
     /// The algorithm's display name (matches the paper's legends:
     /// `EXACT`, `OPTA`, `IID-est`, `IID-est+LSR`, `NonIID-est`,
     /// `NonIID-est+LSR`).
     fn name(&self) -> &'static str;
 
-    /// Executes one query, returning the result or a federation error.
+    /// Executes one query, recording telemetry into `obs`, returning the
+    /// result or a federation error.
+    ///
+    /// This is the one fallible core every other execution entry point
+    /// wraps. Passing [`ObsContext::noop`] makes every recording a single
+    /// branch, so uninstrumented callers pay nothing measurable.
+    fn try_execute_with(
+        &self,
+        federation: &Federation,
+        query: &FraQuery,
+        obs: &ObsContext,
+    ) -> Result<QueryResult, FraError>;
+
+    /// Executes one query without instrumentation.
     fn try_execute(
         &self,
         federation: &Federation,
         query: &FraQuery,
-    ) -> Result<QueryResult, FraError>;
+    ) -> Result<QueryResult, FraError> {
+        self.try_execute_with(federation, query, ObsContext::noop())
+    }
 
     /// Executes one query, panicking on federation errors (convenience
     /// for examples and healthy-path code).
@@ -108,27 +135,56 @@ pub trait FraAlgorithm: Send + Sync {
 
     /// Whether this algorithm implements the plan/finish split.
     ///
-    /// `false` (the default) means [`plan`](Self::plan) simply runs
-    /// [`try_execute`](Self::try_execute) — correct, but it gives the
-    /// batch engine nothing to coalesce.
+    /// `false` (the default) means [`plan_with`](Self::plan_with) simply
+    /// runs [`try_execute_with`](Self::try_execute_with) — correct, but
+    /// it gives the batch engine nothing to coalesce.
     fn supports_planning(&self) -> bool {
         false
     }
 
-    /// Performs the provider-side part of one query.
+    /// Performs the provider-side part of one query, recording telemetry
+    /// into `obs`.
     ///
     /// Must consume exactly the same internal randomness as
     /// [`try_execute`](Self::try_execute) would, so batched and
     /// sequential execution of the same query stream stay
     /// fixed-seed-equivalent.
-    fn plan(&self, federation: &Federation, query: &FraQuery) -> QueryPlan {
-        QueryPlan::Ready(self.try_execute(federation, query))
+    fn plan_with(&self, federation: &Federation, query: &FraQuery, obs: &ObsContext) -> QueryPlan {
+        QueryPlan::Ready(self.try_execute_with(federation, query, obs))
     }
 
-    /// Completes a planned query from the sampled silo's response.
+    /// Former uninstrumented name of [`plan_with`](Self::plan_with).
+    #[deprecated(since = "0.2.0", note = "use `plan_with` (pass `ObsContext::noop()`)")]
+    fn plan(&self, federation: &Federation, query: &FraQuery) -> QueryPlan {
+        self.plan_with(federation, query, ObsContext::noop())
+    }
+
+    /// Completes a planned query from the sampled silo's response,
+    /// recording telemetry into `obs`.
     ///
     /// `rounds` is the number of silo attempts spent on this query
     /// (1 unless earlier candidates failed and the engine resampled).
+    fn finish_with(
+        &self,
+        federation: &Federation,
+        query: &FraQuery,
+        silo: SiloId,
+        response: Response,
+        rounds: u64,
+        obs: &ObsContext,
+    ) -> Result<QueryResult, FraError> {
+        let _ = (federation, query, silo, response, rounds, obs);
+        unimplemented!(
+            "{}: plan_with() returned SingleSilo but finish_with() is not implemented",
+            self.name()
+        )
+    }
+
+    /// Former uninstrumented name of [`finish_with`](Self::finish_with).
+    #[deprecated(
+        since = "0.2.0",
+        note = "use `finish_with` (pass `ObsContext::noop()`)"
+    )]
     fn finish(
         &self,
         federation: &Federation,
@@ -137,10 +193,13 @@ pub trait FraAlgorithm: Send + Sync {
         response: Response,
         rounds: u64,
     ) -> Result<QueryResult, FraError> {
-        let _ = (federation, query, silo, response, rounds);
-        unimplemented!(
-            "{}: plan() returned SingleSilo but finish() is not implemented",
-            self.name()
+        self.finish_with(
+            federation,
+            query,
+            silo,
+            response,
+            rounds,
+            ObsContext::noop(),
         )
     }
 
@@ -158,6 +217,80 @@ pub trait FraAlgorithm: Send + Sync {
         let fallback = helpers::grid_only_estimate(federation, &query.range);
         Ok(QueryResult::from_aggregate(fallback, query.func).with_rounds(rounds))
     }
+}
+
+/// Sequentially executes one query through an algorithm's plan/finish
+/// split: plan, call the sampled silo (resampling down the candidate
+/// order on failure), finish — recording the full lifecycle into `obs`.
+///
+/// This is the shared fallible core for every planning algorithm's
+/// [`FraAlgorithm::try_execute_with`], so the sequential path and the
+/// batched engine drive the *same* plan/finish code instead of each
+/// estimator duplicating its execution loop. Generic over `?Sized` so it
+/// also serves `dyn FraAlgorithm`.
+pub fn drive_planned<A: FraAlgorithm + ?Sized>(
+    algorithm: &A,
+    federation: &Federation,
+    query: &FraQuery,
+    obs: &ObsContext,
+) -> Result<QueryResult, FraError> {
+    let trace = obs.start_trace("query", algorithm.name());
+    let plan = {
+        let _plan_span = Span::enter(&trace, "plan");
+        algorithm.plan_with(federation, query, obs)
+    };
+    let outcome = match plan {
+        QueryPlan::Ready(result) => {
+            obs.inc("fedra_plan_ready_total");
+            result
+        }
+        QueryPlan::SingleSilo(remote) => {
+            obs.inc("fedra_plan_remote_total");
+            let mut rounds = 0u64;
+            let mut answer = None;
+            {
+                let _remote_span = Span::enter(&trace, "remote");
+                for &silo in &remote.order {
+                    rounds += 1;
+                    if obs.is_enabled() {
+                        obs.inc(&labeled("fedra_silo_requests_total", "silo", silo));
+                    }
+                    match federation.call(silo, &remote.request) {
+                        Ok(response) => {
+                            answer = Some((silo, response));
+                            break;
+                        }
+                        Err(_) => {
+                            obs.inc("fedra_resamples_total");
+                            continue;
+                        }
+                    }
+                }
+            }
+            match answer {
+                Some((silo, response)) => {
+                    if obs.is_enabled() {
+                        obs.inc(&labeled("fedra_sampled_silo_total", "silo", silo));
+                    }
+                    trace.attr("silo", silo);
+                    let _finish_span = Span::enter(&trace, "finish");
+                    algorithm.finish_with(federation, query, silo, response, rounds, obs)
+                }
+                None => {
+                    obs.inc("fedra_degraded_total");
+                    algorithm.finish_degraded(federation, query, rounds)
+                }
+            }
+        }
+    };
+    if let Ok(result) = &outcome {
+        trace.attr("rounds", result.rounds);
+        if let Some(level) = result.lsr_level {
+            trace.attr("level", level);
+        }
+    }
+    obs.finish_trace(&trace);
+    outcome
 }
 
 #[cfg(test)]

@@ -23,6 +23,7 @@ use parking_lot::Mutex;
 use fedra_federation::Federation;
 use fedra_geo::Range;
 use fedra_index::AggFunc;
+use fedra_obs::ObsContext;
 
 use crate::algorithm::FraAlgorithm;
 use crate::query::{FraError, FraQuery, QueryResult};
@@ -178,10 +179,11 @@ impl<A: FraAlgorithm> FraAlgorithm for CachedAlgorithm<A> {
         self.inner.name()
     }
 
-    fn try_execute(
+    fn try_execute_with(
         &self,
         federation: &Federation,
         query: &FraQuery,
+        obs: &ObsContext,
     ) -> Result<QueryResult, FraError> {
         let key = QueryKey::of(query);
         let now = Instant::now();
@@ -201,6 +203,7 @@ impl<A: FraAlgorithm> FraAlgorithm for CachedAlgorithm<A> {
             }
             if let Some(result) = hit {
                 state.stats.hits += 1;
+                obs.inc("fedra_cache_hits_total");
                 return Ok(result);
             }
             if expired {
@@ -209,8 +212,9 @@ impl<A: FraAlgorithm> FraAlgorithm for CachedAlgorithm<A> {
             }
             state.stats.misses += 1;
         } // drop the lock across the (slow) federated query
+        obs.inc("fedra_cache_misses_total");
 
-        let result = self.inner.try_execute(federation, query)?;
+        let result = self.inner.try_execute_with(federation, query, obs)?;
 
         let mut state = self.state.lock();
         if state.map.len() >= self.config.capacity && !state.map.contains_key(&key) {

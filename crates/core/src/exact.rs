@@ -10,9 +10,20 @@
 
 use fedra_federation::{Federation, LocalMode, Request, Response};
 use fedra_index::Aggregate;
+use fedra_obs::{labeled, ObsContext, Span};
 
 use crate::algorithm::FraAlgorithm;
 use crate::query::{FraError, FraQuery, QueryResult};
+
+/// Counts one request to every silo (the fan-out algorithms talk to all
+/// `m` members per query).
+fn count_fanout(obs: &ObsContext, m: usize) {
+    if obs.is_enabled() {
+        for k in 0..m {
+            obs.inc(&labeled("fedra_silo_requests_total", "silo", k));
+        }
+    }
+}
 
 /// The EXACT fan-out algorithm.
 #[derive(Debug, Clone, Copy, Default)]
@@ -30,34 +41,42 @@ impl FraAlgorithm for Exact {
         "EXACT"
     }
 
-    fn try_execute(
+    fn try_execute_with(
         &self,
         federation: &Federation,
         query: &FraQuery,
+        obs: &ObsContext,
     ) -> Result<QueryResult, FraError> {
+        let trace = obs.start_trace("query", self.name());
         let request = Request::Aggregate {
             range: query.range,
             mode: LocalMode::Exact,
         };
+        count_fanout(obs, federation.num_silos());
         // The m-way fan-out runs on the persistent silo workers: the
         // frame is begun on every channel before any reply is awaited, so
         // the silos answer concurrently without a thread spawned per query
         // (mirroring the paper's multi-threaded setup, minus the threads).
-        let mut total = Aggregate::ZERO;
-        for (k, partial) in federation.broadcast(&request).into_iter().enumerate() {
-            match partial {
-                Ok(Response::Agg(a)) => total.merge_in(&a),
-                Ok(_) => {
-                    return Err(FraError::ProtocolViolation {
-                        silo: k,
-                        expected: "Agg",
-                    })
+        let outcome = (|| {
+            let _fanout = Span::enter(&trace, "fanout");
+            let mut total = Aggregate::ZERO;
+            for (k, partial) in federation.broadcast(&request).into_iter().enumerate() {
+                match partial {
+                    Ok(Response::Agg(a)) => total.merge_in(&a),
+                    Ok(_) => {
+                        return Err(FraError::ProtocolViolation {
+                            silo: k,
+                            expected: "Agg",
+                        })
+                    }
+                    Err(e) => return Err(FraError::SiloFailed(e)),
                 }
-                Err(e) => return Err(FraError::SiloFailed(e)),
             }
-        }
-        Ok(QueryResult::from_aggregate(total, query.func)
-            .with_rounds(federation.num_silos() as u64))
+            Ok(QueryResult::from_aggregate(total, query.func)
+                .with_rounds(federation.num_silos() as u64))
+        })();
+        obs.finish_trace(&trace);
+        outcome
     }
 }
 
@@ -85,30 +104,38 @@ impl FraAlgorithm for ExactSequential {
         "EXACT-seq"
     }
 
-    fn try_execute(
+    fn try_execute_with(
         &self,
         federation: &Federation,
         query: &FraQuery,
+        obs: &ObsContext,
     ) -> Result<QueryResult, FraError> {
+        let trace = obs.start_trace("query", self.name());
         let request = Request::Aggregate {
             range: query.range,
             mode: LocalMode::Exact,
         };
-        let mut total = Aggregate::ZERO;
-        for k in 0..federation.num_silos() {
-            match federation.call(k, &request) {
-                Ok(Response::Agg(a)) => total.merge_in(&a),
-                Ok(_) => {
-                    return Err(FraError::ProtocolViolation {
-                        silo: k,
-                        expected: "Agg",
-                    })
+        count_fanout(obs, federation.num_silos());
+        let outcome = (|| {
+            let _fanout = Span::enter(&trace, "sequential-fanout");
+            let mut total = Aggregate::ZERO;
+            for k in 0..federation.num_silos() {
+                match federation.call(k, &request) {
+                    Ok(Response::Agg(a)) => total.merge_in(&a),
+                    Ok(_) => {
+                        return Err(FraError::ProtocolViolation {
+                            silo: k,
+                            expected: "Agg",
+                        })
+                    }
+                    Err(e) => return Err(FraError::SiloFailed(e)),
                 }
-                Err(e) => return Err(FraError::SiloFailed(e)),
             }
-        }
-        Ok(QueryResult::from_aggregate(total, query.func)
-            .with_rounds(federation.num_silos() as u64))
+            Ok(QueryResult::from_aggregate(total, query.func)
+                .with_rounds(federation.num_silos() as u64))
+        })();
+        obs.finish_trace(&trace);
+        outcome
     }
 }
 

@@ -21,6 +21,7 @@ use std::time::{Duration, Instant};
 
 use fedra_federation::{CommSnapshot, Federation, Request, SiloId};
 use fedra_index::pool::WorkerPool;
+use fedra_obs::{labeled, ObsContext, Span, TraceHandle};
 
 use crate::algorithm::{FraAlgorithm, QueryPlan};
 use crate::query::{FraError, FraQuery, QueryResult};
@@ -64,6 +65,31 @@ impl BatchResult {
     /// Number of failed queries in the batch.
     pub fn failures(&self) -> usize {
         self.results.iter().filter(|r| r.is_err()).count()
+    }
+
+    /// Records realized accuracy against exact references into `obs`:
+    /// the batch MRE as the `fedra_batch_mre` gauge and each query's
+    /// relative error (in parts per million, failures as 1.0) into the
+    /// `fedra_realized_error_ppm` histogram.
+    ///
+    /// Benches call this to close the loop between the *promised*
+    /// accuracy (ε, δ recorded at plan time) and the *realized* error.
+    ///
+    /// # Panics
+    /// Panics when the lengths differ.
+    pub fn record_accuracy(&self, obs: &ObsContext, exact: &[f64]) {
+        assert_eq!(exact.len(), self.results.len(), "reference length mismatch");
+        if !obs.is_enabled() || exact.is_empty() {
+            return;
+        }
+        for (r, &e) in self.results.iter().zip(exact) {
+            let rel = match r {
+                Ok(result) => result.relative_error(e),
+                Err(_) => 1.0,
+            };
+            obs.observe("fedra_realized_error_ppm", (rel * 1e6) as u64);
+        }
+        obs.set_gauge("fedra_batch_mre", self.mean_relative_error(exact));
     }
 
     /// Unwraps all results (for healthy-path tests and examples).
@@ -119,14 +145,38 @@ impl<'a> QueryEngine<'a> {
     /// `try_execute` on each query — batching changes how frames travel,
     /// not what they compute.
     pub fn execute_batch(&self, federation: &Federation, queries: &[FraQuery]) -> BatchResult {
+        self.execute_batch_with(federation, queries, ObsContext::noop())
+    }
+
+    /// Executes a batch of queries with instrumentation: per-query traces
+    /// and the same lifecycle counters [`drive_planned`] records on the
+    /// sequential path (`fedra_silo_requests_total{silo}`,
+    /// `fedra_sampled_silo_total{silo}`, plan/resample/degraded counts),
+    /// plus batch-level telemetry (`fedra_batch_wall_ns`,
+    /// `fedra_query_rounds`, `fedra_queries_total`, failure counts) and a
+    /// mirror of the batch's communication delta into `obs.comm()`.
+    ///
+    /// [`drive_planned`]: crate::algorithm::drive_planned
+    ///
+    /// Passing [`ObsContext::noop`] makes this identical to
+    /// `execute_batch` — every recording is a single untaken branch.
+    pub fn execute_batch_with(
+        &self,
+        federation: &Federation,
+        queries: &[FraQuery],
+        obs: &ObsContext,
+    ) -> BatchResult {
+        if obs.is_enabled() {
+            obs.set_gauge("fedra_engine_workers", self.workers as f64);
+        }
         let comm_before = federation.query_comm();
         let started = Instant::now();
         let results = if self.algorithm.supports_planning() {
-            self.run_planned(federation, queries)
+            self.run_planned(federation, queries, obs)
         } else {
-            self.run_pooled(federation, queries)
+            self.run_pooled(federation, queries, obs)
         };
-        Self::finish_measurement(federation, queries, results, started, comm_before)
+        Self::finish_measurement(federation, queries, results, started, comm_before, obs)
     }
 
     /// Executes a batch strictly through the per-query `try_execute` path,
@@ -140,10 +190,21 @@ impl<'a> QueryEngine<'a> {
         federation: &Federation,
         queries: &[FraQuery],
     ) -> BatchResult {
+        self.execute_batch_singleton_with(federation, queries, ObsContext::noop())
+    }
+
+    /// Instrumented variant of
+    /// [`execute_batch_singleton`](Self::execute_batch_singleton).
+    pub fn execute_batch_singleton_with(
+        &self,
+        federation: &Federation,
+        queries: &[FraQuery],
+        obs: &ObsContext,
+    ) -> BatchResult {
         let comm_before = federation.query_comm();
         let started = Instant::now();
-        let results = self.run_pooled(federation, queries);
-        Self::finish_measurement(federation, queries, results, started, comm_before)
+        let results = self.run_pooled(federation, queries, obs);
+        Self::finish_measurement(federation, queries, results, started, comm_before, obs)
     }
 
     fn finish_measurement(
@@ -152,6 +213,7 @@ impl<'a> QueryEngine<'a> {
         results: Vec<Result<QueryResult, FraError>>,
         started: Instant,
         comm_before: CommSnapshot,
+        obs: &ObsContext,
     ) -> BatchResult {
         let wall_time = started.elapsed();
         let throughput_qps = if wall_time.as_secs_f64() > 0.0 {
@@ -159,11 +221,28 @@ impl<'a> QueryEngine<'a> {
         } else {
             f64::INFINITY
         };
+        let comm = federation.query_comm().since(&comm_before);
+        if obs.is_enabled() {
+            // Mirror the transport's own accounting: the engine adds the
+            // batch delta verbatim, so after a from-reset run the mirror
+            // matches `federation.query_comm()` bit for bit.
+            obs.comm().add_delta(&comm);
+            obs.inc("fedra_batches_total");
+            obs.add("fedra_queries_total", queries.len() as u64);
+            obs.add(
+                "fedra_query_failures_total",
+                results.iter().filter(|r| r.is_err()).count() as u64,
+            );
+            obs.observe("fedra_batch_wall_ns", wall_time.as_nanos() as u64);
+            for result in results.iter().flatten() {
+                obs.observe("fedra_query_rounds", result.rounds);
+            }
+        }
         BatchResult {
             results,
             wall_time,
             throughput_qps,
-            comm: federation.query_comm().since(&comm_before),
+            comm,
         }
     }
 
@@ -176,10 +255,19 @@ impl<'a> QueryEngine<'a> {
         &self,
         federation: &Federation,
         queries: &[FraQuery],
+        obs: &ObsContext,
     ) -> Vec<Result<QueryResult, FraError>> {
         let pool = WorkerPool::new(self.workers);
+        if obs.is_enabled() && !queries.is_empty() {
+            // Expected share per worker; the pool's shared cursor balances
+            // the actual split dynamically.
+            obs.observe(
+                "fedra_engine_pool_items_per_task",
+                queries.len().div_ceil(pool.threads().max(1)) as u64,
+            );
+        }
         pool.try_map(queries, |_, query| {
-            self.algorithm.try_execute(federation, query)
+            self.algorithm.try_execute_with(federation, query, obs)
         })
         .into_iter()
         .map(|slot| {
@@ -205,12 +293,34 @@ impl<'a> QueryEngine<'a> {
         &self,
         federation: &Federation,
         queries: &[FraQuery],
+        obs: &ObsContext,
     ) -> Vec<Result<QueryResult, FraError>> {
         struct InFlight {
             order: Vec<SiloId>,
             request: Request,
             attempt: usize,
             rounds: u64,
+            trace: TraceHandle,
+            /// Open for as long as the query rides scatter–gather rounds;
+            /// dropped (recording the duration) when the query resolves.
+            remote_span: Option<Span>,
+        }
+
+        impl InFlight {
+            /// Closes the remote span and finalizes the query's trace.
+            fn resolve(mut self, obs: &ObsContext, result: &Result<QueryResult, FraError>) {
+                drop(self.remote_span.take());
+                if let Ok(r) = result {
+                    self.trace.attr("rounds", r.rounds);
+                    if let Some(silo) = r.sampled_silo {
+                        self.trace.attr("silo", silo);
+                    }
+                    if let Some(level) = r.lsr_level {
+                        self.trace.attr("level", level);
+                    }
+                }
+                obs.finish_trace(&self.trace);
+            }
         }
 
         let mut results: Vec<Option<Result<QueryResult, FraError>>> = Vec::new();
@@ -218,17 +328,32 @@ impl<'a> QueryEngine<'a> {
         let mut inflight: Vec<Option<InFlight>> = queries
             .iter()
             .enumerate()
-            .map(|(i, query)| match self.algorithm.plan(federation, query) {
-                QueryPlan::Ready(outcome) => {
-                    results[i] = Some(outcome);
-                    None
+            .map(|(i, query)| {
+                let trace = obs.start_trace("query", self.algorithm.name());
+                let plan = {
+                    let _plan_span = Span::enter(&trace, "plan");
+                    self.algorithm.plan_with(federation, query, obs)
+                };
+                match plan {
+                    QueryPlan::Ready(outcome) => {
+                        obs.inc("fedra_plan_ready_total");
+                        obs.finish_trace(&trace);
+                        results[i] = Some(outcome);
+                        None
+                    }
+                    QueryPlan::SingleSilo(plan) => {
+                        obs.inc("fedra_plan_remote_total");
+                        let remote_span = Some(Span::enter(&trace, "remote"));
+                        Some(InFlight {
+                            order: plan.order,
+                            request: plan.request,
+                            attempt: 0,
+                            rounds: 0,
+                            trace,
+                            remote_span,
+                        })
+                    }
                 }
-                QueryPlan::SingleSilo(plan) => Some(InFlight {
-                    order: plan.order,
-                    request: plan.request,
-                    attempt: 0,
-                    rounds: 0,
-                }),
             })
             .collect();
 
@@ -273,32 +398,47 @@ impl<'a> QueryEngine<'a> {
                     _ => indices.iter().map(|_| None).collect(),
                 };
                 for (i, item) in indices.into_iter().zip(items) {
-                    let Some(entry) = inflight[i].as_mut() else {
+                    let Some(mut entry) = inflight[i].take() else {
                         continue;
                     };
                     entry.rounds += 1;
+                    if obs.is_enabled() {
+                        obs.inc(&labeled("fedra_silo_requests_total", "silo", silo));
+                    }
                     match item {
                         Some(Ok(response)) => {
-                            let rounds = entry.rounds;
-                            inflight[i] = None;
-                            results[i] = Some(self.algorithm.finish(
-                                federation,
-                                &queries[i],
-                                silo,
-                                response,
-                                rounds,
-                            ));
-                        }
-                        Some(Err(_)) | None => {
-                            entry.attempt += 1;
-                            if entry.attempt >= entry.order.len() {
-                                let rounds = entry.rounds;
-                                inflight[i] = None;
-                                results[i] = Some(self.algorithm.finish_degraded(
+                            if obs.is_enabled() {
+                                obs.inc(&labeled("fedra_sampled_silo_total", "silo", silo));
+                            }
+                            let outcome = {
+                                let _finish_span = Span::enter(&entry.trace, "finish");
+                                self.algorithm.finish_with(
                                     federation,
                                     &queries[i],
-                                    rounds,
-                                ));
+                                    silo,
+                                    response,
+                                    entry.rounds,
+                                    obs,
+                                )
+                            };
+                            entry.resolve(obs, &outcome);
+                            results[i] = Some(outcome);
+                        }
+                        Some(Err(_)) | None => {
+                            obs.inc("fedra_resamples_total");
+                            entry.attempt += 1;
+                            if entry.attempt >= entry.order.len() {
+                                obs.inc("fedra_degraded_total");
+                                let outcome = self.algorithm.finish_degraded(
+                                    federation,
+                                    &queries[i],
+                                    entry.rounds,
+                                );
+                                entry.resolve(obs, &outcome);
+                                results[i] = Some(outcome);
+                            } else {
+                                // Still in flight: ride the next round.
+                                inflight[i] = Some(entry);
                             }
                         }
                     }

@@ -32,7 +32,7 @@ mod sampling;
 pub mod sql;
 pub mod theory;
 
-pub use algorithm::{AccuracyParams, FraAlgorithm, QueryPlan, RemotePlan};
+pub use algorithm::{drive_planned, AccuracyParams, FraAlgorithm, QueryPlan, RemotePlan};
 pub use cache::{CacheConfig, CacheStats, CachedAlgorithm};
 pub use exact::{Exact, ExactSequential};
 pub use framework::{BatchResult, QueryEngine};

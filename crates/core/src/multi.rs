@@ -23,6 +23,7 @@ use rand::SeedableRng;
 use fedra_federation::{Federation, LocalMode, Request, Response, SiloId};
 use fedra_geo::intersection_area;
 use fedra_index::Aggregate;
+use fedra_obs::{labeled, ObsContext, Span};
 
 use crate::algorithm::FraAlgorithm;
 use crate::helpers;
@@ -58,19 +59,42 @@ impl FraAlgorithm for MultiSiloEst {
         "MultiSilo-est"
     }
 
-    fn try_execute(
+    fn try_execute_with(
         &self,
         federation: &Federation,
         query: &FraQuery,
+        obs: &ObsContext,
+    ) -> Result<QueryResult, FraError> {
+        let trace = obs.start_trace("query", self.name());
+        let outcome = self.run(federation, query, obs, &trace);
+        if let Ok(result) = &outcome {
+            trace.attr("rounds", result.rounds);
+        }
+        obs.finish_trace(&trace);
+        outcome
+    }
+}
+
+impl MultiSiloEst {
+    fn run(
+        &self,
+        federation: &Federation,
+        query: &FraQuery,
+        obs: &ObsContext,
+        trace: &fedra_obs::TraceHandle,
     ) -> Result<QueryResult, FraError> {
         let range = &query.range;
+        let (classification, covered, grid_spec);
         let grid = federation.merged_grid();
-        let spec = grid.spec();
-        let classification = spec.classify(range);
-        if classification.is_empty() {
-            return Ok(QueryResult::from_aggregate(Aggregate::ZERO, query.func));
+        {
+            let _plan_span = Span::enter(trace, "plan");
+            grid_spec = grid.spec();
+            classification = grid_spec.classify(range);
+            if classification.is_empty() {
+                return Ok(QueryResult::from_aggregate(Aggregate::ZERO, query.func));
+            }
+            covered = grid.aggregate_cells(classification.covered.iter().copied());
         }
-        let covered = grid.aggregate_cells(classification.covered.iter().copied());
         if classification.boundary.is_empty() {
             return Ok(QueryResult::from_aggregate(covered, query.func));
         }
@@ -87,39 +111,54 @@ impl FraAlgorithm for MultiSiloEst {
         let mut pooled: Vec<Aggregate> = vec![Aggregate::ZERO; classification.boundary.len()];
         let mut pooled_silos: Vec<SiloId> = Vec::new();
         let mut rounds = 0;
-        for k in order {
-            if pooled_silos.len() == self.k {
-                break;
-            }
-            rounds += 1;
-            match federation.call(k, &request) {
-                Ok(Response::AggVec(contributions)) => {
-                    if contributions.len() != pooled.len() {
+        {
+            let _remote_span = Span::enter(trace, "remote");
+            for k in order {
+                if pooled_silos.len() == self.k {
+                    break;
+                }
+                rounds += 1;
+                if obs.is_enabled() {
+                    obs.inc(&labeled("fedra_silo_requests_total", "silo", k));
+                }
+                match federation.call(k, &request) {
+                    Ok(Response::AggVec(contributions)) => {
+                        if contributions.len() != pooled.len() {
+                            return Err(FraError::ProtocolViolation {
+                                silo: k,
+                                expected: "one aggregate per requested cell",
+                            });
+                        }
+                        for (acc, c) in pooled.iter_mut().zip(&contributions) {
+                            acc.merge_in(c);
+                        }
+                        pooled_silos.push(k);
+                    }
+                    Ok(_) => {
                         return Err(FraError::ProtocolViolation {
                             silo: k,
-                            expected: "one aggregate per requested cell",
-                        });
+                            expected: "AggVec",
+                        })
                     }
-                    for (acc, c) in pooled.iter_mut().zip(&contributions) {
-                        acc.merge_in(c);
+                    Err(_) => {
+                        obs.inc("fedra_resamples_total");
                     }
-                    pooled_silos.push(k);
                 }
-                Ok(_) => {
-                    return Err(FraError::ProtocolViolation {
-                        silo: k,
-                        expected: "AggVec",
-                    })
-                }
-                Err(_) => {} // failover to the next candidate
             }
         }
         if pooled_silos.is_empty() {
             // Same degradation ladder as the single-silo estimators.
+            obs.inc("fedra_degraded_total");
             let fallback = helpers::grid_only_estimate(federation, range);
             return Ok(QueryResult::from_aggregate(fallback, query.func).with_rounds(rounds));
         }
+        if obs.is_enabled() {
+            for &s in &pooled_silos {
+                obs.inc(&labeled("fedra_sampled_silo_total", "silo", s));
+            }
+        }
 
+        let _finish_span = Span::enter(trace, "finish");
         let mut estimate = covered;
         for (idx, cell) in classification.boundary.iter().enumerate() {
             let g0_i = grid.cell(*cell);
@@ -128,7 +167,7 @@ impl FraAlgorithm for MultiSiloEst {
             for &s in &pooled_silos {
                 gk_pooled.merge_in(federation.silo_grid(s).cell(*cell));
             }
-            let rect = spec.cell_rect_of(*cell);
+            let rect = grid_spec.cell_rect_of(*cell);
             let frac = intersection_area(range, &rect) / rect.area();
             let fallback = g0_i.scale(frac);
             estimate.merge_in(&helpers::ratio_scale(

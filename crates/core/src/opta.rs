@@ -11,6 +11,7 @@
 
 use fedra_federation::{Federation, Request, Response};
 use fedra_index::Aggregate;
+use fedra_obs::{labeled, ObsContext, Span};
 
 use crate::algorithm::FraAlgorithm;
 use crate::query::{FraError, FraQuery, QueryResult};
@@ -31,29 +32,41 @@ impl FraAlgorithm for Opta {
         "OPTA"
     }
 
-    fn try_execute(
+    fn try_execute_with(
         &self,
         federation: &Federation,
         query: &FraQuery,
+        obs: &ObsContext,
     ) -> Result<QueryResult, FraError> {
+        let trace = obs.start_trace("query", self.name());
         let request = Request::HistogramEstimate { range: query.range };
-        // Same fan-out as EXACT: broadcast over the persistent silo
-        // workers, no per-query threads.
-        let mut total = Aggregate::ZERO;
-        for (k, partial) in federation.broadcast(&request).into_iter().enumerate() {
-            match partial {
-                Ok(Response::Agg(a)) => total.merge_in(&a),
-                Ok(_) => {
-                    return Err(FraError::ProtocolViolation {
-                        silo: k,
-                        expected: "Agg",
-                    })
-                }
-                Err(e) => return Err(FraError::SiloFailed(e)),
+        if obs.is_enabled() {
+            for k in 0..federation.num_silos() {
+                obs.inc(&labeled("fedra_silo_requests_total", "silo", k));
             }
         }
-        Ok(QueryResult::from_aggregate(total, query.func)
-            .with_rounds(federation.num_silos() as u64))
+        // Same fan-out as EXACT: broadcast over the persistent silo
+        // workers, no per-query threads.
+        let outcome = (|| {
+            let _fanout = Span::enter(&trace, "fanout");
+            let mut total = Aggregate::ZERO;
+            for (k, partial) in federation.broadcast(&request).into_iter().enumerate() {
+                match partial {
+                    Ok(Response::Agg(a)) => total.merge_in(&a),
+                    Ok(_) => {
+                        return Err(FraError::ProtocolViolation {
+                            silo: k,
+                            expected: "Agg",
+                        })
+                    }
+                    Err(e) => return Err(FraError::SiloFailed(e)),
+                }
+            }
+            Ok(QueryResult::from_aggregate(total, query.func)
+                .with_rounds(federation.num_silos() as u64))
+        })();
+        obs.finish_trace(&trace);
+        outcome
     }
 }
 

@@ -24,6 +24,7 @@
 use fedra_federation::Federation;
 use fedra_geo::intersection_area;
 use fedra_index::Aggregate;
+use fedra_obs::{labeled, ObsContext};
 
 use crate::algorithm::FraAlgorithm;
 use crate::exact::Exact;
@@ -188,7 +189,28 @@ impl AdaptivePlanner {
         federation: &Federation,
         query: &FraQuery,
     ) -> Result<(PlanDecision, QueryResult), FraError> {
+        self.execute_planned_with(federation, query, ObsContext::noop())
+    }
+
+    /// Plans and executes with instrumentation, counting each decision
+    /// under `fedra_plan_decision_total{decision="..."}`.
+    pub fn execute_planned_with(
+        &self,
+        federation: &Federation,
+        query: &FraQuery,
+        obs: &ObsContext,
+    ) -> Result<(PlanDecision, QueryResult), FraError> {
         let decision = self.plan(federation, query);
+        if obs.is_enabled() {
+            let tag = match decision {
+                PlanDecision::GridExact => "grid_exact",
+                PlanDecision::Exact { .. } => "exact",
+                PlanDecision::IidForBudget => "iid_for_budget",
+                PlanDecision::IidLowSkew => "iid_low_skew",
+                PlanDecision::NonIidHighSkew => "noniid_high_skew",
+            };
+            obs.inc(&labeled("fedra_plan_decision_total", "decision", tag));
+        }
         let result = match decision {
             // No estimable boundary mass: answer from the provider's own
             // grid state, zero silo contact. (grid_only_estimate adds the
@@ -198,11 +220,11 @@ impl AdaptivePlanner {
                 helpers::grid_only_estimate(federation, &query.range),
                 query.func,
             ),
-            PlanDecision::Exact { .. } => self.exact.try_execute(federation, query)?,
+            PlanDecision::Exact { .. } => self.exact.try_execute_with(federation, query, obs)?,
             PlanDecision::IidForBudget | PlanDecision::IidLowSkew => {
-                self.iid.try_execute(federation, query)?
+                self.iid.try_execute_with(federation, query, obs)?
             }
-            PlanDecision::NonIidHighSkew => self.noniid.try_execute(federation, query)?,
+            PlanDecision::NonIidHighSkew => self.noniid.try_execute_with(federation, query, obs)?,
         };
         Ok((decision, result))
     }
@@ -213,12 +235,14 @@ impl FraAlgorithm for AdaptivePlanner {
         "Adaptive"
     }
 
-    fn try_execute(
+    fn try_execute_with(
         &self,
         federation: &Federation,
         query: &FraQuery,
+        obs: &ObsContext,
     ) -> Result<QueryResult, FraError> {
-        self.execute_planned(federation, query).map(|(_, r)| r)
+        self.execute_planned_with(federation, query, obs)
+            .map(|(_, r)| r)
     }
 }
 

@@ -29,14 +29,24 @@ use rand::rngs::StdRng;
 use rand::seq::SliceRandom;
 use rand::SeedableRng;
 
-use fedra_federation::{Federation, LocalMode, Request, Response, SiloId, TransportError};
+use fedra_federation::{Federation, LocalMode, Request, Response, SiloId};
 use fedra_geo::intersection_area;
 use fedra_index::Aggregate;
+use fedra_obs::{labeled, ObsContext};
 
-use crate::algorithm::{AccuracyParams, FraAlgorithm, QueryPlan, RemotePlan};
+use crate::algorithm::{drive_planned, AccuracyParams, FraAlgorithm, QueryPlan, RemotePlan};
 use crate::helpers;
 use crate::query::{FraError, FraQuery, QueryResult};
 use crate::theory;
+
+/// Records the LSR level an estimator committed to for one query — the
+/// rescale factor 2^l is what Alg. 6 multiplies the sampled sums by.
+fn record_level(obs: &ObsContext, level: usize) {
+    if obs.is_enabled() {
+        obs.inc(&labeled("fedra_lsr_level_total", "level", level));
+        obs.set_gauge("fedra_lsr_rescale_factor", (1u64 << level.min(63)) as f64);
+    }
+}
 
 /// How the sampled silo should execute its local query.
 #[derive(Debug, Clone, Copy, PartialEq, Default)]
@@ -65,6 +75,19 @@ impl LocalQuery {
             LocalQuery::Exact => None,
             LocalQuery::Lsr(p) => Some(theory::select_level(p.epsilon, p.delta, sum0_count)),
         }
+    }
+
+    /// Publishes the estimator's accuracy inputs (ε, δ, sum₀) once per
+    /// planned query.
+    fn record_accuracy(&self, obs: &ObsContext, sum0: &Aggregate) {
+        if !obs.is_enabled() {
+            return;
+        }
+        if let LocalQuery::Lsr(p) = self {
+            obs.set_gauge("fedra_accuracy_epsilon", p.epsilon);
+            obs.set_gauge("fedra_accuracy_delta", p.delta);
+        }
+        obs.observe("fedra_sum0_count", sum0.count.max(0.0) as u64);
     }
 }
 
@@ -133,84 +156,49 @@ impl FraAlgorithm for IidEst {
         self.name
     }
 
-    fn try_execute(
+    /// Sequential execution is the shared plan/finish driver — the old
+    /// hand-rolled sampling loop here was a duplicate of it.
+    fn try_execute_with(
         &self,
         federation: &Federation,
         query: &FraQuery,
+        obs: &ObsContext,
     ) -> Result<QueryResult, FraError> {
-        let range = &query.range;
-        let sum0 = helpers::sum0(federation, range);
-        if sum0.count == 0.0 {
-            // No grid cell intersecting R holds any object: the answer is
-            // exactly zero, no silo contact needed.
-            return Ok(QueryResult::from_aggregate(Aggregate::ZERO, query.func));
-        }
-        let candidates = helpers::candidate_silos(federation, range);
-        let fallback = helpers::grid_only_estimate(federation, range);
-        let mut last_error: Option<TransportError> = None;
-        let mut rounds = 0;
-        for k in self.sampler.visiting_order(&candidates) {
-            let request = Request::Aggregate {
-                range: *range,
-                mode: self.local.mode(sum0.count),
-            };
-            rounds += 1;
-            match federation.call(k, &request) {
-                Ok(Response::Agg(res_k)) => {
-                    let sum_k = helpers::sum_k(federation, k, range);
-                    let estimate = helpers::ratio_scale(&sum0, &res_k, &sum_k, &fallback);
-                    let mut result = QueryResult::from_aggregate(estimate, query.func)
-                        .with_silo(k)
-                        .with_rounds(rounds);
-                    if let Some(level) = self.local.level(sum0.count) {
-                        result = result.with_level(level);
-                    }
-                    return Ok(result);
-                }
-                Ok(_) => {
-                    return Err(FraError::ProtocolViolation {
-                        silo: k,
-                        expected: "Agg",
-                    })
-                }
-                Err(e) => last_error = Some(e), // resample the next candidate
-            }
-        }
-        let _ = last_error;
-        if candidates.is_empty() && federation.failed_silos().is_empty() {
-            // Healthy federation, but no silo has data in the range's
-            // cells — contradicts sum0 > 0, so this cannot happen; keep a
-            // defensive zero result rather than a panic in release use.
-            return Ok(QueryResult::from_aggregate(Aggregate::ZERO, query.func));
-        }
-        // Every candidate was unreachable (or eligibility was emptied by
-        // failure flags): degrade to the provider-only grid estimate
-        // rather than an error — availability over precision.
-        Ok(QueryResult::from_aggregate(fallback, query.func).with_rounds(rounds))
+        drive_planned(self, federation, query, obs)
     }
 
     fn supports_planning(&self) -> bool {
         true
     }
 
-    fn plan(&self, federation: &Federation, query: &FraQuery) -> QueryPlan {
+    fn plan_with(&self, federation: &Federation, query: &FraQuery, obs: &ObsContext) -> QueryPlan {
         let range = &query.range;
         let sum0 = helpers::sum0(federation, range);
+        self.local.record_accuracy(obs, &sum0);
         if sum0.count == 0.0 {
+            // No grid cell intersecting R holds any object: the answer is
+            // exactly zero, no silo contact needed.
             return QueryPlan::Ready(Ok(QueryResult::from_aggregate(Aggregate::ZERO, query.func)));
         }
         let candidates = helpers::candidate_silos(federation, range);
-        // One visiting-order draw per query, exactly like try_execute —
-        // this is what keeps batched and sequential runs seed-equivalent.
+        // One visiting-order draw per query, whichever engine drives the
+        // plan — this is what keeps batched and sequential runs
+        // seed-equivalent.
         let order = self.sampler.visiting_order(&candidates);
         if order.is_empty() {
             if federation.failed_silos().is_empty() {
-                // See try_execute: contradicts sum0 > 0, defensive zero.
+                // Healthy federation, but no silo has data in the range's
+                // cells — contradicts sum0 > 0, so this cannot happen;
+                // keep a defensive zero result rather than a panic in
+                // release use.
                 return QueryPlan::Ready(Ok(QueryResult::from_aggregate(
                     Aggregate::ZERO,
                     query.func,
                 )));
             }
+            // Eligibility was emptied by failure flags: degrade to the
+            // provider-only grid estimate rather than an error —
+            // availability over precision.
             let fallback = helpers::grid_only_estimate(federation, range);
             return QueryPlan::Ready(Ok(QueryResult::from_aggregate(fallback, query.func)));
         }
@@ -223,13 +211,14 @@ impl FraAlgorithm for IidEst {
         })
     }
 
-    fn finish(
+    fn finish_with(
         &self,
         federation: &Federation,
         query: &FraQuery,
         silo: SiloId,
         response: Response,
         rounds: u64,
+        obs: &ObsContext,
     ) -> Result<QueryResult, FraError> {
         let range = &query.range;
         match response {
@@ -243,6 +232,7 @@ impl FraAlgorithm for IidEst {
                     .with_rounds(rounds);
                 if let Some(level) = self.local.level(sum0.count) {
                     result = result.with_level(level);
+                    record_level(obs, level);
                 }
                 Ok(result)
             }
@@ -295,93 +285,22 @@ impl FraAlgorithm for NonIidEst {
         self.name
     }
 
-    fn try_execute(
+    /// Sequential execution is the shared plan/finish driver — the old
+    /// hand-rolled sampling loop here was a duplicate of it.
+    fn try_execute_with(
         &self,
         federation: &Federation,
         query: &FraQuery,
+        obs: &ObsContext,
     ) -> Result<QueryResult, FraError> {
-        let range = &query.range;
-        let grid = federation.merged_grid();
-        let spec = grid.spec();
-        let classification = spec.classify(range);
-        if classification.is_empty() {
-            return Ok(QueryResult::from_aggregate(Aggregate::ZERO, query.func));
-        }
-
-        // Covered cells: exact contribution straight from g₀
-        // (Sec. 4.2.2 remark) — no estimation, no communication.
-        let covered = grid.aggregate_cells(classification.covered.iter().copied());
-
-        if classification.boundary.is_empty() {
-            // The range is exactly a union of grid cells.
-            return Ok(QueryResult::from_aggregate(covered, query.func));
-        }
-
-        let sum0_count = helpers::rough_count(federation, range);
-        let candidates = helpers::candidate_silos(federation, range);
-        let mut last_error: Option<TransportError> = None;
-        let mut rounds = 0;
-        for k in self.sampler.visiting_order(&candidates) {
-            let request = Request::CellContributions {
-                range: *range,
-                cells: classification.boundary.clone(),
-                mode: self.local.mode(sum0_count),
-            };
-            rounds += 1;
-            match federation.call(k, &request) {
-                Ok(Response::AggVec(contributions)) => {
-                    if contributions.len() != classification.boundary.len() {
-                        return Err(FraError::ProtocolViolation {
-                            silo: k,
-                            expected: "one aggregate per requested cell",
-                        });
-                    }
-                    let silo_grid = federation.silo_grid(k);
-                    let mut estimate = covered;
-                    for (cell, res_i) in classification.boundary.iter().zip(&contributions) {
-                        let g0_i = grid.cell(*cell);
-                        let gk_i = silo_grid.cell(*cell);
-                        // Per-cell fallback: the sampled silo is blind in
-                        // this cell, so spread g₀'s cell aggregate by
-                        // covered-area fraction.
-                        let rect = spec.cell_rect_of(*cell);
-                        let frac = intersection_area(range, &rect) / rect.area();
-                        let fallback = g0_i.scale(frac);
-                        estimate.merge_in(&helpers::ratio_scale(g0_i, res_i, gk_i, &fallback));
-                    }
-                    let mut result = QueryResult::from_aggregate(estimate, query.func)
-                        .with_silo(k)
-                        .with_rounds(rounds);
-                    if let Some(level) = self.local.level(sum0_count) {
-                        result = result.with_level(level);
-                    }
-                    return Ok(result);
-                }
-                Ok(_) => {
-                    return Err(FraError::ProtocolViolation {
-                        silo: k,
-                        expected: "AggVec",
-                    })
-                }
-                Err(e) => last_error = Some(e),
-            }
-        }
-        let _ = last_error;
-        if candidates.is_empty() && federation.failed_silos().is_empty() {
-            // No silo holds data near the range; the covered-cell part is
-            // still exact and the boundary must then be empty of data too.
-            return Ok(QueryResult::from_aggregate(covered, query.func));
-        }
-        // Degraded mode: all candidates failed.
-        let fallback = helpers::grid_only_estimate(federation, range);
-        Ok(QueryResult::from_aggregate(fallback, query.func).with_rounds(rounds))
+        drive_planned(self, federation, query, obs)
     }
 
     fn supports_planning(&self) -> bool {
         true
     }
 
-    fn plan(&self, federation: &Federation, query: &FraQuery) -> QueryPlan {
+    fn plan_with(&self, federation: &Federation, query: &FraQuery, obs: &ObsContext) -> QueryPlan {
         let range = &query.range;
         let grid = federation.merged_grid();
         let spec = grid.spec();
@@ -389,13 +308,26 @@ impl FraAlgorithm for NonIidEst {
         if classification.is_empty() {
             return QueryPlan::Ready(Ok(QueryResult::from_aggregate(Aggregate::ZERO, query.func)));
         }
+        // Covered cells: exact contribution straight from g₀
+        // (Sec. 4.2.2 remark) — no estimation, no communication.
         let covered = grid.aggregate_cells(classification.covered.iter().copied());
         if classification.boundary.is_empty() {
+            // The range is exactly a union of grid cells.
             return QueryPlan::Ready(Ok(QueryResult::from_aggregate(covered, query.func)));
         }
         let sum0_count = helpers::rough_count(federation, range);
+        if obs.is_enabled() {
+            let rough = Aggregate {
+                count: sum0_count,
+                ..Aggregate::ZERO
+            };
+            self.local.record_accuracy(obs, &rough);
+            obs.observe("fedra_boundary_cells", classification.boundary.len() as u64);
+        }
         let candidates = helpers::candidate_silos(federation, range);
-        // One visiting-order draw per query, mirroring try_execute.
+        // One visiting-order draw per query, whichever engine drives the
+        // plan — this is what keeps batched and sequential runs
+        // seed-equivalent.
         let order = self.sampler.visiting_order(&candidates);
         if order.is_empty() {
             if federation.failed_silos().is_empty() {
@@ -414,13 +346,14 @@ impl FraAlgorithm for NonIidEst {
         })
     }
 
-    fn finish(
+    fn finish_with(
         &self,
         federation: &Federation,
         query: &FraQuery,
         silo: SiloId,
         response: Response,
         rounds: u64,
+        obs: &ObsContext,
     ) -> Result<QueryResult, FraError> {
         let range = &query.range;
         let grid = federation.merged_grid();
@@ -453,6 +386,7 @@ impl FraAlgorithm for NonIidEst {
                     .with_rounds(rounds);
                 if let Some(level) = self.local.level(sum0_count) {
                     result = result.with_level(level);
+                    record_level(obs, level);
                 }
                 Ok(result)
             }

@@ -28,7 +28,7 @@ use fedra_index::rtree::RTreeConfig;
 use crate::protocol::{Request, Response, SiloMemoryReport};
 use crate::silo::{Silo, SiloConfig, SiloId};
 use crate::snapshot::ProviderSnapshot;
-use crate::transport::{spawn_silo, CommSnapshot, CommStats, SiloChannel, TransportError};
+use crate::transport::{spawn_silo, CommCounters, CommSnapshot, SiloChannel, TransportError};
 use crate::wire::Wire;
 
 /// Errors from standing a federation up ([`FederationBuilder::try_build`]).
@@ -192,8 +192,8 @@ impl FederationBuilder {
         if partitions.is_empty() {
             return Err(SetupError::NoSilos);
         }
-        let setup_stats = Arc::new(CommStats::with_overhead(self.message_overhead));
-        let query_stats = Arc::new(CommStats::with_overhead(self.message_overhead));
+        let setup_stats = Arc::new(CommCounters::with_overhead(self.message_overhead));
+        let query_stats = Arc::new(CommCounters::with_overhead(self.message_overhead));
 
         // Silo construction (index builds) happens in parallel: for the
         // multi-million-object sweeps this dominates setup wall-clock.
@@ -370,7 +370,7 @@ impl FederationBuilder {
         // From here on, traffic counts as query traffic.
         let setup_snapshot = setup_stats.snapshot();
         for channel in &mut channels {
-            *channel = channel.with_stats(Arc::clone(&query_stats));
+            *channel = channel.with_comm(Arc::clone(&query_stats));
         }
 
         Ok(Federation {
@@ -426,7 +426,7 @@ pub struct Federation {
     merged_prefix: PrefixGrid,
     memory_reports: Vec<SiloMemoryReport>,
     setup_snapshot: CommSnapshot,
-    query_stats: Arc<CommStats>,
+    query_stats: Arc<CommCounters>,
     warm_hits: usize,
 }
 
@@ -570,6 +570,13 @@ impl Federation {
     /// ≈ |Q|/m each).
     pub fn served_per_silo(&self) -> Vec<u64> {
         self.channels.iter().map(|c| c.served()).collect()
+    }
+
+    /// Silo `k`'s own metrics registry (request counts by kind, batch
+    /// sizes, LSR level-selection counters). Panics if `k` is out of
+    /// range, like [`Federation::channel`].
+    pub fn silo_metrics(&self, silo: SiloId) -> &Arc<fedra_obs::MetricsRegistry> {
+        self.channels[silo].silo_metrics()
     }
 }
 

@@ -32,6 +32,8 @@ pub use federation::{Federation, FederationBuilder, SetupError};
 pub use protocol::{LocalMode, Request, Response, SiloMemoryReport};
 pub use silo::{Silo, SiloConfig, SiloId};
 pub use snapshot::ProviderSnapshot;
+#[allow(deprecated)]
+pub use transport::CommStats;
 pub use transport::{
-    CommSnapshot, CommStats, PendingBatch, PendingCall, SiloChannel, TransportError,
+    CommCounters, CommSnapshot, PendingBatch, PendingCall, SiloChannel, TransportError,
 };

@@ -21,6 +21,9 @@ use std::sync::Arc;
 use rand::rngs::StdRng;
 use rand::SeedableRng;
 
+use fedra_obs::metrics::{Counter, Histogram};
+use fedra_obs::MetricsRegistry;
+
 use fedra_geo::{Range, Rect, SpatialObject};
 use fedra_index::grid::{CellId, GridIndex, GridSpec};
 use fedra_index::histogram::{MinSkewConfig, MinSkewHistogram};
@@ -73,6 +76,84 @@ pub struct Silo {
     failed: Arc<AtomicBool>,
     /// Number of requests served (diagnostics, load-balance tests).
     served: Arc<AtomicU64>,
+    /// Silo-side observability: registry plus pre-resolved handles so the
+    /// request hot path pays one relaxed atomic per record, never a map
+    /// lookup or an allocation.
+    metrics: SiloMetrics,
+}
+
+/// The silo's metric registry with cached hot-path handles.
+///
+/// Shared across the worker-thread boundary by `Arc`, like the served
+/// counter and failure flag: metrics are diagnostics, not data, so they
+/// may bypass the byte-counted wire path.
+struct SiloMetrics {
+    registry: Arc<MetricsRegistry>,
+    requests: RequestCounters,
+    batch_items: Arc<Histogram>,
+    batch_panics: Arc<Counter>,
+    pool_items_per_task: Arc<Histogram>,
+    /// One counter per LSR level, indexed by the level picked (Alg. 6);
+    /// the paper's O(log 1/ε) claim is readable straight off these.
+    lsr_levels: Vec<Arc<Counter>>,
+}
+
+/// Per-request-kind counters, one per [`Request`] variant.
+struct RequestCounters {
+    build_grid: Arc<Counter>,
+    aggregate: Arc<Counter>,
+    cell_contributions: Arc<Counter>,
+    histogram_estimate: Arc<Counter>,
+    memory_report: Arc<Counter>,
+    ping: Arc<Counter>,
+    nested_batch: Arc<Counter>,
+}
+
+impl SiloMetrics {
+    fn new(id: SiloId, lsr_levels: usize, pool: &WorkerPool) -> Self {
+        let registry = Arc::new(MetricsRegistry::new());
+        let kind = |k: &str| {
+            registry.counter(&format!(
+                "fedra_silo_requests_total{{silo=\"{id}\",kind=\"{k}\"}}"
+            ))
+        };
+        let requests = RequestCounters {
+            build_grid: kind("build_grid"),
+            aggregate: kind("aggregate"),
+            cell_contributions: kind("cell_contributions"),
+            histogram_estimate: kind("histogram_estimate"),
+            memory_report: kind("memory_report"),
+            ping: kind("ping"),
+            nested_batch: kind("nested_batch"),
+        };
+        registry.set_gauge(
+            &format!("fedra_silo_pool_threads{{silo=\"{id}\"}}"),
+            pool.threads() as f64,
+        );
+        Self {
+            requests,
+            batch_items: registry
+                .histogram(&format!("fedra_silo_pool_batch_items{{silo=\"{id}\"}}")),
+            batch_panics: registry
+                .counter(&format!("fedra_silo_batch_panics_total{{silo=\"{id}\"}}")),
+            pool_items_per_task: registry
+                .histogram(&format!("fedra_silo_pool_items_per_task{{silo=\"{id}\"}}")),
+            lsr_levels: (0..lsr_levels)
+                .map(|l| {
+                    registry.counter(&format!(
+                        "fedra_silo_lsr_level_total{{silo=\"{id}\",level=\"{l}\"}}"
+                    ))
+                })
+                .collect(),
+            registry,
+        }
+    }
+
+    fn record_level(&self, level: usize) {
+        if let Some(counter) = self.lsr_levels.get(level) {
+            counter.inc();
+        }
+    }
 }
 
 impl Silo {
@@ -86,6 +167,7 @@ impl Silo {
         let histogram = MinSkewHistogram::build(config.bounds, config.histogram, &objects);
         let num_objects = objects.len();
         let rtree = RTree::bulk_load_with(objects, config.rtree, &pool);
+        let metrics = SiloMetrics::new(id, lsr.num_levels(), &pool);
         Self {
             id,
             num_objects,
@@ -96,6 +178,7 @@ impl Silo {
             pool,
             failed: Arc::new(AtomicBool::new(false)),
             served: Arc::new(AtomicU64::new(0)),
+            metrics,
         }
     }
 
@@ -124,6 +207,12 @@ impl Silo {
         Arc::clone(&self.served)
     }
 
+    /// Shared silo-side metrics registry (request counts by kind, batch
+    /// sizes, LSR level-selection counters).
+    pub fn metrics(&self) -> Arc<MetricsRegistry> {
+        Arc::clone(&self.metrics.registry)
+    }
+
     /// Serves one wire frame (Alg. 1 line 2, Alg. 2 line 3, Alg. 3 line 3,
     /// OPTA, metrics).
     ///
@@ -138,8 +227,16 @@ impl Silo {
         match request {
             Request::Batch(requests) => {
                 let id = self.id;
+                self.metrics.batch_items.observe(requests.len() as u64);
+                // items/task for the pool fan-out below: every task takes
+                // an even share of the batch (ceil division).
+                let tasks = self.pool.threads().max(1);
+                self.metrics
+                    .pool_items_per_task
+                    .observe(requests.len().div_ceil(tasks) as u64);
                 Response::Batch(self.pool.map_vec(requests, |_, item| {
                     catch_unwind(AssertUnwindSafe(|| self.handle_one(item))).unwrap_or_else(|_| {
+                        self.metrics.batch_panics.inc();
                         Response::Error(format!("silo {id}: batch item panicked"))
                     })
                 }))
@@ -155,6 +252,7 @@ impl Silo {
     /// numbers whether the provider coalesces frames or not.
     fn handle_one(&self, request: Request) -> Response {
         self.served.fetch_add(1, Ordering::Relaxed);
+        self.count_request(&request);
         if self.failed.load(Ordering::Acquire) {
             return Response::Error(format!("silo {} unavailable", self.id));
         }
@@ -176,6 +274,21 @@ impl Silo {
             Request::Batch(_) => {
                 Response::Error(format!("silo {}: nested batch rejected", self.id))
             }
+        }
+    }
+
+    /// Bumps the per-kind request counter. Exhaustive over [`Request`] so
+    /// a new protocol variant cannot arrive unobserved.
+    fn count_request(&self, request: &Request) {
+        let counters = &self.metrics.requests;
+        match request {
+            Request::BuildGrid { .. } => counters.build_grid.inc(),
+            Request::Aggregate { .. } => counters.aggregate.inc(),
+            Request::CellContributions { .. } => counters.cell_contributions.inc(),
+            Request::HistogramEstimate { .. } => counters.histogram_estimate.inc(),
+            Request::MemoryReport => counters.memory_report.inc(),
+            Request::Ping => counters.ping.inc(),
+            Request::Batch(_) => counters.nested_batch.inc(),
         }
     }
 
@@ -216,7 +329,11 @@ impl Silo {
                 epsilon,
                 delta,
                 sum0,
-            } => self.lsr.query(range, epsilon, delta, sum0).0,
+            } => {
+                let (agg, level) = self.lsr.query(range, epsilon, delta, sum0);
+                self.metrics.record_level(level);
+                agg
+            }
         }
     }
 
@@ -243,7 +360,11 @@ impl Silo {
                 epsilon,
                 delta,
                 sum0,
-            } => Some(self.lsr.select_level(epsilon, delta, sum0)),
+            } => {
+                let l = self.lsr.select_level(epsilon, delta, sum0);
+                self.metrics.record_level(l);
+                Some(l)
+            }
         };
         // The per-cell clipped aggregates (the O(√|g₀|) boundary work of
         // Alg. 3) are independent: fan them across the pool, answers in

@@ -30,106 +30,18 @@ use crate::protocol::{encode_batch_request, Request, Response};
 use crate::silo::{Silo, SiloId};
 use crate::wire::{Wire, WireError};
 
-/// Per-message envelope overhead, in bytes, charged on top of the payload
-/// in each direction.
-///
-/// Real federations speak RPC over TLS: every request and response pays
-/// for TCP/IP + TLS record + HTTP/2 (or gRPC) framing before the first
-/// payload byte — roughly half a kilobyte per message in practice. This
-/// constant is what makes the fan-out algorithms' O(m) *message* count
-/// visible in the byte totals, exactly as in the paper's measured setup;
-/// set it to 0 via [`CommStats::with_overhead`] to count pure payload.
-pub const DEFAULT_MESSAGE_OVERHEAD: u64 = 512;
+// The byte-accounting types moved to `fedra-obs` so every layer (and the
+// exporters) share one definition; the transport re-exports them under
+// their historical home, with the old `CommStats` name kept as a
+// deprecated alias for one release.
+pub use fedra_obs::{CommCounters, CommSnapshot, DEFAULT_MESSAGE_OVERHEAD};
 
-/// Communication counters, shared across threads.
-///
-/// "Up" is provider → silo (requests), "down" is silo → provider
-/// (responses). `rounds` counts request/response pairs — the paper's
-/// "rounds of interaction". Each recorded message is charged the
-/// configured per-message envelope overhead in addition to its payload.
-#[derive(Debug)]
-pub struct CommStats {
-    bytes_up: AtomicU64,
-    bytes_down: AtomicU64,
-    rounds: AtomicU64,
-    overhead: u64,
-}
-
-impl Default for CommStats {
-    fn default() -> Self {
-        Self::with_overhead(DEFAULT_MESSAGE_OVERHEAD)
-    }
-}
-
-/// A point-in-time copy of [`CommStats`].
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
-pub struct CommSnapshot {
-    /// Total provider → silo bytes.
-    pub bytes_up: u64,
-    /// Total silo → provider bytes.
-    pub bytes_down: u64,
-    /// Total request/response rounds.
-    pub rounds: u64,
-}
-
-impl CommSnapshot {
-    /// Total bytes in both directions.
-    pub fn total_bytes(&self) -> u64 {
-        self.bytes_up + self.bytes_down
-    }
-
-    /// Difference since an earlier snapshot (for per-query accounting).
-    pub fn since(&self, earlier: &CommSnapshot) -> CommSnapshot {
-        CommSnapshot {
-            bytes_up: self.bytes_up - earlier.bytes_up,
-            bytes_down: self.bytes_down - earlier.bytes_down,
-            rounds: self.rounds - earlier.rounds,
-        }
-    }
-}
-
-impl CommStats {
-    /// Creates counters with an explicit per-message envelope overhead.
-    pub fn with_overhead(overhead: u64) -> Self {
-        Self {
-            bytes_up: AtomicU64::new(0),
-            bytes_down: AtomicU64::new(0),
-            rounds: AtomicU64::new(0),
-            overhead,
-        }
-    }
-
-    /// The configured per-message envelope overhead.
-    pub fn overhead(&self) -> u64 {
-        self.overhead
-    }
-
-    /// Records one round (payload sizes; the envelope overhead is added
-    /// per direction).
-    pub fn record(&self, up: usize, down: usize) {
-        self.bytes_up
-            .fetch_add(up as u64 + self.overhead, Ordering::Relaxed);
-        self.bytes_down
-            .fetch_add(down as u64 + self.overhead, Ordering::Relaxed);
-        self.rounds.fetch_add(1, Ordering::Relaxed);
-    }
-
-    /// Reads the counters.
-    pub fn snapshot(&self) -> CommSnapshot {
-        CommSnapshot {
-            bytes_up: self.bytes_up.load(Ordering::Relaxed),
-            bytes_down: self.bytes_down.load(Ordering::Relaxed),
-            rounds: self.rounds.load(Ordering::Relaxed),
-        }
-    }
-
-    /// Zeroes the counters.
-    pub fn reset(&self) {
-        self.bytes_up.store(0, Ordering::Relaxed);
-        self.bytes_down.store(0, Ordering::Relaxed);
-        self.rounds.store(0, Ordering::Relaxed);
-    }
-}
+/// Former name of [`CommCounters`], kept for downstream code.
+#[deprecated(
+    since = "0.2.0",
+    note = "moved to fedra-obs as `CommCounters`; reach it via `fedra_obs::CommCounters` or `ObsContext::comm()`"
+)]
+pub type CommStats = CommCounters;
 
 struct Envelope {
     request: Bytes,
@@ -223,7 +135,7 @@ struct PendingReply {
     up: usize,
     pair: ReplyPair,
     pool: Arc<ReplyPool>,
-    stats: Arc<CommStats>,
+    stats: Arc<CommCounters>,
 }
 
 impl PendingReply {
@@ -342,10 +254,11 @@ impl std::fmt::Debug for PendingBatch {
 pub struct SiloChannel {
     id: SiloId,
     tx: Sender<Envelope>,
-    stats: Arc<CommStats>,
+    stats: Arc<CommCounters>,
     reply_pool: Arc<ReplyPool>,
     served: Arc<AtomicU64>,
     failed: Arc<std::sync::atomic::AtomicBool>,
+    silo_metrics: Arc<fedra_obs::MetricsRegistry>,
 }
 
 impl SiloChannel {
@@ -429,17 +342,32 @@ impl SiloChannel {
     }
 
     /// Returns a copy of this channel that records traffic into a
-    /// different counter set (the federation swaps setup stats for query
-    /// stats once Alg. 1 finishes).
-    pub fn with_stats(&self, stats: Arc<CommStats>) -> SiloChannel {
+    /// different counter set (the federation swaps setup counters for
+    /// query counters once Alg. 1 finishes).
+    pub fn with_comm(&self, comm: Arc<CommCounters>) -> SiloChannel {
         SiloChannel {
             id: self.id,
             tx: self.tx.clone(),
-            stats,
+            stats: comm,
             reply_pool: Arc::clone(&self.reply_pool),
             served: Arc::clone(&self.served),
             failed: Arc::clone(&self.failed),
+            silo_metrics: Arc::clone(&self.silo_metrics),
         }
+    }
+
+    /// Former name of [`SiloChannel::with_comm`].
+    #[deprecated(since = "0.2.0", note = "renamed to `with_comm`")]
+    pub fn with_stats(&self, stats: Arc<CommCounters>) -> SiloChannel {
+        self.with_comm(stats)
+    }
+
+    /// The silo worker's own metrics registry (request counts by kind,
+    /// batch sizes, LSR level picks). Shared by `Arc`, like the served
+    /// counter — diagnostics cross the thread boundary without touching
+    /// the byte-counted wire path.
+    pub fn silo_metrics(&self) -> &Arc<fedra_obs::MetricsRegistry> {
+        &self.silo_metrics
     }
 
     /// Number of requests the silo worker has served so far.
@@ -473,13 +401,14 @@ impl std::fmt::Debug for SiloChannel {
 /// instead of tearing the provider down.
 pub fn spawn_silo(
     silo: Silo,
-    stats: Arc<CommStats>,
+    stats: Arc<CommCounters>,
     simulated_latency: Option<Duration>,
 ) -> Result<(SiloChannel, JoinHandle<()>), TransportError> {
     let (tx, rx) = unbounded::<Envelope>();
     let id = silo.id();
     let served = silo.served_counter();
     let failed = silo.failure_flag();
+    let silo_metrics = silo.metrics();
     let handle = std::thread::Builder::new()
         .name(format!("fedra-silo-{id}"))
         .spawn(move || {
@@ -507,6 +436,7 @@ pub fn spawn_silo(
             reply_pool: Arc::new(ReplyPool::default()),
             served,
             failed,
+            silo_metrics,
         },
         handle,
     ))
@@ -544,7 +474,7 @@ mod tests {
 
     #[test]
     fn call_round_trips_through_the_thread() {
-        let stats = Arc::new(CommStats::default());
+        let stats = Arc::new(CommCounters::default());
         let (chan, handle) =
             spawn_silo(test_silo(0, 100), Arc::clone(&stats), None).expect("spawn silo");
         let resp = chan.call(&Request::Ping).expect("ping");
@@ -560,7 +490,7 @@ mod tests {
     #[test]
     fn traffic_is_counted_per_round() {
         // Zero-overhead stats so payload sizes can be pinned exactly.
-        let stats = Arc::new(CommStats::with_overhead(0));
+        let stats = Arc::new(CommCounters::with_overhead(0));
         let (chan, _handle) =
             spawn_silo(test_silo(1, 100), Arc::clone(&stats), None).expect("spawn silo");
         let q = Range::circle(Point::new(5.0, 5.0), 2.0);
@@ -579,7 +509,7 @@ mod tests {
 
     #[test]
     fn default_overhead_is_charged_per_message() {
-        let stats = Arc::new(CommStats::default());
+        let stats = Arc::new(CommCounters::default());
         assert_eq!(stats.overhead(), DEFAULT_MESSAGE_OVERHEAD);
         let (chan, _handle) =
             spawn_silo(test_silo(7, 10), Arc::clone(&stats), None).expect("spawn silo");
@@ -591,7 +521,7 @@ mod tests {
 
     #[test]
     fn remote_errors_are_surfaced() {
-        let stats = Arc::new(CommStats::default());
+        let stats = Arc::new(CommCounters::default());
         let (chan, _handle) =
             spawn_silo(test_silo(2, 10), Arc::clone(&stats), None).expect("spawn silo");
         chan.set_failed(true);
@@ -604,7 +534,7 @@ mod tests {
 
     #[test]
     fn served_counter_tracks_requests() {
-        let stats = Arc::new(CommStats::default());
+        let stats = Arc::new(CommCounters::default());
         let (chan, _handle) =
             spawn_silo(test_silo(3, 10), Arc::clone(&stats), None).expect("spawn silo");
         assert_eq!(chan.served(), 0);
@@ -616,7 +546,7 @@ mod tests {
 
     #[test]
     fn concurrent_calls_from_many_threads() {
-        let stats = Arc::new(CommStats::default());
+        let stats = Arc::new(CommCounters::default());
         let (chan, _handle) =
             spawn_silo(test_silo(4, 200), Arc::clone(&stats), None).expect("spawn silo");
         let q = Range::circle(Point::new(5.0, 5.0), 3.0);
@@ -641,7 +571,7 @@ mod tests {
 
     #[test]
     fn call_batch_preserves_request_order() {
-        let stats = Arc::new(CommStats::default());
+        let stats = Arc::new(CommCounters::default());
         let (chan, _handle) =
             spawn_silo(test_silo(8, 100), Arc::clone(&stats), None).expect("spawn silo");
         let q = Range::circle(Point::new(5.0, 5.0), 2.0);
@@ -672,7 +602,7 @@ mod tests {
 
     #[test]
     fn call_batch_surfaces_per_item_errors() {
-        let stats = Arc::new(CommStats::default());
+        let stats = Arc::new(CommCounters::default());
         let (chan, _handle) =
             spawn_silo(test_silo(9, 10), Arc::clone(&stats), None).expect("spawn silo");
         chan.set_failed(true);
@@ -689,7 +619,7 @@ mod tests {
 
     #[test]
     fn empty_batch_sends_no_traffic() {
-        let stats = Arc::new(CommStats::default());
+        let stats = Arc::new(CommCounters::default());
         let (chan, _handle) =
             spawn_silo(test_silo(10, 10), Arc::clone(&stats), None).expect("spawn silo");
         assert_eq!(chan.call_batch(&[]).unwrap(), Vec::new());
@@ -700,7 +630,7 @@ mod tests {
     fn batch_amortizes_the_envelope_overhead() {
         // Zero-overhead stats pin the payload arithmetic; the saving shows
         // in rounds (each round costs 2 × overhead under default stats).
-        let stats = Arc::new(CommStats::with_overhead(0));
+        let stats = Arc::new(CommCounters::with_overhead(0));
         let (chan, _handle) =
             spawn_silo(test_silo(11, 100), Arc::clone(&stats), None).expect("spawn silo");
         let q = Range::circle(Point::new(5.0, 5.0), 2.0);
@@ -727,7 +657,7 @@ mod tests {
 
     #[test]
     fn reply_pairs_are_pooled_and_reused() {
-        let stats = Arc::new(CommStats::default());
+        let stats = Arc::new(CommCounters::default());
         let (chan, _handle) =
             spawn_silo(test_silo(12, 10), Arc::clone(&stats), None).expect("spawn silo");
         for _ in 0..10 {
@@ -748,7 +678,7 @@ mod tests {
     fn begin_then_wait_overlaps_silo_work() {
         // With 20ms of injected latency per frame, four pipelined frames
         // on four silos must finish in ~1 latency, not 4.
-        let stats = Arc::new(CommStats::default());
+        let stats = Arc::new(CommCounters::default());
         let latency = Duration::from_millis(20);
         let channels: Vec<SiloChannel> = (0..4)
             .map(|i| {
@@ -774,7 +704,7 @@ mod tests {
 
     #[test]
     fn disconnected_worker_reports_cleanly() {
-        let stats = Arc::new(CommStats::default());
+        let stats = Arc::new(CommCounters::default());
         let (chan, handle) =
             spawn_silo(test_silo(5, 10), Arc::clone(&stats), None).expect("spawn silo");
         // Simulate a dead worker: clone the channel, drop the original
@@ -788,7 +718,7 @@ mod tests {
 
     #[test]
     fn simulated_latency_is_applied() {
-        let stats = Arc::new(CommStats::default());
+        let stats = Arc::new(CommCounters::default());
         let (chan, _handle) = spawn_silo(
             test_silo(6, 10),
             Arc::clone(&stats),

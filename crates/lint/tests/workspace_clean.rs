@@ -31,6 +31,35 @@ fn the_workspace_is_clean() {
     );
 }
 
+/// The observability crate is product source and must stay in lint
+/// scope — its lock use and federation-safety matter as much as the
+/// engine's.
+#[test]
+fn the_obs_crate_is_in_scope() {
+    let files = collect_sources(&repo_root()).expect("workspace is readable");
+    let obs: Vec<&str> = files
+        .iter()
+        .map(|f| f.path.as_str())
+        .filter(|p| p.starts_with("crates/obs/src/"))
+        .collect();
+    assert!(
+        obs.len() >= 6,
+        "expected the six fedra-obs modules in scope, got {obs:?}"
+    );
+    for module in [
+        "context.rs",
+        "metrics.rs",
+        "trace.rs",
+        "comm.rs",
+        "export.rs",
+    ] {
+        assert!(
+            obs.iter().any(|p| p.ends_with(module)),
+            "missing crates/obs/src/{module} from lint scope"
+        );
+    }
+}
+
 #[test]
 fn the_baseline_matches_a_fresh_run() {
     let root = repo_root();

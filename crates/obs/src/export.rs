@@ -1,0 +1,309 @@
+//! Stable exporters: JSON snapshot and Prometheus text format.
+//!
+//! Both renderers work from [`MetricsSnapshot`] + [`CommSnapshot`], so
+//! they are deterministic for a deterministic workload (BTreeMap key
+//! order, no timestamps). The communication counters are injected as
+//! three ordinary counters (`fedra_comm_bytes_up_total`,
+//! `fedra_comm_bytes_down_total`, `fedra_comm_rounds_total`) so one
+//! document carries everything.
+//!
+//! [`parse_prometheus`] parses the text format back into a flat
+//! name → value map; tests use it to prove the exporters round-trip.
+
+use std::collections::BTreeMap;
+use std::fmt::Write as _;
+
+use crate::comm::CommSnapshot;
+use crate::metrics::MetricsSnapshot;
+
+/// Counter name under which uplink bytes are exported.
+pub const COMM_BYTES_UP: &str = "fedra_comm_bytes_up_total";
+/// Counter name under which downlink bytes are exported.
+pub const COMM_BYTES_DOWN: &str = "fedra_comm_bytes_down_total";
+/// Counter name under which request/response rounds are exported.
+pub const COMM_ROUNDS: &str = "fedra_comm_rounds_total";
+
+fn json_escape(s: &str) -> String {
+    let mut out = String::with_capacity(s.len() + 2);
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\r' => out.push_str("\\r"),
+            '\t' => out.push_str("\\t"),
+            c if (c as u32) < 0x20 => {
+                let _ = write!(out, "\\u{:04x}", c as u32);
+            }
+            c => out.push(c),
+        }
+    }
+    out
+}
+
+fn counters_with_comm(snapshot: &MetricsSnapshot, comm: &CommSnapshot) -> BTreeMap<String, u64> {
+    let mut counters = snapshot.counters.clone();
+    counters.insert(COMM_BYTES_UP.to_string(), comm.bytes_up);
+    counters.insert(COMM_BYTES_DOWN.to_string(), comm.bytes_down);
+    counters.insert(COMM_ROUNDS.to_string(), comm.rounds);
+    counters
+}
+
+/// Renders a metrics + comm snapshot as a stable JSON document.
+///
+/// Keys are sorted (BTreeMap order); histograms list only non-empty
+/// buckets as `[upper_bound, count]` pairs, with `"inf"` standing in for
+/// the unbounded bucket.
+pub fn render_json(snapshot: &MetricsSnapshot, comm: &CommSnapshot) -> String {
+    let mut out = String::new();
+    out.push_str("{\n  \"counters\": {");
+    let counters = counters_with_comm(snapshot, comm);
+    let mut first = true;
+    for (name, value) in &counters {
+        if !first {
+            out.push(',');
+        }
+        first = false;
+        let _ = write!(out, "\n    \"{}\": {}", json_escape(name), value);
+    }
+    out.push_str("\n  },\n  \"gauges\": {");
+    first = true;
+    for (name, value) in &snapshot.gauges {
+        if !first {
+            out.push(',');
+        }
+        first = false;
+        let _ = write!(out, "\n    \"{}\": {}", json_escape(name), fmt_f64(*value));
+    }
+    out.push_str("\n  },\n  \"histograms\": {");
+    first = true;
+    for (name, hist) in &snapshot.histograms {
+        if !first {
+            out.push(',');
+        }
+        first = false;
+        let _ = write!(
+            out,
+            "\n    \"{}\": {{\"count\": {}, \"sum\": {}, \"buckets\": [",
+            json_escape(name),
+            hist.count,
+            hist.sum
+        );
+        let mut first_bucket = true;
+        for (bound, count) in hist.nonzero_buckets() {
+            if !first_bucket {
+                out.push_str(", ");
+            }
+            first_bucket = false;
+            match bound {
+                Some(b) => {
+                    let _ = write!(out, "[{b}, {count}]");
+                }
+                None => {
+                    let _ = write!(out, "[\"inf\", {count}]");
+                }
+            }
+        }
+        out.push_str("]}");
+    }
+    out.push_str("\n  }\n}\n");
+    out
+}
+
+fn fmt_f64(v: f64) -> String {
+    if v.is_finite() && v == v.trunc() && v.abs() < 1e15 {
+        // Integral gauges print without a fraction so JSON stays tidy.
+        format!("{}", v as i64)
+    } else {
+        format!("{v}")
+    }
+}
+
+/// Base metric name: the part before any `{label="…"}` suffix.
+fn base_name(name: &str) -> &str {
+    match name.find('{') {
+        Some(i) => &name[..i],
+        None => name,
+    }
+}
+
+/// Splices `suffix` before the label braces and appends an `le` label:
+/// `("x_ns{name=\"plan\"}", "_bucket", "1024")` →
+/// `x_ns_bucket{name="plan",le="1024"}`.
+fn with_suffix_and_le(name: &str, suffix: &str, le: &str) -> String {
+    match name.find('{') {
+        Some(i) => format!(
+            "{}{}{{{},le=\"{}\"}}",
+            &name[..i],
+            suffix,
+            &name[i + 1..name.len() - 1],
+            le
+        ),
+        None => format!("{name}{suffix}{{le=\"{le}\"}}"),
+    }
+}
+
+/// Splices `suffix` before the label braces: `("x_ns{a=\"b\"}", "_sum")`
+/// → `x_ns_sum{a="b"}`.
+fn with_suffix(name: &str, suffix: &str) -> String {
+    match name.find('{') {
+        Some(i) => format!("{}{}{}", &name[..i], suffix, &name[i..]),
+        None => format!("{name}{suffix}"),
+    }
+}
+
+/// Renders a metrics + comm snapshot in the Prometheus text exposition
+/// format (one `# TYPE` line per metric family, cumulative histogram
+/// buckets, no timestamps).
+pub fn render_prometheus(snapshot: &MetricsSnapshot, comm: &CommSnapshot) -> String {
+    let mut out = String::new();
+    let counters = counters_with_comm(snapshot, comm);
+    let mut last_family = "";
+    for (name, value) in &counters {
+        let family = base_name(name);
+        if family != last_family {
+            let _ = writeln!(out, "# TYPE {family} counter");
+            last_family = family;
+        }
+        let _ = writeln!(out, "{name} {value}");
+    }
+    last_family = "";
+    for (name, value) in &snapshot.gauges {
+        let family = base_name(name);
+        if family != last_family {
+            let _ = writeln!(out, "# TYPE {family} gauge");
+            last_family = family;
+        }
+        let _ = writeln!(out, "{name} {}", fmt_f64(*value));
+    }
+    last_family = "";
+    for (name, hist) in &snapshot.histograms {
+        let family = base_name(name);
+        if family != last_family {
+            let _ = writeln!(out, "# TYPE {family} histogram");
+            last_family = family;
+        }
+        let mut cumulative = 0u64;
+        for (bound, count) in hist.nonzero_buckets() {
+            cumulative += count;
+            let le = match bound {
+                Some(b) => b.to_string(),
+                None => "+Inf".to_string(),
+            };
+            let _ = writeln!(
+                out,
+                "{} {}",
+                with_suffix_and_le(name, "_bucket", &le),
+                cumulative
+            );
+        }
+        if hist.buckets.last().copied().unwrap_or(0) == 0 {
+            // Prometheus requires a closing +Inf bucket even when empty.
+            let _ = writeln!(
+                out,
+                "{} {}",
+                with_suffix_and_le(name, "_bucket", "+Inf"),
+                cumulative
+            );
+        }
+        let _ = writeln!(out, "{} {}", with_suffix(name, "_sum"), hist.sum);
+        let _ = writeln!(out, "{} {}", with_suffix(name, "_count"), hist.count);
+    }
+    out
+}
+
+/// Parses Prometheus text format back into a flat `name → value` map
+/// (comments and blank lines skipped). Histogram series appear under
+/// their `_bucket`/`_sum`/`_count` sample names.
+pub fn parse_prometheus(text: &str) -> BTreeMap<String, f64> {
+    let mut out = BTreeMap::new();
+    for line in text.lines() {
+        let line = line.trim();
+        if line.is_empty() || line.starts_with('#') {
+            continue;
+        }
+        if let Some(split) = line.rfind(' ') {
+            let (name, value) = line.split_at(split);
+            if let Ok(v) = value.trim().parse::<f64>() {
+                out.insert(name.trim().to_string(), v);
+            }
+        }
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::metrics::MetricsRegistry;
+
+    fn sample() -> (MetricsSnapshot, CommSnapshot) {
+        let reg = MetricsRegistry::new();
+        reg.add("fedra_queries_total{algo=\"IID-est\"}", 250);
+        reg.inc("fedra_degraded_total");
+        reg.set_gauge("fedra_accuracy_epsilon", 0.1);
+        reg.observe("fedra_span_ns{name=\"plan\"}", 900);
+        reg.observe("fedra_span_ns{name=\"plan\"}", 1500);
+        let comm = CommSnapshot {
+            bytes_up: 1234,
+            bytes_down: 5678,
+            rounds: 250,
+        };
+        (reg.snapshot(), comm)
+    }
+
+    #[test]
+    fn prometheus_round_trips_counters() {
+        let (snap, comm) = sample();
+        let text = render_prometheus(&snap, &comm);
+        let parsed = parse_prometheus(&text);
+        assert_eq!(parsed["fedra_queries_total{algo=\"IID-est\"}"], 250.0);
+        assert_eq!(parsed["fedra_degraded_total"], 1.0);
+        assert_eq!(parsed[COMM_BYTES_UP], 1234.0);
+        assert_eq!(parsed[COMM_BYTES_DOWN], 5678.0);
+        assert_eq!(parsed[COMM_ROUNDS], 250.0);
+        assert_eq!(parsed["fedra_accuracy_epsilon"], 0.1);
+        assert_eq!(parsed["fedra_span_ns_count{name=\"plan\"}"], 2.0);
+        assert_eq!(parsed["fedra_span_ns_sum{name=\"plan\"}"], 2400.0);
+        // 900 → bucket le=1024; 1500 → le=2048; cumulative.
+        assert_eq!(
+            parsed["fedra_span_ns_bucket{name=\"plan\",le=\"1024\"}"],
+            1.0
+        );
+        assert_eq!(
+            parsed["fedra_span_ns_bucket{name=\"plan\",le=\"2048\"}"],
+            2.0
+        );
+    }
+
+    #[test]
+    fn prometheus_has_type_lines() {
+        let (snap, comm) = sample();
+        let text = render_prometheus(&snap, &comm);
+        assert!(text.contains("# TYPE fedra_queries_total counter"));
+        assert!(text.contains("# TYPE fedra_accuracy_epsilon gauge"));
+        assert!(text.contains("# TYPE fedra_span_ns histogram"));
+    }
+
+    #[test]
+    fn json_is_stable_and_contains_everything() {
+        let (snap, comm) = sample();
+        let a = render_json(&snap, &comm);
+        let b = render_json(&snap, &comm);
+        assert_eq!(a, b);
+        assert!(a.contains("\"fedra_queries_total{algo=\\\"IID-est\\\"}\": 250"));
+        assert!(a.contains(&format!("\"{COMM_BYTES_UP}\": 1234")));
+        assert!(a.contains("\"fedra_accuracy_epsilon\": 0.1"));
+        assert!(a.contains("\"count\": 2, \"sum\": 2400"));
+    }
+
+    #[test]
+    fn empty_snapshot_renders() {
+        let snap = MetricsSnapshot::default();
+        let comm = CommSnapshot::default();
+        let text = render_prometheus(&snap, &comm);
+        assert!(text.contains(&format!("{COMM_ROUNDS} 0")));
+        let json = render_json(&snap, &comm);
+        assert!(json.starts_with('{') && json.trim_end().ends_with('}'));
+    }
+}

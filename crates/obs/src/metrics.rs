@@ -1,0 +1,341 @@
+//! Atomic metric primitives and the registry that names them.
+//!
+//! Counters and gauges are single atomics; histograms use log₂ buckets
+//! (bucket `i` holds observations in `(2^(i-1), 2^i]`, bucket 0 holds 0
+//! and 1, the last bucket is +Inf) so a 65-slot array covers the full
+//! `u64` range — good enough for nanosecond latencies and byte sizes
+//! without configuring bounds per metric.
+//!
+//! Labels are embedded in the registered name following the Prometheus
+//! sample syntax, e.g. `fedra_silo_requests_total{silo="3"}` — see
+//! [`labeled`]. The registry is a flat string-keyed map, which keeps
+//! snapshots and exporters trivial and deterministic (BTreeMap order).
+
+use std::collections::BTreeMap;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Arc;
+
+use parking_lot::Mutex;
+
+/// Number of histogram buckets: 64 powers of two plus a +Inf bucket.
+pub const HISTOGRAM_BUCKETS: usize = 65;
+
+/// A monotonically increasing atomic counter.
+#[derive(Debug, Default)]
+pub struct Counter(AtomicU64);
+
+impl Counter {
+    /// Adds `n` to the counter.
+    pub fn add(&self, n: u64) {
+        self.0.fetch_add(n, Ordering::Relaxed);
+    }
+
+    /// Adds one.
+    pub fn inc(&self) {
+        self.add(1);
+    }
+
+    /// Current value.
+    pub fn get(&self) -> u64 {
+        self.0.load(Ordering::Relaxed)
+    }
+}
+
+/// A last-write-wins gauge storing an `f64` (as raw bits in an atomic).
+#[derive(Debug, Default)]
+pub struct Gauge(AtomicU64);
+
+impl Gauge {
+    /// Sets the gauge.
+    pub fn set(&self, value: f64) {
+        self.0.store(value.to_bits(), Ordering::Relaxed);
+    }
+
+    /// Current value.
+    pub fn get(&self) -> f64 {
+        f64::from_bits(self.0.load(Ordering::Relaxed))
+    }
+}
+
+/// Bucket index for an observation: 0 for values ≤ 1, otherwise
+/// `ceil(log2(value))` — so bucket `i` spans `(2^(i-1), 2^i]`.
+pub fn bucket_index(value: u64) -> usize {
+    if value <= 1 {
+        0
+    } else {
+        (64 - (value - 1).leading_zeros()) as usize
+    }
+}
+
+/// Inclusive upper bound of bucket `i`, or `None` for the +Inf bucket.
+pub fn bucket_upper_bound(index: usize) -> Option<u64> {
+    if index >= HISTOGRAM_BUCKETS - 1 {
+        None
+    } else {
+        Some(1u64 << index)
+    }
+}
+
+/// A log₂-bucketed histogram over `u64` observations (latencies in
+/// nanoseconds, byte sizes, item counts…).
+#[derive(Debug)]
+pub struct Histogram {
+    buckets: [AtomicU64; HISTOGRAM_BUCKETS],
+    count: AtomicU64,
+    sum: AtomicU64,
+}
+
+impl Default for Histogram {
+    fn default() -> Self {
+        Self {
+            buckets: [const { AtomicU64::new(0) }; HISTOGRAM_BUCKETS],
+            count: AtomicU64::new(0),
+            sum: AtomicU64::new(0),
+        }
+    }
+}
+
+impl Histogram {
+    /// Records one observation.
+    pub fn observe(&self, value: u64) {
+        self.buckets[bucket_index(value)].fetch_add(1, Ordering::Relaxed);
+        self.count.fetch_add(1, Ordering::Relaxed);
+        self.sum.fetch_add(value, Ordering::Relaxed);
+    }
+
+    /// Number of observations so far.
+    pub fn count(&self) -> u64 {
+        self.count.load(Ordering::Relaxed)
+    }
+
+    /// Sum of all observations so far.
+    pub fn sum(&self) -> u64 {
+        self.sum.load(Ordering::Relaxed)
+    }
+
+    /// A point-in-time copy.
+    pub fn snapshot(&self) -> HistogramSnapshot {
+        HistogramSnapshot {
+            count: self.count(),
+            sum: self.sum(),
+            buckets: self
+                .buckets
+                .iter()
+                .map(|b| b.load(Ordering::Relaxed))
+                .collect(),
+        }
+    }
+}
+
+/// A point-in-time copy of a [`Histogram`].
+#[derive(Debug, Clone, PartialEq, Eq, Default)]
+pub struct HistogramSnapshot {
+    /// Number of observations.
+    pub count: u64,
+    /// Sum of observations.
+    pub sum: u64,
+    /// Per-bucket (non-cumulative) observation counts, one slot per
+    /// [`HISTOGRAM_BUCKETS`] bucket.
+    pub buckets: Vec<u64>,
+}
+
+impl HistogramSnapshot {
+    /// Iterates non-empty buckets as `(upper_bound, count)` pairs; the
+    /// +Inf bucket reports `None` as its bound.
+    pub fn nonzero_buckets(&self) -> impl Iterator<Item = (Option<u64>, u64)> + '_ {
+        self.buckets
+            .iter()
+            .enumerate()
+            .filter(|(_, &c)| c > 0)
+            .map(|(i, &c)| (bucket_upper_bound(i), c))
+    }
+}
+
+/// Embeds one label in a metric name, Prometheus-style:
+/// `labeled("x_total", "silo", "3")` → `x_total{silo="3"}`.
+pub fn labeled(name: &str, label: &str, value: impl std::fmt::Display) -> String {
+    format!("{name}{{{label}=\"{value}\"}}")
+}
+
+/// A named registry of counters, gauges and histograms.
+///
+/// Metric handles are `Arc`s created on first use; hot paths can cache
+/// the handle, occasional recorders can go through the by-name helpers.
+#[derive(Debug, Default)]
+pub struct MetricsRegistry {
+    counters: Mutex<BTreeMap<String, Arc<Counter>>>,
+    gauges: Mutex<BTreeMap<String, Arc<Gauge>>>,
+    histograms: Mutex<BTreeMap<String, Arc<Histogram>>>,
+}
+
+impl MetricsRegistry {
+    /// An empty registry.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Gets or creates the counter `name`.
+    pub fn counter(&self, name: &str) -> Arc<Counter> {
+        let mut map = self.counters.lock();
+        match map.get(name) {
+            Some(c) => Arc::clone(c),
+            None => {
+                let c = Arc::new(Counter::default());
+                map.insert(name.to_string(), Arc::clone(&c));
+                c
+            }
+        }
+    }
+
+    /// Gets or creates the gauge `name`.
+    pub fn gauge(&self, name: &str) -> Arc<Gauge> {
+        let mut map = self.gauges.lock();
+        match map.get(name) {
+            Some(g) => Arc::clone(g),
+            None => {
+                let g = Arc::new(Gauge::default());
+                map.insert(name.to_string(), Arc::clone(&g));
+                g
+            }
+        }
+    }
+
+    /// Gets or creates the histogram `name`.
+    pub fn histogram(&self, name: &str) -> Arc<Histogram> {
+        let mut map = self.histograms.lock();
+        match map.get(name) {
+            Some(h) => Arc::clone(h),
+            None => {
+                let h = Arc::new(Histogram::default());
+                map.insert(name.to_string(), Arc::clone(&h));
+                h
+            }
+        }
+    }
+
+    /// Adds one to the counter `name`.
+    pub fn inc(&self, name: &str) {
+        self.counter(name).inc();
+    }
+
+    /// Adds `n` to the counter `name`.
+    pub fn add(&self, name: &str, n: u64) {
+        self.counter(name).add(n);
+    }
+
+    /// Sets the gauge `name`.
+    pub fn set_gauge(&self, name: &str, value: f64) {
+        self.gauge(name).set(value);
+    }
+
+    /// Records one observation in the histogram `name`.
+    pub fn observe(&self, name: &str, value: u64) {
+        self.histogram(name).observe(value);
+    }
+
+    /// A point-in-time copy of every metric.
+    pub fn snapshot(&self) -> MetricsSnapshot {
+        MetricsSnapshot {
+            counters: self
+                .counters
+                .lock()
+                .iter()
+                .map(|(k, v)| (k.clone(), v.get()))
+                .collect(),
+            gauges: self
+                .gauges
+                .lock()
+                .iter()
+                .map(|(k, v)| (k.clone(), v.get()))
+                .collect(),
+            histograms: self
+                .histograms
+                .lock()
+                .iter()
+                .map(|(k, v)| (k.clone(), v.snapshot()))
+                .collect(),
+        }
+    }
+}
+
+/// A point-in-time copy of a [`MetricsRegistry`], with deterministic
+/// (sorted) iteration order.
+#[derive(Debug, Clone, Default, PartialEq)]
+pub struct MetricsSnapshot {
+    /// Counter values by name.
+    pub counters: BTreeMap<String, u64>,
+    /// Gauge values by name.
+    pub gauges: BTreeMap<String, f64>,
+    /// Histogram snapshots by name.
+    pub histograms: BTreeMap<String, HistogramSnapshot>,
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn bucket_index_boundaries() {
+        assert_eq!(bucket_index(0), 0);
+        assert_eq!(bucket_index(1), 0);
+        assert_eq!(bucket_index(2), 1);
+        assert_eq!(bucket_index(3), 2);
+        assert_eq!(bucket_index(4), 2);
+        assert_eq!(bucket_index(5), 3);
+        assert_eq!(bucket_index(1024), 10);
+        assert_eq!(bucket_index(1025), 11);
+        assert_eq!(bucket_index(u64::MAX), 64);
+        assert_eq!(bucket_index(1u64 << 63), 63);
+    }
+
+    #[test]
+    fn bucket_bounds_cover_range() {
+        assert_eq!(bucket_upper_bound(0), Some(1));
+        assert_eq!(bucket_upper_bound(10), Some(1024));
+        assert_eq!(bucket_upper_bound(63), Some(1u64 << 63));
+        assert_eq!(bucket_upper_bound(64), None);
+    }
+
+    #[test]
+    fn histogram_counts_and_sums() {
+        let h = Histogram::default();
+        for v in [0, 1, 2, 3, 4, 1000] {
+            h.observe(v);
+        }
+        assert_eq!(h.count(), 6);
+        assert_eq!(h.sum(), 1010);
+        let snap = h.snapshot();
+        assert_eq!(snap.buckets[0], 2); // 0 and 1
+        assert_eq!(snap.buckets[1], 1); // 2
+        assert_eq!(snap.buckets[2], 2); // 3 and 4
+        assert_eq!(snap.buckets[10], 1); // 1000
+        assert_eq!(snap.nonzero_buckets().count(), 4);
+    }
+
+    #[test]
+    fn registry_reuses_handles() {
+        let reg = MetricsRegistry::new();
+        let a = reg.counter("x_total");
+        let b = reg.counter("x_total");
+        a.add(2);
+        b.inc();
+        assert_eq!(reg.counter("x_total").get(), 3);
+
+        reg.set_gauge("g", 1.5);
+        assert_eq!(reg.gauge("g").get(), 1.5);
+
+        reg.observe("h", 9);
+        let snap = reg.snapshot();
+        assert_eq!(snap.counters["x_total"], 3);
+        assert_eq!(snap.gauges["g"], 1.5);
+        assert_eq!(snap.histograms["h"].count, 1);
+    }
+
+    #[test]
+    fn labeled_formats_prometheus_style() {
+        assert_eq!(
+            labeled("fedra_silo_requests_total", "silo", 3),
+            "fedra_silo_requests_total{silo=\"3\"}"
+        );
+    }
+}

@@ -38,6 +38,9 @@ fn main() {
 
     let noniid = NonIidEst::new(99);
     let exact = Exact::new();
+    // Instrument the dashboard's own queries (the exact references stay
+    // uninstrumented so the metrics describe the production path only).
+    let obs = ObsContext::new();
 
     println!("district dashboard (COUNT / AVG speed / STDEV), approximate vs exact\n");
     println!(
@@ -58,7 +61,9 @@ fn main() {
 
             // One silo round answers the whole (count, sum, sum_sqr)
             // triple, so AVG and STDEV are free once COUNT is estimated.
-            let est = noniid.execute(&federation, &count_q);
+            let est = noniid
+                .try_execute_with(&federation, &count_q, &obs)
+                .expect("district query failed");
             let est_avg = est.aggregate.value(AggFunc::Avg);
             let est_std = est.aggregate.value(AggFunc::Stdev);
 
@@ -89,4 +94,29 @@ fn main() {
         comm.rounds,
         comm.total_bytes() as f64 / 1024.0
     );
+
+    // What the observability layer saw: sampled-silo spread and phase
+    // latencies for the dashboard's own (estimated) queries.
+    let snapshot = obs.snapshot();
+    println!("\nsampled-silo distribution:");
+    for (name, value) in &snapshot.counters {
+        if name.starts_with("fedra_sampled_silo_total") {
+            println!("  {name} = {value}");
+        }
+    }
+    println!("query phase latencies (ns):");
+    for (name, hist) in &snapshot.histograms {
+        if name.starts_with("fedra_span_ns") {
+            println!(
+                "  {name}: count {} mean {:.0}",
+                hist.count,
+                hist.sum as f64 / hist.count.max(1) as f64
+            );
+        }
+    }
+    println!("\nfull dump available in Prometheus or JSON form:");
+    for line in obs.export_prometheus().lines().take(6) {
+        println!("  {line}");
+    }
+    println!("  ...");
 }

@@ -86,4 +86,27 @@ fn main() {
             approx.value, truth.value
         );
     }
+
+    // 5. Observability: run a small instrumented batch and dump the
+    //    metrics the engine recorded (counters, per-phase latency
+    //    histograms, mirrored communication totals).
+    let obs = ObsContext::new();
+    let iid = IidEst::new(6);
+    let engine = QueryEngine::per_silo(&iid, &federation);
+    let queries: Vec<FraQuery> = (0..32)
+        .map(|i| {
+            FraQuery::circle(
+                Point::new((i % 8) as f64 - 4.0, -95.0 + (i / 8) as f64),
+                2.0,
+                AggFunc::Count,
+            )
+        })
+        .collect();
+    let batch = engine.execute_batch_with(&federation, &queries, &obs);
+    println!(
+        "\ninstrumented batch: {} queries, {} failures — metrics:",
+        queries.len(),
+        batch.failures()
+    );
+    print!("{}", obs.export_prometheus());
 }

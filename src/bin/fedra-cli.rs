@@ -28,6 +28,7 @@ fn main() -> ExitCode {
         "query" => query(&options),
         "sql" => sql(&options, &args),
         "stats" => stats(&options),
+        "obs" => obs(&options),
         "help" | "" => {
             print_help();
             ExitCode::SUCCESS
@@ -311,6 +312,87 @@ fn stats(options: &Options) -> ExitCode {
     ExitCode::SUCCESS
 }
 
+fn obs(options: &Options) -> ExitCode {
+    let (federation, all) = build_federation(options);
+    let seed = opt(options, "seed", 0xC11u64);
+    let mut generator = QueryGenerator::new(&all, seed ^ 7);
+    let n = opt(options, "queries", 250usize);
+    let radius = opt(options, "radius", 2.0);
+    let queries: Vec<FraQuery> = generator
+        .circles(radius, n)
+        .into_iter()
+        .map(|r| FraQuery::new(r, AggFunc::Count))
+        .collect();
+
+    let params = AccuracyParams::default();
+    let algo: Box<dyn FraAlgorithm> = match options.get("algo").map(String::as_str).unwrap_or("iid")
+    {
+        "exact" => Box::new(Exact::new()),
+        "opta" => Box::new(Opta::new()),
+        "iid" => Box::new(IidEst::new(seed)),
+        "iid-lsr" => Box::new(IidEstLsr::new(seed, params)),
+        "noniid" => Box::new(NonIidEst::new(seed)),
+        "noniid-lsr" => Box::new(NonIidEstLsr::new(seed, params)),
+        other => {
+            eprintln!("error: unknown --algo `{other}` (exact|opta|iid|iid-lsr|noniid|noniid-lsr)");
+            return ExitCode::FAILURE;
+        }
+    };
+
+    let obs = ObsContext::new();
+    federation.reset_query_comm();
+    let engine = QueryEngine::per_silo(algo.as_ref(), &federation);
+    let batch = engine.execute_batch_with(&federation, &queries, &obs);
+
+    match options.get("format").map(String::as_str).unwrap_or("text") {
+        "prom" => print!("{}", obs.export_prometheus()),
+        "json" => println!("{}", obs.export_json()),
+        "text" => {
+            eprintln!(
+                "{} queries via {} in {:.2} ms ({} failures)\n",
+                queries.len(),
+                algo.name(),
+                batch.wall_time.as_secs_f64() * 1e3,
+                batch.failures()
+            );
+            println!("--- prometheus ---");
+            print!("{}", obs.export_prometheus());
+            println!("--- json ---");
+            println!("{}", obs.export_json());
+            println!("--- last traces ---");
+            for trace in obs.traces().iter().rev().take(3) {
+                println!(
+                    "{} [{}]{}",
+                    trace.label,
+                    trace.algorithm,
+                    if trace.is_balanced() {
+                        ""
+                    } else {
+                        " UNBALANCED"
+                    }
+                );
+                for span in &trace.spans {
+                    println!(
+                        "  {:indent$}{} {} ns",
+                        "",
+                        span.name,
+                        span.duration_ns,
+                        indent = span.depth * 2
+                    );
+                }
+                for (key, value) in &trace.attrs {
+                    println!("  @{key} = {value}");
+                }
+            }
+        }
+        other => {
+            eprintln!("error: unknown --format `{other}` (text|prom|json)");
+            return ExitCode::FAILURE;
+        }
+    }
+    ExitCode::SUCCESS
+}
+
 fn print_help() {
     println!(
         "fedra-cli — approximate range aggregation over a spatial data federation
@@ -324,6 +406,8 @@ COMMANDS:
   sql      answer one SQL-style statement, e.g.
              fedra-cli sql \"SELECT COUNT(*) FROM fleet WHERE WITHIN(0, -95, 2)\"
   stats    print federation and index statistics
+  obs      run an instrumented batch, dump metrics + traces
+             (--queries N, --algo A, --format text|prom|json)
   help     this text
 
 GLOBAL OPTIONS:

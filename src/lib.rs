@@ -15,6 +15,7 @@
 //! * [`federation`] — the silo/provider runtime with byte-counted RPC;
 //! * [`core`] — the FRA algorithms (EXACT, OPTA, IID-est, NonIID-est,
 //!   their +LSR variants), the multi-query framework and accuracy theory;
+//! * [`obs`] — query-lifecycle tracing, federation metrics, exporters;
 //! * [`workload`] — synthetic Beijing-like workloads and parameter sweeps.
 //!
 //! ## Quickstart
@@ -48,6 +49,7 @@ pub use fedra_core as core;
 pub use fedra_federation as federation;
 pub use fedra_geo as geo;
 pub use fedra_index as index;
+pub use fedra_obs as obs;
 pub use fedra_workload as workload;
 
 /// One-stop imports for applications.
@@ -60,5 +62,8 @@ pub mod prelude {
     pub use fedra_federation::{Federation, FederationBuilder, SiloId};
     pub use fedra_geo::{Circle, GeoPoint, Point, Projection, Range, Rect, SpatialObject};
     pub use fedra_index::{AggFunc, Aggregate, IndexMemory};
+    pub use fedra_obs::{
+        CommCounters, CommSnapshot, MetricsRegistry, MetricsSnapshot, ObsContext, QueryTrace,
+    };
     pub use fedra_workload::{Dataset, Distribution, QueryGenerator, SweepConfig, WorkloadSpec};
 }
