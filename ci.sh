@@ -39,6 +39,20 @@ echo "$obs_dump" | grep -q '^fedra_comm_bytes_up_total ' \
     || { echo "obs smoke: comm mirror missing"; exit 1; }
 echo "    ok ($(echo "$obs_dump" | wc -l) exporter lines)"
 
+# Chaos smoke: the resilience example runs its timing-fault ladder under
+# a fixed FaultPlan seed. The hedge machinery must actually fire, no
+# query may fail, and every circuit breaker must be closed again by the
+# end of the run ("breaker leaks: 0").
+echo "==> chaos smoke (resilience example, seeded FaultPlan)"
+chaos_out=$(cargo run -q --release --example resilience)
+echo "$chaos_out" | grep -q ' 0 failed, ' \
+    || { echo "chaos smoke: queries failed under the fault plan"; exit 1; }
+echo "$chaos_out" | grep -Eq 'hedges fired/won: [1-9][0-9]*/' \
+    || { echo "chaos smoke: slow silo never triggered a hedge"; exit 1; }
+echo "$chaos_out" | grep -q '^breaker leaks: 0$' \
+    || { echo "chaos smoke: breaker leaked out of the run"; exit 1; }
+echo "    ok (hedges fired, no breaker leaks)"
+
 if command -v rustfmt >/dev/null 2>&1; then
     echo "==> cargo fmt --check"
     cargo fmt --check

@@ -1,6 +1,11 @@
 //! The [`FraAlgorithm`] trait every query algorithm implements.
 
-use fedra_federation::{Federation, Request, Response, SiloId};
+use std::time::Instant;
+
+use fedra_federation::transport::race_calls;
+use fedra_federation::{
+    Federation, HealthTransition, Poll, RaceWinner, Request, Response, SiloId, TransportError,
+};
 use fedra_obs::{labeled, ObsContext, Span};
 
 use crate::helpers;
@@ -250,19 +255,25 @@ pub fn drive_planned<A: FraAlgorithm + ?Sized>(
             let mut answer = None;
             {
                 let _remote_span = Span::enter(&trace, "remote");
-                for &silo in &remote.order {
-                    rounds += 1;
-                    if obs.is_enabled() {
-                        obs.inc(&labeled("fedra_silo_requests_total", "silo", silo));
+                let mut idx = 0usize;
+                while idx < remote.order.len() {
+                    let silo = remote.order[idx];
+                    // The breaker may have opened since the plan picked its
+                    // candidates — skip silos it refuses right now.
+                    if !federation.health().allows(silo) {
+                        obs.inc("fedra_breaker_skipped_total");
+                        idx += 1;
+                        continue;
                     }
-                    match federation.call(silo, &remote.request) {
-                        Ok(response) => {
-                            answer = Some((silo, response));
+                    let hedge = remote.order.get(idx + 1).copied();
+                    match attempt_silo(federation, &remote.request, silo, hedge, &mut rounds, obs) {
+                        Ok(won) => {
+                            answer = Some(won);
                             break;
                         }
                         Err(_) => {
                             obs.inc("fedra_resamples_total");
-                            continue;
+                            idx += 1;
                         }
                     }
                 }
@@ -291,6 +302,154 @@ pub fn drive_planned<A: FraAlgorithm + ?Sized>(
     }
     obs.finish_trace(&trace);
     outcome
+}
+
+/// Surfaces a breaker transition as a labelled counter (no-op for
+/// [`HealthTransition::None`]).
+pub(crate) fn note_transition(obs: &ObsContext, transition: HealthTransition) {
+    let to = match transition {
+        HealthTransition::None => return,
+        HealthTransition::Opened => "open",
+        HealthTransition::HalfOpened => "half_open",
+        HealthTransition::Closed => "closed",
+    };
+    obs.inc(&labeled("fedra_breaker_transitions_total", "to", to));
+}
+
+/// Records a failed call against the health tracker and the deadline-miss
+/// counter.
+fn record_failure(federation: &Federation, obs: &ObsContext, error: &TransportError) {
+    if error.is_deadline() && obs.is_enabled() {
+        obs.inc(&labeled(
+            "fedra_deadline_missed_total",
+            "silo",
+            error.silo(),
+        ));
+    }
+    note_transition(obs, federation.health().record_failure(error.silo()));
+}
+
+/// One candidate's full attempt lifecycle for [`drive_planned`]:
+/// deadline-bounded call, capped exponential retries (with deterministic
+/// jitter) on transient refusals, and — when the policy sets a hedge
+/// threshold and a next candidate exists — a hedged resample: the same
+/// request is fired at the next candidate once the primary overruns the
+/// threshold, and the first completed reply wins. Returns the winning
+/// `(silo, response)` (the hedge's id when the hedge won) or the final
+/// error once the retry budget is spent.
+fn attempt_silo(
+    federation: &Federation,
+    request: &Request,
+    silo: SiloId,
+    hedge: Option<SiloId>,
+    rounds: &mut u64,
+    obs: &ObsContext,
+) -> Result<(SiloId, Response), TransportError> {
+    // Hedged races without an overall deadline still need a time bound;
+    // an hour is "unbounded" at this layer's time scales.
+    const UNBOUNDED: std::time::Duration = std::time::Duration::from_secs(3600);
+    let policy = federation.call_policy();
+    let mut attempt = 0u32;
+    loop {
+        *rounds += 1;
+        if obs.is_enabled() {
+            obs.inc(&labeled("fedra_silo_requests_total", "silo", silo));
+        }
+        let started = Instant::now();
+        let deadline = policy.deadline.map(|d| started + d);
+        let (winner, outcome) = match federation.channel(silo).begin_call_with(request, deadline) {
+            Err(e) => (silo, Err(e)),
+            Ok(pending) => match (policy.hedge_after, hedge) {
+                (Some(after), Some(hedge_silo)) if hedge_silo != silo => {
+                    match pending.poll_deadline(started + after) {
+                        Poll::Ready(result) => (silo, result),
+                        Poll::Pending(primary) => race_hedge(
+                            federation,
+                            request,
+                            primary,
+                            hedge_silo,
+                            deadline.unwrap_or(started + UNBOUNDED),
+                            rounds,
+                            obs,
+                        ),
+                    }
+                }
+                _ => (silo, pending.wait()),
+            },
+        };
+        match outcome {
+            Ok(response) => {
+                note_transition(
+                    obs,
+                    federation
+                        .health()
+                        .record_success(winner, started.elapsed()),
+                );
+                return Ok((winner, response));
+            }
+            Err(e) => {
+                record_failure(federation, obs, &e);
+                if e.is_retryable() && attempt < policy.retries {
+                    attempt += 1;
+                    obs.inc("fedra_retries_total");
+                    std::thread::sleep(policy.backoff(silo, attempt));
+                    continue;
+                }
+                return Err(e);
+            }
+        }
+    }
+}
+
+/// Fires the hedge request at `hedge_silo` and races it against the
+/// still-pending primary until `deadline`; first completed reply wins and
+/// the loser is abandoned.
+fn race_hedge(
+    federation: &Federation,
+    request: &Request,
+    primary: fedra_federation::PendingCall,
+    hedge_silo: SiloId,
+    deadline: Instant,
+    rounds: &mut u64,
+    obs: &ObsContext,
+) -> (SiloId, Result<Response, TransportError>) {
+    let primary_silo = primary.silo();
+    obs.inc("fedra_hedges_fired_total");
+    *rounds += 1;
+    if obs.is_enabled() {
+        obs.inc(&labeled("fedra_silo_requests_total", "silo", hedge_silo));
+    }
+    let hedge_deadline = federation
+        .call_policy()
+        .deadline
+        .map(|d| Instant::now() + d);
+    match federation
+        .channel(hedge_silo)
+        .begin_call_with(request, hedge_deadline)
+    {
+        // The hedge could not even start — fall back to the primary alone.
+        Err(_) => (primary_silo, primary.wait()),
+        Ok(hedge) => match race_calls(primary, hedge, deadline) {
+            RaceWinner::Primary(result) => (primary_silo, result),
+            RaceWinner::Hedge(result) => {
+                obs.inc("fedra_hedges_won_total");
+                (hedge_silo, result)
+            }
+            RaceWinner::Timeout => {
+                // Both overran the budget: charge the miss to the hedge
+                // here; the caller charges the primary's.
+                record_failure(
+                    federation,
+                    obs,
+                    &TransportError::DeadlineExceeded { silo: hedge_silo },
+                );
+                (
+                    primary_silo,
+                    Err(TransportError::DeadlineExceeded { silo: primary_silo }),
+                )
+            }
+        },
+    }
 }
 
 #[cfg(test)]

@@ -19,11 +19,13 @@
 use std::collections::BTreeMap;
 use std::time::{Duration, Instant};
 
-use fedra_federation::{CommSnapshot, Federation, Request, SiloId};
+use fedra_federation::{
+    CommSnapshot, Federation, PendingBatch, Poll, Request, Response, SiloId, TransportError,
+};
 use fedra_index::pool::WorkerPool;
 use fedra_obs::{labeled, ObsContext, Span, TraceHandle};
 
-use crate::algorithm::{FraAlgorithm, QueryPlan};
+use crate::algorithm::{note_transition, FraAlgorithm, QueryPlan};
 use crate::query::{FraError, FraQuery, QueryResult};
 
 /// Batch execution statistics (one experiment data point).
@@ -109,6 +111,7 @@ impl BatchResult {
 pub struct QueryEngine<'a> {
     algorithm: &'a dyn FraAlgorithm,
     workers: usize,
+    query_budget: Option<Duration>,
 }
 
 impl<'a> QueryEngine<'a> {
@@ -118,6 +121,7 @@ impl<'a> QueryEngine<'a> {
         Self {
             algorithm,
             workers: federation.num_silos().max(1),
+            query_budget: None,
         }
     }
 
@@ -127,7 +131,21 @@ impl<'a> QueryEngine<'a> {
     /// Panics when `workers == 0`.
     pub fn with_workers(algorithm: &'a dyn FraAlgorithm, workers: usize) -> Self {
         assert!(workers > 0, "the engine needs at least one worker");
-        Self { algorithm, workers }
+        Self {
+            algorithm,
+            workers,
+            query_budget: None,
+        }
+    }
+
+    /// Caps every scatter–gather frame's wait at `budget`, overriding the
+    /// federation's [`CallPolicy`](fedra_federation::CallPolicy) deadline
+    /// for batches run through this engine. Frames that overrun are
+    /// abandoned; their riders resample (or degrade to the grid-only
+    /// estimate), so a batch never blocks on a dead silo.
+    pub fn with_query_budget(mut self, budget: Duration) -> Self {
+        self.query_budget = Some(budget);
+        self
     }
 
     /// The algorithm driven by this engine.
@@ -288,44 +306,34 @@ impl<'a> QueryEngine<'a> {
     /// groups the in-flight requests by destination silo, ships one
     /// coalesced frame per silo, and resolves every reply. Queries whose
     /// sampled silo failed advance to their next candidate and ride the
-    /// next round's frames.
+    /// next round's frames; transient refusals retry the same candidate
+    /// up to the policy's budget.
+    ///
+    /// When the federation's [`CallPolicy`](fedra_federation::CallPolicy)
+    /// (or [`with_query_budget`](Self::with_query_budget)) sets time
+    /// bounds, the same loop becomes deadline-aware: a frame that overruns
+    /// the hedge threshold is *parked* — kept in flight — while its riders
+    /// re-fire at their next candidate (first answer wins), and a frame
+    /// that overruns the deadline budget is abandoned, stranding riders
+    /// onto the grid-only degradation. With the default policy every frame
+    /// is waited exactly as before.
     fn run_planned(
         &self,
         federation: &Federation,
         queries: &[FraQuery],
         obs: &ObsContext,
     ) -> Vec<Result<QueryResult, FraError>> {
-        struct InFlight {
-            order: Vec<SiloId>,
-            request: Request,
-            attempt: usize,
-            rounds: u64,
-            trace: TraceHandle,
-            /// Open for as long as the query rides scatter–gather rounds;
-            /// dropped (recording the duration) when the query resolves.
-            remote_span: Option<Span>,
-        }
-
-        impl InFlight {
-            /// Closes the remote span and finalizes the query's trace.
-            fn resolve(mut self, obs: &ObsContext, result: &Result<QueryResult, FraError>) {
-                drop(self.remote_span.take());
-                if let Ok(r) = result {
-                    self.trace.attr("rounds", r.rounds);
-                    if let Some(silo) = r.sampled_silo {
-                        self.trace.attr("silo", silo);
-                    }
-                    if let Some(level) = r.lsr_level {
-                        self.trace.attr("level", level);
-                    }
-                }
-                obs.finish_trace(&self.trace);
-            }
-        }
+        // Hedged frames without a deadline budget still need a hard bound;
+        // an hour is "unbounded" at this layer's time scales.
+        const UNBOUNDED: Duration = Duration::from_secs(3600);
+        let policy = federation.call_policy();
+        let budget = self.query_budget.or(policy.deadline);
+        let hedge_after = policy.hedge_after;
+        let retries = policy.retries;
 
         let mut results: Vec<Option<Result<QueryResult, FraError>>> = Vec::new();
         results.resize_with(queries.len(), || None);
-        let mut inflight: Vec<Option<InFlight>> = queries
+        let mut inflight: Vec<Option<PlannedInFlight>> = queries
             .iter()
             .enumerate()
             .map(|(i, query)| {
@@ -344,11 +352,14 @@ impl<'a> QueryEngine<'a> {
                     QueryPlan::SingleSilo(plan) => {
                         obs.inc("fedra_plan_remote_total");
                         let remote_span = Some(Span::enter(&trace, "remote"));
-                        Some(InFlight {
+                        Some(PlannedInFlight {
                             order: plan.order,
                             request: plan.request,
                             attempt: 0,
                             rounds: 0,
+                            retried: 0,
+                            hedged: false,
+                            stranded: false,
                             trace,
                             remote_span,
                         })
@@ -357,12 +368,28 @@ impl<'a> QueryEngine<'a> {
             })
             .collect();
 
+        let mut parked: Vec<ParkedFrame> = Vec::new();
         loop {
+            // First answer wins: drain any parked primaries that resolved
+            // (or expired) before regrouping the riders.
+            parked = self.drain_parked(
+                federation,
+                queries,
+                obs,
+                parked,
+                &mut inflight,
+                &mut results,
+                false,
+            );
+
             // Group the in-flight queries by the silo their current
             // candidate points at. BTreeMap: deterministic frame order.
             let mut groups: BTreeMap<SiloId, Vec<usize>> = BTreeMap::new();
             for (i, entry) in inflight.iter().enumerate() {
                 if let Some(entry) = entry {
+                    if entry.stranded {
+                        continue; // waiting on its parked frame alone
+                    }
                     groups
                         .entry(entry.order[entry.attempt])
                         .or_default()
@@ -370,7 +397,20 @@ impl<'a> QueryEngine<'a> {
                 }
             }
             if groups.is_empty() {
-                break;
+                if parked.is_empty() {
+                    break;
+                }
+                // Nothing new to send — wait the parked frames out.
+                parked = self.drain_parked(
+                    federation,
+                    queries,
+                    obs,
+                    parked,
+                    &mut inflight,
+                    &mut results,
+                    true,
+                );
+                continue;
             }
             // Scatter: begin every silo's coalesced frame before waiting
             // on any reply — the silo workers run concurrently.
@@ -382,65 +422,164 @@ impl<'a> QueryEngine<'a> {
                         .filter_map(|&i| inflight[i].as_ref())
                         .map(|entry| &entry.request)
                         .collect();
+                    let begun = Instant::now();
                     // A lost entry (requests shorter than indices) would
                     // misalign the reply zip; degrade the whole frame.
-                    let batch = (requests.len() == indices.len())
-                        .then(|| federation.channel(silo).begin_batch(&requests));
-                    (silo, indices, batch)
+                    let batch = (requests.len() == indices.len()).then(|| {
+                        federation
+                            .channel(silo)
+                            .begin_batch_with(&requests, budget.map(|b| begun + b))
+                    });
+                    (silo, indices, begun, batch)
                 })
                 .collect();
-            // Gather: resolve each frame's per-item results.
-            for (silo, indices, batch) in pending {
-                let items: Vec<Option<_>> = match batch.map(|b| b.and_then(|p| p.wait())) {
-                    Some(Ok(items)) => items.into_iter().map(Some).collect(),
-                    // Whole-frame transport failure: every rider counts
-                    // one failed attempt and moves to its next candidate.
-                    _ => indices.iter().map(|_| None).collect(),
-                };
-                for (i, item) in indices.into_iter().zip(items) {
-                    let Some(mut entry) = inflight[i].take() else {
-                        continue;
-                    };
-                    entry.rounds += 1;
-                    if obs.is_enabled() {
-                        obs.inc(&labeled("fedra_silo_requests_total", "silo", silo));
+            // Every begun frame costs its riders one attempt round.
+            for (silo, indices, _, _) in &pending {
+                for &i in indices {
+                    if let Some(entry) = inflight[i].as_mut() {
+                        entry.rounds += 1;
+                        if obs.is_enabled() {
+                            obs.inc(&labeled("fedra_silo_requests_total", "silo", *silo));
+                        }
                     }
-                    match item {
-                        Some(Ok(response)) => {
-                            if obs.is_enabled() {
-                                obs.inc(&labeled("fedra_sampled_silo_total", "silo", silo));
+                }
+            }
+            // Gather: resolve each frame's per-item results.
+            for (silo, indices, begun, batch) in pending {
+                let outcome = match batch {
+                    Some(Ok(p)) => match hedge_after {
+                        // Hedge window: a frame still pending past the
+                        // threshold is parked, not failed.
+                        Some(after) => match p.poll_deadline(begun + after) {
+                            Poll::Ready(Ok(items)) => FrameOutcome::Items(items),
+                            Poll::Ready(Err(e)) => FrameOutcome::Failed(Some(e)),
+                            Poll::Pending(pending) => FrameOutcome::Park(pending),
+                        },
+                        None => {
+                            let waited = match budget {
+                                Some(b) => p.wait_deadline(begun + b),
+                                None => p.wait(),
+                            };
+                            match waited {
+                                Ok(items) => FrameOutcome::Items(items),
+                                Err(e) => FrameOutcome::Failed(Some(e)),
                             }
-                            let outcome = {
-                                let _finish_span = Span::enter(&entry.trace, "finish");
-                                self.algorithm.finish_with(
+                        }
+                    },
+                    Some(Err(e)) => FrameOutcome::Failed(Some(e)),
+                    None => FrameOutcome::Failed(None),
+                };
+                match outcome {
+                    FrameOutcome::Items(items) => {
+                        note_transition(
+                            obs,
+                            federation.health().record_success(silo, begun.elapsed()),
+                        );
+                        for (i, item) in indices.into_iter().zip(items) {
+                            if results[i].is_some() {
+                                continue;
+                            }
+                            let Some(mut entry) = inflight[i].take() else {
+                                continue;
+                            };
+                            match item {
+                                Ok(response) => self.resolve_success(
                                     federation,
-                                    &queries[i],
+                                    queries,
+                                    obs,
+                                    &mut results,
+                                    i,
+                                    entry,
                                     silo,
                                     response,
-                                    entry.rounds,
-                                    obs,
-                                )
-                            };
-                            entry.resolve(obs, &outcome);
-                            results[i] = Some(outcome);
-                        }
-                        Some(Err(_)) | None => {
-                            obs.inc("fedra_resamples_total");
-                            entry.attempt += 1;
-                            if entry.attempt >= entry.order.len() {
-                                obs.inc("fedra_degraded_total");
-                                let outcome = self.algorithm.finish_degraded(
-                                    federation,
-                                    &queries[i],
-                                    entry.rounds,
-                                );
-                                entry.resolve(obs, &outcome);
-                                results[i] = Some(outcome);
-                            } else {
-                                // Still in flight: ride the next round.
-                                inflight[i] = Some(entry);
+                                    false,
+                                ),
+                                Err(error) => {
+                                    note_transition(obs, federation.health().record_failure(silo));
+                                    if error.is_deadline() && obs.is_enabled() {
+                                        obs.inc(&labeled(
+                                            "fedra_deadline_missed_total",
+                                            "silo",
+                                            silo,
+                                        ));
+                                    }
+                                    if error.is_retryable() && entry.retried < retries {
+                                        // Same candidate again next round.
+                                        entry.retried += 1;
+                                        obs.inc("fedra_retries_total");
+                                        inflight[i] = Some(entry);
+                                    } else {
+                                        self.advance_or_degrade(
+                                            federation,
+                                            queries,
+                                            obs,
+                                            &mut results,
+                                            &mut inflight,
+                                            i,
+                                            entry,
+                                        );
+                                    }
+                                }
                             }
                         }
+                    }
+                    FrameOutcome::Failed(error) => {
+                        // Whole-frame transport failure: every rider counts
+                        // one failed attempt.
+                        note_transition(obs, federation.health().record_failure(silo));
+                        let is_deadline = error.as_ref().is_some_and(TransportError::is_deadline);
+                        if is_deadline && obs.is_enabled() {
+                            obs.inc(&labeled("fedra_deadline_missed_total", "silo", silo));
+                        }
+                        let retryable = error.as_ref().is_some_and(TransportError::is_retryable);
+                        for &i in &indices {
+                            if results[i].is_some() {
+                                continue;
+                            }
+                            let Some(mut entry) = inflight[i].take() else {
+                                continue;
+                            };
+                            if retryable && entry.retried < retries {
+                                entry.retried += 1;
+                                obs.inc("fedra_retries_total");
+                                inflight[i] = Some(entry);
+                            } else {
+                                self.advance_or_degrade(
+                                    federation,
+                                    queries,
+                                    obs,
+                                    &mut results,
+                                    &mut inflight,
+                                    i,
+                                    entry,
+                                );
+                            }
+                        }
+                    }
+                    FrameOutcome::Park(pending) => {
+                        // Hedged resampling: riders with another candidate
+                        // re-fire there while the primary stays in flight;
+                        // riders out of candidates wait on this frame.
+                        for &i in &indices {
+                            let Some(entry) = inflight[i].as_mut() else {
+                                continue;
+                            };
+                            if entry.attempt + 1 < entry.order.len() {
+                                entry.attempt += 1;
+                                entry.retried = 0;
+                                entry.hedged = true;
+                                obs.inc("fedra_hedges_fired_total");
+                            } else {
+                                entry.stranded = true;
+                            }
+                        }
+                        parked.push(ParkedFrame {
+                            pending,
+                            silo,
+                            indices,
+                            begun,
+                            deadline: begun + budget.unwrap_or(UNBOUNDED),
+                        });
                     }
                 }
             }
@@ -456,6 +595,250 @@ impl<'a> QueryEngine<'a> {
             })
             .collect()
     }
+
+    /// Polls the parked frames once (`block = false`: past replies only)
+    /// or waits each one out to its hard deadline (`block = true`).
+    /// Completed frames resolve the riders that haven't answered elsewhere
+    /// yet — first answer wins; expired frames are abandoned, failing
+    /// their stranded riders.
+    #[allow(clippy::too_many_arguments)]
+    fn drain_parked(
+        &self,
+        federation: &Federation,
+        queries: &[FraQuery],
+        obs: &ObsContext,
+        parked: Vec<ParkedFrame>,
+        inflight: &mut [Option<PlannedInFlight>],
+        results: &mut [Option<Result<QueryResult, FraError>>],
+        block: bool,
+    ) -> Vec<ParkedFrame> {
+        let mut kept = Vec::new();
+        for p in parked {
+            let now = Instant::now();
+            let wait_until = if block { p.deadline } else { now };
+            match p.pending.poll_deadline(wait_until) {
+                Poll::Ready(Ok(items)) => {
+                    note_transition(
+                        obs,
+                        federation
+                            .health()
+                            .record_success(p.silo, p.begun.elapsed()),
+                    );
+                    for (i, item) in p.indices.iter().copied().zip(items) {
+                        if results[i].is_some() {
+                            continue; // the hedge already answered
+                        }
+                        match item {
+                            Ok(response) => {
+                                let Some(entry) = inflight[i].take() else {
+                                    continue;
+                                };
+                                self.resolve_success(
+                                    federation, queries, obs, results, i, entry, p.silo, response,
+                                    true,
+                                );
+                            }
+                            Err(error) => self.fail_stranded(
+                                federation, queries, obs, inflight, results, i, &error,
+                            ),
+                        }
+                    }
+                }
+                Poll::Ready(Err(error)) => {
+                    note_transition(obs, federation.health().record_failure(p.silo));
+                    if error.is_deadline() && obs.is_enabled() {
+                        obs.inc(&labeled("fedra_deadline_missed_total", "silo", p.silo));
+                    }
+                    for &i in &p.indices {
+                        if results[i].is_some() {
+                            continue;
+                        }
+                        self.fail_stranded(federation, queries, obs, inflight, results, i, &error);
+                    }
+                }
+                Poll::Pending(pending) => {
+                    if block || now >= p.deadline {
+                        // Budget spent: abandon the frame (its reply pair
+                        // is discarded; a late reply goes nowhere).
+                        if obs.is_enabled() {
+                            obs.inc(&labeled("fedra_deadline_missed_total", "silo", p.silo));
+                        }
+                        note_transition(obs, federation.health().record_failure(p.silo));
+                        let expired = TransportError::DeadlineExceeded { silo: p.silo };
+                        for &i in &p.indices {
+                            if results[i].is_some() {
+                                continue;
+                            }
+                            self.fail_stranded(
+                                federation, queries, obs, inflight, results, i, &expired,
+                            );
+                        }
+                    } else {
+                        kept.push(ParkedFrame {
+                            pending,
+                            silo: p.silo,
+                            indices: p.indices,
+                            begun: p.begun,
+                            deadline: p.deadline,
+                        });
+                    }
+                }
+            }
+        }
+        kept
+    }
+
+    /// Finishes rider `i` from a successful silo response and closes its
+    /// trace. `via_parked` marks a parked primary winning its race — a
+    /// hedge win is only counted when the *hedge* answered first.
+    #[allow(clippy::too_many_arguments)]
+    fn resolve_success(
+        &self,
+        federation: &Federation,
+        queries: &[FraQuery],
+        obs: &ObsContext,
+        results: &mut [Option<Result<QueryResult, FraError>>],
+        i: usize,
+        entry: PlannedInFlight,
+        silo: SiloId,
+        response: Response,
+        via_parked: bool,
+    ) {
+        if obs.is_enabled() {
+            obs.inc(&labeled("fedra_sampled_silo_total", "silo", silo));
+        }
+        if entry.hedged && !via_parked {
+            obs.inc("fedra_hedges_won_total");
+        }
+        let outcome = {
+            let _finish_span = Span::enter(&entry.trace, "finish");
+            self.algorithm
+                .finish_with(federation, &queries[i], silo, response, entry.rounds, obs)
+        };
+        entry.resolve(obs, &outcome);
+        results[i] = Some(outcome);
+    }
+
+    /// A parked frame failed for rider `i`. Riders that hedged elsewhere
+    /// ignore it (their hedge is still in flight); stranded riders retry
+    /// their last candidate on a transient refusal, otherwise degrade.
+    fn fail_stranded(
+        &self,
+        federation: &Federation,
+        queries: &[FraQuery],
+        obs: &ObsContext,
+        inflight: &mut [Option<PlannedInFlight>],
+        results: &mut [Option<Result<QueryResult, FraError>>],
+        i: usize,
+        error: &TransportError,
+    ) {
+        if !inflight[i].as_ref().is_some_and(|e| e.stranded) {
+            return;
+        }
+        let Some(mut entry) = inflight[i].take() else {
+            return;
+        };
+        entry.stranded = false;
+        if error.is_retryable() && entry.retried < federation.call_policy().retries {
+            entry.retried += 1;
+            obs.inc("fedra_retries_total");
+            inflight[i] = Some(entry);
+            return;
+        }
+        obs.inc("fedra_degraded_total");
+        let outcome = self
+            .algorithm
+            .finish_degraded(federation, &queries[i], entry.rounds);
+        entry.resolve(obs, &outcome);
+        results[i] = Some(outcome);
+    }
+
+    /// Counts a resample for rider `i` and moves it to its next candidate,
+    /// degrading to the grid-only estimate when none remain.
+    fn advance_or_degrade(
+        &self,
+        federation: &Federation,
+        queries: &[FraQuery],
+        obs: &ObsContext,
+        results: &mut [Option<Result<QueryResult, FraError>>],
+        inflight: &mut [Option<PlannedInFlight>],
+        i: usize,
+        mut entry: PlannedInFlight,
+    ) {
+        obs.inc("fedra_resamples_total");
+        entry.attempt += 1;
+        entry.retried = 0;
+        if entry.attempt >= entry.order.len() {
+            obs.inc("fedra_degraded_total");
+            let outcome = self
+                .algorithm
+                .finish_degraded(federation, &queries[i], entry.rounds);
+            entry.resolve(obs, &outcome);
+            results[i] = Some(outcome);
+        } else {
+            // Still in flight: ride the next round.
+            inflight[i] = Some(entry);
+        }
+    }
+}
+
+/// One planned query riding the scatter–gather rounds of
+/// [`QueryEngine::run_planned`].
+struct PlannedInFlight {
+    order: Vec<SiloId>,
+    request: Request,
+    attempt: usize,
+    rounds: u64,
+    /// Transient retries already burned on the current candidate.
+    retried: u32,
+    /// A hedge is (or was) in flight: the primary frame parked and this
+    /// query re-fired at its next candidate.
+    hedged: bool,
+    /// Out of candidates while its frame is parked: the query waits on
+    /// that frame alone and is skipped by regrouping.
+    stranded: bool,
+    trace: TraceHandle,
+    /// Open for as long as the query rides scatter–gather rounds;
+    /// dropped (recording the duration) when the query resolves.
+    remote_span: Option<Span>,
+}
+
+impl PlannedInFlight {
+    /// Closes the remote span and finalizes the query's trace.
+    fn resolve(mut self, obs: &ObsContext, result: &Result<QueryResult, FraError>) {
+        drop(self.remote_span.take());
+        if let Ok(r) = result {
+            self.trace.attr("rounds", r.rounds);
+            if let Some(silo) = r.sampled_silo {
+                self.trace.attr("silo", silo);
+            }
+            if let Some(level) = r.lsr_level {
+                self.trace.attr("level", level);
+            }
+        }
+        obs.finish_trace(&self.trace);
+    }
+}
+
+/// A scatter frame that overran the hedge threshold: kept in flight while
+/// its riders hedge on other silos — first answer wins — until its hard
+/// deadline.
+struct ParkedFrame {
+    pending: PendingBatch,
+    silo: SiloId,
+    indices: Vec<usize>,
+    begun: Instant,
+    deadline: Instant,
+}
+
+/// How one scatter frame resolved.
+enum FrameOutcome {
+    /// Per-item results arrived (frame-level success).
+    Items(Vec<Result<Response, TransportError>>),
+    /// The whole frame failed (`None`: it was never begun).
+    Failed(Option<TransportError>),
+    /// Still pending past the hedge threshold — park it.
+    Park(PendingBatch),
 }
 
 #[cfg(test)]

@@ -72,14 +72,18 @@ pub fn ratio_scale(
     }
 }
 
-/// Silos eligible to be sampled for this query: not failure-flagged and
-/// with at least one object in a cell intersecting the range (the
+/// Silos eligible to be sampled for this query: not failure-flagged, not
+/// refused by the health tracker's circuit breaker (open breakers admit
+/// the occasional probe; a passive tracker refuses nobody), and with at
+/// least one object in a cell intersecting the range (the
 /// non-overlapping-coverage extension of Sec. 4.2.2: "we sample s_k from
 /// silos who have data in the query range").
 pub fn candidate_silos(federation: &Federation, range: &Range) -> Vec<SiloId> {
     let failed = federation.failed_silos();
+    let health = federation.health();
     (0..federation.num_silos())
         .filter(|k| !failed.contains(k))
+        .filter(|&k| health.allows(k))
         .filter(|&k| sum_k(federation, k, range).count > 0.0)
         .collect()
 }

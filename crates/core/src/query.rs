@@ -107,9 +107,13 @@ impl QueryResult {
 #[derive(Debug, Clone, PartialEq)]
 pub enum FraError {
     /// Every candidate silo refused or was unreachable.
+    ///
+    /// Carries the full per-silo error trail (in the order attempts were
+    /// made — the same silo may appear more than once across retries), so
+    /// a timeout storm is distinguishable from a crash storm.
     AllSilosUnavailable {
-        /// The last underlying transport error, if any.
-        last: Option<fedra_federation::TransportError>,
+        /// Every transport error seen while trying to serve the query.
+        errors: Vec<(SiloId, fedra_federation::TransportError)>,
     },
     /// A fan-out algorithm (EXACT/OPTA) lost a required silo.
     SiloFailed(fedra_federation::TransportError),
@@ -131,10 +135,33 @@ pub enum FraError {
 impl std::fmt::Display for FraError {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
         match self {
-            FraError::AllSilosUnavailable { last } => match last {
-                Some(e) => write!(f, "no silo could serve the query (last error: {e})"),
-                None => write!(f, "no silo could serve the query"),
-            },
+            FraError::AllSilosUnavailable { errors } => {
+                if errors.is_empty() {
+                    return write!(f, "no silo could serve the query");
+                }
+                // Summarize by failure kind so a timeout storm reads
+                // differently from a crash storm at a glance.
+                let mut kinds: Vec<(&'static str, usize)> = Vec::new();
+                for (_, e) in errors {
+                    match kinds.iter_mut().find(|(k, _)| *k == e.kind()) {
+                        Some((_, n)) => *n += 1,
+                        None => kinds.push((e.kind(), 1)),
+                    }
+                }
+                write!(
+                    f,
+                    "no silo could serve the query ({} attempts: ",
+                    errors.len()
+                )?;
+                for (i, (kind, n)) in kinds.iter().enumerate() {
+                    if i > 0 {
+                        write!(f, ", ")?;
+                    }
+                    write!(f, "{n} {kind}")?;
+                }
+                let (silo, last) = &errors[errors.len() - 1];
+                write!(f, "; last: silo {silo}: {last})")
+            }
             FraError::SiloFailed(e) => write!(f, "required silo failed: {e}"),
             FraError::ProtocolViolation { silo, expected } => {
                 write!(f, "silo {silo} violated the protocol (expected {expected})")
@@ -210,12 +237,29 @@ mod tests {
 
     #[test]
     fn errors_display() {
-        let e = FraError::AllSilosUnavailable { last: None };
+        let e = FraError::AllSilosUnavailable { errors: vec![] };
         assert!(e.to_string().contains("no silo"));
         let e = FraError::ProtocolViolation {
             silo: 2,
             expected: "Agg",
         };
         assert!(e.to_string().contains("silo 2"));
+    }
+
+    #[test]
+    fn all_silos_unavailable_summarizes_error_kinds() {
+        use fedra_federation::TransportError;
+        let e = FraError::AllSilosUnavailable {
+            errors: vec![
+                (0, TransportError::DeadlineExceeded { silo: 0 }),
+                (1, TransportError::DeadlineExceeded { silo: 1 }),
+                (2, TransportError::Disconnected { silo: 2 }),
+            ],
+        };
+        let s = e.to_string();
+        assert!(s.contains("3 attempts"), "{s}");
+        assert!(s.contains("2 deadline"), "{s}");
+        assert!(s.contains("1 disconnected"), "{s}");
+        assert!(s.contains("last: silo 2"), "{s}");
     }
 }

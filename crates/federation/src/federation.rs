@@ -15,6 +15,7 @@
 //! index construction, exactly like the paper ("the time to construct the
 //! static indices excluded").
 
+use std::sync::atomic::{AtomicBool, Ordering};
 use std::sync::Arc;
 use std::thread::JoinHandle;
 use std::time::Duration;
@@ -25,10 +26,14 @@ use fedra_index::histogram::MinSkewConfig;
 use fedra_index::pool::WorkerPool;
 use fedra_index::rtree::RTreeConfig;
 
+use crate::fault::FaultPlan;
+use crate::health::{HealthConfig, HealthTracker};
 use crate::protocol::{Request, Response, SiloMemoryReport};
 use crate::silo::{Silo, SiloConfig, SiloId};
 use crate::snapshot::ProviderSnapshot;
-use crate::transport::{spawn_silo, CommCounters, CommSnapshot, SiloChannel, TransportError};
+use crate::transport::{
+    spawn_silo, CallPolicy, CommCounters, CommSnapshot, SiloChannel, TransportError,
+};
 use crate::wire::Wire;
 
 /// Errors from standing a federation up ([`FederationBuilder::try_build`]).
@@ -95,6 +100,9 @@ pub struct FederationBuilder {
     latency: Option<Duration>,
     message_overhead: u64,
     warm_start: Option<ProviderSnapshot>,
+    fault_plan: Option<FaultPlan>,
+    call_policy: CallPolicy,
+    health: HealthConfig,
 }
 
 impl FederationBuilder {
@@ -110,6 +118,9 @@ impl FederationBuilder {
             latency: None,
             message_overhead: crate::transport::DEFAULT_MESSAGE_OVERHEAD,
             warm_start: None,
+            fault_plan: None,
+            call_policy: CallPolicy::default(),
+            health: HealthConfig::default(),
         }
     }
 
@@ -159,6 +170,32 @@ impl FederationBuilder {
     /// [`crate::transport::DEFAULT_MESSAGE_OVERHEAD`]; 0 = pure payload).
     pub fn message_overhead(mut self, bytes: u64) -> Self {
         self.message_overhead = bytes;
+        self
+    }
+
+    /// Installs a deterministic [`FaultPlan`]: each listed silo's worker
+    /// injects latency, drops, transient refusals, flap windows or a crash
+    /// according to its spec, reproducibly from the plan seed. Faults stay
+    /// disarmed during Alg. 1 setup and arm automatically once the
+    /// federation is up ([`Federation::set_faults_armed`] toggles later).
+    pub fn fault_plan(mut self, plan: FaultPlan) -> Self {
+        self.fault_plan = Some(plan);
+        self
+    }
+
+    /// Sets the retry/deadline/hedging policy query drivers should apply
+    /// to scatter-gather calls (exposed via [`Federation::call_policy`];
+    /// the transport itself stays policy-free).
+    pub fn call_policy(mut self, policy: CallPolicy) -> Self {
+        self.call_policy = policy;
+        self
+    }
+
+    /// Configures the per-silo health tracker / circuit breaker
+    /// ([`Federation::health`]). The default config is passive — it
+    /// records outcomes but never blocks a silo.
+    pub fn health_config(mut self, config: HealthConfig) -> Self {
+        self.health = config;
         self
     }
 
@@ -223,10 +260,19 @@ impl FederationBuilder {
                 .collect::<Result<Vec<_>, _>>()
         })?;
 
+        // Faults stay disarmed while Alg. 1 runs — the injector consumes
+        // neither its schedule counter nor its RNG until armed, so setup
+        // traffic never perturbs the chaos schedule.
+        let fault_armed = Arc::new(AtomicBool::new(false));
         let mut channels = Vec::with_capacity(silos.len());
         let mut workers = Vec::with_capacity(silos.len());
         for silo in silos {
-            let (channel, handle) = spawn_silo(silo, Arc::clone(&setup_stats), self.latency)?;
+            let injector = self
+                .fault_plan
+                .as_ref()
+                .and_then(|plan| plan.injector_for(silo.id(), Arc::clone(&fault_armed)));
+            let (channel, handle) =
+                spawn_silo(silo, Arc::clone(&setup_stats), self.latency, injector)?;
             channels.push(channel);
             workers.push(handle);
         }
@@ -372,7 +418,10 @@ impl FederationBuilder {
         for channel in &mut channels {
             *channel = channel.with_comm(Arc::clone(&query_stats));
         }
+        // Setup is done — arm the fault injectors for query traffic.
+        fault_armed.store(true, Ordering::Release);
 
+        let health = HealthTracker::new(channels.len(), self.health);
         Ok(Federation {
             bounds: self.bounds,
             channels,
@@ -385,6 +434,9 @@ impl FederationBuilder {
             setup_snapshot,
             query_stats,
             warm_hits,
+            call_policy: self.call_policy,
+            health,
+            fault_armed,
         })
     }
 }
@@ -428,6 +480,9 @@ pub struct Federation {
     setup_snapshot: CommSnapshot,
     query_stats: Arc<CommCounters>,
     warm_hits: usize,
+    call_policy: CallPolicy,
+    health: HealthTracker,
+    fault_armed: Arc<AtomicBool>,
 }
 
 impl Federation {
@@ -570,6 +625,32 @@ impl Federation {
     /// ≈ |Q|/m each).
     pub fn served_per_silo(&self) -> Vec<u64> {
         self.channels.iter().map(|c| c.served()).collect()
+    }
+
+    /// The retry/deadline/hedging policy configured at build time
+    /// ([`FederationBuilder::call_policy`]). Query drivers consult this;
+    /// the transport itself never retries on its own.
+    pub fn call_policy(&self) -> &CallPolicy {
+        &self.call_policy
+    }
+
+    /// The per-silo health tracker / circuit breaker. Passive unless a
+    /// non-default [`HealthConfig`] was supplied at build time.
+    pub fn health(&self) -> &HealthTracker {
+        &self.health
+    }
+
+    /// Arms or disarms the fault injectors installed by
+    /// [`FederationBuilder::fault_plan`]. Disarmed requests consume
+    /// neither the schedule counter nor the fault RNG, so truth
+    /// computations can run fault-free before a chaos phase starts.
+    pub fn set_faults_armed(&self, armed: bool) {
+        self.fault_armed.store(armed, Ordering::Release);
+    }
+
+    /// Whether fault injection is currently armed.
+    pub fn faults_armed(&self) -> bool {
+        self.fault_armed.load(Ordering::Acquire)
     }
 
     /// Silo `k`'s own metrics registry (request counts by kind, batch

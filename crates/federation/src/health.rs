@@ -1,0 +1,450 @@
+//! Per-silo health tracking and circuit breaking.
+//!
+//! The planner samples silos; a silo that keeps timing out or crashing
+//! should stop being sampled until it shows signs of life. The
+//! [`HealthTracker`] keeps, per silo, a consecutive-failure count and a
+//! latency EWMA, and runs a three-state breaker:
+//!
+//! ```text
+//!        failure_threshold consecutive failures
+//! Closed ────────────────────────────────────────▶ Open
+//!   ▲                                               │ probe admitted
+//!   │ probe succeeds                                ▼ (seeded draw)
+//!   └──────────────────────────────────────────  HalfOpen
+//!                 probe fails: back to Open
+//! ```
+//!
+//! * **Closed**: the silo is in the candidate set; successes keep it
+//!   there and update the EWMA.
+//! * **Open**: the silo is excluded. Each eligibility check draws from a
+//!   seeded RNG; with [`HealthConfig::probe_probability`] the breaker
+//!   half-opens and admits that one caller as a probe.
+//! * **HalfOpen**: exactly one probe is in flight; other checks are
+//!   refused. The probe's outcome closes the breaker or re-opens it.
+//!
+//! The draw comes from one `StdRng` seeded by [`HealthConfig::seed`], so
+//! a fixed call sequence half-opens at the same points every run — chaos
+//! tests stay bit-stable.
+//!
+//! By default the tracker is **passive**: it records failures and
+//! latencies (visible in [`HealthTracker::snapshot`]) but
+//! [`HealthTracker::allows`] admits everything, so the planner's
+//! candidate set — and therefore every seeded sampling decision — is
+//! unchanged from the pre-breaker behaviour. Enable the breaker with
+//! [`HealthConfig::breaker_enabled`] via
+//! [`crate::FederationBuilder::health_config`].
+
+use std::time::Duration;
+
+use parking_lot::Mutex;
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+use crate::silo::SiloId;
+
+/// Breaker position for one silo.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum BreakerState {
+    /// Healthy: in the candidate set.
+    Closed,
+    /// Excluded after repeated failures.
+    Open,
+    /// One probe in flight; everyone else still excluded.
+    HalfOpen,
+}
+
+impl BreakerState {
+    /// A short stable label for metrics and CLI output.
+    pub fn label(&self) -> &'static str {
+        match self {
+            BreakerState::Closed => "closed",
+            BreakerState::Open => "open",
+            BreakerState::HalfOpen => "half_open",
+        }
+    }
+}
+
+/// State-machine transition reported back to the caller, so the engine
+/// can mirror breaker movement into its `ObsContext`.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum HealthTransition {
+    /// No state change.
+    None,
+    /// The breaker opened.
+    Opened,
+    /// The breaker half-opened (a probe was admitted).
+    HalfOpened,
+    /// The breaker closed (the silo recovered).
+    Closed,
+}
+
+/// Tuning for the [`HealthTracker`].
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct HealthConfig {
+    /// Whether the breaker actually gates the candidate set. Off by
+    /// default: the tracker then only records.
+    pub breaker_enabled: bool,
+    /// Consecutive failures that open the breaker.
+    pub failure_threshold: u32,
+    /// EWMA smoothing factor for the latency estimate, in `(0, 1]`.
+    pub ewma_alpha: f64,
+    /// Probability an eligibility check against an open breaker admits a
+    /// half-open probe.
+    pub probe_probability: f64,
+    /// Seed for the probe-admission draws (determinism under a fixed
+    /// call sequence).
+    pub seed: u64,
+}
+
+impl Default for HealthConfig {
+    fn default() -> Self {
+        HealthConfig {
+            breaker_enabled: false,
+            failure_threshold: 3,
+            ewma_alpha: 0.2,
+            probe_probability: 0.2,
+            seed: 0x4845_414C,
+        }
+    }
+}
+
+impl HealthConfig {
+    /// The default tuning with the breaker switched on.
+    pub fn enabled() -> Self {
+        HealthConfig {
+            breaker_enabled: true,
+            ..Default::default()
+        }
+    }
+}
+
+#[derive(Debug)]
+struct SiloHealthState {
+    state: BreakerState,
+    consecutive_failures: u32,
+    ewma_us: Option<f64>,
+    failures_total: u64,
+    successes_total: u64,
+    opened_total: u64,
+    half_opened_total: u64,
+    closed_total: u64,
+}
+
+impl SiloHealthState {
+    fn new() -> Self {
+        SiloHealthState {
+            state: BreakerState::Closed,
+            consecutive_failures: 0,
+            ewma_us: None,
+            failures_total: 0,
+            successes_total: 0,
+            opened_total: 0,
+            half_opened_total: 0,
+            closed_total: 0,
+        }
+    }
+}
+
+/// Point-in-time health of one silo, for CLI/diagnostic output.
+#[derive(Debug, Clone, PartialEq)]
+pub struct SiloHealthSnapshot {
+    /// Which silo.
+    pub silo: SiloId,
+    /// Current breaker position.
+    pub state: BreakerState,
+    /// Failures since the last success.
+    pub consecutive_failures: u32,
+    /// Smoothed success latency in microseconds (`None` until the first
+    /// success).
+    pub latency_ewma_us: Option<f64>,
+    /// Lifetime failure count.
+    pub failures_total: u64,
+    /// Lifetime success count.
+    pub successes_total: u64,
+    /// Closed→Open (and HalfOpen→Open) transitions.
+    pub opened_total: u64,
+    /// Open→HalfOpen transitions (probes admitted).
+    pub half_opened_total: u64,
+    /// →Closed transitions (recoveries).
+    pub closed_total: u64,
+}
+
+/// Tracks per-silo health and runs the circuit breaker.
+#[derive(Debug)]
+pub struct HealthTracker {
+    config: HealthConfig,
+    silos: Vec<Mutex<SiloHealthState>>,
+    rng: Mutex<StdRng>,
+}
+
+impl HealthTracker {
+    /// A tracker for `m` silos.
+    pub fn new(m: usize, config: HealthConfig) -> Self {
+        HealthTracker {
+            config,
+            silos: (0..m).map(|_| Mutex::new(SiloHealthState::new())).collect(),
+            rng: Mutex::new(StdRng::seed_from_u64(config.seed)),
+        }
+    }
+
+    /// The tracker's configuration.
+    pub fn config(&self) -> &HealthConfig {
+        &self.config
+    }
+
+    /// Whether the breaker gates the candidate set.
+    pub fn breaker_enabled(&self) -> bool {
+        self.config.breaker_enabled
+    }
+
+    /// Records a successful call and its latency. Closes an open or
+    /// half-open breaker (the silo demonstrably answers again).
+    pub fn record_success(&self, silo: SiloId, latency: Duration) -> HealthTransition {
+        let Some(slot) = self.silos.get(silo) else {
+            return HealthTransition::None;
+        };
+        let mut state = slot.lock();
+        state.successes_total += 1;
+        state.consecutive_failures = 0;
+        let us = latency.as_secs_f64() * 1e6;
+        state.ewma_us = Some(match state.ewma_us {
+            None => us,
+            Some(prev) => prev + self.config.ewma_alpha * (us - prev),
+        });
+        if state.state != BreakerState::Closed {
+            state.state = BreakerState::Closed;
+            state.closed_total += 1;
+            HealthTransition::Closed
+        } else {
+            HealthTransition::None
+        }
+    }
+
+    /// Records a failed call. Opens the breaker after
+    /// `failure_threshold` consecutive failures, and re-opens a
+    /// half-open breaker whose probe failed.
+    pub fn record_failure(&self, silo: SiloId) -> HealthTransition {
+        let Some(slot) = self.silos.get(silo) else {
+            return HealthTransition::None;
+        };
+        let mut state = slot.lock();
+        state.failures_total += 1;
+        state.consecutive_failures = state.consecutive_failures.saturating_add(1);
+        if !self.config.breaker_enabled {
+            // Passive tracker: record, but never move the state machine —
+            // the candidate set must stay exactly the pre-breaker one.
+            return HealthTransition::None;
+        }
+        match state.state {
+            BreakerState::HalfOpen => {
+                state.state = BreakerState::Open;
+                state.opened_total += 1;
+                HealthTransition::Opened
+            }
+            BreakerState::Closed if state.consecutive_failures >= self.config.failure_threshold => {
+                state.state = BreakerState::Open;
+                state.opened_total += 1;
+                HealthTransition::Opened
+            }
+            _ => HealthTransition::None,
+        }
+    }
+
+    /// Whether the planner may offer `silo` as a candidate right now.
+    ///
+    /// Against an open breaker this draws probe admission; admission
+    /// moves the breaker to half-open and lets *this* caller through as
+    /// the probe. With the breaker disabled, always true.
+    pub fn allows(&self, silo: SiloId) -> bool {
+        if !self.config.breaker_enabled {
+            return true;
+        }
+        let Some(slot) = self.silos.get(silo) else {
+            return true;
+        };
+        let mut state = slot.lock();
+        match state.state {
+            BreakerState::Closed => true,
+            BreakerState::HalfOpen => false,
+            BreakerState::Open => {
+                let admit = self.rng.lock().random::<f64>() < self.config.probe_probability;
+                if admit {
+                    state.state = BreakerState::HalfOpen;
+                    state.half_opened_total += 1;
+                }
+                admit
+            }
+        }
+    }
+
+    /// Current breaker position for `silo`.
+    pub fn state(&self, silo: SiloId) -> BreakerState {
+        self.silos
+            .get(silo)
+            .map(|slot| slot.lock().state)
+            .unwrap_or(BreakerState::Closed)
+    }
+
+    /// Silos whose breaker is not closed (open or probing). A non-empty
+    /// answer after a recovery phase means a breaker "leaked".
+    pub fn non_closed(&self) -> Vec<SiloId> {
+        (0..self.silos.len())
+            .filter(|&k| self.state(k) != BreakerState::Closed)
+            .collect()
+    }
+
+    /// Point-in-time copy of every silo's health.
+    pub fn snapshot(&self) -> Vec<SiloHealthSnapshot> {
+        self.silos
+            .iter()
+            .enumerate()
+            .map(|(silo, slot)| {
+                let state = slot.lock();
+                SiloHealthSnapshot {
+                    silo,
+                    state: state.state,
+                    consecutive_failures: state.consecutive_failures,
+                    latency_ewma_us: state.ewma_us,
+                    failures_total: state.failures_total,
+                    successes_total: state.successes_total,
+                    opened_total: state.opened_total,
+                    half_opened_total: state.half_opened_total,
+                    closed_total: state.closed_total,
+                }
+            })
+            .collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn enabled_tracker(m: usize) -> HealthTracker {
+        HealthTracker::new(m, HealthConfig::enabled())
+    }
+
+    #[test]
+    fn passive_tracker_never_blocks_candidates() {
+        let tracker = HealthTracker::new(3, HealthConfig::default());
+        for _ in 0..10 {
+            tracker.record_failure(1);
+        }
+        assert!(tracker.allows(1));
+        assert_eq!(tracker.state(1), BreakerState::Closed);
+        let snap = tracker.snapshot();
+        assert_eq!(snap[1].failures_total, 10);
+        assert_eq!(snap[1].consecutive_failures, 10);
+    }
+
+    #[test]
+    fn breaker_opens_after_threshold() {
+        let tracker = enabled_tracker(2);
+        assert_eq!(tracker.record_failure(0), HealthTransition::None);
+        assert_eq!(tracker.record_failure(0), HealthTransition::None);
+        assert_eq!(tracker.record_failure(0), HealthTransition::Opened);
+        assert_eq!(tracker.state(0), BreakerState::Open);
+        assert_eq!(tracker.non_closed(), vec![0]);
+        // The other silo is untouched.
+        assert!(tracker.allows(1));
+    }
+
+    #[test]
+    fn open_breaker_admits_probes_and_success_closes() {
+        let tracker = enabled_tracker(1);
+        for _ in 0..3 {
+            tracker.record_failure(0);
+        }
+        // Eventually a check half-opens (probe_probability 0.2); while
+        // half-open, further checks are refused.
+        let mut admitted = false;
+        for _ in 0..200 {
+            if tracker.allows(0) {
+                admitted = true;
+                break;
+            }
+        }
+        assert!(admitted, "probe never admitted in 200 draws");
+        assert_eq!(tracker.state(0), BreakerState::HalfOpen);
+        assert!(!tracker.allows(0), "only one probe at a time");
+        assert_eq!(
+            tracker.record_success(0, Duration::from_millis(1)),
+            HealthTransition::Closed
+        );
+        assert_eq!(tracker.state(0), BreakerState::Closed);
+        assert!(tracker.allows(0));
+        let snap = &tracker.snapshot()[0];
+        assert_eq!(snap.opened_total, 1);
+        assert_eq!(snap.half_opened_total, 1);
+        assert_eq!(snap.closed_total, 1);
+    }
+
+    #[test]
+    fn failed_probe_reopens() {
+        let tracker = enabled_tracker(1);
+        for _ in 0..3 {
+            tracker.record_failure(0);
+        }
+        while !tracker.allows(0) {}
+        assert_eq!(tracker.state(0), BreakerState::HalfOpen);
+        assert_eq!(tracker.record_failure(0), HealthTransition::Opened);
+        assert_eq!(tracker.state(0), BreakerState::Open);
+        assert_eq!(tracker.snapshot()[0].opened_total, 2);
+    }
+
+    #[test]
+    fn probe_admission_is_seed_deterministic() {
+        let draws = |seed: u64| -> Vec<bool> {
+            let tracker = HealthTracker::new(
+                1,
+                HealthConfig {
+                    breaker_enabled: true,
+                    seed,
+                    ..Default::default()
+                },
+            );
+            for _ in 0..3 {
+                tracker.record_failure(0);
+            }
+            (0..50)
+                .map(|_| {
+                    let admitted = tracker.allows(0);
+                    if admitted {
+                        // Fail the probe so the sequence keeps drawing.
+                        tracker.record_failure(0);
+                    }
+                    admitted
+                })
+                .collect()
+        };
+        assert_eq!(draws(7), draws(7));
+        assert_ne!(draws(7), draws(8));
+    }
+
+    #[test]
+    fn ewma_tracks_latency() {
+        let tracker = enabled_tracker(1);
+        tracker.record_success(0, Duration::from_micros(100));
+        assert_eq!(tracker.snapshot()[0].latency_ewma_us, Some(100.0));
+        tracker.record_success(0, Duration::from_micros(200));
+        // 100 + 0.2 * (200 - 100) = 120.
+        let ewma = tracker.snapshot()[0].latency_ewma_us.unwrap();
+        assert!((ewma - 120.0).abs() < 1e-9);
+        // A success resets the consecutive-failure streak.
+        tracker.record_failure(0);
+        tracker.record_success(0, Duration::from_micros(100));
+        assert_eq!(tracker.snapshot()[0].consecutive_failures, 0);
+    }
+
+    #[test]
+    fn out_of_range_silos_are_harmless() {
+        let tracker = enabled_tracker(1);
+        assert_eq!(tracker.record_failure(9), HealthTransition::None);
+        assert_eq!(
+            tracker.record_success(9, Duration::ZERO),
+            HealthTransition::None
+        );
+        assert!(tracker.allows(9));
+        assert_eq!(tracker.state(9), BreakerState::Closed);
+    }
+}

@@ -21,19 +21,24 @@
 #![forbid(unsafe_code)]
 #![deny(missing_docs)]
 
+pub mod fault;
 mod federation;
+pub mod health;
 pub mod protocol;
 mod silo;
 pub mod snapshot;
 pub mod transport;
 pub mod wire;
 
+pub use fault::{FaultPlan, FlapSchedule, SiloFaultSpec};
 pub use federation::{Federation, FederationBuilder, SetupError};
+pub use health::{BreakerState, HealthConfig, HealthTracker, HealthTransition, SiloHealthSnapshot};
 pub use protocol::{LocalMode, Request, Response, SiloMemoryReport};
 pub use silo::{Silo, SiloConfig, SiloId};
 pub use snapshot::ProviderSnapshot;
 #[allow(deprecated)]
 pub use transport::CommStats;
 pub use transport::{
-    CommCounters, CommSnapshot, PendingBatch, PendingCall, SiloChannel, TransportError,
+    CallPolicy, CommCounters, CommSnapshot, PendingBatch, PendingCall, Poll, RaceWinner,
+    SiloChannel, TransportError,
 };

@@ -146,6 +146,19 @@ pub enum Response {
     /// Answers to a [`Request::Batch`], in request order (one entry per
     /// sub-request; failed sub-requests carry [`Response::Error`]).
     Batch(Vec<Response>),
+    /// The silo refused the request *transiently* (overload, flap window,
+    /// injected chaos): unlike [`Response::Error`], retrying the same
+    /// request against the same silo may succeed. The transport maps this
+    /// to [`crate::transport::TransportError::Transient`].
+    Transient(String),
+    /// The request's deadline had already expired when the silo picked it
+    /// up, so the work was shed without being executed. The transport maps
+    /// this to [`crate::transport::TransportError::DeadlineExceeded`].
+    DeadlineExceeded {
+        /// How far past the deadline the request was when shed, in
+        /// microseconds (saturating).
+        late_by_us: u64,
+    },
 }
 
 impl Response {
@@ -376,6 +389,14 @@ impl Wire for Response {
                 buf.put_u8(7);
                 responses.encode(buf);
             }
+            Response::Transient(msg) => {
+                buf.put_u8(8);
+                msg.encode(buf);
+            }
+            Response::DeadlineExceeded { late_by_us } => {
+                buf.put_u8(9);
+                late_by_us.encode(buf);
+            }
         }
     }
     fn decode(buf: &mut Bytes) -> WireResult<Self> {
@@ -401,6 +422,10 @@ impl Wire for Response {
                 outside: u64::decode(buf)?,
             }),
             7 => Ok(Response::Batch(Vec::<Response>::decode(buf)?)),
+            8 => Ok(Response::Transient(String::decode(buf)?)),
+            9 => Ok(Response::DeadlineExceeded {
+                late_by_us: u64::decode(buf)?,
+            }),
             tag => Err(WireError::BadTag {
                 context: "response",
                 tag,
@@ -427,6 +452,8 @@ impl Wire for Response {
             Response::Pong => 0,
             Response::Error(msg) => msg.encoded_len(),
             Response::Batch(responses) => responses.encoded_len(),
+            Response::Transient(msg) => msg.encoded_len(),
+            Response::DeadlineExceeded { late_by_us } => late_by_us.encoded_len(),
         }
     }
 }
@@ -506,6 +533,12 @@ mod tests {
         }));
         round_trip(Response::Pong);
         round_trip(Response::Error("silo unavailable".to_string()));
+        round_trip(Response::Transient("flap window".to_string()));
+        round_trip(Response::Transient(String::new()));
+        round_trip(Response::DeadlineExceeded { late_by_us: 0 });
+        round_trip(Response::DeadlineExceeded {
+            late_by_us: u64::MAX,
+        });
         round_trip(Response::GridAck {
             total: Aggregate {
                 count: 5.0,
@@ -575,6 +608,8 @@ mod tests {
             Response::Agg(Aggregate::ZERO),
             Response::AggVec(vec![Aggregate::ZERO; 3]),
             Response::Error("silo 1 unavailable".to_string()),
+            Response::Transient("silo 1 flapping".to_string()),
+            Response::DeadlineExceeded { late_by_us: 42 },
         ]));
         // Nested batches are wire-legal (the silo rejects them at
         // handling time, not the codec).
@@ -611,12 +646,12 @@ mod tests {
             })
         ));
         let mut buf = BytesMut::new();
-        buf.put_u8(8); // one past the Batch response tag
+        buf.put_u8(10); // one past the DeadlineExceeded response tag
         assert!(matches!(
             Response::from_bytes(buf.freeze()),
             Err(WireError::BadTag {
                 context: "response",
-                tag: 8
+                tag: 10
             })
         ));
         // A batch whose *item* carries a bad tag also errors.
@@ -681,6 +716,8 @@ mod tests {
             Response::Memory(SiloMemoryReport::default()),
             Response::Pong,
             Response::Error("boom".to_string()),
+            Response::Transient("try again".to_string()),
+            Response::DeadlineExceeded { late_by_us: 1234 },
         ];
         for r in &responses {
             assert_eq!(r.encoded_len(), r.to_bytes().len(), "{r:?}");

@@ -17,15 +17,16 @@
 //!   share one wire frame, paying the per-message envelope overhead once
 //!   per direction instead of `n` times.
 
-use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
 use std::sync::Arc;
 use std::thread::JoinHandle;
-use std::time::Duration;
+use std::time::{Duration, Instant};
 
 use bytes::Bytes;
-use crossbeam::channel::{bounded, unbounded, Receiver, Sender};
+use crossbeam::channel::{bounded, unbounded, Receiver, RecvTimeoutError, Sender};
 use parking_lot::Mutex;
 
+use crate::fault::{FaultAction, SiloFaultInjector};
 use crate::protocol::{encode_batch_request, Request, Response};
 use crate::silo::{Silo, SiloId};
 use crate::wire::{Wire, WireError};
@@ -46,6 +47,10 @@ pub type CommStats = CommCounters;
 struct Envelope {
     request: Bytes,
     reply: Sender<Bytes>,
+    /// Control metadata, not wire bytes: lets the worker shed requests
+    /// whose caller has already given up (the caller enforces the same
+    /// deadline on its receive side).
+    deadline: Option<Instant>,
 }
 
 /// A reusable oneshot reply pair.
@@ -105,6 +110,59 @@ pub enum TransportError {
         /// The OS-level spawn failure.
         reason: String,
     },
+    /// The silo refused transiently (flap window, injected chaos,
+    /// overload): retrying the same request against the same silo may
+    /// succeed, unlike [`TransportError::Remote`].
+    Transient {
+        /// Which silo.
+        silo: SiloId,
+        /// The silo's refusal message.
+        message: String,
+    },
+    /// The call's deadline expired: either no reply arrived in time, or
+    /// the worker shed the request because the deadline had already
+    /// passed when it was picked up.
+    DeadlineExceeded {
+        /// Which silo.
+        silo: SiloId,
+    },
+}
+
+impl TransportError {
+    /// The silo this error is attributed to.
+    pub fn silo(&self) -> SiloId {
+        match self {
+            TransportError::Disconnected { silo }
+            | TransportError::Codec { silo, .. }
+            | TransportError::Remote { silo, .. }
+            | TransportError::Spawn { silo, .. }
+            | TransportError::Transient { silo, .. }
+            | TransportError::DeadlineExceeded { silo } => *silo,
+        }
+    }
+
+    /// Whether retrying the same request on the same silo may succeed.
+    pub fn is_retryable(&self) -> bool {
+        matches!(self, TransportError::Transient { .. })
+    }
+
+    /// Whether this is a deadline miss (callers resample rather than
+    /// retry the same silo).
+    pub fn is_deadline(&self) -> bool {
+        matches!(self, TransportError::DeadlineExceeded { .. })
+    }
+
+    /// A short stable label for metrics/error summaries.
+    pub fn kind(&self) -> &'static str {
+        match self {
+            TransportError::Disconnected { .. } => "disconnected",
+            TransportError::Codec { .. } => "codec",
+            TransportError::Remote { .. } => "remote",
+            TransportError::Spawn { .. } => "spawn",
+            TransportError::Transient { .. } => "transient",
+            TransportError::DeadlineExceeded { .. } => "deadline",
+        }
+    }
 }
 
 impl std::fmt::Display for TransportError {
@@ -116,11 +174,136 @@ impl std::fmt::Display for TransportError {
             TransportError::Spawn { silo, reason } => {
                 write!(f, "silo {silo} worker could not be spawned: {reason}")
             }
+            TransportError::Transient { silo, message } => {
+                write!(f, "silo {silo} transient error: {message}")
+            }
+            TransportError::DeadlineExceeded { silo } => {
+                write!(f, "silo {silo} deadline exceeded")
+            }
         }
     }
 }
 
 impl std::error::Error for TransportError {}
+
+/// Timing/robustness policy for silo calls: per-attempt deadline, retry
+/// budget for transient refusals, backoff shape, and the hedging
+/// threshold.
+///
+/// The federation carries one policy (see
+/// [`crate::FederationBuilder::call_policy`]); the default disables
+/// deadlines and hedging, so behaviour is identical to the pre-policy
+/// transport.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct CallPolicy {
+    /// Per-attempt RPC deadline (`None`: wait forever, the historical
+    /// behaviour).
+    pub deadline: Option<Duration>,
+    /// Maximum same-silo retries after a [`TransportError::Transient`].
+    pub retries: u32,
+    /// First backoff sleep; doubles per retry.
+    pub backoff_base: Duration,
+    /// Backoff ceiling.
+    pub backoff_cap: Duration,
+    /// Fire a hedge request at a second silo if the first has not
+    /// answered within this threshold (`None`: never hedge).
+    pub hedge_after: Option<Duration>,
+}
+
+impl Default for CallPolicy {
+    fn default() -> Self {
+        CallPolicy {
+            deadline: None,
+            retries: 2,
+            backoff_base: Duration::from_millis(2),
+            backoff_cap: Duration::from_millis(50),
+            hedge_after: None,
+        }
+    }
+}
+
+impl CallPolicy {
+    /// Backoff before retry number `attempt` (1-based): capped
+    /// exponential, plus deterministic jitter in `[0, backoff_base)`
+    /// derived from `(silo, attempt)` — no RNG, no clock, so chaos runs
+    /// stay reproducible while retry storms still decorrelate.
+    pub fn backoff(&self, silo: SiloId, attempt: u32) -> Duration {
+        if self.backoff_base.is_zero() {
+            return Duration::ZERO;
+        }
+        let exp = self
+            .backoff_base
+            .saturating_mul(1u32 << attempt.saturating_sub(1).min(16));
+        let capped = exp.min(self.backoff_cap);
+        let base_ns = self.backoff_base.as_nanos() as u64;
+        // SplitMix64-style hash of (silo, attempt) for the jitter draw.
+        let mut z = (silo as u64)
+            .wrapping_mul(0x9E37_79B9_7F4A_7C15)
+            .wrapping_add(attempt as u64);
+        z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+        z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+        capped + Duration::from_nanos((z ^ (z >> 31)) % base_ns.max(1))
+    }
+}
+
+/// Resolution of an in-flight call polled with a timeout: either the
+/// decoded outcome, or the still-pending handle to poll again later.
+#[derive(Debug)]
+pub enum Poll<P, T> {
+    /// The reply arrived (or the worker disconnected).
+    Ready(T),
+    /// Nothing yet; the call stays in flight.
+    Pending(P),
+}
+
+/// Outcome of [`race_calls`]: which of the two in-flight calls answered
+/// first, or neither before the deadline.
+#[derive(Debug)]
+pub enum RaceWinner {
+    /// The primary call answered first.
+    Primary(Result<Response, TransportError>),
+    /// The hedge call answered first.
+    Hedge(Result<Response, TransportError>),
+    /// Neither answered before the deadline (both calls are abandoned).
+    Timeout,
+}
+
+/// Races a primary in-flight call against a hedge: returns the first
+/// reply to land before `deadline`, abandoning the loser (its reply pair
+/// is discarded once the stale reply arrives, never reused).
+///
+/// The shim's channels have no `select`, so the race alternates short
+/// timed waits between the two receivers; the slice is far below any
+/// latency this layer injects, and each wait parks on a condvar rather
+/// than spinning.
+pub fn race_calls(primary: PendingCall, hedge: PendingCall, deadline: Instant) -> RaceWinner {
+    const SLICE: Duration = Duration::from_micros(500);
+    let mut first = primary;
+    let mut second = hedge;
+    // Tracks whether `first` currently refers to the primary call.
+    let mut first_is_primary = true;
+    loop {
+        let now = Instant::now();
+        if now >= deadline {
+            return RaceWinner::Timeout;
+        }
+        let slice_end = (now + SLICE).min(deadline);
+        match first.poll_deadline(slice_end) {
+            Poll::Ready(result) => {
+                return if first_is_primary {
+                    RaceWinner::Primary(result)
+                } else {
+                    RaceWinner::Hedge(result)
+                };
+            }
+            Poll::Pending(pending) => {
+                first = second;
+                second = pending;
+                first_is_primary = !first_is_primary;
+            }
+        }
+    }
+}
 
 /// A frame in flight: the request has been handed to the silo worker, the
 /// reply has not been drained yet.
@@ -136,26 +319,89 @@ struct PendingReply {
     pair: ReplyPair,
     pool: Arc<ReplyPool>,
     stats: Arc<CommCounters>,
+    deadline: Option<Instant>,
+    worker_alive: Arc<AtomicBool>,
+}
+
+/// How a sliced reply wait ended (see [`PendingReply::recv_outcome`]).
+enum RecvOutcome {
+    /// The reply frame arrived.
+    Bytes(Bytes),
+    /// The wait's deadline passed with the call still in flight.
+    TimedOut,
+    /// The worker thread is gone and no reply is queued.
+    Dead,
 }
 
 impl PendingReply {
-    /// Blocks for the raw reply bytes, records the round's traffic, and
-    /// returns the reply pair to the pool.
-    fn wait_bytes(self) -> Result<Bytes, TransportError> {
-        let PendingReply {
-            silo,
-            up,
-            pair,
-            pool,
-            stats,
-        } = self;
-        match pair.1.recv() {
-            Ok(bytes) => {
-                stats.record(up, bytes.len());
-                pool.restore(pair);
-                Ok(bytes)
+    /// Waits for the reply in short slices so a crashed worker is noticed
+    /// even on an unbounded wait. The reply channel itself can never
+    /// disconnect while the call is in flight — the pooled pair keeps a
+    /// sender alive on the caller's side — so worker death is observed
+    /// through the liveness flag the worker's drop guard clears on any
+    /// exit path.
+    fn recv_outcome(&self, deadline: Option<Instant>) -> RecvOutcome {
+        const SLICE: Duration = Duration::from_millis(5);
+        loop {
+            let now = Instant::now();
+            if deadline.is_some_and(|d| now >= d) {
+                // One last non-blocking look: a reply that raced the
+                // deadline onto the queue still wins.
+                return match self.pair.1.try_recv() {
+                    Ok(bytes) => RecvOutcome::Bytes(bytes),
+                    Err(_) => RecvOutcome::TimedOut,
+                };
             }
-            Err(_) => Err(TransportError::Disconnected { silo }),
+            let slice_end = match deadline {
+                Some(d) => d.min(now + SLICE),
+                None => now + SLICE,
+            };
+            match self.pair.1.recv_deadline(slice_end) {
+                Ok(bytes) => return RecvOutcome::Bytes(bytes),
+                Err(RecvTimeoutError::Disconnected) => return RecvOutcome::Dead,
+                Err(RecvTimeoutError::Timeout) => {
+                    if !self.worker_alive.load(Ordering::Acquire) {
+                        // A worker always replies *before* it exits (the
+                        // drop guard runs last), so once the flag reads
+                        // false a final non-blocking look settles the
+                        // reply-then-crash race.
+                        return match self.pair.1.try_recv() {
+                            Ok(bytes) => RecvOutcome::Bytes(bytes),
+                            Err(_) => RecvOutcome::Dead,
+                        };
+                    }
+                }
+            }
+        }
+    }
+
+    /// Drains an arrived reply: records the round's traffic and returns
+    /// the pair to the pool.
+    fn complete(self, bytes: Bytes) -> Bytes {
+        self.stats.record(self.up, bytes.len());
+        self.pool.restore(self.pair);
+        bytes
+    }
+
+    /// Blocks for the raw reply bytes (up to the deadline, when one was
+    /// set), records the round's traffic, and returns the reply pair to
+    /// the pool. On a deadline miss the pair is *discarded* — the worker
+    /// may still push a stale reply into it later.
+    fn wait_bytes(self) -> Result<Bytes, TransportError> {
+        match self.recv_outcome(self.deadline) {
+            RecvOutcome::Bytes(bytes) => Ok(self.complete(bytes)),
+            RecvOutcome::TimedOut => Err(TransportError::DeadlineExceeded { silo: self.silo }),
+            RecvOutcome::Dead => Err(TransportError::Disconnected { silo: self.silo }),
+        }
+    }
+
+    /// Waits for the reply until `deadline`; a timeout keeps the call in
+    /// flight (`Pending`) so the caller can hedge and poll again later.
+    fn poll_bytes(self, deadline: Instant) -> Poll<PendingReply, Result<Bytes, TransportError>> {
+        match self.recv_outcome(Some(deadline)) {
+            RecvOutcome::Bytes(bytes) => Poll::Ready(Ok(self.complete(bytes))),
+            RecvOutcome::TimedOut => Poll::Pending(self),
+            RecvOutcome::Dead => Poll::Ready(Err(TransportError::Disconnected { silo: self.silo })),
         }
     }
 }
@@ -165,18 +411,56 @@ pub struct PendingCall {
     inner: PendingReply,
 }
 
+/// Decodes a single-call reply frame, mapping refusal payloads to their
+/// transport errors so callers can't mistake a refusal for an answer.
+fn decode_single(silo: SiloId, bytes: Bytes) -> Result<Response, TransportError> {
+    match Response::from_bytes(bytes) {
+        Ok(Response::Error(message)) => Err(TransportError::Remote { silo, message }),
+        Ok(Response::Transient(message)) => Err(TransportError::Transient { silo, message }),
+        Ok(Response::DeadlineExceeded { .. }) => Err(TransportError::DeadlineExceeded { silo }),
+        Ok(response) => Ok(response),
+        Err(error) => Err(TransportError::Codec { silo, error }),
+    }
+}
+
 impl PendingCall {
+    /// Which silo this call is in flight to.
+    pub fn silo(&self) -> SiloId {
+        self.inner.silo
+    }
+
     /// Blocks for the response, recording the traffic.
     ///
     /// `Response::Error` payloads are mapped to [`TransportError::Remote`]
-    /// so callers can't mistake a refusal for an answer.
+    /// (and the transient/deadline refusals to their dedicated variants)
+    /// so callers can't mistake a refusal for an answer. When the call was
+    /// begun with a deadline, waiting past it yields
+    /// [`TransportError::DeadlineExceeded`].
     pub fn wait(self) -> Result<Response, TransportError> {
         let silo = self.inner.silo;
         let bytes = self.inner.wait_bytes()?;
-        match Response::from_bytes(bytes) {
-            Ok(Response::Error(message)) => Err(TransportError::Remote { silo, message }),
-            Ok(response) => Ok(response),
-            Err(error) => Err(TransportError::Codec { silo, error }),
+        decode_single(silo, bytes)
+    }
+
+    /// Like [`PendingCall::wait`], but bounded by an explicit deadline
+    /// (overriding any deadline set at send time).
+    pub fn wait_deadline(mut self, deadline: Instant) -> Result<Response, TransportError> {
+        self.inner.deadline = Some(deadline);
+        self.wait()
+    }
+
+    /// Waits until `deadline`; a timeout returns the still-pending call
+    /// instead of an error, so the caller can hedge elsewhere and poll
+    /// this handle again later (first answer wins).
+    pub fn poll_deadline(
+        self,
+        deadline: Instant,
+    ) -> Poll<PendingCall, Result<Response, TransportError>> {
+        let silo = self.inner.silo;
+        match self.inner.poll_bytes(deadline) {
+            Poll::Ready(Ok(bytes)) => Poll::Ready(decode_single(silo, bytes)),
+            Poll::Ready(Err(e)) => Poll::Ready(Err(e)),
+            Poll::Pending(inner) => Poll::Pending(PendingCall { inner }),
         }
     }
 }
@@ -195,47 +479,108 @@ pub struct PendingBatch {
     expected: usize,
 }
 
+/// Decodes a batch reply frame into per-item results (see
+/// [`PendingBatch::wait`] for the contract).
+fn decode_batch(
+    silo: SiloId,
+    expected: usize,
+    bytes: Bytes,
+) -> Result<Vec<Result<Response, TransportError>>, TransportError> {
+    match Response::from_bytes(bytes) {
+        Ok(Response::Batch(items)) => {
+            if items.len() != expected {
+                return Err(TransportError::Codec {
+                    silo,
+                    error: WireError::BadLength {
+                        context: "batch response arity",
+                        len: items.len(),
+                    },
+                });
+            }
+            Ok(items
+                .into_iter()
+                .map(|item| match item {
+                    Response::Error(message) => Err(TransportError::Remote { silo, message }),
+                    Response::Transient(message) => {
+                        Err(TransportError::Transient { silo, message })
+                    }
+                    Response::DeadlineExceeded { .. } => {
+                        Err(TransportError::DeadlineExceeded { silo })
+                    }
+                    other => Ok(other),
+                })
+                .collect())
+        }
+        // A whole-frame refusal (e.g. the worker could not decode the
+        // request, or the fault injector refused the frame) fails every
+        // sub-request the same way, at transport level, so callers see
+        // the silo-wide nature of the failure.
+        Ok(Response::Error(message)) => Ok(vec![
+            Err(TransportError::Remote { silo, message });
+            expected
+        ]),
+        Ok(Response::Transient(message)) => Err(TransportError::Transient { silo, message }),
+        Ok(Response::DeadlineExceeded { .. }) => Err(TransportError::DeadlineExceeded { silo }),
+        Ok(other) => Err(TransportError::Remote {
+            silo,
+            message: format!("expected batch response, got {other:?}"),
+        }),
+        Err(error) => Err(TransportError::Codec { silo, error }),
+    }
+}
+
 impl PendingBatch {
+    /// Which silo this batch is in flight to.
+    pub fn silo(&self) -> SiloId {
+        self.inner.silo
+    }
+
+    /// How many sub-responses this batch expects.
+    pub fn expected(&self) -> usize {
+        self.expected
+    }
+
     /// Blocks for the batch response, recording the traffic.
     ///
     /// The outer `Result` is transport-level (worker gone, undecodable
-    /// frame, wrong arity); the inner `Vec` carries one entry per
-    /// sub-request *in request order*, each individually an error if the
-    /// silo refused that item. One bad item never poisons its batch-mates.
+    /// frame, wrong arity, whole-frame transient refusal or deadline
+    /// shed); the inner `Vec` carries one entry per sub-request *in
+    /// request order*, each individually an error if the silo refused
+    /// that item. One bad item never poisons its batch-mates. When the
+    /// batch was begun with a deadline, waiting past it yields
+    /// [`TransportError::DeadlineExceeded`].
     pub fn wait(self) -> Result<Vec<Result<Response, TransportError>>, TransportError> {
         let silo = self.inner.silo;
         let expected = self.expected;
         let bytes = self.inner.wait_bytes()?;
-        match Response::from_bytes(bytes) {
-            Ok(Response::Batch(items)) => {
-                if items.len() != expected {
-                    return Err(TransportError::Codec {
-                        silo,
-                        error: WireError::BadLength {
-                            context: "batch response arity",
-                            len: items.len(),
-                        },
-                    });
-                }
-                Ok(items
-                    .into_iter()
-                    .map(|item| match item {
-                        Response::Error(message) => Err(TransportError::Remote { silo, message }),
-                        other => Ok(other),
-                    })
-                    .collect())
-            }
-            // A whole-frame refusal (e.g. the worker could not decode the
-            // request) fails every sub-request the same way.
-            Ok(Response::Error(message)) => Ok(vec![
-                Err(TransportError::Remote { silo, message });
-                expected
-            ]),
-            Ok(other) => Err(TransportError::Remote {
-                silo,
-                message: format!("expected batch response, got {other:?}"),
-            }),
-            Err(error) => Err(TransportError::Codec { silo, error }),
+        decode_batch(silo, expected, bytes)
+    }
+
+    /// Like [`PendingBatch::wait`], but bounded by an explicit deadline
+    /// (overriding any deadline set at send time).
+    pub fn wait_deadline(
+        mut self,
+        deadline: Instant,
+    ) -> Result<Vec<Result<Response, TransportError>>, TransportError> {
+        self.inner.deadline = Some(deadline);
+        self.wait()
+    }
+
+    /// Waits until `deadline`; a timeout returns the still-pending batch
+    /// instead of an error, so the scatter-gather engine can hedge the
+    /// riders elsewhere while keeping this frame alive (first answer
+    /// wins).
+    #[allow(clippy::type_complexity)]
+    pub fn poll_deadline(
+        self,
+        deadline: Instant,
+    ) -> Poll<PendingBatch, Result<Vec<Result<Response, TransportError>>, TransportError>> {
+        let silo = self.inner.silo;
+        let expected = self.expected;
+        match self.inner.poll_bytes(deadline) {
+            Poll::Ready(Ok(bytes)) => Poll::Ready(decode_batch(silo, expected, bytes)),
+            Poll::Ready(Err(e)) => Poll::Ready(Err(e)),
+            Poll::Pending(inner) => Poll::Pending(PendingBatch { inner, expected }),
         }
     }
 }
@@ -259,6 +604,7 @@ pub struct SiloChannel {
     served: Arc<AtomicU64>,
     failed: Arc<std::sync::atomic::AtomicBool>,
     silo_metrics: Arc<fedra_obs::MetricsRegistry>,
+    worker_alive: Arc<AtomicBool>,
 }
 
 impl SiloChannel {
@@ -268,14 +614,20 @@ impl SiloChannel {
     }
 
     /// Ships an already-encoded frame to the worker and returns the
-    /// in-flight reply handle.
-    fn send_frame(&self, frame: Bytes) -> Result<PendingReply, TransportError> {
+    /// in-flight reply handle. The deadline rides as envelope metadata
+    /// (the worker sheds expired requests) and bounds the caller's wait.
+    fn send_frame(
+        &self,
+        frame: Bytes,
+        deadline: Option<Instant>,
+    ) -> Result<PendingReply, TransportError> {
         let up = frame.len();
         let pair = self.reply_pool.checkout();
         self.tx
             .send(Envelope {
                 request: frame,
                 reply: pair.0.clone(),
+                deadline,
             })
             .map_err(|_| TransportError::Disconnected { silo: self.id })?;
         Ok(PendingReply {
@@ -284,6 +636,8 @@ impl SiloChannel {
             pair,
             pool: Arc::clone(&self.reply_pool),
             stats: Arc::clone(&self.stats),
+            deadline,
+            worker_alive: Arc::clone(&self.worker_alive),
         })
     }
 
@@ -296,11 +650,23 @@ impl SiloChannel {
         self.begin_call_encoded(request.to_bytes())
     }
 
+    /// Starts a request with a deadline: the worker sheds it if expired
+    /// on arrival, and [`PendingCall::wait`] gives up at the deadline.
+    pub fn begin_call_with(
+        &self,
+        request: &Request,
+        deadline: Option<Instant>,
+    ) -> Result<PendingCall, TransportError> {
+        Ok(PendingCall {
+            inner: self.send_frame(request.to_bytes(), deadline)?,
+        })
+    }
+
     /// Starts a request from a pre-encoded frame (O(1) to clone — use for
     /// broadcasting one frame to many silos without re-encoding).
     pub fn begin_call_encoded(&self, frame: Bytes) -> Result<PendingCall, TransportError> {
         Ok(PendingCall {
-            inner: self.send_frame(frame)?,
+            inner: self.send_frame(frame, None)?,
         })
     }
 
@@ -310,8 +676,19 @@ impl SiloChannel {
     /// The whole batch pays the per-message envelope overhead *once* per
     /// direction, instead of once per request.
     pub fn begin_batch(&self, requests: &[&Request]) -> Result<PendingBatch, TransportError> {
+        self.begin_batch_with(requests, None)
+    }
+
+    /// Starts a batch with a deadline: the worker sheds the whole frame
+    /// if expired on arrival, and [`PendingBatch::wait`] gives up at the
+    /// deadline.
+    pub fn begin_batch_with(
+        &self,
+        requests: &[&Request],
+        deadline: Option<Instant>,
+    ) -> Result<PendingBatch, TransportError> {
         Ok(PendingBatch {
-            inner: self.send_frame(encode_batch_request(requests))?,
+            inner: self.send_frame(encode_batch_request(requests), deadline)?,
             expected: requests.len(),
         })
     }
@@ -353,6 +730,7 @@ impl SiloChannel {
             served: Arc::clone(&self.served),
             failed: Arc::clone(&self.failed),
             silo_metrics: Arc::clone(&self.silo_metrics),
+            worker_alive: Arc::clone(&self.worker_alive),
         }
     }
 
@@ -403,18 +781,54 @@ pub fn spawn_silo(
     silo: Silo,
     stats: Arc<CommCounters>,
     simulated_latency: Option<Duration>,
+    mut faults: Option<SiloFaultInjector>,
 ) -> Result<(SiloChannel, JoinHandle<()>), TransportError> {
     let (tx, rx) = unbounded::<Envelope>();
     let id = silo.id();
     let served = silo.served_counter();
     let failed = silo.failure_flag();
     let silo_metrics = silo.metrics();
+    let worker_alive = Arc::new(AtomicBool::new(true));
+    let alive_guard = AliveGuard(Arc::clone(&worker_alive));
     let handle = std::thread::Builder::new()
         .name(format!("fedra-silo-{id}"))
         .spawn(move || {
+            // Cleared on every exit path — normal shutdown, injected
+            // crash, panic — so callers blocked on a reply stop waiting.
+            let _alive = alive_guard;
             for envelope in rx {
                 if let Some(latency) = simulated_latency {
                     std::thread::sleep(latency);
+                }
+                match faults.as_mut().map(SiloFaultInjector::next_action) {
+                    Some(FaultAction::Crash) => return,
+                    Some(FaultAction::Drop) => continue,
+                    Some(FaultAction::Transient { message, delay }) => {
+                        if let Some(delay) = delay {
+                            std::thread::sleep(delay);
+                        }
+                        let _ = envelope.reply.send(Response::Transient(message).to_bytes());
+                        continue;
+                    }
+                    Some(FaultAction::Proceed { delay }) => {
+                        if let Some(delay) = delay {
+                            std::thread::sleep(delay);
+                        }
+                    }
+                    None => {}
+                }
+                // Shed work whose caller has already given up: the reply
+                // still travels (and is byte-counted), the local query
+                // work is skipped.
+                if let Some(deadline) = envelope.deadline {
+                    let now = Instant::now();
+                    if now >= deadline {
+                        let late_by_us = (now - deadline).as_micros().min(u64::MAX as u128) as u64;
+                        let _ = envelope
+                            .reply
+                            .send(Response::DeadlineExceeded { late_by_us }.to_bytes());
+                        continue;
+                    }
                 }
                 let response = match Request::from_bytes(envelope.request) {
                     Ok(request) => silo.handle(request),
@@ -437,9 +851,21 @@ pub fn spawn_silo(
             served,
             failed,
             silo_metrics,
+            worker_alive,
         },
         handle,
     ))
+}
+
+/// Flag wrapper whose `Drop` marks the silo worker as gone; the worker
+/// thread owns one so the liveness bit is cleared no matter how the
+/// thread exits.
+struct AliveGuard(Arc<AtomicBool>);
+
+impl Drop for AliveGuard {
+    fn drop(&mut self) {
+        self.0.store(false, Ordering::Release);
+    }
 }
 
 #[cfg(test)]
@@ -476,7 +902,7 @@ mod tests {
     fn call_round_trips_through_the_thread() {
         let stats = Arc::new(CommCounters::default());
         let (chan, handle) =
-            spawn_silo(test_silo(0, 100), Arc::clone(&stats), None).expect("spawn silo");
+            spawn_silo(test_silo(0, 100), Arc::clone(&stats), None, None).expect("spawn silo");
         let resp = chan.call(&Request::Ping).expect("ping");
         assert_eq!(resp, Response::Pong);
         let snap = stats.snapshot();
@@ -492,7 +918,7 @@ mod tests {
         // Zero-overhead stats so payload sizes can be pinned exactly.
         let stats = Arc::new(CommCounters::with_overhead(0));
         let (chan, _handle) =
-            spawn_silo(test_silo(1, 100), Arc::clone(&stats), None).expect("spawn silo");
+            spawn_silo(test_silo(1, 100), Arc::clone(&stats), None, None).expect("spawn silo");
         let q = Range::circle(Point::new(5.0, 5.0), 2.0);
         let before = stats.snapshot();
         chan.call(&Request::Aggregate {
@@ -512,7 +938,7 @@ mod tests {
         let stats = Arc::new(CommCounters::default());
         assert_eq!(stats.overhead(), DEFAULT_MESSAGE_OVERHEAD);
         let (chan, _handle) =
-            spawn_silo(test_silo(7, 10), Arc::clone(&stats), None).expect("spawn silo");
+            spawn_silo(test_silo(7, 10), Arc::clone(&stats), None, None).expect("spawn silo");
         chan.call(&Request::Ping).unwrap();
         let snap = stats.snapshot();
         assert!(snap.bytes_up > DEFAULT_MESSAGE_OVERHEAD);
@@ -523,7 +949,7 @@ mod tests {
     fn remote_errors_are_surfaced() {
         let stats = Arc::new(CommCounters::default());
         let (chan, _handle) =
-            spawn_silo(test_silo(2, 10), Arc::clone(&stats), None).expect("spawn silo");
+            spawn_silo(test_silo(2, 10), Arc::clone(&stats), None, None).expect("spawn silo");
         chan.set_failed(true);
         let err = chan.call(&Request::Ping).expect_err("should fail");
         assert!(matches!(err, TransportError::Remote { silo: 2, .. }));
@@ -536,7 +962,7 @@ mod tests {
     fn served_counter_tracks_requests() {
         let stats = Arc::new(CommCounters::default());
         let (chan, _handle) =
-            spawn_silo(test_silo(3, 10), Arc::clone(&stats), None).expect("spawn silo");
+            spawn_silo(test_silo(3, 10), Arc::clone(&stats), None, None).expect("spawn silo");
         assert_eq!(chan.served(), 0);
         for _ in 0..5 {
             chan.call(&Request::Ping).unwrap();
@@ -548,7 +974,7 @@ mod tests {
     fn concurrent_calls_from_many_threads() {
         let stats = Arc::new(CommCounters::default());
         let (chan, _handle) =
-            spawn_silo(test_silo(4, 200), Arc::clone(&stats), None).expect("spawn silo");
+            spawn_silo(test_silo(4, 200), Arc::clone(&stats), None, None).expect("spawn silo");
         let q = Range::circle(Point::new(5.0, 5.0), 3.0);
         std::thread::scope(|scope| {
             for _ in 0..8 {
@@ -573,7 +999,7 @@ mod tests {
     fn call_batch_preserves_request_order() {
         let stats = Arc::new(CommCounters::default());
         let (chan, _handle) =
-            spawn_silo(test_silo(8, 100), Arc::clone(&stats), None).expect("spawn silo");
+            spawn_silo(test_silo(8, 100), Arc::clone(&stats), None, None).expect("spawn silo");
         let q = Range::circle(Point::new(5.0, 5.0), 2.0);
         let exact = chan
             .call(&Request::Aggregate {
@@ -604,7 +1030,7 @@ mod tests {
     fn call_batch_surfaces_per_item_errors() {
         let stats = Arc::new(CommCounters::default());
         let (chan, _handle) =
-            spawn_silo(test_silo(9, 10), Arc::clone(&stats), None).expect("spawn silo");
+            spawn_silo(test_silo(9, 10), Arc::clone(&stats), None, None).expect("spawn silo");
         chan.set_failed(true);
         let results = chan
             .call_batch(&[Request::Ping, Request::Ping, Request::Ping])
@@ -621,7 +1047,7 @@ mod tests {
     fn empty_batch_sends_no_traffic() {
         let stats = Arc::new(CommCounters::default());
         let (chan, _handle) =
-            spawn_silo(test_silo(10, 10), Arc::clone(&stats), None).expect("spawn silo");
+            spawn_silo(test_silo(10, 10), Arc::clone(&stats), None, None).expect("spawn silo");
         assert_eq!(chan.call_batch(&[]).unwrap(), Vec::new());
         assert_eq!(stats.snapshot(), CommSnapshot::default());
     }
@@ -632,7 +1058,7 @@ mod tests {
         // in rounds (each round costs 2 × overhead under default stats).
         let stats = Arc::new(CommCounters::with_overhead(0));
         let (chan, _handle) =
-            spawn_silo(test_silo(11, 100), Arc::clone(&stats), None).expect("spawn silo");
+            spawn_silo(test_silo(11, 100), Arc::clone(&stats), None, None).expect("spawn silo");
         let q = Range::circle(Point::new(5.0, 5.0), 2.0);
         let agg = Request::Aggregate {
             range: q,
@@ -659,7 +1085,7 @@ mod tests {
     fn reply_pairs_are_pooled_and_reused() {
         let stats = Arc::new(CommCounters::default());
         let (chan, _handle) =
-            spawn_silo(test_silo(12, 10), Arc::clone(&stats), None).expect("spawn silo");
+            spawn_silo(test_silo(12, 10), Arc::clone(&stats), None, None).expect("spawn silo");
         for _ in 0..10 {
             chan.call(&Request::Ping).unwrap();
         }
@@ -682,7 +1108,7 @@ mod tests {
         let latency = Duration::from_millis(20);
         let channels: Vec<SiloChannel> = (0..4)
             .map(|i| {
-                spawn_silo(test_silo(i, 10), Arc::clone(&stats), Some(latency))
+                spawn_silo(test_silo(i, 10), Arc::clone(&stats), Some(latency), None)
                     .expect("spawn silo")
                     .0
             })
@@ -706,7 +1132,7 @@ mod tests {
     fn disconnected_worker_reports_cleanly() {
         let stats = Arc::new(CommCounters::default());
         let (chan, handle) =
-            spawn_silo(test_silo(5, 10), Arc::clone(&stats), None).expect("spawn silo");
+            spawn_silo(test_silo(5, 10), Arc::clone(&stats), None, None).expect("spawn silo");
         // Simulate a dead worker: clone the channel, drop the original
         // sender... the worker only exits when *all* senders drop, so
         // instead kill it by dropping every channel and joining.
@@ -723,10 +1149,213 @@ mod tests {
             test_silo(6, 10),
             Arc::clone(&stats),
             Some(Duration::from_millis(20)),
+            None,
         )
         .expect("spawn silo");
         let start = std::time::Instant::now();
         chan.call(&Request::Ping).unwrap();
         assert!(start.elapsed() >= Duration::from_millis(20));
+    }
+
+    fn slow_injector(silo: SiloId, latency: Duration) -> Option<SiloFaultInjector> {
+        use std::sync::atomic::AtomicBool;
+        crate::fault::FaultPlan::seeded(1)
+            .slow_silo(silo, latency)
+            .injector_for(silo, Arc::new(AtomicBool::new(true)))
+    }
+
+    #[test]
+    fn wait_deadline_times_out_and_discards_the_pair() {
+        let stats = Arc::new(CommCounters::default());
+        let (chan, _handle) = spawn_silo(
+            test_silo(20, 10),
+            Arc::clone(&stats),
+            None,
+            slow_injector(20, Duration::from_millis(100)),
+        )
+        .expect("spawn silo");
+        let pending = chan.begin_call(&Request::Ping).unwrap();
+        let err = pending
+            .wait_deadline(Instant::now() + Duration::from_millis(5))
+            .expect_err("must time out");
+        assert_eq!(err, TransportError::DeadlineExceeded { silo: 20 });
+        assert!(err.is_deadline());
+        assert!(!err.is_retryable());
+        // The abandoned pair must not be pooled (its stale reply is still
+        // coming).
+        assert!(chan.reply_pool.pairs.lock().is_empty());
+        // And a timed-out round records no traffic.
+        assert_eq!(stats.snapshot().rounds, 0);
+        // The channel still works once the slow reply has drained.
+        assert_eq!(chan.call(&Request::Ping).unwrap(), Response::Pong);
+    }
+
+    #[test]
+    fn expired_deadline_is_shed_by_the_worker() {
+        let stats = Arc::new(CommCounters::default());
+        let (chan, _handle) = spawn_silo(
+            test_silo(21, 10),
+            Arc::clone(&stats),
+            Some(Duration::from_millis(20)),
+            None,
+        )
+        .expect("spawn silo");
+        // The deadline expires while the latency sleep runs, so the
+        // worker sheds the request; the shed reply still counts a round.
+        let pending = chan
+            .begin_call_with(
+                &Request::Ping,
+                Some(Instant::now() + Duration::from_millis(1)),
+            )
+            .unwrap();
+        // Wait without a deadline override: the shed response itself
+        // reports the miss.
+        let err = pending
+            .wait_deadline(Instant::now() + Duration::from_secs(5))
+            .expect_err("shed");
+        assert_eq!(err, TransportError::DeadlineExceeded { silo: 21 });
+        assert_eq!(stats.snapshot().rounds, 1);
+    }
+
+    #[test]
+    fn transient_faults_map_to_their_own_variant() {
+        use std::sync::atomic::AtomicBool;
+        let stats = Arc::new(CommCounters::default());
+        let injector = crate::fault::FaultPlan::seeded(3)
+            .flapping_silo(22, 2, 1)
+            .injector_for(22, Arc::new(AtomicBool::new(true)));
+        let (chan, _handle) =
+            spawn_silo(test_silo(22, 10), Arc::clone(&stats), None, injector).expect("spawn silo");
+        // period 2, down 1: request 0 serves, request 1 refuses.
+        assert_eq!(chan.call(&Request::Ping).unwrap(), Response::Pong);
+        let err = chan.call(&Request::Ping).expect_err("flap window");
+        assert!(matches!(err, TransportError::Transient { silo: 22, .. }));
+        assert!(err.is_retryable());
+        // Request 2 lands in the next up window…
+        assert_eq!(chan.call(&Request::Ping).unwrap(), Response::Pong);
+        // …and a batch frame in the following down window fails at
+        // transport level.
+        let err = chan
+            .call_batch(&[Request::Ping, Request::Ping])
+            .expect_err("whole-frame transient");
+        assert!(matches!(err, TransportError::Transient { silo: 22, .. }));
+    }
+
+    #[test]
+    fn crash_after_n_disconnects_later_calls() {
+        use std::sync::atomic::AtomicBool;
+        let stats = Arc::new(CommCounters::default());
+        let injector = crate::fault::FaultPlan::seeded(3)
+            .with_spec(
+                23,
+                crate::fault::SiloFaultSpec {
+                    crash_after: Some(2),
+                    ..Default::default()
+                },
+            )
+            .injector_for(23, Arc::new(AtomicBool::new(true)));
+        let (chan, handle) =
+            spawn_silo(test_silo(23, 10), Arc::clone(&stats), None, injector).expect("spawn silo");
+        assert!(chan.call(&Request::Ping).is_ok());
+        assert!(chan.call(&Request::Ping).is_ok());
+        let err = chan.call(&Request::Ping).expect_err("crashed");
+        assert_eq!(err, TransportError::Disconnected { silo: 23 });
+        assert_eq!(err.kind(), "disconnected");
+        handle.join().expect("worker exited by crashing");
+    }
+
+    #[test]
+    fn dropped_messages_are_reaped_by_the_deadline() {
+        use std::sync::atomic::AtomicBool;
+        let stats = Arc::new(CommCounters::default());
+        let injector = crate::fault::FaultPlan::seeded(3)
+            .with_spec(
+                24,
+                crate::fault::SiloFaultSpec {
+                    drop_prob: 1.0,
+                    ..Default::default()
+                },
+            )
+            .injector_for(24, Arc::new(AtomicBool::new(true)));
+        let (chan, _handle) =
+            spawn_silo(test_silo(24, 10), Arc::clone(&stats), None, injector).expect("spawn silo");
+        let pending = chan
+            .begin_call_with(
+                &Request::Ping,
+                Some(Instant::now() + Duration::from_millis(10)),
+            )
+            .unwrap();
+        assert_eq!(
+            pending.wait().expect_err("dropped"),
+            TransportError::DeadlineExceeded { silo: 24 }
+        );
+    }
+
+    #[test]
+    fn poll_deadline_keeps_the_call_alive() {
+        let stats = Arc::new(CommCounters::default());
+        let (chan, _handle) = spawn_silo(
+            test_silo(25, 10),
+            Arc::clone(&stats),
+            None,
+            slow_injector(25, Duration::from_millis(40)),
+        )
+        .expect("spawn silo");
+        let pending = chan.begin_call(&Request::Ping).unwrap();
+        let pending = match pending.poll_deadline(Instant::now() + Duration::from_millis(2)) {
+            Poll::Pending(p) => p,
+            Poll::Ready(r) => panic!("slow call answered early: {r:?}"),
+        };
+        assert_eq!(pending.silo(), 25);
+        match pending.poll_deadline(Instant::now() + Duration::from_secs(5)) {
+            Poll::Ready(Ok(Response::Pong)) => {}
+            other => panic!("expected pong, got {other:?}"),
+        }
+        assert_eq!(stats.snapshot().rounds, 1);
+    }
+
+    #[test]
+    fn race_calls_first_answer_wins() {
+        let stats = Arc::new(CommCounters::default());
+        let (slow, _h1) = spawn_silo(
+            test_silo(26, 10),
+            Arc::clone(&stats),
+            None,
+            slow_injector(26, Duration::from_millis(80)),
+        )
+        .expect("spawn silo");
+        let (fast, _h2) =
+            spawn_silo(test_silo(27, 10), Arc::clone(&stats), None, None).expect("spawn silo");
+        let primary = slow.begin_call(&Request::Ping).unwrap();
+        let hedge = fast.begin_call(&Request::Ping).unwrap();
+        match race_calls(primary, hedge, Instant::now() + Duration::from_secs(5)) {
+            RaceWinner::Hedge(Ok(Response::Pong)) => {}
+            other => panic!("expected the fast hedge to win, got {other:?}"),
+        }
+        // Race two slow calls into a tight deadline: both lose.
+        let primary = slow.begin_call(&Request::Ping).unwrap();
+        let hedge = slow.begin_call(&Request::Ping).unwrap();
+        match race_calls(primary, hedge, Instant::now() + Duration::from_millis(5)) {
+            RaceWinner::Timeout => {}
+            other => panic!("expected timeout, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn call_policy_backoff_is_capped_and_deterministic() {
+        let policy = CallPolicy {
+            backoff_base: Duration::from_millis(2),
+            backoff_cap: Duration::from_millis(10),
+            ..Default::default()
+        };
+        assert_eq!(policy.backoff(1, 3), policy.backoff(1, 3));
+        assert!(policy.backoff(1, 1) >= Duration::from_millis(2));
+        // Capped: even huge attempt counts stay under cap + jitter.
+        assert!(policy.backoff(1, 30) < Duration::from_millis(12));
+        let zero = CallPolicy {
+            backoff_base: Duration::ZERO,
+            ..Default::default()
+        };
+        assert_eq!(zero.backoff(0, 5), Duration::ZERO);
     }
 }

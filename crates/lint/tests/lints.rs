@@ -149,6 +149,25 @@ fn panic_discipline_scopes_to_federation_and_engine_paths() {
 }
 
 #[test]
+fn panic_discipline_covers_the_health_tracker() {
+    // The circuit breaker (new with the fault-injection work) lives on
+    // the hot candidate-selection path, so it must be in lint scope like
+    // the rest of crates/federation.
+    let src = "
+fn allows(&self, silo: SiloId) -> bool {
+    self.silos.get(silo).unwrap().lock().state == BreakerState::Closed
+}
+";
+    let diags = run(&[file("crates/federation/src/health.rs", src)]);
+    let panics: Vec<_> = diags
+        .iter()
+        .filter(|d| d.lint == "panic-discipline")
+        .collect();
+    assert_eq!(panics.len(), 1, "{panics:?}");
+    assert!(panics.iter().all(|d| d.level == Level::Deny));
+}
+
+#[test]
 fn panic_discipline_ignores_strings_and_comments() {
     let src = "
 // explains why x.unwrap() would be wrong here

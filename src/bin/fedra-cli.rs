@@ -13,7 +13,9 @@
 
 use std::collections::HashMap;
 use std::process::ExitCode;
+use std::time::Duration;
 
+use fedra::obs::labeled;
 use fedra::prelude::*;
 
 fn main() -> ExitCode {
@@ -77,6 +79,30 @@ fn opt<T: std::str::FromStr>(options: &Options, key: &str, default: T) -> T {
         .unwrap_or(default)
 }
 
+/// `--chaos SEED` turns the build into a resilience drill: one slow silo,
+/// one flapping silo, a deadline/hedging call policy and an active
+/// circuit breaker — all deterministic from the seed.
+fn apply_resilience(builder: FederationBuilder, options: &Options) -> FederationBuilder {
+    let Some(seed) = options.get("chaos").and_then(|v| v.parse::<u64>().ok()) else {
+        return builder;
+    };
+    let slow = opt(options, "slow-silo", 0usize);
+    let flappy = opt(options, "flappy-silo", 1usize);
+    eprintln!("chaos mode: seed {seed}, slow silo {slow}, flapping silo {flappy}");
+    builder
+        .fault_plan(
+            FaultPlan::seeded(seed)
+                .slow_silo(slow, Duration::from_millis(40))
+                .flapping_silo(flappy, 4, 2),
+        )
+        .call_policy(CallPolicy {
+            deadline: Some(Duration::from_millis(250)),
+            hedge_after: Some(Duration::from_millis(10)),
+            ..CallPolicy::default()
+        })
+        .health_config(HealthConfig::enabled())
+}
+
 fn build_federation(options: &Options) -> (Federation, Vec<SpatialObject>) {
     if let Some(path) = options.get("data") {
         eprintln!("loading dataset from {path} ...");
@@ -85,9 +111,11 @@ fn build_federation(options: &Options) -> (Federation, Vec<SpatialObject>) {
             std::process::exit(1);
         });
         let all = dataset.all_objects();
-        let federation = FederationBuilder::new(dataset.bounds())
-            .grid_cell_len(opt(options, "grid-len", 1.0))
-            .build(dataset.into_partitions());
+        let federation = apply_resilience(
+            FederationBuilder::new(dataset.bounds()).grid_cell_len(opt(options, "grid-len", 1.0)),
+            options,
+        )
+        .build(dataset.into_partitions());
         return (federation, all);
     }
     let spec = WorkloadSpec::default()
@@ -105,9 +133,11 @@ fn build_federation(options: &Options) -> (Federation, Vec<SpatialObject>) {
     );
     let dataset = spec.generate();
     let all = dataset.all_objects();
-    let federation = FederationBuilder::new(dataset.bounds())
-        .grid_cell_len(opt(options, "grid-len", 1.0))
-        .build(dataset.into_partitions());
+    let federation = apply_resilience(
+        FederationBuilder::new(dataset.bounds()).grid_cell_len(opt(options, "grid-len", 1.0)),
+        options,
+    )
+    .build(dataset.into_partitions());
     (federation, all)
 }
 
@@ -344,6 +374,20 @@ fn obs(options: &Options) -> ExitCode {
     let engine = QueryEngine::per_silo(algo.as_ref(), &federation);
     let batch = engine.execute_batch_with(&federation, &queries, &obs);
 
+    // Breaker state as gauges so every export format carries it
+    // (0 = closed, 1 = half-open, 2 = open).
+    for s in federation.health().snapshot() {
+        let state = match s.state {
+            BreakerState::Closed => 0.0,
+            BreakerState::HalfOpen => 1.0,
+            BreakerState::Open => 2.0,
+        };
+        obs.set_gauge(&labeled("fedra_breaker_state", "silo", s.silo), state);
+        if let Some(ewma) = s.latency_ewma_us {
+            obs.set_gauge(&labeled("fedra_silo_latency_ewma_us", "silo", s.silo), ewma);
+        }
+    }
+
     match options.get("format").map(String::as_str).unwrap_or("text") {
         "prom" => print!("{}", obs.export_prometheus()),
         "json" => println!("{}", obs.export_json()),
@@ -355,6 +399,24 @@ fn obs(options: &Options) -> ExitCode {
                 batch.wall_time.as_secs_f64() * 1e3,
                 batch.failures()
             );
+            println!("--- silo health ---");
+            println!(
+                "{:>6} {:>10} {:>9} {:>9} {:>12} {:>8} {:>8}",
+                "silo", "state", "ok", "failed", "ewma (µs)", "opened", "closed"
+            );
+            for s in federation.health().snapshot() {
+                println!(
+                    "{:>6} {:>10} {:>9} {:>9} {:>12} {:>8} {:>8}",
+                    s.silo,
+                    s.state.label(),
+                    s.successes_total,
+                    s.failures_total,
+                    s.latency_ewma_us
+                        .map_or_else(|| "-".into(), |e| format!("{e:.0}")),
+                    s.opened_total,
+                    s.closed_total
+                );
+            }
             println!("--- prometheus ---");
             print!("{}", obs.export_prometheus());
             println!("--- json ---");
@@ -406,9 +468,16 @@ COMMANDS:
   sql      answer one SQL-style statement, e.g.
              fedra-cli sql \"SELECT COUNT(*) FROM fleet WHERE WITHIN(0, -95, 2)\"
   stats    print federation and index statistics
-  obs      run an instrumented batch, dump metrics + traces
+  obs      run an instrumented batch, dump metrics + traces + silo health
              (--queries N, --algo A, --format text|prom|json)
   help     this text
+
+RESILIENCE OPTIONS (any command):
+  --chaos SEED    inject deterministic faults: one slow silo (--slow-silo,
+                  default 0) and one flapping silo (--flappy-silo, default
+                  1), with a deadline/hedging call policy and an active
+                  circuit breaker; retry/hedge/breaker counters show up in
+                  `obs` output
 
 GLOBAL OPTIONS:
   --data FILE     load a CSV dataset (silo,x_km,y_km,measure) instead of

@@ -59,7 +59,10 @@ pub mod prelude {
         Exact, ExactSequential, FraAlgorithm, FraError, FraQuery, IidEst, IidEstLsr, MultiSiloEst,
         NonIidEst, NonIidEstLsr, Opta, PlanDecision, PlannerPolicy, QueryEngine, QueryResult,
     };
-    pub use fedra_federation::{Federation, FederationBuilder, SiloId};
+    pub use fedra_federation::{
+        BreakerState, CallPolicy, FaultPlan, Federation, FederationBuilder, FlapSchedule,
+        HealthConfig, HealthTracker, SiloFaultSpec, SiloHealthSnapshot, SiloId, TransportError,
+    };
     pub use fedra_geo::{Circle, GeoPoint, Point, Projection, Range, Rect, SpatialObject};
     pub use fedra_index::{AggFunc, Aggregate, IndexMemory};
     pub use fedra_obs::{

@@ -79,6 +79,8 @@ fn response() -> impl Strategy<Value = Response> {
         ),
         Just(Response::Pong),
         ".{0,120}".prop_map(Response::Error),
+        ".{0,120}".prop_map(Response::Transient),
+        any::<u64>().prop_map(|late_by_us| Response::DeadlineExceeded { late_by_us }),
     ]
 }
 
