@@ -53,6 +53,23 @@ echo "$chaos_out" | grep -q '^breaker leaks: 0$' \
     || { echo "chaos smoke: breaker leaked out of the run"; exit 1; }
 echo "    ok (hedges fired, no breaker leaks)"
 
+# Cache smoke: the city dashboard's refresh loop runs through the
+# ε-aware answer cache with per-serve truth checks. The steady-state hit
+# rate must be nonzero and no served answer may exceed the requested ε.
+echo "==> cache smoke (city_dashboard, ε-aware answer cache)"
+cache_out=$(cargo run -q --release --example city_dashboard)
+echo "$cache_out" | grep -Eq '^cache hit rate: [1-9][0-9]*\.' \
+    || { echo "cache smoke: steady-state hit rate is zero"; exit 1; }
+echo "$cache_out" | grep -q '^cache ε violations: 0$' \
+    || { echo "cache smoke: a served answer exceeded the requested ε"; exit 1; }
+echo "    ok (nonzero hit rate, zero ε violations)"
+
+# Overhead gate: the pure-miss cache path (zero TTL, every probe a miss)
+# must stay within noise of the uncached algorithm. The bench asserts
+# the <= 3 % budget itself; any violation fails this step.
+echo "==> cache overhead gate (micro_cache)"
+cargo bench -q -p fedra-bench --bench micro_cache | tail -n 4
+
 if command -v rustfmt >/dev/null 2>&1; then
     echo "==> cargo fmt --check"
     cargo fmt --check

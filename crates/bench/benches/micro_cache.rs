@@ -1,0 +1,148 @@
+//! Answer-cache overhead guard on the `micro_obs` IID-est workload.
+//!
+//! The ε-aware cache promises that a workload it cannot help — every
+//! probe a miss — costs only a map probe and an insert per query. This
+//! bench holds that promise to a number: the cache-disabled path (an
+//! [`AnswerCache`] whose TTL is zero, so every entry expires before the
+//! next ask and *every* query goes through to the wrapped algorithm)
+//! must stay within noise (≤ 3 %) of the raw, uncached algorithm on the
+//! same batch. Zero TTL is the worst case for the wrapper: each probe
+//! pays lookup + expiry removal + miss + re-insert, strictly more than
+//! any real configuration.
+//!
+//! Medians over interleaved rounds keep the check stable on shared
+//! machines, mirroring the micro_obs / micro_transport overhead gates.
+
+use std::hint::black_box;
+use std::time::{Duration, Instant};
+
+use fedra_core::{AnswerCache, CacheConfig, FraAlgorithm, FraQuery, IidEst};
+use fedra_federation::FederationBuilder;
+use fedra_index::AggFunc;
+use fedra_workload::{QueryGenerator, WorkloadSpec};
+
+/// Interleaved A/B rounds (odd, so the median is a single sample).
+const ROUNDS: usize = 41;
+/// The acceptance bound: pure-miss cache overhead within noise.
+const MAX_OVERHEAD: f64 = 0.03;
+
+fn median(mut xs: Vec<f64>) -> f64 {
+    xs.sort_by(|a, b| a.partial_cmp(b).expect("finite timings"));
+    xs[xs.len() / 2]
+}
+
+fn main() {
+    let spec = WorkloadSpec::default()
+        .with_total_objects(60_000)
+        .with_silos(4)
+        .with_seed(32);
+    let dataset = spec.generate();
+    let all = dataset.all_objects();
+    let fed = FederationBuilder::new(dataset.bounds())
+        .grid_cell_len(1.0)
+        .build(dataset.into_partitions());
+    let mut generator = QueryGenerator::new(&all, 33);
+    let queries: Vec<FraQuery> = generator
+        .circles(2.0, 128)
+        .iter()
+        .map(|r| FraQuery::new(*r, AggFunc::Count))
+        .collect();
+
+    let raw = IidEst::new(34);
+    let cached = AnswerCache::new(
+        IidEst::new(34),
+        CacheConfig {
+            capacity: 4096,
+            ttl: Duration::ZERO, // everything expires: the pure-miss path
+        },
+    );
+
+    // Same execution mode on both sides: direct per-query calls. (The
+    // batch engine would compare IID-est's planned per-silo path against
+    // the wrapper's unplanned one and measure batching, not the cache.)
+    let run_raw = |queries: &[FraQuery]| {
+        for q in queries {
+            black_box(raw.execute(&fed, q));
+        }
+    };
+    let run_cached = |queries: &[FraQuery]| {
+        for q in queries {
+            black_box(cached.execute(&fed, q));
+        }
+    };
+
+    // Warm the silo worker pools and both paths before timing.
+    for _ in 0..3 {
+        run_raw(&queries);
+        run_cached(&queries);
+    }
+
+    // Alternate which side runs first each round so slow drift on a
+    // shared machine cancels instead of biasing one side.
+    let mut raw_ns = Vec::with_capacity(ROUNDS);
+    let mut cached_ns = Vec::with_capacity(ROUNDS);
+    for round in 0..ROUNDS {
+        if round % 2 == 0 {
+            let start = Instant::now();
+            run_raw(&queries);
+            raw_ns.push(start.elapsed().as_nanos() as f64);
+            let start = Instant::now();
+            run_cached(&queries);
+            cached_ns.push(start.elapsed().as_nanos() as f64);
+        } else {
+            let start = Instant::now();
+            run_cached(&queries);
+            cached_ns.push(start.elapsed().as_nanos() as f64);
+            let start = Instant::now();
+            run_raw(&queries);
+            raw_ns.push(start.elapsed().as_nanos() as f64);
+        }
+    }
+    let raw_med = median(raw_ns.clone());
+    let cached_med = median(cached_ns.clone());
+    // Pair adjacent A/B timings and take the median ratio: a load spike
+    // hits both sides of its round, so it cancels out of that round's
+    // ratio instead of skewing one side's median.
+    let ratio = median(
+        raw_ns
+            .iter()
+            .zip(cached_ns.iter())
+            .map(|(r, c)| c / r)
+            .collect(),
+    );
+
+    let stats = cached.stats();
+    println!(
+        "micro_cache: IID-est batch of {} queries, m = 4, medians over {} interleaved rounds",
+        queries.len(),
+        ROUNDS
+    );
+    println!(
+        "  uncached     {:>10.0} ns/batch ({:.0} ns/query)",
+        raw_med,
+        raw_med / queries.len() as f64
+    );
+    println!(
+        "  zero-TTL cache {:>8.0} ns/batch ({:+.2} % wrapper cost, {} hits / {} misses)",
+        cached_med,
+        (ratio - 1.0) * 100.0,
+        stats.hits,
+        stats.misses
+    );
+
+    assert!(
+        stats.hits == 0,
+        "zero-TTL cache served {} hits; the guard must measure the pure-miss path",
+        stats.hits
+    );
+    assert!(
+        ratio <= 1.0 + MAX_OVERHEAD,
+        "pure-miss cache path slower than uncached by {:.2} % (> {:.0} % budget)",
+        (ratio - 1.0) * 100.0,
+        MAX_OVERHEAD * 100.0
+    );
+    println!(
+        "  [ok] pure-miss cache overhead within the {:.0} % noise budget",
+        MAX_OVERHEAD * 100.0
+    );
+}

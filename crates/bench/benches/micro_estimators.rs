@@ -2,6 +2,10 @@
 //! latency of the six algorithms on a standing federation, plus the wire
 //! codec throughput.
 
+// Pinned to the legacy `CachedAlgorithm` alias on purpose: the bench
+// doubles as a compile check that the deprecated API still works.
+#![allow(deprecated)]
+
 use criterion::{criterion_group, criterion_main, Criterion};
 use std::hint::black_box;
 

@@ -1,0 +1,242 @@
+//! A/B harness for the ε-aware answer cache and the grid pyramid on a
+//! dashboard workload: the same district tiles and roll-up panels
+//! re-asked cycle after cycle, the access pattern the cache exists for.
+//!
+//! Three cache variants run the identical query stream:
+//!
+//! * **uncached** — every refresh goes to the silos (EXACT);
+//! * **cache_cold** — the first refresh cycle through an [`AnswerCache`]
+//!   (all misses plus the roll-ups' containment decompositions);
+//! * **cache_warm** — steady-state refresh cycles, everything served
+//!   from the cache by ε-containment.
+//!
+//! A fourth section A/Bs the planner's pyramid knob on large circular
+//! queries: `pyramid: false` fans out to the silos, `pyramid: true`
+//! serves from the provider's coarsened merged grid whenever the
+//! computed boundary bound fits the target error, recording the level
+//! histogram.
+//!
+//! Writes `BENCH_cache.json` at the repo root (referenced from
+//! EXPERIMENTS.md) along with the host's core count.
+//!
+//! ```text
+//! cargo run --release -p fedra-bench --example ab_cache
+//! ```
+
+use std::time::Instant;
+
+use fedra_core::{
+    AdaptivePlanner, AnswerCache, CacheConfig, CachePolicy, CacheSource, Exact, FraAlgorithm,
+    FraQuery, PlannerPolicy,
+};
+use fedra_federation::FederationBuilder;
+use fedra_geo::{Point, Rect};
+use fedra_index::AggFunc;
+use fedra_obs::ObsContext;
+use fedra_workload::{MeasureModel, QueryGenerator, WorkloadSpec};
+
+const EPSILON: f64 = 0.05;
+const WARM_CYCLES: usize = 2_000;
+
+fn main() {
+    let mut spec = WorkloadSpec::default()
+        .with_total_objects(120_000)
+        .with_silos(6)
+        .with_seed(314);
+    spec.measure = MeasureModel::Speed;
+    let dataset = spec.generate();
+    let all = dataset.all_objects();
+    let federation = FederationBuilder::new(dataset.bounds())
+        .grid_cell_len(1.0)
+        .build(dataset.into_partitions());
+    let cores = std::thread::available_parallelism().map_or(1, |n| n.get());
+
+    // The city_dashboard refresh: 4×4 district tiles over the urban
+    // core, four quadrant roll-ups, and the whole-core panel — 21 COUNT
+    // rectangles re-asked every cycle.
+    let core = Rect::new(Point::new(-45.0, -125.0), Point::new(55.0, -45.0));
+    let (tiles_x, tiles_y) = (4, 4);
+    let (w, h) = (
+        core.width() / tiles_x as f64,
+        core.height() / tiles_y as f64,
+    );
+    let mut refresh: Vec<FraQuery> = Vec::new();
+    for ty in 0..tiles_y {
+        for tx in 0..tiles_x {
+            let a = Point::new(core.min.x + tx as f64 * w, core.min.y + ty as f64 * h);
+            refresh.push(FraQuery::rect(
+                a,
+                Point::new(a.x + w, a.y + h),
+                AggFunc::Count,
+            ));
+        }
+    }
+    for qy in 0..2 {
+        for qx in 0..2 {
+            let a = Point::new(
+                core.min.x + qx as f64 * 2.0 * w,
+                core.min.y + qy as f64 * 2.0 * h,
+            );
+            refresh.push(FraQuery::rect(
+                a,
+                Point::new(a.x + 2.0 * w, a.y + 2.0 * h),
+                AggFunc::Count,
+            ));
+        }
+    }
+    refresh.push(FraQuery::rect(core.min, core.max, AggFunc::Count));
+
+    // -- uncached: every cycle pays the silo fan-out ------------------
+    let exact = Exact::new();
+    for q in &refresh {
+        std::hint::black_box(exact.execute(&federation, q)); // warm pools
+    }
+    let started = Instant::now();
+    let uncached_cycles = 5usize;
+    for _ in 0..uncached_cycles {
+        for q in &refresh {
+            std::hint::black_box(exact.execute(&federation, q));
+        }
+    }
+    let uncached_qps = (uncached_cycles * refresh.len()) as f64 / started.elapsed().as_secs_f64();
+    println!("uncached   : {uncached_qps:>12.0} q/s");
+
+    // -- cached: cold first cycle, then steady-state refreshes --------
+    let cached = AnswerCache::with_policy(
+        Exact::new(),
+        CacheConfig::default(),
+        CachePolicy {
+            producer_epsilon: 0.0,
+            containment: true,
+        },
+    );
+    let obs = ObsContext::noop();
+    let mut decomposed_cold = 0usize;
+    let started = Instant::now();
+    for q in &refresh {
+        let answer = cached
+            .try_execute_with_epsilon(&federation, q, EPSILON, obs)
+            .expect("cold refresh failed");
+        if answer.source == CacheSource::DecomposedHit {
+            decomposed_cold += 1;
+        }
+    }
+    let cold_qps = refresh.len() as f64 / started.elapsed().as_secs_f64();
+    println!("cache cold : {cold_qps:>12.0} q/s ({decomposed_cold} roll-ups decomposed)");
+
+    let started = Instant::now();
+    for _ in 0..WARM_CYCLES {
+        for q in &refresh {
+            std::hint::black_box(
+                cached
+                    .try_execute_with_epsilon(&federation, q, EPSILON, obs)
+                    .expect("warm refresh failed"),
+            );
+        }
+    }
+    let warm_qps = (WARM_CYCLES * refresh.len()) as f64 / started.elapsed().as_secs_f64();
+    let stats = cached.stats();
+    let warm_speedup = warm_qps / uncached_qps;
+    println!(
+        "cache warm : {warm_qps:>12.0} q/s ({:.1} % hit rate, {} exact / {} decomposed serves)",
+        stats.hit_rate() * 100.0,
+        stats.hits - stats.decomposed,
+        stats.decomposed
+    );
+    println!("warm speedup over uncached: {warm_speedup:.0}x");
+
+    // -- pyramid on/off on large circles ------------------------------
+    // Big ranges are where the coarse levels pay: the planner serves
+    // them from the provider pyramid with zero silo contact when the
+    // computed bound fits the (relaxed, ε = 0.10) target.
+    let mut generator = QueryGenerator::new(&all, 271);
+    let circle_queries: Vec<FraQuery> = generator
+        .circles(15.0, 64)
+        .into_iter()
+        .map(|r| FraQuery::new(r, AggFunc::Count))
+        .collect();
+    let policy_off = PlannerPolicy {
+        target_error: 0.10,
+        pyramid: false,
+        ..PlannerPolicy::default()
+    };
+    let policy_on = PlannerPolicy {
+        pyramid: true,
+        ..policy_off
+    };
+    let run_planner = |policy: PlannerPolicy| -> (f64, fedra_obs::MetricsSnapshot) {
+        let planner = AdaptivePlanner::new(77, policy);
+        let obs = ObsContext::new();
+        for q in &circle_queries {
+            std::hint::black_box(
+                planner
+                    .try_execute_with(&federation, q, &obs)
+                    .expect("planner query failed"),
+            );
+        }
+        let started = Instant::now();
+        for _ in 0..3 {
+            for q in &circle_queries {
+                std::hint::black_box(
+                    planner
+                        .try_execute_with(&federation, q, &obs)
+                        .expect("planner query failed"),
+                );
+            }
+        }
+        let qps = (3 * circle_queries.len()) as f64 / started.elapsed().as_secs_f64();
+        (qps, obs.snapshot())
+    };
+    let (off_qps, _) = run_planner(policy_off);
+    let (on_qps, on_snapshot) = run_planner(policy_on);
+    let mut level_histogram: Vec<(String, u64)> = on_snapshot
+        .counters
+        .iter()
+        .filter(|(name, _)| name.starts_with("fedra_pyramid_level_total"))
+        .map(|(name, value)| {
+            let level = name
+                .rsplit("level=\"")
+                .next()
+                .and_then(|s| s.strip_suffix("\"}"))
+                .unwrap_or("?");
+            (level.to_string(), *value)
+        })
+        .collect();
+    level_histogram.sort();
+    let pyramid_served: u64 = on_snapshot
+        .counters
+        .get("fedra_plan_decision_total{decision=\"pyramid_served\"}")
+        .copied()
+        .unwrap_or_else(|| level_histogram.iter().map(|(_, n)| n).sum());
+    println!("pyramid off: {off_qps:>12.0} q/s");
+    println!(
+        "pyramid on : {on_qps:>12.0} q/s ({:.2}x, {} of {} served, levels {:?})",
+        on_qps / off_qps,
+        pyramid_served / 4, // warm-up + 3 timed passes
+        circle_queries.len(),
+        level_histogram
+    );
+
+    let levels_json = level_histogram
+        .iter()
+        .map(|(level, n)| format!("\"{level}\": {n}"))
+        .collect::<Vec<_>>()
+        .join(", ");
+    let json = format!(
+        "{{\n  \"bench\": \"ab_cache\",\n  \"host_cores\": {cores},\n  \"workload\": {{\"objects\": 120000, \"silos\": 6, \"tiles\": 16, \"rollups\": 5, \"epsilon\": {EPSILON}, \"warm_cycles\": {WARM_CYCLES}}},\n  \"variants\": [\n    {{\"name\": \"uncached\", \"qps\": {uncached_qps:.0}}},\n    {{\"name\": \"cache_cold\", \"qps\": {cold_qps:.0}, \"decomposed_rollups\": {decomposed_cold}}},\n    {{\"name\": \"cache_warm\", \"qps\": {warm_qps:.0}, \"hit_rate\": {hit_rate:.4}, \"serves\": {{\"exact\": {exact_serves}, \"decomposed\": {decomposed}}}}}\n  ],\n  \"warm_speedup\": {warm_speedup:.1},\n  \"pyramid\": {{\"radius_km\": 15, \"target_error\": 0.10, \"queries\": {nq}, \"off_qps\": {off_qps:.0}, \"on_qps\": {on_qps:.0}, \"speedup\": {pspeed:.2}, \"served_per_pass\": {served_per_pass}, \"level_histogram\": {{{levels_json}}}}},\n  \"note\": \"warm_speedup is cache-served vs silo fan-out on the repeated dashboard refresh; pyramid counters cover 1 warm-up + 3 timed passes\"\n}}\n",
+        hit_rate = stats.hit_rate(),
+        exact_serves = stats.hits - stats.decomposed,
+        decomposed = stats.decomposed,
+        nq = circle_queries.len(),
+        pspeed = on_qps / off_qps,
+        served_per_pass = pyramid_served / 4,
+    );
+    let path = concat!(env!("CARGO_MANIFEST_DIR"), "/../../BENCH_cache.json");
+    std::fs::write(path, json).expect("write BENCH_cache.json");
+    println!("wrote {path}");
+
+    assert!(
+        warm_speedup >= 3.0,
+        "warm cache must be >= 3x uncached, got {warm_speedup:.1}x"
+    );
+}

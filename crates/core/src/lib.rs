@@ -33,7 +33,9 @@ pub mod sql;
 pub mod theory;
 
 pub use algorithm::{drive_planned, AccuracyParams, FraAlgorithm, QueryPlan, RemotePlan};
-pub use cache::{CacheConfig, CacheStats, CachedAlgorithm};
+#[allow(deprecated)]
+pub use cache::CachedAlgorithm;
+pub use cache::{AnswerCache, CacheAnswer, CacheConfig, CachePolicy, CacheSource, CacheStats};
 pub use exact::{Exact, ExactSequential};
 pub use framework::{BatchResult, QueryEngine};
 pub use multi::MultiSiloEst;

@@ -80,6 +80,62 @@ pub fn epsilon_for_confidence(confidence: f64, ans: f64, sum0: f64) -> f64 {
     (sum0 / ans) * (2.0 * (4.0 / delta).ln()).sqrt()
 }
 
+/// The error bound of an answer assembled from cached fragments
+/// (containment decomposition, DESIGN.md §5f).
+///
+/// For the monotone aggregates (COUNT/SUM/SUM_SQR) over disjoint
+/// fragments `R = ⊎ Rᵢ`, each cached at relative error `εᵢ`:
+/// `|ans′ − ans| = |Σ ansᵢ′ − Σ ansᵢ| ≤ Σ εᵢ·ansᵢ ≤ (max εᵢ)·Σ ansᵢ`,
+/// so the assembled answer carries relative error at most `max εᵢ` — the
+/// served bound is *computed* from the fragments' producer bounds, never
+/// assumed. Returns `0.0` for an empty fragment list (an empty sum is
+/// exact).
+///
+/// ```
+/// use fedra_core::theory::containment_epsilon;
+/// assert_eq!(containment_epsilon(&[0.0, 0.05, 0.02]), 0.05);
+/// assert_eq!(containment_epsilon(&[]), 0.0);
+/// ```
+pub fn containment_epsilon(fragment_epsilons: &[f64]) -> f64 {
+    fragment_epsilons.iter().copied().fold(0.0, f64::max)
+}
+
+/// Whether a cached answer produced at error `producer_epsilon` may serve
+/// a query requesting `requested_epsilon` (the ε-containment rule): the
+/// producer's guarantee must be at least as strong, i.e.
+/// `producer_epsilon ≤ requested_epsilon`. `0.0` is the exact/degenerate
+/// mode and serves everything.
+///
+/// ```
+/// use fedra_core::theory::epsilon_serves;
+/// assert!(epsilon_serves(0.0, 0.0));     // exact serves exact
+/// assert!(epsilon_serves(0.05, 0.10));   // tighter serves looser
+/// assert!(!epsilon_serves(0.10, 0.05));  // looser never serves tighter
+/// ```
+pub fn epsilon_serves(producer_epsilon: f64, requested_epsilon: f64) -> bool {
+    producer_epsilon.is_finite()
+        && requested_epsilon.is_finite()
+        && producer_epsilon >= 0.0
+        && producer_epsilon <= requested_epsilon
+}
+
+/// The relative error bound of a pyramid serve: `bound / interior` for a
+/// non-negative measure, with the empty-interior conventions of
+/// `PyramidEstimate::relative_bound` (0 when nothing is uncertain, ∞ when
+/// everything is). Each frontier cell's truth lies in `[0, mass]` while
+/// the serve claims `frac·mass`, so the per-cell deviation is at most
+/// `max(frac, 1−frac)·mass`; summing and dividing by the certain interior
+/// mass (≤ the true answer) yields a sound relative bound.
+pub fn pyramid_relative_bound(bound: f64, interior: f64) -> f64 {
+    if bound <= 0.0 {
+        0.0
+    } else if interior <= 0.0 {
+        f64::INFINITY
+    } else {
+        bound / interior
+    }
+}
+
 /// Expected number of level-`l` samples falling inside the query range
 /// when the exact local answer is `res`: `res / 2^l`. The Lemma-1 level
 /// keeps this at ≈ `3·ln(2/δ)/ε²` regardless of silo size, which is why
@@ -190,5 +246,31 @@ mod tests {
     #[should_panic(expected = "confidence")]
     fn epsilon_for_confidence_rejects_one() {
         epsilon_for_confidence(1.0, 1.0, 1.0);
+    }
+
+    #[test]
+    fn containment_epsilon_is_the_worst_fragment() {
+        assert_eq!(containment_epsilon(&[]), 0.0);
+        assert_eq!(containment_epsilon(&[0.0, 0.0]), 0.0);
+        assert_eq!(containment_epsilon(&[0.02, 0.10, 0.05]), 0.10);
+        // A max-composed bound never loosens by adding tighter fragments.
+        assert_eq!(containment_epsilon(&[0.10, 0.0]), 0.10);
+    }
+
+    #[test]
+    fn epsilon_containment_rule_is_one_sided() {
+        assert!(epsilon_serves(0.0, 0.0));
+        assert!(epsilon_serves(0.0, 0.5));
+        assert!(epsilon_serves(0.05, 0.05));
+        assert!(!epsilon_serves(0.051, 0.05));
+        assert!(!epsilon_serves(f64::NAN, 0.05));
+        assert!(!epsilon_serves(-0.1, 0.05));
+    }
+
+    #[test]
+    fn pyramid_bound_conventions() {
+        assert_eq!(pyramid_relative_bound(0.0, 0.0), 0.0);
+        assert_eq!(pyramid_relative_bound(5.0, 0.0), f64::INFINITY);
+        assert_eq!(pyramid_relative_bound(5.0, 100.0), 0.05);
     }
 }

@@ -30,7 +30,7 @@ use fedra_index::histogram::{MinSkewConfig, MinSkewHistogram};
 use fedra_index::lsr::LsrForest;
 use fedra_index::pool::WorkerPool;
 use fedra_index::rtree::{RTree, RTreeConfig};
-use fedra_index::{Aggregate, IndexMemory};
+use fedra_index::{Aggregate, GridPyramid, IndexMemory};
 
 use crate::protocol::{LocalMode, Request, Response, SiloMemoryReport};
 
@@ -68,7 +68,7 @@ pub struct Silo {
     rtree: RTree,
     lsr: LsrForest,
     histogram: MinSkewHistogram,
-    grid: parking_lot::RwLock<Option<GridIndex>>,
+    grid: parking_lot::RwLock<Option<RetainedGrid>>,
     /// Scoped worker pool shared by index builds and request fan-out.
     pool: WorkerPool,
     /// Failure injection: when set, every request is answered with
@@ -82,6 +82,15 @@ pub struct Silo {
     metrics: SiloMetrics,
 }
 
+/// The grid state a silo retains after `BuildGrid`: the index itself
+/// (cell-id → rectangle mapping for `CellContributions`) plus its
+/// coarsening pyramid, whose level-1 prefix array gives an O(1)
+/// provably-empty probe used to prune clipped-aggregate work.
+struct RetainedGrid {
+    index: GridIndex,
+    pyramid: GridPyramid,
+}
+
 /// The silo's metric registry with cached hot-path handles.
 ///
 /// Shared across the worker-thread boundary by `Arc`, like the served
@@ -93,6 +102,9 @@ struct SiloMetrics {
     batch_items: Arc<Histogram>,
     batch_panics: Arc<Counter>,
     pool_items_per_task: Arc<Histogram>,
+    /// Boundary cells answered `ZERO` straight off the pyramid's
+    /// emptiness probe, skipping the clipped R-tree/LSR descent.
+    cells_pruned: Arc<Counter>,
     /// One counter per LSR level, indexed by the level picked (Alg. 6);
     /// the paper's O(log 1/ε) claim is readable straight off these.
     lsr_levels: Vec<Arc<Counter>>,
@@ -138,6 +150,8 @@ impl SiloMetrics {
                 .counter(&format!("fedra_silo_batch_panics_total{{silo=\"{id}\"}}")),
             pool_items_per_task: registry
                 .histogram(&format!("fedra_silo_pool_items_per_task{{silo=\"{id}\"}}")),
+            cells_pruned: registry
+                .counter(&format!("fedra_silo_cells_pruned_total{{silo=\"{id}\"}}")),
             lsr_levels: (0..lsr_levels)
                 .map(|l| {
                     registry.counter(&format!(
@@ -316,7 +330,11 @@ impl Silo {
                 outside,
             }
         };
-        *self.grid.write() = Some(grid);
+        let pyramid = GridPyramid::build_with(&grid, &self.pool);
+        *self.grid.write() = Some(RetainedGrid {
+            index: grid,
+            pyramid,
+        });
         response
     }
 
@@ -344,13 +362,37 @@ impl Silo {
         mode: LocalMode,
     ) -> Response {
         let guard = self.grid.read();
-        let Some(grid) = guard.as_ref() else {
+        let Some(retained) = guard.as_ref() else {
             return Response::Error(format!(
                 "silo {}: grid index not built yet (BuildGrid must precede CellContributions)",
                 self.id
             ));
         };
-        let spec = *grid.spec();
+        let spec = *retained.index.spec();
+        // Prune flags are O(1) probes per cell, computed under the read
+        // guard; the expensive clipped descent fans out after it drops. A
+        // cell is prunable only if its whole *closed* rectangle is empty:
+        // an object exactly on the cell's max edge bins into the next
+        // row/column, so the 2×2 neighborhood (clamped at the grid edge)
+        // must be empty too, not just the cell itself. The pyramid's
+        // level-1 prefix probe answers most empty neighborhoods in one
+        // rect_sum; the fine-cell sweep catches the rest.
+        let pruned: Vec<bool> = cells
+            .iter()
+            .map(|&id| {
+                let (ix, iy) = spec.cell_coords(id);
+                let x1 = (ix + 1).min(spec.nx() - 1);
+                let y1 = (iy + 1).min(spec.ny() - 1);
+                let empty = retained.pyramid.region_empty(ix, iy, x1, y1)
+                    || (ix..=x1).all(|cx| {
+                        (iy..=y1).all(|cy| retained.index.cell(spec.cell_id(cx, cy)).count == 0.0)
+                    });
+                if empty {
+                    self.metrics.cells_pruned.inc();
+                }
+                empty
+            })
+            .collect();
         drop(guard);
         // For the LSR mode, select the level once from the whole-query
         // sum₀ so all per-cell estimates share one sample tree.
@@ -368,8 +410,14 @@ impl Silo {
         };
         // The per-cell clipped aggregates (the O(√|g₀|) boundary work of
         // Alg. 3) are independent: fan them across the pool, answers in
-        // cell order.
-        let out: Vec<Aggregate> = self.pool.map(cells, |_, &id| {
+        // cell order. Pruned cells short-circuit to `ZERO` — bit-identical
+        // to what the clipped descent returns for an empty region (both
+        // fold from the monoid identity over nothing).
+        let work: Vec<(CellId, bool)> = cells.iter().copied().zip(pruned).collect();
+        let out: Vec<Aggregate> = self.pool.map(&work, |_, &(id, skip)| {
+            if skip {
+                return Aggregate::ZERO;
+            }
             let rect = spec.cell_rect_of(id);
             match level {
                 None => self.rtree.aggregate_clipped(range, &rect),
@@ -386,11 +434,13 @@ impl Silo {
         // levels so "R-tree + LSR extra" adds up without double counting.
         let lsr_total = self.lsr.memory_bytes() as u64;
         let lsr_extra = lsr_total.saturating_sub(self.lsr.base().memory_bytes() as u64);
+        // The pyramid is part of the grid's retained footprint: it exists
+        // only alongside the grid and serves the same request path.
         let grid = self
             .grid
             .read()
             .as_ref()
-            .map(|g| g.memory_bytes() as u64)
+            .map(|g| (g.index.memory_bytes() + g.pyramid.memory_bytes()) as u64)
             .unwrap_or(0);
         SiloMemoryReport {
             rtree,
@@ -555,6 +605,83 @@ mod tests {
             }
             other => panic!("unexpected response {other:?}"),
         }
+    }
+
+    #[test]
+    fn pruned_contributions_are_bit_identical_to_unpruned() {
+        // All data in the left half; a query over the right half makes
+        // every requested cell empty. The pyramid prune must answer the
+        // exact same bits the clipped R-tree descent would (ZERO), and the
+        // prune counter must show it actually skipped the work.
+        let objs: Vec<SpatialObject> = (0..500)
+            .map(|i| SpatialObject::at((i % 40) as f64, (i / 40) as f64 * 3.0, 1.0))
+            .collect();
+        let s = Silo::new(20, objs, config());
+        s.handle(Request::BuildGrid {
+            bounds: bounds(),
+            cell_len: 10.0,
+            return_cells: true,
+        });
+        let q = Range::circle(Point::new(80.0, 50.0), 15.0);
+        let spec = GridSpec::new(bounds(), 10.0);
+        let cls = spec.classify(&q);
+        let mut cells = cls.boundary.clone();
+        cells.extend(&cls.covered);
+        let resp = s.handle(Request::CellContributions {
+            range: q,
+            cells: cells.clone(),
+            mode: LocalMode::Exact,
+        });
+        let Response::AggVec(got) = resp else {
+            panic!("unexpected response");
+        };
+        for (i, (&id, a)) in cells.iter().zip(&got).enumerate() {
+            let direct = s.rtree.aggregate_clipped(&q, &spec.cell_rect_of(id));
+            assert_eq!(a.count.to_bits(), direct.count.to_bits(), "cell {i}");
+            assert_eq!(a.sum.to_bits(), direct.sum.to_bits(), "cell {i}");
+        }
+        let pruned = s
+            .metrics()
+            .snapshot()
+            .counters
+            .get("fedra_silo_cells_pruned_total{silo=\"20\"}")
+            .copied()
+            .unwrap_or(0);
+        assert!(pruned > 0, "prune must actually skip empty cells");
+    }
+
+    #[test]
+    fn max_edge_object_is_never_falsely_pruned() {
+        // An object at exactly (10, 10) bins into grid cell (1, 1), yet it
+        // sits on the *closed* rectangle of cell (0, 0). Pruning cell
+        // (0, 0) from its own count alone would drop the object; the 2×2
+        // neighborhood check must keep it.
+        let s = Silo::new(21, vec![SpatialObject::at(10.0, 10.0, 5.0)], config());
+        s.handle(Request::BuildGrid {
+            bounds: bounds(),
+            cell_len: 10.0,
+            return_cells: true,
+        });
+        let spec = GridSpec::new(bounds(), 10.0);
+        assert_eq!(
+            s.grid
+                .read()
+                .as_ref()
+                .map(|g| g.index.cell(spec.cell_id(0, 0)).count),
+            Some(0.0),
+            "the object bins into cell (1,1), not (0,0)"
+        );
+        let q = Range::rect(Point::new(0.0, 0.0), Point::new(10.0, 10.0));
+        let resp = s.handle(Request::CellContributions {
+            range: q,
+            cells: vec![spec.cell_id(0, 0)],
+            mode: LocalMode::Exact,
+        });
+        let Response::AggVec(v) = resp else {
+            panic!("unexpected response");
+        };
+        assert_eq!(v[0].count, 1.0, "edge object must survive the prune");
+        assert_eq!(v[0].sum, 5.0);
     }
 
     #[test]

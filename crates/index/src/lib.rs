@@ -9,6 +9,10 @@
 //!   range (covered vs boundary cells), and a 2-D cumulative array
 //!   ([`grid::PrefixGrid`]) implementing the O(1) rectangle-sum remark of
 //!   Sec. 4.2.1;
+//! * [`pyramid`] — multi-resolution 2×2 coarsenings of a grid index
+//!   ([`GridPyramid`]), each level with its own prefix array, serving
+//!   range aggregates from the coarsest cells whose computed boundary
+//!   error fits an ε budget;
 //! * [`rtree`] — an aggregate R-tree (STR bulk-loaded) giving exact local
 //!   range aggregation in O(log n): the substrate of the EXACT baseline
 //!   and of every LSR-Forest level;
@@ -32,10 +36,12 @@ pub mod grid;
 pub mod histogram;
 pub mod lsr;
 pub mod pool;
+pub mod pyramid;
 pub mod quadtree;
 pub mod rtree;
 
 pub use agg::{AggFunc, Aggregate};
+pub use pyramid::{GridPyramid, PyramidEstimate, PyramidLevel};
 
 /// Memory accounting for the "memory of indices" metric (Figs. 3d–9d).
 ///

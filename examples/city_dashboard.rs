@@ -95,6 +95,75 @@ fn main() {
         comm.total_bytes() as f64 / 1024.0
     );
 
+    // ---- The ε-aware answer cache on the refresh loop ----------------
+    //
+    // Dashboards re-ask the same tiles forever, and the roll-up panels
+    // ask the *unions* of tiles the per-district panels already asked.
+    // The answer cache serves repeats by ε-containment and the roll-ups
+    // by containment decomposition — zero silo contact for both. Every
+    // served answer is checked against an exact truth run here, so the
+    // violation count below is measured, not assumed.
+    let cached = AnswerCache::with_policy(
+        Exact::new(),
+        CacheConfig::default(),
+        CachePolicy {
+            producer_epsilon: 0.0,
+            containment: true,
+        },
+    );
+    let epsilon = 0.05;
+    let mut refresh: Vec<FraQuery> = Vec::new();
+    for ty in 0..tiles_y {
+        for tx in 0..tiles_x {
+            let a = Point::new(core.min.x + tx as f64 * w, core.min.y + ty as f64 * h);
+            let b = Point::new(a.x + w, a.y + h);
+            refresh.push(FraQuery::rect(a, b, AggFunc::Count));
+        }
+    }
+    // Roll-up panels: the four quadrants and the whole core, each the
+    // exact union of tiles already on the board.
+    for qy in 0..2 {
+        for qx in 0..2 {
+            let a = Point::new(
+                core.min.x + qx as f64 * 2.0 * w,
+                core.min.y + qy as f64 * 2.0 * h,
+            );
+            let b = Point::new(a.x + 2.0 * w, a.y + 2.0 * h);
+            refresh.push(FraQuery::rect(a, b, AggFunc::Count));
+        }
+    }
+    refresh.push(FraQuery::rect(core.min, core.max, AggFunc::Count));
+
+    let mut violations = 0usize;
+    for cycle in 0..3 {
+        for query in &refresh {
+            let answer = cached
+                .try_execute_with_epsilon(&federation, query, epsilon, &obs)
+                .expect("cached refresh failed");
+            if answer.source != CacheSource::Miss {
+                let truth = exact.execute(&federation, query).value;
+                if (answer.result.value - truth).abs() > epsilon * truth.abs() + 1e-9 {
+                    violations += 1;
+                }
+            }
+        }
+        let s = cached.stats();
+        println!(
+            "refresh cycle {}: {} hits / {} misses ({} decomposed)",
+            cycle + 1,
+            s.hits,
+            s.misses,
+            s.decomposed
+        );
+    }
+    let stats = cached.stats();
+    println!("cache hit rate: {:.1} %", stats.hit_rate() * 100.0);
+    println!("cache ε violations: {violations}");
+    println!("cache counters:");
+    for (name, value) in &cached.metrics().snapshot().counters {
+        println!("  {name} = {value}");
+    }
+
     // What the observability layer saw: sampled-silo spread and phase
     // latencies for the dashboard's own (estimated) queries.
     let snapshot = obs.snapshot();

@@ -95,6 +95,9 @@ fn main() {
         b1.throughput_qps
     );
 
+    // Legacy alias: exercised on purpose so the deprecated API keeps
+    // compiling; new code should use `AnswerCache`.
+    #[allow(deprecated)]
     let cached = CachedAlgorithm::new(
         NonIidEst::new(1),
         CacheConfig {

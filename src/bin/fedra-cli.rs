@@ -348,21 +348,41 @@ fn obs(options: &Options) -> ExitCode {
     let mut generator = QueryGenerator::new(&all, seed ^ 7);
     let n = opt(options, "queries", 250usize);
     let radius = opt(options, "radius", 2.0);
-    let queries: Vec<FraQuery> = generator
-        .circles(radius, n)
-        .into_iter()
-        .map(|r| FraQuery::new(r, AggFunc::Count))
-        .collect();
+    // --cache K: wrap the algorithm in the ε-aware answer cache and cycle
+    // the batch over K hot ranges so hits actually occur; the cache's
+    // `fedra_cache_*` counters then show up in every export format.
+    let hot: Option<usize> = options.get("cache").map(|v| v.parse().unwrap_or(8));
+    let ranges = generator.circles(radius, n);
+    let queries: Vec<FraQuery> = match hot {
+        Some(k) => {
+            let k = k.clamp(1, ranges.len());
+            (0..n)
+                .map(|i| FraQuery::new(ranges[i % k], AggFunc::Count))
+                .collect()
+        }
+        None => ranges
+            .into_iter()
+            .map(|r| FraQuery::new(r, AggFunc::Count))
+            .collect(),
+    };
 
+    fn maybe_cache<A: FraAlgorithm + 'static>(algo: A, cached: bool) -> Box<dyn FraAlgorithm> {
+        if cached {
+            Box::new(AnswerCache::with_defaults(algo))
+        } else {
+            Box::new(algo)
+        }
+    }
     let params = AccuracyParams::default();
+    let wrap = hot.is_some();
     let algo: Box<dyn FraAlgorithm> = match options.get("algo").map(String::as_str).unwrap_or("iid")
     {
-        "exact" => Box::new(Exact::new()),
-        "opta" => Box::new(Opta::new()),
-        "iid" => Box::new(IidEst::new(seed)),
-        "iid-lsr" => Box::new(IidEstLsr::new(seed, params)),
-        "noniid" => Box::new(NonIidEst::new(seed)),
-        "noniid-lsr" => Box::new(NonIidEstLsr::new(seed, params)),
+        "exact" => maybe_cache(Exact::new(), wrap),
+        "opta" => maybe_cache(Opta::new(), wrap),
+        "iid" => maybe_cache(IidEst::new(seed), wrap),
+        "iid-lsr" => maybe_cache(IidEstLsr::new(seed, params), wrap),
+        "noniid" => maybe_cache(NonIidEst::new(seed), wrap),
+        "noniid-lsr" => maybe_cache(NonIidEstLsr::new(seed, params), wrap),
         other => {
             eprintln!("error: unknown --algo `{other}` (exact|opta|iid|iid-lsr|noniid|noniid-lsr)");
             return ExitCode::FAILURE;
@@ -469,7 +489,9 @@ COMMANDS:
              fedra-cli sql \"SELECT COUNT(*) FROM fleet WHERE WITHIN(0, -95, 2)\"
   stats    print federation and index statistics
   obs      run an instrumented batch, dump metrics + traces + silo health
-             (--queries N, --algo A, --format text|prom|json)
+             (--queries N, --algo A, --format text|prom|json, --cache K to
+              wrap the algorithm in the answer cache over K hot ranges —
+              fedra_cache_* counters appear in the metric dump)
   help     this text
 
 RESILIENCE OPTIONS (any command):

@@ -54,17 +54,20 @@ pub use fedra_workload as workload;
 
 /// One-stop imports for applications.
 pub mod prelude {
+    #[allow(deprecated)]
+    pub use fedra_core::CachedAlgorithm;
     pub use fedra_core::{
-        AccuracyParams, AdaptivePlanner, BatchResult, CacheConfig, CacheStats, CachedAlgorithm,
-        Exact, ExactSequential, FraAlgorithm, FraError, FraQuery, IidEst, IidEstLsr, MultiSiloEst,
-        NonIidEst, NonIidEstLsr, Opta, PlanDecision, PlannerPolicy, QueryEngine, QueryResult,
+        AccuracyParams, AdaptivePlanner, AnswerCache, BatchResult, CacheAnswer, CacheConfig,
+        CachePolicy, CacheSource, CacheStats, Exact, ExactSequential, FraAlgorithm, FraError,
+        FraQuery, IidEst, IidEstLsr, MultiSiloEst, NonIidEst, NonIidEstLsr, Opta, PlanDecision,
+        PlannerPolicy, QueryEngine, QueryResult,
     };
     pub use fedra_federation::{
         BreakerState, CallPolicy, FaultPlan, Federation, FederationBuilder, FlapSchedule,
         HealthConfig, HealthTracker, SiloFaultSpec, SiloHealthSnapshot, SiloId, TransportError,
     };
     pub use fedra_geo::{Circle, GeoPoint, Point, Projection, Range, Rect, SpatialObject};
-    pub use fedra_index::{AggFunc, Aggregate, IndexMemory};
+    pub use fedra_index::{AggFunc, Aggregate, GridPyramid, IndexMemory, PyramidEstimate};
     pub use fedra_obs::{
         CommCounters, CommSnapshot, MetricsRegistry, MetricsSnapshot, ObsContext, QueryTrace,
     };
