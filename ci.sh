@@ -4,6 +4,14 @@
 # Usage: ./ci.sh
 # Fails fast on the first broken step. rustfmt is optional (offline
 # toolchains may lack it); every other step is mandatory.
+#
+# Opt-in sanitizer smoke (FEDRA_SANITIZE=1 ./ci.sh): the dynamic
+# counterpart to the determinism-discipline and lock-order static
+# passes — runs the parallel-equivalence suite under ThreadSanitizer
+# and the federation wire tests under Miri. Skipped by default because
+# both need a nightly toolchain with the `rust-src` (for -Zbuild-std)
+# and `miri` components; the stage probes for them and fails with a
+# pointed message instead of attempting any install.
 
 set -euo pipefail
 cd "$(dirname "$0")"
@@ -24,8 +32,30 @@ for threads in 1 4; do
         --test parallel_equivalence --test reproducibility
 done
 
-echo "==> fedra-lint check"
-cargo run -q -p fedra-lint -- check
+# Lint gate plus machine-readable artifact: the JSON output is
+# byte-stable, so target/ci/fedra-lint.json can be archived and diffed
+# between runs. Per-rule totals must match the committed baseline
+# exactly — with all lints at deny and the gate requiring zero failing
+# findings, every counted finding is a baselined one, so the totals are
+# exactly the per-rule line counts of crates/lint/baseline.txt.
+echo "==> fedra-lint check (JSON artifact + rule-count diff)"
+mkdir -p target/ci
+cargo run -q -p fedra-lint -- check --format json > target/ci/fedra-lint.json \
+    || { echo "fedra-lint: check failed (artifact: target/ci/fedra-lint.json)"; exit 1; }
+jq -r '.rule_counts | to_entries[] | "\(.key) \(.value)"' target/ci/fedra-lint.json \
+    > target/ci/rule-counts.txt
+# (grep exits 1 on an all-comment baseline — the healthy case — so it
+# must not trip set -e/pipefail.)
+{ grep -v '^#' crates/lint/baseline.txt || true; } | awk -F'\t' 'NF { print $1 }' \
+    | sort | uniq -c | awk '{ print $2, $1 }' > target/ci/baseline-counts.txt
+while read -r rule count; do
+    base=$(awk -v r="$rule" '$1 == r { print $2 }' target/ci/baseline-counts.txt)
+    if [ "$count" -ne "${base:-0}" ]; then
+        echo "fedra-lint: rule $rule reports $count findings, baseline records ${base:-0}"
+        exit 1
+    fi
+done < target/ci/rule-counts.txt
+echo "    ok ($(wc -l < target/ci/rule-counts.txt) rules match the committed baseline)"
 
 # Observability smoke: the quickstart ends with an instrumented batch
 # and a Prometheus dump; an empty or counter-less dump means the
@@ -69,6 +99,32 @@ echo "    ok (nonzero hit rate, zero ε violations)"
 # the <= 3 % budget itself; any violation fails this step.
 echo "==> cache overhead gate (micro_cache)"
 cargo bench -q -p fedra-bench --bench micro_cache | tail -n 4
+
+# Sanitizer smoke (opt-in; see header). TSan re-runs the pool-size
+# equivalence suite looking for data races the deterministic harness
+# can't surface as wrong answers; Miri runs the federation crate's
+# wire tests for UB in the encode/decode paths.
+if [ "${FEDRA_SANITIZE:-0}" = "1" ]; then
+    echo "==> sanitizer smoke (TSan + Miri, FEDRA_SANITIZE=1)"
+    command -v rustup >/dev/null 2>&1 \
+        || { echo "sanitize: rustup not found; cannot select a nightly toolchain"; exit 1; }
+    rustup toolchain list 2>/dev/null | grep -q '^nightly' \
+        || { echo "sanitize: no nightly toolchain (need: rustup toolchain install nightly)"; exit 1; }
+    components=$(rustup component list --toolchain nightly 2>/dev/null || true)
+    echo "$components" | grep -q '^rust-src.*(installed)' \
+        || { echo "sanitize: nightly lacks rust-src (need: rustup component add rust-src --toolchain nightly)"; exit 1; }
+    echo "$components" | grep -Eq '^miri.*\(installed\)' \
+        || { echo "sanitize: nightly lacks miri (need: rustup component add miri --toolchain nightly)"; exit 1; }
+    host=$(rustc -vV | sed -n 's/^host: //p')
+    echo "    TSan: parallel equivalence suite ($host)"
+    RUSTFLAGS="-Zsanitizer=thread" cargo +nightly test -q -p fedra \
+        --test parallel_equivalence -Zbuild-std --target "$host"
+    echo "    Miri: federation wire tests"
+    cargo +nightly miri test -q -p fedra-federation wire
+    echo "    ok (TSan + Miri smoke passed)"
+else
+    echo "==> sanitizer smoke: SKIPPED (opt in with FEDRA_SANITIZE=1)"
+fi
 
 if command -v rustfmt >/dev/null 2>&1; then
     echo "==> cargo fmt --check"

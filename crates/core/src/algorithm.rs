@@ -355,6 +355,10 @@ fn attempt_silo(
         if obs.is_enabled() {
             obs.inc(&labeled("fedra_silo_requests_total", "silo", silo));
         }
+        // Retry/hedge deadlines and the health EWMA are wall-clock by
+        // design (DESIGN.md §5e); the clock gates transport pacing, never
+        // a result value.
+        // fedra-lint: allow(determinism-discipline)
         let started = Instant::now();
         let deadline = policy.deadline.map(|d| started + d);
         let (winner, outcome) = match federation.channel(silo).begin_call_with(request, deadline) {
@@ -422,6 +426,9 @@ fn race_hedge(
     let hedge_deadline = federation
         .call_policy()
         .deadline
+        // Hedge deadlines are wall-clock budgets by design; both racers
+        // compute identical bits.
+        // fedra-lint: allow(determinism-discipline)
         .map(|d| Instant::now() + d);
     match federation
         .channel(hedge_silo)

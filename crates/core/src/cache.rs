@@ -171,6 +171,14 @@ impl QueryKey {
             },
         }
     }
+
+    /// Total order over keys for deterministic tie-breaking (eviction,
+    /// fragment ordering). Hash-map iteration order must never decide
+    /// anything observable; wherever map order could reach a result, the
+    /// decision is settled by this key order instead.
+    fn sort_key(&self) -> (u8, u64, u64, u64, u64, u8) {
+        (self.kind, self.a, self.b, self.c, self.d, self.func as u8)
+    }
 }
 
 /// Cheap fixed-width mixer for [`QueryKey`]: multiply-xor-rotate per
@@ -377,6 +385,10 @@ impl<A: FraAlgorithm> AnswerCache<A> {
             "requested epsilon must be finite and non-negative"
         );
         let key = QueryKey::of(query);
+        // The TTL is wall-clock by design; expiry only picks between
+        // serving a cached answer and recomputing the identical bits,
+        // never the answer's value.
+        // fedra-lint: allow(determinism-discipline)
         let now = Instant::now();
         {
             let mut state = self.state.lock();
@@ -522,6 +534,9 @@ impl<A: FraAlgorithm> AnswerCache<A> {
 
         let mut candidates: Vec<(Rect, &Entry, QueryKey)> = state
             .map
+            // Visit order feeds the total-order sort below; nothing
+            // order-dependent escapes.
+            // fedra-lint: allow(determinism-discipline)
             .iter()
             .filter_map(|(k, e)| {
                 if e.func != query.func
@@ -538,10 +553,17 @@ impl<A: FraAlgorithm> AnswerCache<A> {
                 }
             })
             .collect();
-        candidates.sort_by(|(a, _, _), (b, _, _)| {
-            (a.min.y, a.min.x, a.max.y, a.max.x)
-                .partial_cmp(&(b.min.y, b.min.x, b.max.y, b.max.x))
-                .unwrap_or(std::cmp::Ordering::Equal)
+        // Total order: `total_cmp` (no NaN/-0.0 input-order fallback) plus
+        // a key tie-break so coincident rects resolve identically no
+        // matter what insertion history the map accumulated.
+        candidates.sort_by(|(a, _, ka), (b, _, kb)| {
+            a.min
+                .y
+                .total_cmp(&b.min.y)
+                .then(a.min.x.total_cmp(&b.min.x))
+                .then(a.max.y.total_cmp(&b.max.y))
+                .then(a.max.x.total_cmp(&b.max.x))
+                .then(ka.sort_key().cmp(&kb.sort_key()))
         });
 
         let mut taken: Vec<(Rect, &Entry, QueryKey)> = Vec::new();
@@ -589,10 +611,15 @@ impl<A: FraAlgorithm> AnswerCache<A> {
         entry: Entry,
     ) {
         if state.map.len() >= capacity && !state.map.contains_key(&key) {
+            // Ties on `last_used` do happen (fragment touches and memoized
+            // inserts share a tick); break them by key order so the victim
+            // never depends on hash-map iteration order.
             if let Some(victim) = state
                 .map
+                // Visit order cannot escape: the min below is total-ordered.
+                // fedra-lint: allow(determinism-discipline)
                 .iter()
-                .min_by_key(|(_, e)| e.last_used)
+                .min_by_key(|(k, e)| (e.last_used, k.sort_key()))
                 .map(|(k, _)| *k)
             {
                 state.map.remove(&victim);

@@ -188,6 +188,9 @@ impl<'a> QueryEngine<'a> {
             obs.set_gauge("fedra_engine_workers", self.workers as f64);
         }
         let comm_before = federation.query_comm();
+        // Wall timing feeds BatchResult/throughput reporting only, never
+        // a query answer.
+        // fedra-lint: allow(determinism-discipline)
         let started = Instant::now();
         let results = if self.algorithm.supports_planning() {
             self.run_planned(federation, queries, obs)
@@ -220,6 +223,9 @@ impl<'a> QueryEngine<'a> {
         obs: &ObsContext,
     ) -> BatchResult {
         let comm_before = federation.query_comm();
+        // Wall timing feeds BatchResult/throughput reporting only, never
+        // a query answer.
+        // fedra-lint: allow(determinism-discipline)
         let started = Instant::now();
         let results = self.run_pooled(federation, queries, obs);
         Self::finish_measurement(federation, queries, results, started, comm_before, obs)
@@ -422,6 +428,10 @@ impl<'a> QueryEngine<'a> {
                         .filter_map(|&i| inflight[i].as_ref())
                         .map(|entry| &entry.request)
                         .collect();
+                    // Deadline budgets are wall-clock by design; a miss
+                    // degrades the frame to the same error value every run
+                    // path accepts.
+                    // fedra-lint: allow(determinism-discipline)
                     let begun = Instant::now();
                     // A lost entry (requests shorter than indices) would
                     // misalign the reply zip; degrade the whole frame.
@@ -614,6 +624,10 @@ impl<'a> QueryEngine<'a> {
     ) -> Vec<ParkedFrame> {
         let mut kept = Vec::new();
         for p in parked {
+            // Deadline polling is wall-clock by design (DESIGN.md §5e);
+            // the clock decides *when* to give up, never what value a
+            // query returns.
+            // fedra-lint: allow(determinism-discipline)
             let now = Instant::now();
             let wait_until = if block { p.deadline } else { now };
             match p.pending.poll_deadline(wait_until) {

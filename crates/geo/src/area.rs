@@ -61,7 +61,9 @@ pub fn circle_rect_intersection_area(circle: &Circle, rect: &Rect) -> f64 {
         }
     }
     let cuts = &mut cuts[..n_cuts];
-    cuts.sort_by(|a, b| a.partial_cmp(b).expect("breakpoints are finite"));
+    // `total_cmp` is a total order, so the sort cannot fall back to input
+    // order on a NaN (and drops the panic path `partial_cmp` needed).
+    cuts.sort_by(f64::total_cmp);
 
     let mut area = 0.0;
     for w in cuts.windows(2) {

@@ -80,6 +80,13 @@ pub struct Lexed {
     pub tokens: Vec<Token>,
     /// Suppression directives harvested from comments.
     pub allows: Vec<AllowDirective>,
+    /// Lines carrying a `// fedra-lint: deterministic-region` marker.
+    ///
+    /// The marker is module-level: its presence anywhere in a file
+    /// designates the whole file a deterministic region for the
+    /// `determinism-discipline` lint, in addition to the lint's built-in
+    /// region list (planner, merge/reduce, wire encoding, estimators).
+    pub deterministic_markers: Vec<u32>,
 }
 
 /// Tokenizes Rust source. Unterminated constructs are tolerated (the rest
@@ -192,7 +199,8 @@ impl Lexer {
         self.harvest_allow(&text, line);
     }
 
-    /// Extracts `fedra-lint: allow(<lint>)` directives from comment text.
+    /// Extracts `fedra-lint: allow(<lint>)` and
+    /// `fedra-lint: deterministic-region` directives from comment text.
     fn harvest_allow(&mut self, text: &str, line: u32) {
         let mut rest = text;
         while let Some(at) = rest.find("fedra-lint:") {
@@ -207,6 +215,8 @@ impl Lexer {
                         });
                     }
                 }
+            } else if trimmed.starts_with("deterministic-region") {
+                self.out.deterministic_markers.push(line);
             }
         }
     }

@@ -19,6 +19,7 @@
 pub mod diagnostics;
 pub mod lexer;
 pub mod lints;
+pub mod output;
 pub mod registry;
 pub mod scan;
 pub mod workspace;

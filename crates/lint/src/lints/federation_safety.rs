@@ -16,6 +16,7 @@
 use crate::diagnostics::{Diagnostic, Level};
 use crate::registry::Lint;
 use crate::scan::{enum_body, SourceFile};
+use crate::workspace::Workspace;
 
 /// Types that identify or locate individual objects.
 const FORBIDDEN_TYPES: &[&str] = &["SpatialObject", "Point", "GeoPoint", "Circle"];
@@ -32,7 +33,8 @@ impl Lint for FederationSafety {
         "no per-object or location-bearing types in silo→provider Response payloads"
     }
 
-    fn check(&self, files: &[SourceFile], diags: &mut Vec<Diagnostic>) {
+    fn check(&self, ws: &Workspace, diags: &mut Vec<Diagnostic>) {
+        let files: &[SourceFile] = &ws.files;
         for file in files {
             if !file.path.contains("crates/federation/src/") {
                 continue;

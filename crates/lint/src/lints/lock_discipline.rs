@@ -18,6 +18,7 @@ use crate::diagnostics::{Diagnostic, Level};
 use crate::lexer::{Token, TokenKind};
 use crate::registry::Lint;
 use crate::scan::SourceFile;
+use crate::workspace::Workspace;
 
 /// Trailing calls that produce a lock guard.
 const GUARD_METHODS: &[&str] = &["lock", "read", "write"];
@@ -45,7 +46,8 @@ impl Lint for LockDiscipline {
         "no blocking send/recv/join while a lock guard is live in the same scope"
     }
 
-    fn check(&self, files: &[SourceFile], diags: &mut Vec<Diagnostic>) {
+    fn check(&self, ws: &Workspace, diags: &mut Vec<Diagnostic>) {
+        let files: &[SourceFile] = &ws.files;
         for file in files {
             check_file(self.name(), file, diags);
         }

@@ -3,12 +3,18 @@
 //! Each lint encodes one invariant the paper or the transport design
 //! depends on; see the individual modules for the full rationale.
 
+mod determinism;
 mod federation_safety;
 mod lock_discipline;
+mod lock_order;
+mod obs_exhaustiveness;
 mod panic_discipline;
 mod wire_exhaustiveness;
 
+pub use determinism::DeterminismDiscipline;
 pub use federation_safety::FederationSafety;
 pub use lock_discipline::LockDiscipline;
+pub use lock_order::LockOrder;
+pub use obs_exhaustiveness::ObsExhaustiveness;
 pub use panic_discipline::PanicDiscipline;
 pub use wire_exhaustiveness::WireExhaustiveness;

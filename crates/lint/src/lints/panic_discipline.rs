@@ -18,6 +18,7 @@
 use crate::diagnostics::{Diagnostic, Level};
 use crate::registry::Lint;
 use crate::scan::SourceFile;
+use crate::workspace::Workspace;
 
 /// Engine files in `fedra-core`: everything on the query execution path.
 /// (`sql.rs`, `theory.rs` and `helpers.rs` are user-facing front-ends and
@@ -56,7 +57,8 @@ impl Lint for PanicDiscipline {
         "no unwrap/expect/panic!/unreachable! in non-test federation or engine code"
     }
 
-    fn check(&self, files: &[SourceFile], diags: &mut Vec<Diagnostic>) {
+    fn check(&self, ws: &Workspace, diags: &mut Vec<Diagnostic>) {
+        let files: &[SourceFile] = &ws.files;
         for file in files {
             if !applies_to(&file.path) {
                 continue;

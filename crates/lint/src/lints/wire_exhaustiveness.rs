@@ -21,6 +21,7 @@
 use crate::diagnostics::{Diagnostic, Level};
 use crate::registry::Lint;
 use crate::scan::{enum_body, enum_variants, fn_body, impl_body, mentions_variant, SourceFile};
+use crate::workspace::Workspace;
 
 /// See the module docs.
 pub struct WireExhaustiveness;
@@ -34,7 +35,8 @@ impl Lint for WireExhaustiveness {
         "every Request variant has an encoded_len case, a decode case and a silo handler arm"
     }
 
-    fn check(&self, files: &[SourceFile], diags: &mut Vec<Diagnostic>) {
+    fn check(&self, ws: &Workspace, diags: &mut Vec<Diagnostic>) {
+        let files: &[SourceFile] = &ws.files;
         let Some(protocol) = files
             .iter()
             .find(|f| f.path.ends_with("federation/src/protocol.rs"))

@@ -1,10 +1,11 @@
 //! The `fedra-lint` command-line interface.
 //!
 //! ```text
-//! cargo run -p fedra-lint -- check             # fail on non-baselined findings
-//! cargo run -p fedra-lint -- check --root DIR  # analyze another tree
-//! cargo run -p fedra-lint -- baseline          # regenerate the baseline file
-//! cargo run -p fedra-lint -- list              # show registered lints
+//! cargo run -p fedra-lint -- check                 # fail on non-baselined findings
+//! cargo run -p fedra-lint -- check --root DIR      # analyze another tree
+//! cargo run -p fedra-lint -- check --format json   # machine-readable (also: sarif)
+//! cargo run -p fedra-lint -- baseline              # regenerate the baseline file
+//! cargo run -p fedra-lint -- list                  # show registered lints
 //! ```
 
 #![forbid(unsafe_code)]
@@ -14,8 +15,17 @@ use std::path::PathBuf;
 use std::process::ExitCode;
 
 use fedra_lint::diagnostics::Baseline;
+use fedra_lint::output::{render_json, render_sarif};
 use fedra_lint::registry::Registry;
-use fedra_lint::workspace::{collect_sources, run_check, BASELINE_PATH};
+use fedra_lint::workspace::{collect_workspace, run_check, BASELINE_PATH};
+
+/// Output format for `check`.
+#[derive(Clone, Copy, PartialEq, Eq)]
+enum Format {
+    Human,
+    Json,
+    Sarif,
+}
 
 fn main() -> ExitCode {
     let args: Vec<String> = std::env::args().skip(1).collect();
@@ -26,9 +36,23 @@ fn main() -> ExitCode {
         .and_then(|i| args.get(i + 1))
         .map(PathBuf::from)
         .unwrap_or_else(default_root);
+    let format = match args
+        .iter()
+        .position(|a| a == "--format")
+        .and_then(|i| args.get(i + 1))
+        .map(String::as_str)
+    {
+        None => Format::Human,
+        Some("json") => Format::Json,
+        Some("sarif") => Format::Sarif,
+        Some(other) => {
+            eprintln!("fedra-lint: unknown format `{other}` (try: json, sarif)");
+            return ExitCode::from(2);
+        }
+    };
 
     match command {
-        "check" => check(&root),
+        "check" => check(&root, format),
         "baseline" => baseline(&root),
         "list" => list(),
         other => {
@@ -46,7 +70,7 @@ fn default_root() -> PathBuf {
         .unwrap_or_else(|_| PathBuf::from("."))
 }
 
-fn check(root: &PathBuf) -> ExitCode {
+fn check(root: &PathBuf, format: Format) -> ExitCode {
     let registry = Registry::with_default_lints();
     let report = match run_check(root, &registry) {
         Ok(report) => report,
@@ -58,26 +82,32 @@ fn check(root: &PathBuf) -> ExitCode {
             return ExitCode::from(2);
         }
     };
-    for d in &report.warnings {
-        println!("{d}");
+    match format {
+        Format::Human => {
+            for d in &report.warnings {
+                println!("{d}");
+            }
+            for d in &report.failing {
+                println!("{d}");
+            }
+            for entry in &report.stale_baseline {
+                println!(
+                    "stale baseline entry (finding fixed — delete it from {BASELINE_PATH}): {}",
+                    entry.replace('\t', " ")
+                );
+            }
+            println!(
+                "fedra-lint: {} files checked — {} failing, {} warnings, {} baselined, {} stale",
+                report.files_checked,
+                report.failing.len(),
+                report.warnings.len(),
+                report.baselined.len(),
+                report.stale_baseline.len(),
+            );
+        }
+        Format::Json => print!("{}", render_json(&report, &registry.lints())),
+        Format::Sarif => print!("{}", render_sarif(&report, &registry.lints())),
     }
-    for d in &report.failing {
-        println!("{d}");
-    }
-    for entry in &report.stale_baseline {
-        println!(
-            "stale baseline entry (finding fixed — delete it from {BASELINE_PATH}): {}",
-            entry.replace('\t', " ")
-        );
-    }
-    println!(
-        "fedra-lint: {} files checked — {} failing, {} warnings, {} baselined, {} stale",
-        report.files_checked,
-        report.failing.len(),
-        report.warnings.len(),
-        report.baselined.len(),
-        report.stale_baseline.len(),
-    );
     if report.is_clean() {
         ExitCode::SUCCESS
     } else {
@@ -87,8 +117,8 @@ fn check(root: &PathBuf) -> ExitCode {
 
 fn baseline(root: &PathBuf) -> ExitCode {
     let registry = Registry::with_default_lints();
-    let files = match collect_sources(root) {
-        Ok(files) => files,
+    let workspace = match collect_workspace(root) {
+        Ok(ws) => ws,
         Err(e) => {
             eprintln!(
                 "fedra-lint: cannot read workspace at {}: {e}",
@@ -97,7 +127,7 @@ fn baseline(root: &PathBuf) -> ExitCode {
             return ExitCode::from(2);
         }
     };
-    let diags = registry.run(&files);
+    let diags = registry.run(&workspace);
     let path = root.join(BASELINE_PATH);
     if let Err(e) = std::fs::write(&path, Baseline::render(&diags)) {
         eprintln!("fedra-lint: cannot write {}: {e}", path.display());

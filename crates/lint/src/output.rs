@@ -1,0 +1,178 @@
+//! Machine-readable diagnostics: `--format json` and `--format sarif`.
+//!
+//! Both renderers are **byte-stable**: given the same workspace and
+//! baseline they emit identical bytes on every run — no timestamps, no
+//! absolute paths, no map iteration. CI archives the JSON artifact and
+//! diffs per-rule counts between runs; the SARIF output feeds any
+//! SARIF-consuming viewer (rule id, span, suppression state).
+//!
+//! Serialization is hand-rolled (the crate is deliberately
+//! dependency-free); the only subtlety is string escaping, handled by
+//! [`escape`].
+
+use crate::diagnostics::Level;
+use crate::workspace::Report;
+
+/// Tool version stamped into both formats (the crate version).
+const VERSION: &str = env!("CARGO_PKG_VERSION");
+
+/// Renders the check outcome as a single JSON document.
+///
+/// Shape: `tool` (name/version), `summary` (counts the human output
+/// prints), `rule_counts` (per-rule totals, sorted by rule id — the
+/// field CI diffs between runs) and `findings` (one object per
+/// diagnostic in location order, with `suppressed` marking baselined
+/// entries).
+pub fn render_json(report: &Report, rules: &[(&'static str, &'static str, Level)]) -> String {
+    let findings = report.all_findings();
+    let mut out = String::new();
+    out.push_str("{\n");
+    out.push_str(&format!(
+        "  \"tool\": {{ \"name\": \"fedra-lint\", \"version\": \"{}\" }},\n",
+        escape(VERSION)
+    ));
+    out.push_str(&format!(
+        "  \"summary\": {{ \"files_checked\": {}, \"failing\": {}, \"warnings\": {}, \
+         \"baselined\": {}, \"stale_baseline\": {} }},\n",
+        report.files_checked,
+        report.failing.len(),
+        report.warnings.len(),
+        report.baselined.len(),
+        report.stale_baseline.len()
+    ));
+    out.push_str("  \"rule_counts\": {");
+    let mut first = true;
+    for (name, _, level) in rules {
+        if *level == Level::Allow {
+            continue;
+        }
+        let n = findings.iter().filter(|(d, _)| d.lint == *name).count();
+        if !first {
+            out.push(',');
+        }
+        first = false;
+        out.push_str(&format!(" \"{}\": {}", escape(name), n));
+    }
+    out.push_str(" },\n");
+    out.push_str("  \"findings\": [");
+    for (i, (d, suppressed)) in findings.iter().enumerate() {
+        if i > 0 {
+            out.push(',');
+        }
+        out.push_str(&format!(
+            "\n    {{ \"rule\": \"{}\", \"level\": \"{}\", \"file\": \"{}\", \"line\": {}, \
+             \"col\": {}, \"suppressed\": {}, \"message\": \"{}\" }}",
+            escape(d.lint),
+            level_str(d.level),
+            escape(&d.file),
+            d.line,
+            d.col,
+            suppressed,
+            escape(&d.message)
+        ));
+    }
+    if !findings.is_empty() {
+        out.push_str("\n  ");
+    }
+    out.push_str("]\n}\n");
+    out
+}
+
+/// Renders the check outcome as SARIF 2.1.0.
+///
+/// One run, one driver (`fedra-lint`), every registered rule listed under
+/// `tool.driver.rules`, one `result` per finding. Baselined findings
+/// carry a `suppressions` entry of kind `external` (the committed
+/// baseline file is external to the source), matching how SARIF viewers
+/// hide suppressed results by default.
+pub fn render_sarif(report: &Report, rules: &[(&'static str, &'static str, Level)]) -> String {
+    let findings = report.all_findings();
+    let mut out = String::new();
+    out.push_str("{\n");
+    out.push_str("  \"version\": \"2.1.0\",\n");
+    out.push_str("  \"$schema\": \"https://json.schemastore.org/sarif-2.1.0.json\",\n");
+    out.push_str("  \"runs\": [\n    {\n");
+    out.push_str("      \"tool\": {\n        \"driver\": {\n");
+    out.push_str(&format!(
+        "          \"name\": \"fedra-lint\",\n          \"version\": \"{}\",\n",
+        escape(VERSION)
+    ));
+    out.push_str("          \"rules\": [");
+    for (i, (name, desc, _)) in rules.iter().enumerate() {
+        if i > 0 {
+            out.push(',');
+        }
+        out.push_str(&format!(
+            "\n            {{ \"id\": \"{}\", \"shortDescription\": {{ \"text\": \"{}\" }} }}",
+            escape(name),
+            escape(desc)
+        ));
+    }
+    if !rules.is_empty() {
+        out.push_str("\n          ");
+    }
+    out.push_str("]\n        }\n      },\n");
+    out.push_str("      \"results\": [");
+    for (i, (d, suppressed)) in findings.iter().enumerate() {
+        if i > 0 {
+            out.push(',');
+        }
+        out.push_str(&format!(
+            "\n        {{\n          \"ruleId\": \"{}\",\n          \"level\": \"{}\",\n          \
+             \"message\": {{ \"text\": \"{}\" }},\n          \"locations\": [ {{ \
+             \"physicalLocation\": {{ \"artifactLocation\": {{ \"uri\": \"{}\" }}, \
+             \"region\": {{ \"startLine\": {}, \"startColumn\": {} }} }} }} ]",
+            escape(d.lint),
+            sarif_level(d.level),
+            escape(&d.message),
+            escape(&d.file),
+            d.line,
+            d.col
+        ));
+        if *suppressed {
+            out.push_str(",\n          \"suppressions\": [ { \"kind\": \"external\" } ]");
+        }
+        out.push_str("\n        }");
+    }
+    if !findings.is_empty() {
+        out.push_str("\n      ");
+    }
+    out.push_str("]\n    }\n  ]\n}\n");
+    out
+}
+
+fn level_str(level: Level) -> &'static str {
+    match level {
+        Level::Allow => "allow",
+        Level::Warn => "warn",
+        Level::Deny => "deny",
+    }
+}
+
+/// SARIF's result levels: `Deny` fails the run (`error`), `Warn` is
+/// advisory (`warning`); `Allow`ed lints never produce findings but the
+/// mapping must be total (`note`).
+fn sarif_level(level: Level) -> &'static str {
+    match level {
+        Level::Allow => "note",
+        Level::Warn => "warning",
+        Level::Deny => "error",
+    }
+}
+
+/// JSON string escaping: quotes, backslashes and control characters.
+fn escape(s: &str) -> String {
+    let mut out = String::with_capacity(s.len());
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\r' => out.push_str("\\r"),
+            '\t' => out.push_str("\\t"),
+            c if (c as u32) < 0x20 => out.push_str(&format!("\\u{:04x}", c as u32)),
+            c => out.push(c),
+        }
+    }
+    out
+}

@@ -1,13 +1,15 @@
 //! The lint registry: which lints run, at which level.
 
 use crate::diagnostics::{Diagnostic, Level};
-use crate::scan::SourceFile;
+use crate::workspace::Workspace;
 
 /// One static-analysis rule.
 ///
-/// A lint sees the **whole workspace** (`files`) on every run, so
-/// cross-file rules (wire-exhaustiveness pairs `protocol.rs` with
-/// `silo.rs`) need no special machinery; per-file lints simply loop.
+/// A lint sees the **whole workspace** on every run — all lexed sources
+/// plus the documentation inputs — so cross-file rules
+/// (wire-exhaustiveness pairs `protocol.rs` with `silo.rs`,
+/// obs-exhaustiveness pairs metric literals with DESIGN.md §5d) need no
+/// special machinery; per-file lints simply loop over `ws.files`.
 ///
 /// To add a lint: implement this trait in `src/lints/`, give it a unique
 /// kebab-case `name`, and push it in [`Registry::with_default_lints`].
@@ -19,7 +21,7 @@ pub trait Lint {
     /// One-line rationale shown by `fedra-lint list`.
     fn description(&self) -> &'static str;
     /// Emits findings over the workspace.
-    fn check(&self, files: &[SourceFile], diags: &mut Vec<Diagnostic>);
+    fn check(&self, ws: &Workspace, diags: &mut Vec<Diagnostic>);
 }
 
 /// An ordered set of lints with per-lint levels.
@@ -33,13 +35,16 @@ impl Registry {
         Registry { lints: Vec::new() }
     }
 
-    /// The four fedra lints, all at [`Level::Deny`].
+    /// The seven fedra lints, all at [`Level::Deny`].
     pub fn with_default_lints() -> Registry {
         let mut r = Registry::new();
         r.register(Box::new(crate::lints::FederationSafety), Level::Deny);
         r.register(Box::new(crate::lints::PanicDiscipline), Level::Deny);
         r.register(Box::new(crate::lints::LockDiscipline), Level::Deny);
         r.register(Box::new(crate::lints::WireExhaustiveness), Level::Deny);
+        r.register(Box::new(crate::lints::DeterminismDiscipline), Level::Deny);
+        r.register(Box::new(crate::lints::LockOrder), Level::Deny);
+        r.register(Box::new(crate::lints::ObsExhaustiveness), Level::Deny);
         r
     }
 
@@ -66,20 +71,21 @@ impl Registry {
             .collect()
     }
 
-    /// Runs every enabled lint over `files`, applies registered levels and
+    /// Runs every enabled lint over `ws`, applies registered levels and
     /// inline `allow` directives, and returns the surviving findings
     /// sorted by location.
-    pub fn run(&self, files: &[SourceFile]) -> Vec<Diagnostic> {
+    pub fn run(&self, ws: &Workspace) -> Vec<Diagnostic> {
         let mut diags = Vec::new();
         for (lint, level) in &self.lints {
             if *level == Level::Allow {
                 continue;
             }
             let mut found = Vec::new();
-            lint.check(files, &mut found);
+            lint.check(ws, &mut found);
             for mut d in found {
                 d.level = *level;
-                let allowed = files
+                let allowed = ws
+                    .files
                     .iter()
                     .find(|f| f.path == d.file)
                     .is_some_and(|f| d.is_allowed_by(&f.lexed.allows));

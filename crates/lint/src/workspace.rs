@@ -9,6 +9,50 @@ use crate::scan::SourceFile;
 /// Where the committed baseline lives, relative to the repo root.
 pub const BASELINE_PATH: &str = "crates/lint/baseline.txt";
 
+/// Documentation files loaded alongside the sources (relative paths).
+///
+/// `obs-exhaustiveness` checks every metric name constructed in product
+/// code against the registry documented in DESIGN.md §5d, so the design
+/// doc is part of the analysis input, not just prose.
+pub const DOC_PATHS: &[&str] = &["DESIGN.md"];
+
+/// A non-Rust analysis input: raw text plus its repo-relative path.
+///
+/// Docs are not lexed — lints that need them (the metric-name registry
+/// check) scan the raw text for the tokens they care about.
+#[derive(Debug, Clone)]
+pub struct DocFile {
+    /// Repo-relative path with forward slashes.
+    pub path: String,
+    /// Raw file contents.
+    pub text: String,
+}
+
+/// Everything a lint sees on one run: the lexed Rust sources plus the
+/// documentation files some cross-artifact lints consult.
+#[derive(Debug, Clone, Default)]
+pub struct Workspace {
+    /// Lexed `.rs` sources, sorted by path.
+    pub files: Vec<SourceFile>,
+    /// Raw documentation files (see [`DOC_PATHS`]).
+    pub docs: Vec<DocFile>,
+}
+
+impl Workspace {
+    /// A workspace holding only the given sources (fixture helper).
+    pub fn from_files(files: Vec<SourceFile>) -> Workspace {
+        Workspace {
+            files,
+            docs: Vec::new(),
+        }
+    }
+
+    /// The doc file at `path`, if loaded.
+    pub fn doc(&self, path: &str) -> Option<&DocFile> {
+        self.docs.iter().find(|d| d.path == path)
+    }
+}
+
 /// Outcome of one check run.
 #[derive(Debug)]
 pub struct Report {
@@ -29,14 +73,34 @@ impl Report {
     pub fn is_clean(&self) -> bool {
         self.failing.is_empty() && self.stale_baseline.is_empty()
     }
+
+    /// Every reported finding in location order, tagged with whether the
+    /// committed baseline suppresses it. This is the sequence the
+    /// machine-readable formats emit — stable across runs by construction
+    /// (the registry sorts, and the baseline flag is a pure function of
+    /// the finding).
+    pub fn all_findings(&self) -> Vec<(&Diagnostic, bool)> {
+        let mut all: Vec<(&Diagnostic, bool)> = self
+            .failing
+            .iter()
+            .map(|d| (d, false))
+            .chain(self.warnings.iter().map(|d| (d, false)))
+            .chain(self.baselined.iter().map(|d| (d, true)))
+            .collect();
+        all.sort_by(|(a, _), (b, _)| {
+            (a.file.as_str(), a.line, a.col, a.lint).cmp(&(b.file.as_str(), b.line, b.col, b.lint))
+        });
+        all
+    }
 }
 
-/// Collects every `.rs` file under `<root>/src` and `<root>/crates/*/src`.
+/// Collects every `.rs` file under `<root>/src` and `<root>/crates/*/src`,
+/// plus the documentation inputs ([`DOC_PATHS`]).
 ///
 /// Shims (`shims/*`), tests, benches and examples directories are not
 /// product source and are deliberately out of scope; test *modules* inside
 /// product sources are handled per-lint via the test-region map.
-pub fn collect_sources(root: &Path) -> std::io::Result<Vec<SourceFile>> {
+pub fn collect_workspace(root: &Path) -> std::io::Result<Workspace> {
     let mut dirs: Vec<PathBuf> = vec![root.join("src")];
     let crates_dir = root.join("crates");
     if let Ok(entries) = std::fs::read_dir(&crates_dir) {
@@ -55,10 +119,20 @@ pub fn collect_sources(root: &Path) -> std::io::Result<Vec<SourceFile>> {
         }
     }
     paths.sort();
-    paths
+    let files = paths
         .iter()
         .map(|p| SourceFile::load(root, p))
-        .collect::<Result<Vec<_>, _>>()
+        .collect::<Result<Vec<_>, _>>()?;
+    let mut docs = Vec::new();
+    for rel in DOC_PATHS {
+        if let Ok(text) = std::fs::read_to_string(root.join(rel)) {
+            docs.push(DocFile {
+                path: (*rel).to_string(),
+                text,
+            });
+        }
+    }
+    Ok(Workspace { files, docs })
 }
 
 fn walk(dir: &Path, out: &mut Vec<PathBuf>) -> std::io::Result<()> {
@@ -76,9 +150,9 @@ fn walk(dir: &Path, out: &mut Vec<PathBuf>) -> std::io::Result<()> {
 /// Runs `registry` over the workspace at `root`, splitting findings
 /// against the baseline at `<root>/`[`BASELINE_PATH`].
 pub fn run_check(root: &Path, registry: &Registry) -> std::io::Result<Report> {
-    let files = collect_sources(root)?;
+    let workspace = collect_workspace(root)?;
     let baseline = Baseline::load(&root.join(BASELINE_PATH));
-    let diags = registry.run(&files);
+    let diags = registry.run(&workspace);
     let stale_baseline = baseline
         .stale(&diags)
         .into_iter()
@@ -89,7 +163,7 @@ pub fn run_check(root: &Path, registry: &Registry) -> std::io::Result<Report> {
         warnings: Vec::new(),
         baselined: Vec::new(),
         stale_baseline,
-        files_checked: files.len(),
+        files_checked: workspace.files.len(),
     };
     for d in diags {
         if baseline.covers(&d) {

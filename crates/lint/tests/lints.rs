@@ -4,9 +4,10 @@
 use fedra_lint::diagnostics::Level;
 use fedra_lint::registry::Registry;
 use fedra_lint::scan::SourceFile;
+use fedra_lint::workspace::{DocFile, Workspace};
 
 fn run(files: &[SourceFile]) -> Vec<fedra_lint::diagnostics::Diagnostic> {
-    Registry::with_default_lints().run(files)
+    Registry::with_default_lints().run(&Workspace::from_files(files.to_vec()))
 }
 
 fn file(path: &str, source: &str) -> SourceFile {
@@ -389,13 +390,448 @@ fn registry_levels_rewrite_or_disable_findings() {
     let src = "fn hot() { thing().unwrap(); }";
     let files = [file("crates/federation/src/transport.rs", src)];
 
+    let ws = Workspace::from_files(files.to_vec());
     let mut warn = Registry::with_default_lints();
     warn.set_level("panic-discipline", Level::Warn);
-    let diags = warn.run(&files);
+    let diags = warn.run(&ws);
     assert_eq!(diags.len(), 1);
     assert_eq!(diags[0].level, Level::Warn);
 
     let mut off = Registry::with_default_lints();
     off.set_level("panic-discipline", Level::Allow);
-    assert!(off.run(&files).is_empty());
+    assert!(off.run(&ws).is_empty());
+}
+
+// ---------------------------------------------------------------- determinism-discipline
+
+#[test]
+fn determinism_flags_unordered_iteration_in_a_region() {
+    let src = "
+fn merge(results: HashMap<u64, f64>) -> f64 {
+    let mut total = 0.0;
+    for v in results.values() {
+        total += v;
+    }
+    total
+}
+";
+    let diags = run(&[file("crates/core/src/planner.rs", src)]);
+    let det: Vec<_> = diags
+        .iter()
+        .filter(|d| d.lint == "determinism-discipline")
+        .collect();
+    assert_eq!(det.len(), 1, "{det:?}");
+    assert!(det[0].message.contains("results"));
+}
+
+#[test]
+fn determinism_flags_for_loops_over_unordered_containers() {
+    let src = "
+fn export(seen: HashSet<u64>) {
+    for id in &seen {
+        emit(id);
+    }
+}
+";
+    let diags = run(&[file("crates/core/src/planner.rs", src)]);
+    assert_eq!(
+        diags
+            .iter()
+            .filter(|d| d.lint == "determinism-discipline")
+            .count(),
+        1,
+        "{diags:?}"
+    );
+}
+
+#[test]
+fn determinism_flags_clock_thread_identity_and_float_order() {
+    let src = "
+fn schedule(rx: &Receiver<f64>) -> f64 {
+    let t0 = Instant::now();
+    let stamp = SystemTime::now();
+    let me = thread::current().id();
+    let total: f64 = rx.try_iter().sum();
+    total
+}
+fn rank(mut xs: Vec<f64>) {
+    xs.sort_by(|a, b| a.partial_cmp(b).unwrap());
+}
+";
+    let diags = run(&[file("crates/core/src/planner.rs", src)]);
+    let det: Vec<_> = diags
+        .iter()
+        .filter(|d| d.lint == "determinism-discipline")
+        .collect();
+    // Instant::now, SystemTime::now, thread id, completion-order sum,
+    // partial_cmp comparator.
+    assert_eq!(det.len(), 5, "{det:?}");
+}
+
+#[test]
+fn determinism_is_quiet_outside_regions_and_in_tests() {
+    let src = "
+fn merge(results: HashMap<u64, f64>) -> f64 {
+    results.values().sum()
+}
+";
+    // sql.rs is not a deterministic region.
+    let diags = run(&[file("crates/core/src/sql.rs", src)]);
+    assert!(diags.iter().all(|d| d.lint != "determinism-discipline"));
+    // Test modules inside a region file are exempt.
+    let test_src = "
+fn pure() {}
+
+#[cfg(test)]
+mod tests {
+    #[test]
+    fn order_free() {
+        let m: HashMap<u64, f64> = make();
+        let _ = m.values().count();
+        let _ = Instant::now();
+    }
+}
+";
+    let diags = run(&[file("crates/core/src/planner.rs", test_src)]);
+    assert!(
+        diags.iter().all(|d| d.lint != "determinism-discipline"),
+        "{diags:?}"
+    );
+}
+
+#[test]
+fn determinism_accepts_ordered_containers_and_total_cmp() {
+    let src = "
+fn merge(results: BTreeMap<u64, f64>) -> f64 {
+    results.values().sum()
+}
+fn rank(mut xs: Vec<f64>) {
+    xs.sort_by(f64::total_cmp);
+}
+";
+    let diags = run(&[file("crates/core/src/planner.rs", src)]);
+    assert!(
+        diags.iter().all(|d| d.lint != "determinism-discipline"),
+        "{diags:?}"
+    );
+}
+
+#[test]
+fn determinism_honors_region_markers_and_inline_allows() {
+    // A file outside the built-in region list opts in with the marker.
+    let marked = "
+// fedra-lint: deterministic-region
+fn merge(results: HashMap<u64, f64>) -> f64 {
+    results.values().sum()
+}
+";
+    let diags = run(&[file("crates/workload/src/gen.rs", marked)]);
+    assert_eq!(
+        diags
+            .iter()
+            .filter(|d| d.lint == "determinism-discipline")
+            .count(),
+        1,
+        "{diags:?}"
+    );
+    // An allow directive suppresses a justified finding.
+    let allowed = "
+fn merge(results: HashMap<u64, f64>) -> f64 {
+    // Feeds a commutative integer max, order cannot escape.
+    // fedra-lint: allow(determinism-discipline)
+    results.values().fold(0.0, f64::max)
+}
+";
+    let diags = run(&[file("crates/core/src/planner.rs", allowed)]);
+    assert!(
+        diags.iter().all(|d| d.lint != "determinism-discipline"),
+        "{diags:?}"
+    );
+}
+
+// ---------------------------------------------------------------- lock-order
+
+#[test]
+fn lock_order_flags_a_cycle_in_one_file() {
+    let src = "
+fn forward(x: &Mutex<u8>, y: &Mutex<u8>) {
+    let a = x.lock();
+    let b = y.lock();
+}
+fn backward(x: &Mutex<u8>, y: &Mutex<u8>) {
+    let b = y.lock();
+    let a = x.lock();
+}
+";
+    let diags = run(&[file("crates/federation/src/transport.rs", src)]);
+    let order: Vec<_> = diags.iter().filter(|d| d.lint == "lock-order").collect();
+    assert_eq!(order.len(), 1, "{order:?}");
+    assert!(order[0].message.contains("`x`") && order[0].message.contains("`y`"));
+    // Reported once, at the lexically-first edge, naming the reverse site.
+    assert!(order[0].message.contains("transport.rs:8"), "{order:?}");
+}
+
+#[test]
+fn lock_order_propagates_one_call_level_across_functions() {
+    // The cycle spans two functions: `outer` holds `a` and calls
+    // `take_b`, which acquires `b`; `reversed` takes them directly in
+    // the opposite order.
+    let src = "
+fn outer(x: &Mutex<u8>) {
+    let ga = a.lock();
+    take_b();
+}
+fn take_b() {
+    let gb = b.lock();
+}
+fn reversed() {
+    let gb = b.lock();
+    let ga = a.lock();
+}
+";
+    let diags = run(&[file("crates/federation/src/transport.rs", src)]);
+    let order: Vec<_> = diags.iter().filter(|d| d.lint == "lock-order").collect();
+    assert_eq!(order.len(), 1, "{order:?}");
+    assert!(
+        order[0].message.contains("via call to `take_b`"),
+        "{order:?}"
+    );
+}
+
+#[test]
+fn lock_order_accepts_a_consistent_order() {
+    let src = "
+fn one(x: &Mutex<u8>, y: &Mutex<u8>) {
+    let a = x.lock();
+    let b = y.lock();
+}
+fn two(x: &Mutex<u8>, y: &Mutex<u8>) {
+    let a = x.lock();
+    let b = y.lock();
+}
+fn three(x: &Mutex<u8>) {
+    let a = x.lock();
+}
+";
+    let diags = run(&[file("crates/federation/src/transport.rs", src)]);
+    assert!(diags.iter().all(|d| d.lint != "lock-order"), "{diags:?}");
+}
+
+#[test]
+fn lock_order_respects_drop_and_scopes() {
+    // `x` is released (drop / scope end) before `y` is taken, so the
+    // opposite order elsewhere is not a cycle.
+    let src = "
+fn forward(x: &Mutex<u8>, y: &Mutex<u8>) {
+    let a = x.lock();
+    drop(a);
+    let b = y.lock();
+}
+fn scoped(x: &Mutex<u8>, y: &Mutex<u8>) {
+    {
+        let a = x.lock();
+    }
+    let b = y.lock();
+}
+fn backward(x: &Mutex<u8>, y: &Mutex<u8>) {
+    let b = y.lock();
+    let a = x.lock();
+}
+";
+    let diags = run(&[file("crates/federation/src/transport.rs", src)]);
+    assert!(diags.iter().all(|d| d.lint != "lock-order"), "{diags:?}");
+}
+
+#[test]
+fn lock_order_skips_ambiguous_callees_and_honors_allow() {
+    // Two functions named `helper` exist: propagation must not guess.
+    let ambiguous = "
+fn outer() {
+    let ga = a.lock();
+    helper();
+}
+fn helper() {
+    let gb = b.lock();
+}
+fn reversed() {
+    let gb = b.lock();
+    let ga = a.lock();
+}
+";
+    let other = "fn helper() {}";
+    let diags = run(&[
+        file("crates/federation/src/transport.rs", ambiguous),
+        file("crates/core/src/sql.rs", other),
+    ]);
+    assert!(diags.iter().all(|d| d.lint != "lock-order"), "{diags:?}");
+    // A justified cycle can be allowed at the reported site.
+    let allowed = "
+fn forward(x: &Mutex<u8>, y: &Mutex<u8>) {
+    let a = x.lock();
+    // Same-named locks on disjoint types; no real cycle.
+    // fedra-lint: allow(lock-order)
+    let b = y.lock();
+}
+fn backward(x: &Mutex<u8>, y: &Mutex<u8>) {
+    let b = y.lock();
+    let a = x.lock();
+}
+";
+    let diags = run(&[file("crates/federation/src/transport.rs", allowed)]);
+    assert!(diags.iter().all(|d| d.lint != "lock-order"), "{diags:?}");
+}
+
+// ---------------------------------------------------------------- obs-exhaustiveness
+
+fn ws_with_design(files: Vec<SourceFile>, design: &str) -> Workspace {
+    let mut ws = Workspace::from_files(files);
+    ws.docs.push(DocFile {
+        path: "DESIGN.md".to_string(),
+        text: design.to_string(),
+    });
+    ws
+}
+
+const DESIGN_WITH_REGISTRY: &str = "
+# DESIGN
+
+## 5d. Observability
+
+| `fedra_queries_total` | counter | queries executed |
+
+## 5e. Something else
+
+`fedra_undocumented_total` mentioned outside the registry section does
+not count.
+";
+
+#[test]
+fn obs_exhaustiveness_flags_an_undocumented_metric() {
+    let src = r#"
+fn record(obs: &ObsContext) {
+    obs.inc("fedra_queries_total");
+    obs.inc("fedra_undocumented_total");
+}
+"#;
+    let ws = ws_with_design(
+        vec![file("crates/core/src/framework.rs", src)],
+        DESIGN_WITH_REGISTRY,
+    );
+    let diags = Registry::with_default_lints().run(&ws);
+    let obs: Vec<_> = diags
+        .iter()
+        .filter(|d| d.lint == "obs-exhaustiveness")
+        .collect();
+    assert_eq!(obs.len(), 1, "{obs:?}");
+    assert!(obs[0].message.contains("fedra_undocumented_total"));
+}
+
+#[test]
+fn obs_exhaustiveness_accepts_documented_dynamic_and_test_metrics() {
+    let src = r#"
+fn record(obs: &ObsContext) {
+    obs.inc("fedra_queries_total{algo=\"exact\"}");
+    let dynamic = format!("fedra_{}", suffix);
+    let prefix = "fedra_queries_";
+}
+
+#[cfg(test)]
+mod tests {
+    #[test]
+    fn scratch() {
+        record_metric("fedra_test_only_total");
+    }
+}
+"#;
+    let ws = ws_with_design(
+        vec![file("crates/core/src/framework.rs", src)],
+        DESIGN_WITH_REGISTRY,
+    );
+    let diags = Registry::with_default_lints().run(&ws);
+    assert!(
+        diags.iter().all(|d| d.lint != "obs-exhaustiveness"),
+        "{diags:?}"
+    );
+}
+
+#[test]
+fn obs_exhaustiveness_skips_the_check_without_a_design_doc() {
+    let src = r#"fn record(obs: &ObsContext) { obs.inc("fedra_unheard_of_total"); }"#;
+    let diags = run(&[file("crates/core/src/framework.rs", src)]);
+    assert!(
+        diags.iter().all(|d| d.lint != "obs-exhaustiveness"),
+        "{diags:?}"
+    );
+}
+
+#[test]
+fn obs_exhaustiveness_flags_an_uncounted_response_variant() {
+    let src = "
+pub enum Response {
+    Agg(Aggregate),
+    Uncounted(u64),
+}
+
+impl Wire for Response {
+    fn encoded_len(&self) -> usize {
+        match self {
+            Response::Agg(_) => 9,
+            _ => 0,
+        }
+    }
+}
+";
+    let diags = run(&[file("crates/federation/src/protocol.rs", src)]);
+    let obs: Vec<_> = diags
+        .iter()
+        .filter(|d| d.lint == "obs-exhaustiveness")
+        .collect();
+    assert_eq!(obs.len(), 1, "{obs:?}");
+    assert!(obs[0].message.contains("Response::Uncounted"));
+}
+
+#[test]
+fn obs_exhaustiveness_accepts_fully_counted_responses_and_allows() {
+    let complete = "
+pub enum Response {
+    Agg(Aggregate),
+    Pong,
+}
+
+impl Wire for Response {
+    fn encoded_len(&self) -> usize {
+        match self {
+            Response::Agg(_) => 9,
+            Response::Pong => 1,
+        }
+    }
+}
+";
+    let diags = run(&[file("crates/federation/src/protocol.rs", complete)]);
+    assert!(
+        diags.iter().all(|d| d.lint != "obs-exhaustiveness"),
+        "{diags:?}"
+    );
+    let allowed = "
+pub enum Response {
+    Agg(Aggregate),
+    // Carries no bytes on the wire by construction.
+    // fedra-lint: allow(obs-exhaustiveness)
+    Phantom,
+}
+
+impl Wire for Response {
+    fn encoded_len(&self) -> usize {
+        match self {
+            Response::Agg(_) => 9,
+            _ => 0,
+        }
+    }
+}
+";
+    let diags = run(&[file("crates/federation/src/protocol.rs", allowed)]);
+    assert!(
+        diags.iter().all(|d| d.lint != "obs-exhaustiveness"),
+        "{diags:?}"
+    );
 }

@@ -5,7 +5,7 @@ use std::path::{Path, PathBuf};
 
 use fedra_lint::diagnostics::Baseline;
 use fedra_lint::registry::Registry;
-use fedra_lint::workspace::{collect_sources, run_check, BASELINE_PATH};
+use fedra_lint::workspace::{collect_workspace, run_check, BASELINE_PATH};
 
 fn repo_root() -> PathBuf {
     Path::new(env!("CARGO_MANIFEST_DIR"))
@@ -36,8 +36,9 @@ fn the_workspace_is_clean() {
 /// engine's.
 #[test]
 fn the_obs_crate_is_in_scope() {
-    let files = collect_sources(&repo_root()).expect("workspace is readable");
-    let obs: Vec<&str> = files
+    let ws = collect_workspace(&repo_root()).expect("workspace is readable");
+    let obs: Vec<&str> = ws
+        .files
         .iter()
         .map(|f| f.path.as_str())
         .filter(|p| p.starts_with("crates/obs/src/"))
@@ -63,8 +64,8 @@ fn the_obs_crate_is_in_scope() {
 #[test]
 fn the_baseline_matches_a_fresh_run() {
     let root = repo_root();
-    let files = collect_sources(&root).expect("workspace is readable");
-    let diags = Registry::with_default_lints().run(&files);
+    let ws = collect_workspace(&root).expect("workspace is readable");
+    let diags = Registry::with_default_lints().run(&ws);
     let baseline = Baseline::load(&root.join(BASELINE_PATH));
     // No stale entries: everything in the baseline still reproduces.
     let stale = baseline.stale(&diags);
