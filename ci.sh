@@ -29,7 +29,8 @@ cargo test -q --workspace
 for threads in 1 4; do
     echo "==> parallel equivalence (FEDRA_SILO_THREADS=$threads)"
     FEDRA_SILO_THREADS=$threads cargo test -q -p fedra \
-        --test parallel_equivalence --test reproducibility
+        --test parallel_equivalence --test reproducibility \
+        --test concurrent_equivalence
 done
 
 # Lint gate plus machine-readable artifact: the JSON output is
@@ -96,9 +97,31 @@ echo "    ok (nonzero hit rate, zero ε violations)"
 
 # Overhead gate: the pure-miss cache path (zero TTL, every probe a miss)
 # must stay within noise of the uncached algorithm. The bench asserts
-# the <= 3 % budget itself; any violation fails this step.
+# the <= 3 % budget itself; any violation fails this step. Runs before
+# the load smoke on purpose: the saturation run thrashes a small host's
+# scheduler hard enough to tip this timing-sensitive gate over budget.
 echo "==> cache overhead gate (micro_cache)"
 cargo bench -q -p fedra-bench --bench micro_cache | tail -n 4
+
+# Load smoke: a short saturation run of the scheduler load generator.
+# The offered-load ladder tops out well past capacity, so admission
+# control must visibly shed (nonzero count), the determinism audit must
+# hold bit for bit, and no breaker may leak out of the run. The
+# short-window JSON is archived next to the lint artifact — the
+# committed BENCH_load.json keeps its full-window numbers.
+echo "==> load smoke (ab_load, short window)"
+mkdir -p target/ci
+load_out=$(FEDRA_LOAD_MS=250 FEDRA_LOAD_OUT=target/ci/BENCH_load.json \
+    cargo run -q --release -p fedra-bench --example ab_load)
+echo "$load_out" | grep -Eq '^shed total: [1-9][0-9]*$' \
+    || { echo "load smoke: saturation never shed a query"; exit 1; }
+echo "$load_out" | grep -q '^load ε violations: 0$' \
+    || { echo "load smoke: a scheduled answer diverged from serial execution"; exit 1; }
+echo "$load_out" | grep -q '^breaker leaks: 0$' \
+    || { echo "load smoke: load shedding poisoned breaker state"; exit 1; }
+test -s target/ci/BENCH_load.json \
+    || { echo "load smoke: BENCH_load.json artifact missing"; exit 1; }
+echo "    ok (sheds under saturation, zero ε violations, artifact archived)"
 
 # Sanitizer smoke (opt-in; see header). TSan re-runs the pool-size
 # equivalence suite looking for data races the deterministic harness

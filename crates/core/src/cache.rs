@@ -34,10 +34,11 @@
 //! that bound exceeds the requested ε.
 
 use std::collections::HashMap;
+use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::Arc;
 use std::time::{Duration, Instant};
 
-use parking_lot::Mutex;
+use parking_lot::RwLock;
 
 use fedra_federation::Federation;
 use fedra_geo::{Range, Rect};
@@ -236,14 +237,17 @@ struct Entry {
     inserted: Instant,
     /// Monotone counter standing in for "recency" (LRU without a linked
     /// list: eviction scans for the minimum — capacity is modest and
-    /// eviction rare, so O(n) eviction beats the bookkeeping).
-    last_used: u64,
+    /// eviction rare, so O(n) eviction beats the bookkeeping). Atomic so
+    /// a *hit* can refresh recency under the shared read lock; LRU order
+    /// tolerates the relaxed racing (two concurrent hits both count as
+    /// recent, whichever tick lands last).
+    last_used: AtomicU64,
 }
 
-struct CacheState {
-    map: HashMap<QueryKey, Entry, KeyHashBuilder>,
-    tick: u64,
-}
+/// The cache's entry map. Guarded by a reader-writer lock: hits — the
+/// hot path under concurrent serving — share the read side, while only
+/// inserts, evictions and expiry removals take the exclusive write side.
+type CacheMap = HashMap<QueryKey, Entry, KeyHashBuilder>;
 
 /// The cache's own metric handles (names follow the PR 4/5 conventions).
 struct CacheMetrics {
@@ -277,7 +281,10 @@ pub struct AnswerCache<A> {
     inner: A,
     config: CacheConfig,
     policy: CachePolicy,
-    state: Mutex<CacheState>,
+    state: RwLock<CacheMap>,
+    /// Probe counter feeding `Entry::last_used`; outside the lock so the
+    /// hit path never needs exclusive access.
+    tick: AtomicU64,
     metrics: CacheMetrics,
 }
 
@@ -304,10 +311,8 @@ impl<A: FraAlgorithm> AnswerCache<A> {
             inner,
             config,
             policy,
-            state: Mutex::new(CacheState {
-                map: HashMap::with_hasher(KeyHashBuilder),
-                tick: 0,
-            }),
+            state: RwLock::new(HashMap::with_hasher(KeyHashBuilder)),
+            tick: AtomicU64::new(0),
             metrics: CacheMetrics::new(),
         }
     }
@@ -351,7 +356,7 @@ impl<A: FraAlgorithm> AnswerCache<A> {
 
     /// Current number of live entries.
     pub fn len(&self) -> usize {
-        self.state.lock().map.len()
+        self.state.read().len()
     }
 
     /// Whether the cache holds no entries.
@@ -361,7 +366,7 @@ impl<A: FraAlgorithm> AnswerCache<A> {
 
     /// Drops every entry (e.g. after a known fleet update).
     pub fn invalidate_all(&self) {
-        self.state.lock().map.clear();
+        self.state.write().clear();
     }
 
     /// Executes with an explicit requested error budget ε₂, returning the
@@ -390,87 +395,98 @@ impl<A: FraAlgorithm> AnswerCache<A> {
         // never the answer's value.
         // fedra-lint: allow(determinism-discipline)
         let now = Instant::now();
-        {
-            let mut state = self.state.lock();
-            state.tick += 1;
-            let tick = state.tick;
+        let tick = self.tick.fetch_add(1, Ordering::Relaxed) + 1;
 
-            // 1. Exact-range probe under the ε-containment rule (one
-            //    hash for lookup and expiry-removal combined).
-            let mut hit: Option<(QueryResult, f64)> = None;
-            if let std::collections::hash_map::Entry::Occupied(mut slot) = state.map.entry(key) {
-                let entry = slot.get_mut();
+        // 1. Exact-range probe under the ε-containment rule. Hits run
+        //    entirely under the shared read lock — recency is refreshed
+        //    through the entry's atomic — so concurrent hits never
+        //    serialize on each other.
+        {
+            let state = self.state.read();
+            if let Some(entry) = state.get(&key) {
                 if now.duration_since(entry.inserted) > self.config.ttl {
-                    slot.remove();
+                    // Expiry is lazy: counted at detection, but the stale
+                    // entry is left for the miss-path insert to overwrite
+                    // (or for LRU eviction) rather than paying a separate
+                    // write-lock removal on what is already the slow path.
+                    // Decomposition and serving both re-check the TTL, so
+                    // a lingering stale entry can never be served.
                     self.metrics.expirations.inc();
                 } else if theory::epsilon_serves(entry.epsilon, epsilon) {
-                    entry.last_used = tick;
-                    hit = Some((entry.result, entry.epsilon));
+                    entry.last_used.store(tick, Ordering::Relaxed);
+                    let (result, bound) = (entry.result, entry.epsilon);
+                    drop(state);
+                    self.metrics.hits.inc();
+                    self.metrics.level_exact.inc();
+                    obs.inc("fedra_cache_hits_total");
+                    obs.inc("fedra_cache_level_served_total{level=\"exact\"}");
+                    return Ok(CacheAnswer {
+                        result,
+                        epsilon_bound: bound,
+                        source: CacheSource::ExactHit,
+                    });
                 }
                 // Fresh but too loose: keep the entry (a looser later
                 // query may still use it), treat this probe as a miss.
             }
-            if let Some((result, bound)) = hit {
+        }
+
+        // 2. Containment decomposition for linear aggregates over
+        //    rectangles: a fresh disjoint tiling of R₂ answers it with
+        //    bound max εᵢ. The search runs under the read lock; only the
+        //    memoization insert takes the write side.
+        if self.policy.containment {
+            let decomposition = {
+                let state = self.state.read();
+                let found = self.decompose(&state, query, epsilon, now);
+                if let Some((_, _, _, fragments)) = &found {
+                    for frag_key in fragments {
+                        if let Some(entry) = state.get(frag_key) {
+                            entry.last_used.store(tick, Ordering::Relaxed);
+                        }
+                    }
+                }
+                found
+            };
+            if let Some((aggregate, bound, oldest, _)) = decomposition {
+                let result = QueryResult::from_aggregate(aggregate, query.func);
+                // Memoize the assembly so repeats are exact hits; it
+                // ages from its *oldest* fragment, never fresher.
+                let mut state = self.state.write();
+                Self::insert_bounded(
+                    &mut state,
+                    &self.metrics,
+                    self.config.capacity,
+                    key,
+                    Entry {
+                        range: query.range,
+                        func: query.func,
+                        result,
+                        epsilon: bound,
+                        inserted: oldest,
+                        last_used: AtomicU64::new(tick),
+                    },
+                );
+                drop(state);
                 self.metrics.hits.inc();
-                self.metrics.level_exact.inc();
+                self.metrics.level_decomposed.inc();
                 obs.inc("fedra_cache_hits_total");
-                obs.inc("fedra_cache_level_served_total{level=\"exact\"}");
+                obs.inc("fedra_cache_level_served_total{level=\"decomposed\"}");
                 return Ok(CacheAnswer {
                     result,
                     epsilon_bound: bound,
-                    source: CacheSource::ExactHit,
+                    source: CacheSource::DecomposedHit,
                 });
             }
+        }
 
-            // 2. Containment decomposition for linear aggregates over
-            //    rectangles: a fresh disjoint tiling of R₂ answers it with
-            //    bound max εᵢ.
-            if self.policy.containment {
-                if let Some((aggregate, bound, oldest, fragments)) =
-                    self.decompose(&state, query, epsilon, now)
-                {
-                    for frag_key in &fragments {
-                        if let Some(entry) = state.map.get_mut(frag_key) {
-                            entry.last_used = tick;
-                        }
-                    }
-                    let result = QueryResult::from_aggregate(aggregate, query.func);
-                    // Memoize the assembly so repeats are exact hits; it
-                    // ages from its *oldest* fragment, never fresher.
-                    Self::insert_bounded(
-                        &mut state,
-                        &self.metrics,
-                        self.config.capacity,
-                        key,
-                        Entry {
-                            range: query.range,
-                            func: query.func,
-                            result,
-                            epsilon: bound,
-                            inserted: oldest,
-                            last_used: tick,
-                        },
-                    );
-                    self.metrics.hits.inc();
-                    self.metrics.level_decomposed.inc();
-                    obs.inc("fedra_cache_hits_total");
-                    obs.inc("fedra_cache_level_served_total{level=\"decomposed\"}");
-                    return Ok(CacheAnswer {
-                        result,
-                        epsilon_bound: bound,
-                        source: CacheSource::DecomposedHit,
-                    });
-                }
-            }
-
-            self.metrics.misses.inc();
-        } // drop the lock across the (slow) federated query
+        self.metrics.misses.inc();
         obs.inc("fedra_cache_misses_total");
 
+        // No lock is held across the (slow) federated query.
         let result = self.inner.try_execute_with(federation, query, obs)?;
 
-        let mut state = self.state.lock();
-        let tick = state.tick;
+        let mut state = self.state.write();
         Self::insert_bounded(
             &mut state,
             &self.metrics,
@@ -482,7 +498,7 @@ impl<A: FraAlgorithm> AnswerCache<A> {
                 result,
                 epsilon: self.policy.producer_epsilon,
                 inserted: now,
-                last_used: tick,
+                last_used: AtomicU64::new(tick),
             },
         );
         Ok(CacheAnswer {
@@ -516,7 +532,7 @@ impl<A: FraAlgorithm> AnswerCache<A> {
     /// (grid binning, pyramid frontier) already uses.
     fn decompose(
         &self,
-        state: &CacheState,
+        state: &CacheMap,
         query: &FraQuery,
         epsilon: f64,
         now: Instant,
@@ -533,7 +549,6 @@ impl<A: FraAlgorithm> AnswerCache<A> {
         }
 
         let mut candidates: Vec<(Rect, &Entry, QueryKey)> = state
-            .map
             // Visit order feeds the total-order sort below; nothing
             // order-dependent escapes.
             // fedra-lint: allow(determinism-discipline)
@@ -604,29 +619,28 @@ impl<A: FraAlgorithm> AnswerCache<A> {
 
     /// Inserts an entry, evicting the LRU entry first when at capacity.
     fn insert_bounded(
-        state: &mut CacheState,
+        state: &mut CacheMap,
         metrics: &CacheMetrics,
         capacity: usize,
         key: QueryKey,
         entry: Entry,
     ) {
-        if state.map.len() >= capacity && !state.map.contains_key(&key) {
+        if state.len() >= capacity && !state.contains_key(&key) {
             // Ties on `last_used` do happen (fragment touches and memoized
             // inserts share a tick); break them by key order so the victim
             // never depends on hash-map iteration order.
             if let Some(victim) = state
-                .map
                 // Visit order cannot escape: the min below is total-ordered.
                 // fedra-lint: allow(determinism-discipline)
                 .iter()
-                .min_by_key(|(k, e)| (e.last_used, k.sort_key()))
+                .min_by_key(|(k, e)| (e.last_used.load(Ordering::Relaxed), k.sort_key()))
                 .map(|(k, _)| *k)
             {
-                state.map.remove(&victim);
+                state.remove(&victim);
                 metrics.evictions.inc();
             }
         }
-        state.map.insert(key, entry);
+        state.insert(key, entry);
     }
 }
 

@@ -13,8 +13,10 @@
 //! | [`NonIidEstLsr`] | Alg. 3 + Alg. 6 | 1 round, O(√|g₀|) bytes | Theorem 4 |
 //!
 //! [`framework::QueryEngine`] is the Alg. 4 batch executor (parallel
-//! multi-query processing), and [`theory`] exposes the Sec. 6 guarantees
-//! as computable bounds.
+//! multi-query processing), [`scheduler::QueryScheduler`] serves
+//! concurrent clients with cross-query frame coalescing and admission
+//! control, and [`theory`] exposes the Sec. 6 guarantees as computable
+//! bounds.
 
 #![forbid(unsafe_code)]
 #![deny(missing_docs)]
@@ -29,6 +31,7 @@ mod opta;
 mod planner;
 mod query;
 mod sampling;
+pub mod scheduler;
 pub mod sql;
 pub mod theory;
 
@@ -43,3 +46,4 @@ pub use opta::Opta;
 pub use planner::{AdaptivePlanner, PlanDecision, PlannerPolicy};
 pub use query::{FraError, FraQuery, QueryResult};
 pub use sampling::{IidEst, IidEstLsr, NonIidEst, NonIidEstLsr};
+pub use scheduler::{ClassPolicy, QueryScheduler, QueryTicket, SchedulerConfig, SubmitError};

@@ -130,6 +130,14 @@ pub enum FraError {
         /// What went wrong.
         message: String,
     },
+    /// The serving layer gave the query up before an answer: its admission
+    /// class's deadline (measured from *submission*) expired in queue, in
+    /// flight, or at the silo — which sheds expired frames for the cost of
+    /// one byte-counted round trip (DESIGN.md §5g).
+    Shed {
+        /// The admission class the query was submitted under.
+        class: String,
+    },
 }
 
 impl std::fmt::Display for FraError {
@@ -167,6 +175,9 @@ impl std::fmt::Display for FraError {
                 write!(f, "silo {silo} violated the protocol (expected {expected})")
             }
             FraError::Internal { message } => write!(f, "internal engine error: {message}"),
+            FraError::Shed { class } => {
+                write!(f, "query shed by admission control (class `{class}`)")
+            }
         }
     }
 }

@@ -1,0 +1,1033 @@
+//! Concurrent query scheduler: many in-flight queries share the
+//! federation, one wire frame per silo per tick.
+//!
+//! [`QueryEngine`](crate::QueryEngine) coalesces silo requests *within*
+//! one batch; concurrent callers still serialize on the engine and each
+//! pays its own round trips. [`QueryScheduler`] lifts the same
+//! scatter–gather loop to a serving layer: clients
+//! [`submit`](QueryScheduler::submit) queries from any thread, a driver
+//! thread plans and finishes them on the silo-local
+//! [`WorkerPool`](fedra_index::WorkerPool), and every scheduling tick
+//! merges the outstanding remote requests of *all* in-flight queries into
+//! one multiplexed frame per silo
+//! ([`SiloChannel::begin_tagged_batch_with`]), routing replies back by
+//! correlation id.
+//!
+//! # Determinism contract
+//!
+//! Coalescing may change *when* frames travel, never *what* a query
+//! computes. Each submission gets a fresh algorithm instance from the
+//! scheduler's seed factory, so no RNG state is shared between queries:
+//! a query's result is a function of `(query, seed)` alone and is
+//! bit-identical to serial execution of the same pair
+//! (`tests/concurrent_equivalence.rs` pins this). Admission control and
+//! deadlines are the exception by design — *whether* a query is shed
+//! under overload is wall-clock dependent, its value never is.
+//!
+//! # Admission control and backpressure
+//!
+//! Every submission names an admission class ([`ClassPolicy`]): a bounded
+//! queue budget and an optional deadline measured from **submission**
+//! time (not dispatch — queue wait counts against the budget). Overload
+//! sheds in three places, all counted under `fedra_shed_total`:
+//!
+//! 1. **queue-full** — the class budget is exhausted at submit;
+//! 2. **expired at dispatch** — the deadline passed while queued; the
+//!    request still travels, as an already-expired frame the silo sheds
+//!    for one byte-counted round trip (the PR 5
+//!    `Response::DeadlineExceeded` path), so shed traffic lands in the
+//!    same communication ledger as served traffic;
+//! 3. **expired in flight** — the silo (or the frame wait) ran past the
+//!    deadline.
+
+use std::collections::{BTreeMap, HashMap, VecDeque};
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::{Arc, Condvar, Mutex, MutexGuard, PoisonError};
+use std::thread::JoinHandle;
+use std::time::{Duration, Instant};
+
+use fedra_federation::{Federation, Request, SiloId, TransportError};
+use fedra_index::pool::WorkerPool;
+use fedra_obs::{labeled, ObsContext};
+
+use crate::algorithm::{note_transition, FraAlgorithm, QueryPlan, RemotePlan};
+use crate::query::{FraError, FraQuery, QueryResult};
+
+#[cfg(doc)]
+use fedra_federation::SiloChannel;
+
+/// How long a gather waits for the silo's byte-counted refusal of an
+/// intentionally-expired frame before abandoning the reply. The shed is
+/// silo-side either way; the grace window only decides whether its bytes
+/// get recorded before the tick moves on.
+const SHED_GRACE: Duration = Duration::from_millis(250);
+
+/// One admission class: a name (for `class="..."` metric labels), a
+/// bounded queue budget, and an optional deadline enforced from
+/// submission time.
+#[derive(Debug, Clone)]
+pub struct ClassPolicy {
+    /// Label value for this class's `fedra_sched_*`/`fedra_shed_*` series.
+    pub name: String,
+    /// Queued-but-not-yet-dispatched submissions admitted before
+    /// [`SubmitError::QueueFull`] sheds the overflow.
+    pub queue_capacity: usize,
+    /// Total budget from submission to answer; `None` waits forever.
+    pub deadline: Option<Duration>,
+}
+
+impl ClassPolicy {
+    /// A deadline-free class with the given name and queue budget.
+    pub fn unbounded(name: &str, queue_capacity: usize) -> Self {
+        ClassPolicy {
+            name: name.to_string(),
+            queue_capacity,
+            deadline: None,
+        }
+    }
+
+    /// A class whose queries expire `deadline` after submission.
+    pub fn with_deadline(name: &str, queue_capacity: usize, deadline: Duration) -> Self {
+        ClassPolicy {
+            name: name.to_string(),
+            queue_capacity,
+            deadline: Some(deadline),
+        }
+    }
+}
+
+/// Scheduler tuning knobs; the defaults serve a single deadline-free
+/// class with a generous queue.
+#[derive(Debug, Clone)]
+pub struct SchedulerConfig {
+    /// Admission classes, addressed by index in
+    /// [`QueryScheduler::submit`].
+    pub classes: Vec<ClassPolicy>,
+    /// Most new submissions planned per tick; the rest stay queued and
+    /// ride the next tick (bounds per-tick plan latency under burst).
+    pub tick_admissions: usize,
+    /// Plan/finish pool width (`0` = the `FEDRA_SILO_THREADS` /
+    /// core-count auto policy, like the silo-local pools).
+    pub workers: usize,
+}
+
+impl Default for SchedulerConfig {
+    fn default() -> Self {
+        SchedulerConfig {
+            classes: vec![ClassPolicy::unbounded("default", 4096)],
+            tick_admissions: 256,
+            workers: 0,
+        }
+    }
+}
+
+/// Why a submission was rejected at the front door.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum SubmitError {
+    /// The class's admission queue is at capacity — the query was shed
+    /// without planning (counted under `fedra_shed_total`).
+    QueueFull {
+        /// The class whose budget was exhausted.
+        class: String,
+    },
+    /// No such class index in the scheduler's configuration.
+    UnknownClass {
+        /// The out-of-range index.
+        class: usize,
+    },
+    /// The scheduler is shutting down and accepts no new work.
+    Shutdown,
+}
+
+impl std::fmt::Display for SubmitError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            SubmitError::QueueFull { class } => {
+                write!(f, "admission queue full for class `{class}` — query shed")
+            }
+            SubmitError::UnknownClass { class } => {
+                write!(f, "no admission class with index {class}")
+            }
+            SubmitError::Shutdown => write!(f, "scheduler is shut down"),
+        }
+    }
+}
+
+impl std::error::Error for SubmitError {}
+
+/// A one-shot result cell shared between the driver and one client.
+///
+/// Hand-rolled (mutex + condvar) rather than a channel so the driver can
+/// fill it from inside a [`WorkerPool`] closure — the cell is `Sync`, and
+/// the waiter parks instead of spinning.
+struct TicketCell {
+    /// `None` while the query is in flight. Unique field name: the
+    /// lock-order lint identifies locks by field name workspace-wide.
+    filled: Mutex<Option<Result<QueryResult, FraError>>>,
+    ready: Condvar,
+}
+
+impl TicketCell {
+    fn new() -> Self {
+        TicketCell {
+            filled: Mutex::new(None),
+            ready: Condvar::new(),
+        }
+    }
+
+    /// First delivery wins; later ones are dropped.
+    fn deliver(&self, outcome: Result<QueryResult, FraError>) {
+        let mut slot = self.filled.lock().unwrap_or_else(PoisonError::into_inner);
+        if slot.is_none() {
+            *slot = Some(outcome);
+            self.ready.notify_all();
+        }
+    }
+
+    fn take(&self) -> Result<QueryResult, FraError> {
+        let mut slot = self.filled.lock().unwrap_or_else(PoisonError::into_inner);
+        loop {
+            if let Some(outcome) = slot.take() {
+                return outcome;
+            }
+            slot = self
+                .ready
+                .wait(slot)
+                .unwrap_or_else(PoisonError::into_inner);
+        }
+    }
+}
+
+/// A claim on one submitted query; redeem it with [`QueryTicket::wait`].
+pub struct QueryTicket {
+    id: u64,
+    cell: Arc<TicketCell>,
+}
+
+impl QueryTicket {
+    /// The submission's correlation id (the same id that rides the
+    /// multiplexed wire frames).
+    pub fn id(&self) -> u64 {
+        self.id
+    }
+
+    /// Parks until the scheduler answers (or sheds) the query.
+    pub fn wait(self) -> Result<QueryResult, FraError> {
+        self.cell.take()
+    }
+}
+
+impl std::fmt::Debug for QueryTicket {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("QueryTicket").field("id", &self.id).finish()
+    }
+}
+
+/// One accepted submission, queued until a tick admits it.
+struct Submission {
+    id: u64,
+    query: FraQuery,
+    seed: u64,
+    class: usize,
+    submitted_at: Instant,
+    /// `submitted_at + class deadline`: queue wait spends the budget.
+    deadline: Option<Instant>,
+    cell: Arc<TicketCell>,
+}
+
+/// Intake shared between client threads and the driver.
+struct IntakeState {
+    backlog: VecDeque<Submission>,
+    /// Queued-per-class counts, indexed like `SchedulerConfig::classes`.
+    per_class: Vec<usize>,
+    closed: bool,
+}
+
+struct Intake {
+    /// Unique field name: the lock-order lint identifies locks by field
+    /// name workspace-wide.
+    gate: Mutex<IntakeState>,
+    wakeup: Condvar,
+}
+
+impl Intake {
+    fn lock(&self) -> MutexGuard<'_, IntakeState> {
+        self.gate.lock().unwrap_or_else(PoisonError::into_inner)
+    }
+}
+
+/// The remote leg of a planned query (none for plans that resolved
+/// provider-side).
+struct RemoteLeg {
+    /// Candidate silos in visiting order (head = sampled silo).
+    order: Vec<SiloId>,
+    request: Request,
+    /// Index of the current candidate in `order`.
+    attempt: usize,
+    /// Transient retries already burned on the current candidate.
+    retried: u32,
+}
+
+/// One query riding the scheduler's ticks.
+struct ActiveQuery {
+    id: u64,
+    query: FraQuery,
+    class: usize,
+    alg: Box<dyn FraAlgorithm>,
+    leg: Option<RemoteLeg>,
+    rounds: u64,
+    submitted_at: Instant,
+    deadline: Option<Instant>,
+    cell: Arc<TicketCell>,
+    /// Set once the query resolved (answer, degradation, or shed);
+    /// delivered and dropped at the end of the tick.
+    done: Option<Result<QueryResult, FraError>>,
+}
+
+/// The serving front end. See the module docs for the tick model.
+///
+/// Dropping the scheduler (or calling [`shutdown`](Self::shutdown))
+/// closes intake, drains every queued and in-flight query to its ticket,
+/// and joins the driver thread.
+pub struct QueryScheduler {
+    intake: Arc<Intake>,
+    classes: Vec<ClassPolicy>,
+    obs: Arc<ObsContext>,
+    next_id: AtomicU64,
+    driver: Option<JoinHandle<()>>,
+}
+
+impl QueryScheduler {
+    /// Starts the driver thread. `factory` builds one fresh algorithm per
+    /// submission from the submission's seed — the scheduler never shares
+    /// algorithm state (or RNG state) between queries.
+    pub fn start<F>(
+        federation: Arc<Federation>,
+        factory: F,
+        config: SchedulerConfig,
+        obs: Arc<ObsContext>,
+    ) -> Self
+    where
+        F: Fn(u64) -> Box<dyn FraAlgorithm> + Send + Sync + 'static,
+    {
+        let classes = if config.classes.is_empty() {
+            SchedulerConfig::default().classes
+        } else {
+            config.classes.clone()
+        };
+        let intake = Arc::new(Intake {
+            gate: Mutex::new(IntakeState {
+                backlog: VecDeque::new(),
+                per_class: vec![0; classes.len()],
+                closed: false,
+            }),
+            wakeup: Condvar::new(),
+        });
+        let pool = if config.workers == 0 {
+            WorkerPool::auto()
+        } else {
+            WorkerPool::new(config.workers)
+        };
+        let driver = Driver {
+            federation,
+            factory: Box::new(factory),
+            pool,
+            obs: Arc::clone(&obs),
+            intake: Arc::clone(&intake),
+            classes: classes.clone(),
+            tick_admissions: config.tick_admissions.max(1),
+        };
+        let handle = std::thread::Builder::new()
+            .name("fedra-sched".to_string())
+            .spawn(move || driver.run())
+            .ok();
+        QueryScheduler {
+            intake,
+            classes,
+            obs,
+            next_id: AtomicU64::new(1),
+            driver: handle,
+        }
+    }
+
+    /// Submits one query under the given admission class (an index into
+    /// [`SchedulerConfig::classes`]). Returns immediately: redeem the
+    /// ticket with [`QueryTicket::wait`] from any thread.
+    pub fn submit(
+        &self,
+        query: FraQuery,
+        seed: u64,
+        class: usize,
+    ) -> Result<QueryTicket, SubmitError> {
+        let Some(policy) = self.classes.get(class) else {
+            return Err(SubmitError::UnknownClass { class });
+        };
+        let cell = Arc::new(TicketCell::new());
+        let id = self.next_id.fetch_add(1, Ordering::Relaxed);
+        let depth = {
+            let mut st = self.intake.lock();
+            if st.closed {
+                return Err(SubmitError::Shutdown);
+            }
+            if st.per_class[class] >= policy.queue_capacity {
+                if self.obs.is_enabled() {
+                    self.obs
+                        .inc(&labeled("fedra_shed_total", "class", &policy.name));
+                }
+                self.obs.inc("fedra_shed_queue_full_total");
+                return Err(SubmitError::QueueFull {
+                    class: policy.name.clone(),
+                });
+            }
+            st.per_class[class] += 1;
+            // Wall-clock by design: deadlines and queue-wait metrics are
+            // serving-layer concerns, never part of a query's value.
+            let submitted_at = Instant::now();
+            st.backlog.push_back(Submission {
+                id,
+                query,
+                seed,
+                class,
+                submitted_at,
+                deadline: policy.deadline.map(|d| submitted_at + d),
+                cell: Arc::clone(&cell),
+            });
+            st.backlog.len()
+        };
+        if self.obs.is_enabled() {
+            self.obs.inc(&labeled(
+                "fedra_sched_submitted_total",
+                "class",
+                &policy.name,
+            ));
+        }
+        self.obs.set_gauge("fedra_sched_queue_depth", depth as f64);
+        self.intake.wakeup.notify_all();
+        Ok(QueryTicket { id, cell })
+    }
+
+    /// Closes intake, drains all accepted work to its tickets, and joins
+    /// the driver. Also runs on drop; calling it explicitly just makes
+    /// the join visible.
+    pub fn shutdown(mut self) {
+        self.close_and_join();
+    }
+
+    fn close_and_join(&mut self) {
+        {
+            let mut st = self.intake.lock();
+            st.closed = true;
+        }
+        self.intake.wakeup.notify_all();
+        if let Some(handle) = self.driver.take() {
+            let _ = handle.join();
+        }
+    }
+}
+
+impl Drop for QueryScheduler {
+    fn drop(&mut self) {
+        self.close_and_join();
+    }
+}
+
+/// The driver thread's state: everything a tick needs.
+struct Driver {
+    federation: Arc<Federation>,
+    factory: Box<dyn Fn(u64) -> Box<dyn FraAlgorithm> + Send + Sync>,
+    pool: WorkerPool,
+    obs: Arc<ObsContext>,
+    intake: Arc<Intake>,
+    classes: Vec<ClassPolicy>,
+    tick_admissions: usize,
+}
+
+/// One coalesced frame begun this tick, pending its gather.
+struct TickFrame {
+    silo: SiloId,
+    /// Indices into `active`, in deterministic (BTreeMap, then active)
+    /// order — the same order the tagged requests ride the frame.
+    riders: Vec<usize>,
+    begun: Instant,
+    deadline: Option<Instant>,
+    /// The frame was dead on arrival by design: its riders expired in
+    /// queue and the silo sheds it whole, byte-counted.
+    expired: bool,
+    batch: Result<fedra_federation::PendingTaggedBatch, TransportError>,
+}
+
+impl Driver {
+    fn run(self) {
+        let mut active: Vec<ActiveQuery> = Vec::new();
+        loop {
+            let Some(admitted) = self.take_admissions(active.is_empty()) else {
+                break;
+            };
+            self.obs.inc("fedra_sched_ticks_total");
+            self.plan_admissions(admitted, &mut active);
+            self.obs
+                .set_gauge("fedra_sched_active", active.len() as f64);
+            self.pump_frames(&mut active);
+            self.deliver_done(&mut active);
+        }
+    }
+
+    /// Pops up to `tick_admissions` submissions. Parks on the intake
+    /// condvar when there is nothing to do at all; returns `None` exactly
+    /// once, when intake is closed and fully drained (`may_block` implies
+    /// no in-flight queries remain either).
+    fn take_admissions(&self, may_block: bool) -> Option<Vec<Submission>> {
+        let mut st = self.intake.lock();
+        while may_block && st.backlog.is_empty() && !st.closed {
+            st = self
+                .intake
+                .wakeup
+                .wait(st)
+                .unwrap_or_else(PoisonError::into_inner);
+        }
+        if may_block && st.backlog.is_empty() && st.closed {
+            return None;
+        }
+        let n = st.backlog.len().min(self.tick_admissions);
+        let admitted: Vec<Submission> = st.backlog.drain(..n).collect();
+        for sub in &admitted {
+            st.per_class[sub.class] -= 1;
+        }
+        self.obs
+            .set_gauge("fedra_sched_queue_depth", st.backlog.len() as f64);
+        Some(admitted)
+    }
+
+    /// Plans the tick's admissions on the worker pool (one fresh
+    /// algorithm per submission; results come back in submission order)
+    /// and moves remote plans into the active set.
+    fn plan_admissions(&self, admitted: Vec<Submission>, active: &mut Vec<ActiveQuery>) {
+        if admitted.is_empty() {
+            return;
+        }
+        for sub in &admitted {
+            self.obs.observe(
+                "fedra_sched_queue_wait_ns",
+                sub.submitted_at.elapsed().as_nanos() as u64,
+            );
+        }
+        let planned: Vec<Option<(QueryPlan, Box<dyn FraAlgorithm>)>> =
+            self.pool.try_map(&admitted, |_worker, sub| {
+                let alg = (self.factory)(sub.seed);
+                let plan = alg.plan_with(&self.federation, &sub.query, &self.obs);
+                (plan, alg)
+            });
+        for (sub, slot) in admitted.into_iter().zip(planned) {
+            let Some((plan, alg)) = slot else {
+                // The pool worker panicked planning this query; answer the
+                // ticket the same way the batch engine answers its slot.
+                sub.cell.deliver(Err(FraError::Internal {
+                    message: "scheduler worker panicked while planning this query".into(),
+                }));
+                continue;
+            };
+            let (leg, done) = match plan {
+                QueryPlan::Ready(outcome) => {
+                    self.obs.inc("fedra_plan_ready_total");
+                    (None, Some(outcome))
+                }
+                QueryPlan::SingleSilo(RemotePlan { order, request }) => {
+                    self.obs.inc("fedra_plan_remote_total");
+                    (
+                        Some(RemoteLeg {
+                            order,
+                            request,
+                            attempt: 0,
+                            retried: 0,
+                        }),
+                        None,
+                    )
+                }
+            };
+            active.push(ActiveQuery {
+                id: sub.id,
+                query: sub.query,
+                class: sub.class,
+                alg,
+                leg,
+                rounds: 0,
+                submitted_at: sub.submitted_at,
+                deadline: sub.deadline,
+                cell: sub.cell,
+                done,
+            });
+        }
+    }
+
+    /// One scatter–gather round over every live query: group by current
+    /// candidate silo, one multiplexed frame per silo (expired riders get
+    /// their own dead-on-arrival frame the silo sheds byte-countedly),
+    /// then resolve replies by correlation id.
+    fn pump_frames(&self, active: &mut [ActiveQuery]) {
+        self.skip_disallowed_candidates(active);
+        // Group riders by (candidate silo, expired?). Wall-clock: the
+        // deadline decides when to give up, never what a query computes.
+        let now = Instant::now();
+        let mut groups: BTreeMap<(SiloId, bool), Vec<usize>> = BTreeMap::new();
+        for (i, q) in active.iter().enumerate() {
+            if q.done.is_some() || q.leg.is_none() {
+                continue;
+            }
+            let expired = q.deadline.is_some_and(|d| d <= now);
+            let Some(leg) = q.leg.as_ref() else { continue };
+            groups
+                .entry((leg.order[leg.attempt], expired))
+                .or_default()
+                .push(i);
+        }
+        if groups.is_empty() {
+            return;
+        }
+        // Scatter: begin every frame before gathering any reply.
+        let frames: Vec<TickFrame> = groups
+            .into_iter()
+            .map(|((silo, expired), riders)| {
+                let deadline = frame_deadline(active, &riders, expired);
+                let tagged: Vec<(u64, &Request)> = riders
+                    .iter()
+                    .filter_map(|&i| {
+                        active[i]
+                            .leg
+                            .as_ref()
+                            .map(|leg| (active[i].id, &leg.request))
+                    })
+                    .collect();
+                if self.obs.is_enabled() {
+                    self.obs
+                        .observe("fedra_sched_frame_riders", riders.len() as u64);
+                    for _ in &riders {
+                        self.obs
+                            .inc(&labeled("fedra_silo_requests_total", "silo", silo));
+                    }
+                }
+                let begun = Instant::now();
+                // A lost leg (tagged shorter than riders) would desync the
+                // correlation zip; degrade the whole frame instead.
+                let batch = if tagged.len() == riders.len() {
+                    self.federation
+                        .channel(silo)
+                        .begin_tagged_batch_with(&tagged, deadline)
+                } else {
+                    Err(TransportError::Disconnected { silo })
+                };
+                TickFrame {
+                    silo,
+                    riders,
+                    begun,
+                    deadline,
+                    expired,
+                    batch,
+                }
+            })
+            .collect();
+        // Every begun frame costs its riders one attempt round.
+        for frame in &frames {
+            for &i in &frame.riders {
+                active[i].rounds += 1;
+            }
+        }
+        // Gather, routing each reply back by correlation id.
+        let by_id: HashMap<u64, usize> =
+            active.iter().enumerate().map(|(i, q)| (q.id, i)).collect();
+        let mut to_finish: Vec<(usize, SiloId, fedra_federation::Response)> = Vec::new();
+        for frame in frames {
+            self.gather_frame(active, &by_id, frame, &mut to_finish);
+        }
+        self.finish_resolved(active, to_finish);
+    }
+
+    /// Advances queries whose current candidate the breaker disallows,
+    /// degrading those that run out of candidates — the scheduler-side
+    /// mirror of `attempt_silo`'s health check.
+    fn skip_disallowed_candidates(&self, active: &mut [ActiveQuery]) {
+        for q in active.iter_mut() {
+            if q.done.is_some() {
+                continue;
+            }
+            let Some(leg) = q.leg.as_mut() else { continue };
+            while leg.attempt < leg.order.len()
+                && !self.federation.health().allows(leg.order[leg.attempt])
+            {
+                leg.attempt += 1;
+                leg.retried = 0;
+                self.obs.inc("fedra_resamples_total");
+            }
+            if leg.attempt >= leg.order.len() {
+                self.obs.inc("fedra_degraded_total");
+                q.done = Some(q.alg.finish_degraded(&self.federation, &q.query, q.rounds));
+            }
+        }
+    }
+
+    /// Resolves one frame: success feeds the finish stage, refusals retry
+    /// or advance candidates, deadline sheds mark riders shed.
+    fn gather_frame(
+        &self,
+        active: &mut [ActiveQuery],
+        by_id: &HashMap<u64, usize>,
+        frame: TickFrame,
+        to_finish: &mut Vec<(usize, SiloId, fedra_federation::Response)>,
+    ) {
+        let outcome = match frame.batch {
+            Ok(pending) => {
+                if frame.expired {
+                    // Wait (briefly) for the silo's byte-counted refusal;
+                    // the riders are shed either way.
+                    pending.wait_deadline(frame.begun + SHED_GRACE)
+                } else {
+                    match frame.deadline {
+                        Some(d) => pending.wait_deadline(d),
+                        None => pending.wait(),
+                    }
+                }
+            }
+            Err(e) => Err(e),
+        };
+        match outcome {
+            Ok(items) => {
+                note_transition(
+                    &self.obs,
+                    self.federation
+                        .health()
+                        .record_success(frame.silo, frame.begun.elapsed()),
+                );
+                for (tag, item) in items {
+                    let Some(&i) = by_id.get(&tag) else { continue };
+                    if active[i].done.is_some() {
+                        continue;
+                    }
+                    match item {
+                        Ok(response) => to_finish.push((i, frame.silo, response)),
+                        Err(error) if error.is_deadline() => {
+                            if self.obs.is_enabled() {
+                                self.obs.inc(&labeled(
+                                    "fedra_deadline_missed_total",
+                                    "silo",
+                                    frame.silo,
+                                ));
+                            }
+                            self.shed(&mut active[i]);
+                        }
+                        Err(error) => {
+                            note_transition(
+                                &self.obs,
+                                self.federation.health().record_failure(frame.silo),
+                            );
+                            self.retry_or_advance(&mut active[i], &error);
+                        }
+                    }
+                }
+            }
+            Err(error) if frame.expired && error.is_deadline() => {
+                // The dead-on-arrival frame was shed as intended (or its
+                // grace window lapsed). The silo did exactly what the
+                // envelope asked: no health failure is recorded.
+                for &i in &frame.riders {
+                    if active[i].done.is_none() {
+                        self.shed(&mut active[i]);
+                    }
+                }
+            }
+            Err(error) => {
+                note_transition(
+                    &self.obs,
+                    self.federation.health().record_failure(frame.silo),
+                );
+                if error.is_deadline() {
+                    // The frame deadline is the max over riders, so a
+                    // frame-level miss means every rider's budget is
+                    // spent: shed them all.
+                    if self.obs.is_enabled() {
+                        self.obs
+                            .inc(&labeled("fedra_deadline_missed_total", "silo", frame.silo));
+                    }
+                    for &i in &frame.riders {
+                        if active[i].done.is_none() {
+                            self.shed(&mut active[i]);
+                        }
+                    }
+                } else {
+                    for &i in &frame.riders {
+                        if active[i].done.is_none() {
+                            self.retry_or_advance(&mut active[i], &error);
+                        }
+                    }
+                }
+            }
+        }
+    }
+
+    /// Transient refusals retry the same candidate (next tick) up to the
+    /// policy budget; anything else advances to the next candidate,
+    /// degrading when none remain — mirrors the batch engine's loop.
+    fn retry_or_advance(&self, q: &mut ActiveQuery, error: &TransportError) {
+        let retries = self.federation.call_policy().retries;
+        let Some(leg) = q.leg.as_mut() else { return };
+        if error.is_retryable() && leg.retried < retries {
+            leg.retried += 1;
+            self.obs.inc("fedra_retries_total");
+            return;
+        }
+        self.obs.inc("fedra_resamples_total");
+        leg.attempt += 1;
+        leg.retried = 0;
+        if leg.attempt >= leg.order.len() {
+            self.obs.inc("fedra_degraded_total");
+            q.done = Some(q.alg.finish_degraded(&self.federation, &q.query, q.rounds));
+        }
+    }
+
+    /// Marks a rider shed (deadline spent); counted at delivery.
+    fn shed(&self, q: &mut ActiveQuery) {
+        q.done = Some(Err(FraError::Shed {
+            class: self.classes[q.class].name.clone(),
+        }));
+    }
+
+    /// Finishes this tick's successful replies on the worker pool.
+    /// `finish_with` consumes no RNG (the plan did), so parallel finish
+    /// order cannot change any query's value.
+    fn finish_resolved(
+        &self,
+        active: &mut [ActiveQuery],
+        to_finish: Vec<(usize, SiloId, fedra_federation::Response)>,
+    ) {
+        if to_finish.is_empty() {
+            return;
+        }
+        let outcomes: Vec<Option<Result<QueryResult, FraError>>> =
+            self.pool
+                .try_map(&to_finish, |_worker, (i, silo, response)| {
+                    let q = &active[*i];
+                    if self.obs.is_enabled() {
+                        self.obs
+                            .inc(&labeled("fedra_sampled_silo_total", "silo", *silo));
+                    }
+                    q.alg.finish_with(
+                        &self.federation,
+                        &q.query,
+                        *silo,
+                        response.clone(),
+                        q.rounds,
+                        &self.obs,
+                    )
+                });
+        for ((i, _, _), outcome) in to_finish.into_iter().zip(outcomes) {
+            active[i].done = Some(outcome.unwrap_or_else(|| {
+                Err(FraError::Internal {
+                    message: "scheduler worker panicked while finishing this query".into(),
+                })
+            }));
+        }
+    }
+
+    /// Delivers every resolved query to its ticket and drops it from the
+    /// active set, recording completion/shed counters and end-to-end
+    /// latency.
+    fn deliver_done(&self, active: &mut Vec<ActiveQuery>) {
+        active.retain_mut(|q| {
+            let Some(outcome) = q.done.take() else {
+                return true;
+            };
+            let class = &self.classes[q.class].name;
+            if matches!(outcome, Err(FraError::Shed { .. })) {
+                if self.obs.is_enabled() {
+                    self.obs.inc(&labeled("fedra_shed_total", "class", class));
+                }
+                self.obs.inc("fedra_shed_expired_total");
+            } else if self.obs.is_enabled() {
+                self.obs
+                    .inc(&labeled("fedra_sched_completed_total", "class", class));
+            }
+            self.obs.observe(
+                "fedra_sched_latency_ns",
+                q.submitted_at.elapsed().as_nanos() as u64,
+            );
+            q.cell.deliver(outcome);
+            false
+        });
+    }
+}
+
+/// The envelope deadline for one coalesced frame: live frames take the
+/// *max* over riders (the frame must never shed a rider that still has
+/// budget; each rider's own deadline is enforced per-reply), expired
+/// frames take the earliest (already past) deadline so the silo sheds
+/// them on arrival.
+fn frame_deadline(active: &[ActiveQuery], riders: &[usize], expired: bool) -> Option<Instant> {
+    if expired {
+        return riders.iter().filter_map(|&i| active[i].deadline).min();
+    }
+    let mut max: Option<Instant> = None;
+    for &i in riders {
+        match active[i].deadline {
+            // One unbounded rider makes the frame unbounded.
+            None => return None,
+            Some(d) => max = Some(max.map_or(d, |m| m.max(d))),
+        }
+    }
+    max
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::sampling::IidEst;
+    use crate::QueryEngine;
+    use fedra_federation::FederationBuilder;
+    use fedra_index::AggFunc;
+    use fedra_workload::{QueryGenerator, WorkloadSpec};
+
+    fn stand_up(seed: u64) -> (Arc<Federation>, Vec<FraQuery>) {
+        let spec = WorkloadSpec::default()
+            .with_total_objects(4_000)
+            .with_silos(4)
+            .with_seed(seed);
+        let dataset = spec.generate();
+        let all = dataset.all_objects();
+        let bounds = dataset.bounds();
+        let federation = FederationBuilder::new(bounds)
+            .grid_cell_len(1.0)
+            .build(dataset.into_partitions());
+        let mut generator = QueryGenerator::new(&all, seed ^ 0x5EED);
+        let queries = generator
+            .circles(2.0, 24)
+            .iter()
+            .map(|r| FraQuery::new(*r, AggFunc::Count))
+            .collect();
+        (Arc::new(federation), queries)
+    }
+
+    fn factory(seed: u64) -> Box<dyn FraAlgorithm> {
+        Box::new(IidEst::new(seed))
+    }
+
+    #[test]
+    fn scheduled_results_match_serial_execution() {
+        let (federation, queries) = stand_up(71);
+        let obs = Arc::new(ObsContext::new());
+        let sched = QueryScheduler::start(
+            Arc::clone(&federation),
+            factory,
+            SchedulerConfig::default(),
+            Arc::clone(&obs),
+        );
+        let tickets: Vec<QueryTicket> = queries
+            .iter()
+            .enumerate()
+            .map(|(i, q)| sched.submit(*q, 1000 + i as u64, 0).expect("admitted"))
+            .collect();
+        for (i, ticket) in tickets.into_iter().enumerate() {
+            let got = ticket.wait().expect("scheduled query answers");
+            let alg = factory(1000 + i as u64);
+            let serial = QueryEngine::with_workers(alg.as_ref(), 1).execute_batch_with(
+                &federation,
+                &queries[i..=i],
+                &ObsContext::new(),
+            );
+            let want = serial.results[0].as_ref().expect("serial query answers");
+            assert_eq!(got.value.to_bits(), want.value.to_bits());
+            assert_eq!(&got, want);
+        }
+        sched.shutdown();
+    }
+
+    #[test]
+    fn queue_full_sheds_at_submit() {
+        let (federation, queries) = stand_up(72);
+        let obs = Arc::new(ObsContext::new());
+        // Capacity 0: the front door sheds everything.
+        let config = SchedulerConfig {
+            classes: vec![ClassPolicy::unbounded("tiny", 0)],
+            ..SchedulerConfig::default()
+        };
+        let sched = QueryScheduler::start(Arc::clone(&federation), factory, config, obs);
+        let err = sched.submit(queries[0], 7, 0).expect_err("queue full");
+        assert_eq!(
+            err,
+            SubmitError::QueueFull {
+                class: "tiny".into()
+            }
+        );
+        assert_eq!(
+            sched.submit(queries[0], 7, 9).expect_err("bad class"),
+            SubmitError::UnknownClass { class: 9 }
+        );
+    }
+
+    #[test]
+    fn expired_submissions_are_shed_byte_counted() {
+        let (federation, queries) = stand_up(73);
+        let obs = Arc::new(ObsContext::new());
+        // A zero deadline expires every query in queue; the scheduler
+        // still ships each one as a dead-on-arrival frame the silo sheds.
+        let config = SchedulerConfig {
+            classes: vec![ClassPolicy::with_deadline("rt", 64, Duration::ZERO)],
+            ..SchedulerConfig::default()
+        };
+        let before = federation.query_comm();
+        let sched =
+            QueryScheduler::start(Arc::clone(&federation), factory, config, Arc::clone(&obs));
+        let tickets: Vec<QueryTicket> = queries
+            .iter()
+            .map(|q| sched.submit(*q, 5, 0).expect("admitted"))
+            .collect();
+        let mut sheds = 0;
+        for ticket in tickets {
+            match ticket.wait() {
+                Err(FraError::Shed { class }) => {
+                    assert_eq!(class, "rt");
+                    sheds += 1;
+                }
+                other => panic!("expired query should shed, got {other:?}"),
+            }
+        }
+        assert_eq!(sheds, queries.len());
+        // The sheds travelled: byte-counted rounds, not silent drops.
+        let delta = federation.query_comm().since(&before);
+        assert!(delta.rounds > 0, "shed frames should be byte-counted");
+        sched.shutdown();
+    }
+
+    #[test]
+    fn shutdown_drains_queued_work() {
+        let (federation, queries) = stand_up(74);
+        let obs = Arc::new(ObsContext::new());
+        let sched = QueryScheduler::start(
+            Arc::clone(&federation),
+            factory,
+            SchedulerConfig::default(),
+            obs,
+        );
+        let tickets: Vec<QueryTicket> = queries
+            .iter()
+            .map(|q| sched.submit(*q, 3, 0).expect("admitted"))
+            .collect();
+        sched.shutdown();
+        for ticket in tickets {
+            ticket.wait().expect("drained on shutdown");
+        }
+    }
+
+    #[test]
+    fn ticket_ids_are_unique_and_returned() {
+        let (federation, queries) = stand_up(75);
+        let obs = Arc::new(ObsContext::new());
+        let sched = QueryScheduler::start(
+            Arc::clone(&federation),
+            factory,
+            SchedulerConfig::default(),
+            obs,
+        );
+        let a = sched.submit(queries[0], 1, 0).expect("admitted");
+        let b = sched.submit(queries[1], 2, 0).expect("admitted");
+        assert_ne!(a.id(), b.id());
+        a.wait().expect("answers");
+        b.wait().expect("answers");
+    }
+}

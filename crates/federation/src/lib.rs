@@ -39,6 +39,6 @@ pub use snapshot::ProviderSnapshot;
 #[allow(deprecated)]
 pub use transport::CommStats;
 pub use transport::{
-    CallPolicy, CommCounters, CommSnapshot, PendingBatch, PendingCall, Poll, RaceWinner,
-    SiloChannel, TransportError,
+    CallPolicy, CommCounters, CommSnapshot, PendingBatch, PendingCall, PendingTaggedBatch, Poll,
+    RaceWinner, SiloChannel, TransportError,
 };

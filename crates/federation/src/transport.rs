@@ -17,13 +17,14 @@
 //!   share one wire frame, paying the per-message envelope overhead once
 //!   per direction instead of `n` times.
 
+use std::collections::HashMap;
 use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
-use std::sync::Arc;
+use std::sync::{Arc, Condvar, PoisonError, Weak};
 use std::thread::JoinHandle;
 use std::time::{Duration, Instant};
 
 use bytes::Bytes;
-use crossbeam::channel::{bounded, unbounded, Receiver, RecvTimeoutError, Sender};
+use crossbeam::channel::{unbounded, Sender};
 use parking_lot::Mutex;
 
 use crate::fault::{FaultAction, SiloFaultInjector};
@@ -46,35 +47,183 @@ pub type CommStats = CommCounters;
 
 struct Envelope {
     request: Bytes,
-    reply: Sender<Bytes>,
+    reply: Arc<ReplySlot>,
     /// Control metadata, not wire bytes: lets the worker shed requests
     /// whose caller has already given up (the caller enforces the same
     /// deadline on its receive side).
     deadline: Option<Instant>,
 }
 
-/// A reusable oneshot reply pair.
-type ReplyPair = (Sender<Bytes>, Receiver<Bytes>);
+/// State of a [`ReplySlot`]: empty while the call is in flight, full once
+/// the worker delivered, dead once the worker is known gone without a
+/// reply.
+enum SlotState {
+    Empty,
+    Full(Bytes),
+    Dead,
+}
 
-/// Pool of reply pairs, so steady-state calls allocate no channels.
+/// A reusable parked-wait oneshot: the worker fills it, the caller sleeps
+/// on the condvar until the reply lands, the deadline passes, or the
+/// worker's exit sweep marks the slot dead.
 ///
-/// Each [`SiloChannel::call`] used to create a fresh `bounded(1)` channel;
-/// under a query workload that is two heap allocations per RPC. Pairs are
-/// checked out per in-flight call and returned once the reply has been
-/// drained — a pair whose pending call was abandoned is *discarded*
-/// instead (the worker may still push a stale reply into it later).
+/// This replaces the earlier pooled `bounded(1)` reply channels, whose
+/// caller-side sender kept the channel permanently connected — worker
+/// death was unobservable on the channel itself, forcing the waiter into
+/// a 5 ms sliced poll of a liveness flag. Here the waiter parks outright
+/// and is *woken* on either event, so an idle provider burns no cycles
+/// per in-flight call no matter how long the silo takes.
+struct ReplySlot {
+    cell: std::sync::Mutex<SlotState>,
+    cv: Condvar,
+}
+
+impl ReplySlot {
+    fn new() -> Self {
+        ReplySlot {
+            cell: std::sync::Mutex::new(SlotState::Empty),
+            cv: Condvar::new(),
+        }
+    }
+
+    /// Delivers the reply bytes and wakes the waiter. A slot abandoned by
+    /// its caller (deadline miss) is simply filled with nobody listening;
+    /// it was discarded from the pool, so the stale bytes are dropped with
+    /// the last `Arc` reference.
+    fn fill(&self, bytes: Bytes) {
+        let mut state = self.cell.lock().unwrap_or_else(PoisonError::into_inner);
+        if matches!(*state, SlotState::Empty) {
+            *state = SlotState::Full(bytes);
+            self.cv.notify_all();
+        }
+    }
+
+    /// Marks the worker as gone and wakes the waiter; a reply that already
+    /// landed wins (the worker always replies *before* it exits, so a full
+    /// slot is a served call regardless of the worker's fate afterwards).
+    fn mark_dead(&self) {
+        let mut state = self.cell.lock().unwrap_or_else(PoisonError::into_inner);
+        if matches!(*state, SlotState::Empty) {
+            *state = SlotState::Dead;
+            self.cv.notify_all();
+        }
+    }
+
+    /// Parks until the slot is filled, the worker dies, or `deadline`
+    /// passes — whichever comes first. A reply that raced the deadline
+    /// onto the slot still wins (the state is checked before the timeout
+    /// verdict).
+    fn wait(&self, deadline: Option<Instant>) -> RecvOutcome {
+        let mut state = self.cell.lock().unwrap_or_else(PoisonError::into_inner);
+        loop {
+            match std::mem::replace(&mut *state, SlotState::Empty) {
+                SlotState::Full(bytes) => return RecvOutcome::Bytes(bytes),
+                SlotState::Dead => {
+                    *state = SlotState::Dead;
+                    return RecvOutcome::Dead;
+                }
+                SlotState::Empty => {}
+            }
+            state = match deadline {
+                Some(d) => {
+                    let now = Instant::now();
+                    if now >= d {
+                        return RecvOutcome::TimedOut;
+                    }
+                    let (guard, _timed_out) = self
+                        .cv
+                        .wait_timeout(state, d - now)
+                        .unwrap_or_else(PoisonError::into_inner);
+                    guard
+                }
+                None => self.cv.wait(state).unwrap_or_else(PoisonError::into_inner),
+            };
+        }
+    }
+}
+
+/// Pool of reply slots, so steady-state calls allocate no channels.
+///
+/// Slots are checked out per in-flight call and returned once the reply
+/// has been drained — a slot whose pending call was abandoned is
+/// *discarded* instead (the worker may still push a stale reply into it
+/// later).
 #[derive(Default)]
 struct ReplyPool {
-    pairs: Mutex<Vec<ReplyPair>>,
+    slots: Mutex<Vec<Arc<ReplySlot>>>,
+}
+
+impl Default for ReplySlot {
+    fn default() -> Self {
+        Self::new()
+    }
 }
 
 impl ReplyPool {
-    fn checkout(&self) -> ReplyPair {
-        self.pairs.lock().pop().unwrap_or_else(|| bounded(1))
+    fn checkout(&self) -> Arc<ReplySlot> {
+        self.slots
+            .lock()
+            .pop()
+            .unwrap_or_else(|| Arc::new(ReplySlot::new()))
     }
 
-    fn restore(&self, pair: ReplyPair) {
-        self.pairs.lock().push(pair);
+    fn restore(&self, slot: Arc<ReplySlot>) {
+        self.slots.lock().push(slot);
+    }
+}
+
+/// Registry of in-flight reply slots for one silo channel, shared with
+/// the worker's [`AliveGuard`]: when the worker exits on *any* path, the
+/// guard sweeps the registry and marks every outstanding slot dead, which
+/// is what wakes parked waiters that would otherwise sleep forever on a
+/// reply that can no longer come.
+///
+/// Entries are weak so an abandoned call's slot can die independently;
+/// resolved calls deregister eagerly, and registration prunes dead weaks
+/// once the map grows past a small bound, so the registry stays
+/// proportional to the number of calls actually in flight.
+#[derive(Default)]
+struct InflightRegistry {
+    inflight: Mutex<InflightSlots>,
+}
+
+#[derive(Default)]
+struct InflightSlots {
+    next_token: u64,
+    slots: HashMap<u64, Weak<ReplySlot>>,
+}
+
+/// Registry size beyond which registration prunes unreachable entries.
+const INFLIGHT_PRUNE_LEN: usize = 64;
+
+impl InflightRegistry {
+    fn register(&self, slot: &Arc<ReplySlot>) -> u64 {
+        let mut guard = self.inflight.lock();
+        if guard.slots.len() >= INFLIGHT_PRUNE_LEN {
+            guard.slots.retain(|_, weak| weak.strong_count() > 0);
+        }
+        let token = guard.next_token;
+        guard.next_token = guard.next_token.wrapping_add(1);
+        guard.slots.insert(token, Arc::downgrade(slot));
+        token
+    }
+
+    fn deregister(&self, token: u64) {
+        self.inflight.lock().slots.remove(&token);
+    }
+
+    /// Marks every registered slot dead (worker exit). The upgrade happens
+    /// under the registry lock but the marking outside it, so no slot lock
+    /// is ever taken while the registry is held.
+    fn sweep_dead(&self) {
+        let live: Vec<Arc<ReplySlot>> = {
+            let mut guard = self.inflight.lock();
+            let slots = guard.slots.drain().filter_map(|(_, w)| w.upgrade());
+            slots.collect()
+        };
+        for slot in live {
+            slot.mark_dead();
+        }
     }
 }
 
@@ -316,14 +465,15 @@ pub fn race_calls(primary: PendingCall, hedge: PendingCall, deadline: Instant) -
 struct PendingReply {
     silo: SiloId,
     up: usize,
-    pair: ReplyPair,
+    slot: Arc<ReplySlot>,
+    token: u64,
+    registry: Arc<InflightRegistry>,
     pool: Arc<ReplyPool>,
     stats: Arc<CommCounters>,
     deadline: Option<Instant>,
-    worker_alive: Arc<AtomicBool>,
 }
 
-/// How a sliced reply wait ended (see [`PendingReply::recv_outcome`]).
+/// How a parked reply wait ended (see [`ReplySlot::wait`]).
 enum RecvOutcome {
     /// The reply frame arrived.
     Bytes(Bytes),
@@ -334,74 +484,43 @@ enum RecvOutcome {
 }
 
 impl PendingReply {
-    /// Waits for the reply in short slices so a crashed worker is noticed
-    /// even on an unbounded wait. The reply channel itself can never
-    /// disconnect while the call is in flight — the pooled pair keeps a
-    /// sender alive on the caller's side — so worker death is observed
-    /// through the liveness flag the worker's drop guard clears on any
-    /// exit path.
-    fn recv_outcome(&self, deadline: Option<Instant>) -> RecvOutcome {
-        const SLICE: Duration = Duration::from_millis(5);
-        loop {
-            let now = Instant::now();
-            if deadline.is_some_and(|d| now >= d) {
-                // One last non-blocking look: a reply that raced the
-                // deadline onto the queue still wins.
-                return match self.pair.1.try_recv() {
-                    Ok(bytes) => RecvOutcome::Bytes(bytes),
-                    Err(_) => RecvOutcome::TimedOut,
-                };
-            }
-            let slice_end = match deadline {
-                Some(d) => d.min(now + SLICE),
-                None => now + SLICE,
-            };
-            match self.pair.1.recv_deadline(slice_end) {
-                Ok(bytes) => return RecvOutcome::Bytes(bytes),
-                Err(RecvTimeoutError::Disconnected) => return RecvOutcome::Dead,
-                Err(RecvTimeoutError::Timeout) => {
-                    if !self.worker_alive.load(Ordering::Acquire) {
-                        // A worker always replies *before* it exits (the
-                        // drop guard runs last), so once the flag reads
-                        // false a final non-blocking look settles the
-                        // reply-then-crash race.
-                        return match self.pair.1.try_recv() {
-                            Ok(bytes) => RecvOutcome::Bytes(bytes),
-                            Err(_) => RecvOutcome::Dead,
-                        };
-                    }
-                }
-            }
-        }
-    }
-
     /// Drains an arrived reply: records the round's traffic and returns
-    /// the pair to the pool.
+    /// the slot to the pool.
     fn complete(self, bytes: Bytes) -> Bytes {
+        self.registry.deregister(self.token);
         self.stats.record(self.up, bytes.len());
-        self.pool.restore(self.pair);
+        self.pool.restore(self.slot);
         bytes
     }
 
     /// Blocks for the raw reply bytes (up to the deadline, when one was
-    /// set), records the round's traffic, and returns the reply pair to
-    /// the pool. On a deadline miss the pair is *discarded* — the worker
+    /// set), records the round's traffic, and returns the reply slot to
+    /// the pool. On a deadline miss the slot is *discarded* — the worker
     /// may still push a stale reply into it later.
     fn wait_bytes(self) -> Result<Bytes, TransportError> {
-        match self.recv_outcome(self.deadline) {
+        match self.slot.wait(self.deadline) {
             RecvOutcome::Bytes(bytes) => Ok(self.complete(bytes)),
-            RecvOutcome::TimedOut => Err(TransportError::DeadlineExceeded { silo: self.silo }),
-            RecvOutcome::Dead => Err(TransportError::Disconnected { silo: self.silo }),
+            RecvOutcome::TimedOut => {
+                self.registry.deregister(self.token);
+                Err(TransportError::DeadlineExceeded { silo: self.silo })
+            }
+            RecvOutcome::Dead => {
+                self.registry.deregister(self.token);
+                Err(TransportError::Disconnected { silo: self.silo })
+            }
         }
     }
 
     /// Waits for the reply until `deadline`; a timeout keeps the call in
     /// flight (`Pending`) so the caller can hedge and poll again later.
     fn poll_bytes(self, deadline: Instant) -> Poll<PendingReply, Result<Bytes, TransportError>> {
-        match self.recv_outcome(Some(deadline)) {
+        match self.slot.wait(Some(deadline)) {
             RecvOutcome::Bytes(bytes) => Poll::Ready(Ok(self.complete(bytes))),
             RecvOutcome::TimedOut => Poll::Pending(self),
-            RecvOutcome::Dead => Poll::Ready(Err(TransportError::Disconnected { silo: self.silo })),
+            RecvOutcome::Dead => {
+                self.registry.deregister(self.token);
+                Poll::Ready(Err(TransportError::Disconnected { silo: self.silo }))
+            }
         }
     }
 }
@@ -594,6 +713,100 @@ impl std::fmt::Debug for PendingBatch {
     }
 }
 
+/// An in-flight multiplexed batch whose sub-requests came from *different*
+/// callers: each rides with a caller-chosen correlation id, and the reply
+/// items come back paired with those ids.
+///
+/// The ids never travel. The batch protocol already guarantees reply order
+/// equals request order, so the wire frame is byte-identical to the one
+/// [`SiloChannel::begin_batch_with`] ships; the correlation ids are
+/// provider-side bookkeeping zipped back onto the positional replies. This
+/// is what lets a scheduler coalesce outstanding requests from unrelated
+/// queries into one frame per silo per tick and still route every reply to
+/// the query that asked.
+pub struct PendingTaggedBatch {
+    inner: PendingBatch,
+    tags: Vec<u64>,
+}
+
+/// Pairs each correlation id with its positional reply item.
+fn zip_tags(
+    tags: Vec<u64>,
+    items: Vec<Result<Response, TransportError>>,
+) -> Vec<(u64, Result<Response, TransportError>)> {
+    // `decode_batch` already enforced arity == expected == tags.len().
+    tags.into_iter().zip(items).collect()
+}
+
+impl PendingTaggedBatch {
+    /// Which silo this batch is in flight to.
+    pub fn silo(&self) -> SiloId {
+        self.inner.silo()
+    }
+
+    /// How many sub-responses this batch expects.
+    pub fn expected(&self) -> usize {
+        self.inner.expected()
+    }
+
+    /// The correlation ids riding this frame, in request order.
+    pub fn tags(&self) -> &[u64] {
+        &self.tags
+    }
+
+    /// Blocks for the batch response and pairs every item with the
+    /// correlation id its request carried. Error contract as in
+    /// [`PendingBatch::wait`]: the outer `Result` is frame-level (worker
+    /// gone, whole-frame refusal or deadline shed — every rider failed the
+    /// same way), the inner entries are per-rider.
+    #[allow(clippy::type_complexity)]
+    pub fn wait(self) -> Result<Vec<(u64, Result<Response, TransportError>)>, TransportError> {
+        let items = self.inner.wait()?;
+        Ok(zip_tags(self.tags, items))
+    }
+
+    /// Like [`PendingTaggedBatch::wait`], but bounded by an explicit
+    /// deadline (overriding any deadline set at send time).
+    #[allow(clippy::type_complexity)]
+    pub fn wait_deadline(
+        self,
+        deadline: Instant,
+    ) -> Result<Vec<(u64, Result<Response, TransportError>)>, TransportError> {
+        let items = self.inner.wait_deadline(deadline)?;
+        Ok(zip_tags(self.tags, items))
+    }
+
+    /// Waits until `deadline`; a timeout returns the still-pending batch
+    /// instead of an error so the caller can keep the frame alive across
+    /// scheduling ticks.
+    #[allow(clippy::type_complexity)]
+    pub fn poll_deadline(
+        self,
+        deadline: Instant,
+    ) -> Poll<
+        PendingTaggedBatch,
+        Result<Vec<(u64, Result<Response, TransportError>)>, TransportError>,
+    > {
+        match self.inner.poll_deadline(deadline) {
+            Poll::Ready(Ok(items)) => Poll::Ready(Ok(zip_tags(self.tags, items))),
+            Poll::Ready(Err(e)) => Poll::Ready(Err(e)),
+            Poll::Pending(inner) => Poll::Pending(PendingTaggedBatch {
+                inner,
+                tags: self.tags,
+            }),
+        }
+    }
+}
+
+impl std::fmt::Debug for PendingTaggedBatch {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("PendingTaggedBatch")
+            .field("silo", &self.inner.silo())
+            .field("tags", &self.tags)
+            .finish()
+    }
+}
+
 /// The provider's handle to one silo worker.
 #[derive(Clone)]
 pub struct SiloChannel {
@@ -601,6 +814,7 @@ pub struct SiloChannel {
     tx: Sender<Envelope>,
     stats: Arc<CommCounters>,
     reply_pool: Arc<ReplyPool>,
+    registry: Arc<InflightRegistry>,
     served: Arc<AtomicU64>,
     failed: Arc<std::sync::atomic::AtomicBool>,
     silo_metrics: Arc<fedra_obs::MetricsRegistry>,
@@ -622,22 +836,40 @@ impl SiloChannel {
         deadline: Option<Instant>,
     ) -> Result<PendingReply, TransportError> {
         let up = frame.len();
-        let pair = self.reply_pool.checkout();
-        self.tx
+        let slot = self.reply_pool.checkout();
+        // Register *before* the send: the worker's exit sweep can only
+        // wake slots it can see, and a successful send proves the worker
+        // had not yet dropped its receiver — so a post-send exit is
+        // guaranteed to sweep this entry.
+        let token = self.registry.register(&slot);
+        if self
+            .tx
             .send(Envelope {
                 request: frame,
-                reply: pair.0.clone(),
+                reply: Arc::clone(&slot),
                 deadline,
             })
-            .map_err(|_| TransportError::Disconnected { silo: self.id })?;
+            .is_err()
+        {
+            self.registry.deregister(token);
+            self.reply_pool.restore(slot);
+            return Err(TransportError::Disconnected { silo: self.id });
+        }
+        if !self.worker_alive.load(Ordering::Acquire) {
+            // Belt and braces against an exit racing the send: a no-op if
+            // the worker served the frame first (the slot is already
+            // full), otherwise it wakes the waiter with `Dead`.
+            slot.mark_dead();
+        }
         Ok(PendingReply {
             silo: self.id,
             up,
-            pair,
+            slot,
+            token,
+            registry: Arc::clone(&self.registry),
             pool: Arc::clone(&self.reply_pool),
             stats: Arc::clone(&self.stats),
             deadline,
-            worker_alive: Arc::clone(&self.worker_alive),
         })
     }
 
@@ -693,6 +925,23 @@ impl SiloChannel {
         })
     }
 
+    /// Starts a cross-caller batch: each request rides with a caller
+    /// correlation id that is paired back onto its reply by
+    /// [`PendingTaggedBatch::wait`]. The wire frame is byte-identical to
+    /// [`SiloChannel::begin_batch_with`] on the same requests — the ids
+    /// are provider-side only.
+    pub fn begin_tagged_batch_with(
+        &self,
+        requests: &[(u64, &Request)],
+        deadline: Option<Instant>,
+    ) -> Result<PendingTaggedBatch, TransportError> {
+        let refs: Vec<&Request> = requests.iter().map(|(_, r)| *r).collect();
+        Ok(PendingTaggedBatch {
+            inner: self.begin_batch_with(&refs, deadline)?,
+            tags: requests.iter().map(|(tag, _)| *tag).collect(),
+        })
+    }
+
     /// Sends a request and waits for the response, recording the traffic.
     ///
     /// `Response::Error` payloads are mapped to
@@ -727,6 +976,7 @@ impl SiloChannel {
             tx: self.tx.clone(),
             stats: comm,
             reply_pool: Arc::clone(&self.reply_pool),
+            registry: Arc::clone(&self.registry),
             served: Arc::clone(&self.served),
             failed: Arc::clone(&self.failed),
             silo_metrics: Arc::clone(&self.silo_metrics),
@@ -789,12 +1039,19 @@ pub fn spawn_silo(
     let failed = silo.failure_flag();
     let silo_metrics = silo.metrics();
     let worker_alive = Arc::new(AtomicBool::new(true));
-    let alive_guard = AliveGuard(Arc::clone(&worker_alive));
+    let registry = Arc::new(InflightRegistry::default());
+    let alive_guard = AliveGuard {
+        alive: Arc::clone(&worker_alive),
+        registry: Arc::clone(&registry),
+    };
     let handle = std::thread::Builder::new()
         .name(format!("fedra-silo-{id}"))
         .spawn(move || {
-            // Cleared on every exit path — normal shutdown, injected
-            // crash, panic — so callers blocked on a reply stop waiting.
+            // Runs on every exit path — normal shutdown, injected crash,
+            // panic — clearing the liveness flag and waking callers
+            // parked on a reply. Declared before the loop so the loop's
+            // iterator (owning the receiver) drops *first*: once the
+            // guard's sweep runs, no new envelope can have been accepted.
             let _alive = alive_guard;
             for envelope in rx {
                 if let Some(latency) = simulated_latency {
@@ -807,7 +1064,7 @@ pub fn spawn_silo(
                         if let Some(delay) = delay {
                             std::thread::sleep(delay);
                         }
-                        let _ = envelope.reply.send(Response::Transient(message).to_bytes());
+                        envelope.reply.fill(Response::Transient(message).to_bytes());
                         continue;
                     }
                     Some(FaultAction::Proceed { delay }) => {
@@ -824,9 +1081,9 @@ pub fn spawn_silo(
                     let now = Instant::now();
                     if now >= deadline {
                         let late_by_us = (now - deadline).as_micros().min(u64::MAX as u128) as u64;
-                        let _ = envelope
+                        envelope
                             .reply
-                            .send(Response::DeadlineExceeded { late_by_us }.to_bytes());
+                            .fill(Response::DeadlineExceeded { late_by_us }.to_bytes());
                         continue;
                     }
                 }
@@ -834,8 +1091,8 @@ pub fn spawn_silo(
                     Ok(request) => silo.handle(request),
                     Err(e) => Response::Error(format!("undecodable request: {e}")),
                 };
-                // A dropped reply receiver just means the caller gave up.
-                let _ = envelope.reply.send(response.to_bytes());
+                // A caller that gave up simply never drains the slot.
+                envelope.reply.fill(response.to_bytes());
             }
         })
         .map_err(|e| TransportError::Spawn {
@@ -848,6 +1105,7 @@ pub fn spawn_silo(
             tx,
             stats,
             reply_pool: Arc::new(ReplyPool::default()),
+            registry,
             served,
             failed,
             silo_metrics,
@@ -857,14 +1115,19 @@ pub fn spawn_silo(
     ))
 }
 
-/// Flag wrapper whose `Drop` marks the silo worker as gone; the worker
-/// thread owns one so the liveness bit is cleared no matter how the
-/// thread exits.
-struct AliveGuard(Arc<AtomicBool>);
+/// Guard owned by the silo worker thread whose `Drop` marks the worker as
+/// gone and wakes every parked caller, no matter how the thread exits:
+/// it clears the liveness flag, then sweeps the in-flight slot registry
+/// so waiters see `Dead` instead of sleeping forever.
+struct AliveGuard {
+    alive: Arc<AtomicBool>,
+    registry: Arc<InflightRegistry>,
+}
 
 impl Drop for AliveGuard {
     fn drop(&mut self) {
-        self.0.store(false, Ordering::Release);
+        self.alive.store(false, Ordering::Release);
+        self.registry.sweep_dead();
     }
 }
 
@@ -1027,6 +1290,66 @@ mod tests {
     }
 
     #[test]
+    fn tagged_batch_pairs_replies_with_correlation_ids() {
+        let stats = Arc::new(CommCounters::with_overhead(0));
+        let (chan, _handle) =
+            spawn_silo(test_silo(11, 100), Arc::clone(&stats), None, None).expect("spawn silo");
+        let q = Range::circle(Point::new(5.0, 5.0), 2.0);
+        let agg = Request::Aggregate {
+            range: q,
+            mode: LocalMode::Exact,
+        };
+        // The plain batch pins the wire cost the tagged variant must match.
+        let before = stats.snapshot();
+        chan.call_batch(&[Request::Ping, agg.clone(), Request::MemoryReport])
+            .expect("plain batch");
+        let plain = stats.snapshot().since(&before);
+
+        let before = stats.snapshot();
+        let results = chan
+            .begin_tagged_batch_with(
+                &[
+                    (907, &Request::Ping),
+                    (11, &agg),
+                    (42, &Request::MemoryReport),
+                ],
+                None,
+            )
+            .expect("begin tagged batch")
+            .wait()
+            .expect("tagged batch transport");
+        let tagged = stats.snapshot().since(&before);
+        // Correlation ids are provider-side bookkeeping: same bytes, one round.
+        assert_eq!(tagged, plain);
+        assert_eq!(results.len(), 3);
+        assert_eq!(results[0].0, 907);
+        assert_eq!(results[0].1, Ok(Response::Pong));
+        assert_eq!(results[1].0, 11);
+        assert!(matches!(results[1].1, Ok(Response::Agg(_))));
+        assert_eq!(results[2].0, 42);
+        assert!(matches!(results[2].1, Ok(Response::Memory(_))));
+    }
+
+    #[test]
+    fn tagged_batch_deadline_shed_fails_the_whole_frame() {
+        let stats = Arc::new(CommCounters::default());
+        let (chan, _handle) =
+            spawn_silo(test_silo(12, 10), Arc::clone(&stats), None, None).expect("spawn silo");
+        // A frame expired before dispatch: the worker sheds it whole, and
+        // the refusal still costs a byte-counted round. Waiting with a
+        // generous *receive* deadline (while the envelope deadline is
+        // already past) is what lets the shed response actually arrive.
+        let expired = Instant::now() - Duration::from_millis(5);
+        let err = chan
+            .begin_tagged_batch_with(&[(1, &Request::Ping), (2, &Request::Ping)], Some(expired))
+            .expect("send succeeds; the shed happens silo-side")
+            .wait_deadline(Instant::now() + Duration::from_secs(5))
+            .expect_err("expired frame is shed");
+        assert!(matches!(err, TransportError::DeadlineExceeded { silo: 12 }));
+        assert_eq!(stats.snapshot().rounds, 1);
+    }
+
+    #[test]
     fn call_batch_surfaces_per_item_errors() {
         let stats = Arc::new(CommCounters::default());
         let (chan, _handle) =
@@ -1082,20 +1405,23 @@ mod tests {
     }
 
     #[test]
-    fn reply_pairs_are_pooled_and_reused() {
+    fn reply_slots_are_pooled_and_reused() {
         let stats = Arc::new(CommCounters::default());
         let (chan, _handle) =
             spawn_silo(test_silo(12, 10), Arc::clone(&stats), None, None).expect("spawn silo");
         for _ in 0..10 {
             chan.call(&Request::Ping).unwrap();
         }
-        // Sequential calls recycle a single pair.
-        assert_eq!(chan.reply_pool.pairs.lock().len(), 1);
-        // An abandoned pending call discards its pair instead of returning
-        // a (possibly stale) channel to the pool.
+        // Sequential calls recycle a single slot.
+        assert_eq!(chan.reply_pool.slots.lock().len(), 1);
+        // Resolved calls deregister eagerly, so the in-flight registry
+        // holds nothing between calls.
+        assert!(chan.registry.inflight.lock().slots.is_empty());
+        // An abandoned pending call discards its slot instead of
+        // returning a (possibly stale) one to the pool.
         let pending = chan.begin_call(&Request::Ping).unwrap();
         drop(pending);
-        assert!(chan.reply_pool.pairs.lock().is_empty());
+        assert!(chan.reply_pool.slots.lock().is_empty());
         // The channel still works after the discard.
         assert_eq!(chan.call(&Request::Ping).unwrap(), Response::Pong);
     }
@@ -1181,9 +1507,9 @@ mod tests {
         assert_eq!(err, TransportError::DeadlineExceeded { silo: 20 });
         assert!(err.is_deadline());
         assert!(!err.is_retryable());
-        // The abandoned pair must not be pooled (its stale reply is still
+        // The abandoned slot must not be pooled (its stale reply is still
         // coming).
-        assert!(chan.reply_pool.pairs.lock().is_empty());
+        assert!(chan.reply_pool.slots.lock().is_empty());
         // And a timed-out round records no traffic.
         assert_eq!(stats.snapshot().rounds, 0);
         // The channel still works once the slow reply has drained.
@@ -1261,6 +1587,35 @@ mod tests {
         let err = chan.call(&Request::Ping).expect_err("crashed");
         assert_eq!(err, TransportError::Disconnected { silo: 23 });
         assert_eq!(err.kind(), "disconnected");
+        handle.join().expect("worker exited by crashing");
+    }
+
+    #[test]
+    fn parked_wait_is_woken_by_worker_death() {
+        use std::sync::atomic::AtomicBool;
+        // A wait with *no* deadline parks until the worker exits; the
+        // exit sweep must wake it promptly with `Disconnected` rather
+        // than leaving it asleep forever.
+        let stats = Arc::new(CommCounters::default());
+        let injector = crate::fault::FaultPlan::seeded(3)
+            .with_spec(
+                28,
+                crate::fault::SiloFaultSpec {
+                    crash_after: Some(0),
+                    ..Default::default()
+                },
+            )
+            .injector_for(28, Arc::new(AtomicBool::new(true)));
+        let (chan, handle) =
+            spawn_silo(test_silo(28, 10), Arc::clone(&stats), None, injector).expect("spawn silo");
+        let pending = chan.begin_call(&Request::Ping).unwrap();
+        let start = Instant::now();
+        assert_eq!(
+            pending.wait().expect_err("worker crashed"),
+            TransportError::Disconnected { silo: 28 }
+        );
+        // Woken by the sweep, not by a poll slice or timeout.
+        assert!(start.elapsed() < Duration::from_secs(2));
         handle.join().expect("worker exited by crashing");
     }
 

@@ -149,6 +149,61 @@ impl HistogramSnapshot {
             .filter(|(_, &c)| c > 0)
             .map(|(i, &c)| (bucket_upper_bound(i), c))
     }
+
+    /// Estimates the value at quantile `q` (clamped to `0.0..=1.0`) by
+    /// rank over the log₂ buckets, linearly interpolated inside the
+    /// containing bucket — the classic Prometheus `histogram_quantile`
+    /// scheme, so the estimate is exact at bucket boundaries and at
+    /// worst one bucket (a factor of two) wide in between.
+    ///
+    /// Returns `None` for an empty snapshot. Ranks landing in the +Inf
+    /// bucket report its lower bound (`2^63`), the only honest answer a
+    /// bounded array can give.
+    pub fn quantile(&self, q: f64) -> Option<u64> {
+        if self.count == 0 || self.buckets.is_empty() {
+            return None;
+        }
+        let q = q.clamp(0.0, 1.0);
+        // 1-based rank of the target observation under the usual
+        // nearest-rank definition; q = 0 maps to the first observation.
+        let rank = ((q * self.count as f64).ceil() as u64).clamp(1, self.count);
+        let mut seen = 0u64;
+        for (i, &c) in self.buckets.iter().enumerate() {
+            if c == 0 {
+                continue;
+            }
+            if seen + c >= rank {
+                let lower = if i == 0 { 0 } else { 1u64 << (i - 1) };
+                let upper = match bucket_upper_bound(i) {
+                    Some(u) => u,
+                    // +Inf bucket: no finite width to interpolate over.
+                    None => return Some(lower),
+                };
+                let frac = (rank - seen) as f64 / c as f64;
+                let width = (upper - lower) as f64;
+                return Some(lower + (frac * width).round() as u64);
+            }
+            seen += c;
+        }
+        // count > 0 guarantees some bucket is non-empty, so the loop
+        // always returns; this arm only guards a torn snapshot.
+        None
+    }
+
+    /// Median estimate; see [`HistogramSnapshot::quantile`].
+    pub fn p50(&self) -> Option<u64> {
+        self.quantile(0.50)
+    }
+
+    /// 95th-percentile estimate; see [`HistogramSnapshot::quantile`].
+    pub fn p95(&self) -> Option<u64> {
+        self.quantile(0.95)
+    }
+
+    /// 99th-percentile estimate; see [`HistogramSnapshot::quantile`].
+    pub fn p99(&self) -> Option<u64> {
+        self.quantile(0.99)
+    }
 }
 
 /// Embeds one label in a metric name, Prometheus-style:
@@ -310,6 +365,57 @@ mod tests {
         assert_eq!(snap.buckets[2], 2); // 3 and 4
         assert_eq!(snap.buckets[10], 1); // 1000
         assert_eq!(snap.nonzero_buckets().count(), 4);
+    }
+
+    #[test]
+    fn quantile_interpolates_within_buckets() {
+        let h = Histogram::default();
+        // 100 observations of exactly 1024 (bucket 10, bounds (512, 1024]).
+        for _ in 0..100 {
+            h.observe(1024);
+        }
+        let snap = h.snapshot();
+        // All ranks land in bucket 10; interpolation spans (512, 1024].
+        assert_eq!(snap.quantile(1.0), Some(1024));
+        assert_eq!(snap.p50(), Some(768)); // midpoint of the bucket
+        assert!(snap.p95() > snap.p50());
+        assert!(snap.p99() >= snap.p95());
+    }
+
+    #[test]
+    fn quantile_orders_across_buckets() {
+        let h = Histogram::default();
+        for _ in 0..90 {
+            h.observe(100); // bucket 7, (64, 128]
+        }
+        for _ in 0..10 {
+            h.observe(10_000); // bucket 14, (8192, 16384]
+        }
+        let snap = h.snapshot();
+        let p50 = snap.p50().unwrap();
+        let p95 = snap.p95().unwrap();
+        let p99 = snap.p99().unwrap();
+        assert!((64..=128).contains(&p50), "p50 = {p50}");
+        assert!((8192..=16384).contains(&p95), "p95 = {p95}");
+        assert!(p99 >= p95);
+    }
+
+    #[test]
+    fn quantile_edge_cases() {
+        assert_eq!(HistogramSnapshot::default().quantile(0.5), None);
+
+        let h = Histogram::default();
+        h.observe(u64::MAX); // +Inf bucket
+        assert_eq!(h.snapshot().quantile(0.5), Some(1u64 << 63));
+
+        // Bucket 0 pools {0, 1}; the interpolated estimate is its
+        // upper bound.
+        let h = Histogram::default();
+        h.observe(0);
+        assert_eq!(h.snapshot().quantile(0.0), Some(1));
+        // Out-of-range q clamps instead of panicking.
+        assert!(h.snapshot().quantile(7.0).is_some());
+        assert!(h.snapshot().quantile(-1.0).is_some());
     }
 
     #[test]

@@ -1,0 +1,253 @@
+//! `fedra-serve` — run a synthetic federation behind the concurrent
+//! query scheduler and drive it with sustained multi-client load.
+//!
+//! ```text
+//! fedra-serve                                  # 8 clients, 2s, deadline-free
+//! fedra-serve --clients 16 --secs 5 --qps 2000 # open loop at 2000 q/s offered
+//! fedra-serve --deadline-ms 25 --algo noniid   # real-time class, NonIID-est
+//! ```
+//!
+//! Options: `--objects N` (default 60000), `--silos M` (default 6),
+//! `--seed S`, `--clients K` (default 8), `--secs T` (default 2),
+//! `--qps Q` (offered load; 0 = closed loop, the default),
+//! `--deadline-ms D` (admission deadline from submission; 0 = none),
+//! `--algo iid|noniid` (default iid), `--obs` (dump the metric registry).
+//!
+//! Each client submits queries under a fixed per-submission seed, so any
+//! answer served here is reproducible serially (DESIGN.md §5g).
+
+use std::collections::HashMap;
+use std::process::ExitCode;
+use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::Arc;
+use std::time::{Duration, Instant};
+
+use fedra::prelude::*;
+
+fn main() -> ExitCode {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let Some(options) = parse(&args) else {
+        eprintln!("error: malformed arguments (expected --key value pairs)");
+        print_help();
+        return ExitCode::FAILURE;
+    };
+    if options.contains_key("help") {
+        print_help();
+        return ExitCode::SUCCESS;
+    }
+    serve(&options)
+}
+
+type Options = HashMap<String, String>;
+
+fn parse(args: &[String]) -> Option<Options> {
+    let mut options = Options::new();
+    let mut i = 0;
+    while i < args.len() {
+        let key = args[i].strip_prefix("--")?;
+        if key == "obs" || key == "help" {
+            options.insert(key.to_string(), "true".to_string());
+            i += 1;
+        } else {
+            let value = args.get(i + 1)?;
+            options.insert(key.to_string(), value.clone());
+            i += 2;
+        }
+    }
+    Some(options)
+}
+
+fn opt<T: std::str::FromStr>(options: &Options, key: &str, default: T) -> T {
+    options
+        .get(key)
+        .and_then(|v| v.parse().ok())
+        .unwrap_or(default)
+}
+
+fn print_help() {
+    println!(
+        "fedra-serve — sustained-load serving harness\n\n\
+         usage: fedra-serve [--objects N] [--silos M] [--seed S]\n\
+                [--clients K] [--secs T] [--qps Q] [--deadline-ms D]\n\
+                [--algo iid|noniid] [--obs]\n\n\
+         --qps 0 (default) runs closed loop: every client submits and\n\
+         waits back to back. --qps Q offers Q queries/s across clients\n\
+         open loop; with --deadline-ms the scheduler sheds what the\n\
+         budget cannot serve."
+    );
+}
+
+fn serve(options: &Options) -> ExitCode {
+    let objects: usize = opt(options, "objects", 60_000);
+    let silos: usize = opt(options, "silos", 6);
+    let seed: u64 = opt(options, "seed", 42);
+    let clients: usize = opt(options, "clients", 8).max(1);
+    let secs: f64 = opt(options, "secs", 2.0);
+    let qps: f64 = opt(options, "qps", 0.0);
+    let deadline_ms: u64 = opt(options, "deadline-ms", 0);
+    let algo = options
+        .get("algo")
+        .map_or("iid", String::as_str)
+        .to_string();
+
+    println!("standing up {objects} objects across {silos} silos (seed {seed})...");
+    let spec = WorkloadSpec::default()
+        .with_total_objects(objects)
+        .with_silos(silos)
+        .with_seed(seed);
+    let dataset = spec.generate();
+    let all = dataset.all_objects();
+    let bounds = dataset.bounds();
+    let federation = Arc::new(
+        FederationBuilder::new(bounds)
+            .grid_cell_len(1.0)
+            .lsr_seed(seed ^ 0x15AF)
+            .build(dataset.into_partitions()),
+    );
+    let mut generator = QueryGenerator::new(&all, seed ^ 0x9E37);
+    let queries: Vec<FraQuery> = generator
+        .circles(2.0, 512)
+        .into_iter()
+        .map(|range| FraQuery::new(range, AggFunc::Count))
+        .collect();
+
+    let class = if deadline_ms == 0 {
+        ClassPolicy::unbounded("serve", 4096)
+    } else {
+        ClassPolicy::with_deadline("serve", 4096, Duration::from_millis(deadline_ms))
+    };
+    let obs = Arc::new(ObsContext::new());
+    let factory: Box<dyn Fn(u64) -> Box<dyn FraAlgorithm> + Send + Sync> = match algo.as_str() {
+        "iid" => Box::new(|s| Box::new(IidEst::new(s)) as Box<dyn FraAlgorithm>),
+        "noniid" => Box::new(|s| Box::new(NonIidEst::new(s)) as Box<dyn FraAlgorithm>),
+        other => {
+            eprintln!("error: unknown algorithm `{other}` (expected iid|noniid)");
+            return ExitCode::FAILURE;
+        }
+    };
+    let sched = Arc::new(QueryScheduler::start(
+        Arc::clone(&federation),
+        move |s| factory(s),
+        SchedulerConfig {
+            classes: vec![class],
+            ..SchedulerConfig::default()
+        },
+        Arc::clone(&obs),
+    ));
+
+    let window = Duration::from_secs_f64(secs.max(0.1));
+    let rejected = Arc::new(AtomicUsize::new(0));
+    let served = Arc::new(AtomicUsize::new(0));
+    let shed = Arc::new(AtomicUsize::new(0));
+    println!(
+        "serving: {clients} client(s), {} for {:.1}s...",
+        if qps > 0.0 {
+            format!("open loop at {qps:.0} q/s offered")
+        } else {
+            "closed loop".to_string()
+        },
+        window.as_secs_f64()
+    );
+    let started = Instant::now();
+    std::thread::scope(|scope| {
+        for client in 0..clients {
+            let sched = Arc::clone(&sched);
+            let queries = &queries;
+            let rejected = Arc::clone(&rejected);
+            let served = Arc::clone(&served);
+            let shed = Arc::clone(&shed);
+            scope.spawn(move || {
+                let begun = Instant::now();
+                let mut cursor = client;
+                let mut tickets = Vec::new();
+                if qps > 0.0 {
+                    // Open loop: slot pacing, tickets drained at the end.
+                    const SLOT: Duration = Duration::from_millis(5);
+                    let per_slot = (qps / clients as f64 * SLOT.as_secs_f64()).max(1.0) as usize;
+                    while begun.elapsed() < window {
+                        let slot_end = Instant::now() + SLOT;
+                        for _ in 0..per_slot {
+                            let q = queries[cursor % queries.len()];
+                            match sched.submit(q, seed ^ cursor as u64, 0) {
+                                Ok(t) => tickets.push(t),
+                                Err(_) => {
+                                    rejected.fetch_add(1, Ordering::Relaxed);
+                                }
+                            }
+                            cursor += clients;
+                        }
+                        if let Some(nap) = slot_end.checked_duration_since(Instant::now()) {
+                            std::thread::sleep(nap);
+                        }
+                    }
+                } else {
+                    // Closed loop: submit-and-wait back to back.
+                    while begun.elapsed() < window {
+                        let q = queries[cursor % queries.len()];
+                        match sched.submit(q, seed ^ cursor as u64, 0) {
+                            Ok(t) => tickets.push(t),
+                            Err(_) => {
+                                rejected.fetch_add(1, Ordering::Relaxed);
+                            }
+                        }
+                        cursor += clients;
+                        if let Some(t) = tickets.pop() {
+                            match t.wait() {
+                                Ok(_) => {
+                                    served.fetch_add(1, Ordering::Relaxed);
+                                }
+                                Err(_) => {
+                                    shed.fetch_add(1, Ordering::Relaxed);
+                                }
+                            }
+                        }
+                    }
+                }
+                for t in tickets {
+                    match t.wait() {
+                        Ok(_) => {
+                            served.fetch_add(1, Ordering::Relaxed);
+                        }
+                        Err(_) => {
+                            shed.fetch_add(1, Ordering::Relaxed);
+                        }
+                    }
+                }
+            });
+        }
+    });
+    let elapsed = started.elapsed().as_secs_f64();
+
+    let served = served.load(Ordering::Relaxed);
+    let shed = shed.load(Ordering::Relaxed) + rejected.load(Ordering::Relaxed);
+    let snap = obs.registry().snapshot();
+    let hist = snap.histograms.get("fedra_sched_latency_ns");
+    let pct = |q: f64| {
+        hist.and_then(|h| h.quantile(q))
+            .map_or("-".to_string(), |ns| format!("{:.2} ms", ns as f64 / 1e6))
+    };
+    println!(
+        "served {served} queries in {elapsed:.2}s ({:.0} q/s)",
+        served as f64 / elapsed
+    );
+    println!(
+        "shed {shed} (rate {:.1} %)",
+        shed as f64 / (served + shed).max(1) as f64 * 100.0
+    );
+    println!(
+        "latency p50 {} / p95 {} / p99 {}",
+        pct(0.50),
+        pct(0.95),
+        pct(0.99)
+    );
+    let comm = federation.query_comm();
+    println!(
+        "comm: {} rounds, {} bytes up, {} bytes down",
+        comm.rounds, comm.bytes_up, comm.bytes_down
+    );
+    println!("breaker leaks: {}", federation.health().non_closed().len());
+    if options.contains_key("obs") {
+        print!("{}", obs.export_prometheus());
+    }
+    ExitCode::SUCCESS
+}

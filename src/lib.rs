@@ -58,9 +58,10 @@ pub mod prelude {
     pub use fedra_core::CachedAlgorithm;
     pub use fedra_core::{
         AccuracyParams, AdaptivePlanner, AnswerCache, BatchResult, CacheAnswer, CacheConfig,
-        CachePolicy, CacheSource, CacheStats, Exact, ExactSequential, FraAlgorithm, FraError,
-        FraQuery, IidEst, IidEstLsr, MultiSiloEst, NonIidEst, NonIidEstLsr, Opta, PlanDecision,
-        PlannerPolicy, QueryEngine, QueryResult,
+        CachePolicy, CacheSource, CacheStats, ClassPolicy, Exact, ExactSequential, FraAlgorithm,
+        FraError, FraQuery, IidEst, IidEstLsr, MultiSiloEst, NonIidEst, NonIidEstLsr, Opta,
+        PlanDecision, PlannerPolicy, QueryEngine, QueryResult, QueryScheduler, QueryTicket,
+        SchedulerConfig, SubmitError,
     };
     pub use fedra_federation::{
         BreakerState, CallPolicy, FaultPlan, Federation, FederationBuilder, FlapSchedule,
