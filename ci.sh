@@ -84,6 +84,58 @@ echo "$chaos_out" | grep -q '^breaker leaks: 0$' \
     || { echo "chaos smoke: breaker leaked out of the run"; exit 1; }
 echo "    ok (hedges fired, no breaker leaks)"
 
+# Socket smoke: the same federation served two ways. Three fedra-silo
+# processes host the exported partitions over Unix-domain sockets, and
+# the remote run's ANSWER lines — aggregate values AND comm-byte
+# counts — must be byte-identical to the in-process run. The socket
+# payloads are the exact in-memory Wire encoding, so any divergence
+# here is a framing or accounting bug, not noise.
+echo "==> socket smoke (fedra-silo serve over unix sockets)"
+sock_dir=target/ci/socket-smoke
+rm -rf "$sock_dir" && mkdir -p "$sock_dir"
+cargo run -q --release --example remote_federation -- export "$sock_dir" >/dev/null
+silo_pids=""
+for k in 0 1 2; do
+    ./target/release/fedra-silo serve \
+        --addr "unix:$sock_dir/s$k.sock" --data "$sock_dir/silo$k.csv" \
+        --silo-id "$k" --bounds "$(cat "$sock_dir/bounds.txt")" \
+        >"$sock_dir/silo$k.log" 2>&1 &
+    silo_pids="$silo_pids $!"
+done
+trap 'kill $silo_pids 2>/dev/null || true' EXIT
+for _ in $(seq 1 100); do
+    [ -S "$sock_dir/s0.sock" ] && [ -S "$sock_dir/s1.sock" ] && [ -S "$sock_dir/s2.sock" ] && break
+    sleep 0.1
+done
+cargo run -q --release --example remote_federation -- local \
+    | grep '^ANSWER' >"$sock_dir/local.txt"
+cargo run -q --release --example remote_federation -- remote "$sock_dir/bounds.txt" \
+    "unix:$sock_dir/s0.sock" "unix:$sock_dir/s1.sock" "unix:$sock_dir/s2.sock" \
+    | grep '^ANSWER' >"$sock_dir/remote.txt"
+kill $silo_pids 2>/dev/null || true
+trap - EXIT
+wait $silo_pids 2>/dev/null || true
+test -s "$sock_dir/local.txt" \
+    || { echo "socket smoke: no ANSWER lines produced"; exit 1; }
+diff "$sock_dir/local.txt" "$sock_dir/remote.txt" \
+    || { echo "socket smoke: remote answers diverge from the in-process run"; exit 1; }
+echo "    ok ($(wc -l <"$sock_dir/local.txt") answers byte-identical across processes)"
+
+# The chaos, failure-injection, and equivalence suites again with every
+# in-process silo behind a loopback socket transport: shed / retry /
+# hedge semantics and answers must not depend on the backend.
+echo "==> socket backend suites (FEDRA_TRANSPORT=socket)"
+FEDRA_TRANSPORT=socket cargo test -q -p fedra \
+    --test chaos --test failure_injection --test concurrent_equivalence
+chaos_sock=$(FEDRA_TRANSPORT=socket cargo run -q --release --example resilience)
+echo "$chaos_sock" | grep -q ' 0 failed, ' \
+    || { echo "socket chaos: queries failed under the fault plan"; exit 1; }
+echo "$chaos_sock" | grep -Eq 'hedges fired/won: [1-9][0-9]*/' \
+    || { echo "socket chaos: slow silo never triggered a hedge"; exit 1; }
+echo "$chaos_sock" | grep -q '^breaker leaks: 0$' \
+    || { echo "socket chaos: breaker leaked out of the run"; exit 1; }
+echo "    ok (chaos + failure injection + equivalence green over sockets)"
+
 # Cache smoke: the city dashboard's refresh loop runs through the
 # ε-aware answer cache with per-serve truth checks. The steady-state hit
 # rate must be nonzero and no served answer may exceed the requested ε.

@@ -158,12 +158,6 @@ pub trait FraAlgorithm: Send + Sync {
         QueryPlan::Ready(self.try_execute_with(federation, query, obs))
     }
 
-    /// Former uninstrumented name of [`plan_with`](Self::plan_with).
-    #[deprecated(since = "0.2.0", note = "use `plan_with` (pass `ObsContext::noop()`)")]
-    fn plan(&self, federation: &Federation, query: &FraQuery) -> QueryPlan {
-        self.plan_with(federation, query, ObsContext::noop())
-    }
-
     /// Completes a planned query from the sampled silo's response,
     /// recording telemetry into `obs`.
     ///
@@ -182,29 +176,6 @@ pub trait FraAlgorithm: Send + Sync {
         unimplemented!(
             "{}: plan_with() returned SingleSilo but finish_with() is not implemented",
             self.name()
-        )
-    }
-
-    /// Former uninstrumented name of [`finish_with`](Self::finish_with).
-    #[deprecated(
-        since = "0.2.0",
-        note = "use `finish_with` (pass `ObsContext::noop()`)"
-    )]
-    fn finish(
-        &self,
-        federation: &Federation,
-        query: &FraQuery,
-        silo: SiloId,
-        response: Response,
-        rounds: u64,
-    ) -> Result<QueryResult, FraError> {
-        self.finish_with(
-            federation,
-            query,
-            silo,
-            response,
-            rounds,
-            ObsContext::noop(),
         )
     }
 

@@ -32,16 +32,26 @@ use crate::health::{HealthConfig, HealthTracker};
 use crate::protocol::{Request, Response, SiloMemoryReport};
 use crate::silo::{Silo, SiloConfig, SiloId};
 use crate::snapshot::ProviderSnapshot;
+use crate::transport::socket::{spawn_silo_socket, SiloAddr, SiloDiagnostics, SocketTransport};
 use crate::transport::{
-    spawn_silo, CallPolicy, CommCounters, CommSnapshot, SiloChannel, TransportError,
+    spawn_silo, CallPolicy, CommCounters, CommSnapshot, SiloChannel, Transport, TransportBackend,
+    TransportError,
 };
 use crate::wire::Wire;
 
 /// Errors from standing a federation up ([`FederationBuilder::try_build`]).
 #[derive(Debug, Clone, PartialEq)]
 pub enum SetupError {
-    /// No partitions were supplied — a federation needs at least one silo.
+    /// No partitions were supplied — a federation needs at least one silo
+    /// (local or remote).
     NoSilos,
+    /// A [`FederationBuilder::connect_remote`] address would not parse.
+    BadRemoteAddr {
+        /// The address as supplied.
+        addr: String,
+        /// Why it was rejected.
+        reason: String,
+    },
     /// A silo's index-construction thread panicked.
     SiloBuildPanicked {
         /// Which silo.
@@ -63,6 +73,9 @@ impl std::fmt::Display for SetupError {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
         match self {
             SetupError::NoSilos => write!(f, "a federation needs at least one silo"),
+            SetupError::BadRemoteAddr { addr, reason } => {
+                write!(f, "remote silo address `{addr}` is invalid: {reason}")
+            }
             SetupError::SiloBuildPanicked { silo } => {
                 write!(f, "silo {silo} index construction panicked")
             }
@@ -104,6 +117,8 @@ pub struct FederationBuilder {
     fault_plan: Option<FaultPlan>,
     call_policy: CallPolicy,
     health: HealthConfig,
+    transport: Option<TransportBackend>,
+    remotes: Vec<String>,
 }
 
 impl FederationBuilder {
@@ -122,7 +137,35 @@ impl FederationBuilder {
             fault_plan: None,
             call_policy: CallPolicy::default(),
             health: HealthConfig::default(),
+            transport: None,
+            remotes: Vec::new(),
         }
+    }
+
+    /// Chooses the [`Transport`] backend local silos are stood up behind.
+    /// Unset (the default), the `FEDRA_TRANSPORT` environment variable
+    /// decides ([`TransportBackend::from_env`]), falling back to the
+    /// deterministic in-memory backend — so existing callers and the
+    /// tier-1 suite are unaffected, while the whole test matrix can be
+    /// re-run over real sockets by exporting `FEDRA_TRANSPORT=socket`.
+    pub fn transport_backend(mut self, backend: TransportBackend) -> Self {
+        self.transport = Some(backend);
+        self
+    }
+
+    /// Adds a **remote** silo served by a `fedra-silo serve` process at
+    /// `addr` (`tcp:host:port`, `unix:/path`, or bare `host:port`).
+    ///
+    /// Remote silos join the federation after the local partitions, in
+    /// the order added, and participate in Alg. 1 setup and every query
+    /// exactly like local ones — the remote process must have been
+    /// started with the same bounds / LSR seed for answers to line up
+    /// (see the `fedra-silo` flags). Fault injection
+    /// ([`FederationBuilder::fault_plan`]) applies to local silos only;
+    /// faults on a remote silo belong to its own process.
+    pub fn connect_remote(mut self, addr: impl Into<String>) -> Self {
+        self.remotes.push(addr.into());
+        self
     }
 
     /// Sets the grid cell length `L` (paper default 1 km, swept in Fig. 5).
@@ -227,9 +270,21 @@ impl FederationBuilder {
     /// Builds silos from the partitions and runs Alg. 1, surfacing setup
     /// failures as [`SetupError`] instead of panicking.
     pub fn try_build(self, partitions: Vec<Vec<SpatialObject>>) -> Result<Federation, SetupError> {
-        if partitions.is_empty() {
+        if partitions.is_empty() && self.remotes.is_empty() {
             return Err(SetupError::NoSilos);
         }
+        // Fail fast on malformed remote addresses, before any index work.
+        let remote_addrs: Vec<SiloAddr> = self
+            .remotes
+            .iter()
+            .map(|addr| {
+                SiloAddr::parse(addr).map_err(|reason| SetupError::BadRemoteAddr {
+                    addr: addr.clone(),
+                    reason,
+                })
+            })
+            .collect::<Result<_, _>>()?;
+        let backend = self.transport.unwrap_or_else(TransportBackend::from_env);
         let setup_stats = Arc::new(CommCounters::with_overhead(self.message_overhead));
         let query_stats = Arc::new(CommCounters::with_overhead(self.message_overhead));
 
@@ -265,17 +320,32 @@ impl FederationBuilder {
         // neither its schedule counter nor its RNG until armed, so setup
         // traffic never perturbs the chaos schedule.
         let fault_armed = Arc::new(AtomicBool::new(false));
-        let mut channels = Vec::with_capacity(silos.len());
+        let mut channels = Vec::with_capacity(silos.len() + remote_addrs.len());
         let mut workers = Vec::with_capacity(silos.len());
         for silo in silos {
             let injector = self
                 .fault_plan
                 .as_ref()
                 .and_then(|plan| plan.injector_for(silo.id(), Arc::clone(&fault_armed)));
-            let (channel, handle) =
-                spawn_silo(silo, Arc::clone(&setup_stats), self.latency, injector)?;
+            let (channel, handle) = match backend {
+                TransportBackend::InMemory => {
+                    spawn_silo(silo, Arc::clone(&setup_stats), self.latency, injector)?
+                }
+                TransportBackend::Socket => {
+                    spawn_silo_socket(silo, Arc::clone(&setup_stats), self.latency, injector)?
+                }
+            };
             channels.push(channel);
             workers.push(handle);
+        }
+        // Remote silos join after the local partitions, ids continuing.
+        for addr in remote_addrs {
+            let id = channels.len();
+            let transport = SocketTransport::connect(id, addr, SiloDiagnostics::remote())?;
+            channels.push(SiloChannel::over(
+                Arc::new(transport) as Arc<dyn Transport>,
+                Arc::clone(&setup_stats),
+            ));
         }
 
         // A warm-start snapshot is usable only when its geometry and silo

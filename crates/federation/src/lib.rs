@@ -36,9 +36,11 @@ pub use health::{BreakerState, HealthConfig, HealthTracker, HealthTransition, Si
 pub use protocol::{LocalMode, Request, Response, SiloMemoryReport};
 pub use silo::{Silo, SiloConfig, SiloId};
 pub use snapshot::ProviderSnapshot;
-#[allow(deprecated)]
-pub use transport::CommStats;
+pub use transport::socket::{
+    SiloAddr, SiloDiagnostics, SiloSocketServer, SocketServerConfig, SocketTransport,
+};
 pub use transport::{
-    CallPolicy, CommCounters, CommSnapshot, PendingBatch, PendingCall, PendingTaggedBatch, Poll,
-    RaceWinner, SiloChannel, TransportError,
+    CallPolicy, CommCounters, CommSnapshot, InMemoryTransport, PendingBatch, PendingCall,
+    PendingTaggedBatch, Poll, RaceWinner, ReplySlot, SiloChannel, Transport, TransportBackend,
+    TransportError,
 };

@@ -1,11 +1,22 @@
-//! Byte-counted transport between the provider and silo worker threads.
+//! Byte-counted transport between the provider and its silos.
 //!
-//! Each silo runs on its own OS thread and receives length-delimited byte
-//! buffers over a crossbeam channel; replies travel back on pooled oneshot
-//! channels (checked out per in-flight call, so the steady-state hot path
-//! allocates nothing). Every buffer is a real [`crate::wire`] encoding —
-//! the transport never shortcuts through shared memory — so the byte
-//! counters here *are* the paper's communication-cost metric.
+//! The provider talks to every silo through a [`SiloChannel`], a thin
+//! handle over a pluggable [`Transport`] backend. Two backends ship:
+//!
+//! * **in-memory** ([`spawn_silo`]): the silo runs on its own OS thread
+//!   and receives length-delimited byte buffers over a crossbeam channel.
+//!   This is the deterministic tier-1 default.
+//! * **socket** ([`socket::SocketTransport`]): the silo lives behind a
+//!   length-prefixed TCP or Unix-domain socket — in another thread,
+//!   process (`fedra-silo serve`), or machine. Payload bytes on the wire
+//!   are byte-identical to the in-memory encoding; the per-frame header
+//!   is the real-world analogue of the simulated per-message overhead.
+//!
+//! Either way, replies travel back on pooled parked-wait oneshot slots
+//! (checked out per in-flight call, so the steady-state hot path
+//! allocates nothing) and every buffer is a real [`crate::wire`]
+//! encoding — the transport never shortcuts through shared memory — so
+//! the byte counters here *are* the paper's communication-cost metric.
 //!
 //! Two amortization levers ride on top of the basic RPC:
 //!
@@ -16,6 +27,8 @@
 //! * **batching** ([`SiloChannel::call_batch`]): `n` same-silo requests
 //!   share one wire frame, paying the per-message envelope overhead once
 //!   per direction instead of `n` times.
+
+pub mod socket;
 
 use std::collections::HashMap;
 use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
@@ -34,16 +47,8 @@ use crate::wire::{Wire, WireError};
 
 // The byte-accounting types moved to `fedra-obs` so every layer (and the
 // exporters) share one definition; the transport re-exports them under
-// their historical home, with the old `CommStats` name kept as a
-// deprecated alias for one release.
+// their historical home.
 pub use fedra_obs::{CommCounters, CommSnapshot, DEFAULT_MESSAGE_OVERHEAD};
-
-/// Former name of [`CommCounters`], kept for downstream code.
-#[deprecated(
-    since = "0.2.0",
-    note = "moved to fedra-obs as `CommCounters`; reach it via `fedra_obs::CommCounters` or `ObsContext::comm()`"
-)]
-pub type CommStats = CommCounters;
 
 struct Envelope {
     request: Bytes,
@@ -55,17 +60,19 @@ struct Envelope {
 }
 
 /// State of a [`ReplySlot`]: empty while the call is in flight, full once
-/// the worker delivered, dead once the worker is known gone without a
+/// the backend delivered, failed when the backend hit a connection-level
+/// error it can attribute, dead once the backend is known gone without a
 /// reply.
 enum SlotState {
     Empty,
     Full(Bytes),
+    Failed(TransportError),
     Dead,
 }
 
-/// A reusable parked-wait oneshot: the worker fills it, the caller sleeps
-/// on the condvar until the reply lands, the deadline passes, or the
-/// worker's exit sweep marks the slot dead.
+/// A reusable parked-wait oneshot: the transport backend fills it, the
+/// caller sleeps on the condvar until the reply lands, the deadline
+/// passes, or the backend marks the slot failed/dead.
 ///
 /// This replaces the earlier pooled `bounded(1)` reply channels, whose
 /// caller-side sender kept the channel permanently connected — worker
@@ -73,7 +80,7 @@ enum SlotState {
 /// a 5 ms sliced poll of a liveness flag. Here the waiter parks outright
 /// and is *woken* on either event, so an idle provider burns no cycles
 /// per in-flight call no matter how long the silo takes.
-struct ReplySlot {
+pub struct ReplySlot {
     cell: std::sync::Mutex<SlotState>,
     cv: Condvar,
 }
@@ -90,7 +97,7 @@ impl ReplySlot {
     /// its caller (deadline miss) is simply filled with nobody listening;
     /// it was discarded from the pool, so the stale bytes are dropped with
     /// the last `Arc` reference.
-    fn fill(&self, bytes: Bytes) {
+    pub fn fill(&self, bytes: Bytes) {
         let mut state = self.cell.lock().unwrap_or_else(PoisonError::into_inner);
         if matches!(*state, SlotState::Empty) {
             *state = SlotState::Full(bytes);
@@ -98,10 +105,12 @@ impl ReplySlot {
         }
     }
 
-    /// Marks the worker as gone and wakes the waiter; a reply that already
-    /// landed wins (the worker always replies *before* it exits, so a full
-    /// slot is a served call regardless of the worker's fate afterwards).
-    fn mark_dead(&self) {
+    /// Marks the backend as gone and wakes the waiter; a reply that
+    /// already landed wins (backends always deliver *before* they give
+    /// up on a connection, so a full slot is a served call regardless of
+    /// the backend's fate afterwards). The waiter observes this as
+    /// [`TransportError::Disconnected`].
+    pub fn mark_dead(&self) {
         let mut state = self.cell.lock().unwrap_or_else(PoisonError::into_inner);
         if matches!(*state, SlotState::Empty) {
             *state = SlotState::Dead;
@@ -109,7 +118,19 @@ impl ReplySlot {
         }
     }
 
-    /// Parks until the slot is filled, the worker dies, or `deadline`
+    /// Fails the in-flight call with a backend-attributed error (e.g. a
+    /// socket reset that a reconnect may cure surfaces as a retryable
+    /// [`TransportError::Transient`]) and wakes the waiter. A reply that
+    /// already landed wins.
+    pub fn fail(&self, error: TransportError) {
+        let mut state = self.cell.lock().unwrap_or_else(PoisonError::into_inner);
+        if matches!(*state, SlotState::Empty) {
+            *state = SlotState::Failed(error);
+            self.cv.notify_all();
+        }
+    }
+
+    /// Parks until the slot is filled, the backend dies, or `deadline`
     /// passes — whichever comes first. A reply that raced the deadline
     /// onto the slot still wins (the state is checked before the timeout
     /// verdict).
@@ -118,6 +139,7 @@ impl ReplySlot {
         loop {
             match std::mem::replace(&mut *state, SlotState::Empty) {
                 SlotState::Full(bytes) => return RecvOutcome::Bytes(bytes),
+                SlotState::Failed(error) => return RecvOutcome::Failed(error),
                 SlotState::Dead => {
                     *state = SlotState::Dead;
                     return RecvOutcome::Dead;
@@ -454,20 +476,88 @@ pub fn race_calls(primary: PendingCall, hedge: PendingCall, deadline: Instant) -
     }
 }
 
-/// A frame in flight: the request has been handed to the silo worker, the
-/// reply has not been drained yet.
+/// A backend that can carry one silo's frames: ship an already-encoded
+/// request, deliver the reply into a [`ReplySlot`], and report liveness.
 ///
-/// This is the primitive that turns the silo workers into a fan-out pool:
-/// the provider `begin`s a frame on every relevant channel *without
+/// [`SiloChannel`] is a thin handle over an `Arc<dyn Transport>`: the
+/// send/wait split, reply-slot pooling, deadline enforcement on the wait
+/// side, and [`CommCounters`] byte accounting all live *above* this
+/// boundary and are shared by every backend. A backend only moves bytes:
+///
+/// * the **in-memory** backend hands frames to a per-silo worker thread
+///   over a crossbeam channel ([`spawn_silo`]);
+/// * the **socket** backend writes length-prefixed frames to a TCP or
+///   Unix-domain stream and pairs replies back by correlation id
+///   ([`socket::SocketTransport`]).
+///
+/// The deadline passed to [`Transport::send_frame`] is control metadata,
+/// not wire bytes (the socket backend encodes it into the frame *header*,
+/// never the payload): it lets the remote side shed requests whose caller
+/// has already given up, exactly like the in-memory worker does.
+pub trait Transport: Send + Sync {
+    /// Which silo this backend reaches.
+    fn silo(&self) -> SiloId;
+
+    /// A short stable backend label (`"memory"`, `"socket"`).
+    fn backend_name(&self) -> &'static str;
+
+    /// Ships an encoded request frame. The backend must eventually
+    /// resolve `slot` — [`ReplySlot::fill`] with the reply payload,
+    /// [`ReplySlot::fail`] with an attributed error, or
+    /// [`ReplySlot::mark_dead`] — on every path, including backend death
+    /// after a successful send. Returns a token identifying the in-flight
+    /// call until [`Transport::retire`] is called for it.
+    fn send_frame(
+        &self,
+        frame: Bytes,
+        deadline: Option<Instant>,
+        slot: &Arc<ReplySlot>,
+    ) -> Result<u64, TransportError>;
+
+    /// Retires an in-flight token (reply drained, or the caller gave up).
+    /// Must be idempotent.
+    fn retire(&self, token: u64);
+
+    /// Whether the backend can still carry frames (`false` once the
+    /// worker thread exited or the peer is unreachable for good).
+    fn is_alive(&self) -> bool;
+
+    /// Number of calls currently in flight (diagnostics; tests use this
+    /// to pin eager deregistration).
+    fn inflight_len(&self) -> usize;
+
+    /// Number of logical requests the silo has served. Live for the
+    /// in-memory backend and in-process socket silos (shared counter);
+    /// a genuinely remote silo reports the replies this client drained.
+    fn served(&self) -> u64;
+
+    /// Injects (or clears) a failure: while set, the silo answers every
+    /// request with an error. For a genuinely remote silo this flag is
+    /// client-local bookkeeping only (the remote process keeps its own).
+    fn set_failed(&self, failed: bool);
+
+    /// Whether the failure flag is set.
+    fn is_failed(&self) -> bool;
+
+    /// The silo's metrics registry (shared `Arc` for in-process silos; a
+    /// client-local registry of transport metrics for remote ones).
+    fn silo_metrics(&self) -> &Arc<fedra_obs::MetricsRegistry>;
+}
+
+/// A frame in flight: the request has been handed to the transport
+/// backend, the reply has not been drained yet.
+///
+/// This is the primitive that turns the silo backends into a fan-out
+/// pool: the provider `begin`s a frame on every relevant channel *without
 /// blocking*, then waits on each pending reply. No provider-side threads
-/// are needed for parallel fan-out — the per-silo worker threads already
+/// are needed for parallel fan-out — the per-silo backends already
 /// provide the concurrency.
 struct PendingReply {
     silo: SiloId,
     up: usize,
     slot: Arc<ReplySlot>,
     token: u64,
-    registry: Arc<InflightRegistry>,
+    backend: Arc<dyn Transport>,
     pool: Arc<ReplyPool>,
     stats: Arc<CommCounters>,
     deadline: Option<Instant>,
@@ -479,49 +569,80 @@ enum RecvOutcome {
     Bytes(Bytes),
     /// The wait's deadline passed with the call still in flight.
     TimedOut,
-    /// The worker thread is gone and no reply is queued.
+    /// The backend failed the call with an attributed error.
+    Failed(TransportError),
+    /// The backend is gone and no reply is queued.
     Dead,
 }
 
 impl PendingReply {
-    /// Drains an arrived reply: records the round's traffic and returns
-    /// the slot to the pool.
-    fn complete(self, bytes: Bytes) -> Bytes {
-        self.registry.deregister(self.token);
-        self.stats.record(self.up, bytes.len());
-        self.pool.restore(self.slot);
-        bytes
-    }
-
-    /// Blocks for the raw reply bytes (up to the deadline, when one was
-    /// set), records the round's traffic, and returns the reply slot to
-    /// the pool. On a deadline miss the slot is *discarded* — the worker
-    /// may still push a stale reply into it later.
-    fn wait_bytes(self) -> Result<Bytes, TransportError> {
+    /// The shared wait core every pending type resolves through: waits
+    /// (bounded by the deadline captured at send time, unless overridden
+    /// via [`PendingReply::with_deadline`]), retires the in-flight token,
+    /// records the round's traffic, returns the slot to the pool, and
+    /// hands the reply bytes to `decode`.
+    ///
+    /// On a deadline miss or backend failure the slot is *discarded*
+    /// instead of pooled — the backend may still push a stale reply into
+    /// it later.
+    fn resolve<T>(
+        self,
+        decode: impl FnOnce(SiloId, Bytes) -> Result<T, TransportError>,
+    ) -> Result<T, TransportError> {
         match self.slot.wait(self.deadline) {
-            RecvOutcome::Bytes(bytes) => Ok(self.complete(bytes)),
+            RecvOutcome::Bytes(bytes) => {
+                self.backend.retire(self.token);
+                self.stats.record(self.up, bytes.len());
+                self.pool.restore(self.slot);
+                decode(self.silo, bytes)
+            }
             RecvOutcome::TimedOut => {
-                self.registry.deregister(self.token);
+                self.backend.retire(self.token);
                 Err(TransportError::DeadlineExceeded { silo: self.silo })
             }
+            RecvOutcome::Failed(error) => {
+                self.backend.retire(self.token);
+                Err(error)
+            }
             RecvOutcome::Dead => {
-                self.registry.deregister(self.token);
+                self.backend.retire(self.token);
                 Err(TransportError::Disconnected { silo: self.silo })
             }
         }
     }
 
-    /// Waits for the reply until `deadline`; a timeout keeps the call in
-    /// flight (`Pending`) so the caller can hedge and poll again later.
-    fn poll_bytes(self, deadline: Instant) -> Poll<PendingReply, Result<Bytes, TransportError>> {
+    /// The polling twin of [`PendingReply::resolve`]: waits until
+    /// `deadline`, but a timeout keeps the call in flight (`Pending`) so
+    /// the caller can hedge elsewhere and poll again later.
+    fn resolve_poll<T>(
+        self,
+        deadline: Instant,
+        decode: impl FnOnce(SiloId, Bytes) -> Result<T, TransportError>,
+    ) -> Poll<PendingReply, Result<T, TransportError>> {
         match self.slot.wait(Some(deadline)) {
-            RecvOutcome::Bytes(bytes) => Poll::Ready(Ok(self.complete(bytes))),
+            RecvOutcome::Bytes(bytes) => {
+                self.backend.retire(self.token);
+                self.stats.record(self.up, bytes.len());
+                self.pool.restore(self.slot);
+                Poll::Ready(decode(self.silo, bytes))
+            }
             RecvOutcome::TimedOut => Poll::Pending(self),
+            RecvOutcome::Failed(error) => {
+                self.backend.retire(self.token);
+                Poll::Ready(Err(error))
+            }
             RecvOutcome::Dead => {
-                self.registry.deregister(self.token);
+                self.backend.retire(self.token);
                 Poll::Ready(Err(TransportError::Disconnected { silo: self.silo }))
             }
         }
+    }
+
+    /// Overrides the deadline captured at send time (the `wait_deadline`
+    /// family routes through this).
+    fn with_deadline(mut self, deadline: Instant) -> Self {
+        self.deadline = Some(deadline);
+        self
     }
 }
 
@@ -556,16 +677,13 @@ impl PendingCall {
     /// begun with a deadline, waiting past it yields
     /// [`TransportError::DeadlineExceeded`].
     pub fn wait(self) -> Result<Response, TransportError> {
-        let silo = self.inner.silo;
-        let bytes = self.inner.wait_bytes()?;
-        decode_single(silo, bytes)
+        self.inner.resolve(decode_single)
     }
 
     /// Like [`PendingCall::wait`], but bounded by an explicit deadline
     /// (overriding any deadline set at send time).
-    pub fn wait_deadline(mut self, deadline: Instant) -> Result<Response, TransportError> {
-        self.inner.deadline = Some(deadline);
-        self.wait()
+    pub fn wait_deadline(self, deadline: Instant) -> Result<Response, TransportError> {
+        self.inner.with_deadline(deadline).resolve(decode_single)
     }
 
     /// Waits until `deadline`; a timeout returns the still-pending call
@@ -575,10 +693,8 @@ impl PendingCall {
         self,
         deadline: Instant,
     ) -> Poll<PendingCall, Result<Response, TransportError>> {
-        let silo = self.inner.silo;
-        match self.inner.poll_bytes(deadline) {
-            Poll::Ready(Ok(bytes)) => Poll::Ready(decode_single(silo, bytes)),
-            Poll::Ready(Err(e)) => Poll::Ready(Err(e)),
+        match self.inner.resolve_poll(deadline, decode_single) {
+            Poll::Ready(result) => Poll::Ready(result),
             Poll::Pending(inner) => Poll::Pending(PendingCall { inner }),
         }
     }
@@ -669,20 +785,21 @@ impl PendingBatch {
     /// batch was begun with a deadline, waiting past it yields
     /// [`TransportError::DeadlineExceeded`].
     pub fn wait(self) -> Result<Vec<Result<Response, TransportError>>, TransportError> {
-        let silo = self.inner.silo;
         let expected = self.expected;
-        let bytes = self.inner.wait_bytes()?;
-        decode_batch(silo, expected, bytes)
+        self.inner
+            .resolve(move |silo, bytes| decode_batch(silo, expected, bytes))
     }
 
     /// Like [`PendingBatch::wait`], but bounded by an explicit deadline
     /// (overriding any deadline set at send time).
     pub fn wait_deadline(
-        mut self,
+        self,
         deadline: Instant,
     ) -> Result<Vec<Result<Response, TransportError>>, TransportError> {
-        self.inner.deadline = Some(deadline);
-        self.wait()
+        let expected = self.expected;
+        self.inner
+            .with_deadline(deadline)
+            .resolve(move |silo, bytes| decode_batch(silo, expected, bytes))
     }
 
     /// Waits until `deadline`; a timeout returns the still-pending batch
@@ -694,11 +811,11 @@ impl PendingBatch {
         self,
         deadline: Instant,
     ) -> Poll<PendingBatch, Result<Vec<Result<Response, TransportError>>, TransportError>> {
-        let silo = self.inner.silo;
         let expected = self.expected;
-        match self.inner.poll_bytes(deadline) {
-            Poll::Ready(Ok(bytes)) => Poll::Ready(decode_batch(silo, expected, bytes)),
-            Poll::Ready(Err(e)) => Poll::Ready(Err(e)),
+        match self.inner.resolve_poll(deadline, move |silo, bytes| {
+            decode_batch(silo, expected, bytes)
+        }) {
+            Poll::Ready(result) => Poll::Ready(result),
             Poll::Pending(inner) => Poll::Pending(PendingBatch { inner, expected }),
         }
     }
@@ -807,13 +924,12 @@ impl std::fmt::Debug for PendingTaggedBatch {
     }
 }
 
-/// The provider's handle to one silo worker.
-#[derive(Clone)]
-pub struct SiloChannel {
-    id: SiloId,
+/// The in-memory [`Transport`] backend: frames travel to a per-silo OS
+/// worker thread over a crossbeam channel ([`spawn_silo`]). This is the
+/// deterministic tier-1 default.
+pub struct InMemoryTransport {
+    silo: SiloId,
     tx: Sender<Envelope>,
-    stats: Arc<CommCounters>,
-    reply_pool: Arc<ReplyPool>,
     registry: Arc<InflightRegistry>,
     served: Arc<AtomicU64>,
     failed: Arc<std::sync::atomic::AtomicBool>,
@@ -821,39 +937,37 @@ pub struct SiloChannel {
     worker_alive: Arc<AtomicBool>,
 }
 
-impl SiloChannel {
-    /// Which silo this channel reaches.
-    pub fn id(&self) -> SiloId {
-        self.id
+impl Transport for InMemoryTransport {
+    fn silo(&self) -> SiloId {
+        self.silo
     }
 
-    /// Ships an already-encoded frame to the worker and returns the
-    /// in-flight reply handle. The deadline rides as envelope metadata
-    /// (the worker sheds expired requests) and bounds the caller's wait.
+    fn backend_name(&self) -> &'static str {
+        "memory"
+    }
+
     fn send_frame(
         &self,
         frame: Bytes,
         deadline: Option<Instant>,
-    ) -> Result<PendingReply, TransportError> {
-        let up = frame.len();
-        let slot = self.reply_pool.checkout();
+        slot: &Arc<ReplySlot>,
+    ) -> Result<u64, TransportError> {
         // Register *before* the send: the worker's exit sweep can only
         // wake slots it can see, and a successful send proves the worker
         // had not yet dropped its receiver — so a post-send exit is
         // guaranteed to sweep this entry.
-        let token = self.registry.register(&slot);
+        let token = self.registry.register(slot);
         if self
             .tx
             .send(Envelope {
                 request: frame,
-                reply: Arc::clone(&slot),
+                reply: Arc::clone(slot),
                 deadline,
             })
             .is_err()
         {
             self.registry.deregister(token);
-            self.reply_pool.restore(slot);
-            return Err(TransportError::Disconnected { silo: self.id });
+            return Err(TransportError::Disconnected { silo: self.silo });
         }
         if !self.worker_alive.load(Ordering::Acquire) {
             // Belt and braces against an exit racing the send: a no-op if
@@ -861,12 +975,93 @@ impl SiloChannel {
             // full), otherwise it wakes the waiter with `Dead`.
             slot.mark_dead();
         }
+        Ok(token)
+    }
+
+    fn retire(&self, token: u64) {
+        self.registry.deregister(token);
+    }
+
+    fn is_alive(&self) -> bool {
+        self.worker_alive.load(Ordering::Acquire)
+    }
+
+    fn inflight_len(&self) -> usize {
+        self.registry.inflight.lock().slots.len()
+    }
+
+    fn served(&self) -> u64 {
+        self.served.load(Ordering::Relaxed)
+    }
+
+    fn set_failed(&self, failed: bool) {
+        self.failed.store(failed, Ordering::Release);
+    }
+
+    fn is_failed(&self) -> bool {
+        self.failed.load(Ordering::Acquire)
+    }
+
+    fn silo_metrics(&self) -> &Arc<fedra_obs::MetricsRegistry> {
+        &self.silo_metrics
+    }
+}
+
+/// The provider's handle to one silo: a thin, clonable wrapper over a
+/// [`Transport`] backend plus the provider-side machinery every backend
+/// shares — the [`CommCounters`] the channel records into and the pooled
+/// reply slots the send/wait split parks on.
+#[derive(Clone)]
+pub struct SiloChannel {
+    backend: Arc<dyn Transport>,
+    stats: Arc<CommCounters>,
+    reply_pool: Arc<ReplyPool>,
+}
+
+impl SiloChannel {
+    /// Wraps a transport backend into a channel recording traffic into
+    /// `stats`.
+    pub fn over(backend: Arc<dyn Transport>, stats: Arc<CommCounters>) -> SiloChannel {
+        SiloChannel {
+            backend,
+            stats,
+            reply_pool: Arc::new(ReplyPool::default()),
+        }
+    }
+
+    /// Which silo this channel reaches.
+    pub fn id(&self) -> SiloId {
+        self.backend.silo()
+    }
+
+    /// The transport backend this channel rides on.
+    pub fn backend(&self) -> &Arc<dyn Transport> {
+        &self.backend
+    }
+
+    /// Ships an already-encoded frame to the backend and returns the
+    /// in-flight reply handle. The deadline rides as frame metadata
+    /// (the silo sheds expired requests) and bounds the caller's wait.
+    fn send_frame(
+        &self,
+        frame: Bytes,
+        deadline: Option<Instant>,
+    ) -> Result<PendingReply, TransportError> {
+        let up = frame.len();
+        let slot = self.reply_pool.checkout();
+        let token = match self.backend.send_frame(frame, deadline, &slot) {
+            Ok(token) => token,
+            Err(e) => {
+                self.reply_pool.restore(slot);
+                return Err(e);
+            }
+        };
         Ok(PendingReply {
-            silo: self.id,
+            silo: self.backend.silo(),
             up,
             slot,
             token,
-            registry: Arc::clone(&self.registry),
+            backend: Arc::clone(&self.backend),
             pool: Arc::clone(&self.reply_pool),
             stats: Arc::clone(&self.stats),
             deadline,
@@ -967,57 +1162,52 @@ impl SiloChannel {
         self.begin_batch(&refs)?.wait()
     }
 
-    /// Returns a copy of this channel that records traffic into a
-    /// different counter set (the federation swaps setup counters for
-    /// query counters once Alg. 1 finishes).
+    /// The one way to re-point a channel's byte accounting: returns a
+    /// copy of this channel (same backend, same reply-slot pool) that
+    /// records traffic into a different counter set. The federation uses
+    /// this to swap setup counters for query counters once Alg. 1
+    /// finishes, so experiments can report per-query communication cost
+    /// net of index construction.
     pub fn with_comm(&self, comm: Arc<CommCounters>) -> SiloChannel {
         SiloChannel {
-            id: self.id,
-            tx: self.tx.clone(),
+            backend: Arc::clone(&self.backend),
             stats: comm,
             reply_pool: Arc::clone(&self.reply_pool),
-            registry: Arc::clone(&self.registry),
-            served: Arc::clone(&self.served),
-            failed: Arc::clone(&self.failed),
-            silo_metrics: Arc::clone(&self.silo_metrics),
-            worker_alive: Arc::clone(&self.worker_alive),
         }
     }
 
-    /// Former name of [`SiloChannel::with_comm`].
-    #[deprecated(since = "0.2.0", note = "renamed to `with_comm`")]
-    pub fn with_stats(&self, stats: Arc<CommCounters>) -> SiloChannel {
-        self.with_comm(stats)
-    }
-
-    /// The silo worker's own metrics registry (request counts by kind,
-    /// batch sizes, LSR level picks). Shared by `Arc`, like the served
-    /// counter — diagnostics cross the thread boundary without touching
-    /// the byte-counted wire path.
+    /// The silo's own metrics registry (request counts by kind, batch
+    /// sizes, LSR level picks). Shared by `Arc` for in-process silos —
+    /// diagnostics cross the thread boundary without touching the
+    /// byte-counted wire path. See [`Transport::silo_metrics`].
     pub fn silo_metrics(&self) -> &Arc<fedra_obs::MetricsRegistry> {
-        &self.silo_metrics
+        self.backend.silo_metrics()
     }
 
-    /// Number of requests the silo worker has served so far.
+    /// Number of logical requests the silo has served so far
+    /// ([`Transport::served`]).
     pub fn served(&self) -> u64 {
-        self.served.load(Ordering::Relaxed)
+        self.backend.served()
     }
 
     /// Injects (or clears) a failure: while set, the silo answers every
-    /// request with an error.
+    /// request with an error ([`Transport::set_failed`]).
     pub fn set_failed(&self, failed: bool) {
-        self.failed.store(failed, Ordering::Release);
+        self.backend.set_failed(failed);
     }
 
     /// Whether the failure flag is set.
     pub fn is_failed(&self) -> bool {
-        self.failed.load(Ordering::Acquire)
+        self.backend.is_failed()
     }
 }
 
 impl std::fmt::Debug for SiloChannel {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
-        f.debug_struct("SiloChannel").field("id", &self.id).finish()
+        f.debug_struct("SiloChannel")
+            .field("id", &self.id())
+            .field("backend", &self.backend.backend_name())
+            .finish()
     }
 }
 
@@ -1099,20 +1289,45 @@ pub fn spawn_silo(
             silo: id,
             reason: e.to_string(),
         })?;
-    Ok((
-        SiloChannel {
-            id,
-            tx,
-            stats,
-            reply_pool: Arc::new(ReplyPool::default()),
-            registry,
-            served,
-            failed,
-            silo_metrics,
-            worker_alive,
-        },
-        handle,
-    ))
+    let backend = InMemoryTransport {
+        silo: id,
+        tx,
+        registry,
+        served,
+        failed,
+        silo_metrics,
+        worker_alive,
+    };
+    Ok((SiloChannel::over(Arc::new(backend), stats), handle))
+}
+
+/// Which [`Transport`] backend a federation stands its local silos up
+/// behind (see `FederationBuilder::transport_backend`).
+///
+/// The default is [`TransportBackend::InMemory`] — the deterministic
+/// tier-1 path. [`TransportBackend::Socket`] serves every local silo
+/// over a real loopback TCP socket ([`socket::spawn_silo_socket`]):
+/// answers and byte counts stay identical, only timing becomes
+/// OS-scheduled. The `FEDRA_TRANSPORT` environment variable (`memory` |
+/// `socket`) selects a backend when the builder was not told explicitly,
+/// which is how the test suites re-run against sockets unchanged.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum TransportBackend {
+    /// Crossbeam channel to a worker thread in this process (default).
+    #[default]
+    InMemory,
+    /// Loopback TCP socket to a server thread in this process.
+    Socket,
+}
+
+impl TransportBackend {
+    /// Reads `FEDRA_TRANSPORT` (unset or unrecognised ⇒ in-memory).
+    pub fn from_env() -> TransportBackend {
+        match std::env::var("FEDRA_TRANSPORT") {
+            Ok(v) if v.eq_ignore_ascii_case("socket") => TransportBackend::Socket,
+            _ => TransportBackend::InMemory,
+        }
+    }
 }
 
 /// Guard owned by the silo worker thread whose `Drop` marks the worker as
@@ -1416,7 +1631,7 @@ mod tests {
         assert_eq!(chan.reply_pool.slots.lock().len(), 1);
         // Resolved calls deregister eagerly, so the in-flight registry
         // holds nothing between calls.
-        assert!(chan.registry.inflight.lock().slots.is_empty());
+        assert_eq!(chan.backend().inflight_len(), 0);
         // An abandoned pending call discards its slot instead of
         // returning a (possibly stale) one to the pool.
         let pending = chan.begin_call(&Request::Ping).unwrap();

@@ -1,0 +1,228 @@
+//! `fedra-silo` — host ONE data silo as a standalone process.
+//!
+//! A provider built with `FederationBuilder::connect_remote(addr)` talks
+//! to this process over the length-prefixed socket protocol
+//! (DESIGN.md §5h): same wire payloads, same deadline shedding, same
+//! fault injection as the in-process backends, so a federation can span
+//! processes and machines like the paper's 4–16-node cluster.
+//!
+//! ```text
+//! fedra-silo serve --addr unix:/tmp/silo0.sock --data silo0.csv
+//! fedra-silo serve --addr tcp:127.0.0.1:7401 --data silo1.csv --silo-id 1 \
+//!                  --bounds -8,-8,8,8
+//! ```
+//!
+//! Options for `serve`:
+//! `--addr A` (required; `tcp:host:port`, `unix:/path`, or `host:port`),
+//! `--data F` (required; `silo,x_km,y_km,measure` CSV, as written by
+//! `fedra_workload::write_csv`), `--silo-id K` (serve partition `K` of
+//! the CSV; default: every row in the file), `--bounds x0,y0,x1,y1`
+//! (histogram/grid bounds — MUST match the provider's federation bounds
+//! for answers to line up; default: the file's bounding box),
+//! `--lsr-seed S` (default `0xFED0A`, the builder default), `--threads N`
+//! (intra-silo worker pool; 0 = auto), `--latency-ms L` (simulated
+//! per-request latency), and a deterministic fault spec:
+//! `--fault-seed S --fault-transient P --fault-drop P`
+//! `--fault-crash-after N --fault-latency-ms L`.
+
+use std::collections::HashMap;
+use std::process::ExitCode;
+use std::sync::atomic::AtomicBool;
+use std::sync::Arc;
+use std::time::Duration;
+
+use fedra::federation::{
+    FaultPlan, Silo, SiloAddr, SiloConfig, SiloSocketServer, SocketServerConfig,
+};
+use fedra::federation::{FlapSchedule, SiloFaultSpec};
+use fedra::geo::{Point, Rect, SpatialObject};
+use fedra::index::histogram::MinSkewConfig;
+use fedra::index::rtree::RTreeConfig;
+use fedra::workload::read_csv;
+
+fn main() -> ExitCode {
+    let mut args: Vec<String> = std::env::args().skip(1).collect();
+    let command = if args.first().map(String::as_str) == Some("serve") {
+        args.remove(0);
+        "serve"
+    } else if args.iter().any(|a| a == "--help") || args.is_empty() {
+        print_help();
+        return ExitCode::SUCCESS;
+    } else {
+        eprintln!("error: unknown command (only `serve` is supported)");
+        print_help();
+        return ExitCode::FAILURE;
+    };
+    debug_assert_eq!(command, "serve");
+    let Some(options) = parse(&args) else {
+        eprintln!("error: malformed arguments (expected --key value pairs)");
+        print_help();
+        return ExitCode::FAILURE;
+    };
+    if options.contains_key("help") {
+        print_help();
+        return ExitCode::SUCCESS;
+    }
+    serve(&options)
+}
+
+type Options = HashMap<String, String>;
+
+fn parse(args: &[String]) -> Option<Options> {
+    let mut options = Options::new();
+    let mut i = 0;
+    while i < args.len() {
+        let key = args[i].strip_prefix("--")?;
+        if key == "help" {
+            options.insert(key.to_string(), "true".to_string());
+            i += 1;
+        } else {
+            let value = args.get(i + 1)?;
+            options.insert(key.to_string(), value.clone());
+            i += 2;
+        }
+    }
+    Some(options)
+}
+
+fn opt<T: std::str::FromStr>(options: &Options, key: &str, default: T) -> T {
+    options
+        .get(key)
+        .and_then(|v| v.parse().ok())
+        .unwrap_or(default)
+}
+
+fn print_help() {
+    println!(
+        "fedra-silo — host one data silo behind a socket\n\n\
+         usage: fedra-silo serve --addr ADDR --data FILE.csv\n\
+                [--silo-id K] [--bounds x0,y0,x1,y1] [--lsr-seed S]\n\
+                [--threads N] [--latency-ms L]\n\
+                [--fault-seed S] [--fault-transient P] [--fault-drop P]\n\
+                [--fault-crash-after N] [--fault-latency-ms L]\n\n\
+         ADDR is tcp:host:port, unix:/path, or bare host:port. The CSV\n\
+         columns are silo,x_km,y_km,measure (the workload crate's CSV).\n\
+         --bounds and --lsr-seed must match the provider's federation\n\
+         for remote answers to be identical to a local run."
+    );
+}
+
+fn parse_bounds(spec: &str) -> Option<Rect> {
+    let parts: Vec<f64> = spec
+        .split(',')
+        .map(|p| p.trim().parse().ok())
+        .collect::<Option<_>>()?;
+    match parts[..] {
+        [x0, y0, x1, y1] => Some(Rect::new(Point::new(x0, y0), Point::new(x1, y1))),
+        _ => None,
+    }
+}
+
+fn fault_config(options: &Options, silo_id: usize) -> Option<FaultPlan> {
+    let spec = SiloFaultSpec {
+        latency: options
+            .get("fault-latency-ms")
+            .and_then(|v| v.parse().ok())
+            .map(Duration::from_millis),
+        jitter: None,
+        drop_prob: opt(options, "fault-drop", 0.0),
+        transient_prob: opt(options, "fault-transient", 0.0),
+        crash_after: options
+            .get("fault-crash-after")
+            .and_then(|v| v.parse().ok()),
+        flap: options.get("fault-flap").and_then(|v| {
+            let (period, down) = v.split_once(':')?;
+            Some(FlapSchedule {
+                period: period.parse().ok()?,
+                down: down.parse().ok()?,
+                phase: 0,
+            })
+        }),
+    };
+    if spec == SiloFaultSpec::default() {
+        return None;
+    }
+    Some(FaultPlan::seeded(opt(options, "fault-seed", 0)).with_spec(silo_id, spec))
+}
+
+fn serve(options: &Options) -> ExitCode {
+    let Some(addr_spec) = options.get("addr") else {
+        eprintln!("error: --addr is required");
+        return ExitCode::FAILURE;
+    };
+    let addr = match SiloAddr::parse(addr_spec) {
+        Ok(addr) => addr,
+        Err(reason) => {
+            eprintln!("error: bad --addr: {reason}");
+            return ExitCode::FAILURE;
+        }
+    };
+    let Some(data) = options.get("data") else {
+        eprintln!("error: --data is required");
+        return ExitCode::FAILURE;
+    };
+    let dataset = match read_csv(data, 0.0) {
+        Ok(dataset) => dataset,
+        Err(e) => {
+            eprintln!("error: could not load {data}: {e}");
+            return ExitCode::FAILURE;
+        }
+    };
+    let inferred_bounds = dataset.bounds();
+    let silo_id: usize = opt(options, "silo-id", 0);
+    let objects: Vec<SpatialObject> = match options.get("silo-id") {
+        Some(_) => match dataset.partitions().get(silo_id) {
+            Some(partition) => partition.clone(),
+            None => {
+                eprintln!("error: {data} has no partition {silo_id}");
+                return ExitCode::FAILURE;
+            }
+        },
+        None => dataset.all_objects(),
+    };
+    let bounds = match options.get("bounds") {
+        Some(spec) => match parse_bounds(spec) {
+            Some(bounds) => bounds,
+            None => {
+                eprintln!("error: --bounds must be x0,y0,x1,y1");
+                return ExitCode::FAILURE;
+            }
+        },
+        None => inferred_bounds,
+    };
+    let config = SiloConfig {
+        rtree: RTreeConfig::default(),
+        histogram: MinSkewConfig::default(),
+        bounds,
+        lsr_seed: opt(options, "lsr-seed", 0x000F_ED0A),
+        threads: opt(options, "threads", 0),
+    };
+    let num_objects = objects.len();
+    let silo = Silo::new(silo_id, objects, config);
+    let faults = fault_config(options, silo_id).and_then(|plan| {
+        // Standalone faults arm immediately — there is no provider-side
+        // setup phase to protect in this process.
+        plan.injector_for(silo_id, Arc::new(AtomicBool::new(true)))
+    });
+    let server_config = SocketServerConfig {
+        latency: options
+            .get("latency-ms")
+            .and_then(|v| v.parse().ok())
+            .map(Duration::from_millis),
+        faults,
+    };
+    let server = match SiloSocketServer::spawn(silo, &addr, server_config) {
+        Ok(server) => server,
+        Err(e) => {
+            eprintln!("error: could not serve on {addr}: {e}");
+            return ExitCode::FAILURE;
+        }
+    };
+    println!(
+        "fedra-silo: serving silo {silo_id} ({num_objects} objects, bounds {:?}) on {}",
+        bounds,
+        server.addr()
+    );
+    server.join();
+    ExitCode::SUCCESS
+}

@@ -65,7 +65,8 @@ pub mod prelude {
     };
     pub use fedra_federation::{
         BreakerState, CallPolicy, FaultPlan, Federation, FederationBuilder, FlapSchedule,
-        HealthConfig, HealthTracker, SiloFaultSpec, SiloHealthSnapshot, SiloId, TransportError,
+        HealthConfig, HealthTracker, Silo, SiloAddr, SiloConfig, SiloFaultSpec, SiloHealthSnapshot,
+        SiloId, SiloSocketServer, SocketServerConfig, Transport, TransportBackend, TransportError,
     };
     pub use fedra_geo::{Circle, GeoPoint, Point, Projection, Range, Rect, SpatialObject};
     pub use fedra_index::{AggFunc, Aggregate, GridPyramid, IndexMemory, PyramidEstimate};

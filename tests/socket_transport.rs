@@ -1,0 +1,389 @@
+//! Socket-backend edge cases (DESIGN.md §5h): wire-bytes parity with the
+//! in-memory encoding for EVERY protocol variant, partial-read
+//! reassembly, typed rejection of oversized length prefixes, and peer
+//! disconnects surfacing as retryable transport errors.
+
+use std::io::{Read, Write};
+use std::net::{TcpListener, TcpStream};
+use std::sync::Arc;
+use std::time::{Duration, Instant};
+
+use fedra::federation::protocol::{LocalMode, Request, Response, SiloMemoryReport};
+use fedra::federation::transport::socket::{
+    read_reply_frame, read_request_frame, write_reply_frame, write_request_frame, FrameError,
+    SiloDiagnostics, MAX_FRAME_PAYLOAD, REPLY_HEADER_LEN, REQUEST_HEADER_LEN,
+};
+use fedra::federation::transport::DEFAULT_MESSAGE_OVERHEAD;
+use fedra::federation::wire::Wire;
+use fedra::federation::{
+    Silo, SiloAddr, SiloChannel, SiloConfig, SiloSocketServer, SocketServerConfig, SocketTransport,
+    Transport,
+};
+use fedra::prelude::*;
+
+// ---------------------------------------------------------------------
+// Wire-bytes parity: every variant's socket payload IS its in-memory
+// encoding
+// ---------------------------------------------------------------------
+
+fn sample_aggregate() -> Aggregate {
+    Aggregate {
+        count: 3.0,
+        sum: 7.5,
+        sum_sqr: 21.25,
+    }
+}
+
+fn sample_rect() -> Rect {
+    Rect::new(Point::new(-4.0, -2.0), Point::new(4.0, 2.0))
+}
+
+/// One instance of every [`Request`] variant. The match below has no
+/// wildcard arm on purpose: adding a variant fails this test until the
+/// sample list (and hence the parity pin) covers it.
+fn all_requests() -> Vec<Request> {
+    let samples = vec![
+        Request::BuildGrid {
+            bounds: sample_rect(),
+            cell_len: 0.5,
+            return_cells: true,
+        },
+        Request::Aggregate {
+            range: Range::circle(Point::new(0.5, -0.5), 1.5),
+            mode: LocalMode::Exact,
+        },
+        Request::CellContributions {
+            range: Range::rect(Point::new(-4.0, -2.0), Point::new(4.0, 2.0)),
+            cells: vec![0, 3, 7],
+            mode: LocalMode::Lsr {
+                epsilon: 0.1,
+                delta: 0.01,
+                sum0: 12.0,
+            },
+        },
+        Request::HistogramEstimate {
+            range: Range::circle(Point::new(1.0, 1.0), 2.0),
+        },
+        Request::MemoryReport,
+        Request::Ping,
+        Request::Batch(vec![Request::Ping, Request::MemoryReport]),
+    ];
+    for sample in &samples {
+        match sample {
+            Request::BuildGrid { .. }
+            | Request::Aggregate { .. }
+            | Request::CellContributions { .. }
+            | Request::HistogramEstimate { .. }
+            | Request::MemoryReport
+            | Request::Ping
+            | Request::Batch(_) => {}
+        }
+    }
+    samples
+}
+
+/// One instance of every [`Response`] variant (no-wildcard match, same
+/// exhaustiveness pin as [`all_requests`]).
+fn all_responses() -> Vec<Response> {
+    let samples = vec![
+        Response::Grid {
+            bounds: sample_rect(),
+            cell_len: 0.5,
+            cells: vec![sample_aggregate(), Aggregate::ZERO],
+            outside: 2,
+        },
+        Response::GridAck {
+            total: sample_aggregate(),
+            outside: 1,
+        },
+        Response::Agg(sample_aggregate()),
+        Response::AggVec(vec![sample_aggregate(), Aggregate::ZERO]),
+        Response::Memory(SiloMemoryReport {
+            rtree: 1,
+            lsr_extra: 2,
+            grid: 3,
+            histogram: 4,
+        }),
+        Response::Pong,
+        Response::Error("broken".into()),
+        Response::Batch(vec![Response::Pong, Response::Error("sub".into())]),
+        Response::Transient("flap window".into()),
+        Response::DeadlineExceeded { late_by_us: 12345 },
+    ];
+    for sample in &samples {
+        match sample {
+            Response::Grid { .. }
+            | Response::GridAck { .. }
+            | Response::Agg(_)
+            | Response::AggVec(_)
+            | Response::Memory(_)
+            | Response::Pong
+            | Response::Error(_)
+            | Response::Batch(_)
+            | Response::Transient(_)
+            | Response::DeadlineExceeded { .. } => {}
+        }
+    }
+    samples
+}
+
+#[test]
+fn request_frames_carry_the_in_memory_encoding_for_every_variant() {
+    for request in all_requests() {
+        let payload = request.to_bytes();
+        let mut frame = Vec::new();
+        write_request_frame(&mut frame, 9, 777, &payload).expect("write");
+        assert_eq!(
+            &frame[REQUEST_HEADER_LEN..],
+            payload.as_ref(),
+            "socket payload differs from in-memory bytes for {request:?}"
+        );
+        let decoded = read_request_frame(&mut frame.as_slice()).expect("read");
+        assert_eq!(decoded.corr, 9);
+        assert_eq!(decoded.deadline_rel_us, 777);
+        assert_eq!(
+            Request::from_bytes(decoded.payload).expect("decode"),
+            request
+        );
+    }
+}
+
+#[test]
+fn reply_frames_carry_the_in_memory_encoding_for_every_variant() {
+    for response in all_responses() {
+        let payload = response.to_bytes();
+        let mut frame = Vec::new();
+        write_reply_frame(&mut frame, 4, &payload).expect("write");
+        assert_eq!(
+            &frame[REPLY_HEADER_LEN..],
+            payload.as_ref(),
+            "socket payload differs from in-memory bytes for {response:?}"
+        );
+        let (corr, bytes) = read_reply_frame(&mut frame.as_slice()).expect("read");
+        assert_eq!(corr, 4);
+        assert_eq!(Response::from_bytes(bytes).expect("decode"), response);
+    }
+}
+
+// ---------------------------------------------------------------------
+// Partial reads
+// ---------------------------------------------------------------------
+
+/// A reader that yields ONE byte per `read()` call — the worst-case
+/// fragmentation a socket can deliver.
+struct Trickle<'a>(&'a [u8]);
+
+impl Read for Trickle<'_> {
+    fn read(&mut self, buf: &mut [u8]) -> std::io::Result<usize> {
+        match self.0.split_first() {
+            Some((byte, rest)) if !buf.is_empty() => {
+                buf[0] = *byte;
+                self.0 = rest;
+                Ok(1)
+            }
+            _ => Ok(0),
+        }
+    }
+}
+
+#[test]
+fn frames_reassemble_from_single_byte_reads() {
+    let first = Response::Agg(sample_aggregate()).to_bytes();
+    let second = Response::Pong.to_bytes();
+    let mut stream = Vec::new();
+    write_reply_frame(&mut stream, 1, &first).expect("write");
+    write_reply_frame(&mut stream, 2, &second).expect("write");
+    let mut trickle = Trickle(&stream);
+    assert_eq!(read_reply_frame(&mut trickle).expect("first"), (1, first));
+    assert_eq!(read_reply_frame(&mut trickle).expect("second"), (2, second));
+    // Clean EOF at the frame boundary, not a truncation error.
+    assert_eq!(read_reply_frame(&mut trickle), Err(FrameError::Eof));
+}
+
+#[test]
+fn truncation_mid_frame_is_not_a_clean_eof() {
+    let payload = Response::Pong.to_bytes();
+    let mut stream = Vec::new();
+    write_reply_frame(&mut stream, 1, &payload).expect("write");
+    for cut in 1..stream.len() {
+        let err = read_reply_frame(&mut Trickle(&stream[..cut])).expect_err("truncated");
+        assert!(
+            matches!(err, FrameError::Truncated { .. }),
+            "cut at {cut} gave {err:?}"
+        );
+    }
+}
+
+// ---------------------------------------------------------------------
+// Oversized length prefixes: typed errors, never a panic or a huge
+// allocation
+// ---------------------------------------------------------------------
+
+#[test]
+fn oversized_reply_prefix_is_a_typed_error() {
+    let mut bogus = Vec::new();
+    bogus.extend_from_slice(&u32::MAX.to_le_bytes());
+    bogus.extend_from_slice(&1u64.to_le_bytes());
+    assert_eq!(
+        read_reply_frame(&mut bogus.as_slice()),
+        Err(FrameError::Oversized {
+            len: u32::MAX as u64
+        })
+    );
+}
+
+/// A real server must drop a connection that announces an oversized
+/// request instead of allocating for it or panicking — and keep serving
+/// well-formed peers afterwards.
+#[test]
+fn server_drops_oversized_request_frames_and_survives() {
+    let server = spawn_test_server();
+    let addr = tcp_addr(server.addr());
+
+    // Hostile peer: announces a payload over the cap.
+    let mut hostile = TcpStream::connect(&addr).expect("connect");
+    let mut bogus = Vec::new();
+    bogus.extend_from_slice(&(MAX_FRAME_PAYLOAD + 1).to_le_bytes());
+    bogus.extend_from_slice(&0u64.to_le_bytes()); // corr
+    bogus.extend_from_slice(&u64::MAX.to_le_bytes()); // no deadline
+    hostile.write_all(&bogus).expect("write bogus header");
+    // The server hangs up without replying.
+    hostile
+        .set_read_timeout(Some(Duration::from_secs(5)))
+        .expect("timeout");
+    let mut sink = Vec::new();
+    let got = hostile.read_to_end(&mut sink).expect("read");
+    assert_eq!(got, 0, "server must close, not answer, an oversized frame");
+
+    // A well-formed peer on a fresh connection is still served.
+    let mut honest = TcpStream::connect(&addr).expect("connect");
+    write_request_frame(&mut honest, 1, u64::MAX, &Request::Ping.to_bytes()).expect("write");
+    let (corr, payload) = read_reply_frame(&mut honest).expect("reply");
+    assert_eq!(corr, 1);
+    assert_eq!(
+        Response::from_bytes(payload).expect("decode"),
+        Response::Pong
+    );
+}
+
+// ---------------------------------------------------------------------
+// Peer disconnects mid-call: retryable TransportError
+// ---------------------------------------------------------------------
+
+/// A fake silo that accepts, reads one request, and hangs up without
+/// replying — then accepts the reconnect and keeps it open. The client
+/// must surface the in-flight batch as a retryable transient, not hang
+/// or panic.
+#[test]
+fn peer_disconnect_mid_batch_is_a_retryable_transport_error() {
+    let listener = TcpListener::bind("127.0.0.1:0").expect("bind");
+    let addr = listener.local_addr().expect("addr").to_string();
+    let fake_silo = std::thread::spawn(move || {
+        let (mut conn, _) = listener.accept().expect("accept");
+        // Read the batch request, then vanish mid-call.
+        let _ = read_request_frame(&mut conn).expect("request");
+        drop(conn);
+        // Accept the reconnect so the client classifies the loss as
+        // transient (peer alive) rather than a dead silo.
+        let (reconnect, _) = listener.accept().expect("re-accept");
+        std::thread::sleep(Duration::from_millis(200));
+        drop(reconnect);
+    });
+
+    let stats = Arc::new(CommCounters::default());
+    let transport = SocketTransport::connect(0, SiloAddr::Tcp(addr), SiloDiagnostics::remote())
+        .expect("connect");
+    let channel = SiloChannel::over(Arc::new(transport), stats);
+    let pending = channel
+        .begin_batch(&[&Request::Ping, &Request::Ping])
+        .expect("begin");
+    let err = pending
+        .wait_deadline(Instant::now() + Duration::from_secs(10))
+        .expect_err("the peer hung up mid-batch");
+    assert!(
+        matches!(err, TransportError::Transient { silo: 0, .. }),
+        "expected a transient, got {err:?}"
+    );
+    assert!(err.is_retryable());
+    fake_silo.join().expect("fake silo");
+}
+
+// ---------------------------------------------------------------------
+// End-to-end: a real served silo answers identically over the socket
+// ---------------------------------------------------------------------
+
+fn spawn_test_server() -> SiloSocketServer {
+    let objects: Vec<SpatialObject> = (0..50)
+        .map(|i| SpatialObject::at(-4.0 + 0.16 * i as f64, -1.0 + 0.04 * i as f64, 1.0))
+        .collect();
+    let silo = Silo::new(
+        0,
+        objects,
+        SiloConfig {
+            rtree: Default::default(),
+            histogram: Default::default(),
+            bounds: sample_rect(),
+            lsr_seed: 7,
+            threads: 1,
+        },
+    );
+    SiloSocketServer::spawn(
+        silo,
+        &SiloAddr::Tcp("127.0.0.1:0".into()),
+        SocketServerConfig::default(),
+    )
+    .expect("spawn server")
+}
+
+fn tcp_addr(addr: &SiloAddr) -> String {
+    match addr {
+        SiloAddr::Tcp(a) => a.clone(),
+        other => panic!("expected a TCP address, got {other}"),
+    }
+}
+
+#[test]
+fn served_silo_answers_and_counts_bytes_like_the_in_memory_backend() {
+    let request = Request::Aggregate {
+        range: Range::circle(Point::new(0.0, 0.0), 2.0),
+        mode: LocalMode::Exact,
+    };
+
+    // In-memory reference: same silo data behind the default backend.
+    let objects: Vec<SpatialObject> = (0..50)
+        .map(|i| SpatialObject::at(-4.0 + 0.16 * i as f64, -1.0 + 0.04 * i as f64, 1.0))
+        .collect();
+    let reference = Silo::new(
+        0,
+        objects,
+        SiloConfig {
+            rtree: Default::default(),
+            histogram: Default::default(),
+            bounds: sample_rect(),
+            lsr_seed: 7,
+            threads: 1,
+        },
+    );
+    let expected = reference.handle(request.clone());
+
+    let server = spawn_test_server();
+    let stats = Arc::new(CommCounters::default());
+    let transport = SocketTransport::connect(0, server.addr().clone(), SiloDiagnostics::remote())
+        .expect("connect");
+    assert_eq!(transport.backend_name(), "socket");
+    let channel = SiloChannel::over(Arc::new(transport), Arc::clone(&stats));
+    let answer = channel.call(&request).expect("call");
+    assert_eq!(answer, expected);
+    // Byte accounting counts payload bytes exactly like the in-memory
+    // backend: one round, up = request encoding, down = response encoding.
+    let snapshot = stats.snapshot();
+    assert_eq!(snapshot.rounds, 1);
+    assert_eq!(
+        snapshot.bytes_up,
+        request.to_bytes().len() as u64 + DEFAULT_MESSAGE_OVERHEAD
+    );
+    assert_eq!(
+        snapshot.bytes_down,
+        expected.to_bytes().len() as u64 + DEFAULT_MESSAGE_OVERHEAD
+    );
+}
