@@ -136,6 +136,83 @@ echo "$chaos_sock" | grep -q '^breaker leaks: 0$' \
     || { echo "socket chaos: breaker leaked out of the run"; exit 1; }
 echo "    ok (chaos + failure injection + equivalence green over sockets)"
 
+# Partition smoke: the §5i drill against real fedra-silo processes. The
+# driver streams queries while silo 2 is SIGKILL'd mid-stream: a
+# degraded answer with an honest coverage record must appear, the silo
+# must respawn warm from its checksummed grid snapshot (its stdout says
+# so), a stale reply crossing a dropped connection must be fenced by
+# epoch, and both the healthy and the post-recovery answers must be
+# byte-identical to the in-process reference.
+echo "==> partition smoke (SIGKILL + snapshot respawn + epoch fencing)"
+part_dir=target/ci/partition-smoke
+rm -rf "$part_dir" && mkdir -p "$part_dir/snap"
+cargo build -q --release --example partition_drill
+cargo run -q --release --example remote_federation -- export "$part_dir" >/dev/null
+cargo run -q --release --example partition_drill -- local \
+    | grep '^ANSWER' >"$part_dir/local.txt"
+part_pids=()
+for k in 0 1 2; do
+    ./target/release/fedra-silo serve \
+        --addr "unix:$part_dir/s$k.sock" --data "$part_dir/silo$k.csv" \
+        --silo-id "$k" --bounds "$(cat "$part_dir/bounds.txt")" \
+        --snapshot-dir "$part_dir/snap" \
+        >"$part_dir/silo$k.log" 2>&1 &
+    part_pids+=($!)
+done
+drill_pid=""
+trap 'kill -9 ${part_pids[*]} $drill_pid 2>/dev/null || true' EXIT
+for _ in $(seq 1 100); do
+    [ -S "$part_dir/s0.sock" ] && [ -S "$part_dir/s1.sock" ] && [ -S "$part_dir/s2.sock" ] && break
+    sleep 0.1
+done
+./target/release/examples/partition_drill drive "$part_dir" "$part_dir/bounds.txt" \
+    "unix:$part_dir/s0.sock" "unix:$part_dir/s1.sock" "unix:$part_dir/s2.sock" \
+    >"$part_dir/drive.log" 2>&1 &
+drill_pid=$!
+await_marker() { # <regex> — poll drive.log until it appears or the drill dies
+    for _ in $(seq 1 600); do
+        grep -Eq "$1" "$part_dir/drive.log" 2>/dev/null && return 0
+        kill -0 "$drill_pid" 2>/dev/null || return 1
+        sleep 0.1
+    done
+    return 1
+}
+await_marker '^PHASE-A-DONE$' \
+    || { cat "$part_dir/drive.log"; echo "partition smoke: healthy phase never finished"; exit 1; }
+kill -9 "${part_pids[2]}" 2>/dev/null || true
+wait "${part_pids[2]}" 2>/dev/null || true
+touch "$part_dir/killed"
+await_marker '^PHASE-B-DONE$' \
+    || { cat "$part_dir/drive.log"; echo "partition smoke: no degraded phase"; exit 1; }
+rm -f "$part_dir/s2.sock"    # the SIGKILL'd process left its socket file behind
+./target/release/fedra-silo serve \
+    --addr "unix:$part_dir/s2.sock" --data "$part_dir/silo2.csv" \
+    --silo-id 2 --bounds "$(cat "$part_dir/bounds.txt")" \
+    --snapshot-dir "$part_dir/snap" \
+    >"$part_dir/silo2-respawn.log" 2>&1 &
+part_pids[2]=$!
+wait "$drill_pid" \
+    || { cat "$part_dir/drive.log"; echo "partition smoke: drill failed"; exit 1; }
+drill_pid=""
+kill "${part_pids[@]}" 2>/dev/null || true
+trap - EXIT
+wait "${part_pids[@]}" 2>/dev/null || true
+grep -q 'loaded grid snapshot' "$part_dir/silo2-respawn.log" \
+    || { echo "partition smoke: respawned silo did not warm-start from its snapshot"; exit 1; }
+grep -Eq '^DEGRADED count=[1-9]' "$part_dir/drive.log" \
+    || { echo "partition smoke: no honest degraded answer surfaced"; exit 1; }
+grep -Eq '^FENCED [1-9]' "$part_dir/drive.log" \
+    || { echo "partition smoke: no stale reply was fenced"; exit 1; }
+grep -q '^breaker leaks: 0$' "$part_dir/drive.log" \
+    || { echo "partition smoke: a breaker leaked out of the drill"; exit 1; }
+grep '^ANSWER' "$part_dir/drive.log" >"$part_dir/healthy.txt"
+diff "$part_dir/local.txt" "$part_dir/healthy.txt" \
+    || { echo "partition smoke: healthy remote answers diverge from the in-process run"; exit 1; }
+sed -n 's/^FINAL /ANSWER /p' "$part_dir/drive.log" >"$part_dir/final.txt"
+diff "$part_dir/local.txt" "$part_dir/final.txt" \
+    || { echo "partition smoke: post-recovery answers diverge from the in-process run"; exit 1; }
+echo "    ok (degraded honestly, respawned from snapshot, $(grep -c '^ANSWER' "$part_dir/local.txt") answers bit-identical after recovery)"
+
 # Cache smoke: the city dashboard's refresh loop runs through the
 # ε-aware answer cache with per-serve truth checks. The steady-state hit
 # rate must be nonzero and no served answer may exceed the requested ε.

@@ -6,10 +6,12 @@ use fedra_federation::transport::race_calls;
 use fedra_federation::{
     Federation, HealthTransition, Poll, RaceWinner, Request, Response, SiloId, TransportError,
 };
+use fedra_index::Aggregate;
 use fedra_obs::{labeled, ObsContext, Span};
 
 use crate::helpers;
-use crate::query::{FraError, FraQuery, QueryResult};
+use crate::query::{Coverage, FraError, FraQuery, QueryResult};
+use crate::theory;
 
 /// Accuracy parameters `(ε, δ)` for the LSR-accelerated variants
 /// (Tab. 2 defaults: ε = 0.10, δ = 0.01).
@@ -183,7 +185,12 @@ pub trait FraAlgorithm: Send + Sync {
     ///
     /// The default degrades to the provider-only grid estimate —
     /// availability over precision, matching the estimators' sequential
-    /// behaviour.
+    /// behaviour. Under [`fedra_federation::DegradePolicy::Partial`] the
+    /// answer carries an
+    /// honest [`Coverage`] record (zero responding silos; the certain
+    /// fraction of `g₀` as the mass backing) with the inflated bound of
+    /// [`theory::degraded_epsilon`] — or fails outright when the policy's
+    /// floors are not met.
     fn finish_degraded(
         &self,
         federation: &Federation,
@@ -191,7 +198,72 @@ pub trait FraAlgorithm: Send + Sync {
         rounds: u64,
     ) -> Result<QueryResult, FraError> {
         let fallback = helpers::grid_only_estimate(federation, &query.range);
-        Ok(QueryResult::from_aggregate(fallback, query.func).with_rounds(rounds))
+        let result = QueryResult::from_aggregate(fallback, query.func).with_rounds(rounds);
+        let policy = federation.degrade_policy();
+        if !policy.allows_partial() {
+            return Ok(result);
+        }
+        let certain = helpers::grid_certain_fraction(federation, &query.range);
+        if !policy.accepts(0, certain) {
+            // The trail is backfilled by drive_planned, which saw the
+            // per-candidate errors.
+            return Err(FraError::AllSilosUnavailable { errors: vec![] });
+        }
+        Ok(result.with_coverage(Coverage {
+            responding: 0,
+            total: federation.num_silos(),
+            mass_fraction: certain,
+            epsilon: theory::degraded_epsilon(0.0, certain),
+        }))
+    }
+}
+
+/// Assembles a degraded fan-out answer (EXACT/OPTA under
+/// `DegradePolicy::Partial`): the reachable partials' sum plus a grid
+/// estimate of every missing silo's contribution, annotated with an
+/// honest [`Coverage`] — or [`FraError::AllSilosUnavailable`] (carrying
+/// the per-silo error trail) when the policy's floors are not met.
+///
+/// `base_epsilon` is the guarantee the reachable share itself carries
+/// (0 for exact partials; OPTA's histogram error is unbounded and rides
+/// on top exactly as it does undegraded).
+pub(crate) fn degrade_fanout(
+    federation: &Federation,
+    query: &FraQuery,
+    reachable_total: Aggregate,
+    responding: &[SiloId],
+    missing: Vec<(SiloId, TransportError)>,
+    base_epsilon: f64,
+) -> Result<QueryResult, FraError> {
+    let policy = federation.degrade_policy();
+    let fraction = helpers::reachable_mass_fraction(federation, &query.range, responding);
+    if !policy.accepts(responding.len(), fraction) {
+        return Err(FraError::AllSilosUnavailable { errors: missing });
+    }
+    let mut total = reachable_total;
+    for (k, _) in &missing {
+        total.merge_in(&helpers::silo_grid_estimate(federation, *k, &query.range));
+    }
+    Ok(
+        QueryResult::from_aggregate(total, query.func).with_coverage(Coverage {
+            responding: responding.len(),
+            total: federation.num_silos(),
+            mass_fraction: fraction,
+            epsilon: theory::degraded_epsilon(base_epsilon, fraction),
+        }),
+    )
+}
+
+/// Surfaces a coverage-annotated (degraded-mode) answer as metrics:
+/// `fedra_degraded_answers_total` plus the `fedra_coverage_ppm` gauge
+/// (mass fraction in parts-per-million). No-op for full answers.
+pub(crate) fn note_coverage(obs: &ObsContext, result: &QueryResult) {
+    if let Some(coverage) = &result.coverage {
+        obs.inc("fedra_degraded_answers_total");
+        obs.set_gauge(
+            "fedra_coverage_ppm",
+            (coverage.mass_fraction * 1_000_000.0).round(),
+        );
     }
 }
 
@@ -224,14 +296,18 @@ pub fn drive_planned<A: FraAlgorithm + ?Sized>(
             obs.inc("fedra_plan_remote_total");
             let mut rounds = 0u64;
             let mut answer = None;
+            let mut trail: Vec<(SiloId, TransportError)> = Vec::new();
             {
                 let _remote_span = Span::enter(&trace, "remote");
                 let mut idx = 0usize;
                 while idx < remote.order.len() {
                     let silo = remote.order[idx];
                     // The breaker may have opened since the plan picked its
-                    // candidates — skip silos it refuses right now.
-                    if !federation.health().allows(silo) {
+                    // candidates — skip silos it refuses right now. This is
+                    // a may_call check, not allows(): a half-open silo is
+                    // the probe the plan already admitted, and refusing it
+                    // here would strand the breaker in HalfOpen.
+                    if !federation.health().may_call(silo) {
                         obs.inc("fedra_breaker_skipped_total");
                         idx += 1;
                         continue;
@@ -242,8 +318,9 @@ pub fn drive_planned<A: FraAlgorithm + ?Sized>(
                             answer = Some(won);
                             break;
                         }
-                        Err(_) => {
+                        Err(e) => {
                             obs.inc("fedra_resamples_total");
+                            trail.push((silo, e));
                             idx += 1;
                         }
                     }
@@ -260,7 +337,14 @@ pub fn drive_planned<A: FraAlgorithm + ?Sized>(
                 }
                 None => {
                     obs.inc("fedra_degraded_total");
-                    algorithm.finish_degraded(federation, query, rounds)
+                    match algorithm.finish_degraded(federation, query, rounds) {
+                        // finish_degraded never saw the per-candidate
+                        // errors — backfill the trail it stands for.
+                        Err(FraError::AllSilosUnavailable { errors }) if errors.is_empty() => {
+                            Err(FraError::AllSilosUnavailable { errors: trail })
+                        }
+                        other => other,
+                    }
                 }
             }
         }
@@ -270,6 +354,7 @@ pub fn drive_planned<A: FraAlgorithm + ?Sized>(
         if let Some(level) = result.lsr_level {
             trace.attr("level", level);
         }
+        note_coverage(obs, result);
     }
     obs.finish_trace(&trace);
     outcome

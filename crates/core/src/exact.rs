@@ -12,7 +12,7 @@ use fedra_federation::{Federation, LocalMode, Request, Response};
 use fedra_index::Aggregate;
 use fedra_obs::{labeled, ObsContext, Span};
 
-use crate::algorithm::FraAlgorithm;
+use crate::algorithm::{degrade_fanout, note_coverage, FraAlgorithm};
 use crate::query::{FraError, FraQuery, QueryResult};
 
 /// Counts one request to every silo (the fan-out algorithms talk to all
@@ -57,24 +57,40 @@ impl FraAlgorithm for Exact {
         // frame is begun on every channel before any reply is awaited, so
         // the silos answer concurrently without a thread spawned per query
         // (mirroring the paper's multi-threaded setup, minus the threads).
+        let policy = federation.degrade_policy();
         let outcome = (|| {
             let _fanout = Span::enter(&trace, "fanout");
             let mut total = Aggregate::ZERO;
+            let mut responding = Vec::new();
+            let mut missing = Vec::new();
             for (k, partial) in federation.broadcast(&request).into_iter().enumerate() {
                 match partial {
-                    Ok(Response::Agg(a)) => total.merge_in(&a),
+                    Ok(Response::Agg(a)) => {
+                        total.merge_in(&a);
+                        responding.push(k);
+                    }
                     Ok(_) => {
                         return Err(FraError::ProtocolViolation {
                             silo: k,
                             expected: "Agg",
                         })
                     }
+                    // Under Partial, an unreachable silo's share is filled
+                    // from its g_k below instead of failing the query.
+                    Err(e) if policy.allows_partial() => missing.push((k, e)),
                     Err(e) => return Err(FraError::SiloFailed(e)),
                 }
             }
-            Ok(QueryResult::from_aggregate(total, query.func)
-                .with_rounds(federation.num_silos() as u64))
+            let rounds = federation.num_silos() as u64;
+            if missing.is_empty() {
+                return Ok(QueryResult::from_aggregate(total, query.func).with_rounds(rounds));
+            }
+            degrade_fanout(federation, query, total, &responding, missing, 0.0)
+                .map(|r| r.with_rounds(rounds))
         })();
+        if let Ok(result) = &outcome {
+            note_coverage(obs, result);
+        }
         obs.finish_trace(&trace);
         outcome
     }
@@ -116,24 +132,38 @@ impl FraAlgorithm for ExactSequential {
             mode: LocalMode::Exact,
         };
         count_fanout(obs, federation.num_silos());
+        let policy = federation.degrade_policy();
         let outcome = (|| {
             let _fanout = Span::enter(&trace, "sequential-fanout");
             let mut total = Aggregate::ZERO;
+            let mut responding = Vec::new();
+            let mut missing = Vec::new();
             for k in 0..federation.num_silos() {
                 match federation.call(k, &request) {
-                    Ok(Response::Agg(a)) => total.merge_in(&a),
+                    Ok(Response::Agg(a)) => {
+                        total.merge_in(&a);
+                        responding.push(k);
+                    }
                     Ok(_) => {
                         return Err(FraError::ProtocolViolation {
                             silo: k,
                             expected: "Agg",
                         })
                     }
+                    Err(e) if policy.allows_partial() => missing.push((k, e)),
                     Err(e) => return Err(FraError::SiloFailed(e)),
                 }
             }
-            Ok(QueryResult::from_aggregate(total, query.func)
-                .with_rounds(federation.num_silos() as u64))
+            let rounds = federation.num_silos() as u64;
+            if missing.is_empty() {
+                return Ok(QueryResult::from_aggregate(total, query.func).with_rounds(rounds));
+            }
+            degrade_fanout(federation, query, total, &responding, missing, 0.0)
+                .map(|r| r.with_rounds(rounds))
         })();
+        if let Ok(result) = &outcome {
+            note_coverage(obs, result);
+        }
         obs.finish_trace(&trace);
         outcome
     }

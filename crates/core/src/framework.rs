@@ -829,6 +829,7 @@ impl PlannedInFlight {
             if let Some(level) = r.lsr_level {
                 self.trace.attr("level", level);
             }
+            crate::algorithm::note_coverage(obs, r);
         }
         obs.finish_trace(&self.trace);
     }

@@ -72,6 +72,69 @@ pub fn ratio_scale(
     }
 }
 
+/// Per-silo analogue of [`grid_only_estimate`]: silo `k`'s in-range mass
+/// from `g_k` alone — covered cells exactly, boundary cells by covered
+/// area fraction.
+///
+/// This is what a degraded-mode fan-out substitutes for an unreachable
+/// silo's partial answer (DESIGN.md §5i): the provider holds every `g_k`
+/// from setup, so a missing silo's contribution can still be estimated
+/// without contacting it.
+pub fn silo_grid_estimate(federation: &Federation, silo: SiloId, range: &Range) -> Aggregate {
+    let grid = federation.silo_grid(silo);
+    let spec = grid.spec();
+    let cls = spec.classify(range);
+    let mut acc = grid.aggregate_cells(cls.covered.iter().copied());
+    for id in &cls.boundary {
+        let rect = spec.cell_rect_of(*id);
+        let frac = intersection_area(range, &rect) / rect.area();
+        acc.merge_in(&grid.cell(*id).scale(frac));
+    }
+    acc
+}
+
+/// Fraction of the in-range grid mass (COUNT over intersecting cells of
+/// the per-silo grids) held by the `responding` silos, in `[0, 1]`.
+///
+/// The denominator is `sum₀` over the same cells — cell-wise, the silo
+/// grids sum to `g₀`, so this is exactly the mass share a degraded
+/// fan-out answer is backed by. An empty range (no in-range mass at all)
+/// counts as fully covered: there is nothing left to miss.
+pub fn reachable_mass_fraction(
+    federation: &Federation,
+    range: &Range,
+    responding: &[SiloId],
+) -> f64 {
+    let total = sum0(federation, range).count;
+    if total <= 0.0 {
+        return 1.0;
+    }
+    let reached: f64 = responding
+        .iter()
+        .map(|&k| sum_k(federation, k, range).count)
+        .sum();
+    (reached / total).clamp(0.0, 1.0)
+}
+
+/// Fraction of the in-range grid mass that `g₀` answers *exactly* (cells
+/// fully covered by the range), in `[0, 1]` — the coverage a provider-only
+/// grid answer honestly carries when no silo is reachable at all
+/// (DESIGN.md §5i). Boundary cells are the uncertain remainder: their
+/// area-fraction fill-in can be off by up to the full cell mass. An empty
+/// range counts as fully covered.
+pub fn grid_certain_fraction(federation: &Federation, range: &Range) -> f64 {
+    let grid = federation.merged_grid();
+    let spec = grid.spec();
+    let cls = spec.classify(range);
+    let covered = grid.aggregate_cells(cls.covered.iter().copied()).count;
+    let boundary: f64 = cls.boundary.iter().map(|id| grid.cell(*id).count).sum();
+    let total = covered + boundary;
+    if total <= 0.0 {
+        return 1.0;
+    }
+    (covered / total).clamp(0.0, 1.0)
+}
+
 /// Silos eligible to be sampled for this query: not failure-flagged, not
 /// refused by the health tracker's circuit breaker (open breakers admit
 /// the occasional probe; a passive tracker refuses nobody), and with at
@@ -159,6 +222,44 @@ mod tests {
         let est = grid_only_estimate(&fed, &q);
         // The whole left block: ~500 objects (modulo the block's own edge).
         assert!((est.count - 500.0).abs() < 50.0, "got {}", est.count);
+    }
+
+    #[test]
+    fn silo_grid_estimates_sum_to_the_merged_estimate() {
+        let fed = federation();
+        let q = Range::circle(Point::new(50.0, 50.0), 20.0);
+        let merged = grid_only_estimate(&fed, &q);
+        let mut parts = fedra_index::Aggregate::ZERO;
+        for k in 0..fed.num_silos() {
+            parts.merge_in(&silo_grid_estimate(&fed, k, &q));
+        }
+        assert!((parts.count - merged.count).abs() < 1e-9);
+        assert!((parts.sum - merged.sum).abs() < 1e-9);
+    }
+
+    #[test]
+    fn mass_fractions_are_honest() {
+        let fed = federation();
+        let left_q = Range::circle(Point::new(25.0, 25.0), 10.0);
+        // All of the left query's mass is silo 0's.
+        assert_eq!(reachable_mass_fraction(&fed, &left_q, &[0]), 1.0);
+        assert_eq!(reachable_mass_fraction(&fed, &left_q, &[1]), 0.0);
+        assert_eq!(reachable_mass_fraction(&fed, &left_q, &[0, 1]), 1.0);
+        // An empty range has nothing to miss.
+        let empty_q = Range::circle(Point::new(-400.0, -400.0), 1.0);
+        assert_eq!(reachable_mass_fraction(&fed, &empty_q, &[]), 1.0);
+        assert_eq!(grid_certain_fraction(&fed, &empty_q), 1.0);
+        // The full-bounds rect covers every cell exactly. (A rect merely
+        // aligned to interior cell edges is NOT fully certain: a massy
+        // cell touching the edge with zero overlap area could still hold
+        // an object exactly on the closed edge.)
+        let aligned = Range::rect(Point::new(0.0, 0.0), Point::new(100.0, 100.0));
+        assert_eq!(grid_certain_fraction(&fed, &aligned), 1.0);
+        let interior = Range::rect(Point::new(0.0, 0.0), Point::new(50.0, 50.0));
+        let c = grid_certain_fraction(&fed, &interior);
+        assert!((0.0..1.0).contains(&c), "edge-touching rect fraction {c}");
+        let c = grid_certain_fraction(&fed, &left_q);
+        assert!((0.0..1.0).contains(&c), "circle certain fraction {c}");
     }
 
     #[test]

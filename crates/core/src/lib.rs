@@ -44,6 +44,6 @@ pub use framework::{BatchResult, QueryEngine};
 pub use multi::MultiSiloEst;
 pub use opta::Opta;
 pub use planner::{AdaptivePlanner, PlanDecision, PlannerPolicy};
-pub use query::{FraError, FraQuery, QueryResult};
+pub use query::{Coverage, FraError, FraQuery, QueryResult};
 pub use sampling::{IidEst, IidEstLsr, NonIidEst, NonIidEstLsr};
 pub use scheduler::{ClassPolicy, QueryScheduler, QueryTicket, SchedulerConfig, SubmitError};

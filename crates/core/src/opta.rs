@@ -13,7 +13,7 @@ use fedra_federation::{Federation, Request, Response};
 use fedra_index::Aggregate;
 use fedra_obs::{labeled, ObsContext, Span};
 
-use crate::algorithm::FraAlgorithm;
+use crate::algorithm::{degrade_fanout, note_coverage, FraAlgorithm};
 use crate::query::{FraError, FraQuery, QueryResult};
 
 /// The OPTA fan-out histogram algorithm.
@@ -47,24 +47,41 @@ impl FraAlgorithm for Opta {
         }
         // Same fan-out as EXACT: broadcast over the persistent silo
         // workers, no per-query threads.
+        let policy = federation.degrade_policy();
         let outcome = (|| {
             let _fanout = Span::enter(&trace, "fanout");
             let mut total = Aggregate::ZERO;
+            let mut responding = Vec::new();
+            let mut missing = Vec::new();
             for (k, partial) in federation.broadcast(&request).into_iter().enumerate() {
                 match partial {
-                    Ok(Response::Agg(a)) => total.merge_in(&a),
+                    Ok(Response::Agg(a)) => {
+                        total.merge_in(&a);
+                        responding.push(k);
+                    }
                     Ok(_) => {
                         return Err(FraError::ProtocolViolation {
                             silo: k,
                             expected: "Agg",
                         })
                     }
+                    // Under Partial, a missing silo's histogram share is
+                    // filled from its g_k; OPTA's own histogram error
+                    // rides on top exactly as it does undegraded.
+                    Err(e) if policy.allows_partial() => missing.push((k, e)),
                     Err(e) => return Err(FraError::SiloFailed(e)),
                 }
             }
-            Ok(QueryResult::from_aggregate(total, query.func)
-                .with_rounds(federation.num_silos() as u64))
+            let rounds = federation.num_silos() as u64;
+            if missing.is_empty() {
+                return Ok(QueryResult::from_aggregate(total, query.func).with_rounds(rounds));
+            }
+            degrade_fanout(federation, query, total, &responding, missing, 0.0)
+                .map(|r| r.with_rounds(rounds))
         })();
+        if let Ok(result) = &outcome {
+            note_coverage(obs, result);
+        }
         obs.finish_trace(&trace);
         outcome
     }

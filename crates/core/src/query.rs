@@ -39,6 +39,31 @@ impl std::fmt::Display for FraQuery {
     }
 }
 
+/// How much of the federation actually backed a degraded-mode answer
+/// (DESIGN.md §5i).
+///
+/// Attached to a [`QueryResult`] only when the federation runs under
+/// `DegradePolicy::Partial` and the answer was assembled without the full
+/// silo complement — the coverage-honest alternative to failing the query
+/// outright. `epsilon` is the inflated bound of
+/// [`crate::theory::degraded_epsilon`], anchored to the `sum₀` grid
+/// envelope like every Sec. 6 guarantee: the degraded answer's absolute
+/// error against the true (all-silo) answer is at most `epsilon · sum₀(R)`
+/// (deterministically for exact fan-outs; up to the base guarantee's own
+/// δ when the backed share is sampled).
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct Coverage {
+    /// Silos whose live answers back this result.
+    pub responding: usize,
+    /// Total silos in the federation.
+    pub total: usize,
+    /// Fraction of the in-range mass (from the per-silo grids) that is
+    /// backed by live answers rather than grid fill-in, in `[0, 1]`.
+    pub mass_fraction: f64,
+    /// The inflated relative-error bound this answer honestly carries.
+    pub epsilon: f64,
+}
+
 /// The answer to an FRA query, with execution metadata.
 #[derive(Debug, Clone, Copy, PartialEq)]
 pub struct QueryResult {
@@ -55,6 +80,8 @@ pub struct QueryResult {
     pub lsr_level: Option<usize>,
     /// Request/response rounds this query consumed.
     pub rounds: u64,
+    /// Degraded-mode coverage (`None` for a full-federation answer).
+    pub coverage: Option<Coverage>,
 }
 
 impl QueryResult {
@@ -66,6 +93,7 @@ impl QueryResult {
             sampled_silo: None,
             lsr_level: None,
             rounds: 0,
+            coverage: None,
         }
     }
 
@@ -84,6 +112,12 @@ impl QueryResult {
     /// Attaches the round count.
     pub fn with_rounds(mut self, rounds: u64) -> Self {
         self.rounds = rounds;
+        self
+    }
+
+    /// Attaches the degraded-mode coverage record.
+    pub fn with_coverage(mut self, coverage: Coverage) -> Self {
+        self.coverage = Some(coverage);
         self
     }
 
@@ -244,6 +278,14 @@ mod tests {
         assert_eq!(r.sampled_silo, Some(3));
         assert_eq!(r.lsr_level, Some(2));
         assert_eq!(r.rounds, 1);
+        assert_eq!(r.coverage, None);
+        let c = Coverage {
+            responding: 2,
+            total: 3,
+            mass_fraction: 0.75,
+            epsilon: 0.25,
+        };
+        assert_eq!(r.with_coverage(c).coverage, Some(c));
     }
 
     #[test]

@@ -651,7 +651,7 @@ impl Driver {
             }
             let Some(leg) = q.leg.as_mut() else { continue };
             while leg.attempt < leg.order.len()
-                && !self.federation.health().allows(leg.order[leg.attempt])
+                && !self.federation.health().may_call(leg.order[leg.attempt])
             {
                 leg.attempt += 1;
                 leg.retried = 0;
@@ -843,6 +843,9 @@ impl Driver {
             } else if self.obs.is_enabled() {
                 self.obs
                     .inc(&labeled("fedra_sched_completed_total", "class", class));
+            }
+            if let Ok(r) = &outcome {
+                crate::algorithm::note_coverage(&self.obs, r);
             }
             self.obs.observe(
                 "fedra_sched_latency_ns",

@@ -10,7 +10,10 @@
 //!   four estimator variants: `ε`-approximation holds with probability at
 //!   least `1 − 4·exp(−ε²·ans² / (2·sum₀²))`;
 //! * [`epsilon_for_confidence`] — the inverse: the ε needed for a desired
-//!   success probability at a given `ans`/`sum₀` ratio.
+//!   success probability at a given `ans`/`sum₀` ratio;
+//! * [`degraded_epsilon`] — the combined sampling + missing-mass bound a
+//!   degraded-mode answer reports when only part of the federation's mass
+//!   is reachable (DESIGN.md §5i).
 
 /// The Lemma-1 level-selection rule:
 /// `l = ⌊log₂(ε²·sum₀ / (3·ln(2/δ)))⌋`, floored at 0.
@@ -134,6 +137,48 @@ pub fn pyramid_relative_bound(bound: f64, interior: f64) -> f64 {
     } else {
         bound / interior
     }
+}
+
+/// The combined sampling + missing-mass error bound of a degraded-mode
+/// answer (DESIGN.md §5i), **anchored to the `sum₀` envelope**: the
+/// degraded answer satisfies `|ans′ − ans| ≤ ε′·sum₀` (with the base
+/// guarantee's own δ riding along when the backed share is itself
+/// sampled).
+///
+/// When only a fraction `coverage ∈ [0, 1]` of the in-range grid mass
+/// (measured from the per-silo grids `g_k`, which the provider holds
+/// regardless of current reachability) is backed by live silo answers,
+/// the remaining `1 − coverage` is filled from grid statistics alone.
+/// Splitting the absolute error by mass share:
+///
+/// * the backed share is an ε-approximation of its slice `ans_R ≤
+///   coverage·sum₀`, contributing at most `ε·coverage·sum₀`;
+/// * the grid-filled share is exact on covered cells and off by at most
+///   the full cell mass on boundary cells, so its error is bounded by its
+///   entire grid mass, `(1 − coverage)·sum₀`.
+///
+/// Hence `ε′ = ε·coverage + (1 − coverage)`, clamped to `[ε, 1]`: full
+/// coverage recovers the base guarantee, zero coverage is the vacuous
+/// whole-envelope bound. Anchoring to `sum₀` rather than the (unknowable)
+/// true answer is the same normalization every Sec. 6 bound uses — as
+/// `ans/sum₀ → 1` (large ranges, the Fig. 3a regime) the bound approaches
+/// a plain relative-error guarantee. The bound degrades *linearly* in the
+/// missing mass — the same composition spirit as [`containment_epsilon`],
+/// but over mass-weighted shares instead of disjoint fragments.
+///
+/// ```
+/// use fedra_core::theory::degraded_epsilon;
+/// // Full coverage: the base guarantee survives unchanged.
+/// assert_eq!(degraded_epsilon(0.1, 1.0), 0.1);
+/// // An exact fan-out missing 20% of the mass: ε′ = 0.2.
+/// assert!((degraded_epsilon(0.0, 0.8) - 0.2).abs() < 1e-12);
+/// // Nothing reachable: the bound is vacuous, never above 1.
+/// assert_eq!(degraded_epsilon(0.1, 0.0), 1.0);
+/// ```
+pub fn degraded_epsilon(base_epsilon: f64, coverage: f64) -> f64 {
+    let eps = base_epsilon.clamp(0.0, 1.0);
+    let c = coverage.clamp(0.0, 1.0);
+    (eps * c + (1.0 - c)).clamp(eps, 1.0)
 }
 
 /// Expected number of level-`l` samples falling inside the query range
@@ -265,6 +310,25 @@ mod tests {
         assert!(!epsilon_serves(0.051, 0.05));
         assert!(!epsilon_serves(f64::NAN, 0.05));
         assert!(!epsilon_serves(-0.1, 0.05));
+    }
+
+    #[test]
+    fn degraded_epsilon_interpolates_between_base_and_vacuous() {
+        // Monotone: less coverage never tightens the bound.
+        let mut last = 0.0;
+        for i in 0..=10 {
+            let c = 1.0 - i as f64 / 10.0;
+            let e = degraded_epsilon(0.1, c);
+            assert!(e >= last - 1e-12, "coverage {c}: {e} < {last}");
+            assert!((0.1..=1.0).contains(&e));
+            last = e;
+        }
+        // A looser base guarantee never comes out tighter.
+        assert!(degraded_epsilon(0.3, 0.5) > degraded_epsilon(0.1, 0.5));
+        // Out-of-range inputs are clamped, not propagated.
+        assert_eq!(degraded_epsilon(0.1, 2.0), 0.1);
+        assert_eq!(degraded_epsilon(0.1, -1.0), 1.0);
+        assert_eq!(degraded_epsilon(f64::INFINITY, 0.5), 1.0);
     }
 
     #[test]

@@ -32,7 +32,9 @@ use crate::health::{HealthConfig, HealthTracker};
 use crate::protocol::{Request, Response, SiloMemoryReport};
 use crate::silo::{Silo, SiloConfig, SiloId};
 use crate::snapshot::ProviderSnapshot;
-use crate::transport::socket::{spawn_silo_socket, SiloAddr, SiloDiagnostics, SocketTransport};
+use crate::transport::socket::{
+    spawn_silo_socket, ReconnectPolicy, SiloAddr, SiloDiagnostics, SocketTransport,
+};
 use crate::transport::{
     spawn_silo, CallPolicy, CommCounters, CommSnapshot, SiloChannel, Transport, TransportBackend,
     TransportError,
@@ -102,6 +104,50 @@ impl From<TransportError> for SetupError {
     }
 }
 
+/// What the federation should do when a query cannot reach its full silo
+/// complement even after the call policy's retries and hedges
+/// (DESIGN.md §5i).
+#[derive(Debug, Clone, Copy, PartialEq, Default)]
+pub enum DegradePolicy {
+    /// Fail the query (today's behavior, the default): EXACT/OPTA return
+    /// `SiloFailed`, estimators fall back to the provider-only grid
+    /// estimate without a coverage annotation. Bit-identical to a
+    /// federation built before this policy existed.
+    #[default]
+    FailFast,
+    /// Answer from whatever is reachable, carrying an honest coverage
+    /// record with an inflated error bound. Queries whose reachable
+    /// subset falls below either floor still fail.
+    Partial {
+        /// Minimum number of responding silos required to emit a
+        /// degraded answer (0 = a provider-only grid answer is allowed).
+        min_silos: usize,
+        /// Minimum fraction of the in-range mass (per-silo grids) that
+        /// must be backed by live answers, in `[0, 1]`.
+        min_coverage: f64,
+    },
+}
+
+impl DegradePolicy {
+    /// Whether degraded (partial-coverage) answers are allowed at all.
+    pub fn allows_partial(&self) -> bool {
+        matches!(self, DegradePolicy::Partial { .. })
+    }
+
+    /// Whether a degraded answer backed by `responding` silos covering
+    /// `mass_fraction` of the in-range mass meets this policy's floors.
+    /// `FailFast` accepts nothing.
+    pub fn accepts(&self, responding: usize, mass_fraction: f64) -> bool {
+        match *self {
+            DegradePolicy::FailFast => false,
+            DegradePolicy::Partial {
+                min_silos,
+                min_coverage,
+            } => responding >= min_silos && mass_fraction >= min_coverage,
+        }
+    }
+}
+
 /// Builder for a [`Federation`].
 #[derive(Debug, Clone)]
 pub struct FederationBuilder {
@@ -117,6 +163,8 @@ pub struct FederationBuilder {
     fault_plan: Option<FaultPlan>,
     call_policy: CallPolicy,
     health: HealthConfig,
+    degrade: DegradePolicy,
+    reconnect: ReconnectPolicy,
     transport: Option<TransportBackend>,
     remotes: Vec<String>,
 }
@@ -137,6 +185,8 @@ impl FederationBuilder {
             fault_plan: None,
             call_policy: CallPolicy::default(),
             health: HealthConfig::default(),
+            degrade: DegradePolicy::default(),
+            reconnect: ReconnectPolicy::default(),
             transport: None,
             remotes: Vec::new(),
         }
@@ -243,6 +293,26 @@ impl FederationBuilder {
         self
     }
 
+    /// Sets the degraded-answer policy ([`Federation::degrade_policy`]).
+    /// The default, [`DegradePolicy::FailFast`], keeps today's behavior
+    /// bit-for-bit; [`DegradePolicy::Partial`] lets query drivers answer
+    /// from the reachable subset with an honest coverage record.
+    pub fn degrade_policy(mut self, policy: DegradePolicy) -> Self {
+        self.degrade = policy;
+        self
+    }
+
+    /// Sets the socket transport's reconnect policy (attempts, capped
+    /// exponential backoff, seeded jitter). Only socket-backed and remote
+    /// silos consult it; the default reproduces the historical 3-attempt
+    /// cap. Supervised deployments typically pair
+    /// [`crate::transport::socket::ReconnectAttempts::Unbounded`] with an
+    /// enabled circuit breaker.
+    pub fn reconnect_policy(mut self, policy: ReconnectPolicy) -> Self {
+        self.reconnect = policy;
+        self
+    }
+
     /// Supplies a previous run's [`ProviderSnapshot`]: silos whose grid
     /// checksum still matches skip the cell-vector transfer of Alg. 1
     /// (the provider reuses the cached cells); mismatching silos fall
@@ -331,9 +401,13 @@ impl FederationBuilder {
                 TransportBackend::InMemory => {
                     spawn_silo(silo, Arc::clone(&setup_stats), self.latency, injector)?
                 }
-                TransportBackend::Socket => {
-                    spawn_silo_socket(silo, Arc::clone(&setup_stats), self.latency, injector)?
-                }
+                TransportBackend::Socket => spawn_silo_socket(
+                    silo,
+                    Arc::clone(&setup_stats),
+                    self.latency,
+                    injector,
+                    self.reconnect,
+                )?,
             };
             channels.push(channel);
             workers.push(handle);
@@ -341,7 +415,8 @@ impl FederationBuilder {
         // Remote silos join after the local partitions, ids continuing.
         for addr in remote_addrs {
             let id = channels.len();
-            let transport = SocketTransport::connect(id, addr, SiloDiagnostics::remote())?;
+            let transport =
+                SocketTransport::connect_with(id, addr, SiloDiagnostics::remote(), self.reconnect)?;
             channels.push(SiloChannel::over(
                 Arc::new(transport) as Arc<dyn Transport>,
                 Arc::clone(&setup_stats),
@@ -509,6 +584,7 @@ impl FederationBuilder {
             warm_hits,
             call_policy: self.call_policy,
             health,
+            degrade: self.degrade,
             fault_armed,
         })
     }
@@ -556,6 +632,7 @@ pub struct Federation {
     warm_hits: usize,
     call_policy: CallPolicy,
     health: HealthTracker,
+    degrade: DegradePolicy,
     fault_armed: Arc<AtomicBool>,
 }
 
@@ -724,6 +801,13 @@ impl Federation {
     /// non-default [`HealthConfig`] was supplied at build time.
     pub fn health(&self) -> &HealthTracker {
         &self.health
+    }
+
+    /// The degraded-answer policy configured at build time
+    /// ([`FederationBuilder::degrade_policy`]). Query drivers consult
+    /// this when a query cannot reach its full silo complement.
+    pub fn degrade_policy(&self) -> DegradePolicy {
+        self.degrade
     }
 
     /// Arms or disarms the fault injectors installed by
@@ -998,6 +1082,24 @@ mod tests {
             .expect("setup succeeds");
         assert_eq!(fed.num_silos(), 2);
         assert_eq!(fed.total_objects(), 100.0);
+    }
+
+    #[test]
+    fn degrade_policy_floors() {
+        assert_eq!(DegradePolicy::default(), DegradePolicy::FailFast);
+        assert!(!DegradePolicy::FailFast.allows_partial());
+        assert!(!DegradePolicy::FailFast.accepts(3, 1.0));
+        let p = DegradePolicy::Partial {
+            min_silos: 1,
+            min_coverage: 0.5,
+        };
+        assert!(p.allows_partial());
+        assert!(p.accepts(1, 0.5));
+        assert!(!p.accepts(0, 0.9));
+        assert!(!p.accepts(2, 0.49));
+        // The default federation carries FailFast.
+        let fed = small_federation(2, 10);
+        assert_eq!(fed.degrade_policy(), DegradePolicy::FailFast);
     }
 
     #[test]

@@ -19,8 +19,14 @@
 //! * **Open**: the silo is excluded. Each eligibility check draws from a
 //!   seeded RNG; with [`HealthConfig::probe_probability`] the breaker
 //!   half-opens and admits that one caller as a probe.
-//! * **HalfOpen**: exactly one probe is in flight; other checks are
+//! * **HalfOpen**: exactly one probe is admitted; other checks are
 //!   refused. The probe's outcome closes the breaker or re-opens it.
+//!   An admitted probe the planner never actually samples would refuse
+//!   checks forever, so the lease expires after
+//!   [`HealthConfig::probe_patience`] idle checks (back to Open, where a
+//!   new probe can be drawn). Call sites use
+//!   [`HealthTracker::may_call`] — not `allows` — to re-check a planned
+//!   candidate, so an admitted probe is never refused by its own caller.
 //!
 //! The draw comes from one `StdRng` seeded by [`HealthConfig::seed`], so
 //! a fixed call sequence half-opens at the same points every run — chaos
@@ -91,6 +97,16 @@ pub struct HealthConfig {
     /// Probability an eligibility check against an open breaker admits a
     /// half-open probe.
     pub probe_probability: f64,
+    /// Eligibility checks a half-open breaker tolerates with no probe
+    /// outcome before the lease expires and it reverts to `Open`.
+    ///
+    /// An admitted probe is just a *candidate*: the planner may end up
+    /// sampling a different silo, in which case no call ever resolves the
+    /// probe and — without this lease — the breaker would be stuck
+    /// half-open forever (refusing every future check, so the silo never
+    /// rejoins). Reverting to `Open` puts the silo back under the
+    /// admission draw.
+    pub probe_patience: u32,
     /// Seed for the probe-admission draws (determinism under a fixed
     /// call sequence).
     pub seed: u64,
@@ -103,6 +119,7 @@ impl Default for HealthConfig {
             failure_threshold: 3,
             ewma_alpha: 0.2,
             probe_probability: 0.2,
+            probe_patience: 4,
             seed: 0x4845_414C,
         }
     }
@@ -123,6 +140,9 @@ struct SiloHealthState {
     state: BreakerState,
     consecutive_failures: u32,
     ewma_us: Option<f64>,
+    /// Eligibility checks refused since the current probe was admitted;
+    /// reaching `probe_patience` expires the lease (HalfOpen → Open).
+    probe_idle_checks: u32,
     failures_total: u64,
     successes_total: u64,
     opened_total: u64,
@@ -136,6 +156,7 @@ impl SiloHealthState {
             state: BreakerState::Closed,
             consecutive_failures: 0,
             ewma_us: None,
+            probe_idle_checks: 0,
             failures_total: 0,
             successes_total: 0,
             opened_total: 0,
@@ -265,16 +286,41 @@ impl HealthTracker {
         let mut state = slot.lock();
         match state.state {
             BreakerState::Closed => true,
-            BreakerState::HalfOpen => false,
+            BreakerState::HalfOpen => {
+                // The admitted probe may never have been sampled by its
+                // plan; once the lease expires, revert to Open so a new
+                // probe can be drawn instead of refusing forever.
+                state.probe_idle_checks += 1;
+                if state.probe_idle_checks >= self.config.probe_patience {
+                    state.state = BreakerState::Open;
+                }
+                false
+            }
             BreakerState::Open => {
                 let admit = self.rng.lock().random::<f64>() < self.config.probe_probability;
                 if admit {
                     state.state = BreakerState::HalfOpen;
+                    state.probe_idle_checks = 0;
                     state.half_opened_total += 1;
                 }
                 admit
             }
         }
+    }
+
+    /// Whether a call to `silo` may be *sent* right now.
+    ///
+    /// The call-time companion of [`HealthTracker::allows`]: a silo whose
+    /// breaker is half-open was already admitted as a probe at plan time,
+    /// so the call that carries the probe must go through — refusing it
+    /// here (as `allows` would) strands the breaker in `HalfOpen` forever,
+    /// because only the probe's outcome can move it. Open breakers are
+    /// still refused without consuming a probe-admission draw.
+    pub fn may_call(&self, silo: SiloId) -> bool {
+        if !self.config.breaker_enabled {
+            return true;
+        }
+        self.state(silo) != BreakerState::Open
     }
 
     /// Current breaker position for `silo`.
@@ -377,6 +423,52 @@ mod tests {
         assert_eq!(snap.opened_total, 1);
         assert_eq!(snap.half_opened_total, 1);
         assert_eq!(snap.closed_total, 1);
+    }
+
+    #[test]
+    fn an_admitted_probe_may_still_be_called() {
+        let tracker = enabled_tracker(1);
+        for _ in 0..3 {
+            tracker.record_failure(0);
+        }
+        // Open: callers that were not admitted must not send.
+        assert!(!tracker.may_call(0));
+        while !tracker.allows(0) {}
+        // Half-open: the admitted plan's call-time check must pass, or
+        // the probe never fires and the breaker is stuck half-open.
+        assert_eq!(tracker.state(0), BreakerState::HalfOpen);
+        assert!(!tracker.allows(0), "no second probe");
+        assert!(tracker.may_call(0), "the admitted probe must be sendable");
+        tracker.record_success(0, Duration::from_millis(1));
+        assert_eq!(tracker.state(0), BreakerState::Closed);
+        assert!(tracker.may_call(0));
+    }
+
+    #[test]
+    fn unsampled_probe_lease_expires_back_to_open() {
+        let tracker = enabled_tracker(1);
+        for _ in 0..3 {
+            tracker.record_failure(0);
+        }
+        while !tracker.allows(0) {}
+        assert_eq!(tracker.state(0), BreakerState::HalfOpen);
+        // A plan admitted the probe but never sampled the silo: each
+        // later check is refused, and after `probe_patience` of them the
+        // lease lapses so a fresh probe can be drawn.
+        let patience = tracker.config().probe_patience;
+        for _ in 0..patience {
+            assert!(!tracker.allows(0));
+        }
+        assert_eq!(
+            tracker.state(0),
+            BreakerState::Open,
+            "idle half-open lease must lapse"
+        );
+        // Recovery is still possible: a new probe can close the breaker.
+        while !tracker.allows(0) {}
+        assert_eq!(tracker.state(0), BreakerState::HalfOpen);
+        tracker.record_success(0, Duration::from_millis(1));
+        assert_eq!(tracker.state(0), BreakerState::Closed);
     }
 
     #[test]

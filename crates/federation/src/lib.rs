@@ -31,13 +31,15 @@ pub mod transport;
 pub mod wire;
 
 pub use fault::{FaultPlan, FlapSchedule, SiloFaultSpec};
-pub use federation::{Federation, FederationBuilder, SetupError};
+pub use federation::{DegradePolicy, Federation, FederationBuilder, SetupError};
 pub use health::{BreakerState, HealthConfig, HealthTracker, HealthTransition, SiloHealthSnapshot};
 pub use protocol::{LocalMode, Request, Response, SiloMemoryReport};
-pub use silo::{Silo, SiloConfig, SiloId};
+pub use silo::{Silo, SiloConfig, SiloGridSnapshot, SiloId};
 pub use snapshot::ProviderSnapshot;
+pub use transport::chaos::{ChaosPlan, ChaosProxy};
 pub use transport::socket::{
-    SiloAddr, SiloDiagnostics, SiloSocketServer, SocketServerConfig, SocketTransport,
+    ReconnectAttempts, ReconnectPolicy, SiloAddr, SiloDiagnostics, SiloSocketServer,
+    SocketServerConfig, SocketTransport,
 };
 pub use transport::{
     CallPolicy, CommCounters, CommSnapshot, InMemoryTransport, PendingBatch, PendingCall,

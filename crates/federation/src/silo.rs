@@ -15,9 +15,11 @@
 //! cell ids to rectangles for `CellContributions`).
 
 use std::panic::{catch_unwind, AssertUnwindSafe};
+use std::path::Path;
 use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
 use std::sync::Arc;
 
+use bytes::{Bytes, BytesMut};
 use rand::rngs::StdRng;
 use rand::SeedableRng;
 
@@ -33,6 +35,7 @@ use fedra_index::rtree::{RTree, RTreeConfig};
 use fedra_index::{Aggregate, GridPyramid, IndexMemory};
 
 use crate::protocol::{LocalMode, Request, Response, SiloMemoryReport};
+use crate::wire::{Wire, WireError, WireResult};
 
 /// Identifier of a silo within its federation: `0 .. m`.
 pub type SiloId = usize;
@@ -91,6 +94,82 @@ struct RetainedGrid {
     pyramid: GridPyramid,
 }
 
+/// A silo's persisted grid state: everything needed to re-retain the
+/// [`RetainedGrid`] after a crash without re-scanning the partition
+/// (DESIGN.md §5i).
+///
+/// The on-disk layout is the wire encoding of this struct followed by a
+/// trailing FNV-1a checksum of those bytes; [`Silo::load_grid_snapshot`]
+/// refuses a file whose checksum mismatches (torn write, bit rot) and
+/// ignores one whose `num_objects` disagrees with the live partition
+/// (stale snapshot from before a re-shard) — the grid is then simply
+/// rebuilt by the next `BuildGrid`, so a bad snapshot can delay recovery
+/// but never corrupt an answer.
+#[derive(Debug, Clone, PartialEq)]
+pub struct SiloGridSnapshot {
+    /// Grid bounds the snapshot was built with.
+    pub bounds: Rect,
+    /// Cell side length.
+    pub cell_len: f64,
+    /// Partition size when the grid was built (staleness guard).
+    pub num_objects: u64,
+    /// The full cell vector, row-major per [`GridSpec`].
+    pub cells: Vec<Aggregate>,
+    /// Out-of-bounds object count.
+    pub outside: u64,
+}
+
+impl Wire for SiloGridSnapshot {
+    fn encode(&self, buf: &mut BytesMut) {
+        self.bounds.encode(buf);
+        self.cell_len.encode(buf);
+        self.num_objects.encode(buf);
+        self.cells.encode(buf);
+        self.outside.encode(buf);
+    }
+
+    fn encoded_len(&self) -> usize {
+        self.bounds.encoded_len()
+            + self.cell_len.encoded_len()
+            + self.num_objects.encoded_len()
+            + self.cells.encoded_len()
+            + self.outside.encoded_len()
+    }
+
+    fn decode(buf: &mut Bytes) -> WireResult<Self> {
+        let bounds = Rect::decode(buf)?;
+        let cell_len = f64::decode(buf)?;
+        let num_objects = u64::decode(buf)?;
+        let cells = Vec::<Aggregate>::decode(buf)?;
+        let outside = u64::decode(buf)?;
+        let snapshot = Self {
+            bounds,
+            cell_len,
+            num_objects,
+            cells,
+            outside,
+        };
+        if snapshot.cells.len() != GridSpec::new(bounds, cell_len).num_cells() {
+            return Err(WireError::BadLength {
+                context: "silo grid snapshot cells",
+                len: snapshot.cells.len(),
+            });
+        }
+        Ok(snapshot)
+    }
+}
+
+/// FNV-1a over `bytes` — the same checksum the socket frame headers use,
+/// kept local so the silo layer stays transport-agnostic.
+fn snapshot_checksum(bytes: &[u8]) -> u64 {
+    let mut hash = 0xCBF2_9CE4_8422_2325u64;
+    for &b in bytes {
+        hash ^= b as u64;
+        hash = hash.wrapping_mul(0x0000_0100_0000_01B3);
+    }
+    hash
+}
+
 /// The silo's metric registry with cached hot-path handles.
 ///
 /// Shared across the worker-thread boundary by `Arc`, like the served
@@ -108,6 +187,10 @@ struct SiloMetrics {
     /// One counter per LSR level, indexed by the level picked (Alg. 6);
     /// the paper's O(log 1/ε) claim is readable straight off these.
     lsr_levels: Vec<Arc<Counter>>,
+    /// Grid snapshots written to disk (crash-recovery, DESIGN.md §5i).
+    snapshot_saved: Arc<Counter>,
+    /// Grid snapshots successfully restored from disk.
+    snapshot_loaded: Arc<Counter>,
 }
 
 /// Per-request-kind counters, one per [`Request`] variant.
@@ -159,6 +242,10 @@ impl SiloMetrics {
                     ))
                 })
                 .collect(),
+            snapshot_saved: registry
+                .counter(&format!("fedra_snapshot_saved_total{{silo=\"{id}\"}}")),
+            snapshot_loaded: registry
+                .counter(&format!("fedra_snapshot_loaded_total{{silo=\"{id}\"}}")),
             registry,
         }
     }
@@ -306,8 +393,114 @@ impl Silo {
         }
     }
 
+    /// A wire-serializable copy of the retained grid (`None` before
+    /// `BuildGrid` or a successful [`Self::load_grid_snapshot`]).
+    pub fn grid_snapshot(&self) -> Option<SiloGridSnapshot> {
+        let guard = self.grid.read();
+        let retained = guard.as_ref()?;
+        let spec = *retained.index.spec();
+        Some(SiloGridSnapshot {
+            bounds: spec.bounds(),
+            cell_len: spec.cell_len(),
+            num_objects: self.num_objects as u64,
+            cells: retained.index.cells().to_vec(),
+            outside: retained.index.outside_count(),
+        })
+    }
+
+    /// Persists the retained grid to `path` (encoding + trailing FNV-1a
+    /// checksum), replacing any previous file. Returns `Ok(false)` when no
+    /// grid has been built yet. The write goes through a sibling temp file
+    /// and a rename so a crash mid-save leaves the old snapshot intact.
+    pub fn save_grid_snapshot(&self, path: impl AsRef<Path>) -> std::io::Result<bool> {
+        let Some(snapshot) = self.grid_snapshot() else {
+            return Ok(false);
+        };
+        let path = path.as_ref();
+        let body = Wire::to_bytes(&snapshot);
+        let mut file = Vec::with_capacity(body.len() + 8);
+        file.extend_from_slice(&body);
+        file.extend_from_slice(&snapshot_checksum(&body).to_le_bytes());
+        let tmp = path.with_extension("tmp");
+        std::fs::write(&tmp, &file)?;
+        std::fs::rename(&tmp, path)?;
+        self.metrics.snapshot_saved.inc();
+        Ok(true)
+    }
+
+    /// Restores the retained grid from a file written by
+    /// [`Self::save_grid_snapshot`].
+    ///
+    /// Returns `Ok(true)` when the grid was restored, `Ok(false)` when the
+    /// file is missing or stale (its `num_objects` disagrees with the live
+    /// partition), and `Err` on corruption — a failed checksum or an
+    /// undecodable body. A restored grid makes the next matching
+    /// `BuildGrid` answer from memory instead of re-scanning the
+    /// partition (see [`Self::handle`]'s grid reuse).
+    pub fn load_grid_snapshot(&self, path: impl AsRef<Path>) -> std::io::Result<bool> {
+        let raw = match std::fs::read(path.as_ref()) {
+            Ok(raw) => raw,
+            Err(e) if e.kind() == std::io::ErrorKind::NotFound => return Ok(false),
+            Err(e) => return Err(e),
+        };
+        let invalid = |msg: String| std::io::Error::new(std::io::ErrorKind::InvalidData, msg);
+        if raw.len() < 8 {
+            return Err(invalid("grid snapshot shorter than its checksum".into()));
+        }
+        let (body, tail) = raw.split_at(raw.len() - 8);
+        let stored = match <[u8; 8]>::try_from(tail) {
+            Ok(bytes) => u64::from_le_bytes(bytes),
+            Err(_) => return Err(invalid("grid snapshot checksum tail malformed".into())),
+        };
+        let computed = snapshot_checksum(body);
+        if stored != computed {
+            return Err(invalid(format!(
+                "grid snapshot checksum mismatch (stored {stored:#x}, computed {computed:#x})"
+            )));
+        }
+        let snapshot = SiloGridSnapshot::from_bytes(Bytes::from(body.to_vec()))
+            .map_err(|e| invalid(format!("undecodable grid snapshot: {e}")))?;
+        if snapshot.num_objects != self.num_objects as u64 {
+            // Stale, not corrupt: the partition changed since the save.
+            // Ignore it and let the next BuildGrid rebuild from scratch.
+            return Ok(false);
+        }
+        let spec = GridSpec::new(snapshot.bounds, snapshot.cell_len);
+        let index = GridIndex::from_parts(spec, snapshot.cells, snapshot.outside);
+        let pyramid = GridPyramid::build_with(&index, &self.pool);
+        *self.grid.write() = Some(RetainedGrid { index, pyramid });
+        self.metrics.snapshot_loaded.inc();
+        Ok(true)
+    }
+
     fn handle_build_grid(&self, bounds: Rect, cell_len: f64, return_cells: bool) -> Response {
         let spec = GridSpec::new(bounds, cell_len);
+        // Reuse an already-retained grid for the same spec: the partition
+        // is immutable in-process, so the retained cells are bit-identical
+        // to what a rebuild would produce. This is what makes a restored
+        // snapshot (crash recovery) or a repeated warm-start `BuildGrid`
+        // answer without re-scanning the R-tree.
+        {
+            let guard = self.grid.read();
+            if let Some(retained) = guard.as_ref() {
+                if *retained.index.spec() == spec {
+                    let outside = retained.index.outside_count();
+                    return if return_cells {
+                        Response::Grid {
+                            bounds,
+                            cell_len,
+                            cells: retained.index.cells().to_vec(),
+                            outside,
+                        }
+                    } else {
+                        Response::GridAck {
+                            total: retained.index.total(),
+                            outside,
+                        }
+                    };
+                }
+            }
+        }
         // The R-tree keeps the canonical copy of the partition: index it
         // directly (sharded across the pool) instead of re-collecting it
         // through an inflated-MBR range query, which paid an O(n)
@@ -829,6 +1022,106 @@ mod tests {
         let after = s.memory_report();
         assert!(after.grid > 0);
         assert!(after.total() > before.total());
+    }
+
+    #[test]
+    fn grid_snapshot_round_trips_through_disk() {
+        let objs = objects(800);
+        let dir = std::env::temp_dir().join("fedra-silo-snapshot-test");
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join("roundtrip.grid");
+
+        let s = Silo::new(30, objs.clone(), config());
+        // Nothing to save before BuildGrid.
+        assert!(!s.save_grid_snapshot(&path).unwrap());
+        let built = s.handle(Request::BuildGrid {
+            bounds: bounds(),
+            cell_len: 10.0,
+            return_cells: true,
+        });
+        assert!(s.save_grid_snapshot(&path).unwrap());
+
+        // A fresh silo over the same partition restores the identical grid.
+        let r = Silo::new(30, objs, config());
+        assert!(r.load_grid_snapshot(&path).unwrap());
+        let reused = r.handle(Request::BuildGrid {
+            bounds: bounds(),
+            cell_len: 10.0,
+            return_cells: true,
+        });
+        assert_eq!(reused, built, "restored grid must answer bit-identically");
+        let counters = r.metrics().snapshot().counters;
+        assert_eq!(
+            counters.get("fedra_snapshot_loaded_total{silo=\"30\"}"),
+            Some(&1)
+        );
+        let counters = s.metrics().snapshot().counters;
+        assert_eq!(
+            counters.get("fedra_snapshot_saved_total{silo=\"30\"}"),
+            Some(&1)
+        );
+        let _ = std::fs::remove_file(&path);
+    }
+
+    #[test]
+    fn stale_snapshot_is_ignored_corrupt_snapshot_is_an_error() {
+        let dir = std::env::temp_dir().join("fedra-silo-snapshot-test");
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join("stale.grid");
+
+        let s = Silo::new(31, objects(100), config());
+        s.handle(Request::BuildGrid {
+            bounds: bounds(),
+            cell_len: 10.0,
+            return_cells: false,
+        });
+        assert!(s.save_grid_snapshot(&path).unwrap());
+
+        // Same file, different partition size: stale, silently ignored.
+        let other = Silo::new(31, objects(101), config());
+        assert!(!other.load_grid_snapshot(&path).unwrap());
+        assert!(other.grid.read().is_none());
+
+        // Missing file: also a clean false.
+        assert!(!other.load_grid_snapshot(dir.join("missing.grid")).unwrap());
+
+        // Flip one body byte: the checksum catches it as an error.
+        let mut raw = std::fs::read(&path).unwrap();
+        raw[10] ^= 0x01;
+        std::fs::write(&path, &raw).unwrap();
+        let fresh = Silo::new(31, objects(100), config());
+        assert!(fresh.load_grid_snapshot(&path).is_err());
+        let _ = std::fs::remove_file(&path);
+    }
+
+    #[test]
+    fn build_grid_reuses_retained_grid_only_on_spec_match() {
+        let s = Silo::new(32, objects(300), config());
+        let first = s.handle(Request::BuildGrid {
+            bounds: bounds(),
+            cell_len: 10.0,
+            return_cells: true,
+        });
+        let again = s.handle(Request::BuildGrid {
+            bounds: bounds(),
+            cell_len: 10.0,
+            return_cells: true,
+        });
+        assert_eq!(first, again);
+        // A different spec must rebuild, not echo the stale grid.
+        let finer = s.handle(Request::BuildGrid {
+            bounds: bounds(),
+            cell_len: 5.0,
+            return_cells: true,
+        });
+        let Response::Grid { cell_len, .. } = finer else {
+            panic!("unexpected response");
+        };
+        assert_eq!(cell_len, 5.0);
+        assert_eq!(
+            s.grid.read().as_ref().map(|g| g.index.spec().cell_len()),
+            Some(5.0)
+        );
     }
 
     #[test]

@@ -1,0 +1,657 @@
+//! A seeded network-chaos proxy for partition and corruption drills.
+//!
+//! [`ChaosProxy`] sits between a [`super::socket::SocketTransport`] client
+//! and a `fedra-silo` server on the socket path and injects the faults a
+//! real network delivers — deterministically, from a seed, so a chaos soak
+//! replays bit-identically:
+//!
+//! * **connection drop** — the client's connection is severed; in-flight
+//!   calls retry on the reconnect (or fail typed, never wrong);
+//! * **hard partition** — [`ChaosProxy::partition_for`] severs the client
+//!   and black-holes traffic until the deadline passes, after which the
+//!   health breaker's HalfOpen probes rejoin the silo;
+//! * **mid-frame truncation** — a reply is cut inside its payload and the
+//!   connection dropped, surfacing as [`super::socket::FrameError::Truncated`];
+//! * **byte corruption** — a reply payload byte is flipped *without*
+//!   fixing the header checksum, surfacing as
+//!   [`super::socket::FrameError::Corrupt`];
+//! * **delay/jitter** — frames are held for a seeded duration, exercising
+//!   deadline sheds and hedges.
+//!
+//! # Topology: one upstream connection, many client generations
+//!
+//! The proxy keeps **one persistent connection to the upstream silo** for
+//! its whole life and multiplexes every client connection over it. That
+//! asymmetry is what makes epoch fencing reachable: when the proxy drops
+//! the client mid-call, the silo's reply still comes back on the healthy
+//! upstream connection, and the proxy forwards it to the *reconnected*
+//! client — a reply stamped with a dead connection generation, which the
+//! client's reader must fence (`fedra_epoch_fenced_replies_total`) rather
+//! than let answer a fresh call. [`ChaosProxy::drop_client_after_next_request`]
+//! produces exactly this interleaving on demand.
+//!
+//! Chaos (corruption, truncation, per-frame drop) applies only on the
+//! **reply path**: the upstream connection must stay framing-healthy, or
+//! the silo would drop it and the proxy would degenerate into a plain
+//! connection killer. The request path is limited to drops and delay.
+
+use std::io::Write;
+use std::net::{TcpListener, TcpStream};
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+use std::sync::Arc;
+use std::thread::JoinHandle;
+use std::time::{Duration, Instant};
+
+use parking_lot::Mutex;
+
+use super::socket::{
+    read_reply_frame, read_request_frame, write_reply_frame, write_request_frame, SiloAddr,
+    SocketStream, REPLY_HEADER_LEN,
+};
+
+/// How often blocked proxy loops poll their flags.
+const POLL: Duration = Duration::from_millis(1);
+
+/// How long the reply pump waits for a client connection to deliver a
+/// pending reply to before giving the frame up as partition-lost.
+const REPLY_LINGER: Duration = Duration::from_secs(2);
+
+/// Seeded fault mix for a [`ChaosProxy`]. All draws come from a SplitMix64
+/// stream over `seed`, so the same plan over the same traffic produces the
+/// same fault schedule.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct ChaosPlan {
+    /// Seed for the fault-draw stream.
+    pub seed: u64,
+    /// Per-reply probability of flipping a payload byte (checksum left
+    /// stale → the client sees `FrameError::Corrupt`).
+    pub corrupt_prob: f64,
+    /// Per-reply probability of cutting the frame mid-payload and
+    /// dropping the connection (`FrameError::Truncated`).
+    pub truncate_prob: f64,
+    /// Per-frame probability (both directions) of silently dropping the
+    /// frame — the call then sheds on its deadline.
+    pub drop_prob: f64,
+    /// Maximum seeded extra delay added per frame.
+    pub delay_jitter: Duration,
+}
+
+impl ChaosPlan {
+    /// A plan that injects nothing: the proxy forwards faithfully (the
+    /// disarmed-proxy baseline of the partition soak — answers must be
+    /// bit-identical to a direct connection).
+    pub fn calm(seed: u64) -> ChaosPlan {
+        ChaosPlan {
+            seed,
+            corrupt_prob: 0.0,
+            truncate_prob: 0.0,
+            drop_prob: 0.0,
+            delay_jitter: Duration::ZERO,
+        }
+    }
+}
+
+impl Default for ChaosPlan {
+    fn default() -> Self {
+        ChaosPlan::calm(0)
+    }
+}
+
+/// Counters of what the proxy actually did (drained by
+/// [`ChaosProxy::stats`]; soak assertions read these).
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct ChaosStats {
+    /// Request frames forwarded upstream.
+    pub requests_forwarded: u64,
+    /// Request frames silently dropped.
+    pub requests_dropped: u64,
+    /// Reply frames forwarded intact.
+    pub replies_forwarded: u64,
+    /// Reply frames forwarded with a flipped payload byte.
+    pub replies_corrupted: u64,
+    /// Reply frames cut mid-payload (connection dropped after).
+    pub replies_truncated: u64,
+    /// Reply frames silently dropped (includes partition losses).
+    pub replies_dropped: u64,
+    /// Client connections accepted.
+    pub client_connections: u64,
+    /// Client connections severed by injected faults or partitions.
+    pub client_drops: u64,
+    /// Partitions started via [`ChaosProxy::partition_for`].
+    pub partitions: u64,
+}
+
+#[derive(Default)]
+struct StatCells {
+    requests_forwarded: AtomicU64,
+    requests_dropped: AtomicU64,
+    replies_forwarded: AtomicU64,
+    replies_corrupted: AtomicU64,
+    replies_truncated: AtomicU64,
+    replies_dropped: AtomicU64,
+    client_connections: AtomicU64,
+    client_drops: AtomicU64,
+    partitions: AtomicU64,
+}
+
+struct Inner {
+    plan: ChaosPlan,
+    /// Write half of the one persistent upstream connection.
+    upstream: Mutex<Option<SocketStream>>,
+    /// Write half of the *current* client connection (replaced on every
+    /// accept; replies always go to the newest client).
+    client: Mutex<Option<TcpStream>>,
+    /// SplitMix64 state for fault draws.
+    rng: Mutex<u64>,
+    partition_until: Mutex<Option<Instant>>,
+    /// One-shot: sever the client right after the next request is
+    /// forwarded upstream (deterministic fenced-reply production).
+    drop_after_next: AtomicBool,
+    shutdown: AtomicBool,
+    stats: StatCells,
+}
+
+impl Inner {
+    fn next_u64(&self) -> u64 {
+        let mut s = self.rng.lock();
+        *s = s.wrapping_add(0x9E37_79B9_7F4A_7C15);
+        let mut z = *s;
+        z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+        z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+        z ^ (z >> 31)
+    }
+
+    /// A seeded uniform draw in `[0, 1)`.
+    fn draw(&self) -> f64 {
+        (self.next_u64() >> 11) as f64 / (1u64 << 53) as f64
+    }
+
+    fn partitioned(&self) -> bool {
+        matches!(*self.partition_until.lock(), Some(t) if Instant::now() < t)
+    }
+
+    fn seeded_delay(&self) {
+        if !self.plan.delay_jitter.is_zero() {
+            let frac = self.draw();
+            std::thread::sleep(self.plan.delay_jitter.mul_f64(frac));
+        }
+    }
+
+    /// Severs the current client connection (if any).
+    fn drop_client(&self) {
+        if let Some(conn) = self.client.lock().take() {
+            let _ = conn.shutdown(std::net::Shutdown::Both);
+            self.stats.client_drops.fetch_add(1, Ordering::Relaxed);
+        }
+    }
+}
+
+/// The proxy: a TCP listener the client connects to, one persistent
+/// upstream connection, and seeded fault injection in between. See the
+/// module docs for the topology and chaos directionality.
+pub struct ChaosProxy {
+    inner: Arc<Inner>,
+    addr: SiloAddr,
+    threads: Vec<JoinHandle<()>>,
+}
+
+impl ChaosProxy {
+    /// Connects to `upstream` (TCP or Unix), binds an ephemeral loopback
+    /// TCP listener for the client side, and starts proxying under
+    /// `plan`.
+    pub fn spawn(upstream: &SiloAddr, plan: ChaosPlan) -> std::io::Result<ChaosProxy> {
+        let upstream_conn = upstream.connect()?;
+        upstream_conn.set_nonblocking(false)?;
+        let upstream_read = upstream_conn.try_clone()?;
+        let listener = TcpListener::bind("127.0.0.1:0")?;
+        let addr = SiloAddr::Tcp(listener.local_addr()?.to_string());
+        listener.set_nonblocking(true)?;
+        let inner = Arc::new(Inner {
+            plan,
+            upstream: Mutex::new(Some(upstream_conn)),
+            client: Mutex::new(None),
+            rng: Mutex::new(plan.seed),
+            partition_until: Mutex::new(None),
+            drop_after_next: AtomicBool::new(false),
+            shutdown: AtomicBool::new(false),
+            stats: StatCells::default(),
+        });
+        let mut threads = Vec::new();
+        {
+            let inner = Arc::clone(&inner);
+            threads.push(
+                std::thread::Builder::new()
+                    .name("fedra-chaos-accept".into())
+                    .spawn(move || accept_loop(listener, inner))?,
+            );
+        }
+        {
+            let inner = Arc::clone(&inner);
+            threads.push(
+                std::thread::Builder::new()
+                    .name("fedra-chaos-reply".into())
+                    .spawn(move || reply_pump(upstream_read, inner))?,
+            );
+        }
+        Ok(ChaosProxy {
+            inner,
+            addr,
+            threads,
+        })
+    }
+
+    /// The address clients should connect to instead of the silo's.
+    pub fn addr(&self) -> &SiloAddr {
+        &self.addr
+    }
+
+    /// Black-holes the link for `duration`: the current client connection
+    /// is severed, new connections are accepted-then-severed, and replies
+    /// arriving from upstream are dropped until the deadline passes.
+    pub fn partition_for(&self, duration: Duration) {
+        *self.inner.partition_until.lock() = Some(Instant::now() + duration);
+        self.inner.stats.partitions.fetch_add(1, Ordering::Relaxed);
+        self.inner.drop_client();
+    }
+
+    /// One-shot: forward the next request upstream, then sever the client
+    /// connection. The silo's reply then arrives while the client is on a
+    /// *new* connection generation — the deterministic way to produce a
+    /// reply the client must epoch-fence.
+    pub fn drop_client_after_next_request(&self) {
+        self.inner.drop_after_next.store(true, Ordering::Release);
+    }
+
+    /// What the proxy has done so far.
+    pub fn stats(&self) -> ChaosStats {
+        let s = &self.inner.stats;
+        ChaosStats {
+            requests_forwarded: s.requests_forwarded.load(Ordering::Relaxed),
+            requests_dropped: s.requests_dropped.load(Ordering::Relaxed),
+            replies_forwarded: s.replies_forwarded.load(Ordering::Relaxed),
+            replies_corrupted: s.replies_corrupted.load(Ordering::Relaxed),
+            replies_truncated: s.replies_truncated.load(Ordering::Relaxed),
+            replies_dropped: s.replies_dropped.load(Ordering::Relaxed),
+            client_connections: s.client_connections.load(Ordering::Relaxed),
+            client_drops: s.client_drops.load(Ordering::Relaxed),
+            partitions: s.partitions.load(Ordering::Relaxed),
+        }
+    }
+
+    /// Stops the proxy: severs both sides and joins the pump threads.
+    pub fn stop(&mut self) {
+        self.inner.shutdown.store(true, Ordering::Release);
+        if let Some(conn) = self.inner.upstream.lock().take() {
+            conn.shutdown();
+        }
+        if let Some(conn) = self.inner.client.lock().take() {
+            let _ = conn.shutdown(std::net::Shutdown::Both);
+        }
+        for thread in self.threads.drain(..) {
+            let _ = thread.join();
+        }
+    }
+}
+
+impl Drop for ChaosProxy {
+    fn drop(&mut self) {
+        self.stop();
+    }
+}
+
+impl std::fmt::Debug for ChaosProxy {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("ChaosProxy")
+            .field("addr", &self.addr)
+            .field("plan", &self.inner.plan)
+            .finish()
+    }
+}
+
+fn accept_loop(listener: TcpListener, inner: Arc<Inner>) {
+    while !inner.shutdown.load(Ordering::Acquire) {
+        match listener.accept() {
+            Ok((conn, _)) => {
+                if inner.partitioned() {
+                    // The kernel completed the handshake out of the
+                    // backlog; severing here is the closest a userspace
+                    // proxy gets to a refused connect.
+                    let _ = conn.shutdown(std::net::Shutdown::Both);
+                    continue;
+                }
+                let _ = conn.set_nonblocking(false);
+                let _ = conn.set_nodelay(true);
+                inner
+                    .stats
+                    .client_connections
+                    .fetch_add(1, Ordering::Relaxed);
+                let write_half = match conn.try_clone() {
+                    Ok(w) => w,
+                    Err(_) => continue,
+                };
+                if let Some(old) = inner.client.lock().replace(write_half) {
+                    let _ = old.shutdown(std::net::Shutdown::Both);
+                }
+                let inner = Arc::clone(&inner);
+                // A failed spawn drops the connection; the client sees
+                // EOF and reconnects.
+                let _ = std::thread::Builder::new()
+                    .name("fedra-chaos-req".into())
+                    .spawn(move || request_pump(conn, inner));
+            }
+            Err(e) if e.kind() == std::io::ErrorKind::WouldBlock => std::thread::sleep(POLL),
+            Err(_) => return,
+        }
+    }
+}
+
+/// Forwards request frames from one client connection to the upstream
+/// silo. Exits when its connection dies (superseded, severed, or the
+/// client reconnected).
+fn request_pump(mut conn: TcpStream, inner: Arc<Inner>) {
+    loop {
+        if inner.shutdown.load(Ordering::Acquire) {
+            return;
+        }
+        let frame = match read_request_frame(&mut conn) {
+            Ok(frame) => frame,
+            Err(_) => return,
+        };
+        if inner.partitioned() {
+            inner.stats.requests_dropped.fetch_add(1, Ordering::Relaxed);
+            continue;
+        }
+        // Request-path chaos is drop + delay only: corrupting requests
+        // would tear down the one persistent upstream connection.
+        if inner.plan.drop_prob > 0.0 && inner.draw() < inner.plan.drop_prob {
+            inner.stats.requests_dropped.fetch_add(1, Ordering::Relaxed);
+            continue;
+        }
+        inner.seeded_delay();
+        let sever_after = inner.drop_after_next.swap(false, Ordering::AcqRel);
+        if sever_after {
+            // Sever BEFORE forwarding: once the request is upstream, its
+            // reply races this drop, and the drill's whole point is that
+            // the reply deterministically lands on the *next* connection
+            // (the stale-epoch frame clients must fence).
+            inner.drop_client();
+        }
+        {
+            let mut upstream = inner.upstream.lock();
+            let Some(stream) = upstream.as_mut() else {
+                return;
+            };
+            if write_request_frame(
+                stream,
+                frame.corr,
+                frame.epoch,
+                frame.deadline_rel_us,
+                &frame.payload,
+            )
+            .is_err()
+            {
+                // Upstream died (silo killed): nothing to forward to.
+                // Keep draining the client so its frames fail on their
+                // deadlines rather than on a half-duplex stall.
+                *upstream = None;
+                continue;
+            }
+        }
+        inner
+            .stats
+            .requests_forwarded
+            .fetch_add(1, Ordering::Relaxed);
+        if sever_after {
+            return;
+        }
+    }
+}
+
+/// Forwards reply frames from the persistent upstream connection to the
+/// current client connection, applying the plan's reply-path chaos.
+fn reply_pump(mut upstream: SocketStream, inner: Arc<Inner>) {
+    loop {
+        let (corr, epoch, payload) = match read_reply_frame(&mut upstream) {
+            Ok(reply) => reply,
+            Err(_) => return, // upstream gone (or proxy stopped)
+        };
+        if inner.partitioned() {
+            inner.stats.replies_dropped.fetch_add(1, Ordering::Relaxed);
+            continue;
+        }
+        if inner.plan.drop_prob > 0.0 && inner.draw() < inner.plan.drop_prob {
+            inner.stats.replies_dropped.fetch_add(1, Ordering::Relaxed);
+            continue;
+        }
+        inner.seeded_delay();
+        let corrupt = inner.plan.corrupt_prob > 0.0 && inner.draw() < inner.plan.corrupt_prob;
+        let truncate =
+            !corrupt && inner.plan.truncate_prob > 0.0 && inner.draw() < inner.plan.truncate_prob;
+        // Wait (bounded) for a client connection: a reply that raced a
+        // client reconnect is *delivered late*, not dropped — that is the
+        // stale frame epoch fencing exists to catch.
+        let deadline = Instant::now() + REPLY_LINGER;
+        let delivered = loop {
+            if inner.shutdown.load(Ordering::Acquire) {
+                return;
+            }
+            if inner.partitioned() || Instant::now() >= deadline {
+                break false;
+            }
+            let mut client = inner.client.lock();
+            let Some(stream) = client.as_mut() else {
+                drop(client);
+                std::thread::sleep(POLL);
+                continue;
+            };
+            let outcome = if corrupt || truncate {
+                let mut buf = Vec::new();
+                match write_reply_frame(&mut buf, corr, epoch, &payload) {
+                    Ok(()) => {
+                        if corrupt {
+                            let at = if payload.is_empty() {
+                                REPLY_HEADER_LEN - 1 // no payload byte: flip the checksum instead
+                            } else {
+                                REPLY_HEADER_LEN + (inner.next_u64() as usize % payload.len())
+                            };
+                            buf[at] ^= 1 << (inner.next_u64() % 8);
+                        } else {
+                            let cut = (buf.len() - 1).min(REPLY_HEADER_LEN + payload.len() / 2);
+                            buf.truncate(cut);
+                        }
+                        stream.write_all(&buf).and_then(|_| stream.flush())
+                    }
+                    Err(e) => Err(e),
+                }
+            } else {
+                write_reply_frame(stream, corr, epoch, &payload)
+            };
+            match outcome {
+                Ok(()) => break true,
+                Err(_) => {
+                    // This client is gone; retry against its successor.
+                    *client = None;
+                    drop(client);
+                    std::thread::sleep(POLL);
+                }
+            }
+        };
+        let cell = match (delivered, corrupt, truncate) {
+            (false, _, _) => &inner.stats.replies_dropped,
+            (true, true, _) => &inner.stats.replies_corrupted,
+            (true, _, true) => &inner.stats.replies_truncated,
+            (true, false, false) => &inner.stats.replies_forwarded,
+        };
+        cell.fetch_add(1, Ordering::Relaxed);
+        if delivered && truncate {
+            // The byte stream is no longer frame-aligned for this client:
+            // sever so the next frame starts clean on a new connection.
+            inner.drop_client();
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::silo::{Silo, SiloConfig};
+    use crate::transport::socket::{SiloSocketServer, SocketServerConfig};
+    use fedra_geo::{Point, Rect, SpatialObject};
+    use fedra_index::histogram::MinSkewConfig;
+    use fedra_index::rtree::RTreeConfig;
+
+    fn test_silo(id: usize) -> Silo {
+        let bounds = Rect::new(Point::new(0.0, 0.0), Point::new(10.0, 10.0));
+        let objects: Vec<SpatialObject> = (0..50)
+            .map(|i| SpatialObject::at((i % 10) as f64, (i / 10) as f64, 1.0))
+            .collect();
+        Silo::new(
+            id,
+            objects,
+            SiloConfig {
+                rtree: RTreeConfig::default(),
+                histogram: MinSkewConfig {
+                    resolution: 8,
+                    budget: 8,
+                },
+                bounds,
+                lsr_seed: 1,
+                threads: 1,
+            },
+        )
+    }
+
+    fn serve(id: usize) -> SiloSocketServer {
+        SiloSocketServer::spawn(
+            test_silo(id),
+            &SiloAddr::Tcp("127.0.0.1:0".into()),
+            SocketServerConfig::default(),
+        )
+        .expect("server")
+    }
+
+    #[test]
+    fn calm_proxy_forwards_faithfully() {
+        use crate::protocol::{Request, Response};
+        use crate::wire::Wire;
+        let server = serve(0);
+        let proxy = ChaosProxy::spawn(server.addr(), ChaosPlan::calm(7)).expect("proxy");
+        let mut conn = proxy.addr().connect().expect("connect");
+        let payload = Request::Ping.to_bytes();
+        write_request_frame(&mut conn, 5, 1, u64::MAX, &payload).expect("write");
+        let (corr, epoch, reply) = read_reply_frame(&mut conn).expect("reply");
+        assert_eq!(corr, 5);
+        assert_eq!(epoch, 1, "the server echoes the request epoch verbatim");
+        assert_eq!(Response::from_bytes(reply), Ok(Response::Pong));
+        // replies_forwarded is bumped after the client-side write, so the
+        // reply can be read a beat before the counter — poll briefly.
+        let deadline = Instant::now() + Duration::from_secs(2);
+        let stats = loop {
+            let stats = proxy.stats();
+            if stats.replies_forwarded == 1 || Instant::now() >= deadline {
+                break stats;
+            }
+            std::thread::sleep(Duration::from_millis(1));
+        };
+        assert_eq!(stats.requests_forwarded, 1);
+        assert_eq!(stats.replies_forwarded, 1);
+        assert_eq!(stats.replies_corrupted + stats.replies_dropped, 0);
+        server.stop();
+    }
+
+    #[test]
+    fn always_corrupt_plan_surfaces_as_typed_frame_error() {
+        use crate::protocol::Request;
+        use crate::transport::socket::FrameError;
+        use crate::wire::Wire;
+        let server = serve(1);
+        let plan = ChaosPlan {
+            corrupt_prob: 1.0,
+            ..ChaosPlan::calm(11)
+        };
+        let proxy = ChaosProxy::spawn(server.addr(), plan).expect("proxy");
+        let mut conn = proxy.addr().connect().expect("connect");
+        let payload = Request::Ping.to_bytes();
+        write_request_frame(&mut conn, 0, 1, u64::MAX, &payload).expect("write");
+        assert_eq!(
+            read_reply_frame(&mut conn),
+            Err(FrameError::Corrupt {
+                context: "reply payload"
+            })
+        );
+        assert_eq!(proxy.stats().replies_corrupted, 1);
+        server.stop();
+    }
+
+    #[test]
+    fn partition_severs_and_heals() {
+        use crate::protocol::{Request, Response};
+        use crate::wire::Wire;
+        let server = serve(2);
+        let proxy = ChaosProxy::spawn(server.addr(), ChaosPlan::calm(3)).expect("proxy");
+        let mut conn = proxy.addr().connect().expect("connect");
+        let payload = Request::Ping.to_bytes();
+        write_request_frame(&mut conn, 1, 1, u64::MAX, &payload).expect("write");
+        read_reply_frame(&mut conn).expect("pre-partition reply");
+
+        proxy.partition_for(Duration::from_millis(150));
+        // The live connection was severed: the next read fails.
+        assert!(read_reply_frame(&mut conn).is_err());
+        std::thread::sleep(Duration::from_millis(200));
+
+        // Healed: a fresh connection works again.
+        let mut conn = proxy.addr().connect().expect("reconnect");
+        write_request_frame(&mut conn, 2, 2, u64::MAX, &payload).expect("write");
+        let (corr, epoch, reply) = read_reply_frame(&mut conn).expect("post-heal reply");
+        assert_eq!((corr, epoch), (2, 2));
+        assert_eq!(Response::from_bytes(reply), Ok(Response::Pong));
+        assert_eq!(proxy.stats().partitions, 1);
+        server.stop();
+    }
+
+    #[test]
+    fn dropped_client_reply_is_delivered_to_the_next_connection() {
+        use crate::protocol::Request;
+        use crate::wire::Wire;
+        let server = serve(3);
+        let proxy = ChaosProxy::spawn(server.addr(), ChaosPlan::calm(5)).expect("proxy");
+        let mut conn = proxy.addr().connect().expect("connect");
+        proxy.drop_client_after_next_request();
+        let payload = Request::Ping.to_bytes();
+        // Sent on "epoch 1"; the proxy severs this connection right after
+        // forwarding, so the reply must land on the next connection.
+        write_request_frame(&mut conn, 9, 1, u64::MAX, &payload).expect("write");
+        assert!(read_reply_frame(&mut conn).is_err(), "severed connection");
+        let mut conn2 = proxy.addr().connect().expect("reconnect");
+        let (corr, epoch, _) = read_reply_frame(&mut conn2).expect("late reply");
+        assert_eq!(
+            (corr, epoch),
+            (9, 1),
+            "the stale-epoch reply crosses connections — what clients fence"
+        );
+        server.stop();
+    }
+
+    #[test]
+    fn seeded_draws_are_deterministic() {
+        let mk = || {
+            Arc::new(Inner {
+                plan: ChaosPlan::calm(42),
+                upstream: Mutex::new(None),
+                client: Mutex::new(None),
+                rng: Mutex::new(42),
+                partition_until: Mutex::new(None),
+                drop_after_next: AtomicBool::new(false),
+                shutdown: AtomicBool::new(false),
+                stats: StatCells::default(),
+            })
+        };
+        let a = mk();
+        let b = mk();
+        for _ in 0..64 {
+            let d = a.draw();
+            assert_eq!(d, b.draw());
+            assert!((0.0..1.0).contains(&d));
+        }
+    }
+}

@@ -28,6 +28,7 @@
 //!   share one wire frame, paying the per-message envelope overhead once
 //!   per direction instead of `n` times.
 
+pub mod chaos;
 pub mod socket;
 
 use std::collections::HashMap;

@@ -8,12 +8,23 @@
 //! is **byte-identical** to the in-memory encoding ([`crate::wire`]):
 //!
 //! ```text
-//! request frame:  [payload_len: u32][corr: u64][deadline_rel_us: u64][payload]
-//! reply frame:    [payload_len: u32][corr: u64][payload]
+//! request frame:  [payload_len: u32][corr: u64][epoch: u64][checksum: u64][deadline_rel_us: u64][payload]
+//! reply frame:    [payload_len: u32][corr: u64][epoch: u64][checksum: u64][payload]
 //! ```
 //!
 //! * `corr` is a provider-chosen correlation id pairing replies back to
 //!   their in-flight calls; it doubles as the [`Transport`] token.
+//! * `epoch` is the client's connection generation at send time; the
+//!   server echoes it verbatim. A reply whose epoch differs from the
+//!   reading connection's generation was solicited before a reconnect —
+//!   a middlebox (e.g. [`crate::transport::chaos::ChaosProxy`]) replayed
+//!   it onto the new connection — and is **fenced**: discarded and
+//!   counted under `fedra_epoch_fenced_replies_total` instead of being
+//!   allowed to answer a fresh call.
+//! * `checksum` is an FNV-1a digest of the payload bytes. A mismatch
+//!   surfaces as the typed [`FrameError::Corrupt`] — a flipped byte in a
+//!   wire-encoded `f64` would otherwise decode silently into a wrong
+//!   answer.
 //! * `deadline_rel_us` carries the call deadline as **relative**
 //!   microseconds from send time ([`DEADLINE_NONE`] = no deadline). The
 //!   serving side re-anchors it at frame receipt, so no cross-process
@@ -30,9 +41,14 @@
 //! A connection loss fails every in-flight call with a retryable
 //! [`TransportError::Transient`] when a reconnect succeeds (callers retry
 //! under their [`super::CallPolicy`]), and with
-//! [`TransportError::Disconnected`] when the peer is gone for good —
-//! mirroring the in-memory backend, where a crashed worker wakes its
-//! waiters with `Disconnected`.
+//! [`TransportError::Disconnected`] when the reconnect budget of the
+//! client's [`ReconnectPolicy`] is exhausted — mirroring the in-memory
+//! backend, where a crashed worker wakes its waiters with `Disconnected`.
+//! Exhaustion is not terminal, though: every subsequent
+//! [`Transport::send_frame`] makes one fresh connect attempt, so a
+//! health-breaker HalfOpen probe rejoins a respawned peer (e.g. a
+//! `fedra-silo` restarted from its `--snapshot-dir`) instead of failing
+//! silently forever.
 //!
 //! # Determinism caveats
 //!
@@ -67,11 +83,13 @@ use fedra_obs::CommCounters;
 /// `deadline_rel_us` value meaning "no deadline".
 pub const DEADLINE_NONE: u64 = u64::MAX;
 
-/// Request frame header length: `payload_len (4) + corr (8) + deadline (8)`.
-pub const REQUEST_HEADER_LEN: usize = 20;
+/// Request frame header length:
+/// `payload_len (4) + corr (8) + epoch (8) + checksum (8) + deadline (8)`.
+pub const REQUEST_HEADER_LEN: usize = 36;
 
-/// Reply frame header length: `payload_len (4) + corr (8)`.
-pub const REPLY_HEADER_LEN: usize = 12;
+/// Reply frame header length:
+/// `payload_len (4) + corr (8) + epoch (8) + checksum (8)`.
+pub const REPLY_HEADER_LEN: usize = 28;
 
 /// Largest payload a peer may announce. A length prefix beyond this is
 /// rejected with [`FrameError::Oversized`] *before* any allocation — a
@@ -81,15 +99,109 @@ pub const MAX_FRAME_PAYLOAD: u32 = 256 * 1024 * 1024;
 /// How often the accept loop polls its shutdown flag.
 const ACCEPT_POLL: Duration = Duration::from_millis(1);
 
-/// Reconnect attempts after a connection loss before declaring the peer
-/// dead.
+/// Default reconnect attempts after a connection loss before declaring
+/// the peer dead (see [`ReconnectPolicy`]).
 const RECONNECT_ATTEMPTS: u32 = 3;
 
-/// Base sleep between reconnect attempts (scaled linearly per attempt).
+/// Default base backoff between reconnect attempts.
 const RECONNECT_BACKOFF: Duration = Duration::from_millis(2);
+
+/// Default backoff ceiling for reconnect attempts.
+const RECONNECT_BACKOFF_CAP: Duration = Duration::from_millis(50);
+
+/// Default jitter seed for [`ReconnectPolicy`] (`"RECN"`).
+const RECONNECT_SEED: u64 = 0x5245_434E;
 
 /// Metric name: reconnects performed by a [`SocketTransport`] client.
 const RECONNECTS_METRIC: &str = "fedra_transport_reconnects_total";
+
+/// Metric name: stale-epoch replies discarded by a [`SocketTransport`]
+/// client's reader instead of being allowed to answer a fresh call.
+const FENCED_METRIC: &str = "fedra_epoch_fenced_replies_total";
+
+/// How a [`SocketTransport`] retries after a connection loss.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum ReconnectAttempts {
+    /// Give up (fail in-flight calls, mark the client not-alive) after
+    /// this many consecutive refused attempts.
+    Limited(u32),
+    /// Keep trying until the transport is dropped. For supervised
+    /// deployments where the peer is expected to come back (a respawned
+    /// `fedra-silo`); pair with a sane `backoff_cap`.
+    Unbounded,
+}
+
+/// Reconnect policy for the socket client: attempt budget plus a capped
+/// exponential backoff with deterministic jitter (same construction as
+/// [`super::CallPolicy::backoff`] — no RNG, no clock, so chaos runs stay
+/// reproducible while reconnect storms from many clients decorrelate).
+///
+/// The default reproduces the historical hard-coded behaviour: 3
+/// attempts, 2 ms base backoff.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct ReconnectPolicy {
+    /// How many consecutive refused attempts end the reconnect loop.
+    pub attempts: ReconnectAttempts,
+    /// First backoff sleep; doubles per attempt.
+    pub backoff_base: Duration,
+    /// Backoff ceiling.
+    pub backoff_cap: Duration,
+    /// Seed folded into the jitter draw, so distinct federations (or
+    /// chaos scenarios) can decorrelate their reconnect schedules.
+    pub seed: u64,
+}
+
+impl Default for ReconnectPolicy {
+    fn default() -> Self {
+        ReconnectPolicy {
+            attempts: ReconnectAttempts::Limited(RECONNECT_ATTEMPTS),
+            backoff_base: RECONNECT_BACKOFF,
+            backoff_cap: RECONNECT_BACKOFF_CAP,
+            seed: RECONNECT_SEED,
+        }
+    }
+}
+
+impl ReconnectPolicy {
+    /// The supervised-deployment policy: retry forever (until the
+    /// transport is dropped) with the default backoff shape.
+    pub fn unbounded() -> Self {
+        ReconnectPolicy {
+            attempts: ReconnectAttempts::Unbounded,
+            ..ReconnectPolicy::default()
+        }
+    }
+
+    /// Whether attempt number `attempt` (1-based) is still within the
+    /// budget.
+    pub fn allows_attempt(&self, attempt: u32) -> bool {
+        match self.attempts {
+            ReconnectAttempts::Limited(n) => attempt <= n,
+            ReconnectAttempts::Unbounded => true,
+        }
+    }
+
+    /// Backoff before reconnect attempt `attempt` (1-based): capped
+    /// exponential plus deterministic jitter in `[0, backoff_base)`
+    /// drawn from a SplitMix64 hash of `(seed, silo, attempt)`.
+    pub fn backoff(&self, silo: SiloId, attempt: u32) -> Duration {
+        if self.backoff_base.is_zero() {
+            return Duration::ZERO;
+        }
+        let exp = self
+            .backoff_base
+            .saturating_mul(1u32 << attempt.saturating_sub(1).min(16));
+        let capped = exp.min(self.backoff_cap);
+        let base_ns = self.backoff_base.as_nanos() as u64;
+        let mut z = (silo as u64)
+            .wrapping_mul(0x9E37_79B9_7F4A_7C15)
+            .wrapping_add(attempt as u64)
+            ^ self.seed;
+        z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+        z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+        capped + Duration::from_nanos((z ^ (z >> 31)) % base_ns.max(1))
+    }
+}
 
 // ---------------------------------------------------------------------
 // Addresses and streams
@@ -134,7 +246,7 @@ impl SiloAddr {
         }
     }
 
-    fn connect(&self) -> std::io::Result<SocketStream> {
+    pub(crate) fn connect(&self) -> std::io::Result<SocketStream> {
         match self {
             SiloAddr::Tcp(addr) => {
                 let stream = TcpStream::connect(addr)?;
@@ -159,14 +271,14 @@ impl std::fmt::Display for SiloAddr {
 
 /// A connected stream of either flavour.
 #[derive(Debug)]
-enum SocketStream {
+pub(crate) enum SocketStream {
     Tcp(TcpStream),
     #[cfg(unix)]
     Unix(UnixStream),
 }
 
 impl SocketStream {
-    fn try_clone(&self) -> std::io::Result<SocketStream> {
+    pub(crate) fn try_clone(&self) -> std::io::Result<SocketStream> {
         match self {
             SocketStream::Tcp(s) => Ok(SocketStream::Tcp(s.try_clone()?)),
             #[cfg(unix)]
@@ -174,7 +286,7 @@ impl SocketStream {
         }
     }
 
-    fn shutdown(&self) {
+    pub(crate) fn shutdown(&self) {
         match self {
             SocketStream::Tcp(s) => {
                 let _ = s.shutdown(std::net::Shutdown::Both);
@@ -186,7 +298,7 @@ impl SocketStream {
         }
     }
 
-    fn set_nonblocking(&self, nonblocking: bool) -> std::io::Result<()> {
+    pub(crate) fn set_nonblocking(&self, nonblocking: bool) -> std::io::Result<()> {
         match self {
             SocketStream::Tcp(s) => s.set_nonblocking(nonblocking),
             #[cfg(unix)]
@@ -295,6 +407,14 @@ pub enum FrameError {
         /// The announced payload length.
         len: u64,
     },
+    /// The payload bytes do not match the header's checksum: the frame
+    /// was corrupted in flight. Surfacing this as a typed error (the
+    /// connection is dropped, in-flight calls retry as transients) is
+    /// what keeps a flipped byte from decoding into a wrong answer.
+    Corrupt {
+        /// Which frame kind failed verification.
+        context: &'static str,
+    },
     /// OS-level read failure.
     Io {
         /// The I/O error, stringified (keeps `FrameError: Clone + Eq`).
@@ -313,6 +433,12 @@ impl std::fmt::Display for FrameError {
                 f,
                 "frame length prefix {len} exceeds the {MAX_FRAME_PAYLOAD}-byte cap"
             ),
+            FrameError::Corrupt { context } => {
+                write!(
+                    f,
+                    "checksum mismatch on {context} (frame corrupted in flight)"
+                )
+            }
             FrameError::Io { message } => write!(f, "socket read failed: {message}"),
         }
     }
@@ -360,11 +486,33 @@ fn read_payload(r: &mut impl Read, len: u32) -> Result<Bytes, FrameError> {
     Ok(Bytes::from(payload))
 }
 
+/// FNV-1a digest of the payload bytes — cheap, deterministic, and more
+/// than enough to catch the byte flips a chaos proxy (or a flaky link)
+/// injects. Not cryptographic; the threat model is corruption, not
+/// forgery.
+pub fn payload_checksum(payload: &[u8]) -> u64 {
+    let mut h = 0xCBF2_9CE4_8422_2325u64;
+    for &b in payload {
+        h ^= b as u64;
+        h = h.wrapping_mul(0x0000_0100_0000_01B3);
+    }
+    h
+}
+
+fn read_u64(header: &[u8], at: usize) -> u64 {
+    let mut raw = [0u8; 8];
+    raw.copy_from_slice(&header[at..at + 8]);
+    u64::from_le_bytes(raw)
+}
+
 /// One decoded request frame.
 #[derive(Debug)]
 pub struct RequestFrame {
     /// Correlation id chosen by the provider.
     pub corr: u64,
+    /// The sender's connection generation; echoed verbatim in the reply
+    /// header so the client can fence replies from dead generations.
+    pub epoch: u64,
     /// Deadline in relative microseconds from send ([`DEADLINE_NONE`] =
     /// none).
     pub deadline_rel_us: u64,
@@ -378,56 +526,78 @@ pub struct RequestFrame {
 pub fn write_request_frame(
     w: &mut impl Write,
     corr: u64,
+    epoch: u64,
     deadline_rel_us: u64,
     payload: &[u8],
 ) -> std::io::Result<()> {
     let mut buf = Vec::with_capacity(REQUEST_HEADER_LEN + payload.len());
     buf.extend_from_slice(&(payload.len() as u32).to_le_bytes());
     buf.extend_from_slice(&corr.to_le_bytes());
+    buf.extend_from_slice(&epoch.to_le_bytes());
+    buf.extend_from_slice(&payload_checksum(payload).to_le_bytes());
     buf.extend_from_slice(&deadline_rel_us.to_le_bytes());
     buf.extend_from_slice(payload);
     w.write_all(&buf)?;
     w.flush()
 }
 
-/// Reads one request frame ([`FrameError::Eof`] on a clean peer close).
+/// Reads one request frame ([`FrameError::Eof`] on a clean peer close,
+/// [`FrameError::Corrupt`] when the payload fails its checksum).
 pub fn read_request_frame(r: &mut impl Read) -> Result<RequestFrame, FrameError> {
     let mut header = [0u8; REQUEST_HEADER_LEN];
     read_exact_frame(r, &mut header, true, "request header")?;
     let len = u32::from_le_bytes([header[0], header[1], header[2], header[3]]);
-    let corr = u64::from_le_bytes([
-        header[4], header[5], header[6], header[7], header[8], header[9], header[10], header[11],
-    ]);
-    let deadline_rel_us = u64::from_le_bytes([
-        header[12], header[13], header[14], header[15], header[16], header[17], header[18],
-        header[19],
-    ]);
+    let corr = read_u64(&header, 4);
+    let epoch = read_u64(&header, 12);
+    let checksum = read_u64(&header, 20);
+    let deadline_rel_us = read_u64(&header, 28);
+    let payload = read_payload(r, len)?;
+    if payload_checksum(&payload) != checksum {
+        return Err(FrameError::Corrupt {
+            context: "request payload",
+        });
+    }
     Ok(RequestFrame {
         corr,
+        epoch,
         deadline_rel_us,
-        payload: read_payload(r, len)?,
+        payload,
     })
 }
 
-/// Writes one reply frame.
-pub fn write_reply_frame(w: &mut impl Write, corr: u64, payload: &[u8]) -> std::io::Result<()> {
+/// Writes one reply frame, echoing the request's `epoch`.
+pub fn write_reply_frame(
+    w: &mut impl Write,
+    corr: u64,
+    epoch: u64,
+    payload: &[u8],
+) -> std::io::Result<()> {
     let mut buf = Vec::with_capacity(REPLY_HEADER_LEN + payload.len());
     buf.extend_from_slice(&(payload.len() as u32).to_le_bytes());
     buf.extend_from_slice(&corr.to_le_bytes());
+    buf.extend_from_slice(&epoch.to_le_bytes());
+    buf.extend_from_slice(&payload_checksum(payload).to_le_bytes());
     buf.extend_from_slice(payload);
     w.write_all(&buf)?;
     w.flush()
 }
 
-/// Reads one reply frame: `(corr, payload)`.
-pub fn read_reply_frame(r: &mut impl Read) -> Result<(u64, Bytes), FrameError> {
+/// Reads one reply frame: `(corr, epoch, payload)`.
+/// [`FrameError::Corrupt`] when the payload fails its checksum.
+pub fn read_reply_frame(r: &mut impl Read) -> Result<(u64, u64, Bytes), FrameError> {
     let mut header = [0u8; REPLY_HEADER_LEN];
     read_exact_frame(r, &mut header, true, "reply header")?;
     let len = u32::from_le_bytes([header[0], header[1], header[2], header[3]]);
-    let corr = u64::from_le_bytes([
-        header[4], header[5], header[6], header[7], header[8], header[9], header[10], header[11],
-    ]);
-    Ok((corr, read_payload(r, len)?))
+    let corr = read_u64(&header, 4);
+    let epoch = read_u64(&header, 12);
+    let checksum = read_u64(&header, 20);
+    let payload = read_payload(r, len)?;
+    if payload_checksum(&payload) != checksum {
+        return Err(FrameError::Corrupt {
+            context: "reply payload",
+        });
+    }
+    Ok((corr, epoch, payload))
 }
 
 /// Encodes a call deadline as relative microseconds from `now`
@@ -456,6 +626,11 @@ pub struct SocketServerConfig {
     pub latency: Option<Duration>,
     /// Deterministic fault injector (see [`crate::fault::FaultPlan`]).
     pub faults: Option<SiloFaultInjector>,
+    /// When set, the silo's retained grid is persisted here (checksummed,
+    /// see [`crate::silo::SiloGridSnapshot`]) after every served
+    /// `BuildGrid`, so a killed-and-respawned `fedra-silo` can warm-start
+    /// from disk instead of re-binning its partition.
+    pub snapshot_path: Option<PathBuf>,
 }
 
 impl Default for SocketServerConfig {
@@ -463,6 +638,7 @@ impl Default for SocketServerConfig {
         SocketServerConfig {
             latency: None,
             faults: None,
+            snapshot_path: None,
         }
     }
 }
@@ -471,6 +647,7 @@ struct ServerShared {
     silo: Arc<Silo>,
     latency: Option<Duration>,
     faults: Mutex<Option<SiloFaultInjector>>,
+    snapshot_path: Option<PathBuf>,
     shutdown: Arc<AtomicBool>,
     /// Set by an injected crash: the server stops accepting and drops
     /// every connection, so clients observe `Disconnected` — the socket
@@ -511,6 +688,7 @@ impl SiloSocketServer {
             silo: Arc::new(silo),
             latency: config.latency,
             faults: Mutex::new(config.faults),
+            snapshot_path: config.snapshot_path,
             shutdown: Arc::clone(&shutdown),
             dead: Arc::new(AtomicBool::new(false)),
         });
@@ -627,7 +805,7 @@ fn serve_connection(conn: SocketStream, shared: Arc<ServerShared>) {
                     std::thread::sleep(delay);
                 }
                 let payload = Response::Transient(message).to_bytes();
-                if write_reply_frame(&mut writer, frame.corr, &payload).is_err() {
+                if write_reply_frame(&mut writer, frame.corr, frame.epoch, &payload).is_err() {
                     return;
                 }
                 continue;
@@ -648,19 +826,42 @@ fn serve_connection(conn: SocketStream, shared: Arc<ServerShared>) {
             if now >= deadline {
                 let late_by_us = (now - deadline).as_micros().min(u64::MAX as u128) as u64;
                 let payload = Response::DeadlineExceeded { late_by_us }.to_bytes();
-                if write_reply_frame(&mut writer, frame.corr, &payload).is_err() {
+                if write_reply_frame(&mut writer, frame.corr, frame.epoch, &payload).is_err() {
                     return;
                 }
                 continue;
             }
         }
-        let response = match Request::from_bytes(frame.payload) {
-            Ok(request) => shared.silo.handle(request),
-            Err(e) => Response::Error(format!("undecodable request: {e}")),
+        let (response, rebuilt_grid) = match Request::from_bytes(frame.payload) {
+            Ok(request) => {
+                let rebuilt = wants_snapshot(&request);
+                (shared.silo.handle(request), rebuilt)
+            }
+            Err(e) => (Response::Error(format!("undecodable request: {e}")), false),
         };
-        if write_reply_frame(&mut writer, frame.corr, &response.to_bytes()).is_err() {
+        // Persist the freshly retained grid before replying, so a crash
+        // any time after the provider saw the (Grid|GridAck) can recover
+        // from disk.
+        if rebuilt_grid {
+            if let Some(path) = &shared.snapshot_path {
+                let _ = shared.silo.save_grid_snapshot(path);
+            }
+        }
+        if write_reply_frame(&mut writer, frame.corr, frame.epoch, &response.to_bytes()).is_err() {
             return;
         }
+    }
+}
+
+/// Whether serving `request` (re)builds the silo's retained grid — the
+/// state worth snapshotting afterwards.
+fn wants_snapshot(request: &Request) -> bool {
+    match request {
+        Request::BuildGrid { .. } => true,
+        Request::Batch(items) => items
+            .iter()
+            .any(|item| matches!(item, Request::BuildGrid { .. })),
+        _ => false,
     }
 }
 
@@ -708,7 +909,14 @@ impl SiloDiagnostics {
 struct ClientInner {
     silo: SiloId,
     addr: SiloAddr,
+    /// Whether the client currently believes the peer reachable. Cleared
+    /// when the reconnect budget runs out; set again by a successful
+    /// send-path re-establish. Advisory only — `send_frame` always makes
+    /// one fresh attempt on a dead connection.
     alive: AtomicBool,
+    /// Set once, by `Drop`: no reconnect may ever follow.
+    closed: AtomicBool,
+    policy: ReconnectPolicy,
     next_corr: AtomicU64,
     /// Connection generation: bumped on every (re)connect so a stale
     /// reader thread can tell its loss report is outdated, and the
@@ -725,6 +933,8 @@ struct ClientInner {
     failed: AtomicBoolArc,
     metrics: Arc<fedra_obs::MetricsRegistry>,
     reconnects: Arc<fedra_obs::Counter>,
+    /// Stale-epoch replies the reader fenced out (see the module docs).
+    fenced: Arc<fedra_obs::Counter>,
 }
 
 /// Newtype so the shared failure flag reads as what it is.
@@ -778,20 +988,27 @@ impl ClientInner {
     }
 
     /// Handles a connection loss observed by the reader of `lost_gen`:
-    /// reconnect (failing that generation's in-flight calls as retryable
-    /// transients), or declare the peer dead.
+    /// reconnect under the client's [`ReconnectPolicy`] (failing that
+    /// generation's in-flight calls as retryable transients), or give up
+    /// for now. Exhaustion clears `alive` but is not terminal — see
+    /// [`Transport::send_frame`], which probes the peer again per call.
     fn handle_loss(self: &Arc<Self>, lost_gen: u64) {
         let mut conn = self.conn.lock();
         if self.generation.load(Ordering::Acquire) != lost_gen {
             return; // a newer connection superseded the lost one
         }
         *conn = None;
-        if !self.alive.load(Ordering::Acquire) {
+        if self.closed.load(Ordering::Acquire) {
             drop(conn);
             self.sweep(lost_gen, None);
             return;
         }
-        for attempt in 0..RECONNECT_ATTEMPTS {
+        let mut attempt = 0u32;
+        loop {
+            attempt += 1;
+            if !self.policy.allows_attempt(attempt) || self.closed.load(Ordering::Acquire) {
+                break;
+            }
             if self.establish(&mut conn).is_ok() {
                 self.reconnects.inc();
                 drop(conn);
@@ -804,7 +1021,7 @@ impl ClientInner {
                 );
                 return;
             }
-            std::thread::sleep(RECONNECT_BACKOFF * (attempt + 1));
+            std::thread::sleep(self.policy.backoff(self.silo, attempt));
         }
         self.alive.store(false, Ordering::Release);
         drop(conn);
@@ -816,7 +1033,18 @@ fn reader_loop(inner: Arc<ClientInner>, read_half: SocketStream, gen: u64) {
     let mut reader = std::io::BufReader::new(read_half);
     loop {
         match read_reply_frame(&mut reader) {
-            Ok((corr, payload)) => {
+            Ok((corr, epoch, payload)) => {
+                if epoch != gen {
+                    // A reply solicited on a dead connection generation:
+                    // only reachable when a middlebox (the chaos proxy, a
+                    // future load balancer) multiplexes one upstream
+                    // connection across our reconnects. Fencing it here —
+                    // instead of letting the corr race a fresh call that
+                    // reused the slot map — is the staleness guarantee
+                    // the partition soak pins.
+                    inner.fenced.inc();
+                    continue;
+                }
                 let slot = inner.inflight.lock().remove(&corr).map(|(_, slot)| slot);
                 if let Some(slot) = slot {
                     inner.replies_drained.fetch_add(1, Ordering::Relaxed);
@@ -827,6 +1055,10 @@ fn reader_loop(inner: Arc<ClientInner>, read_half: SocketStream, gen: u64) {
                 // worker filling a discarded slot.
             }
             Err(_) => {
+                // EOF, truncation, or a checksum mismatch (`Corrupt`):
+                // the stream can no longer be trusted to be in frame
+                // sync, so the connection is torn down and in-flight
+                // calls retry on the replacement.
                 inner.handle_loss(gen);
                 return;
             }
@@ -845,20 +1077,35 @@ pub struct SocketTransport {
 }
 
 impl SocketTransport {
-    /// Connects to the silo served at `addr`. `silo` is the provider-side
-    /// id for error attribution; `diagnostics` decides whether
-    /// served/failed/metrics are shared with an in-process silo or
-    /// client-local (see [`SiloDiagnostics`]).
+    /// Connects to the silo served at `addr` with the default
+    /// [`ReconnectPolicy`]. `silo` is the provider-side id for error
+    /// attribution; `diagnostics` decides whether served/failed/metrics
+    /// are shared with an in-process silo or client-local (see
+    /// [`SiloDiagnostics`]).
     pub fn connect(
         silo: SiloId,
         addr: SiloAddr,
         diagnostics: SiloDiagnostics,
     ) -> Result<SocketTransport, TransportError> {
+        Self::connect_with(silo, addr, diagnostics, ReconnectPolicy::default())
+    }
+
+    /// Like [`SocketTransport::connect`], with an explicit reconnect
+    /// policy (attempt budget, backoff shape, jitter seed).
+    pub fn connect_with(
+        silo: SiloId,
+        addr: SiloAddr,
+        diagnostics: SiloDiagnostics,
+        policy: ReconnectPolicy,
+    ) -> Result<SocketTransport, TransportError> {
         let reconnects = diagnostics.metrics.counter(RECONNECTS_METRIC);
+        let fenced = diagnostics.metrics.counter(FENCED_METRIC);
         let inner = Arc::new(ClientInner {
             silo,
             addr,
             alive: AtomicBool::new(true),
+            closed: AtomicBool::new(false),
+            policy,
             next_corr: AtomicU64::new(0),
             generation: AtomicU64::new(0),
             conn: Mutex::new(None),
@@ -868,6 +1115,7 @@ impl SocketTransport {
             failed: AtomicBoolArc(diagnostics.failed),
             metrics: diagnostics.metrics,
             reconnects,
+            fenced,
         });
         {
             let mut conn = inner.conn.lock();
@@ -908,21 +1156,32 @@ impl Transport for SocketTransport {
         slot: &Arc<ReplySlot>,
     ) -> Result<u64, TransportError> {
         let inner = &self.inner;
-        if !inner.alive.load(Ordering::Acquire) {
+        if inner.closed.load(Ordering::Acquire) {
             return Err(TransportError::Disconnected { silo: inner.silo });
         }
         let mut conn = inner.conn.lock();
+        if conn.is_none() {
+            // The reconnect budget ran out earlier (or the loss handler
+            // gave the connection up while we waited on the lock). Probe
+            // the peer once per call instead of failing forever: this is
+            // what lets a health breaker's HalfOpen draw rejoin a
+            // respawned `fedra-silo` after a partition heals. A refused
+            // connect keeps surfacing as `Disconnected`, which the
+            // caller's failure path records against the breaker.
+            if inner.closed.load(Ordering::Acquire) || inner.establish(&mut conn).is_err() {
+                return Err(TransportError::Disconnected { silo: inner.silo });
+            }
+            inner.alive.store(true, Ordering::Release);
+            inner.reconnects.inc();
+        }
         let Some(stream) = conn.as_mut() else {
-            // Only reachable if the peer was declared dead while we
-            // waited on the lock (the loss handler holds it while it
-            // reconnects).
             return Err(TransportError::Disconnected { silo: inner.silo });
         };
         let corr = inner.next_corr.fetch_add(1, Ordering::Relaxed);
         let gen = inner.generation.load(Ordering::Acquire);
         inner.inflight.lock().insert(corr, (gen, Arc::clone(slot)));
         let rel = deadline_to_rel_us(deadline, Instant::now());
-        match write_request_frame(stream, corr, rel, &frame) {
+        match write_request_frame(stream, corr, gen, rel, &frame) {
             Ok(()) => Ok(corr),
             Err(e) => {
                 inner.inflight.lock().remove(&corr);
@@ -972,8 +1231,10 @@ impl Transport for SocketTransport {
 
 impl Drop for SocketTransport {
     fn drop(&mut self) {
-        // Order matters: clear liveness first so the reader's loss
-        // handler won't reconnect, then close the stream to wake it.
+        // Order matters: mark the client closed first so neither the
+        // reader's loss handler nor a racing send will reconnect, then
+        // close the stream to wake the reader.
+        self.inner.closed.store(true, Ordering::Release);
         self.inner.alive.store(false, Ordering::Release);
         if let Some(flag) = &self.server_shutdown {
             flag.store(true, Ordering::Release);
@@ -1014,6 +1275,7 @@ pub fn spawn_silo_socket(
     stats: Arc<CommCounters>,
     simulated_latency: Option<Duration>,
     faults: Option<SiloFaultInjector>,
+    reconnect: ReconnectPolicy,
 ) -> Result<(SiloChannel, JoinHandle<()>), TransportError> {
     let id = silo.id();
     let diagnostics = SiloDiagnostics::shared_with(&silo);
@@ -1023,6 +1285,7 @@ pub fn spawn_silo_socket(
         SocketServerConfig {
             latency: simulated_latency,
             faults,
+            snapshot_path: None,
         },
     )?;
     let (addr, shutdown, thread) = server.detach();
@@ -1032,7 +1295,7 @@ pub fn spawn_silo_socket(
             reason: "socket server thread missing".into(),
         });
     };
-    let transport = match SocketTransport::connect(id, addr, diagnostics) {
+    let transport = match SocketTransport::connect_with(id, addr, diagnostics, reconnect) {
         Ok(t) => t.with_server_shutdown(shutdown),
         Err(e) => {
             shutdown.store(true, Ordering::Release);
@@ -1082,12 +1345,13 @@ mod tests {
         let request = Request::Ping;
         let payload = request.to_bytes();
         let mut buf = Vec::new();
-        write_request_frame(&mut buf, 42, 1234, &payload).expect("write");
+        write_request_frame(&mut buf, 42, 3, 1234, &payload).expect("write");
         assert_eq!(buf.len(), REQUEST_HEADER_LEN + payload.len());
         // The payload section is byte-identical to the in-memory frame.
         assert_eq!(&buf[REQUEST_HEADER_LEN..], payload.as_ref());
         let frame = read_request_frame(&mut buf.as_slice()).expect("read");
         assert_eq!(frame.corr, 42);
+        assert_eq!(frame.epoch, 3);
         assert_eq!(frame.deadline_rel_us, 1234);
         assert_eq!(frame.payload, payload);
     }
@@ -1096,11 +1360,71 @@ mod tests {
     fn reply_frame_roundtrips() {
         let payload = Response::Pong.to_bytes();
         let mut buf = Vec::new();
-        write_reply_frame(&mut buf, 7, &payload).expect("write");
+        write_reply_frame(&mut buf, 7, 9, &payload).expect("write");
         assert_eq!(&buf[REPLY_HEADER_LEN..], payload.as_ref());
-        let (corr, got) = read_reply_frame(&mut buf.as_slice()).expect("read");
+        let (corr, epoch, got) = read_reply_frame(&mut buf.as_slice()).expect("read");
         assert_eq!(corr, 7);
+        assert_eq!(epoch, 9);
         assert_eq!(got, payload);
+    }
+
+    #[test]
+    fn corrupted_payload_is_a_typed_error_not_a_wrong_answer() {
+        // Flip one payload byte in each direction: the checksum must
+        // catch it (a flipped byte inside a wire-encoded f64 would
+        // otherwise decode silently into a different number).
+        let payload = Response::Agg(fedra_index::Aggregate {
+            count: 4.0,
+            sum: 10.0,
+            sum_sqr: 30.0,
+        })
+        .to_bytes();
+        let mut buf = Vec::new();
+        write_reply_frame(&mut buf, 1, 0, &payload).expect("write");
+        let flip_at = REPLY_HEADER_LEN + payload.len() / 2;
+        buf[flip_at] ^= 0x40;
+        assert_eq!(
+            read_reply_frame(&mut buf.as_slice()),
+            Err(FrameError::Corrupt {
+                context: "reply payload"
+            })
+        );
+        let payload = Request::Ping.to_bytes();
+        let mut buf = Vec::new();
+        write_request_frame(&mut buf, 1, 0, DEADLINE_NONE, &payload).expect("write");
+        let last = buf.len() - 1;
+        buf[last] ^= 0x01;
+        match read_request_frame(&mut buf.as_slice()) {
+            Err(FrameError::Corrupt { context }) => assert_eq!(context, "request payload"),
+            other => panic!("expected Corrupt, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn reconnect_policy_defaults_reproduce_old_constants() {
+        let p = ReconnectPolicy::default();
+        assert_eq!(p.attempts, ReconnectAttempts::Limited(RECONNECT_ATTEMPTS));
+        assert_eq!(p.backoff_base, RECONNECT_BACKOFF);
+        assert!(p.allows_attempt(1) && p.allows_attempt(3) && !p.allows_attempt(4));
+        assert!(ReconnectPolicy::unbounded().allows_attempt(u32::MAX));
+        // Deterministic, capped-exponential backoff with bounded jitter.
+        for attempt in 1..=8 {
+            let b = p.backoff(2, attempt);
+            assert_eq!(b, p.backoff(2, attempt), "backoff must be deterministic");
+            assert!(
+                b <= p.backoff_cap + p.backoff_base,
+                "attempt {attempt}: {b:?}"
+            );
+        }
+        assert!(p.backoff(0, 1) < p.backoff_cap + p.backoff_base);
+        assert_eq!(
+            ReconnectPolicy {
+                backoff_base: Duration::ZERO,
+                ..p
+            }
+            .backoff(1, 1),
+            Duration::ZERO
+        );
     }
 
     #[test]
@@ -1117,7 +1441,7 @@ mod tests {
         );
         // A header announcing more payload than the stream carries.
         let mut buf = Vec::new();
-        write_reply_frame(&mut buf, 9, &[1, 2, 3, 4]).expect("write");
+        write_reply_frame(&mut buf, 9, 0, &[1, 2, 3, 4]).expect("write");
         buf.truncate(buf.len() - 2);
         assert_eq!(
             read_reply_frame(&mut buf.as_slice()),
@@ -1131,7 +1455,9 @@ mod tests {
     fn oversized_length_prefix_is_rejected_without_allocating() {
         let mut buf = Vec::new();
         buf.extend_from_slice(&u32::MAX.to_le_bytes());
-        buf.extend_from_slice(&0u64.to_le_bytes());
+        buf.extend_from_slice(&0u64.to_le_bytes()); // corr
+        buf.extend_from_slice(&0u64.to_le_bytes()); // epoch
+        buf.extend_from_slice(&0u64.to_le_bytes()); // checksum
         assert_eq!(
             read_reply_frame(&mut buf.as_slice()),
             Err(FrameError::Oversized {
@@ -1141,7 +1467,9 @@ mod tests {
         // Same check on the request path (header is longer).
         let mut buf = Vec::new();
         buf.extend_from_slice(&(MAX_FRAME_PAYLOAD + 1).to_le_bytes());
-        buf.extend_from_slice(&0u64.to_le_bytes());
+        buf.extend_from_slice(&0u64.to_le_bytes()); // corr
+        buf.extend_from_slice(&0u64.to_le_bytes()); // epoch
+        buf.extend_from_slice(&0u64.to_le_bytes()); // checksum
         buf.extend_from_slice(&DEADLINE_NONE.to_le_bytes());
         match read_request_frame(&mut buf.as_slice()) {
             Err(FrameError::Oversized { len }) => {

@@ -765,6 +765,97 @@ fn obs_exhaustiveness_skips_the_check_without_a_design_doc() {
 }
 
 #[test]
+fn obs_exhaustiveness_pins_the_partition_metrics_registry() {
+    // The §5i partition-tolerance metrics: recorded in product code,
+    // they must appear in the §5d registry — dropping one from the doc
+    // is a lint failure, not a silent drift.
+    let src = r#"
+fn record(obs: &ObsContext, reg: &MetricsRegistry) {
+    obs.inc("fedra_degraded_answers_total");
+    obs.set_gauge("fedra_coverage_ppm", ppm);
+    reg.counter("fedra_epoch_fenced_replies_total").inc();
+    reg.counter("fedra_snapshot_saved_total").inc();
+    reg.counter("fedra_snapshot_loaded_total").inc();
+}
+"#;
+    let documented = "
+# DESIGN
+
+## 5d. Observability
+
+| `fedra_degraded_answers_total` | counter | degraded answers |
+| `fedra_coverage_ppm` | gauge | mass fraction |
+| `fedra_epoch_fenced_replies_total` | counter | fenced stale replies |
+| `fedra_snapshot_saved_total` | counter | snapshots saved |
+| `fedra_snapshot_loaded_total` | counter | snapshots loaded |
+
+## 5e. Next
+";
+    let ws = ws_with_design(
+        vec![file("crates/federation/src/transport/socket.rs", src)],
+        documented,
+    );
+    let diags = Registry::with_default_lints().run(&ws);
+    assert!(
+        diags.iter().all(|d| d.lint != "obs-exhaustiveness"),
+        "{diags:?}"
+    );
+
+    let missing_one = documented.replace(
+        "| `fedra_epoch_fenced_replies_total` | counter | fenced stale replies |\n",
+        "",
+    );
+    let ws = ws_with_design(
+        vec![file("crates/federation/src/transport/socket.rs", src)],
+        &missing_one,
+    );
+    let diags = Registry::with_default_lints().run(&ws);
+    let obs: Vec<_> = diags
+        .iter()
+        .filter(|d| d.lint == "obs-exhaustiveness")
+        .collect();
+    assert_eq!(obs.len(), 1, "{obs:?}");
+    assert!(obs[0].message.contains("fedra_epoch_fenced_replies_total"));
+}
+
+#[test]
+fn panic_discipline_gates_the_chaos_proxy_write_path() {
+    // The chaos proxy builds reply frames into a Vec before corrupting
+    // them; `.expect("vec write")` there would kill the proxy thread
+    // mid-soak. The typed match the product code uses must pass, the
+    // shortcut must not.
+    let panicky = r#"
+fn pump(stream: &mut TcpStream) {
+    let mut buf = Vec::new();
+    write_reply_frame(&mut buf, corr, epoch, &payload).expect("vec write");
+    stream.write_all(&buf).ok();
+}
+"#;
+    let diags = run(&[file("crates/federation/src/transport/chaos.rs", panicky)]);
+    let panics: Vec<_> = diags
+        .iter()
+        .filter(|d| d.lint == "panic-discipline")
+        .collect();
+    assert_eq!(panics.len(), 1, "{panics:?}");
+
+    let typed = r#"
+fn pump(stream: &mut TcpStream) {
+    let mut buf = Vec::new();
+    let outcome = match write_reply_frame(&mut buf, corr, epoch, &payload) {
+        Ok(()) => stream.write_all(&buf),
+        Err(e) => Err(e),
+    };
+    let _ = outcome;
+}
+"#;
+    let diags = run(&[file("crates/federation/src/transport/chaos.rs", typed)]);
+    assert!(
+        diags.iter().all(|d| d.lint != "panic-discipline"),
+        "{diags:?}"
+    );
+}
+
+#[test]
 fn obs_exhaustiveness_flags_an_uncounted_response_variant() {
     let src = "
 pub enum Response {

@@ -97,13 +97,16 @@ fn print_help() {
         "fedra-silo — host one data silo behind a socket\n\n\
          usage: fedra-silo serve --addr ADDR --data FILE.csv\n\
                 [--silo-id K] [--bounds x0,y0,x1,y1] [--lsr-seed S]\n\
-                [--threads N] [--latency-ms L]\n\
+                [--threads N] [--latency-ms L] [--snapshot-dir DIR]\n\
                 [--fault-seed S] [--fault-transient P] [--fault-drop P]\n\
                 [--fault-crash-after N] [--fault-latency-ms L]\n\n\
          ADDR is tcp:host:port, unix:/path, or bare host:port. The CSV\n\
          columns are silo,x_km,y_km,measure (the workload crate's CSV).\n\
          --bounds and --lsr-seed must match the provider's federation\n\
-         for remote answers to be identical to a local run."
+         for remote answers to be identical to a local run.\n\
+         --snapshot-dir persists the built grid (checksummed) to\n\
+         DIR/silo-K.grid after every BuildGrid and warm-starts from it\n\
+         on respawn, so a crashed silo rejoins without re-binning."
     );
 }
 
@@ -199,6 +202,41 @@ fn serve(options: &Options) -> ExitCode {
     };
     let num_objects = objects.len();
     let silo = Silo::new(silo_id, objects, config);
+    // Crash recovery (DESIGN.md §5i): with --snapshot-dir, the grid built
+    // by the provider's BuildGrid is checksummed to disk after every
+    // (re)build, and a respawned process warm-starts from that file — the
+    // next BuildGrid answers from the restored grid without re-binning.
+    let snapshot_path = match options.get("snapshot-dir") {
+        Some(dir) => {
+            let dir = std::path::PathBuf::from(dir);
+            if let Err(e) = std::fs::create_dir_all(&dir) {
+                eprintln!(
+                    "error: could not create --snapshot-dir {}: {e}",
+                    dir.display()
+                );
+                return ExitCode::FAILURE;
+            }
+            Some(dir.join(format!("silo-{silo_id}.grid")))
+        }
+        None => None,
+    };
+    if let Some(path) = &snapshot_path {
+        match silo.load_grid_snapshot(path) {
+            Ok(true) => println!(
+                "fedra-silo: silo {silo_id} loaded grid snapshot from {}",
+                path.display()
+            ),
+            Ok(false) => {}
+            Err(e) => {
+                // Corrupt snapshot: refuse to guess — start cold and let
+                // the next BuildGrid rebuild and overwrite it.
+                eprintln!(
+                    "warning: ignoring corrupt grid snapshot {}: {e}",
+                    path.display()
+                );
+            }
+        }
+    }
     let faults = fault_config(options, silo_id).and_then(|plan| {
         // Standalone faults arm immediately — there is no provider-side
         // setup phase to protect in this process.
@@ -210,6 +248,7 @@ fn serve(options: &Options) -> ExitCode {
             .and_then(|v| v.parse().ok())
             .map(Duration::from_millis),
         faults,
+        snapshot_path,
     };
     let server = match SiloSocketServer::spawn(silo, &addr, server_config) {
         Ok(server) => server,

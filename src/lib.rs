@@ -58,15 +58,16 @@ pub mod prelude {
     pub use fedra_core::CachedAlgorithm;
     pub use fedra_core::{
         AccuracyParams, AdaptivePlanner, AnswerCache, BatchResult, CacheAnswer, CacheConfig,
-        CachePolicy, CacheSource, CacheStats, ClassPolicy, Exact, ExactSequential, FraAlgorithm,
-        FraError, FraQuery, IidEst, IidEstLsr, MultiSiloEst, NonIidEst, NonIidEstLsr, Opta,
-        PlanDecision, PlannerPolicy, QueryEngine, QueryResult, QueryScheduler, QueryTicket,
+        CachePolicy, CacheSource, CacheStats, ClassPolicy, Coverage, Exact, ExactSequential,
+        FraAlgorithm, FraError, FraQuery, IidEst, IidEstLsr, MultiSiloEst, NonIidEst, NonIidEstLsr,
+        Opta, PlanDecision, PlannerPolicy, QueryEngine, QueryResult, QueryScheduler, QueryTicket,
         SchedulerConfig, SubmitError,
     };
     pub use fedra_federation::{
-        BreakerState, CallPolicy, FaultPlan, Federation, FederationBuilder, FlapSchedule,
-        HealthConfig, HealthTracker, Silo, SiloAddr, SiloConfig, SiloFaultSpec, SiloHealthSnapshot,
-        SiloId, SiloSocketServer, SocketServerConfig, Transport, TransportBackend, TransportError,
+        BreakerState, CallPolicy, ChaosPlan, ChaosProxy, DegradePolicy, FaultPlan, Federation,
+        FederationBuilder, FlapSchedule, HealthConfig, HealthTracker, ReconnectAttempts,
+        ReconnectPolicy, Silo, SiloAddr, SiloConfig, SiloFaultSpec, SiloHealthSnapshot, SiloId,
+        SiloSocketServer, SocketServerConfig, Transport, TransportBackend, TransportError,
     };
     pub use fedra_geo::{Circle, GeoPoint, Point, Projection, Range, Rect, SpatialObject};
     pub use fedra_index::{AggFunc, Aggregate, GridPyramid, IndexMemory, PyramidEstimate};

@@ -16,8 +16,8 @@ use fedra::federation::transport::socket::{
 use fedra::federation::transport::DEFAULT_MESSAGE_OVERHEAD;
 use fedra::federation::wire::Wire;
 use fedra::federation::{
-    Silo, SiloAddr, SiloChannel, SiloConfig, SiloSocketServer, SocketServerConfig, SocketTransport,
-    Transport,
+    ChaosPlan, ChaosProxy, Silo, SiloAddr, SiloChannel, SiloConfig, SiloSocketServer,
+    SocketServerConfig, SocketTransport, Transport,
 };
 use fedra::prelude::*;
 
@@ -132,7 +132,7 @@ fn request_frames_carry_the_in_memory_encoding_for_every_variant() {
     for request in all_requests() {
         let payload = request.to_bytes();
         let mut frame = Vec::new();
-        write_request_frame(&mut frame, 9, 777, &payload).expect("write");
+        write_request_frame(&mut frame, 9, 5, 777, &payload).expect("write");
         assert_eq!(
             &frame[REQUEST_HEADER_LEN..],
             payload.as_ref(),
@@ -140,6 +140,7 @@ fn request_frames_carry_the_in_memory_encoding_for_every_variant() {
         );
         let decoded = read_request_frame(&mut frame.as_slice()).expect("read");
         assert_eq!(decoded.corr, 9);
+        assert_eq!(decoded.epoch, 5);
         assert_eq!(decoded.deadline_rel_us, 777);
         assert_eq!(
             Request::from_bytes(decoded.payload).expect("decode"),
@@ -153,14 +154,15 @@ fn reply_frames_carry_the_in_memory_encoding_for_every_variant() {
     for response in all_responses() {
         let payload = response.to_bytes();
         let mut frame = Vec::new();
-        write_reply_frame(&mut frame, 4, &payload).expect("write");
+        write_reply_frame(&mut frame, 4, 6, &payload).expect("write");
         assert_eq!(
             &frame[REPLY_HEADER_LEN..],
             payload.as_ref(),
             "socket payload differs from in-memory bytes for {response:?}"
         );
-        let (corr, bytes) = read_reply_frame(&mut frame.as_slice()).expect("read");
+        let (corr, epoch, bytes) = read_reply_frame(&mut frame.as_slice()).expect("read");
         assert_eq!(corr, 4);
+        assert_eq!(epoch, 6);
         assert_eq!(Response::from_bytes(bytes).expect("decode"), response);
     }
 }
@@ -191,11 +193,17 @@ fn frames_reassemble_from_single_byte_reads() {
     let first = Response::Agg(sample_aggregate()).to_bytes();
     let second = Response::Pong.to_bytes();
     let mut stream = Vec::new();
-    write_reply_frame(&mut stream, 1, &first).expect("write");
-    write_reply_frame(&mut stream, 2, &second).expect("write");
+    write_reply_frame(&mut stream, 1, 7, &first).expect("write");
+    write_reply_frame(&mut stream, 2, 7, &second).expect("write");
     let mut trickle = Trickle(&stream);
-    assert_eq!(read_reply_frame(&mut trickle).expect("first"), (1, first));
-    assert_eq!(read_reply_frame(&mut trickle).expect("second"), (2, second));
+    assert_eq!(
+        read_reply_frame(&mut trickle).expect("first"),
+        (1, 7, first)
+    );
+    assert_eq!(
+        read_reply_frame(&mut trickle).expect("second"),
+        (2, 7, second)
+    );
     // Clean EOF at the frame boundary, not a truncation error.
     assert_eq!(read_reply_frame(&mut trickle), Err(FrameError::Eof));
 }
@@ -204,7 +212,7 @@ fn frames_reassemble_from_single_byte_reads() {
 fn truncation_mid_frame_is_not_a_clean_eof() {
     let payload = Response::Pong.to_bytes();
     let mut stream = Vec::new();
-    write_reply_frame(&mut stream, 1, &payload).expect("write");
+    write_reply_frame(&mut stream, 1, 0, &payload).expect("write");
     for cut in 1..stream.len() {
         let err = read_reply_frame(&mut Trickle(&stream[..cut])).expect_err("truncated");
         assert!(
@@ -223,7 +231,9 @@ fn truncation_mid_frame_is_not_a_clean_eof() {
 fn oversized_reply_prefix_is_a_typed_error() {
     let mut bogus = Vec::new();
     bogus.extend_from_slice(&u32::MAX.to_le_bytes());
-    bogus.extend_from_slice(&1u64.to_le_bytes());
+    bogus.extend_from_slice(&1u64.to_le_bytes()); // corr
+    bogus.extend_from_slice(&0u64.to_le_bytes()); // epoch
+    bogus.extend_from_slice(&0u64.to_le_bytes()); // checksum
     assert_eq!(
         read_reply_frame(&mut bogus.as_slice()),
         Err(FrameError::Oversized {
@@ -245,6 +255,8 @@ fn server_drops_oversized_request_frames_and_survives() {
     let mut bogus = Vec::new();
     bogus.extend_from_slice(&(MAX_FRAME_PAYLOAD + 1).to_le_bytes());
     bogus.extend_from_slice(&0u64.to_le_bytes()); // corr
+    bogus.extend_from_slice(&0u64.to_le_bytes()); // epoch
+    bogus.extend_from_slice(&0u64.to_le_bytes()); // checksum
     bogus.extend_from_slice(&u64::MAX.to_le_bytes()); // no deadline
     hostile.write_all(&bogus).expect("write bogus header");
     // The server hangs up without replying.
@@ -257,9 +269,10 @@ fn server_drops_oversized_request_frames_and_survives() {
 
     // A well-formed peer on a fresh connection is still served.
     let mut honest = TcpStream::connect(&addr).expect("connect");
-    write_request_frame(&mut honest, 1, u64::MAX, &Request::Ping.to_bytes()).expect("write");
-    let (corr, payload) = read_reply_frame(&mut honest).expect("reply");
+    write_request_frame(&mut honest, 1, 0, u64::MAX, &Request::Ping.to_bytes()).expect("write");
+    let (corr, epoch, payload) = read_reply_frame(&mut honest).expect("reply");
     assert_eq!(corr, 1);
+    assert_eq!(epoch, 0);
     assert_eq!(
         Response::from_bytes(payload).expect("decode"),
         Response::Pong
@@ -385,5 +398,97 @@ fn served_silo_answers_and_counts_bytes_like_the_in_memory_backend() {
     assert_eq!(
         snapshot.bytes_down,
         expected.to_bytes().len() as u64 + DEFAULT_MESSAGE_OVERHEAD
+    );
+}
+
+// ---------------------------------------------------------------------
+// TCP loopback through the chaos proxy
+// ---------------------------------------------------------------------
+
+/// A disarmed (calm) proxy on the TCP loopback path must be invisible:
+/// same answers, same payload byte accounting as a direct connection.
+#[test]
+fn calm_chaos_proxy_preserves_answers_and_byte_accounting() {
+    let request = Request::Aggregate {
+        range: Range::circle(Point::new(0.0, 0.0), 2.0),
+        mode: LocalMode::Exact,
+    };
+    let server = spawn_test_server();
+    let direct_stats = Arc::new(CommCounters::default());
+    let direct = SocketTransport::connect(0, server.addr().clone(), SiloDiagnostics::remote())
+        .expect("connect direct");
+    let direct_channel = SiloChannel::over(Arc::new(direct), Arc::clone(&direct_stats));
+    let expected = direct_channel.call(&request).expect("direct call");
+
+    let proxy = ChaosProxy::spawn(server.addr(), ChaosPlan::calm(17)).expect("proxy");
+    let proxied_stats = Arc::new(CommCounters::default());
+    let proxied = SocketTransport::connect(0, proxy.addr().clone(), SiloDiagnostics::remote())
+        .expect("connect via proxy");
+    let proxied_channel = SiloChannel::over(Arc::new(proxied), Arc::clone(&proxied_stats));
+    let answer = proxied_channel.call(&request).expect("proxied call");
+
+    assert_eq!(answer, expected);
+    assert_eq!(proxied_stats.snapshot(), direct_stats.snapshot());
+    // The pump bumps replies_forwarded *after* the client-side write, so
+    // the reply can be observed a beat before the counter — poll briefly.
+    let deadline = std::time::Instant::now() + Duration::from_secs(2);
+    let stats = loop {
+        let stats = proxy.stats();
+        if stats.replies_forwarded == 1 || std::time::Instant::now() >= deadline {
+            break stats;
+        }
+        std::thread::sleep(Duration::from_millis(1));
+    };
+    assert_eq!(stats.replies_forwarded, 1);
+    assert_eq!(
+        stats.replies_corrupted + stats.replies_truncated + stats.replies_dropped,
+        0,
+        "a calm proxy must not inject anything"
+    );
+}
+
+/// Corruption injected on the TCP path surfaces as a retryable transport
+/// error and then a correct answer on the retried connection — never a
+/// silently wrong aggregate.
+#[test]
+fn corrupted_reply_over_tcp_retries_to_a_correct_answer() {
+    let request = Request::Aggregate {
+        range: Range::circle(Point::new(0.0, 0.0), 2.0),
+        mode: LocalMode::Exact,
+    };
+    let server = spawn_test_server();
+    let direct = SocketTransport::connect(0, server.addr().clone(), SiloDiagnostics::remote())
+        .expect("connect direct");
+    let expected = SiloChannel::over(Arc::new(direct), Arc::new(CommCounters::default()))
+        .call(&request)
+        .expect("direct call");
+
+    // Corrupt every 1-in-2 replies: each client call either fails typed
+    // (and retries under the call policy) or answers correctly.
+    let plan = ChaosPlan {
+        corrupt_prob: 0.5,
+        ..ChaosPlan::calm(23)
+    };
+    let proxy = ChaosProxy::spawn(server.addr(), plan).expect("proxy");
+    let transport = SocketTransport::connect(0, proxy.addr().clone(), SiloDiagnostics::remote())
+        .expect("connect via proxy");
+    let channel = SiloChannel::over(Arc::new(transport), Arc::new(CommCounters::default()));
+    let mut answered = 0;
+    for _ in 0..12 {
+        match channel.call(&request) {
+            Ok(answer) => {
+                assert_eq!(answer, expected, "a corrupted frame must never decode");
+                answered += 1;
+            }
+            Err(e) => assert!(
+                e.is_retryable() || matches!(e, TransportError::Disconnected { .. }),
+                "corruption must surface typed, got {e:?}"
+            ),
+        }
+    }
+    assert!(answered > 0, "some calls must get through");
+    assert!(
+        proxy.stats().replies_corrupted > 0,
+        "the plan must actually have injected corruption"
     );
 }
